@@ -1,0 +1,49 @@
+//! Criterion bench for Table 4: time to detect each bug with its most efficient
+//! mixed-grained specification.
+//!
+//! The shallow bugs (ZK-3023, ZK-4394, ZK-4685) are timed to the first violation; the
+//! deep bugs (ZK-4643, ZK-4646, ZK-4712) need minutes-long exhaustive runs that belong in
+//! the `reproduce` binary, so here their exploration is bounded by a fixed state budget
+//! to keep a bench iteration in the sub-second-to-seconds range while still exercising
+//! the same code path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_core::{Verifier, VerifierOptions};
+use remix_zab::ClusterConfig;
+
+const SHALLOW_BUGS: &[&str] = &["ZK-3023", "ZK-4394", "ZK-4685"];
+
+fn bench_bug_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_bug_detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    for (bug, _impact, preset, invariant, version, masked) in remix_bench::table4_bugs() {
+        let mut config = ClusterConfig::small(version);
+        if !masked {
+            config = config.unmask_zk4394();
+        }
+        let shallow = SHALLOW_BUGS.contains(&bug);
+        let label = format!("{bug}/{}", preset.name());
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let verifier = Verifier::new(config);
+                let mut options = VerifierOptions::default()
+                    .targeting(invariant)
+                    .with_time_budget(Duration::from_secs(60));
+                if !shallow {
+                    options = options.with_max_states(20_000);
+                }
+                let run = verifier.verify_preset(preset, &options);
+                if shallow {
+                    assert!(!run.passed(), "{bug} should be detected");
+                }
+                run.outcome.stats.distinct_states
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bug_detection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Table 5: verification efficiency of the mixed-grained
+//! specifications (stop-at-first-violation mode) on a reduced configuration.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_core::{Verifier, VerifierOptions};
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
+
+fn bench_efficiency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_efficiency");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    // The reduced configuration keeps even the baseline bounded enough for a bench loop;
+    // the reproduce binary runs the full Table 5 configuration.
+    let config = ClusterConfig::table5(CodeVersion::V370).with_transactions(1).with_crashes(1);
+    // SysSpec and mSpec-4 (baseline election) are bounded by states rather than time so
+    // that a single bench iteration stays in the sub-second range.
+    for preset in [SpecPreset::MSpec1, SpecPreset::MSpec2, SpecPreset::MSpec3] {
+        group.bench_function(preset.name(), |b| {
+            b.iter(|| {
+                let verifier = Verifier::new(config);
+                let run = verifier.verify_preset(
+                    preset,
+                    &VerifierOptions::default().with_time_budget(Duration::from_secs(60)),
+                );
+                run.outcome.stats.distinct_states
+            });
+        });
+    }
+    for preset in [SpecPreset::SysSpec, SpecPreset::MSpec4] {
+        group.bench_function(format!("{}-bounded", preset.name()), |b| {
+            b.iter(|| {
+                let verifier = Verifier::new(config);
+                let run = verifier.verify_preset(
+                    preset,
+                    &VerifierOptions::default()
+                        .with_time_budget(Duration::from_secs(60))
+                        .with_max_states(20_000),
+                );
+                run.outcome.stats.distinct_states
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

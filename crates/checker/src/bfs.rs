@@ -1,0 +1,385 @@
+//! Breadth-first state-space exploration.
+//!
+//! BFS is the exploration strategy the paper uses (§4.4): it guarantees that the first
+//! violation found for each invariant has minimal depth, which produces short, debuggable
+//! counterexample traces.  The frontier of each level can optionally be expanded by
+//! several worker threads (TLC's "workers").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use remix_spec::{Spec, SpecState, Trace};
+
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::options::{CheckMode, CheckOptions};
+use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+
+/// Bookkeeping for one discovered state.
+struct Entry<S> {
+    state: Arc<S>,
+    parent: Option<Fingerprint>,
+    action: String,
+    depth: u32,
+}
+
+/// Runs breadth-first model checking of `spec` under `options`.
+pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
+    let start = Instant::now();
+    let mut seen: HashMap<Fingerprint, Entry<S>> = HashMap::new();
+    let mut frontier: Vec<Fingerprint> = Vec::new();
+    let mut violations: Vec<Violation<S>> = Vec::new();
+    let mut violation_count: usize = 0;
+    let mut transitions: u64 = 0;
+    let mut max_depth_reached: u32 = 0;
+    let mut stop_reason = StopReason::Exhausted;
+
+    let violation_limit = match options.mode {
+        CheckMode::FirstViolation => 1,
+        CheckMode::Completion { violation_limit } => violation_limit,
+    };
+
+    // Seed with the initial states.
+    for init in &spec.init {
+        let fp = fingerprint(init);
+        if seen.contains_key(&fp) {
+            continue;
+        }
+        seen.insert(
+            fp,
+            Entry { state: Arc::new(init.clone()), parent: None, action: "Init".to_owned(), depth: 0 },
+        );
+        frontier.push(fp);
+        record_violations(
+            spec,
+            &seen,
+            fp,
+            options,
+            &mut violations,
+            &mut violation_count,
+        );
+    }
+
+    if violation_count >= violation_limit {
+        let stats = CheckStats {
+            distinct_states: seen.len(),
+            transitions,
+            max_depth: max_depth_reached,
+            elapsed: start.elapsed(),
+        };
+        return CheckOutcome {
+            spec_name: spec.name.clone(),
+            stats,
+            stop_reason: if matches!(options.mode, CheckMode::FirstViolation) {
+                StopReason::FirstViolation
+            } else {
+                StopReason::ViolationLimit
+            },
+            violations,
+            violation_count,
+        };
+    }
+
+    'levels: while !frontier.is_empty() {
+        // Check resource budgets between levels (and periodically within a level below).
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() >= budget {
+                stop_reason = StopReason::TimeBudget;
+                break;
+            }
+        }
+
+        let level_depth = seen[&frontier[0]].depth;
+        if let Some(max_depth) = options.max_depth {
+            if level_depth >= max_depth {
+                stop_reason = StopReason::DepthBound;
+                break;
+            }
+        }
+
+        // Expand the whole frontier, possibly in parallel.
+        let expansions = expand_frontier(spec, &seen, &frontier, options.workers);
+
+        let mut next_frontier: Vec<Fingerprint> = Vec::new();
+        for (parent_fp, label, next_state) in expansions {
+            transitions += 1;
+            let fp = fingerprint(&next_state);
+            if seen.contains_key(&fp) {
+                continue;
+            }
+            let depth = seen[&parent_fp].depth + 1;
+            max_depth_reached = max_depth_reached.max(depth);
+            seen.insert(
+                fp,
+                Entry { state: Arc::new(next_state), parent: Some(parent_fp), action: label, depth },
+            );
+            next_frontier.push(fp);
+
+            record_violations(spec, &seen, fp, options, &mut violations, &mut violation_count);
+            if violation_count >= violation_limit {
+                stop_reason = if matches!(options.mode, CheckMode::FirstViolation) {
+                    StopReason::FirstViolation
+                } else {
+                    StopReason::ViolationLimit
+                };
+                break 'levels;
+            }
+            if let Some(max_states) = options.max_states {
+                if seen.len() >= max_states {
+                    stop_reason = StopReason::StateLimit;
+                    break 'levels;
+                }
+            }
+            if transitions % 4096 == 0 {
+                if let Some(budget) = options.time_budget {
+                    if start.elapsed() >= budget {
+                        stop_reason = StopReason::TimeBudget;
+                        break 'levels;
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    let stats = CheckStats {
+        distinct_states: seen.len(),
+        transitions,
+        max_depth: max_depth_reached,
+        elapsed: start.elapsed(),
+    };
+    CheckOutcome { spec_name: spec.name.clone(), stats, stop_reason, violations, violation_count }
+}
+
+/// Expands every state of the frontier, returning `(parent, action label, next state)`
+/// triples.  With more than one worker the frontier is split into chunks and expanded by
+/// scoped threads.
+fn expand_frontier<S: SpecState>(
+    spec: &Spec<S>,
+    seen: &HashMap<Fingerprint, Entry<S>>,
+    frontier: &[Fingerprint],
+    workers: usize,
+) -> Vec<(Fingerprint, String, S)> {
+    if workers <= 1 || frontier.len() < 64 {
+        let mut out = Vec::new();
+        for fp in frontier {
+            let state = &seen[fp].state;
+            for (label, next) in spec.successors(state) {
+                out.push((*fp, label, next));
+            }
+        }
+        return out;
+    }
+
+    let results: Mutex<Vec<(Fingerprint, String, S)>> = Mutex::new(Vec::new());
+    let chunk = frontier.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for piece in frontier.chunks(chunk) {
+            let results = &results;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for fp in piece {
+                    let state = &seen[fp].state;
+                    for (label, next) in spec.successors(state) {
+                        local.push((*fp, label, next));
+                    }
+                }
+                results.lock().extend(local);
+            });
+        }
+    });
+    results.into_inner()
+}
+
+/// Evaluates the spec's invariants on the newly discovered state and records violations.
+fn record_violations<S: SpecState>(
+    spec: &Spec<S>,
+    seen: &HashMap<Fingerprint, Entry<S>>,
+    fp: Fingerprint,
+    options: &CheckOptions,
+    violations: &mut Vec<Violation<S>>,
+    violation_count: &mut usize,
+) {
+    let entry = &seen[&fp];
+    let violated = spec.violated_invariants(&entry.state);
+    if violated.is_empty() {
+        return;
+    }
+    *violation_count += violated.len();
+    for inv in violated {
+        // Keep a full trace only for the first violation of each invariant, to bound
+        // memory in completion mode.
+        if violations.iter().any(|v| v.invariant == inv.id) {
+            continue;
+        }
+        let trace = if options.collect_traces {
+            reconstruct_trace(seen, fp)
+        } else {
+            Trace::default()
+        };
+        violations.push(Violation {
+            invariant: inv.id,
+            invariant_name: inv.name,
+            depth: entry.depth,
+            trace,
+        });
+    }
+}
+
+/// Reconstructs the trace from an initial state to `fp` by following parent pointers.
+fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fingerprint) -> Trace<S> {
+    let mut chain: Vec<&Entry<S>> = Vec::new();
+    let mut cursor = Some(fp);
+    while let Some(c) = cursor {
+        let entry = &seen[&c];
+        chain.push(entry);
+        cursor = entry.parent;
+    }
+    chain.reverse();
+    let mut trace = Trace::default();
+    for entry in chain {
+        trace.push(entry.action.clone(), (*entry.state).clone());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_spec::{ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    /// A pair of counters where `b` may only be incremented after `a`, bounded by `max`.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Pair {
+        a: u32,
+        b: u32,
+        max: u32,
+    }
+
+    impl SpecState for Pair {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, remix_spec::Value> {
+            let mut m = BTreeMap::new();
+            for v in vars {
+                match *v {
+                    "a" => {
+                        m.insert("a".to_owned(), remix_spec::Value::from(self.a));
+                    }
+                    "b" => {
+                        m.insert("b".to_owned(), remix_spec::Value::from(self.b));
+                    }
+                    _ => {}
+                }
+            }
+            m
+        }
+        fn variable_names() -> Vec<&'static str> {
+            vec!["a", "b"]
+        }
+    }
+
+    fn pair_spec(max: u32, bad_at: Option<(u32, u32)>) -> Spec<Pair> {
+        let m = ModuleId("Pair");
+        let inc_a = ActionDef::new("IncA", m, Granularity::Baseline, vec!["a"], vec!["a"], move |s: &Pair| {
+            if s.a < s.max {
+                vec![ActionInstance::new(format!("IncA({})", s.a), Pair { a: s.a + 1, ..s.clone() })]
+            } else {
+                vec![]
+            }
+        });
+        let inc_b = ActionDef::new("IncB", m, Granularity::Baseline, vec!["a", "b"], vec!["b"], move |s: &Pair| {
+            if s.b < s.a {
+                vec![ActionInstance::new(format!("IncB({})", s.b), Pair { b: s.b + 1, ..s.clone() })]
+            } else {
+                vec![]
+            }
+        });
+        let inv = Invariant::always("NO-BAD", "never reach the bad pair", InvariantSource::Protocol, move |s: &Pair| {
+            match bad_at {
+                Some((a, b)) => !(s.a == a && s.b == b),
+                None => true,
+            }
+        });
+        Spec::new(
+            "pair",
+            vec![Pair { a: 0, b: 0, max }],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![inc_a, inc_b])],
+            vec![inv],
+        )
+    }
+
+    #[test]
+    fn explores_whole_space_when_no_violation() {
+        let spec = pair_spec(3, None);
+        let outcome = check_bfs(&spec, &CheckOptions::default());
+        assert!(outcome.passed());
+        assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+        // Reachable states are all pairs with b <= a <= 3: 4 + 3 + 2 + 1 = 10.
+        assert_eq!(outcome.stats.distinct_states, 10);
+        assert_eq!(outcome.stats.max_depth, 6);
+    }
+
+    #[test]
+    fn finds_minimal_depth_counterexample() {
+        let spec = pair_spec(3, Some((2, 1)));
+        let outcome = check_bfs(&spec, &CheckOptions::default());
+        assert!(!outcome.passed());
+        assert_eq!(outcome.stop_reason, StopReason::FirstViolation);
+        let v = outcome.first_violation().unwrap();
+        // Reaching (2, 1) takes exactly 3 transitions; BFS must not find a longer path.
+        assert_eq!(v.depth, 3);
+        assert_eq!(v.trace.depth(), 3);
+        assert_eq!(v.trace.last_state().unwrap(), &Pair { a: 2, b: 1, max: 3 });
+    }
+
+    #[test]
+    fn completion_mode_counts_all_violations() {
+        // Every state with a == max violates; there are max+1 of them (b ranges 0..=max).
+        let m = ModuleId("Pair");
+        let spec = {
+            let mut s = pair_spec(2, None);
+            s.invariants = vec![Invariant::always("A-NOT-MAX", "a below max", InvariantSource::Protocol, |p: &Pair| {
+                p.a < p.max
+            })];
+            let _ = m;
+            s
+        };
+        let outcome = check_bfs(&spec, &CheckOptions::completion());
+        assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+        assert_eq!(outcome.violation_count, 3);
+        // Only one trace is kept per invariant.
+        assert_eq!(outcome.violations.len(), 1);
+    }
+
+    #[test]
+    fn respects_state_limit_and_depth_bound() {
+        let spec = pair_spec(10, None);
+        let outcome = check_bfs(&spec, &CheckOptions::default().with_max_states(5));
+        assert_eq!(outcome.stop_reason, StopReason::StateLimit);
+        assert!(outcome.stats.distinct_states >= 5);
+
+        let outcome = check_bfs(&spec, &CheckOptions::default().with_max_depth(2));
+        assert_eq!(outcome.stop_reason, StopReason::DepthBound);
+        assert!(outcome.stats.max_depth <= 2);
+    }
+
+    #[test]
+    fn respects_time_budget() {
+        let spec = pair_spec(60, None);
+        let outcome = check_bfs(&spec, &CheckOptions::default().with_time_budget(Duration::from_millis(0)));
+        assert_eq!(outcome.stop_reason, StopReason::TimeBudget);
+    }
+
+    #[test]
+    fn parallel_workers_agree_with_sequential() {
+        let spec = pair_spec(12, Some((9, 4)));
+        let seq = check_bfs(&spec, &CheckOptions::default());
+        let par = check_bfs(&spec, &CheckOptions::default().with_workers(4));
+        assert_eq!(seq.first_violation().unwrap().depth, par.first_violation().unwrap().depth);
+        let full_seq = check_bfs(&pair_spec(12, None), &CheckOptions::default());
+        let full_par = check_bfs(&pair_spec(12, None), &CheckOptions::default().with_workers(4));
+        assert_eq!(full_seq.stats.distinct_states, full_par.stats.distinct_states);
+    }
+}

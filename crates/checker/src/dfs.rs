@@ -1,0 +1,226 @@
+//! Depth-first state-space exploration.
+//!
+//! DFS uses far less memory per level than BFS but does not produce minimal-depth
+//! counterexamples.  It is provided for completeness (TLC offers both strategies); the
+//! paper's experiments all use BFS.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use remix_spec::{Spec, SpecState, Trace};
+
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::options::{CheckMode, CheckOptions};
+use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+
+struct Entry<S> {
+    state: Arc<S>,
+    parent: Option<Fingerprint>,
+    action: String,
+    depth: u32,
+}
+
+/// Runs depth-first model checking of `spec` under `options`.
+pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
+    let start = Instant::now();
+    let mut seen: HashMap<Fingerprint, Entry<S>> = HashMap::new();
+    let mut stack: Vec<Fingerprint> = Vec::new();
+    let mut violations: Vec<Violation<S>> = Vec::new();
+    let mut violation_count = 0usize;
+    let mut transitions = 0u64;
+    let mut max_depth_reached = 0u32;
+    let mut stop_reason = StopReason::Exhausted;
+
+    let violation_limit = match options.mode {
+        CheckMode::FirstViolation => 1,
+        CheckMode::Completion { violation_limit } => violation_limit,
+    };
+
+    for init in &spec.init {
+        let fp = fingerprint(init);
+        if seen.contains_key(&fp) {
+            continue;
+        }
+        seen.insert(
+            fp,
+            Entry { state: Arc::new(init.clone()), parent: None, action: "Init".to_owned(), depth: 0 },
+        );
+        stack.push(fp);
+        check_state(spec, &seen, fp, options, &mut violations, &mut violation_count);
+    }
+
+    'outer: while let Some(fp) = stack.pop() {
+        if violation_count >= violation_limit {
+            stop_reason = if matches!(options.mode, CheckMode::FirstViolation) {
+                StopReason::FirstViolation
+            } else {
+                StopReason::ViolationLimit
+            };
+            break;
+        }
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() >= budget {
+                stop_reason = StopReason::TimeBudget;
+                break;
+            }
+        }
+        let (depth, state) = {
+            let e = &seen[&fp];
+            (e.depth, Arc::clone(&e.state))
+        };
+        if let Some(max_depth) = options.max_depth {
+            if depth >= max_depth {
+                stop_reason = StopReason::DepthBound;
+                continue;
+            }
+        }
+        for (label, next) in spec.successors(&state) {
+            transitions += 1;
+            let nfp = fingerprint(&next);
+            if seen.contains_key(&nfp) {
+                continue;
+            }
+            let ndepth = depth + 1;
+            max_depth_reached = max_depth_reached.max(ndepth);
+            seen.insert(
+                nfp,
+                Entry { state: Arc::new(next), parent: Some(fp), action: label, depth: ndepth },
+            );
+            stack.push(nfp);
+            check_state(spec, &seen, nfp, options, &mut violations, &mut violation_count);
+            if violation_count >= violation_limit && matches!(options.mode, CheckMode::FirstViolation) {
+                stop_reason = StopReason::FirstViolation;
+                break 'outer;
+            }
+            if let Some(max_states) = options.max_states {
+                if seen.len() >= max_states {
+                    stop_reason = StopReason::StateLimit;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let stats = CheckStats {
+        distinct_states: seen.len(),
+        transitions,
+        max_depth: max_depth_reached,
+        elapsed: start.elapsed(),
+    };
+    CheckOutcome { spec_name: spec.name.clone(), stats, stop_reason, violations, violation_count }
+}
+
+fn check_state<S: SpecState>(
+    spec: &Spec<S>,
+    seen: &HashMap<Fingerprint, Entry<S>>,
+    fp: Fingerprint,
+    options: &CheckOptions,
+    violations: &mut Vec<Violation<S>>,
+    violation_count: &mut usize,
+) {
+    let entry = &seen[&fp];
+    let violated = spec.violated_invariants(&entry.state);
+    if violated.is_empty() {
+        return;
+    }
+    *violation_count += violated.len();
+    for inv in violated {
+        if violations.iter().any(|v| v.invariant == inv.id) {
+            continue;
+        }
+        let trace = if options.collect_traces {
+            reconstruct_trace(seen, fp)
+        } else {
+            Trace::default()
+        };
+        violations.push(Violation {
+            invariant: inv.id,
+            invariant_name: inv.name,
+            depth: entry.depth,
+            trace,
+        });
+    }
+}
+
+fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fingerprint) -> Trace<S> {
+    let mut chain = Vec::new();
+    let mut cursor = Some(fp);
+    while let Some(c) = cursor {
+        let e = &seen[&c];
+        chain.push(e);
+        cursor = e.parent;
+    }
+    chain.reverse();
+    let mut trace = Trace::default();
+    for e in chain {
+        trace.push(e.action.clone(), (*e.state).clone());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_spec::{ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct N(u32);
+
+    impl SpecState for N {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, remix_spec::Value> {
+            let mut m = BTreeMap::new();
+            if vars.contains(&"n") {
+                m.insert("n".to_owned(), remix_spec::Value::from(self.0));
+            }
+            m
+        }
+        fn variable_names() -> Vec<&'static str> {
+            vec!["n"]
+        }
+    }
+
+    fn chain_spec(limit: u32, bad: Option<u32>) -> Spec<N> {
+        let m = ModuleId("Chain");
+        let inc = ActionDef::new("Inc", m, Granularity::Baseline, vec!["n"], vec!["n"], move |s: &N| {
+            if s.0 < limit {
+                vec![ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1))]
+            } else {
+                vec![]
+            }
+        });
+        let inv = Invariant::always("NOT-BAD", "avoid the bad value", InvariantSource::Protocol, move |s: &N| {
+            Some(s.0) != bad
+        });
+        Spec::new(
+            "chain",
+            vec![N(0)],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![inc])],
+            vec![inv],
+        )
+    }
+
+    #[test]
+    fn dfs_explores_all_states() {
+        let outcome = check_dfs(&chain_spec(8, None), &CheckOptions::default());
+        assert!(outcome.passed());
+        assert_eq!(outcome.stats.distinct_states, 9);
+        assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+    }
+
+    #[test]
+    fn dfs_finds_violation() {
+        let outcome = check_dfs(&chain_spec(8, Some(5)), &CheckOptions::default());
+        assert!(!outcome.passed());
+        assert_eq!(outcome.first_violation().unwrap().trace.last_state().unwrap(), &N(5));
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_reachable_state_count() {
+        let spec = chain_spec(20, None);
+        let d = check_dfs(&spec, &CheckOptions::default());
+        let b = crate::bfs::check_bfs(&spec, &CheckOptions::default());
+        assert_eq!(d.stats.distinct_states, b.stats.distinct_states);
+    }
+}

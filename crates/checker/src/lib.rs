@@ -1,0 +1,23 @@
+//! Explicit-state model checker for specifications written with `remix-spec`.
+//!
+//! This crate plays the role of TLC in the paper: it exhaustively explores the state
+//! space of a [`Spec`](remix_spec::Spec) using breadth-first search (so counterexamples
+//! have minimal depth, §4.4), checks every registered invariant on every reachable state,
+//! and reconstructs violation traces.  It also provides depth-first search, bounded
+//! random simulation (used by the conformance checker to sample model-level traces,
+//! §3.5.2), and the statistics reported in Tables 4-6 (time, depth, distinct states,
+//! number of violations).
+
+pub mod bfs;
+pub mod dfs;
+pub mod fingerprint;
+pub mod options;
+pub mod outcome;
+pub mod simulate;
+
+pub use bfs::check_bfs;
+pub use dfs::check_dfs;
+pub use fingerprint::fingerprint;
+pub use options::{CheckMode, CheckOptions, SimulationOptions};
+pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+pub use simulate::{simulate, simulate_one};

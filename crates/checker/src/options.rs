@@ -1,0 +1,132 @@
+//! Model-checking and simulation options.
+
+use std::time::Duration;
+
+/// Whether checking stops at the first invariant violation or runs to completion.
+///
+/// These are the two modes of Table 5: "(a) stopping at the first violation" and
+/// "(b) running to completion (till the limit)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Stop as soon as any invariant violation is found.
+    FirstViolation,
+    /// Keep exploring; record up to `violation_limit` violating states.
+    Completion {
+        /// Maximum number of violations recorded before stopping (the paper uses 10,000).
+        violation_limit: usize,
+    },
+}
+
+impl Default for CheckMode {
+    fn default() -> Self {
+        CheckMode::FirstViolation
+    }
+}
+
+/// Options controlling an exhaustive model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Stop-at-first-violation or run-to-completion.
+    pub mode: CheckMode,
+    /// Maximum exploration depth (state transitions); `None` means unbounded.
+    pub max_depth: Option<u32>,
+    /// Wall-clock budget; `None` means unbounded (the paper uses 24 hours).
+    pub time_budget: Option<Duration>,
+    /// Maximum number of distinct states to explore; `None` means unbounded.
+    pub max_states: Option<usize>,
+    /// Number of worker threads used to expand each BFS frontier.
+    pub workers: usize,
+    /// Whether to keep full predecessor information for violation-trace reconstruction.
+    pub collect_traces: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            mode: CheckMode::FirstViolation,
+            max_depth: None,
+            time_budget: None,
+            max_states: None,
+            workers: 1,
+            collect_traces: true,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options for a run-to-completion check with the paper's violation limit of 10,000.
+    pub fn completion() -> Self {
+        CheckOptions { mode: CheckMode::Completion { violation_limit: 10_000 }, ..Default::default() }
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the maximum depth.
+    pub fn with_max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Sets the maximum number of distinct states.
+    pub fn with_max_states(mut self, states: usize) -> Self {
+        self.max_states = Some(states);
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Options controlling random simulation (used by conformance checking, §3.5.2).
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// Number of traces to generate.
+    pub traces: usize,
+    /// Maximum length (in transitions) of each trace.
+    pub max_depth: u32,
+    /// Wall-clock budget for the whole sampling run (the paper uses e.g. 30 minutes).
+    pub time_budget: Option<Duration>,
+    /// Random seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions { traces: 32, max_depth: 40, time_budget: None, seed: 0xC0FFEE }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let o = CheckOptions::default();
+        assert_eq!(o.mode, CheckMode::FirstViolation);
+        assert_eq!(o.workers, 1);
+        assert!(o.collect_traces);
+        let c = CheckOptions::completion();
+        assert_eq!(c.mode, CheckMode::Completion { violation_limit: 10_000 });
+    }
+
+    #[test]
+    fn builders_apply() {
+        let o = CheckOptions::default()
+            .with_max_depth(5)
+            .with_max_states(100)
+            .with_workers(0)
+            .with_time_budget(Duration::from_secs(1));
+        assert_eq!(o.max_depth, Some(5));
+        assert_eq!(o.max_states, Some(100));
+        assert_eq!(o.workers, 1, "worker count is clamped to at least one");
+        assert_eq!(o.time_budget, Some(Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,157 @@
+//! Results of a model-checking run: statistics, violations and counterexample traces.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Duration;
+
+use remix_spec::Trace;
+
+/// Why exploration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The full reachable state space (within the depth bound) was explored.
+    Exhausted,
+    /// A violation was found and the mode was stop-at-first-violation.
+    FirstViolation,
+    /// The violation limit of the run-to-completion mode was reached.
+    ViolationLimit,
+    /// The wall-clock budget expired.
+    TimeBudget,
+    /// The distinct-state limit was reached.
+    StateLimit,
+    /// The depth bound was reached on every frontier path.
+    DepthBound,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Exhausted => "state space exhausted",
+            StopReason::FirstViolation => "stopped at first violation",
+            StopReason::ViolationLimit => "violation limit reached",
+            StopReason::TimeBudget => "time budget exhausted",
+            StopReason::StateLimit => "state limit reached",
+            StopReason::DepthBound => "depth bound reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate statistics of a checking run (the columns of Tables 4-6).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Number of distinct states explored.
+    pub distinct_states: usize,
+    /// Number of state transitions generated (successor evaluations).
+    pub transitions: u64,
+    /// Maximum depth (number of transitions from an initial state) reached.
+    pub max_depth: u32,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// An invariant violation together with its minimal-depth counterexample trace.
+#[derive(Debug, Clone)]
+pub struct Violation<S> {
+    /// The identifier of the violated invariant (e.g. `"I-8"`).
+    pub invariant: &'static str,
+    /// The invariant's human-readable name.
+    pub invariant_name: &'static str,
+    /// Depth (number of transitions) at which the violation was found.
+    pub depth: u32,
+    /// The counterexample trace from an initial state to the violating state.  Empty when
+    /// trace collection was disabled.
+    pub trace: Trace<S>,
+}
+
+/// The outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome<S> {
+    /// The name of the checked specification.
+    pub spec_name: String,
+    /// Exploration statistics.
+    pub stats: CheckStats,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Recorded violations (at most one in first-violation mode).
+    pub violations: Vec<Violation<S>>,
+    /// Total number of violating states encountered (may exceed `violations.len()` in
+    /// completion mode, where traces are only kept for the first violation of each
+    /// invariant).
+    pub violation_count: usize,
+}
+
+impl<S> CheckOutcome<S> {
+    /// Returns `true` when no invariant violation was found.
+    pub fn passed(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// The distinct identifiers of violated invariants, in order of identifier.
+    pub fn violated_invariants(&self) -> Vec<&'static str> {
+        let set: BTreeSet<&'static str> = self.violations.iter().map(|v| v.invariant).collect();
+        set.into_iter().collect()
+    }
+
+    /// The first (minimal-depth) violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation<S>> {
+        self.violations.iter().min_by_key(|v| v.depth)
+    }
+}
+
+impl<S> fmt::Display for CheckOutcome<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "spec:            {}", self.spec_name)?;
+        writeln!(f, "distinct states: {}", self.stats.distinct_states)?;
+        writeln!(f, "transitions:     {}", self.stats.transitions)?;
+        writeln!(f, "max depth:       {}", self.stats.max_depth)?;
+        writeln!(f, "elapsed:         {:.2?}", self.stats.elapsed)?;
+        writeln!(f, "stop reason:     {}", self.stop_reason)?;
+        writeln!(f, "violations:      {}", self.violation_count)?;
+        for v in &self.violations {
+            writeln!(f, "  {} ({}) at depth {}", v.invariant, v.invariant_name, v.depth)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        let outcome: CheckOutcome<u32> = CheckOutcome {
+            spec_name: "toy".to_owned(),
+            stats: CheckStats::default(),
+            stop_reason: StopReason::Exhausted,
+            violations: vec![
+                Violation {
+                    invariant: "I-10",
+                    invariant_name: "History consistency",
+                    depth: 13,
+                    trace: Trace::default(),
+                },
+                Violation {
+                    invariant: "I-8",
+                    invariant_name: "Initial history integrity",
+                    depth: 21,
+                    trace: Trace::default(),
+                },
+            ],
+            violation_count: 2,
+        };
+        assert!(!outcome.passed());
+        assert_eq!(outcome.violated_invariants(), vec!["I-10", "I-8"]);
+        assert_eq!(outcome.first_violation().unwrap().invariant, "I-10");
+        let text = outcome.to_string();
+        assert!(text.contains("I-8"));
+        assert!(text.contains("stopped") || text.contains("exhausted"));
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert_eq!(StopReason::TimeBudget.to_string(), "time budget exhausted");
+        assert_eq!(StopReason::FirstViolation.to_string(), "stopped at first violation");
+    }
+}

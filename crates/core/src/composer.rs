@@ -1,0 +1,153 @@
+//! The composer: assembling mixed-grained specifications and validating coarsenings.
+
+use remix_spec::{
+    check_interaction_preservation, interaction_variables, CompositionPlan, Granularity, ModuleId,
+    PreservationReport, Spec, SpecError,
+};
+use remix_zab::presets::{build_from_plan, module_at, SpecPreset};
+use remix_zab::{ClusterConfig, ZabState};
+
+/// A composed specification together with the metadata Remix reports about it.
+#[derive(Debug)]
+pub struct ComposedSpec {
+    /// The composed, mixed-grained specification.
+    pub spec: Spec<ZabState>,
+    /// The composition plan it was built from (the Table 1 row).
+    pub plan: CompositionPlan,
+    /// Interaction-preservation report for the group of coarsened modules (coarsened
+    /// modules are checked together because a coarsening such as `ElectionAndDiscovery`
+    /// merges several modules into one action).
+    pub preservation: Vec<(Vec<ModuleId>, PreservationReport)>,
+}
+
+impl ComposedSpec {
+    /// Returns `true` when every coarsened module passed the interaction-preservation
+    /// check.
+    pub fn interaction_preserved(&self) -> bool {
+        self.preservation.iter().all(|(_, r)| r.preserved())
+    }
+}
+
+/// The Remix composer: builds mixed-grained specifications from the specification
+/// library and validates the interaction-preservation constraints of coarsened modules.
+#[derive(Debug, Clone)]
+pub struct Composer {
+    /// The model-checking configuration the composed specifications are built for.
+    pub config: ClusterConfig,
+}
+
+impl Composer {
+    /// Creates a composer for a configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Composer { config }
+    }
+
+    /// Composes one of the preset mixed-grained specifications of Table 1.
+    pub fn compose_preset(&self, preset: SpecPreset) -> Result<ComposedSpec, SpecError> {
+        self.compose(&preset.plan())
+    }
+
+    /// Composes a mixed-grained specification from an arbitrary plan, checking
+    /// interaction preservation for every module selected at the coarse granularity.
+    pub fn compose(&self, plan: &CompositionPlan) -> Result<ComposedSpec, SpecError> {
+        let spec = build_from_plan(plan, &self.config)?;
+        let preservation = self.check_coarsenings(plan);
+        Ok(ComposedSpec { spec, plan: plan.clone(), preservation })
+    }
+
+    /// For the group of modules the plan coarsens, checks the interaction-preservation
+    /// constraints of §3.2 against the baseline specifications of those modules, using
+    /// the protected-variable set derived from the *target* (non-coarsened) modules.
+    ///
+    /// Coarsened modules are checked as a group: a coarsening such as
+    /// `ElectionAndDiscovery` merges the externally visible effects of two modules into
+    /// one action, so the footprint comparison is only meaningful over their union.
+    fn check_coarsenings(&self, plan: &CompositionPlan) -> Vec<(Vec<ModuleId>, PreservationReport)> {
+        let cfg = std::sync::Arc::new(self.config);
+        // Baseline module specifications, used both as the "original" side of the check
+        // and to compute dependency/interaction variables of the whole specification.
+        let baseline: Vec<_> = plan
+            .choices
+            .iter()
+            .filter_map(|c| module_at(c.module, Granularity::Baseline, &cfg))
+            .collect();
+        let baseline_refs: Vec<_> = baseline.iter().collect();
+        let analysis = interaction_variables(&baseline_refs);
+
+        let coarsened: Vec<ModuleId> = plan
+            .choices
+            .iter()
+            .filter(|c| c.granularity == Granularity::Coarse)
+            .map(|c| c.module)
+            .collect();
+        if coarsened.is_empty() {
+            return Vec::new();
+        }
+        let originals: Vec<_> = coarsened
+            .iter()
+            .filter_map(|m| module_at(*m, Granularity::Baseline, &cfg))
+            .collect();
+        let coarse: Vec<_> = coarsened
+            .iter()
+            .filter_map(|m| module_at(*m, Granularity::Coarse, &cfg))
+            .collect();
+        // The protected set is the union over the modules that are *not* coarsened (the
+        // verification targets) of their dependency variables, plus the interaction
+        // variables.
+        let mut protected = analysis.interaction.clone();
+        for target in &plan.choices {
+            if target.granularity != Granularity::Coarse {
+                protected.extend(analysis.protected_for(target.module));
+            }
+        }
+        let original_refs: Vec<_> = originals.iter().collect();
+        let coarse_refs: Vec<_> = coarse.iter().collect();
+        let report = check_interaction_preservation(&original_refs, &coarse_refs, &protected);
+        vec![(coarsened, report)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_zab::CodeVersion;
+
+    fn composer() -> Composer {
+        Composer::new(ClusterConfig::small(CodeVersion::V391))
+    }
+
+    #[test]
+    fn every_preset_composes_and_preserves_interaction() {
+        let c = composer();
+        for preset in SpecPreset::all() {
+            let composed = c.compose_preset(*preset).expect("preset composes");
+            assert_eq!(composed.spec.name, preset.name());
+            assert!(
+                composed.interaction_preserved(),
+                "{preset:?} coarsening must preserve interaction: {:?}",
+                composed.preservation
+            );
+        }
+    }
+
+    #[test]
+    fn coarsened_presets_carry_preservation_reports() {
+        let c = composer();
+        let m1 = c.compose_preset(SpecPreset::MSpec1).unwrap();
+        assert_eq!(m1.preservation.len(), 1, "one report for the coarsened group");
+        assert_eq!(m1.preservation[0].0.len(), 2, "Election and Discovery are coarsened together");
+        let sys = c.compose_preset(SpecPreset::SysSpec).unwrap();
+        assert!(sys.preservation.is_empty(), "nothing is coarsened in the system spec");
+    }
+
+    #[test]
+    fn composition_matches_plan() {
+        let c = composer();
+        let m3 = c.compose_preset(SpecPreset::MSpec3).unwrap();
+        assert_eq!(m3.plan.granularity_of(remix_zab::modules::SYNCHRONIZATION), Some(Granularity::FineConcurrent));
+        assert_eq!(
+            m3.spec.module_granularity(remix_zab::modules::SYNCHRONIZATION),
+            Some(Granularity::FineConcurrent)
+        );
+    }
+}

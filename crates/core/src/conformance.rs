@@ -1,0 +1,290 @@
+//! Conformance checking between specifications and the code-level implementation.
+//!
+//! Following the paper's top-down approach (§3.4, §3.5.2): model-level traces are sampled
+//! by random exploration of the specification, each trace is replayed deterministically
+//! against the simulated implementation by scheduling the mapped code-level events one at
+//! a time, and after every model step the model's variables are compared with their
+//! code-level counterparts.  Discrepancies — mismatched variables, model actions whose
+//! code-level counterpart cannot run, unmapped actions, or implementation errors hit
+//! during replay — are collected into a [`ConformanceReport`].
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use remix_checker::{simulate, SimulationOptions};
+use remix_spec::{Spec, SpecState, Trace, Value};
+use remix_zab::{ClusterConfig, ZabState};
+use remix_zk_sim::{Cluster, Observation};
+
+use crate::mapping::ActionMapping;
+
+/// Options of a conformance-checking run.
+#[derive(Debug, Clone)]
+pub struct ConformanceOptions {
+    /// Number of model-level traces to sample.
+    pub traces: usize,
+    /// Maximum length of each sampled trace.
+    pub max_depth: u32,
+    /// Random seed for trace sampling.
+    pub seed: u64,
+    /// Time budget for the sampling phase (the paper uses e.g. 30 minutes).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for ConformanceOptions {
+    fn default() -> Self {
+        ConformanceOptions { traces: 24, max_depth: 30, seed: 0x5EED, time_budget: None }
+    }
+}
+
+/// One detected discrepancy between the model and the implementation.
+#[derive(Debug, Clone)]
+pub enum Discrepancy {
+    /// A model-level variable and its code-level counterpart have different values.
+    VariableMismatch {
+        /// Index of the sampled trace.
+        trace: usize,
+        /// Step within the trace.
+        step: usize,
+        /// The model action that produced the step.
+        action: String,
+        /// The variable that differs.
+        variable: String,
+        /// The model-side value.
+        model: Value,
+        /// The implementation-side value.
+        implementation: Value,
+    },
+    /// A model action has no registered code-level mapping.
+    UnmappedAction {
+        /// Index of the sampled trace.
+        trace: usize,
+        /// The unmapped action label.
+        action: String,
+    },
+    /// The mapped code-level event could not run in the implementation state
+    /// (the model-level action's counterpart, once enabled, never takes place).
+    EventRejected {
+        /// Index of the sampled trace.
+        trace: usize,
+        /// Step within the trace.
+        step: usize,
+        /// The model action.
+        action: String,
+        /// Why the implementation refused the event.
+        reason: String,
+    },
+    /// The implementation raised an exception / failed assertion during replay while the
+    /// model did not flag any error path (§3.5.2's "obvious symptoms").
+    ImplementationError {
+        /// Index of the sampled trace.
+        trace: usize,
+        /// Step within the trace.
+        step: usize,
+        /// The model action.
+        action: String,
+        /// The implementation error.
+        error: String,
+    },
+}
+
+/// The outcome of a conformance-checking run.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Number of traces replayed.
+    pub traces_checked: usize,
+    /// Total number of model steps replayed.
+    pub steps_replayed: usize,
+    /// The detected discrepancies.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl ConformanceReport {
+    /// `true` when no discrepancy was detected.
+    pub fn conforms(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+}
+
+/// The conformance checker.
+#[derive(Debug)]
+pub struct ConformanceChecker {
+    /// The model-checking configuration (must match the implementation's configuration).
+    pub config: ClusterConfig,
+    /// The model-to-code action mapping.
+    pub mapping: ActionMapping,
+    /// The variables compared after every step.
+    pub compared_variables: Vec<&'static str>,
+}
+
+impl ConformanceChecker {
+    /// Creates a conformance checker with the default ZooKeeper action mapping.
+    pub fn new(config: ClusterConfig) -> Self {
+        ConformanceChecker {
+            config,
+            mapping: crate::mapping::default_mapping(),
+            compared_variables: Observation::comparable_variables().to_vec(),
+        }
+    }
+
+    /// Samples model-level traces from `spec` and replays each against a fresh
+    /// implementation cluster, collecting discrepancies.
+    pub fn check(&self, spec: &Spec<ZabState>, options: &ConformanceOptions) -> ConformanceReport {
+        let traces = simulate(
+            spec,
+            &SimulationOptions {
+                traces: options.traces,
+                max_depth: options.max_depth,
+                time_budget: options.time_budget,
+                seed: options.seed,
+            },
+        );
+        let mut report = ConformanceReport::default();
+        for (trace_index, trace) in traces.iter().enumerate() {
+            report.traces_checked += 1;
+            self.replay_trace(trace_index, trace, &mut report);
+        }
+        report
+    }
+
+    /// Replays one model-level trace against a fresh cluster (used both by `check` and to
+    /// confirm safety violations found during model checking, §3.5.2).
+    pub fn replay_trace(&self, trace_index: usize, trace: &Trace<ZabState>, report: &mut ConformanceReport) {
+        let mut cluster = Cluster::new(self.config);
+        for (step_index, step) in trace.steps.iter().enumerate().skip(1) {
+            report.steps_replayed += 1;
+            let Some(events) = self.mapping.translate(&step.action) else {
+                report
+                    .discrepancies
+                    .push(Discrepancy::UnmappedAction { trace: trace_index, action: step.action.clone() });
+                continue;
+            };
+            let mut rejected = false;
+            for event in &events {
+                if let Err(e) = cluster.step(event) {
+                    report.discrepancies.push(Discrepancy::EventRejected {
+                        trace: trace_index,
+                        step: step_index,
+                        action: step.action.clone(),
+                        reason: e.reason,
+                    });
+                    rejected = true;
+                    break;
+                }
+            }
+            if rejected {
+                // The implementation diverged; comparing further states of this trace
+                // would only produce cascading mismatches.
+                break;
+            }
+            let observation = cluster.observe();
+            let model_view = step.state.project(&self.compared_variables);
+            let impl_view = observation.project(&self.compared_variables);
+            let mismatches = compare_views(&model_view, &impl_view);
+            for (variable, model, implementation) in mismatches {
+                report.discrepancies.push(Discrepancy::VariableMismatch {
+                    trace: trace_index,
+                    step: step_index,
+                    action: step.action.clone(),
+                    variable,
+                    model,
+                    implementation,
+                });
+            }
+            // Implementation exceptions with no model-side error path are discrepancies
+            // in their own right (and conversely a modelled error path is not).
+            if step.state.violation.is_none() {
+                if let Some((_, error)) = observation.first_error() {
+                    report.discrepancies.push(Discrepancy::ImplementationError {
+                        trace: trace_index,
+                        step: step_index,
+                        action: step.action.clone(),
+                        error: error.to_owned(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Deterministically replays a violation trace found by the model checker and reports
+    /// whether the implementation reaches a matching error / divergence, confirming the
+    /// bug at the code level (§3.5.3).
+    pub fn confirm_violation(&self, trace: &Trace<ZabState>) -> ConformanceReport {
+        let mut report = ConformanceReport::default();
+        report.traces_checked = 1;
+        self.replay_trace(0, trace, &mut report);
+        report
+    }
+}
+
+/// Compares two projected variable views, returning the differing variables.
+fn compare_views(
+    model: &BTreeMap<String, Value>,
+    implementation: &BTreeMap<String, Value>,
+) -> Vec<(String, Value, Value)> {
+    let mut out = Vec::new();
+    for (var, model_value) in model {
+        if let Some(impl_value) = implementation.get(var) {
+            if impl_value != model_value {
+                out.push((var.clone(), model_value.clone(), impl_value.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_zab::{CodeVersion, SpecPreset};
+
+    fn options() -> ConformanceOptions {
+        ConformanceOptions { traces: 12, max_depth: 24, seed: 7, time_budget: None }
+    }
+
+    #[test]
+    fn fine_grained_spec_conforms_to_the_matching_implementation() {
+        // mSpec-3 models asynchronous logging and committing, which is exactly what the
+        // v3.9.1 implementation does: replaying its traces must not produce mismatches.
+        let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+        let spec = SpecPreset::MSpec3.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let report = checker.check(&spec, &options());
+        assert!(report.traces_checked > 0 && report.steps_replayed > 0);
+        assert!(
+            report.conforms(),
+            "mSpec-3 should conform to the v3.9.1 implementation: {:?}",
+            report.discrepancies.first()
+        );
+    }
+
+    #[test]
+    fn final_fix_spec_conforms_to_the_fixed_implementation() {
+        let config = ClusterConfig::small(CodeVersion::FinalFix).with_crashes(0);
+        let spec = SpecPreset::MSpec3.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let report = checker.check(&spec, &options());
+        assert!(report.conforms(), "{:?}", report.discrepancies.first());
+    }
+
+    #[test]
+    fn baseline_spec_exhibits_the_async_commit_model_code_gap() {
+        // The baseline system specification commits synchronously at UPTODATE, while the
+        // implementation hands commits to the CommitProcessor thread: conformance
+        // checking must surface the gap (this mirrors the discrepancy-driven spec
+        // adjustments of §4.1).
+        let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+        let spec = SpecPreset::MSpec1.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let report = checker.check(&spec, &ConformanceOptions { traces: 20, max_depth: 30, ..options() });
+        assert!(
+            !report.conforms(),
+            "the baseline specification should not conform to the asynchronous implementation"
+        );
+        assert!(report
+            .discrepancies
+            .iter()
+            .any(|d| matches!(d, Discrepancy::VariableMismatch { variable, .. } if variable == "lastCommitted")));
+    }
+}

@@ -1,0 +1,28 @@
+//! Remix — the framework for model checking and verification of distributed systems with
+//! multi-grained specifications.
+//!
+//! This is the paper's primary contribution: given a library of per-module
+//! specifications at several granularities (`remix-zab`), Remix
+//!
+//! * composes them into *mixed-grained* specifications ([`composer`]), automatically
+//!   selecting the invariants that apply to the chosen granularities and checking the
+//!   interaction-preservation constraints of the coarsened modules;
+//! * drives the model checker over the composed specification ([`verifier`]), producing
+//!   the bug-detection and efficiency measurements of Tables 4-6;
+//! * checks conformance between the specifications and the code-level implementation
+//!   ([`conformance`]): model-level traces are sampled by random exploration, mapped
+//!   action by action onto code-level events ([`mapping`]), replayed deterministically
+//!   against the `remix-zk-sim` cluster by a central coordinator, and compared variable
+//!   by variable after every step.
+
+pub mod composer;
+pub mod conformance;
+pub mod mapping;
+pub mod report;
+pub mod verifier;
+
+pub use composer::{ComposedSpec, Composer};
+pub use conformance::{ConformanceChecker, ConformanceOptions, ConformanceReport, Discrepancy};
+pub use mapping::{default_mapping, ActionMapping};
+pub use report::{BugReport, EfficiencyRow, FixVerificationRow};
+pub use verifier::{VerificationRun, Verifier, VerifierOptions};

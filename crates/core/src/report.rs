@@ -1,0 +1,122 @@
+//! Report rows: the structured data behind the tables of the evaluation section.
+//!
+//! The benchmark harness (`remix-bench`) fills these rows and prints them in the same
+//! layout as the paper (Tables 3-6); they are also serializable so EXPERIMENTS.md can be
+//! regenerated from JSON.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// One row of Table 4 (bug detection) or of the per-bug appendix.
+#[derive(Debug, Clone, Serialize)]
+pub struct BugReport {
+    /// The ZooKeeper issue, e.g. `"ZK-4643"`.
+    pub bug: String,
+    /// The impact reported by the paper (data loss, inconsistency, ...).
+    pub impact: String,
+    /// The most efficient specification that detects it.
+    pub spec: String,
+    /// Time to the first violation.
+    #[serde(with = "duration_millis")]
+    pub time: Duration,
+    /// Depth (transitions) of the counterexample.
+    pub depth: u32,
+    /// Distinct states explored when the violation was found.
+    pub states: usize,
+    /// The violated invariant.
+    pub invariant: String,
+    /// Whether the bug was detected at all within the budget.
+    pub detected: bool,
+}
+
+/// One row of Table 5 (verification efficiency).
+#[derive(Debug, Clone, Serialize)]
+pub struct EfficiencyRow {
+    /// The specification (SysSpec, mSpec-1..4).
+    pub spec: String,
+    /// Wall-clock time of the run.
+    #[serde(with = "duration_millis")]
+    pub time: Duration,
+    /// Maximum depth reached.
+    pub depth: u32,
+    /// Distinct states explored.
+    pub states: usize,
+    /// Number of violations found (0 in first-violation mode when none).
+    pub violations: usize,
+    /// The violated invariants.
+    pub violated_invariants: Vec<String>,
+    /// Whether the run finished within the time budget.
+    pub completed: bool,
+}
+
+/// One row of Table 6 (verifying bug-fix pull requests).
+#[derive(Debug, Clone, Serialize)]
+pub struct FixVerificationRow {
+    /// The pull request.
+    pub pull_request: String,
+    /// The base specification used (mSpec-3+).
+    pub spec: String,
+    /// Time to the first violation (or the full run when none).
+    #[serde(with = "duration_millis")]
+    pub time: Duration,
+    /// Depth of the counterexample.
+    pub depth: u32,
+    /// Distinct states explored.
+    pub states: usize,
+    /// The first violated invariant, if any.
+    pub invariant: Option<String>,
+}
+
+mod duration_millis {
+    use std::time::Duration;
+
+    use serde::Serializer;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u128(d.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let row = BugReport {
+            bug: "ZK-4643".to_owned(),
+            impact: "Data loss".to_owned(),
+            spec: "mSpec-2".to_owned(),
+            time: Duration::from_millis(1700),
+            depth: 21,
+            states: 208_018,
+            invariant: "I-8".to_owned(),
+            detected: true,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"ZK-4643\""));
+        assert!(json.contains("\"time\":1700"));
+
+        let eff = EfficiencyRow {
+            spec: "mSpec-3".to_owned(),
+            time: Duration::from_secs(11),
+            depth: 13,
+            states: 77_179,
+            violations: 1,
+            violated_invariants: vec!["I-10".to_owned()],
+            completed: true,
+        };
+        assert!(serde_json::to_string(&eff).unwrap().contains("I-10"));
+
+        let fix = FixVerificationRow {
+            pull_request: "PR-1848".to_owned(),
+            spec: "mSpec-3+".to_owned(),
+            time: Duration::from_secs(274),
+            depth: 21,
+            states: 8_166_775,
+            invariant: Some("I-8".to_owned()),
+        };
+        assert!(serde_json::to_string(&fix).unwrap().contains("PR-1848"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The verifier: end-to-end model-checking runs over composed specifications.
+//!
+//! The verifier is the piece of Remix that drives the model checker and turns its raw
+//! output into the measurements the paper reports: per-bug detection rows (Table 4),
+//! per-specification efficiency rows (Table 5) and fix-verification rows (Table 6).
+
+use std::time::Duration;
+
+use remix_checker::{check_bfs, CheckMode, CheckOptions, CheckOutcome};
+use remix_spec::{Invariant, Spec};
+use remix_zab::{ClusterConfig, SpecPreset, ZabState};
+
+use crate::composer::Composer;
+
+/// Options of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifierOptions {
+    /// Stop at the first violation or run to completion (Table 5a vs 5b).
+    pub mode: CheckMode,
+    /// Wall-clock budget of the run.
+    pub time_budget: Duration,
+    /// Maximum number of distinct states explored.
+    pub max_states: Option<usize>,
+    /// Worker threads for frontier expansion.
+    pub workers: usize,
+    /// Restrict checking to these invariant identifiers (empty = all selected by the
+    /// composition).  Used by the Table 4 harness to attribute a run to one bug.
+    pub only_invariants: Vec<&'static str>,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        VerifierOptions {
+            mode: CheckMode::FirstViolation,
+            time_budget: Duration::from_secs(120),
+            max_states: None,
+            workers: 1,
+            only_invariants: Vec::new(),
+        }
+    }
+}
+
+impl VerifierOptions {
+    /// Run-to-completion mode with the paper's violation limit of 10,000.
+    pub fn completion() -> Self {
+        VerifierOptions { mode: CheckMode::Completion { violation_limit: 10_000 }, ..Default::default() }
+    }
+
+    /// Restricts checking to a single invariant.
+    pub fn targeting(mut self, invariant: &'static str) -> Self {
+        self.only_invariants = vec![invariant];
+        self
+    }
+
+    /// Sets the time budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = budget;
+        self
+    }
+
+    /// Sets the distinct-state cap.
+    pub fn with_max_states(mut self, states: usize) -> Self {
+        self.max_states = Some(states);
+        self
+    }
+}
+
+/// The result of one verification run.
+#[derive(Debug)]
+pub struct VerificationRun {
+    /// The name of the checked specification.
+    pub spec_name: String,
+    /// The raw model-checking outcome.
+    pub outcome: CheckOutcome<ZabState>,
+}
+
+impl VerificationRun {
+    /// `true` when no violation was found.
+    pub fn passed(&self) -> bool {
+        self.outcome.passed()
+    }
+
+    /// The identifier of the first violated invariant, if any.
+    pub fn first_violated_invariant(&self) -> Option<&'static str> {
+        self.outcome.first_violation().map(|v| v.invariant)
+    }
+}
+
+/// The verifier: composes a specification (or takes one) and model-checks it.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    /// The configuration verification runs are performed under.
+    pub config: ClusterConfig,
+}
+
+impl Verifier {
+    /// Creates a verifier for a configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Verifier { config }
+    }
+
+    /// Verifies one of the preset mixed-grained specifications.
+    pub fn verify_preset(&self, preset: SpecPreset, options: &VerifierOptions) -> VerificationRun {
+        let composed = Composer::new(self.config).compose_preset(preset).expect("preset composes");
+        self.verify_spec(composed.spec, options)
+    }
+
+    /// Verifies an already-composed specification.
+    pub fn verify_spec(&self, spec: Spec<ZabState>, options: &VerifierOptions) -> VerificationRun {
+        let spec = if options.only_invariants.is_empty() {
+            spec
+        } else {
+            restrict_invariants(spec, &options.only_invariants)
+        };
+        let check = CheckOptions {
+            mode: options.mode,
+            max_depth: None,
+            time_budget: Some(options.time_budget),
+            max_states: options.max_states,
+            workers: options.workers,
+            collect_traces: true,
+        };
+        let outcome = check_bfs(&spec, &check);
+        VerificationRun { spec_name: spec.name.clone(), outcome }
+    }
+}
+
+/// Keeps only the named invariants of a specification (used to attribute a run to one
+/// bug in the Table 4 harness).
+fn restrict_invariants(mut spec: Spec<ZabState>, ids: &[&'static str]) -> Spec<ZabState> {
+    let kept: Vec<Invariant<ZabState>> =
+        spec.invariants.into_iter().filter(|inv| ids.contains(&inv.id)).collect();
+    spec.invariants = kept;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_zab::CodeVersion;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+    fn fixed_version_passes_mspec3_within_bounds() {
+        let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
+        let verifier = Verifier::new(config);
+        let run = verifier.verify_preset(
+            SpecPreset::MSpec3,
+            &VerifierOptions::default()
+                .with_time_budget(Duration::from_secs(30))
+                .with_max_states(60_000),
+        );
+        assert!(run.passed(), "final fix should pass: {}", run.outcome);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+    fn buggy_version_fails_mspec3_and_invariant_filter_works() {
+        let config = ClusterConfig::small(CodeVersion::V391);
+        let verifier = Verifier::new(config);
+        let run = verifier.verify_preset(
+            SpecPreset::MSpec3,
+            &VerifierOptions::default().with_time_budget(Duration::from_secs(60)),
+        );
+        assert!(!run.passed());
+        // Restricting to I-12 must attribute the run to the bad-acknowledgement bug.
+        let run = verifier.verify_preset(
+            SpecPreset::MSpec3,
+            &VerifierOptions::default().targeting("I-12").with_time_budget(Duration::from_secs(60)),
+        );
+        assert_eq!(run.first_violated_invariant(), Some("I-12"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Invariants: protocol-level and code-level safety properties.
+//!
+//! Table 2 of the paper distinguishes ten protocol-level invariants (Zab safety
+//! properties) from eleven instances of four code-level invariant types (exceptions and
+//! assertions in the ZooKeeper implementation).  Code-level invariants only make sense
+//! for specifications that actually model the corresponding execution path, so every
+//! invariant carries an [`InvariantScope`]; the composer uses it to select the invariants
+//! that apply to a mixed-grained specification (§3.5.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Granularity;
+use crate::module::ModuleId;
+
+/// Where an invariant comes from (the "Source" column of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InvariantSource {
+    /// A safety property defined by the Zab protocol (I-1..I-10).
+    Protocol,
+    /// An exception / assertion in the code-level implementation (I-11..I-14).
+    Code,
+}
+
+impl fmt::Display for InvariantSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantSource::Protocol => f.write_str("Protocol"),
+            InvariantSource::Code => f.write_str("Code"),
+        }
+    }
+}
+
+/// Applicability scope of an invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantScope {
+    /// The invariant applies to specifications of any granularity.
+    Always,
+    /// The invariant only applies when the given module is specified at (at least) the
+    /// given granularity, because it talks about execution paths that coarser
+    /// specifications do not model.
+    RequiresGranularity(ModuleId, Granularity),
+}
+
+/// Predicate type used by invariants.
+pub type InvariantFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// A named safety property checked on every reachable state.
+#[derive(Clone)]
+pub struct Invariant<S> {
+    /// Identifier matching the paper, e.g. `"I-8"` or `"I-12.1"`.
+    pub id: &'static str,
+    /// Human-readable name, e.g. `"Initial history integrity"`.
+    pub name: &'static str,
+    /// Protocol-level or code-level.
+    pub source: InvariantSource,
+    /// When the invariant applies.
+    pub scope: InvariantScope,
+    /// The predicate; returns `true` when the state satisfies the invariant.
+    pub check: InvariantFn<S>,
+}
+
+impl<S> Invariant<S> {
+    /// Creates an invariant that applies at any granularity.
+    pub fn always(
+        id: &'static str,
+        name: &'static str,
+        source: InvariantSource,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Invariant { id, name, source, scope: InvariantScope::Always, check: Arc::new(check) }
+    }
+
+    /// Creates an invariant that only applies when `module` is specified at a granularity
+    /// of at least `granularity`.
+    pub fn scoped(
+        id: &'static str,
+        name: &'static str,
+        source: InvariantSource,
+        module: ModuleId,
+        granularity: Granularity,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Invariant {
+            id,
+            name,
+            source,
+            scope: InvariantScope::RequiresGranularity(module, granularity),
+            check: Arc::new(check),
+        }
+    }
+
+    /// Evaluates the invariant on a state.
+    pub fn holds(&self, state: &S) -> bool {
+        (self.check)(state)
+    }
+
+    /// Returns `true` if the invariant applies to a composition where `module_granularity`
+    /// reports the granularity chosen for each module.
+    pub fn applies(&self, module_granularity: &dyn Fn(ModuleId) -> Option<Granularity>) -> bool {
+        match &self.scope {
+            InvariantScope::Always => true,
+            InvariantScope::RequiresGranularity(module, needed) => {
+                module_granularity(*module).is_some_and(|g| g.at_least(*needed))
+            }
+        }
+    }
+}
+
+impl<S> fmt::Debug for Invariant<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Invariant")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("source", &self.source)
+            .field("scope", &self.scope)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_invariant_applies_everywhere() {
+        let inv: Invariant<u32> =
+            Invariant::always("I-1", "Primary uniqueness", InvariantSource::Protocol, |s| *s < 10);
+        assert!(inv.holds(&3));
+        assert!(!inv.holds(&11));
+        assert!(inv.applies(&|_m| None));
+        assert_eq!(inv.source.to_string(), "Protocol");
+    }
+
+    #[test]
+    fn scoped_invariant_requires_granularity() {
+        let sync = ModuleId("Synchronization");
+        let inv: Invariant<u32> = Invariant::scoped(
+            "I-12",
+            "Bad acknowledgments",
+            InvariantSource::Code,
+            sync,
+            Granularity::FineConcurrent,
+            |_| true,
+        );
+        // Not applicable when the module is only at baseline granularity.
+        assert!(!inv.applies(&|m| (m == sync).then_some(Granularity::Baseline)));
+        // Applicable when the module is fine-grained.
+        assert!(inv.applies(&|m| (m == sync).then_some(Granularity::FineConcurrent)));
+        // Not applicable when the module is absent from the composition.
+        assert!(!inv.applies(&|_| None));
+    }
+}

@@ -1,0 +1,48 @@
+//! Specification framework for multi-grained model checking.
+//!
+//! This crate provides the substrate that the paper writes in TLA+: a specification is a
+//! state machine given by a set of initial states and a *next-state relation* that is the
+//! disjunction of guarded atomic [`actions`](action::ActionDef).  Actions are grouped into
+//! [`modules`](module::ModuleSpec) (one per protocol phase in the ZooKeeper case study),
+//! and every module specification carries a [`Granularity`] describing how closely it
+//! models the code-level implementation.
+//!
+//! The framework supports:
+//!
+//! * **Composition** ([`compose`]): assembling per-module specifications of different
+//!   granularities into a single *mixed-grained* specification whose next-state relation
+//!   is the disjunction of all chosen actions (the paper's Figure 7).
+//! * **Dependency / interaction-variable analysis** ([`analysis`]): the conservative
+//!   rules of Definitions 2 and 3 in the paper's Appendix B, computed over the variable
+//!   footprints that every action declares.
+//! * **Interaction-preservation checking** ([`analysis::check_interaction_preservation`]):
+//!   the two syntactic constraints of §3.2 that make coarsening safe, plus trace
+//!   projection and condensation utilities used for the empirical equivalence check.
+//! * **Invariants** ([`invariant`]): protocol-level and code-level safety properties with
+//!   applicability scopes, so that a composed specification automatically selects the
+//!   invariants that make sense for its granularity (§3.5.1).
+//! * **Traces** ([`trace`]): counterexample and simulation traces with projection onto a
+//!   target module, used both for debugging and for conformance checking.
+
+pub mod action;
+pub mod analysis;
+pub mod compose;
+pub mod error;
+pub mod invariant;
+pub mod module;
+pub mod spec;
+pub mod trace;
+pub mod value;
+
+pub use action::{ActionDef, ActionInstance, Granularity};
+pub use analysis::{
+    check_interaction_preservation, dependency_variables, interaction_variables, module_footprint,
+    InteractionAnalysis, ModuleFootprint, PreservationReport, PreservationViolation,
+};
+pub use compose::{compose, CompositionPlan, ModuleChoice};
+pub use error::SpecError;
+pub use invariant::{Invariant, InvariantScope, InvariantSource};
+pub use module::{ModuleId, ModuleSpec};
+pub use spec::{Spec, SpecState};
+pub use trace::{condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep};
+pub use value::Value;

@@ -1,0 +1,234 @@
+//! Complete specifications: initial states, a next-state relation and invariants.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::action::{ActionDef, Granularity};
+use crate::invariant::Invariant;
+use crate::module::{ModuleId, ModuleSpec};
+use crate::value::Value;
+
+/// Trait bound for states explored by the model checker.
+///
+/// States must be cloneable, hashable and comparable; `project` exposes selected
+/// variables as [`Value`]s for trace projection (Appendix B) and conformance checking.
+pub trait SpecState: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static {
+    /// Projects the named variables of this state into a uniform value representation.
+    ///
+    /// Unknown variable names are simply omitted from the result, which lets callers pass
+    /// the union of variable names from several granularities.
+    fn project(&self, vars: &[&str]) -> BTreeMap<String, Value>;
+
+    /// Returns the full list of variable names this state type exposes.
+    fn variable_names() -> Vec<&'static str>;
+}
+
+/// A complete specification: `Init /\ [][Next]_vars` plus invariants.
+///
+/// The next-state relation is the disjunction of all actions of all selected module
+/// specifications (the composition style of Figure 7).
+#[derive(Clone)]
+pub struct Spec<S> {
+    /// Human-readable name, e.g. `"mSpec-3"`.
+    pub name: String,
+    /// The initial states.
+    pub init: Vec<S>,
+    /// The module specifications composing the next-state relation.
+    pub modules: Vec<ModuleSpec<S>>,
+    /// The invariants checked on every reachable state.
+    pub invariants: Vec<Invariant<S>>,
+}
+
+impl<S: SpecState> Spec<S> {
+    /// Creates a specification from its parts.
+    pub fn new(
+        name: impl Into<String>,
+        init: Vec<S>,
+        modules: Vec<ModuleSpec<S>>,
+        invariants: Vec<Invariant<S>>,
+    ) -> Self {
+        Spec { name: name.into(), init, modules, invariants }
+    }
+
+    /// Enumerates all successors of `state` under the next-state relation, labelled with
+    /// the fully instantiated action name.
+    pub fn successors(&self, state: &S) -> Vec<(String, S)> {
+        let mut out = Vec::new();
+        for module in &self.modules {
+            for action in &module.actions {
+                for inst in action.enabled(state) {
+                    out.push((inst.label, inst.next));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the invariants violated by `state` (empty when all hold).
+    pub fn violated_invariants(&self, state: &S) -> Vec<&Invariant<S>> {
+        self.invariants.iter().filter(|inv| !inv.holds(state)).collect()
+    }
+
+    /// Returns the granularity chosen for `module`, if the module is part of this
+    /// specification.
+    pub fn module_granularity(&self, module: ModuleId) -> Option<Granularity> {
+        self.modules.iter().find(|m| m.module == module).map(|m| m.granularity)
+    }
+
+    /// All actions of the composed next-state relation, in module order.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionDef<S>> {
+        self.modules.iter().flat_map(|m| m.actions.iter())
+    }
+
+    /// Total number of actions (reported in Table 3).
+    pub fn action_count(&self) -> usize {
+        self.modules.iter().map(|m| m.action_count()).sum()
+    }
+
+    /// Number of distinct variables mentioned by the composed actions (Table 3).
+    pub fn variable_count(&self) -> usize {
+        self.modules
+            .iter()
+            .flat_map(|m| m.variable_set())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// The composition matrix: module → granularity (Table 1 rows).
+    pub fn composition(&self) -> Vec<(ModuleId, Granularity)> {
+        self.modules.iter().map(|m| (m.module, m.granularity)).collect()
+    }
+}
+
+impl<S> fmt::Debug for Spec<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Spec")
+            .field("name", &self.name)
+            .field("init_states", &self.init.len())
+            .field("modules", &self.modules.len())
+            .field("invariants", &self.invariants.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A tiny two-counter specification used by unit tests across the crate.
+
+    use super::*;
+    use crate::action::ActionInstance;
+    use crate::invariant::InvariantSource;
+
+    /// A toy state with two counters owned by two different "modules".
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub struct Counters {
+        pub x: u32,
+        pub y: u32,
+    }
+
+    impl SpecState for Counters {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, Value> {
+            let mut m = BTreeMap::new();
+            for v in vars {
+                match *v {
+                    "x" => {
+                        m.insert("x".to_owned(), Value::from(self.x));
+                    }
+                    "y" => {
+                        m.insert("y".to_owned(), Value::from(self.y));
+                    }
+                    _ => {}
+                }
+            }
+            m
+        }
+
+        fn variable_names() -> Vec<&'static str> {
+            vec!["x", "y"]
+        }
+    }
+
+    pub const MOD_X: ModuleId = ModuleId("X");
+    pub const MOD_Y: ModuleId = ModuleId("Y");
+
+    pub fn spec(max: u32) -> Spec<Counters> {
+        let inc_x = ActionDef::new(
+            "IncX",
+            MOD_X,
+            Granularity::Baseline,
+            vec!["x"],
+            vec!["x"],
+            move |s: &Counters| {
+                if s.x < max {
+                    vec![ActionInstance::new(format!("IncX({})", s.x), Counters { x: s.x + 1, y: s.y })]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inc_y = ActionDef::new(
+            "IncY",
+            MOD_Y,
+            Granularity::Baseline,
+            vec!["x", "y"],
+            vec!["y"],
+            move |s: &Counters| {
+                // `y` may only grow while it is below `x` (an interaction with module X).
+                if s.y < s.x {
+                    vec![ActionInstance::new(format!("IncY({})", s.y), Counters { x: s.x, y: s.y + 1 })]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inv = Invariant::always("INV-ORD", "y never exceeds x", InvariantSource::Protocol, |s: &Counters| {
+            s.y <= s.x
+        });
+        Spec::new(
+            "counters",
+            vec![Counters { x: 0, y: 0 }],
+            vec![
+                ModuleSpec::new(MOD_X, Granularity::Baseline, vec![inc_x]),
+                ModuleSpec::new(MOD_Y, Granularity::Baseline, vec![inc_y]),
+            ],
+            vec![inv],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{spec, Counters, MOD_X};
+    use super::*;
+
+    #[test]
+    fn successors_enumerate_all_enabled_actions() {
+        let s = spec(2);
+        let succ = s.successors(&Counters { x: 1, y: 0 });
+        let labels: Vec<_> = succ.iter().map(|(l, _)| l.clone()).collect();
+        assert!(labels.contains(&"IncX(1)".to_owned()));
+        assert!(labels.contains(&"IncY(0)".to_owned()));
+        assert_eq!(succ.len(), 2);
+    }
+
+    #[test]
+    fn invariants_and_metadata() {
+        let s = spec(2);
+        assert!(s.violated_invariants(&Counters { x: 0, y: 0 }).is_empty());
+        assert_eq!(s.violated_invariants(&Counters { x: 0, y: 1 }).len(), 1);
+        assert_eq!(s.action_count(), 2);
+        assert_eq!(s.variable_count(), 2);
+        assert_eq!(s.module_granularity(MOD_X), Some(Granularity::Baseline));
+        assert_eq!(s.module_granularity(ModuleId("Z")), None);
+        assert_eq!(s.composition().len(), 2);
+    }
+
+    #[test]
+    fn projection_skips_unknown_variables() {
+        let c = Counters { x: 3, y: 1 };
+        let p = c.project(&["x", "unknown"]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p["x"], Value::Int(3));
+    }
+}

@@ -1,0 +1,194 @@
+//! Traces: sequences of states joined by action labels, with projection and condensation.
+//!
+//! Appendix B of the paper restricts attention to a target module by projecting every
+//! state onto the module's dependency and interaction variables, and then *condensing*
+//! the trace by dropping transitions that do not change the projection.  Those two
+//! operations — [`project_trace`] and [`condense`] — are used by the empirical
+//! interaction-preservation check and by conformance checking.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::SpecState;
+use crate::value::Value;
+
+/// One step of a trace: the action that was taken and the state it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep<S> {
+    /// The instantiated action label, e.g. `"NodeCrash(2)"`.  The initial state carries
+    /// the label `"Init"`.
+    pub action: String,
+    /// The state after the action.
+    pub state: S,
+}
+
+/// A finite execution: an initial state followed by action-labelled transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<S> {
+    /// The steps of the trace; the first step has action `"Init"`.
+    pub steps: Vec<TraceStep<S>>,
+}
+
+impl<S> Default for Trace<S> {
+    fn default() -> Self {
+        Trace { steps: Vec::new() }
+    }
+}
+
+impl<S> Trace<S> {
+    /// Creates a trace starting from an initial state.
+    pub fn from_init(init: S) -> Self {
+        Trace { steps: vec![TraceStep { action: "Init".to_owned(), state: init }] }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, action: impl Into<String>, state: S) {
+        self.steps.push(TraceStep { action: action.into(), state });
+    }
+
+    /// Number of transitions (the "Depth" columns of Tables 4-6 count transitions, i.e.
+    /// steps excluding the initial state).
+    pub fn depth(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// The last state of the trace, if any.
+    pub fn last_state(&self) -> Option<&S> {
+        self.steps.last().map(|s| &s.state)
+    }
+
+    /// The sequence of action labels, excluding the initial pseudo-action.
+    pub fn action_labels(&self) -> Vec<&str> {
+        self.steps.iter().skip(1).map(|s| s.action.as_str()).collect()
+    }
+
+    /// Returns `true` if the trace has no steps at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for Trace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "State {i}: <{}>", step.action)?;
+        }
+        Ok(())
+    }
+}
+
+/// A trace projected onto a set of variables: each step keeps only the projected values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectedTrace {
+    /// Per-step projected variable assignments.
+    pub steps: Vec<ProjectedStep>,
+}
+
+/// One step of a [`ProjectedTrace`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectedStep {
+    /// The action that produced this state (`"Init"` for the first step).
+    pub action: String,
+    /// The projected variable assignment.
+    pub vars: BTreeMap<String, Value>,
+}
+
+/// Projects every state of `trace` onto the given variables.
+pub fn project_trace<S: SpecState>(trace: &Trace<S>, vars: &[&str]) -> ProjectedTrace {
+    ProjectedTrace {
+        steps: trace
+            .steps
+            .iter()
+            .map(|s| ProjectedStep { action: s.action.clone(), vars: s.state.project(vars) })
+            .collect(),
+    }
+}
+
+/// Condenses a projected trace by removing steps whose projection equals the previous
+/// step's projection (the "not-interesting transitions" of Appendix B.3).
+pub fn condense(trace: &ProjectedTrace) -> ProjectedTrace {
+    let mut steps: Vec<ProjectedStep> = Vec::new();
+    for step in &trace.steps {
+        match steps.last() {
+            Some(prev) if prev.vars == step.vars => {
+                // Not interesting for the target module: merge into the previous state.
+            }
+            _ => steps.push(step.clone()),
+        }
+    }
+    ProjectedTrace { steps }
+}
+
+/// The sequence of distinct projected assignments of a condensed trace.
+///
+/// Two traces are equivalent with respect to a target module exactly when their
+/// condensed projections are equal (the `~` relation of Appendix B.4).
+pub fn condensed_states(trace: &ProjectedTrace) -> Vec<BTreeMap<String, Value>> {
+    condense(trace).steps.into_iter().map(|s| s.vars).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil::Counters;
+
+    fn sample_trace() -> Trace<Counters> {
+        let mut t = Trace::from_init(Counters { x: 0, y: 0 });
+        t.push("IncX(0)", Counters { x: 1, y: 0 });
+        t.push("IncY(0)", Counters { x: 1, y: 1 });
+        t.push("IncX(1)", Counters { x: 2, y: 1 });
+        t
+    }
+
+    #[test]
+    fn depth_and_labels() {
+        let t = sample_trace();
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.action_labels(), vec!["IncX(0)", "IncY(0)", "IncX(1)"]);
+        assert_eq!(t.last_state(), Some(&Counters { x: 2, y: 1 }));
+        assert!(!t.is_empty());
+        assert!(t.to_string().contains("State 0: <Init>"));
+    }
+
+    #[test]
+    fn projection_keeps_only_requested_vars() {
+        let t = sample_trace();
+        let p = project_trace(&t, &["y"]);
+        assert_eq!(p.steps.len(), 4);
+        assert_eq!(p.steps[0].vars["y"], Value::Int(0));
+        assert_eq!(p.steps[2].vars["y"], Value::Int(1));
+        assert!(!p.steps[0].vars.contains_key("x"));
+    }
+
+    #[test]
+    fn condensation_drops_uninteresting_transitions() {
+        let t = sample_trace();
+        // Projected onto `y`, the IncX transitions do not change the projection.
+        let p = project_trace(&t, &["y"]);
+        let c = condense(&p);
+        assert_eq!(c.steps.len(), 2);
+        assert_eq!(c.steps[0].vars["y"], Value::Int(0));
+        assert_eq!(c.steps[1].vars["y"], Value::Int(1));
+        // Condensation is idempotent.
+        assert_eq!(condense(&c), c);
+    }
+
+    #[test]
+    fn condensed_states_define_equivalence() {
+        let t1 = sample_trace();
+        // A different interleaving with the same `y`-projection.
+        let mut t2 = Trace::from_init(Counters { x: 0, y: 0 });
+        t2.push("IncX(0)", Counters { x: 1, y: 0 });
+        t2.push("IncX(1)", Counters { x: 2, y: 0 });
+        t2.push("IncY(0)", Counters { x: 2, y: 1 });
+        let a = condensed_states(&project_trace(&t1, &["y"]));
+        let b = condensed_states(&project_trace(&t2, &["y"]));
+        assert_eq!(a, b);
+        // Projected onto everything, the traces differ.
+        let a = condensed_states(&project_trace(&t1, &["x", "y"]));
+        let b = condensed_states(&project_trace(&t2, &["x", "y"]));
+        assert_ne!(a, b);
+    }
+}

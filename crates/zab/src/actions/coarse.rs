@@ -1,0 +1,229 @@
+//! Coarse-grained, interaction-preserving abstraction of the Election and Discovery
+//! modules (Figure 5b of the paper).
+//!
+//! The eight FLE / discovery actions collapse into a single `ElectionAndDiscovery(i, Q)`
+//! action: a quorum `Q` of LOOKING servers atomically elects the member with the maximal
+//! `(currentEpoch, lastZxid, sid)` — the same total order fast leader election uses — and
+//! moves every member of `Q` directly into the Synchronization phase with the new epoch
+//! negotiated.  Internal variables (votes, notification messages) are abstracted away;
+//! the externally visible effects (`state`, `zabState`, `acceptedEpoch`, `currentEpoch`
+//! of the leader, learner bookkeeping) are preserved.
+
+use std::collections::BTreeSet;
+
+use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+
+use crate::modules::{DISCOVERY, ELECTION};
+use crate::state::ZabState;
+use crate::types::{ServerState, Sid, Vote, ZabPhase};
+
+use super::Cfg;
+
+/// Enumerates all subsets of `candidates` of size at least `min` (the candidate quorums).
+fn quorums(candidates: &[Sid], min: usize) -> Vec<BTreeSet<Sid>> {
+    let mut out = Vec::new();
+    let n = candidates.len();
+    for mask in 1u32..(1 << n) {
+        let set: BTreeSet<Sid> =
+            candidates.iter().enumerate().filter(|(k, _)| mask & (1 << k) != 0).map(|(_, &s)| s).collect();
+        if set.len() >= min {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// The vote a server would cast for itself, used to pick the election winner.
+fn candidate_vote(state: &ZabState, i: Sid) -> Vote {
+    Vote { epoch: state.servers[i].current_epoch, zxid: state.servers[i].last_zxid(), leader: i }
+}
+
+/// Builds the single coarse `ElectionAndDiscovery(i, Q)` action.
+fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
+    let cfg = cfg.clone();
+    ActionDef::new(
+        "ElectionAndDiscovery",
+        ELECTION,
+        Granularity::Coarse,
+        vec!["state", "zabState", "currentEpoch", "acceptedEpoch", "history"],
+        // `msgs` is declared written because the combined action absorbs the election and
+        // discovery traffic whose net effect it models (no discovery messages remain in
+        // flight once the action completes), preserving the interaction with the
+        // Synchronization module.
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "learners",
+            "ackeRecv",
+            "msgs",
+        ],
+        move |s: &ZabState| {
+            let mut out = Vec::new();
+            let looking: Vec<Sid> = (0..s.n())
+                .filter(|&i| s.servers[i].is_up() && s.servers[i].state == ServerState::Looking)
+                .collect();
+            if looking.len() < s.quorum_size() {
+                return out;
+            }
+            let new_epoch = s.max_accepted_epoch() + 1;
+            if new_epoch > cfg.max_epoch {
+                return out;
+            }
+            for q in quorums(&looking, s.quorum_size()) {
+                // Every member of the quorum must be mutually reachable for the election
+                // (and the subsequent discovery round) to complete.
+                let connected = q.iter().all(|&a| q.iter().all(|&b| s.reachable(a, b)));
+                if !connected {
+                    continue;
+                }
+                // Fast leader election elects the member with the maximal vote.
+                let leader = *q
+                    .iter()
+                    .max_by_key(|&&i| candidate_vote(s, i))
+                    .expect("quorum is non-empty");
+                let mut next = s.clone();
+                for &member in &q {
+                    let last_zxid = next.servers[member].last_zxid();
+                    let sv = &mut next.servers[member];
+                    sv.accepted_epoch = new_epoch;
+                    sv.phase = ZabPhase::Synchronization;
+                    sv.leader = Some(leader);
+                    sv.recv_votes.clear();
+                    sv.vote = Vote { epoch: sv.current_epoch, zxid: last_zxid, leader };
+                    if member == leader {
+                        sv.state = ServerState::Leading;
+                        sv.current_epoch = new_epoch;
+                        sv.epoch_proposed = true;
+                        sv.established = false;
+                    } else {
+                        sv.state = ServerState::Following;
+                        sv.connected = true;
+                    }
+                }
+                // Leader-side discovery bookkeeping: every follower of Q has reported its
+                // last zxid (ACKEPOCH) by the end of the combined action.
+                let followers: Vec<Sid> = q.iter().copied().filter(|&m| m != leader).collect();
+                for &f in &followers {
+                    let fz = next.servers[f].last_zxid();
+                    next.servers[leader].learners.insert(f);
+                    next.servers[leader].epoch_acks.insert(f);
+                    next.servers[leader].learner_last_zxid.insert(f, fz);
+                }
+                let members: Vec<String> = q.iter().map(|m| m.to_string()).collect();
+                out.push(ActionInstance::new(
+                    format!("ElectionAndDiscovery({leader}, {{{}}})", members.join(", ")),
+                    next,
+                ));
+            }
+            out
+        },
+    )
+}
+
+/// The coarse Election module: the single combined action.
+pub fn election_module(cfg: &Cfg) -> ModuleSpec<ZabState> {
+    ModuleSpec::new(ELECTION, Granularity::Coarse, vec![election_and_discovery(cfg)])
+}
+
+/// The coarse Discovery module: empty — its externally visible effects are folded into
+/// the combined `ElectionAndDiscovery` action of the coarse Election module.
+pub fn discovery_module(_cfg: &Cfg) -> ModuleSpec<ZabState> {
+    ModuleSpec::new(DISCOVERY, Granularity::Coarse, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::types::Txn;
+    use crate::versions::CodeVersion;
+    use std::sync::Arc;
+
+    fn cfg() -> Cfg {
+        Arc::new(ClusterConfig::small(CodeVersion::V391))
+    }
+
+    #[test]
+    fn initial_state_offers_all_quorums() {
+        let m = election_module(&cfg());
+        let s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        let insts = m.actions[0].enabled(&s);
+        // Quorums of {0,1,2}: three pairs plus the full set.
+        assert_eq!(insts.len(), 4);
+        for inst in &insts {
+            let next = &inst.next;
+            let leader = next.servers.iter().position(|sv| sv.state == ServerState::Leading).unwrap();
+            assert_eq!(next.servers[leader].current_epoch, 1);
+            assert_eq!(next.servers[leader].phase, ZabPhase::Synchronization);
+            let followers =
+                next.servers.iter().filter(|sv| sv.state == ServerState::Following).count();
+            assert!(followers >= 1);
+        }
+    }
+
+    #[test]
+    fn leader_is_the_member_with_the_best_vote() {
+        let m = election_module(&cfg());
+        let mut s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        // Server 0 has the longest history; server 1 has a higher epoch with no history.
+        s.servers[0].history.push(Txn::new(1, 1, 1));
+        s.servers[1].current_epoch = 2;
+        let insts = m.actions[0].enabled(&s);
+        let full = insts
+            .iter()
+            .find(|i| i.label.contains("{0, 1, 2}"))
+            .expect("full-quorum election exists");
+        // currentEpoch dominates the zxid in the vote order (the ZK-4643 mechanism).
+        assert!(full.label.starts_with("ElectionAndDiscovery(1,"));
+        assert_eq!(full.next.servers[1].state, ServerState::Leading);
+        assert_eq!(full.next.servers[0].leader, Some(1));
+        // Learner bookkeeping is complete after the combined action.
+        assert!(full.next.servers[1].epoch_acks.contains(&0));
+        assert_eq!(
+            full.next.servers[1].learner_last_zxid.get(&0),
+            Some(&crate::types::Zxid::new(1, 1))
+        );
+    }
+
+    #[test]
+    fn partitioned_quorums_are_excluded() {
+        let m = election_module(&cfg());
+        let mut s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        s.partitioned.insert((0, 1));
+        let insts = m.actions[0].enabled(&s);
+        assert!(insts.iter().all(|i| !i.label.contains("{0, 1}")));
+        // {0, 2} and {1, 2} remain possible; the full set is not mutually connected.
+        assert_eq!(insts.len(), 2);
+    }
+
+    #[test]
+    fn crashed_or_settled_servers_do_not_participate() {
+        let m = election_module(&cfg());
+        let mut s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        s.servers[0].crash();
+        let insts = m.actions[0].enabled(&s);
+        assert_eq!(insts.len(), 1);
+        assert!(insts[0].label.contains("{1, 2}"));
+        // Once servers leave the LOOKING state no further election is offered.
+        let settled = &insts[0].next;
+        assert!(m.actions[0].enabled(settled).is_empty());
+    }
+
+    #[test]
+    fn epoch_bound_disables_the_action() {
+        let m = election_module(&cfg());
+        let mut s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        for sv in &mut s.servers {
+            sv.accepted_epoch = 4;
+        }
+        assert!(m.actions[0].enabled(&s).is_empty());
+    }
+
+    #[test]
+    fn coarse_discovery_module_is_empty() {
+        assert_eq!(discovery_module(&cfg()).action_count(), 0);
+    }
+}

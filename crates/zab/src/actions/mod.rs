@@ -1,0 +1,50 @@
+//! The multi-grained action library of the ZooKeeper system specification.
+//!
+//! Each submodule provides a builder that returns a [`ModuleSpec`](remix_spec::ModuleSpec)
+//! for one Zab phase at one granularity:
+//!
+//! | module | granularities provided |
+//! |---|---|
+//! | Election | baseline (FLE), coarse (merged with Discovery) |
+//! | Discovery | baseline, coarse (merged with Election) |
+//! | Synchronization | baseline, fine-grained (atomicity), fine-grained (atomicity + concurrency) |
+//! | Broadcast | baseline, fine-grained (concurrency) |
+//! | Faults | baseline (always composed in) |
+//!
+//! The composition presets of Table 1 pick one entry per module (`crate::presets`).
+
+pub mod broadcast;
+pub mod coarse;
+pub mod discovery;
+pub mod election;
+pub mod faults;
+pub mod fine;
+pub mod sync;
+
+use std::sync::Arc;
+
+use crate::config::ClusterConfig;
+use crate::state::ZabState;
+use crate::types::Sid;
+
+/// Convenience alias used by all builders.
+pub type Cfg = Arc<ClusterConfig>;
+
+/// Enumerates ordered pairs `(i, j)` with `i != j` of the ensemble.
+pub(crate) fn pairs(state: &ZabState) -> Vec<(Sid, Sid)> {
+    let n = state.n();
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates all server identifiers.
+pub(crate) fn servers(state: &ZabState) -> Vec<Sid> {
+    (0..state.n()).collect()
+}

@@ -1,0 +1,33 @@
+//! Multi-grained specifications of the Zab protocol and the ZooKeeper system.
+//!
+//! This crate is the Rust counterpart of the paper's TLA+ specification library:
+//!
+//! * [`state`] — the global state of the system specification (per-server variables,
+//!   network channels, fault budgets, ghost variables);
+//! * [`actions`] — the action library, organised per Zab phase and per granularity
+//!   (baseline system specification, fine-grained atomicity, fine-grained concurrency,
+//!   coarse interaction-preserving abstraction, faults);
+//! * [`invariants`] — the fourteen invariants of Table 2;
+//! * [`presets`] — the mixed-grained compositions of Table 1 (SysSpec, mSpec-1..4);
+//! * [`versions`] — the ZooKeeper code versions, bug flags and the bug lineage of
+//!   Figure 8;
+//! * [`protocol`] — the protocol-level specification of Zab (§2.1.1) together with the
+//!   improved protocol of §5.4.
+
+pub mod actions;
+pub mod config;
+pub mod invariants;
+pub mod modules;
+pub mod presets;
+pub mod protocol;
+pub mod state;
+pub mod types;
+pub mod versions;
+
+pub use config::ClusterConfig;
+pub use presets::{build_from_plan, SpecPreset};
+pub use state::{GhostState, ServerData, ZabState};
+pub use types::{
+    CodeViolation, Message, ServerState, Sid, SyncMode, Txn, ViolationKind, Vote, ZabPhase, Zxid,
+};
+pub use versions::{BugFlags, CodeVersion, BUG_LINEAGE, MODELLED_ISSUES};

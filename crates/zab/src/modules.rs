@@ -1,0 +1,32 @@
+//! Module identifiers: the four Zab phases of Figure 6 plus the fault module.
+
+use remix_spec::ModuleId;
+
+/// The Election module (fast leader election).
+pub const ELECTION: ModuleId = ModuleId("Election");
+/// The Discovery module (epoch negotiation).
+pub const DISCOVERY: ModuleId = ModuleId("Discovery");
+/// The Synchronization module (log synchronization / data recovery).
+pub const SYNCHRONIZATION: ModuleId = ModuleId("Synchronization");
+/// The Broadcast module (normal-case log replication).
+pub const BROADCAST: ModuleId = ModuleId("Broadcast");
+/// The fault module (crashes, restarts, partitions) — always composed in.
+pub const FAULTS: ModuleId = ModuleId("Faults");
+
+/// The four Zab phase modules, in protocol order.
+pub const PHASES: [ModuleId; 4] = [ELECTION, DISCOVERY, SYNCHRONIZATION, BROADCAST];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_distinct_and_ordered() {
+        assert_eq!(PHASES.len(), 4);
+        assert_eq!(PHASES[0].name(), "Election");
+        assert_eq!(PHASES[3].name(), "Broadcast");
+        let mut names: Vec<_> = PHASES.iter().map(|m| m.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,540 @@
+//! The global state of the ZooKeeper system specification and its helpers.
+//!
+//! The state mirrors the variables of the paper's TLA+ system specification: per-server
+//! variables (`state`, `zabState`, `acceptedEpoch`, `currentEpoch`, `history`,
+//! `lastCommitted`, `packetsSync`, `queuedRequests`, ...), the network (`msgs`), fault
+//! budgets, and a small set of *ghost* variables (established epochs and their initial
+//! histories, the global broadcast order) used only by the protocol-level invariants of
+//! Table 2.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use remix_spec::{SpecState, Value};
+use serde::Serialize;
+
+use crate::config::ClusterConfig;
+use crate::types::{CodeViolation, Message, ServerState, Sid, Txn, Vote, ZabPhase, Zxid};
+
+/// Per-server state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct ServerData {
+    // ---- Durable state (survives crashes) -------------------------------------------
+    /// `currentEpoch`: the epoch the server has committed to (written to disk).
+    pub current_epoch: u32,
+    /// `acceptedEpoch`: the epoch proposed by the last LEADERINFO the server accepted.
+    pub accepted_epoch: u32,
+    /// `history`: the durable transaction log.
+    pub history: Vec<Txn>,
+    /// `lastCommitted`: number of committed (delivered) transactions — a prefix of
+    /// `history`.
+    pub last_committed: usize,
+
+    // ---- Volatile state --------------------------------------------------------------
+    /// `state`: LOOKING / FOLLOWING / LEADING / DOWN.
+    pub state: ServerState,
+    /// `zabState`: ELECTION / DISCOVERY / SYNCHRONIZATION / BROADCAST.
+    pub phase: ZabPhase,
+    /// The leader this server follows (itself when leading).
+    pub leader: Option<Sid>,
+
+    // Fast leader election.
+    /// `currentVote`: the server's current vote.
+    pub vote: Vote,
+    /// Whether the current vote has been broadcast to peers.
+    pub vote_broadcast: bool,
+    /// Votes received from peers in the current election round.
+    pub recv_votes: BTreeMap<Sid, Vote>,
+
+    // Leader-side bookkeeping.
+    /// `learners`: followers connected to this leader (FOLLOWERINFO received).
+    pub learners: BTreeSet<Sid>,
+    /// Last zxid reported by each learner (from ACKEPOCH), used to pick the sync mode.
+    pub learner_last_zxid: BTreeMap<Sid, Zxid>,
+    /// Whether the leader has proposed its new epoch (sent LEADERINFO).
+    pub epoch_proposed: bool,
+    /// Followers that acknowledged the proposed epoch (ACKEPOCH received).
+    pub epoch_acks: BTreeSet<Sid>,
+    /// Followers to which the synchronization payload and NEWLEADER have been sent.
+    pub sync_sent: BTreeSet<Sid>,
+    /// Followers that acknowledged NEWLEADER.
+    pub newleader_acks: BTreeSet<Sid>,
+    /// Whether this leader has established its epoch (quorum of NEWLEADER acks).
+    pub established: bool,
+    /// Outstanding broadcast proposals and the servers that acknowledged them.
+    pub pending_acks: BTreeMap<Zxid, BTreeSet<Sid>>,
+
+    // Follower-side synchronization bookkeeping.
+    /// Whether the follower has sent FOLLOWERINFO to its leader.
+    pub connected: bool,
+    /// `packetsSync.notCommitted`: proposals received during sync and not yet logged.
+    pub packets_not_committed: Vec<Txn>,
+    /// `packetsSync.committed`: zxids committed during sync, to be delivered at UPTODATE.
+    pub packets_committed: Vec<Zxid>,
+
+    // Follower-side threads (fine-grained concurrency).
+    /// `queuedRequests`: the SyncRequestProcessor input queue (volatile).
+    pub queued_requests: Vec<Txn>,
+    /// `committedRequests`: the CommitProcessor input queue (volatile).
+    pub pending_commits: Vec<Zxid>,
+    /// Whether the server is serving client requests (after UPTODATE / establishment).
+    pub serving: bool,
+}
+
+impl ServerData {
+    /// A freshly booted server with empty durable state.
+    pub fn initial(sid: Sid) -> Self {
+        ServerData {
+            current_epoch: 0,
+            accepted_epoch: 0,
+            history: Vec::new(),
+            last_committed: 0,
+            state: ServerState::Looking,
+            phase: ZabPhase::Election,
+            leader: None,
+            vote: Vote { epoch: 0, zxid: Zxid::ZERO, leader: sid },
+            vote_broadcast: false,
+            recv_votes: BTreeMap::new(),
+            learners: BTreeSet::new(),
+            learner_last_zxid: BTreeMap::new(),
+            epoch_proposed: false,
+            epoch_acks: BTreeSet::new(),
+            sync_sent: BTreeSet::new(),
+            newleader_acks: BTreeSet::new(),
+            established: false,
+            pending_acks: BTreeMap::new(),
+            connected: false,
+            packets_not_committed: Vec::new(),
+            packets_committed: Vec::new(),
+            queued_requests: Vec::new(),
+            pending_commits: Vec::new(),
+            serving: false,
+        }
+    }
+
+    /// The last zxid in the durable log (`<<0, 0>>` for an empty log).
+    pub fn last_zxid(&self) -> Zxid {
+        self.history.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO)
+    }
+
+    /// The delivered (committed) prefix of the log.
+    pub fn delivered(&self) -> &[Txn] {
+        &self.history[..self.last_committed.min(self.history.len())]
+    }
+
+    /// Returns `true` if the server is up (not crashed).
+    pub fn is_up(&self) -> bool {
+        self.state != ServerState::Down
+    }
+
+    /// Resets the volatile state kept while following or leading (used when a server
+    /// goes back to leader election).  Durable state is preserved.  The
+    /// SyncRequestProcessor queue is cleared only when `clear_request_queue` is set —
+    /// keeping it across a shutdown is the ZK-4712 error path.
+    pub fn shutdown_to_looking(&mut self, sid: Sid, clear_request_queue: bool) {
+        self.state = ServerState::Looking;
+        self.phase = ZabPhase::Election;
+        self.leader = None;
+        self.vote = Vote { epoch: self.current_epoch, zxid: self.last_zxid(), leader: sid };
+        self.vote_broadcast = false;
+        self.recv_votes.clear();
+        self.learners.clear();
+        self.learner_last_zxid.clear();
+        self.epoch_proposed = false;
+        self.epoch_acks.clear();
+        self.sync_sent.clear();
+        self.newleader_acks.clear();
+        self.established = false;
+        self.pending_acks.clear();
+        self.connected = false;
+        self.packets_not_committed.clear();
+        self.packets_committed.clear();
+        self.pending_commits.clear();
+        self.serving = false;
+        if clear_request_queue {
+            self.queued_requests.clear();
+        }
+    }
+
+    /// Crashes the server: volatile state is lost, durable state is preserved.
+    pub fn crash(&mut self) {
+        let sid = self.vote.leader; // placeholder, overwritten below
+        self.shutdown_to_looking(sid, true);
+        self.state = ServerState::Down;
+    }
+
+    /// Restarts a crashed server into leader election.
+    pub fn restart(&mut self, sid: Sid) {
+        debug_assert_eq!(self.state, ServerState::Down);
+        // Recover the committed prefix from the durable log (ZooKeeper replays the log on
+        // startup; the committed index cannot exceed the log length).
+        self.last_committed = self.last_committed.min(self.history.len());
+        self.shutdown_to_looking(sid, true);
+        self.state = ServerState::Looking;
+    }
+}
+
+/// Ghost variables used only by the protocol-level invariants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize)]
+pub struct GhostState {
+    /// Leader that established each epoch (quorum of NEWLEADER acknowledgements).
+    pub established_leaders: BTreeMap<u32, Sid>,
+    /// Set when a second, different leader establishes an already-established epoch
+    /// (flags invariant I-1).
+    pub duplicate_establishment: bool,
+    /// The initial history of each established epoch (the leader's history at
+    /// establishment time), as required by invariants I-8 and I-9.
+    pub initial_history: BTreeMap<u32, Vec<Txn>>,
+    /// Every transaction broadcast by an established primary, in broadcast order.
+    pub broadcast: Vec<Txn>,
+}
+
+/// The global state of the ZooKeeper system specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct ZabState {
+    /// Per-server state, indexed by sid.
+    pub servers: Vec<ServerData>,
+    /// FIFO channels: `msgs[from][to]` is the queue of in-flight messages.
+    pub msgs: Vec<Vec<Vec<Message>>>,
+    /// Pairs of servers currently partitioned from each other (normalized `(min, max)`).
+    pub partitioned: BTreeSet<(Sid, Sid)>,
+    /// Remaining crash budget.
+    pub crashes_remaining: u32,
+    /// Remaining partition budget.
+    pub partitions_remaining: u32,
+    /// Number of client transactions created so far (bounded by the configuration).
+    pub txns_created: u32,
+    /// Ghost variables for the protocol-level invariants.
+    pub ghost: GhostState,
+    /// The first code-level error path reached by this execution, if any.
+    pub violation: Option<CodeViolation>,
+}
+
+impl ZabState {
+    /// The initial state for a configuration: every server freshly booted and looking.
+    pub fn initial(config: &ClusterConfig) -> Self {
+        let n = config.num_servers;
+        ZabState {
+            servers: (0..n).map(ServerData::initial).collect(),
+            msgs: vec![vec![Vec::new(); n]; n],
+            partitioned: BTreeSet::new(),
+            crashes_remaining: config.max_crashes,
+            partitions_remaining: config.max_partitions,
+            txns_created: 0,
+            ghost: GhostState::default(),
+            violation: None,
+        }
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Quorum size (strict majority).
+    pub fn quorum_size(&self) -> usize {
+        self.n() / 2 + 1
+    }
+
+    /// Returns `true` if the given set of servers is a quorum.
+    pub fn is_quorum(&self, set: &BTreeSet<Sid>) -> bool {
+        set.len() >= self.quorum_size()
+    }
+
+    /// Returns `true` if servers `a` and `b` can currently exchange messages (both up and
+    /// not partitioned from each other).
+    pub fn reachable(&self, a: Sid, b: Sid) -> bool {
+        if a == b {
+            return true;
+        }
+        let key = (a.min(b), a.max(b));
+        self.servers[a].is_up() && self.servers[b].is_up() && !self.partitioned.contains(&key)
+    }
+
+    /// Sends a message from `from` to `to`.  Messages to unreachable peers are dropped
+    /// (the connection is broken), mirroring the official system specification.
+    pub fn send(&mut self, from: Sid, to: Sid, msg: Message) {
+        if from != to && self.reachable(from, to) {
+            self.msgs[from][to].push(msg);
+        }
+    }
+
+    /// The message at the head of the channel `from → to`, if any.
+    pub fn head(&self, from: Sid, to: Sid) -> Option<&Message> {
+        self.msgs[from][to].first()
+    }
+
+    /// Pops the message at the head of the channel `from → to`.
+    pub fn pop(&mut self, from: Sid, to: Sid) -> Option<Message> {
+        if self.msgs[from][to].is_empty() {
+            None
+        } else {
+            Some(self.msgs[from][to].remove(0))
+        }
+    }
+
+    /// Clears every channel to and from server `i` (used when `i` crashes or when a
+    /// partition forms: TCP connections break and in-flight messages are lost).
+    pub fn clear_channels(&mut self, i: Sid) {
+        for j in 0..self.n() {
+            self.msgs[i][j].clear();
+            self.msgs[j][i].clear();
+        }
+    }
+
+    /// Clears the channels between a specific pair of servers.
+    pub fn clear_pair_channels(&mut self, a: Sid, b: Sid) {
+        self.msgs[a][b].clear();
+        self.msgs[b][a].clear();
+    }
+
+    /// Records a code-level error path (only the first one is kept).
+    pub fn record_violation(&mut self, violation: CodeViolation) {
+        if self.violation.is_none() {
+            self.violation = Some(violation);
+        }
+    }
+
+    /// Records the establishment of an epoch by a leader (ghost bookkeeping for I-1/I-8).
+    pub fn record_establishment(&mut self, epoch: u32, leader: Sid, initial_history: Vec<Txn>) {
+        match self.ghost.established_leaders.get(&epoch) {
+            Some(existing) if *existing != leader => {
+                self.ghost.duplicate_establishment = true;
+            }
+            Some(_) => {}
+            None => {
+                self.ghost.established_leaders.insert(epoch, leader);
+                self.ghost.initial_history.insert(epoch, initial_history);
+            }
+        }
+    }
+
+    /// The set of up servers.
+    pub fn up_servers(&self) -> BTreeSet<Sid> {
+        (0..self.n()).filter(|&i| self.servers[i].is_up()).collect()
+    }
+
+    /// All sids.
+    pub fn sids(&self) -> impl Iterator<Item = Sid> {
+        0..self.n()
+    }
+
+    /// The highest accepted epoch across all servers (used when proposing a new epoch).
+    pub fn max_accepted_epoch(&self) -> u32 {
+        self.servers.iter().map(|s| s.accepted_epoch.max(s.current_epoch)).max().unwrap_or(0)
+    }
+}
+
+/// Variable names exposed for footprint declarations, analysis and projection.
+pub mod vars {
+    /// All variable names of the ZooKeeper system specification, in a stable order.
+    pub const ALL: &[&str] = &[
+        "state",
+        "zabState",
+        "acceptedEpoch",
+        "currentEpoch",
+        "history",
+        "lastCommitted",
+        "leaderAddr",
+        "currentVote",
+        "receiveVotes",
+        "learners",
+        "electionMsgs",
+        "msgs",
+        "packetsSync",
+        "queuedRequests",
+        "committedRequests",
+        "ackeRecv",
+        "ackldRecv",
+        "proposalAcks",
+        "serving",
+        "partitions",
+        "crashBudget",
+        "txnBudget",
+        "violation",
+        "ghost",
+    ];
+}
+
+impl SpecState for ZabState {
+    fn project(&self, requested: &[&str]) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        let per_server = |f: &dyn Fn(&ServerData) -> Value| -> Value {
+            Value::Seq(self.servers.iter().map(f).collect())
+        };
+        for var in requested {
+            let value = match *var {
+                "state" => Some(per_server(&|s| Value::str(format!("{:?}", s.state)))),
+                "zabState" => Some(per_server(&|s| Value::str(format!("{:?}", s.phase)))),
+                "acceptedEpoch" => Some(per_server(&|s| Value::from(s.accepted_epoch))),
+                "currentEpoch" => Some(per_server(&|s| Value::from(s.current_epoch))),
+                "history" => Some(per_server(&|s| {
+                    Value::Seq(
+                        s.history
+                            .iter()
+                            .map(|t| {
+                                Value::record(vec![
+                                    ("epoch".to_owned(), Value::from(t.zxid.epoch)),
+                                    ("counter".to_owned(), Value::from(t.zxid.counter)),
+                                    ("value".to_owned(), Value::from(t.value)),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })),
+                "lastCommitted" => Some(per_server(&|s| Value::from(s.last_committed))),
+                "leaderAddr" => Some(per_server(&|s| match s.leader {
+                    Some(l) => Value::from(l),
+                    None => Value::Int(-1),
+                })),
+                "currentVote" => Some(per_server(&|s| {
+                    Value::record(vec![
+                        ("epoch".to_owned(), Value::from(s.vote.epoch)),
+                        ("leader".to_owned(), Value::from(s.vote.leader)),
+                    ])
+                })),
+                "receiveVotes" => Some(per_server(&|s| Value::from(s.recv_votes.len()))),
+                "learners" => Some(per_server(&|s| {
+                    Value::set(s.learners.iter().map(|l| Value::from(*l)).collect())
+                })),
+                "packetsSync" => Some(per_server(&|s| {
+                    Value::record(vec![
+                        ("notCommitted".to_owned(), Value::from(s.packets_not_committed.len())),
+                        ("committed".to_owned(), Value::from(s.packets_committed.len())),
+                    ])
+                })),
+                "queuedRequests" => Some(per_server(&|s| Value::from(s.queued_requests.len()))),
+                "committedRequests" => Some(per_server(&|s| Value::from(s.pending_commits.len()))),
+                "ackeRecv" => Some(per_server(&|s| Value::from(s.epoch_acks.len()))),
+                "ackldRecv" => Some(per_server(&|s| Value::from(s.newleader_acks.len()))),
+                "proposalAcks" => Some(per_server(&|s| Value::from(s.pending_acks.len()))),
+                "serving" => Some(per_server(&|s| Value::Bool(s.serving))),
+                "msgs" | "electionMsgs" => Some(Value::from(
+                    self.msgs.iter().flatten().map(|q| q.len()).sum::<usize>(),
+                )),
+                "partitions" => Some(Value::from(self.partitioned.len())),
+                "crashBudget" => Some(Value::from(self.crashes_remaining)),
+                "txnBudget" => Some(Value::from(self.txns_created)),
+                "violation" => Some(Value::Bool(self.violation.is_some())),
+                "ghost" => Some(Value::from(self.ghost.established_leaders.len())),
+                _ => None,
+            };
+            if let Some(v) = value {
+                out.insert((*var).to_owned(), v);
+            }
+        }
+        out
+    }
+
+    fn variable_names() -> Vec<&'static str> {
+        vars::ALL.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::CodeVersion;
+
+    fn state() -> ZabState {
+        ZabState::initial(&ClusterConfig::small(CodeVersion::V391))
+    }
+
+    #[test]
+    fn initial_state_shape() {
+        let s = state();
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.quorum_size(), 2);
+        assert_eq!(s.crashes_remaining, 1);
+        assert!(s.violation.is_none());
+        assert!(s.servers.iter().all(|sv| sv.state == ServerState::Looking));
+        assert!(s.servers.iter().all(|sv| sv.history.is_empty()));
+    }
+
+    #[test]
+    fn send_and_receive_are_fifo() {
+        let mut s = state();
+        s.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
+        s.send(0, 1, Message::Commit { zxid: Zxid::new(1, 1) });
+        assert_eq!(s.head(0, 1).unwrap().kind(), "UPTODATE");
+        assert_eq!(s.pop(0, 1).unwrap().kind(), "UPTODATE");
+        assert_eq!(s.pop(0, 1).unwrap().kind(), "COMMIT");
+        assert!(s.pop(0, 1).is_none());
+    }
+
+    #[test]
+    fn messages_to_unreachable_peers_are_dropped() {
+        let mut s = state();
+        s.servers[1].state = ServerState::Down;
+        s.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
+        assert!(s.head(0, 1).is_none());
+
+        let mut s = state();
+        s.partitioned.insert((0, 2));
+        assert!(!s.reachable(0, 2));
+        assert!(s.reachable(0, 1));
+        s.send(2, 0, Message::UpToDate { zxid: Zxid::ZERO });
+        assert!(s.head(2, 0).is_none());
+    }
+
+    #[test]
+    fn crash_preserves_durable_state_and_clears_volatile() {
+        let mut s = state();
+        s.servers[0].history.push(Txn::new(1, 1, 7));
+        s.servers[0].last_committed = 1;
+        s.servers[0].current_epoch = 3;
+        s.servers[0].queued_requests.push(Txn::new(1, 2, 8));
+        s.servers[0].serving = true;
+        s.servers[0].crash();
+        assert_eq!(s.servers[0].state, ServerState::Down);
+        assert_eq!(s.servers[0].history.len(), 1);
+        assert_eq!(s.servers[0].current_epoch, 3);
+        assert!(s.servers[0].queued_requests.is_empty());
+        assert!(!s.servers[0].serving);
+        s.servers[0].restart(0);
+        assert_eq!(s.servers[0].state, ServerState::Looking);
+        assert_eq!(s.servers[0].vote.epoch, 3);
+        assert_eq!(s.servers[0].vote.zxid, Zxid::new(1, 1));
+    }
+
+    #[test]
+    fn shutdown_can_keep_request_queue_for_zk4712() {
+        let mut sd = ServerData::initial(1);
+        sd.queued_requests.push(Txn::new(1, 1, 1));
+        sd.shutdown_to_looking(1, false);
+        assert_eq!(sd.queued_requests.len(), 1, "buggy shutdown keeps the queue");
+        sd.shutdown_to_looking(1, true);
+        assert!(sd.queued_requests.is_empty());
+    }
+
+    #[test]
+    fn establishment_ghost_detects_duplicates() {
+        let mut s = state();
+        s.record_establishment(1, 0, vec![]);
+        s.record_establishment(1, 0, vec![]);
+        assert!(!s.ghost.duplicate_establishment);
+        s.record_establishment(1, 2, vec![]);
+        assert!(s.ghost.duplicate_establishment);
+    }
+
+    #[test]
+    fn projection_covers_registered_variables() {
+        let s = state();
+        let p = s.project(&["state", "currentEpoch", "history", "msgs", "violation", "nonexistent"]);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p["violation"], Value::Bool(false));
+        assert_eq!(p["msgs"], Value::Int(0));
+        // Every registered variable name projects to something.
+        let all = ZabState::variable_names();
+        let full = s.project(&all);
+        assert_eq!(full.len(), all.len());
+    }
+
+    #[test]
+    fn delivered_is_committed_prefix() {
+        let mut sd = ServerData::initial(0);
+        sd.history = vec![Txn::new(1, 1, 1), Txn::new(1, 2, 2)];
+        sd.last_committed = 1;
+        assert_eq!(sd.delivered(), &[Txn::new(1, 1, 1)]);
+        assert_eq!(sd.last_zxid(), Zxid::new(1, 2));
+    }
+}

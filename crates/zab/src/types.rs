@@ -1,0 +1,281 @@
+//! Basic Zab / ZooKeeper domain types: zxids, transactions, messages, votes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Server identifier (the `sid` / `myid` of a ZooKeeper ensemble member).
+pub type Sid = usize;
+
+/// A ZooKeeper transaction identifier: an (epoch, counter) pair, totally ordered
+/// epoch-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Zxid {
+    /// The epoch in which the transaction was proposed.
+    pub epoch: u32,
+    /// The per-epoch counter.
+    pub counter: u32,
+}
+
+impl Zxid {
+    /// Creates a zxid.
+    pub const fn new(epoch: u32, counter: u32) -> Self {
+        Zxid { epoch, counter }
+    }
+
+    /// The zero zxid `<<0, 0>>` used for empty histories.
+    pub const ZERO: Zxid = Zxid { epoch: 0, counter: 0 };
+}
+
+impl fmt::Display for Zxid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<{}, {}>>", self.epoch, self.counter)
+    }
+}
+
+/// A transaction: a zxid plus an opaque payload value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Txn {
+    /// The transaction identifier.
+    pub zxid: Zxid,
+    /// The payload (a small integer standing in for the znode update).
+    pub value: u32,
+}
+
+impl Txn {
+    /// Creates a transaction.
+    pub const fn new(epoch: u32, counter: u32, value: u32) -> Self {
+        Txn { zxid: Zxid::new(epoch, counter), value }
+    }
+}
+
+impl fmt::Display for Txn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[zxid |-> {}, value |-> {}]", self.zxid, self.value)
+    }
+}
+
+/// The coarse server state (`state` variable of the TLA+ specifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServerState {
+    /// Running leader election.
+    Looking,
+    /// Following an elected leader.
+    Following,
+    /// Leading.
+    Leading,
+    /// Crashed.
+    Down,
+}
+
+/// The Zab phase a server is in (`zabState` variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ZabPhase {
+    /// Phase 0: leader election.
+    Election,
+    /// Phase 1: discovery.
+    Discovery,
+    /// Phase 2: synchronization.
+    Synchronization,
+    /// Phase 3: broadcast.
+    Broadcast,
+}
+
+/// How a follower's log is brought up to date during synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Send the proposals the follower misses.
+    Diff,
+    /// Ask the follower to truncate its log to the leader's last zxid.
+    Trunc,
+    /// Send a full snapshot of the leader's history.
+    Snap,
+}
+
+/// A vote exchanged during fast leader election.
+///
+/// Votes are compared by `(epoch, zxid, leader)` — exactly the ordering ZooKeeper's
+/// `FastLeaderElection.totalOrderPredicate` uses, which is what makes a node with a
+/// higher `currentEpoch` but stale history win an election (the mechanism behind
+/// ZK-4643).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vote {
+    /// The voter's current epoch (peer epoch).
+    pub epoch: u32,
+    /// The last zxid in the voter's log.
+    pub zxid: Zxid,
+    /// The proposed leader.
+    pub leader: Sid,
+}
+
+/// Messages exchanged between servers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Message {
+    /// Fast-leader-election notification carrying the sender's vote.
+    Notification {
+        /// The sender's current vote.
+        vote: Vote,
+    },
+    /// Follower → leader: start of discovery.
+    FollowerInfo {
+        /// The follower's accepted epoch.
+        accepted_epoch: u32,
+        /// The follower's last logged zxid.
+        last_zxid: Zxid,
+    },
+    /// Leader → follower: the newly proposed epoch.
+    LeaderInfo {
+        /// The new epoch.
+        epoch: u32,
+    },
+    /// Follower → leader: acknowledgement of the proposed epoch.
+    AckEpoch {
+        /// The follower's current epoch.
+        current_epoch: u32,
+        /// The follower's last logged zxid.
+        last_zxid: Zxid,
+    },
+    /// Leader → follower: the synchronization payload (DIFF / TRUNC / SNAP and the
+    /// accompanying proposals/commits), sent just before `NewLeader`.
+    SyncPackets {
+        /// The synchronization mode.
+        mode: SyncMode,
+        /// Proposals the follower must log (DIFF) or the full history (SNAP).
+        txns: Vec<Txn>,
+        /// Zxid up to which the payload is already committed on the leader.
+        committed_upto: Zxid,
+        /// For TRUNC: the zxid the follower must truncate to.
+        trunc_to: Zxid,
+    },
+    /// Leader → follower: end of the synchronization payload.
+    NewLeader {
+        /// The new epoch.
+        epoch: u32,
+        /// The leader's last zxid (the "NEWLEADER zxid" acknowledged by followers).
+        zxid: Zxid,
+    },
+    /// Leader → follower: the follower may start serving clients.
+    UpToDate {
+        /// The leader's last zxid (used in the follower's acknowledgement).
+        zxid: Zxid,
+    },
+    /// Acknowledgement (of NEWLEADER, UPTODATE or of an individual proposal).
+    Ack {
+        /// The acknowledged zxid.
+        zxid: Zxid,
+    },
+    /// Leader → follower: a broadcast proposal.
+    Proposal {
+        /// The proposed transaction.
+        txn: Txn,
+    },
+    /// Leader → follower: commit of a proposal.
+    Commit {
+        /// The committed zxid.
+        zxid: Zxid,
+    },
+}
+
+impl Message {
+    /// A short tag used in labels and conformance mappings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Notification { .. } => "NOTIFICATION",
+            Message::FollowerInfo { .. } => "FOLLOWERINFO",
+            Message::LeaderInfo { .. } => "LEADERINFO",
+            Message::AckEpoch { .. } => "ACKEPOCH",
+            Message::SyncPackets { .. } => "SYNCPACKETS",
+            Message::NewLeader { .. } => "NEWLEADER",
+            Message::UpToDate { .. } => "UPTODATE",
+            Message::Ack { .. } => "ACK",
+            Message::Proposal { .. } => "PROPOSAL",
+            Message::Commit { .. } => "COMMIT",
+        }
+    }
+}
+
+/// The code-level invariant families of Table 2 (I-11..I-14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// I-11: exceptions or failed assertions on server state upon receiving a message.
+    BadState,
+    /// I-12: exceptions or failed assertions on ACK content processed by the leader.
+    BadAck,
+    /// I-13: exceptions or failed assertions on PROPOSAL content processed by a follower.
+    BadProposal,
+    /// I-14: exceptions or failed assertions while handling COMMIT / committing.
+    BadCommit,
+}
+
+impl ViolationKind {
+    /// The invariant identifier of Table 2 this violation kind belongs to.
+    pub fn invariant_id(self) -> &'static str {
+        match self {
+            ViolationKind::BadState => "I-11",
+            ViolationKind::BadAck => "I-12",
+            ViolationKind::BadProposal => "I-13",
+            ViolationKind::BadCommit => "I-14",
+        }
+    }
+}
+
+/// A code-level error path reached by the execution (an exception or failed assertion in
+/// the ZooKeeper implementation).  Recording it in the state lets the code-level
+/// invariants of Table 2 flag the execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct CodeViolation {
+    /// The invariant family.
+    pub kind: ViolationKind,
+    /// The instance within the family (e.g. I-11 has four instances).
+    pub instance: u8,
+    /// The server on which the error path was reached.
+    pub server: Sid,
+    /// The related ZooKeeper issue, when the error path corresponds to a known bug.
+    pub issue: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zxid_ordering_is_epoch_major() {
+        assert!(Zxid::new(2, 0) > Zxid::new(1, 9));
+        assert!(Zxid::new(1, 3) > Zxid::new(1, 2));
+        assert_eq!(Zxid::ZERO, Zxid::new(0, 0));
+        assert_eq!(Zxid::new(1, 2).to_string(), "<<1, 2>>");
+    }
+
+    #[test]
+    fn vote_ordering_prefers_epoch_then_zxid_then_sid() {
+        let stale_high_epoch = Vote { epoch: 3, zxid: Zxid::new(1, 1), leader: 0 };
+        let fresh_low_epoch = Vote { epoch: 2, zxid: Zxid::new(2, 5), leader: 2 };
+        assert!(stale_high_epoch > fresh_low_epoch, "higher currentEpoch wins (ZK-4643 mechanism)");
+        let a = Vote { epoch: 2, zxid: Zxid::new(2, 1), leader: 1 };
+        let b = Vote { epoch: 2, zxid: Zxid::new(2, 1), leader: 2 };
+        assert!(b > a, "sid breaks ties");
+    }
+
+    #[test]
+    fn message_kinds() {
+        assert_eq!(Message::UpToDate { zxid: Zxid::ZERO }.kind(), "UPTODATE");
+        assert_eq!(Message::Ack { zxid: Zxid::ZERO }.kind(), "ACK");
+        assert_eq!(
+            Message::Notification { vote: Vote { epoch: 0, zxid: Zxid::ZERO, leader: 0 } }.kind(),
+            "NOTIFICATION"
+        );
+    }
+
+    #[test]
+    fn violation_kind_maps_to_invariants() {
+        assert_eq!(ViolationKind::BadState.invariant_id(), "I-11");
+        assert_eq!(ViolationKind::BadAck.invariant_id(), "I-12");
+        assert_eq!(ViolationKind::BadProposal.invariant_id(), "I-13");
+        assert_eq!(ViolationKind::BadCommit.invariant_id(), "I-14");
+    }
+
+    #[test]
+    fn txn_display() {
+        assert_eq!(Txn::new(1, 2, 7).to_string(), "[zxid |-> <<1, 2>>, value |-> 7]");
+    }
+}

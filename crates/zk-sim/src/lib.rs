@@ -1,0 +1,26 @@
+//! A code-level, deterministically schedulable simulator of ZooKeeper's log-replication
+//! implementation.
+//!
+//! This crate plays the role of the ZooKeeper Java implementation in the paper's
+//! conformance-checking loop (§3.4, §3.5): it is structured like the code — a
+//! [`LeaderServer`](node::LeaderServer) with per-learner handlers, a
+//! [`FollowerServer`](node::FollowerServer) whose `Learner.syncWithLeader` loop processes
+//! quorum packets, and the `SyncRequestProcessor` / `CommitProcessor` threads with their
+//! queues — but every thread step is an explicit [`SimEvent`](cluster::SimEvent) executed
+//! by the central scheduler, so the Remix coordinator can control the interleaving
+//! exactly as AspectJ instrumentation plus the RMI coordinator do for the real system.
+//!
+//! The same [`CodeVersion`](remix_zab::CodeVersion) switches as the specification crate
+//! select which historical bugs (ZK-3023, ZK-4394, ZK-4643, ZK-4646, ZK-4685, ZK-4712)
+//! are present, so conformance checking can be exercised against both buggy and fixed
+//! builds.
+
+pub mod cluster;
+pub mod network;
+pub mod node;
+pub mod observation;
+
+pub use cluster::{Cluster, SimError, SimEvent};
+pub use network::{Network, Packet};
+pub use node::{FollowerServer, LeaderServer, NodeHandle, Processor};
+pub use observation::{NodeObservation, Observation};

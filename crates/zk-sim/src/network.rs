@@ -1,0 +1,128 @@
+//! The simulated network: per-pair FIFO channels of quorum packets.
+
+use std::collections::BTreeSet;
+
+use remix_zab::{Message, Sid};
+
+/// A quorum packet in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sender.
+    pub from: Sid,
+    /// Receiver.
+    pub to: Sid,
+    /// Payload (the same message vocabulary as the specification, which is what the
+    /// conformance checker compares against).
+    pub msg: Message,
+}
+
+/// FIFO channels between every ordered pair of servers, with partition support.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    channels: Vec<Vec<Vec<Message>>>,
+    partitioned: BTreeSet<(Sid, Sid)>,
+}
+
+impl Network {
+    /// Creates a network for `n` servers.
+    pub fn new(n: usize) -> Self {
+        Network { channels: vec![vec![Vec::new(); n]; n], partitioned: BTreeSet::new() }
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Returns `true` if `a` and `b` are currently connected.
+    pub fn connected(&self, a: Sid, b: Sid) -> bool {
+        a == b || !self.partitioned.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Sends a packet; dropped when the link is partitioned.
+    pub fn send(&mut self, from: Sid, to: Sid, msg: Message) {
+        if from != to && self.connected(from, to) {
+            self.channels[from][to].push(msg);
+        }
+    }
+
+    /// Peeks the head of the `from → to` channel.
+    pub fn peek(&self, from: Sid, to: Sid) -> Option<&Message> {
+        self.channels[from][to].first()
+    }
+
+    /// Receives (pops) the head of the `from → to` channel.
+    pub fn recv(&mut self, from: Sid, to: Sid) -> Option<Message> {
+        if self.channels[from][to].is_empty() {
+            None
+        } else {
+            Some(self.channels[from][to].remove(0))
+        }
+    }
+
+    /// Breaks the link between two servers, dropping in-flight packets.
+    pub fn partition(&mut self, a: Sid, b: Sid) {
+        self.partitioned.insert((a.min(b), a.max(b)));
+        self.channels[a][b].clear();
+        self.channels[b][a].clear();
+    }
+
+    /// Heals the link between two servers.
+    pub fn heal(&mut self, a: Sid, b: Sid) {
+        self.partitioned.remove(&(a.min(b), a.max(b)));
+    }
+
+    /// Drops every channel to and from a server (connection reset on crash).
+    pub fn disconnect(&mut self, node: Sid) {
+        for j in 0..self.n() {
+            self.channels[node][j].clear();
+            self.channels[j][node].clear();
+        }
+    }
+
+    /// Total number of packets in flight.
+    pub fn in_flight(&self) -> usize {
+        self.channels.iter().flatten().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_zab::Zxid;
+
+    #[test]
+    fn channels_are_fifo_per_pair() {
+        let mut n = Network::new(3);
+        n.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
+        n.send(0, 1, Message::Commit { zxid: Zxid::new(1, 1) });
+        assert_eq!(n.in_flight(), 2);
+        assert_eq!(n.recv(0, 1).unwrap().kind(), "UPTODATE");
+        assert_eq!(n.recv(0, 1).unwrap().kind(), "COMMIT");
+        assert!(n.recv(0, 1).is_none());
+    }
+
+    #[test]
+    fn partitions_drop_packets_and_block_sends() {
+        let mut n = Network::new(3);
+        n.send(0, 2, Message::UpToDate { zxid: Zxid::ZERO });
+        n.partition(0, 2);
+        assert_eq!(n.in_flight(), 0);
+        n.send(0, 2, Message::UpToDate { zxid: Zxid::ZERO });
+        assert_eq!(n.in_flight(), 0);
+        assert!(!n.connected(0, 2));
+        n.heal(0, 2);
+        assert!(n.connected(0, 2));
+        n.send(0, 2, Message::UpToDate { zxid: Zxid::ZERO });
+        assert_eq!(n.in_flight(), 1);
+    }
+
+    #[test]
+    fn disconnect_clears_both_directions() {
+        let mut n = Network::new(2);
+        n.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
+        n.send(1, 0, Message::UpToDate { zxid: Zxid::ZERO });
+        n.disconnect(1);
+        assert_eq!(n.in_flight(), 0);
+    }
+}

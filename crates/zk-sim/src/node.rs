@@ -1,0 +1,685 @@
+//! Server processes: the leader, the follower (learner) and the request processors.
+//!
+//! The structure mirrors the ZooKeeper classes the paper instruments:
+//!
+//! * [`FollowerServer`] — the `Learner.syncWithLeader` / `FollowerZooKeeperServer` path:
+//!   a packet-handling loop plus the `SyncRequestProcessor` and `CommitProcessor`
+//!   queues ([`Processor`]);
+//! * [`LeaderServer`] — the `Leader` / `LearnerHandler` path: per-learner sync decisions,
+//!   acknowledgement bookkeeping and commit fan-out.
+//!
+//! Each public method corresponds to one code-level action the coordinator can schedule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use remix_zab::{BugFlags, Message, Sid, SyncMode, Txn, Zxid};
+
+use crate::network::Network;
+
+/// A single-threaded request processor with an input queue (the structure of
+/// `SyncRequestProcessor` and `CommitProcessor`).
+#[derive(Debug, Clone)]
+pub struct Processor<T> {
+    /// The queue of requests handed to this processor by other threads.
+    pub queue: Vec<T>,
+}
+
+impl<T> Default for Processor<T> {
+    fn default() -> Self {
+        Processor { queue: Vec::new() }
+    }
+}
+
+impl<T> Processor<T> {
+    /// Adds a request to the processor's queue.
+    pub fn offer(&mut self, item: T) {
+        self.queue.push(item);
+    }
+
+    /// Takes the next request, if any.
+    pub fn poll(&mut self) -> Option<T> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.queue.remove(0))
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Clears the queue (processor shutdown).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// Run state of a simulated server process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Running leader election (or idle).
+    Looking,
+    /// Acting as a follower.
+    Following,
+    /// Acting as a leader.
+    Leading,
+    /// Crashed.
+    Down,
+}
+
+/// Phase of the follower's recovery handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPhase {
+    /// Not yet synchronizing.
+    Idle,
+    /// Between the sync payload and UPTODATE.
+    Synchronizing,
+    /// Serving (broadcast phase).
+    Broadcast,
+}
+
+/// The durable state every server keeps on disk.
+#[derive(Debug, Clone, Default)]
+pub struct Disk {
+    /// `currentEpoch` file.
+    pub current_epoch: u32,
+    /// `acceptedEpoch` file.
+    pub accepted_epoch: u32,
+    /// The transaction log.
+    pub log: Vec<Txn>,
+    /// Number of committed transactions (recovered committed prefix).
+    pub committed: usize,
+}
+
+impl Disk {
+    /// The last zxid in the log.
+    pub fn last_zxid(&self) -> Zxid {
+        self.log.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO)
+    }
+}
+
+/// A follower process (`Learner` + `FollowerZooKeeperServer`).
+#[derive(Debug, Clone)]
+pub struct FollowerServer {
+    /// This server's id.
+    pub sid: Sid,
+    /// Durable state.
+    pub disk: Disk,
+    /// Run state.
+    pub run_state: RunState,
+    /// Recovery phase.
+    pub phase: SyncPhase,
+    /// The leader this follower is connected to.
+    pub leader: Option<Sid>,
+    /// Packets received during synchronization and not yet logged
+    /// (`packetsNotCommitted`).
+    pub packets_not_committed: Vec<Txn>,
+    /// Commits received during synchronization (`packetsCommitted`).
+    pub packets_committed: Vec<Zxid>,
+    /// The `SyncRequestProcessor` queue.
+    pub sync_processor: Processor<Txn>,
+    /// The `CommitProcessor` queue.
+    pub commit_processor: Processor<Zxid>,
+    /// Error raised by the process (exception / failed assertion), if any.
+    pub error: Option<String>,
+}
+
+impl FollowerServer {
+    /// A freshly booted server.
+    pub fn new(sid: Sid) -> Self {
+        FollowerServer {
+            sid,
+            disk: Disk::default(),
+            run_state: RunState::Looking,
+            phase: SyncPhase::Idle,
+            leader: None,
+            packets_not_committed: Vec::new(),
+            packets_committed: Vec::new(),
+            sync_processor: Processor::default(),
+            commit_processor: Processor::default(),
+            error: None,
+        }
+    }
+
+    fn raise(&mut self, error: impl Into<String>) {
+        if self.error.is_none() {
+            self.error = Some(error.into());
+        }
+    }
+
+    /// Starts following `leader` in epoch `epoch` (the end of election + discovery).
+    pub fn start_following(&mut self, leader: Sid, epoch: u32) {
+        self.run_state = RunState::Following;
+        self.phase = SyncPhase::Synchronizing;
+        self.leader = Some(leader);
+        self.disk.accepted_epoch = epoch;
+    }
+
+    /// Handles the synchronization payload (DIFF / TRUNC / SNAP).
+    pub fn handle_sync_packets(&mut self, mode: SyncMode, txns: Vec<Txn>, committed_upto: Zxid, trunc_to: Zxid) {
+        match mode {
+            SyncMode::Diff => {
+                for t in &self.disk.log[self.disk.committed..] {
+                    if t.zxid <= committed_upto {
+                        self.packets_committed.push(t.zxid);
+                    }
+                }
+                for t in txns {
+                    self.packets_not_committed.push(t);
+                    if t.zxid <= committed_upto {
+                        self.packets_committed.push(t.zxid);
+                    }
+                }
+            }
+            SyncMode::Trunc => {
+                self.disk.log.retain(|t| t.zxid <= trunc_to);
+                self.disk.committed = self.disk.committed.min(self.disk.log.len());
+            }
+            SyncMode::Snap => {
+                self.disk.log = txns;
+                self.disk.committed = self.disk.log.iter().filter(|t| t.zxid <= committed_upto).count();
+                self.packets_not_committed.clear();
+                self.packets_committed.clear();
+            }
+        }
+    }
+
+    /// `Learner.syncWithLeader`, NEWLEADER case, step ①: `self.setCurrentEpoch(newEpoch)`.
+    pub fn newleader_update_epoch(&mut self, epoch: u32) {
+        self.disk.current_epoch = epoch;
+    }
+
+    /// `Learner.syncWithLeader`, NEWLEADER case, step ②: hand every pending packet to the
+    /// `SyncRequestProcessor` (or log synchronously under the final fix).
+    pub fn newleader_log_requests(&mut self, bugs: &BugFlags) {
+        let pending: Vec<Txn> = self.packets_not_committed.drain(..).collect();
+        if bugs.synchronous_sync_logging {
+            self.disk.log.extend(pending);
+        } else {
+            for p in pending {
+                self.sync_processor.offer(p);
+            }
+        }
+    }
+
+    /// `Learner.syncWithLeader`, NEWLEADER case, step ③: write the ACK packet.
+    pub fn newleader_write_ack(&mut self, zxid: Zxid, network: &mut Network) {
+        if let Some(leader) = self.leader {
+            network.send(self.sid, leader, Message::Ack { zxid });
+        }
+    }
+
+    /// One iteration of the `SyncRequestProcessor` thread: append a queued request to the
+    /// log and acknowledge it.
+    pub fn sync_processor_run_once(&mut self, network: &mut Network) -> bool {
+        let Some(txn) = self.sync_processor.poll() else { return false };
+        self.disk.log.push(txn);
+        if self.run_state == RunState::Following {
+            if let Some(leader) = self.leader {
+                network.send(self.sid, leader, Message::Ack { zxid: txn.zxid });
+            }
+        }
+        true
+    }
+
+    /// One iteration of the `CommitProcessor` thread: deliver the next queued commit.
+    pub fn commit_processor_run_once(&mut self, bugs: &BugFlags) -> bool {
+        if self.commit_processor.is_empty() {
+            return false;
+        }
+        let zxid = self.commit_processor.queue[0];
+        let already = self.disk.log[..self.disk.committed].iter().any(|t| t.zxid == zxid);
+        let is_next =
+            self.disk.committed < self.disk.log.len() && self.disk.log[self.disk.committed].zxid == zxid;
+        if !already && !is_next && !bugs.commit_requires_logged_txn {
+            // Fixed implementation: wait for the logging thread.
+            return false;
+        }
+        self.commit_processor.poll();
+        if already {
+            // Duplicate: ignore.
+        } else if is_next {
+            self.disk.committed += 1;
+        } else {
+            self.raise(format!("ZK-3023: committing {zxid} which is not logged yet"));
+        }
+        true
+    }
+
+    /// Handles a COMMIT received while still synchronizing (the ZK-4394 code path).
+    pub fn handle_commit_in_sync(&mut self, zxid: Zxid, bugs: &BugFlags, masked: bool) {
+        if let Some(pos) = self.packets_not_committed.iter().position(|t| t.zxid == zxid) {
+            if pos == 0 {
+                self.packets_committed.push(zxid);
+            } else {
+                self.raise("out-of-order COMMIT during sync");
+            }
+        } else if self.disk.log.iter().any(|t| t.zxid == zxid)
+            || self.sync_processor.queue.iter().any(|t| t.zxid == zxid)
+        {
+            self.packets_committed.push(zxid);
+        } else if bugs.commit_in_sync_nullpointer && !masked {
+            self.raise("ZK-4394: NullPointerException in Learner.syncWithLeader");
+        }
+    }
+
+    /// Handles UPTODATE: queue the deferred commits, acknowledge, start serving.
+    pub fn handle_uptodate(&mut self, zxid: Zxid, bugs: &BugFlags, network: &mut Network) {
+        if bugs.synchronous_sync_logging {
+            let pending: Vec<Txn> = self.packets_not_committed.drain(..).collect();
+            self.disk.log.extend(pending);
+            let committed: BTreeSet<Zxid> = self.packets_committed.drain(..).collect();
+            let mut committed_len = self.disk.committed;
+            for (idx, t) in self.disk.log.iter().enumerate() {
+                if t.zxid <= zxid || committed.contains(&t.zxid) {
+                    committed_len = committed_len.max(idx + 1);
+                }
+            }
+            self.disk.committed = committed_len.min(self.disk.log.len());
+        } else {
+            let pending: Vec<Txn> = self.packets_not_committed.drain(..).collect();
+            for p in pending {
+                self.sync_processor.offer(p);
+            }
+            let deferred: Vec<Zxid> = self.packets_committed.drain(..).collect();
+            let already: BTreeSet<Zxid> =
+                self.disk.log[..self.disk.committed].iter().map(|t| t.zxid).collect();
+            let mut to_commit: Vec<Zxid> = Vec::new();
+            for t in self.disk.log.iter().chain(self.sync_processor.queue.iter()) {
+                if t.zxid <= zxid && !already.contains(&t.zxid) && !to_commit.contains(&t.zxid) {
+                    to_commit.push(t.zxid);
+                }
+            }
+            for z in deferred {
+                if !already.contains(&z) && !to_commit.contains(&z) {
+                    to_commit.push(z);
+                }
+            }
+            to_commit.sort();
+            for z in to_commit {
+                self.commit_processor.offer(z);
+            }
+        }
+        self.phase = SyncPhase::Broadcast;
+        if let Some(leader) = self.leader {
+            network.send(self.sid, leader, Message::Ack { zxid });
+        }
+    }
+
+    /// Handles a broadcast PROPOSAL: queue it for the logging thread.
+    pub fn handle_proposal(&mut self, txn: Txn) {
+        if txn.zxid.epoch != self.disk.current_epoch {
+            self.raise("PROPOSAL epoch mismatch");
+            return;
+        }
+        if self.disk.log.last().is_some_and(|last| txn.zxid <= last.zxid)
+            && !self.sync_processor.queue.iter().any(|t| t.zxid == txn.zxid)
+        {
+            self.raise("PROPOSAL zxid not beyond the log");
+            return;
+        }
+        self.sync_processor.offer(txn);
+    }
+
+    /// Handles a broadcast COMMIT: queue it for the commit thread.
+    pub fn handle_commit(&mut self, zxid: Zxid) {
+        self.commit_processor.offer(zxid);
+    }
+
+    /// Shuts the follower down back to leader election (`Learner.shutdown`).  Whether the
+    /// `SyncRequestProcessor` queue is drained is exactly the ZK-4712 switch.
+    pub fn shutdown(&mut self, bugs: &BugFlags) {
+        self.run_state = RunState::Looking;
+        self.phase = SyncPhase::Idle;
+        self.leader = None;
+        self.packets_not_committed.clear();
+        self.packets_committed.clear();
+        self.commit_processor.clear();
+        if !bugs.shutdown_keeps_request_queue {
+            self.sync_processor.clear();
+        }
+    }
+
+    /// Crashes the process: every volatile structure is lost.
+    pub fn crash(&mut self) {
+        self.run_state = RunState::Down;
+        self.phase = SyncPhase::Idle;
+        self.leader = None;
+        self.packets_not_committed.clear();
+        self.packets_committed.clear();
+        self.sync_processor.clear();
+        self.commit_processor.clear();
+        self.error = None;
+    }
+
+    /// Restarts a crashed process, recovering the durable state.
+    pub fn restart(&mut self) {
+        self.disk.committed = self.disk.committed.min(self.disk.log.len());
+        self.run_state = RunState::Looking;
+    }
+}
+
+/// The leader process (`Leader` + `LearnerHandler`s).
+#[derive(Debug, Clone)]
+pub struct LeaderServer {
+    /// This server's id.
+    pub sid: Sid,
+    /// The epoch this leader leads.
+    pub epoch: u32,
+    /// Learners that completed discovery, with their reported last zxid.
+    pub learners: BTreeMap<Sid, Zxid>,
+    /// Learners to which the sync payload and NEWLEADER have been sent.
+    pub synced: BTreeSet<Sid>,
+    /// Learners that acknowledged NEWLEADER.
+    pub newleader_acks: BTreeSet<Sid>,
+    /// Whether the epoch has been established (quorum of NEWLEADER acks).
+    pub established: bool,
+    /// Outstanding proposals and their acknowledgers.
+    pub outstanding: BTreeMap<Zxid, BTreeSet<Sid>>,
+    /// Error raised by the leader, if any.
+    pub error: Option<String>,
+}
+
+impl LeaderServer {
+    /// Creates a leader for an epoch.
+    pub fn new(sid: Sid, epoch: u32) -> Self {
+        LeaderServer {
+            sid,
+            epoch,
+            learners: BTreeMap::new(),
+            synced: BTreeSet::new(),
+            newleader_acks: BTreeSet::new(),
+            established: false,
+            outstanding: BTreeMap::new(),
+            error: None,
+        }
+    }
+
+    fn raise(&mut self, error: impl Into<String>) {
+        if self.error.is_none() {
+            self.error = Some(error.into());
+        }
+    }
+
+    /// Registers a learner after discovery.
+    pub fn register_learner(&mut self, sid: Sid, last_zxid: Zxid) {
+        self.learners.insert(sid, last_zxid);
+    }
+
+    /// `LearnerHandler.syncFollower`: decide DIFF / TRUNC / SNAP, queue the payload and
+    /// NEWLEADER on the wire.
+    pub fn sync_follower(&mut self, follower: Sid, disk: &Disk, network: &mut Network) {
+        let follower_zxid = *self.learners.get(&follower).unwrap_or(&Zxid::ZERO);
+        let leader_last = disk.last_zxid();
+        let committed_upto =
+            if disk.committed > 0 { disk.log[disk.committed - 1].zxid } else { Zxid::ZERO };
+        let known = follower_zxid == Zxid::ZERO || disk.log.iter().any(|t| t.zxid == follower_zxid);
+        let payload = if follower_zxid == leader_last {
+            Message::SyncPackets { mode: SyncMode::Diff, txns: vec![], committed_upto, trunc_to: Zxid::ZERO }
+        } else if follower_zxid > leader_last {
+            Message::SyncPackets { mode: SyncMode::Trunc, txns: vec![], committed_upto, trunc_to: leader_last }
+        } else if known {
+            let txns = disk.log.iter().filter(|t| t.zxid > follower_zxid).copied().collect();
+            Message::SyncPackets { mode: SyncMode::Diff, txns, committed_upto, trunc_to: Zxid::ZERO }
+        } else {
+            Message::SyncPackets {
+                mode: SyncMode::Snap,
+                txns: disk.log.clone(),
+                committed_upto,
+                trunc_to: Zxid::ZERO,
+            }
+        };
+        self.synced.insert(follower);
+        network.send(self.sid, follower, payload);
+        network.send(self.sid, follower, Message::NewLeader { epoch: self.epoch, zxid: leader_last });
+    }
+
+    /// `Leader.processAck` while still waiting for the quorum of NEWLEADER acks.
+    ///
+    /// Returns `true` when the quorum was just reached (the caller then establishes the
+    /// epoch, commits the initial history and releases UPTODATE).
+    pub fn process_ack_during_sync(
+        &mut self,
+        from: Sid,
+        zxid: Zxid,
+        disk: &Disk,
+        bugs: &BugFlags,
+        quorum: usize,
+    ) -> bool {
+        if zxid == disk.last_zxid() {
+            self.newleader_acks.insert(from);
+            if !self.established && self.newleader_acks.len() + 1 >= quorum {
+                return true;
+            }
+        } else if bugs.leader_rejects_early_proposal_ack {
+            self.raise(format!("ZK-4685: unexpected ACK {zxid} while waiting for NEWLEADER acks"));
+        } else {
+            self.outstanding.entry(zxid).or_default().insert(from);
+        }
+        false
+    }
+
+    /// Establishes the epoch: commit the initial history and release COMMITs + UPTODATE.
+    pub fn establish(&mut self, disk: &mut Disk, network: &mut Network) {
+        let newly_committed: Vec<Zxid> = disk.log[disk.committed..].iter().map(|t| t.zxid).collect();
+        disk.current_epoch = self.epoch;
+        disk.committed = disk.log.len();
+        self.established = true;
+        let last = disk.last_zxid();
+        for f in self.newleader_acks.clone() {
+            for z in &newly_committed {
+                network.send(self.sid, f, Message::Commit { zxid: *z });
+            }
+            network.send(self.sid, f, Message::UpToDate { zxid: last });
+        }
+    }
+
+    /// `Leader.propose`: create a transaction from a client request and fan it out.
+    pub fn propose(&mut self, value: u32, disk: &mut Disk, network: &mut Network) -> Txn {
+        let counter = disk
+            .log
+            .iter()
+            .filter(|t| t.zxid.epoch == self.epoch)
+            .map(|t| t.zxid.counter)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let txn = Txn::new(self.epoch, counter, value);
+        disk.log.push(txn);
+        let mut ackers = BTreeSet::new();
+        ackers.insert(self.sid);
+        self.outstanding.insert(txn.zxid, ackers);
+        for f in self.newleader_acks.clone() {
+            network.send(self.sid, f, Message::Proposal { txn });
+        }
+        txn
+    }
+
+    /// `Leader.processAck` in the broadcast phase: count the ack, commit ready proposals
+    /// in order, and bring late-synced followers up to date.
+    pub fn process_ack_in_broadcast(
+        &mut self,
+        from: Sid,
+        zxid: Zxid,
+        disk: &mut Disk,
+        network: &mut Network,
+        quorum: usize,
+    ) {
+        if let Some(ackers) = self.outstanding.get_mut(&zxid) {
+            ackers.insert(from);
+            // Commit in log order.
+            loop {
+                if disk.committed >= disk.log.len() {
+                    break;
+                }
+                let next = disk.log[disk.committed].zxid;
+                let Some(a) = self.outstanding.get(&next) else { break };
+                if a.len() < quorum {
+                    break;
+                }
+                disk.committed += 1;
+                self.outstanding.remove(&next);
+                for f in self.newleader_acks.clone() {
+                    network.send(self.sid, f, Message::Commit { zxid: next });
+                }
+            }
+        } else if !self.newleader_acks.contains(&from) {
+            // Late NEWLEADER ack: replay the missed proposals and commits, then UPTODATE.
+            let committed_upto =
+                if disk.committed > 0 { disk.log[disk.committed - 1].zxid } else { Zxid::ZERO };
+            let missed: Vec<Txn> = disk.log.iter().filter(|t| t.zxid > zxid).copied().collect();
+            for t in missed {
+                network.send(self.sid, from, Message::Proposal { txn: t });
+                if t.zxid <= committed_upto {
+                    network.send(self.sid, from, Message::Commit { zxid: t.zxid });
+                }
+            }
+            self.newleader_acks.insert(from);
+            network.send(self.sid, from, Message::UpToDate { zxid: disk.last_zxid() });
+        }
+    }
+}
+
+/// A server process: either a follower/looking node or a leader (which also keeps the
+/// follower structure for its own disk and processors).
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    /// The follower-side structure (always present; owns the disk).
+    pub server: FollowerServer,
+    /// The leader-side structure, when this node currently leads.
+    pub leader: Option<LeaderServer>,
+}
+
+impl NodeHandle {
+    /// A freshly booted node.
+    pub fn new(sid: Sid) -> Self {
+        NodeHandle { server: FollowerServer::new(sid), leader: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_zab::CodeVersion;
+
+    #[test]
+    fn processor_is_fifo() {
+        let mut p = Processor::default();
+        p.offer(1);
+        p.offer(2);
+        assert_eq!(p.poll(), Some(1));
+        assert_eq!(p.poll(), Some(2));
+        assert!(p.poll().is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn follower_newleader_steps_match_the_code_structure() {
+        let bugs = CodeVersion::V391.bugs();
+        let mut net = Network::new(3);
+        let mut f = FollowerServer::new(0);
+        f.start_following(2, 1);
+        f.handle_sync_packets(SyncMode::Diff, vec![Txn::new(1, 1, 1)], Zxid::new(1, 1), Zxid::ZERO);
+        assert_eq!(f.packets_not_committed.len(), 1);
+        f.newleader_update_epoch(1);
+        assert_eq!(f.disk.current_epoch, 1);
+        f.newleader_log_requests(&bugs);
+        assert_eq!(f.sync_processor.queue.len(), 1, "asynchronous logging queues the packet");
+        assert!(f.disk.log.is_empty());
+        f.newleader_write_ack(Zxid::new(1, 1), &mut net);
+        assert_eq!(net.peek(0, 2).unwrap().kind(), "ACK");
+        assert!(f.sync_processor_run_once(&mut net));
+        assert_eq!(f.disk.log.len(), 1);
+    }
+
+    #[test]
+    fn final_fix_logs_synchronously() {
+        let bugs = CodeVersion::FinalFix.bugs();
+        let mut f = FollowerServer::new(0);
+        f.start_following(2, 1);
+        f.packets_not_committed.push(Txn::new(1, 1, 1));
+        f.newleader_log_requests(&bugs);
+        assert_eq!(f.disk.log.len(), 1);
+        assert!(f.sync_processor.is_empty());
+    }
+
+    #[test]
+    fn commit_processor_error_path_matches_zk3023() {
+        let buggy = CodeVersion::V391.bugs();
+        let fixed = CodeVersion::FinalFix.bugs();
+        let mut f = FollowerServer::new(0);
+        f.commit_processor.offer(Zxid::new(1, 1));
+        let mut g = f.clone();
+        assert!(f.commit_processor_run_once(&buggy));
+        assert!(f.error.as_deref().unwrap_or("").contains("ZK-3023"));
+        assert!(!g.commit_processor_run_once(&fixed), "fixed build waits for the log");
+        assert!(g.error.is_none());
+    }
+
+    #[test]
+    fn shutdown_queue_behaviour_matches_zk4712() {
+        let buggy = CodeVersion::V391.bugs();
+        let fixed = CodeVersion::MSpec3Plus.bugs();
+        let mut f = FollowerServer::new(0);
+        f.sync_processor.offer(Txn::new(1, 1, 1));
+        let mut g = f.clone();
+        f.shutdown(&buggy);
+        assert_eq!(f.sync_processor.queue.len(), 1);
+        g.shutdown(&fixed);
+        assert!(g.sync_processor.is_empty());
+    }
+
+    #[test]
+    fn leader_sync_and_establishment_flow() {
+        let bugs = CodeVersion::V391.bugs();
+        let mut net = Network::new(3);
+        let mut disk = Disk { log: vec![Txn::new(1, 1, 1)], committed: 0, ..Disk::default() };
+        let mut l = LeaderServer::new(2, 2);
+        l.register_learner(0, Zxid::ZERO);
+        l.sync_follower(0, &disk, &mut net);
+        assert_eq!(net.peek(2, 0).unwrap().kind(), "SYNCPACKETS");
+        // A quorum-completing NEWLEADER ack triggers establishment.
+        let ready = l.process_ack_during_sync(0, Zxid::new(1, 1), &disk, &bugs, 2);
+        assert!(ready);
+        l.establish(&mut disk, &mut net);
+        assert!(l.established);
+        assert_eq!(disk.committed, 1);
+        assert_eq!(disk.current_epoch, 2);
+        // The uncommitted tail is committed and released before UPTODATE (ZK-4394 fuel).
+        let kinds: Vec<&str> = std::iter::from_fn(|| net.recv(2, 0)).map(|m| m.kind()).collect::<Vec<_>>()
+            [2..]
+            .to_vec();
+        assert_eq!(kinds, vec!["COMMIT", "UPTODATE"]);
+    }
+
+    #[test]
+    fn early_proposal_ack_raises_zk4685_on_buggy_builds() {
+        let buggy = CodeVersion::V391.bugs();
+        let tolerant = CodeVersion::FinalFix.bugs();
+        let disk = Disk { log: vec![Txn::new(1, 1, 1)], committed: 1, ..Disk::default() };
+        let mut l = LeaderServer::new(2, 2);
+        l.process_ack_during_sync(0, Zxid::new(1, 9), &disk, &buggy, 2);
+        assert!(l.error.as_deref().unwrap_or("").contains("ZK-4685"));
+        let mut l = LeaderServer::new(2, 2);
+        l.process_ack_during_sync(0, Zxid::new(1, 9), &disk, &tolerant, 2);
+        assert!(l.error.is_none());
+        assert!(l.outstanding.contains_key(&Zxid::new(1, 9)));
+    }
+
+    #[test]
+    fn broadcast_commit_requires_a_quorum() {
+        let mut net = Network::new(3);
+        let mut disk = Disk::default();
+        disk.current_epoch = 2;
+        let mut l = LeaderServer::new(2, 2);
+        l.newleader_acks.insert(0);
+        l.established = true;
+        let txn = l.propose(7, &mut disk, &mut net);
+        assert_eq!(disk.log.len(), 1);
+        assert_eq!(net.peek(2, 0).unwrap().kind(), "PROPOSAL");
+        l.process_ack_in_broadcast(0, txn.zxid, &mut disk, &mut net, 2);
+        assert_eq!(disk.committed, 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the multi-grained specification framework (Remix reproduction).
+//!
+//! This crate re-exports the individual workspace crates so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`spec`] — the specification framework (values, actions, modules, composition,
+//!   dependency / interaction-variable analysis, interaction-preservation checking).
+//! * [`checker`] — the explicit-state model checker (BFS/DFS exploration, invariant
+//!   checking, counterexample traces, random simulation).
+//! * [`zab`] — multi-grained specifications of the Zab protocol and the ZooKeeper
+//!   system (protocol spec, system spec, fine-grained atomicity/concurrency specs,
+//!   coarse-grained abstractions, invariants, code versions and bug lineage).
+//! * [`zk_sim`] — a code-level, deterministically schedulable simulator of ZooKeeper's
+//!   log-replication implementation, used as the conformance-checking target.
+//! * [`remix`] — the Remix framework itself: composition of mixed-grained
+//!   specifications, invariant selection, verification runs and conformance checking.
+
+pub use remix_checker as checker;
+pub use remix_core as remix;
+pub use remix_spec as spec;
+pub use remix_zab as zab;
+pub use remix_zk_sim as zk_sim;

@@ -1,0 +1,126 @@
+//! Property-based tests on the core data structures and invariants of the framework.
+
+use multigrained::checker::fingerprint;
+use multigrained::spec::{condense, condensed_states, project_trace, SpecState, Trace, Value};
+use multigrained::zab::{ClusterConfig, CodeVersion, ServerData, Txn, ZabState, Zxid};
+use proptest::prelude::*;
+
+fn arb_zxid() -> impl Strategy<Value = Zxid> {
+    (0u32..4, 0u32..6).prop_map(|(e, c)| Zxid::new(e, c))
+}
+
+fn arb_txn() -> impl Strategy<Value = Txn> {
+    (arb_zxid(), 0u32..8).prop_map(|(z, v)| Txn { zxid: z, value: v })
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<Txn>> {
+    proptest::collection::vec(arb_txn(), 0..6).prop_map(|mut v| {
+        v.sort_by_key(|t| t.zxid);
+        v.dedup_by_key(|t| t.zxid);
+        v
+    })
+}
+
+proptest! {
+    /// Zxid ordering is epoch-major and total.
+    #[test]
+    fn zxid_order_is_epoch_major(a in arb_zxid(), b in arb_zxid()) {
+        if a.epoch != b.epoch {
+            prop_assert_eq!(a < b, a.epoch < b.epoch);
+        } else {
+            prop_assert_eq!(a < b, a.counter < b.counter);
+        }
+        // Total order: exactly one of <, ==, > holds.
+        prop_assert_eq!(a == b, !(a < b) && !(b < a));
+    }
+
+    /// Fingerprints are deterministic and respect equality.
+    #[test]
+    fn fingerprints_are_deterministic(history in arb_history(), epoch in 0u32..5) {
+        let mut a = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        a.servers[0].history = history.clone();
+        a.servers[0].current_epoch = epoch;
+        let b = a.clone();
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut c = a.clone();
+        c.servers[0].current_epoch = epoch + 1;
+        prop_assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    /// The delivered prefix of a server never exceeds its log and is itself a prefix.
+    #[test]
+    fn delivered_is_a_prefix_of_history(history in arb_history(), committed in 0usize..10) {
+        let mut sd = ServerData::initial(0);
+        sd.history = history.clone();
+        sd.last_committed = committed;
+        let delivered = sd.delivered();
+        prop_assert!(delivered.len() <= history.len());
+        prop_assert_eq!(delivered, &history[..delivered.len()]);
+    }
+
+    /// Value prefix relation: a sequence is a prefix of itself plus any suffix, and the
+    /// relation is antisymmetric up to equality.
+    #[test]
+    fn value_prefix_laws(a in proptest::collection::vec(0i64..10, 0..6),
+                         b in proptest::collection::vec(0i64..10, 0..6)) {
+        let va = Value::from(a.clone());
+        let mut ab = a.clone();
+        ab.extend(b.clone());
+        let vab = Value::from(ab);
+        prop_assert!(va.is_prefix_of(&vab));
+        let vb = Value::from(b.clone());
+        if va.is_prefix_of(&vb) && vb.is_prefix_of(&va) {
+            prop_assert_eq!(va.clone(), vb);
+        }
+    }
+
+    /// Trace condensation is idempotent and never lengthens a trace, and projection onto
+    /// the full variable set distinguishes states that differ in a projected variable.
+    #[test]
+    fn condensation_is_idempotent(epochs in proptest::collection::vec(0u32..4, 1..8)) {
+        let config = ClusterConfig::small(CodeVersion::V391);
+        let mut trace = Trace::from_init(ZabState::initial(&config));
+        let mut state = ZabState::initial(&config);
+        for (i, e) in epochs.iter().enumerate() {
+            state.servers[0].current_epoch = *e;
+            trace.push(format!("SetEpoch({i})"), state.clone());
+        }
+        let projected = project_trace(&trace, &["currentEpoch"]);
+        let condensed = condense(&projected);
+        prop_assert!(condensed.steps.len() <= projected.steps.len());
+        prop_assert_eq!(condense(&condensed.clone()), condensed);
+        // Consecutive condensed states always differ.
+        let states = condensed_states(&projected);
+        for w in states.windows(2) {
+            prop_assert_ne!(&w[0], &w[1]);
+        }
+    }
+
+    /// State projection is stable: projecting twice yields the same values, and the
+    /// projected variables are exactly those requested (when known).
+    #[test]
+    fn projection_is_stable(history in arb_history()) {
+        let mut s = ZabState::initial(&ClusterConfig::small(CodeVersion::V391));
+        s.servers[1].history = history;
+        let vars = ["history", "currentEpoch", "lastCommitted"];
+        let p1 = s.project(&vars);
+        let p2 = s.project(&vars);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(p1.len(), vars.len());
+    }
+
+    /// Crashing and restarting preserves exactly the durable state.
+    #[test]
+    fn crash_restart_preserves_durable_state(history in arb_history(), epoch in 0u32..5) {
+        let mut sd = ServerData::initial(1);
+        sd.history = history.clone();
+        sd.current_epoch = epoch;
+        sd.last_committed = history.len();
+        sd.queued_requests.push(Txn::new(9, 9, 9));
+        sd.crash();
+        sd.restart(1);
+        prop_assert_eq!(sd.history, history);
+        prop_assert_eq!(sd.current_epoch, epoch);
+        prop_assert!(sd.queued_requests.is_empty(), "volatile state is lost");
+    }
+}
