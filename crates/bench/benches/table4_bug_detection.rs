@@ -17,7 +17,9 @@ const SHALLOW_BUGS: &[&str] = &["ZK-3023", "ZK-4394", "ZK-4685"];
 
 fn bench_bug_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_bug_detection");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     for (bug, _impact, preset, invariant, version, masked) in remix_bench::table4_bugs() {
         let mut config = ClusterConfig::small(version);
         if !masked {

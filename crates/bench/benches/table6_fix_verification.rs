@@ -9,8 +9,14 @@ use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 
 fn bench_fix_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_fix_verification");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    for version in [CodeVersion::Pr1930, CodeVersion::Pr1993, CodeVersion::Pr2111] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    for version in [
+        CodeVersion::Pr1930,
+        CodeVersion::Pr1993,
+        CodeVersion::Pr2111,
+    ] {
         let config = ClusterConfig::small(version);
         group.bench_function(format!("{version:?}").replace("Pr", "PR-"), |b| {
             b.iter(|| {
@@ -19,7 +25,10 @@ fn bench_fix_verification(c: &mut Criterion) {
                     SpecPreset::MSpec3,
                     &VerifierOptions::default().with_time_budget(Duration::from_secs(60)),
                 );
-                assert!(!run.passed(), "the pull request should still violate an invariant");
+                assert!(
+                    !run.passed(),
+                    "the pull request should still violate an invariant"
+                );
             });
         });
     }

@@ -13,17 +13,26 @@ use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let budget = Duration::from_secs(
-        env::var("REPRODUCE_BUDGET_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(60),
+        env::var("REPRODUCE_BUDGET_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(60),
     );
-    let selected: Vec<String> = if args.is_empty() { vec!["all".to_owned()] } else { args };
+    let selected: Vec<String> = if args.is_empty() {
+        vec!["all".to_owned()]
+    } else {
+        args
+    };
     let want = |name: &str| selected.iter().any(|a| a == name || a == "all");
     let config = ClusterConfig::small(CodeVersion::V391);
 
     if want("table1") {
         println!("== Table 1: mixed-grained specifications for log replication ==");
         for (spec, row) in bench::table1(&config) {
-            let cells: Vec<String> =
-                row.iter().map(|(m, g)| format!("{m}={}", g.label())).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .map(|(m, g)| format!("{m}={}", g.label()))
+                .collect();
             println!("{spec:<9} {}", cells.join("  "));
         }
         println!();

@@ -29,7 +29,12 @@ pub fn table1(config: &ClusterConfig) -> Vec<(String, Vec<(String, Granularity)>
             let spec = p.build(config);
             let row = PHASES
                 .iter()
-                .map(|m| (m.name().to_owned(), spec.module_granularity(*m).expect("phase present")))
+                .map(|m| {
+                    (
+                        m.name().to_owned(),
+                        spec.module_granularity(*m).expect("phase present"),
+                    )
+                })
                 .collect();
             (p.name().to_owned(), row)
         })
@@ -46,7 +51,12 @@ pub fn table2() -> Vec<(String, String, String, usize)> {
                 .find(|(id, _)| *id == inv.id)
                 .map(|(_, n)| *n)
                 .unwrap_or(1);
-            (inv.id.to_owned(), inv.name.to_owned(), inv.source.to_string(), instances)
+            (
+                inv.id.to_owned(),
+                inv.name.to_owned(),
+                inv.source.to_string(),
+                instances,
+            )
         })
         .collect()
 }
@@ -69,39 +79,93 @@ pub struct EffortRow {
 pub fn table3(config: &ClusterConfig) -> Vec<EffortRow> {
     let composer = Composer::new(*config);
     let mapping = remix_core::default_mapping();
-    [SpecPreset::SysSpec, SpecPreset::MSpec1, SpecPreset::MSpec2, SpecPreset::MSpec3]
-        .iter()
-        .map(|p| {
-            let ComposedSpec { spec, .. } = composer.compose_preset(*p).expect("preset composes");
-            let instrumentation_points: usize = spec
-                .actions()
-                .map(|a| {
-                    mapping
-                        .translate(&format!("{}(0, 1)", a.name))
-                        .map(|events| events.len())
-                        .unwrap_or(0)
-                })
-                .sum();
-            EffortRow {
-                spec: p.name().to_owned(),
-                variables: spec.variable_count(),
-                actions: spec.action_count(),
-                instrumentation_points,
-            }
-        })
-        .collect()
+    [
+        SpecPreset::SysSpec,
+        SpecPreset::MSpec1,
+        SpecPreset::MSpec2,
+        SpecPreset::MSpec3,
+    ]
+    .iter()
+    .map(|p| {
+        let ComposedSpec { spec, .. } = composer.compose_preset(*p).expect("preset composes");
+        let instrumentation_points: usize = spec
+            .actions()
+            .map(|a| {
+                mapping
+                    .translate(&format!("{}(0, 1)", a.name))
+                    .map(|events| events.len())
+                    .unwrap_or(0)
+            })
+            .sum();
+        EffortRow {
+            spec: p.name().to_owned(),
+            variables: spec.variable_count(),
+            actions: spec.action_count(),
+            instrumentation_points,
+        }
+    })
+    .collect()
 }
 
 /// The six bugs of Table 4 with the specification and invariant that detect them, plus
 /// the code version used for the run (see EXPERIMENTS.md for the ZK-4646 ablation note).
-pub fn table4_bugs() -> Vec<(&'static str, &'static str, SpecPreset, &'static str, CodeVersion, bool)> {
+pub fn table4_bugs() -> Vec<(
+    &'static str,
+    &'static str,
+    SpecPreset,
+    &'static str,
+    CodeVersion,
+    bool,
+)> {
     vec![
-        ("ZK-3023", "Data sync failure", SpecPreset::MSpec3, "I-11", CodeVersion::V391, true),
-        ("ZK-4394", "Data sync failure", SpecPreset::MSpec1, "I-14", CodeVersion::V391, false),
-        ("ZK-4643", "Data loss", SpecPreset::MSpec2, "I-8", CodeVersion::V391, true),
-        ("ZK-4646", "Data loss", SpecPreset::MSpec3, "I-8", CodeVersion::Pr1848, true),
-        ("ZK-4685", "Data sync failure", SpecPreset::MSpec3, "I-12", CodeVersion::V391, true),
-        ("ZK-4712", "Data inconsistency", SpecPreset::MSpec3, "I-10", CodeVersion::V391, true),
+        (
+            "ZK-3023",
+            "Data sync failure",
+            SpecPreset::MSpec3,
+            "I-11",
+            CodeVersion::V391,
+            true,
+        ),
+        (
+            "ZK-4394",
+            "Data sync failure",
+            SpecPreset::MSpec1,
+            "I-14",
+            CodeVersion::V391,
+            false,
+        ),
+        (
+            "ZK-4643",
+            "Data loss",
+            SpecPreset::MSpec2,
+            "I-8",
+            CodeVersion::V391,
+            true,
+        ),
+        (
+            "ZK-4646",
+            "Data loss",
+            SpecPreset::MSpec3,
+            "I-8",
+            CodeVersion::Pr1848,
+            true,
+        ),
+        (
+            "ZK-4685",
+            "Data sync failure",
+            SpecPreset::MSpec3,
+            "I-12",
+            CodeVersion::V391,
+            true,
+        ),
+        (
+            "ZK-4712",
+            "Data inconsistency",
+            SpecPreset::MSpec3,
+            "I-10",
+            CodeVersion::V391,
+            true,
+        ),
     ]
 }
 
@@ -123,7 +187,9 @@ pub fn table4(budget: Duration) -> Vec<BugReport> {
             let verifier = Verifier::new(config);
             let run = verifier.verify_preset(
                 preset,
-                &VerifierOptions::default().targeting(invariant).with_time_budget(budget),
+                &VerifierOptions::default()
+                    .targeting(invariant)
+                    .with_time_budget(budget),
             );
             let detected = !run.passed();
             BugReport {
@@ -154,7 +220,9 @@ pub fn table5(completion: bool, budget: Duration) -> Vec<EfficiencyRow> {
         .map(|preset| {
             let options = VerifierOptions {
                 mode: if completion {
-                    CheckMode::Completion { violation_limit: 10_000 }
+                    CheckMode::Completion {
+                        violation_limit: 10_000,
+                    }
                 } else {
                     CheckMode::FirstViolation
                 },
@@ -178,7 +246,10 @@ pub fn table5(completion: bool, budget: Duration) -> Vec<EfficiencyRow> {
                     .iter()
                     .map(|s| s.to_string())
                     .collect(),
-                completed: !matches!(run.outcome.stop_reason, remix_checker::StopReason::TimeBudget),
+                completed: !matches!(
+                    run.outcome.stop_reason,
+                    remix_checker::StopReason::TimeBudget
+                ),
             }
         })
         .collect()
@@ -186,27 +257,34 @@ pub fn table5(completion: bool, budget: Duration) -> Vec<EfficiencyRow> {
 
 /// Table 6: verifying the bug-fix pull requests on mSpec-3+ (mSpec-3 with the ZK-4712 fix).
 pub fn table6(budget: Duration) -> Vec<FixVerificationRow> {
-    [CodeVersion::Pr1848, CodeVersion::Pr1930, CodeVersion::Pr1993, CodeVersion::Pr2111]
-        .iter()
-        .map(|version| {
-            let config = ClusterConfig::table4(*version).with_crashes(2);
-            let verifier = Verifier::new(config);
-            let run = verifier
-                .verify_preset(SpecPreset::MSpec3, &VerifierOptions::default().with_time_budget(budget));
-            FixVerificationRow {
-                pull_request: format!("{version:?}").replace("Pr", "PR-"),
-                spec: "mSpec-3+".to_owned(),
-                time: run.outcome.stats.elapsed,
-                depth: run
-                    .outcome
-                    .first_violation()
-                    .map(|v| v.depth)
-                    .unwrap_or(run.outcome.stats.max_depth),
-                states: run.outcome.stats.distinct_states,
-                invariant: run.first_violated_invariant().map(|s| s.to_owned()),
-            }
-        })
-        .collect()
+    [
+        CodeVersion::Pr1848,
+        CodeVersion::Pr1930,
+        CodeVersion::Pr1993,
+        CodeVersion::Pr2111,
+    ]
+    .iter()
+    .map(|version| {
+        let config = ClusterConfig::table4(*version).with_crashes(2);
+        let verifier = Verifier::new(config);
+        let run = verifier.verify_preset(
+            SpecPreset::MSpec3,
+            &VerifierOptions::default().with_time_budget(budget),
+        );
+        FixVerificationRow {
+            pull_request: format!("{version:?}").replace("Pr", "PR-"),
+            spec: "mSpec-3+".to_owned(),
+            time: run.outcome.stats.elapsed,
+            depth: run
+                .outcome
+                .first_violation()
+                .map(|v| v.depth)
+                .unwrap_or(run.outcome.stats.max_depth),
+            states: run.outcome.stats.distinct_states,
+            invariant: run.first_violated_invariant().map(|s| s.to_owned()),
+        }
+    })
+    .collect()
 }
 
 /// Figure 8: the bug lineage plus a check that the final fix closes it.
@@ -220,9 +298,15 @@ pub fn figure8(budget: Duration) -> Vec<(String, String, bool)> {
     let verifier = Verifier::new(config);
     let run = verifier.verify_preset(
         SpecPreset::MSpec3,
-        &VerifierOptions::default().with_time_budget(budget).with_max_states(200_000),
+        &VerifierOptions::default()
+            .with_time_budget(budget)
+            .with_max_states(200_000),
     );
-    out.push(("final fix".to_owned(), "all modelled bugs".to_owned(), run.passed()));
+    out.push((
+        "final fix".to_owned(),
+        "all modelled bugs".to_owned(),
+        run.passed(),
+    ));
     out
 }
 
@@ -242,9 +326,15 @@ pub fn improved_protocol(budget: Duration) -> Vec<(String, bool, usize)> {
             let verifier = Verifier::new(config);
             let run = verifier.verify_spec(
                 spec,
-                &VerifierOptions::default().with_time_budget(budget).with_max_states(400_000),
+                &VerifierOptions::default()
+                    .with_time_budget(budget)
+                    .with_max_states(400_000),
             );
-            (run.spec_name.clone(), run.passed(), run.outcome.stats.distinct_states)
+            (
+                run.spec_name.clone(),
+                run.passed(),
+                run.outcome.stats.distinct_states,
+            )
         })
         .collect()
 }
@@ -258,8 +348,14 @@ pub fn conformance_summary() -> Vec<(String, usize, usize, usize)> {
         .iter()
         .map(|preset| {
             let spec = preset.build(&config);
-            let report = checker
-                .check(&spec, &ConformanceOptions { traces: 16, max_depth: 24, ..Default::default() });
+            let report = checker.check(
+                &spec,
+                &ConformanceOptions {
+                    traces: 16,
+                    max_depth: 24,
+                    ..Default::default()
+                },
+            );
             (
                 preset.name().to_owned(),
                 report.traces_checked,
@@ -294,7 +390,10 @@ mod tests {
         let m1 = &rows[1];
         let m3 = &rows[3];
         assert!(m1.actions < sys.actions, "coarsening removes actions");
-        assert!(m3.actions > m1.actions, "fine-grained modelling adds actions");
+        assert!(
+            m3.actions > m1.actions,
+            "fine-grained modelling adds actions"
+        );
         assert!(m3.instrumentation_points >= m1.instrumentation_points);
     }
 
@@ -306,7 +405,11 @@ mod tests {
         // Every bug except ZK-4394 requires a fine-grained specification.
         for (bug, _, preset, ..) in &bugs {
             if *bug != "ZK-4394" {
-                assert_ne!(*preset, SpecPreset::MSpec1, "{bug} needs fine-grained modelling");
+                assert_ne!(
+                    *preset,
+                    SpecPreset::MSpec1,
+                    "{bug} needs fine-grained modelling"
+                );
             }
         }
     }

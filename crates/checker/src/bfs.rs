@@ -2,14 +2,38 @@
 //!
 //! BFS is the exploration strategy the paper uses (§4.4): it guarantees that the first
 //! violation found for each invariant has minimal depth, which produces short, debuggable
-//! counterexample traces.  The frontier of each level can optionally be expanded by
-//! several worker threads (TLC's "workers").
+//! counterexample traces.
+//!
+//! # Parallel engine
+//!
+//! Exploration is level-synchronous and scales across [`CheckOptions::workers`] threads:
+//!
+//! * **Sharded fingerprint set** — the set of discovered states is split into
+//!   [`CheckOptions::shards`] lock-striped shards keyed by the leading bits of the state
+//!   fingerprint, so concurrent inserts contend only when they hash to the same stripe.
+//!   Per-shard contention (lock acquisitions that had to wait) is reported in
+//!   [`CheckStats::shard_contention`].
+//! * **Per-worker successor buffers** — each worker accumulates successors in local
+//!   per-shard buffers and merges a buffer into its shard in one batch of
+//!   [`CheckOptions::batch_size`] states (and unconditionally at the level boundary),
+//!   amortising one lock acquisition over the whole batch.
+//! * **Work stealing** — the frontier of each level is split into one contiguous range
+//!   per worker; a worker that drains its range steals the back half of the largest
+//!   remaining range, so skewed successor costs cannot leave threads idle.  Range bounds
+//!   live in one packed atomic word, so a claim and a steal can never hand the same
+//!   index to two workers: every state is expanded exactly once for any worker count.
+//!
+//! With `workers = 1` the same code runs inline on the calling thread, with no thread
+//! spawns and no atomics on the hot path beyond the shard counters, so sequential runs
+//! behave exactly like the pre-parallel engine.  Parallel and sequential runs discover
+//! the same state space and report the same minimal violation depth (all states of a
+//! level share one depth); see the `parallel_matches_sequential_*` regression tests.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use remix_spec::{Spec, SpecState, Trace};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
@@ -21,76 +45,303 @@ struct Entry<S> {
     state: Arc<S>,
     parent: Option<Fingerprint>,
     action: String,
+}
+
+/// One lock stripe of the discovered-state set.
+struct Shard<S> {
+    map: Mutex<HashMap<Fingerprint, Entry<S>>>,
+    /// Number of lock acquisitions on this stripe that found it already held.
+    contention: AtomicU64,
+}
+
+/// The discovered-state set, lock-striped by fingerprint prefix.
+struct ShardedSeen<S> {
+    shards: Vec<Shard<S>>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    mask: usize,
+    /// Right-shift that extracts the stripe index from the fingerprint's leading bits.
+    shift: u32,
+    /// Total number of states inserted across all shards.
+    len: AtomicUsize,
+}
+
+impl<S> ShardedSeen<S> {
+    fn new(requested_shards: usize) -> Self {
+        let n = requested_shards.max(1).next_power_of_two();
+        let bits = n.trailing_zeros();
+        ShardedSeen {
+            shards: (0..n)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    contention: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: n - 1,
+            // `% 64` keeps the single-shard case (bits = 0) well-defined; the mask then
+            // collapses every index to zero anyway.
+            shift: (64 - bits) % 64,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_index(&self, fp: Fingerprint) -> usize {
+        ((fp.0 >> self.shift) as usize) & self.mask
+    }
+
+    /// Locks one stripe, counting the acquisition as contended when it had to wait.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, HashMap<Fingerprint, Entry<S>>> {
+        let shard = &self.shards[index];
+        match shard.map.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                shard.contention.fetch_add(1, Ordering::Relaxed);
+                shard.map.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn contention_counters(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.contention.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Looks up one entry, mapping it through `f` under the stripe lock.
+    fn with_entry<T>(&self, fp: Fingerprint, f: impl FnOnce(&Entry<S>) -> T) -> Option<T> {
+        let guard = self.lock_shard(self.shard_index(fp));
+        guard.get(&fp).map(f)
+    }
+}
+
+/// Why workers were asked to stop, packed into an atomic for cross-thread signalling.
+struct StopCell {
+    reason: AtomicU8,
+}
+
+const STOP_NONE: u8 = 0;
+const STOP_FIRST_VIOLATION: u8 = 1;
+const STOP_VIOLATION_LIMIT: u8 = 2;
+const STOP_TIME_BUDGET: u8 = 3;
+const STOP_STATE_LIMIT: u8 = 4;
+
+impl StopCell {
+    fn new() -> Self {
+        StopCell {
+            reason: AtomicU8::new(STOP_NONE),
+        }
+    }
+
+    /// Requests a stop; the first reason to arrive wins.
+    fn request(&self, reason: u8) {
+        let _ =
+            self.reason
+                .compare_exchange(STOP_NONE, reason, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    fn requested(&self) -> bool {
+        self.reason.load(Ordering::Acquire) != STOP_NONE
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        match self.reason.load(Ordering::Acquire) {
+            STOP_FIRST_VIOLATION => Some(StopReason::FirstViolation),
+            STOP_VIOLATION_LIMIT => Some(StopReason::ViolationLimit),
+            STOP_TIME_BUDGET => Some(StopReason::TimeBudget),
+            STOP_STATE_LIMIT => Some(StopReason::StateLimit),
+            _ => None,
+        }
+    }
+}
+
+/// One worker's slice of the frontier, stealable by other workers.
+///
+/// `next` and `end` are packed into one 64-bit word (32 bits each) so that claims and
+/// steals are single compare-exchange operations on the same atomic: an index can never
+/// be handed to both its owner and a thief, which keeps transition counts — not just the
+/// explored state set — identical across worker counts.  Frontier levels are bounded far
+/// below `u32::MAX` by the configuration's budgets.
+struct StealRange {
+    packed: AtomicU64,
+}
+
+fn pack(next: usize, end: usize) -> u64 {
+    debug_assert!(next <= u32::MAX as usize && end <= u32::MAX as usize);
+    ((next as u64) << 32) | end as u64
+}
+
+fn unpack(word: u64) -> (usize, usize) {
+    ((word >> 32) as usize, (word & 0xffff_ffff) as usize)
+}
+
+impl StealRange {
+    fn new(start: usize, end: usize) -> Self {
+        StealRange {
+            packed: AtomicU64::new(pack(start, end)),
+        }
+    }
+
+    /// Claims the next index of this range, if any remains.
+    fn claim(&self) -> Option<usize> {
+        let mut word = self.packed.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(word);
+            if next >= end {
+                return None;
+            }
+            match self.packed.compare_exchange_weak(
+                word,
+                pack(next + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(next),
+                Err(current) => word = current,
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        let (next, end) = unpack(self.packed.load(Ordering::Acquire));
+        end.saturating_sub(next)
+    }
+
+    /// Tries to steal the back half of this range, returning the stolen bounds.
+    fn steal_half(&self) -> Option<(usize, usize)> {
+        let mut word = self.packed.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(word);
+            if end.saturating_sub(next) < 2 {
+                return None;
+            }
+            let mid = next + (end - next) / 2;
+            match self.packed.compare_exchange_weak(
+                word,
+                pack(next, mid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((mid, end)),
+                Err(current) => word = current,
+            }
+        }
+    }
+}
+
+/// A violation observed by a worker, resolved into a [`Violation`] (with trace) after the
+/// level completes.
+struct PendingViolation {
+    fp: Fingerprint,
     depth: u32,
+    invariant: &'static str,
+    invariant_name: &'static str,
+}
+
+/// Everything one worker produced while expanding (part of) one level.
+struct WorkerLevelResult<S> {
+    next_frontier: Vec<(Fingerprint, Arc<S>)>,
+    transitions: u64,
+    violations: Vec<PendingViolation>,
+}
+
+/// Shared, read-only context for the workers of one level.
+struct LevelContext<'a, S> {
+    spec: &'a Spec<S>,
+    seen: &'a ShardedSeen<S>,
+    frontier: &'a [(Fingerprint, Arc<S>)],
+    ranges: &'a [StealRange],
+    stop: &'a StopCell,
+    violation_count: &'a AtomicUsize,
+    violation_limit: usize,
+    violation_stop: u8,
+    child_depth: u32,
+    batch_size: usize,
+    max_states: Option<usize>,
+    deadline: Option<Instant>,
 }
 
 /// Runs breadth-first model checking of `spec` under `options`.
 pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
     let start = Instant::now();
-    let mut seen: HashMap<Fingerprint, Entry<S>> = HashMap::new();
-    let mut frontier: Vec<Fingerprint> = Vec::new();
+    let workers = options.workers.max(1);
+    let seen: ShardedSeen<S> = ShardedSeen::new(options.shards);
+    let stop = StopCell::new();
+    let violation_count = AtomicUsize::new(0);
     let mut violations: Vec<Violation<S>> = Vec::new();
-    let mut violation_count: usize = 0;
-    let mut transitions: u64 = 0;
+    let mut per_worker_transitions = vec![0u64; workers];
     let mut max_depth_reached: u32 = 0;
     let mut stop_reason = StopReason::Exhausted;
 
-    let violation_limit = match options.mode {
-        CheckMode::FirstViolation => 1,
-        CheckMode::Completion { violation_limit } => violation_limit,
+    let (violation_limit, violation_stop) = match options.mode {
+        CheckMode::FirstViolation => (1, STOP_FIRST_VIOLATION),
+        CheckMode::Completion { violation_limit } => (violation_limit, STOP_VIOLATION_LIMIT),
     };
+    let deadline = options.time_budget.map(|b| start + b);
 
-    // Seed with the initial states.
+    // Seed the set with the initial states (depth 0), checking invariants on each.
+    let mut frontier: Vec<(Fingerprint, Arc<S>)> = Vec::new();
+    let mut pending: Vec<PendingViolation> = Vec::new();
     for init in &spec.init {
         let fp = fingerprint(init);
-        if seen.contains_key(&fp) {
+        let state = Arc::new(init.clone());
+        let mut shard = seen.lock_shard(seen.shard_index(fp));
+        if shard.contains_key(&fp) {
             continue;
         }
-        seen.insert(
+        shard.insert(
             fp,
-            Entry { state: Arc::new(init.clone()), parent: None, action: "Init".to_owned(), depth: 0 },
+            Entry {
+                state: Arc::clone(&state),
+                parent: None,
+                action: "Init".to_owned(),
+            },
         );
-        frontier.push(fp);
-        record_violations(
-            spec,
-            &seen,
-            fp,
-            options,
-            &mut violations,
-            &mut violation_count,
-        );
+        drop(shard);
+        seen.len.fetch_add(1, Ordering::Relaxed);
+        frontier.push((fp, Arc::clone(&state)));
+        let violated = spec.violated_invariants(&state);
+        if !violated.is_empty() {
+            let total =
+                violation_count.fetch_add(violated.len(), Ordering::AcqRel) + violated.len();
+            for inv in violated {
+                pending.push(PendingViolation {
+                    fp,
+                    depth: 0,
+                    invariant: inv.id,
+                    invariant_name: inv.name,
+                });
+            }
+            if total >= violation_limit {
+                stop.request(violation_stop);
+            }
+        }
     }
-
-    if violation_count >= violation_limit {
-        let stats = CheckStats {
-            distinct_states: seen.len(),
-            transitions,
-            max_depth: max_depth_reached,
-            elapsed: start.elapsed(),
-        };
+    resolve_violations(&seen, options, pending, &mut violations);
+    if let Some(reason) = stop.stop_reason() {
+        let stats = stats_from(&seen, &per_worker_transitions, max_depth_reached, start);
         return CheckOutcome {
             spec_name: spec.name.clone(),
             stats,
-            stop_reason: if matches!(options.mode, CheckMode::FirstViolation) {
-                StopReason::FirstViolation
-            } else {
-                StopReason::ViolationLimit
-            },
+            stop_reason: reason,
             violations,
-            violation_count,
+            violation_count: violation_count.load(Ordering::Acquire),
         };
     }
 
-    'levels: while !frontier.is_empty() {
-        // Check resource budgets between levels (and periodically within a level below).
+    let mut level_depth: u32 = 0;
+    while !frontier.is_empty() {
+        // Check resource budgets between levels (workers also check them within a level).
         if let Some(budget) = options.time_budget {
             if start.elapsed() >= budget {
                 stop_reason = StopReason::TimeBudget;
                 break;
             }
         }
-
-        let level_depth = seen[&frontier[0]].depth;
         if let Some(max_depth) = options.max_depth {
             if level_depth >= max_depth {
                 stop_reason = StopReason::DepthBound;
@@ -98,148 +349,280 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             }
         }
 
-        // Expand the whole frontier, possibly in parallel.
-        let expansions = expand_frontier(spec, &seen, &frontier, options.workers);
+        // Small frontiers are not worth the thread spawns; expand them inline.
+        let effective_workers = if frontier.len() < 64 { 1 } else { workers };
+        let ranges = split_frontier(frontier.len(), effective_workers);
+        let ctx = LevelContext {
+            spec,
+            seen: &seen,
+            frontier: &frontier,
+            ranges: &ranges,
+            stop: &stop,
+            violation_count: &violation_count,
+            violation_limit,
+            violation_stop,
+            child_depth: level_depth + 1,
+            batch_size: options.batch_size.max(1),
+            max_states: options.max_states,
+            deadline,
+        };
 
-        let mut next_frontier: Vec<Fingerprint> = Vec::new();
-        for (parent_fp, label, next_state) in expansions {
-            transitions += 1;
-            let fp = fingerprint(&next_state);
-            if seen.contains_key(&fp) {
-                continue;
-            }
-            let depth = seen[&parent_fp].depth + 1;
-            max_depth_reached = max_depth_reached.max(depth);
-            seen.insert(
-                fp,
-                Entry { state: Arc::new(next_state), parent: Some(parent_fp), action: label, depth },
-            );
-            next_frontier.push(fp);
-
-            record_violations(spec, &seen, fp, options, &mut violations, &mut violation_count);
-            if violation_count >= violation_limit {
-                stop_reason = if matches!(options.mode, CheckMode::FirstViolation) {
-                    StopReason::FirstViolation
-                } else {
-                    StopReason::ViolationLimit
-                };
-                break 'levels;
-            }
-            if let Some(max_states) = options.max_states {
-                if seen.len() >= max_states {
-                    stop_reason = StopReason::StateLimit;
-                    break 'levels;
+        let mut results: Vec<(usize, WorkerLevelResult<S>)> = Vec::with_capacity(effective_workers);
+        if effective_workers == 1 {
+            results.push((0, expand_range(&ctx, 0)));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..effective_workers)
+                    .map(|w| {
+                        let ctx = &ctx;
+                        scope.spawn(move || expand_range(ctx, w))
+                    })
+                    .collect();
+                for (w, handle) in handles.into_iter().enumerate() {
+                    results.push((w, handle.join().expect("worker panicked")));
                 }
-            }
-            if transitions % 4096 == 0 {
-                if let Some(budget) = options.time_budget {
-                    if start.elapsed() >= budget {
-                        stop_reason = StopReason::TimeBudget;
-                        break 'levels;
-                    }
-                }
-            }
-        }
-        frontier = next_frontier;
-    }
-
-    let stats = CheckStats {
-        distinct_states: seen.len(),
-        transitions,
-        max_depth: max_depth_reached,
-        elapsed: start.elapsed(),
-    };
-    CheckOutcome { spec_name: spec.name.clone(), stats, stop_reason, violations, violation_count }
-}
-
-/// Expands every state of the frontier, returning `(parent, action label, next state)`
-/// triples.  With more than one worker the frontier is split into chunks and expanded by
-/// scoped threads.
-fn expand_frontier<S: SpecState>(
-    spec: &Spec<S>,
-    seen: &HashMap<Fingerprint, Entry<S>>,
-    frontier: &[Fingerprint],
-    workers: usize,
-) -> Vec<(Fingerprint, String, S)> {
-    if workers <= 1 || frontier.len() < 64 {
-        let mut out = Vec::new();
-        for fp in frontier {
-            let state = &seen[fp].state;
-            for (label, next) in spec.successors(state) {
-                out.push((*fp, label, next));
-            }
-        }
-        return out;
-    }
-
-    let results: Mutex<Vec<(Fingerprint, String, S)>> = Mutex::new(Vec::new());
-    let chunk = frontier.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        for piece in frontier.chunks(chunk) {
-            let results = &results;
-            scope.spawn(move || {
-                let mut local = Vec::new();
-                for fp in piece {
-                    let state = &seen[fp].state;
-                    for (label, next) in spec.successors(state) {
-                        local.push((*fp, label, next));
-                    }
-                }
-                results.lock().extend(local);
             });
         }
-    });
-    results.into_inner()
+
+        // Batch-merge the per-worker results at the level boundary.
+        let mut next_frontier: Vec<(Fingerprint, Arc<S>)> = Vec::new();
+        let mut pending: Vec<PendingViolation> = Vec::new();
+        for (w, result) in results {
+            per_worker_transitions[w] += result.transitions;
+            next_frontier.extend(result.next_frontier);
+            pending.extend(result.violations);
+        }
+        resolve_violations(&seen, options, pending, &mut violations);
+        if !next_frontier.is_empty() {
+            max_depth_reached = max_depth_reached.max(level_depth + 1);
+        }
+        if let Some(reason) = stop.stop_reason() {
+            stop_reason = reason;
+            break;
+        }
+        frontier = next_frontier;
+        level_depth += 1;
+    }
+
+    let stats = stats_from(&seen, &per_worker_transitions, max_depth_reached, start);
+    CheckOutcome {
+        spec_name: spec.name.clone(),
+        stats,
+        stop_reason,
+        violations,
+        violation_count: violation_count.load(Ordering::Acquire),
+    }
 }
 
-/// Evaluates the spec's invariants on the newly discovered state and records violations.
-fn record_violations<S: SpecState>(
-    spec: &Spec<S>,
-    seen: &HashMap<Fingerprint, Entry<S>>,
-    fp: Fingerprint,
-    options: &CheckOptions,
-    violations: &mut Vec<Violation<S>>,
-    violation_count: &mut usize,
-) {
-    let entry = &seen[&fp];
-    let violated = spec.violated_invariants(&entry.state);
-    if violated.is_empty() {
-        return;
+/// Splits `len` frontier slots into one contiguous [`StealRange`] per worker.
+fn split_frontier(len: usize, workers: usize) -> Vec<StealRange> {
+    let chunk = len.div_ceil(workers);
+    (0..workers)
+        .map(|w| {
+            let start = (w * chunk).min(len);
+            let end = ((w + 1) * chunk).min(len);
+            StealRange::new(start, end)
+        })
+        .collect()
+}
+
+/// The worker loop: claims frontier indices (own range first, then stolen halves),
+/// expands each state, and buffers successors per shard, flushing in batches.
+fn expand_range<S: SpecState>(ctx: &LevelContext<'_, S>, worker: usize) -> WorkerLevelResult<S> {
+    let mut result = WorkerLevelResult {
+        next_frontier: Vec::new(),
+        transitions: 0,
+        violations: Vec::new(),
+    };
+    let shard_count = ctx.seen.shards.len();
+    let mut buffers: Vec<Vec<(Fingerprint, Fingerprint, String, S)>> =
+        (0..shard_count).map(|_| Vec::new()).collect();
+    let mut stolen: Option<StealRange> = None;
+    let mut processed: u64 = 0;
+
+    'claim: loop {
+        if ctx.stop.requested() {
+            break;
+        }
+        // Claim from the stolen range first (it was taken to be worked on), then from the
+        // worker's own range, then steal from the largest remaining range.
+        let idx = loop {
+            if let Some(range) = &stolen {
+                if let Some(idx) = range.claim() {
+                    break idx;
+                }
+                stolen = None;
+            }
+            if let Some(idx) = ctx.ranges[worker].claim() {
+                break idx;
+            }
+            let victim = ctx
+                .ranges
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| *v != worker)
+                .max_by_key(|(_, r)| r.remaining())
+                .filter(|(_, r)| r.remaining() >= 2);
+            let Some((_, victim)) = victim else {
+                // No range anywhere holds stealable work: the level is drained.
+                break 'claim;
+            };
+            match victim.steal_half() {
+                Some((start, end)) => stolen = Some(StealRange::new(start, end)),
+                // Lost the race to the victim's owner (or another thief); other ranges
+                // may still hold work, so rescan rather than leaving this worker idle
+                // for the rest of the level.
+                None => continue,
+            }
+        };
+
+        let (parent_fp, state) = &ctx.frontier[idx];
+        for (label, next) in ctx.spec.successors(state) {
+            result.transitions += 1;
+            let fp = fingerprint(&next);
+            let shard = ctx.seen.shard_index(fp);
+            buffers[shard].push((fp, *parent_fp, label, next));
+            if buffers[shard].len() >= ctx.batch_size {
+                flush_shard(ctx, shard, &mut buffers[shard], &mut result);
+            }
+        }
+
+        processed += 1;
+        if processed % 64 == 0 {
+            if let Some(deadline) = ctx.deadline {
+                if Instant::now() >= deadline {
+                    ctx.stop.request(STOP_TIME_BUDGET);
+                }
+            }
+        }
     }
-    *violation_count += violated.len();
-    for inv in violated {
-        // Keep a full trace only for the first violation of each invariant, to bound
-        // memory in completion mode.
-        if violations.iter().any(|v| v.invariant == inv.id) {
+
+    // Merge whatever is still buffered at the level boundary — unless a stop was
+    // requested, in which case exploration is being aborted anyway and merging the
+    // leftovers would only push `distinct_states` further past the stop condition (the
+    // pre-parallel engine likewise broke out without expanding the rest of the level).
+    if !ctx.stop.requested() {
+        for shard in 0..shard_count {
+            if !buffers[shard].is_empty() {
+                flush_shard(ctx, shard, &mut buffers[shard], &mut result);
+            }
+        }
+    }
+    result
+}
+
+/// Merges one per-worker buffer into its shard under a single lock acquisition, then
+/// (outside the lock) checks invariants on the states that were actually new.
+fn flush_shard<S: SpecState>(
+    ctx: &LevelContext<'_, S>,
+    shard: usize,
+    buffer: &mut Vec<(Fingerprint, Fingerprint, String, S)>,
+    result: &mut WorkerLevelResult<S>,
+) {
+    let mut fresh: Vec<(Fingerprint, Arc<S>)> = Vec::new();
+    {
+        let mut map = ctx.seen.lock_shard(shard);
+        for (fp, parent, action, state) in buffer.drain(..) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(fp) {
+                let state = Arc::new(state);
+                slot.insert(Entry {
+                    state: Arc::clone(&state),
+                    parent: Some(parent),
+                    action,
+                });
+                fresh.push((fp, state));
+            }
+        }
+    }
+    for (fp, state) in fresh {
+        let total_states = ctx.seen.len.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(max_states) = ctx.max_states {
+            if total_states >= max_states {
+                ctx.stop.request(STOP_STATE_LIMIT);
+            }
+        }
+        let violated = ctx.spec.violated_invariants(&state);
+        if !violated.is_empty() {
+            let total = ctx
+                .violation_count
+                .fetch_add(violated.len(), Ordering::AcqRel)
+                + violated.len();
+            for inv in violated {
+                result.violations.push(PendingViolation {
+                    fp,
+                    depth: ctx.child_depth,
+                    invariant: inv.id,
+                    invariant_name: inv.name,
+                });
+            }
+            if total >= ctx.violation_limit {
+                ctx.stop.request(ctx.violation_stop);
+            }
+        }
+        result.next_frontier.push((fp, state));
+    }
+}
+
+/// Turns pending worker-side violation records into [`Violation`]s with reconstructed
+/// traces, keeping (as before) only the first recorded violation of each invariant.
+fn resolve_violations<S: SpecState>(
+    seen: &ShardedSeen<S>,
+    options: &CheckOptions,
+    mut pending: Vec<PendingViolation>,
+    violations: &mut Vec<Violation<S>>,
+) {
+    // Sort so the representative chosen for each invariant does not depend on worker
+    // scheduling: lowest depth first, ties broken by fingerprint.
+    pending.sort_by_key(|p| (p.depth, p.invariant, p.fp));
+    for p in pending {
+        if violations.iter().any(|v| v.invariant == p.invariant) {
             continue;
         }
         let trace = if options.collect_traces {
-            reconstruct_trace(seen, fp)
+            reconstruct_trace(seen, p.fp)
         } else {
             Trace::default()
         };
         violations.push(Violation {
-            invariant: inv.id,
-            invariant_name: inv.name,
-            depth: entry.depth,
+            invariant: p.invariant,
+            invariant_name: p.invariant_name,
+            depth: p.depth,
             trace,
         });
     }
 }
 
+fn stats_from<S>(
+    seen: &ShardedSeen<S>,
+    per_worker_transitions: &[u64],
+    max_depth: u32,
+    start: Instant,
+) -> CheckStats {
+    CheckStats {
+        distinct_states: seen.len(),
+        transitions: per_worker_transitions.iter().sum(),
+        max_depth,
+        elapsed: start.elapsed(),
+        per_worker_transitions: per_worker_transitions.to_vec(),
+        shard_contention: seen.contention_counters(),
+    }
+}
+
 /// Reconstructs the trace from an initial state to `fp` by following parent pointers.
-fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fingerprint) -> Trace<S> {
-    let mut chain: Vec<&Entry<S>> = Vec::new();
+fn reconstruct_trace<S: SpecState>(seen: &ShardedSeen<S>, fp: Fingerprint) -> Trace<S> {
+    let mut chain: Vec<(String, Arc<S>)> = Vec::new();
     let mut cursor = Some(fp);
     while let Some(c) = cursor {
-        let entry = &seen[&c];
-        chain.push(entry);
-        cursor = entry.parent;
+        let (action, state, parent) = seen
+            .with_entry(c, |e| (e.action.clone(), Arc::clone(&e.state), e.parent))
+            .expect("trace parent chain is complete");
+        chain.push((action, state));
+        cursor = parent;
     }
     chain.reverse();
     let mut trace = Trace::default();
-    for entry in chain {
-        trace.push(entry.action.clone(), (*entry.state).clone());
+    for (action, state) in chain {
+        trace.push(action, (*state).clone());
     }
     trace
 }
@@ -247,7 +630,9 @@ fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remix_spec::{ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec};
+    use remix_spec::{
+        ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec,
+    };
     use std::collections::BTreeMap;
     use std::time::Duration;
 
@@ -282,30 +667,63 @@ mod tests {
 
     fn pair_spec(max: u32, bad_at: Option<(u32, u32)>) -> Spec<Pair> {
         let m = ModuleId("Pair");
-        let inc_a = ActionDef::new("IncA", m, Granularity::Baseline, vec!["a"], vec!["a"], move |s: &Pair| {
-            if s.a < s.max {
-                vec![ActionInstance::new(format!("IncA({})", s.a), Pair { a: s.a + 1, ..s.clone() })]
-            } else {
-                vec![]
-            }
-        });
-        let inc_b = ActionDef::new("IncB", m, Granularity::Baseline, vec!["a", "b"], vec!["b"], move |s: &Pair| {
-            if s.b < s.a {
-                vec![ActionInstance::new(format!("IncB({})", s.b), Pair { b: s.b + 1, ..s.clone() })]
-            } else {
-                vec![]
-            }
-        });
-        let inv = Invariant::always("NO-BAD", "never reach the bad pair", InvariantSource::Protocol, move |s: &Pair| {
-            match bad_at {
+        let inc_a = ActionDef::new(
+            "IncA",
+            m,
+            Granularity::Baseline,
+            vec!["a"],
+            vec!["a"],
+            move |s: &Pair| {
+                if s.a < s.max {
+                    vec![ActionInstance::new(
+                        format!("IncA({})", s.a),
+                        Pair {
+                            a: s.a + 1,
+                            ..s.clone()
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inc_b = ActionDef::new(
+            "IncB",
+            m,
+            Granularity::Baseline,
+            vec!["a", "b"],
+            vec!["b"],
+            move |s: &Pair| {
+                if s.b < s.a {
+                    vec![ActionInstance::new(
+                        format!("IncB({})", s.b),
+                        Pair {
+                            b: s.b + 1,
+                            ..s.clone()
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inv = Invariant::always(
+            "NO-BAD",
+            "never reach the bad pair",
+            InvariantSource::Protocol,
+            move |s: &Pair| match bad_at {
                 Some((a, b)) => !(s.a == a && s.b == b),
                 None => true,
-            }
-        });
+            },
+        );
         Spec::new(
             "pair",
             vec![Pair { a: 0, b: 0, max }],
-            vec![ModuleSpec::new(m, Granularity::Baseline, vec![inc_a, inc_b])],
+            vec![ModuleSpec::new(
+                m,
+                Granularity::Baseline,
+                vec![inc_a, inc_b],
+            )],
             vec![inv],
         )
     }
@@ -340,9 +758,12 @@ mod tests {
         let m = ModuleId("Pair");
         let spec = {
             let mut s = pair_spec(2, None);
-            s.invariants = vec![Invariant::always("A-NOT-MAX", "a below max", InvariantSource::Protocol, |p: &Pair| {
-                p.a < p.max
-            })];
+            s.invariants = vec![Invariant::always(
+                "A-NOT-MAX",
+                "a below max",
+                InvariantSource::Protocol,
+                |p: &Pair| p.a < p.max,
+            )];
             let _ = m;
             s
         };
@@ -368,7 +789,10 @@ mod tests {
     #[test]
     fn respects_time_budget() {
         let spec = pair_spec(60, None);
-        let outcome = check_bfs(&spec, &CheckOptions::default().with_time_budget(Duration::from_millis(0)));
+        let outcome = check_bfs(
+            &spec,
+            &CheckOptions::default().with_time_budget(Duration::from_millis(0)),
+        );
         assert_eq!(outcome.stop_reason, StopReason::TimeBudget);
     }
 
@@ -377,9 +801,54 @@ mod tests {
         let spec = pair_spec(12, Some((9, 4)));
         let seq = check_bfs(&spec, &CheckOptions::default());
         let par = check_bfs(&spec, &CheckOptions::default().with_workers(4));
-        assert_eq!(seq.first_violation().unwrap().depth, par.first_violation().unwrap().depth);
+        assert_eq!(
+            seq.first_violation().unwrap().depth,
+            par.first_violation().unwrap().depth
+        );
         let full_seq = check_bfs(&pair_spec(12, None), &CheckOptions::default());
-        let full_par = check_bfs(&pair_spec(12, None), &CheckOptions::default().with_workers(4));
-        assert_eq!(full_seq.stats.distinct_states, full_par.stats.distinct_states);
+        let full_par = check_bfs(
+            &pair_spec(12, None),
+            &CheckOptions::default().with_workers(4),
+        );
+        assert_eq!(
+            full_seq.stats.distinct_states,
+            full_par.stats.distinct_states
+        );
+    }
+
+    #[test]
+    fn sharding_and_batching_knobs_do_not_change_the_search() {
+        let spec = pair_spec(14, None);
+        let baseline = check_bfs(&spec, &CheckOptions::default());
+        for (shards, batch) in [(1, 1), (2, 3), (256, 4096)] {
+            let outcome = check_bfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_workers(3)
+                    .with_shards(shards)
+                    .with_batch_size(batch),
+            );
+            assert_eq!(
+                outcome.stats.distinct_states,
+                baseline.stats.distinct_states
+            );
+            assert_eq!(outcome.stats.max_depth, baseline.stats.max_depth);
+            assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+        }
+    }
+
+    #[test]
+    fn per_worker_transitions_sum_to_the_total() {
+        let spec = pair_spec(12, None);
+        let outcome = check_bfs(&spec, &CheckOptions::default().with_workers(4));
+        assert_eq!(outcome.stats.per_worker_transitions.len(), 4);
+        assert_eq!(
+            outcome.stats.per_worker_transitions.iter().sum::<u64>(),
+            outcome.stats.transitions
+        );
+        assert_eq!(
+            outcome.stats.shard_contention.len(),
+            CheckOptions::default().shards
+        );
     }
 }

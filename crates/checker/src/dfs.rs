@@ -44,10 +44,22 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         }
         seen.insert(
             fp,
-            Entry { state: Arc::new(init.clone()), parent: None, action: "Init".to_owned(), depth: 0 },
+            Entry {
+                state: Arc::new(init.clone()),
+                parent: None,
+                action: "Init".to_owned(),
+                depth: 0,
+            },
         );
         stack.push(fp);
-        check_state(spec, &seen, fp, options, &mut violations, &mut violation_count);
+        check_state(
+            spec,
+            &seen,
+            fp,
+            options,
+            &mut violations,
+            &mut violation_count,
+        );
     }
 
     'outer: while let Some(fp) = stack.pop() {
@@ -85,11 +97,25 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             max_depth_reached = max_depth_reached.max(ndepth);
             seen.insert(
                 nfp,
-                Entry { state: Arc::new(next), parent: Some(fp), action: label, depth: ndepth },
+                Entry {
+                    state: Arc::new(next),
+                    parent: Some(fp),
+                    action: label,
+                    depth: ndepth,
+                },
             );
             stack.push(nfp);
-            check_state(spec, &seen, nfp, options, &mut violations, &mut violation_count);
-            if violation_count >= violation_limit && matches!(options.mode, CheckMode::FirstViolation) {
+            check_state(
+                spec,
+                &seen,
+                nfp,
+                options,
+                &mut violations,
+                &mut violation_count,
+            );
+            if violation_count >= violation_limit
+                && matches!(options.mode, CheckMode::FirstViolation)
+            {
                 stop_reason = StopReason::FirstViolation;
                 break 'outer;
             }
@@ -107,8 +133,16 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         transitions,
         max_depth: max_depth_reached,
         elapsed: start.elapsed(),
+        per_worker_transitions: vec![transitions],
+        shard_contention: Vec::new(),
     };
-    CheckOutcome { spec_name: spec.name.clone(), stats, stop_reason, violations, violation_count }
+    CheckOutcome {
+        spec_name: spec.name.clone(),
+        stats,
+        stop_reason,
+        violations,
+        violation_count,
+    }
 }
 
 fn check_state<S: SpecState>(
@@ -143,7 +177,10 @@ fn check_state<S: SpecState>(
     }
 }
 
-fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fingerprint) -> Trace<S> {
+fn reconstruct_trace<S: SpecState>(
+    seen: &HashMap<Fingerprint, Entry<S>>,
+    fp: Fingerprint,
+) -> Trace<S> {
     let mut chain = Vec::new();
     let mut cursor = Some(fp);
     while let Some(c) = cursor {
@@ -162,7 +199,9 @@ fn reconstruct_trace<S: SpecState>(seen: &HashMap<Fingerprint, Entry<S>>, fp: Fi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remix_spec::{ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec};
+    use remix_spec::{
+        ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec,
+    };
     use std::collections::BTreeMap;
 
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -183,16 +222,26 @@ mod tests {
 
     fn chain_spec(limit: u32, bad: Option<u32>) -> Spec<N> {
         let m = ModuleId("Chain");
-        let inc = ActionDef::new("Inc", m, Granularity::Baseline, vec!["n"], vec!["n"], move |s: &N| {
-            if s.0 < limit {
-                vec![ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1))]
-            } else {
-                vec![]
-            }
-        });
-        let inv = Invariant::always("NOT-BAD", "avoid the bad value", InvariantSource::Protocol, move |s: &N| {
-            Some(s.0) != bad
-        });
+        let inc = ActionDef::new(
+            "Inc",
+            m,
+            Granularity::Baseline,
+            vec!["n"],
+            vec!["n"],
+            move |s: &N| {
+                if s.0 < limit {
+                    vec![ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1))]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inv = Invariant::always(
+            "NOT-BAD",
+            "avoid the bad value",
+            InvariantSource::Protocol,
+            move |s: &N| Some(s.0) != bad,
+        );
         Spec::new(
             "chain",
             vec![N(0)],
@@ -213,7 +262,15 @@ mod tests {
     fn dfs_finds_violation() {
         let outcome = check_dfs(&chain_spec(8, Some(5)), &CheckOptions::default());
         assert!(!outcome.passed());
-        assert_eq!(outcome.first_violation().unwrap().trace.last_state().unwrap(), &N(5));
+        assert_eq!(
+            outcome
+                .first_violation()
+                .unwrap()
+                .trace
+                .last_state()
+                .unwrap(),
+            &N(5)
+        );
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! §3.5.2), and the statistics reported in Tables 4-6 (time, depth, distinct states,
 //! number of violations).
 
+#![warn(missing_docs)]
+
 pub mod bfs;
 pub mod dfs;
 pub mod fingerprint;
 pub mod options;
 pub mod outcome;
+pub mod rng;
 pub mod simulate;
 
 pub use bfs::check_bfs;
@@ -20,4 +23,5 @@ pub use dfs::check_dfs;
 pub use fingerprint::fingerprint;
 pub use options::{CheckMode, CheckOptions, SimulationOptions};
 pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+pub use rng::CheckerRng;
 pub use simulate::{simulate, simulate_one};

@@ -8,9 +8,9 @@ use std::time::Duration;
 /// "(b) running to completion (till the limit)".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckMode {
-    /// Stop as soon as any invariant violation is found.
+    /// Stop as soon as any invariant violation is found (Table 5, mode (a)).
     FirstViolation,
-    /// Keep exploring; record up to `violation_limit` violating states.
+    /// Keep exploring; record up to `violation_limit` violating states (Table 5, mode (b)).
     Completion {
         /// Maximum number of violations recorded before stopping (the paper uses 10,000).
         violation_limit: usize,
@@ -26,17 +26,38 @@ impl Default for CheckMode {
 /// Options controlling an exhaustive model-checking run.
 #[derive(Debug, Clone)]
 pub struct CheckOptions {
-    /// Stop-at-first-violation or run-to-completion.
+    /// Stop-at-first-violation or run-to-completion — the two measurement modes of
+    /// Table 5 ((a) and (b) respectively).
     pub mode: CheckMode,
-    /// Maximum exploration depth (state transitions); `None` means unbounded.
+    /// Maximum exploration depth in state transitions; `None` means unbounded.  Depth
+    /// bounding is not used for the paper's tables (BFS levels are bounded by the
+    /// configuration's fault and transaction budgets instead, §4.4) but supports quick
+    /// sanity checks.
     pub max_depth: Option<u32>,
-    /// Wall-clock budget; `None` means unbounded (the paper uses 24 hours).
+    /// Wall-clock budget; `None` means unbounded.  The paper's Table 5 runs use a
+    /// 24-hour budget; the scaled-down reproduction defaults to minutes.
     pub time_budget: Option<Duration>,
-    /// Maximum number of distinct states to explore; `None` means unbounded.
+    /// Maximum number of distinct states to explore; `None` means unbounded.  Used to
+    /// bound the deep Table 4 bugs (ZK-4643/4646/4712) in bench loops.  In parallel runs
+    /// the limit is checked as workers merge their successor batches, so the final count
+    /// may overshoot by up to one in-flight batch (`batch_size`) per worker.
     pub max_states: Option<usize>,
-    /// Number of worker threads used to expand each BFS frontier.
+    /// Number of worker threads expanding each BFS frontier, like TLC's `-workers` flag
+    /// (§4.4: the paper's runs use a 40-core machine).  `1` runs inline on the calling
+    /// thread with no thread spawns.
     pub workers: usize,
-    /// Whether to keep full predecessor information for violation-trace reconstruction.
+    /// Number of lock stripes of the discovered-state set (rounded up to a power of
+    /// two).  Successor inserts only contend when two workers hit the same stripe, so
+    /// this should comfortably exceed `workers`; the default of 64 keeps contention
+    /// (reported in `CheckStats::shard_contention`) negligible for any realistic core
+    /// count.
+    pub shards: usize,
+    /// Number of successors a worker buffers per stripe before merging them into the
+    /// discovered-state set under one lock acquisition.  Remaining buffers are always
+    /// merged at the BFS level boundary, preserving level-synchronous semantics.
+    pub batch_size: usize,
+    /// Whether to keep full predecessor information for violation-trace reconstruction
+    /// (the counterexample traces of §3.5.3 / Table 4).
     pub collect_traces: bool,
 }
 
@@ -48,6 +69,8 @@ impl Default for CheckOptions {
             time_budget: None,
             max_states: None,
             workers: 1,
+            shards: 64,
+            batch_size: 128,
             collect_traces: true,
         }
     }
@@ -56,7 +79,12 @@ impl Default for CheckOptions {
 impl CheckOptions {
     /// Options for a run-to-completion check with the paper's violation limit of 10,000.
     pub fn completion() -> Self {
-        CheckOptions { mode: CheckMode::Completion { violation_limit: 10_000 }, ..Default::default() }
+        CheckOptions {
+            mode: CheckMode::Completion {
+                violation_limit: 10_000,
+            },
+            ..Default::default()
+        }
     }
 
     /// Sets the wall-clock budget.
@@ -82,24 +110,42 @@ impl CheckOptions {
         self.workers = workers.max(1);
         self
     }
+
+    /// Sets the number of lock stripes of the discovered-state set.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-stripe successor batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
 }
 
 /// Options controlling random simulation (used by conformance checking, §3.5.2).
 #[derive(Debug, Clone)]
 pub struct SimulationOptions {
-    /// Number of traces to generate.
+    /// Number of traces to generate (§3.5.2 samples model-level traces to replay against
+    /// the implementation).
     pub traces: usize,
     /// Maximum length (in transitions) of each trace.
     pub max_depth: u32,
     /// Wall-clock budget for the whole sampling run (the paper uses e.g. 30 minutes).
     pub time_budget: Option<Duration>,
-    /// Random seed for reproducibility.
+    /// Random seed for reproducibility: equal seeds yield identical trace batches.
     pub seed: u64,
 }
 
 impl Default for SimulationOptions {
     fn default() -> Self {
-        SimulationOptions { traces: 32, max_depth: 40, time_budget: None, seed: 0xC0FFEE }
+        SimulationOptions {
+            traces: 32,
+            max_depth: 40,
+            time_budget: None,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -113,8 +159,14 @@ mod tests {
         assert_eq!(o.mode, CheckMode::FirstViolation);
         assert_eq!(o.workers, 1);
         assert!(o.collect_traces);
+        assert!(o.shards >= 1 && o.batch_size >= 1);
         let c = CheckOptions::completion();
-        assert_eq!(c.mode, CheckMode::Completion { violation_limit: 10_000 });
+        assert_eq!(
+            c.mode,
+            CheckMode::Completion {
+                violation_limit: 10_000
+            }
+        );
     }
 
     #[test]
@@ -123,10 +175,14 @@ mod tests {
             .with_max_depth(5)
             .with_max_states(100)
             .with_workers(0)
+            .with_shards(0)
+            .with_batch_size(0)
             .with_time_budget(Duration::from_secs(1));
         assert_eq!(o.max_depth, Some(5));
         assert_eq!(o.max_states, Some(100));
         assert_eq!(o.workers, 1, "worker count is clamped to at least one");
+        assert_eq!(o.shards, 1, "shard count is clamped to at least one");
+        assert_eq!(o.batch_size, 1, "batch size is clamped to at least one");
         assert_eq!(o.time_budget, Some(Duration::from_secs(1)));
     }
 }

@@ -1,0 +1,85 @@
+//! A small deterministic random-number generator for trace sampling.
+//!
+//! The conformance checker's simulation mode (§3.5.2) only needs reproducible uniform
+//! choices — which initial state to start from, which enabled action to take — so rather
+//! than depending on the `rand` crate (unavailable in the offline build environment) the
+//! checker ships this SplitMix64 generator.  SplitMix64 passes BigCrush, is seedable from
+//! a single `u64` (matching `SimulationOptions::seed`), and its whole state is one word,
+//! so cloning a generator to fork a deterministic sub-stream is free.
+
+/// A seedable SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerRng {
+    state: u64,
+}
+
+impl CheckerRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        CheckerRng { state: seed }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform index in `[0, bound)`; `bound` must be non-zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "index bound must be non-zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Returns a uniformly chosen element of `slice`, or `None` when it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = CheckerRng::seed_from_u64(42);
+        let mut b = CheckerRng::seed_from_u64(42);
+        let mut c = CheckerRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn index_stays_in_bounds_and_covers_the_range() {
+        let mut rng = CheckerRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let i = rng.index(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "all indices should appear in 200 draws"
+        );
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = CheckerRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[9]), Some(&9));
+    }
+}

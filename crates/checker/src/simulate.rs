@@ -7,17 +7,19 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use remix_spec::{Spec, SpecState, Trace};
 
 use crate::options::SimulationOptions;
+use crate::rng::CheckerRng;
 
 /// Generates one random trace of at most `max_depth` transitions starting from a random
 /// initial state.
-pub fn simulate_one<S: SpecState>(spec: &Spec<S>, max_depth: u32, rng: &mut StdRng) -> Trace<S> {
-    let init = spec.init[rng.gen_range(0..spec.init.len())].clone();
+pub fn simulate_one<S: SpecState>(
+    spec: &Spec<S>,
+    max_depth: u32,
+    rng: &mut CheckerRng,
+) -> Trace<S> {
+    let init = spec.init[rng.index(spec.init.len())].clone();
     let mut trace = Trace::from_init(init.clone());
     let mut current = init;
     for _ in 0..max_depth {
@@ -25,7 +27,10 @@ pub fn simulate_one<S: SpecState>(spec: &Spec<S>, max_depth: u32, rng: &mut StdR
         if successors.is_empty() {
             break;
         }
-        let (label, next) = successors.choose(rng).expect("non-empty successors").clone();
+        let (label, next) = rng
+            .choose(&successors)
+            .expect("non-empty successors")
+            .clone();
         trace.push(label, next.clone());
         current = next;
     }
@@ -38,7 +43,7 @@ pub fn simulate_one<S: SpecState>(spec: &Spec<S>, max_depth: u32, rng: &mut StdR
 /// always produced.
 pub fn simulate<S: SpecState>(spec: &Spec<S>, options: &SimulationOptions) -> Vec<Trace<S>> {
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = CheckerRng::seed_from_u64(options.seed);
     let mut traces = Vec::with_capacity(options.traces);
     for _ in 0..options.traces.max(1) {
         traces.push(simulate_one(spec, options.max_depth, &mut rng));
@@ -75,22 +80,34 @@ mod tests {
 
     fn branching_spec() -> Spec<N> {
         let m = ModuleId("Branch");
-        let step = ActionDef::new("Step", m, Granularity::Baseline, vec!["n"], vec!["n"], |s: &N| {
-            if s.0 >= 64 {
-                return vec![];
-            }
-            vec![
-                ActionInstance::new(format!("Double({})", s.0), N(s.0 * 2 + 1)),
-                ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1)),
-            ]
-        });
-        Spec::new("branch", vec![N(0)], vec![ModuleSpec::new(m, Granularity::Baseline, vec![step])], vec![])
+        let step = ActionDef::new(
+            "Step",
+            m,
+            Granularity::Baseline,
+            vec!["n"],
+            vec!["n"],
+            |s: &N| {
+                if s.0 >= 64 {
+                    return vec![];
+                }
+                vec![
+                    ActionInstance::new(format!("Double({})", s.0), N(s.0 * 2 + 1)),
+                    ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1)),
+                ]
+            },
+        );
+        Spec::new(
+            "branch",
+            vec![N(0)],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![step])],
+            vec![],
+        )
     }
 
     #[test]
     fn traces_are_legal_executions() {
         let spec = branching_spec();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = CheckerRng::seed_from_u64(7);
         let trace = simulate_one(&spec, 10, &mut rng);
         assert!(trace.depth() <= 10);
         // Every consecutive pair must be connected by some enabled action.
@@ -103,7 +120,12 @@ mod tests {
     #[test]
     fn simulation_is_deterministic_for_a_seed() {
         let spec = branching_spec();
-        let opts = SimulationOptions { traces: 5, max_depth: 12, time_budget: None, seed: 99 };
+        let opts = SimulationOptions {
+            traces: 5,
+            max_depth: 12,
+            time_budget: None,
+            seed: 99,
+        };
         let a = simulate(&spec, &opts);
         let b = simulate(&spec, &opts);
         assert_eq!(a.len(), 5);
@@ -113,15 +135,31 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let spec = branching_spec();
-        let a = simulate(&spec, &SimulationOptions { traces: 3, max_depth: 12, time_budget: None, seed: 1 });
-        let b = simulate(&spec, &SimulationOptions { traces: 3, max_depth: 12, time_budget: None, seed: 2 });
+        let a = simulate(
+            &spec,
+            &SimulationOptions {
+                traces: 3,
+                max_depth: 12,
+                time_budget: None,
+                seed: 1,
+            },
+        );
+        let b = simulate(
+            &spec,
+            &SimulationOptions {
+                traces: 3,
+                max_depth: 12,
+                time_budget: None,
+                seed: 2,
+            },
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn terminal_states_end_traces() {
         let spec = branching_spec();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = CheckerRng::seed_from_u64(3);
         let trace = simulate_one(&spec, 1000, &mut rng);
         let last = trace.last_state().unwrap();
         assert!(last.0 >= 64 || trace.depth() == 1000);

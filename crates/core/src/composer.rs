@@ -52,7 +52,11 @@ impl Composer {
     pub fn compose(&self, plan: &CompositionPlan) -> Result<ComposedSpec, SpecError> {
         let spec = build_from_plan(plan, &self.config)?;
         let preservation = self.check_coarsenings(plan);
-        Ok(ComposedSpec { spec, plan: plan.clone(), preservation })
+        Ok(ComposedSpec {
+            spec,
+            plan: plan.clone(),
+            preservation,
+        })
     }
 
     /// For the group of modules the plan coarsens, checks the interaction-preservation
@@ -62,7 +66,10 @@ impl Composer {
     /// Coarsened modules are checked as a group: a coarsening such as
     /// `ElectionAndDiscovery` merges the externally visible effects of two modules into
     /// one action, so the footprint comparison is only meaningful over their union.
-    fn check_coarsenings(&self, plan: &CompositionPlan) -> Vec<(Vec<ModuleId>, PreservationReport)> {
+    fn check_coarsenings(
+        &self,
+        plan: &CompositionPlan,
+    ) -> Vec<(Vec<ModuleId>, PreservationReport)> {
         let cfg = std::sync::Arc::new(self.config);
         // Baseline module specifications, used both as the "original" side of the check
         // and to compute dependency/interaction variables of the whole specification.
@@ -134,19 +141,34 @@ mod tests {
     fn coarsened_presets_carry_preservation_reports() {
         let c = composer();
         let m1 = c.compose_preset(SpecPreset::MSpec1).unwrap();
-        assert_eq!(m1.preservation.len(), 1, "one report for the coarsened group");
-        assert_eq!(m1.preservation[0].0.len(), 2, "Election and Discovery are coarsened together");
+        assert_eq!(
+            m1.preservation.len(),
+            1,
+            "one report for the coarsened group"
+        );
+        assert_eq!(
+            m1.preservation[0].0.len(),
+            2,
+            "Election and Discovery are coarsened together"
+        );
         let sys = c.compose_preset(SpecPreset::SysSpec).unwrap();
-        assert!(sys.preservation.is_empty(), "nothing is coarsened in the system spec");
+        assert!(
+            sys.preservation.is_empty(),
+            "nothing is coarsened in the system spec"
+        );
     }
 
     #[test]
     fn composition_matches_plan() {
         let c = composer();
         let m3 = c.compose_preset(SpecPreset::MSpec3).unwrap();
-        assert_eq!(m3.plan.granularity_of(remix_zab::modules::SYNCHRONIZATION), Some(Granularity::FineConcurrent));
         assert_eq!(
-            m3.spec.module_granularity(remix_zab::modules::SYNCHRONIZATION),
+            m3.plan.granularity_of(remix_zab::modules::SYNCHRONIZATION),
+            Some(Granularity::FineConcurrent)
+        );
+        assert_eq!(
+            m3.spec
+                .module_granularity(remix_zab::modules::SYNCHRONIZATION),
             Some(Granularity::FineConcurrent)
         );
     }

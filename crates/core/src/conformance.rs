@@ -9,9 +9,9 @@
 //! during replay — are collected into a [`ConformanceReport`].
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use remix_checker::{simulate, SimulationOptions};
+use remix_checker::{simulate_one, CheckerRng};
 use remix_spec::{Spec, SpecState, Trace, Value};
 use remix_zab::{ClusterConfig, ZabState};
 use remix_zk_sim::{Cluster, Observation};
@@ -21,19 +21,35 @@ use crate::mapping::ActionMapping;
 /// Options of a conformance-checking run.
 #[derive(Debug, Clone)]
 pub struct ConformanceOptions {
-    /// Number of model-level traces to sample.
+    /// Number of model-level traces to sample by random exploration of the specification
+    /// (the trace-sampling loop of §3.4 / §3.5.2).
     pub traces: usize,
-    /// Maximum length of each sampled trace.
+    /// Maximum length of each sampled trace, bounding the replayed executions the same
+    /// way the paper's simulation budget does.
     pub max_depth: u32,
-    /// Random seed for trace sampling.
+    /// Random seed for trace sampling; each trace index derives its own sub-stream, so a
+    /// batch is reproducible regardless of `workers`.
     pub seed: u64,
-    /// Time budget for the sampling phase (the paper uses e.g. 30 minutes).
+    /// Time budget for the sampling phase (the paper uses e.g. 30 minutes).  When it
+    /// binds, how many trace indices complete before the cut-off depends on scheduling,
+    /// so budget-limited reports are not comparable across worker counts.
     pub time_budget: Option<Duration>,
+    /// Worker threads sampling and replaying traces concurrently.  Replay of one trace
+    /// is inherently sequential (the coordinator schedules one code-level event at a
+    /// time, §3.5.2), so parallelism is across traces; results are merged in trace-index
+    /// order and — absent a binding `time_budget` — identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for ConformanceOptions {
     fn default() -> Self {
-        ConformanceOptions { traces: 24, max_depth: 30, seed: 0x5EED, time_budget: None }
+        ConformanceOptions {
+            traces: 24,
+            max_depth: 30,
+            seed: 0x5EED,
+            time_budget: None,
+            workers: 1,
+        }
     }
 }
 
@@ -129,34 +145,85 @@ impl ConformanceChecker {
 
     /// Samples model-level traces from `spec` and replays each against a fresh
     /// implementation cluster, collecting discrepancies.
+    ///
+    /// Each trace index seeds its own random sub-stream, so absent a binding
+    /// `time_budget` the sampled batch — and the resulting report — is the same for
+    /// every `options.workers` value; workers simply sample and replay disjoint stripes
+    /// of the index space concurrently.  A binding budget cuts each worker's stripe off
+    /// at a scheduling-dependent index, so budget-limited reports may differ.
     pub fn check(&self, spec: &Spec<ZabState>, options: &ConformanceOptions) -> ConformanceReport {
-        let traces = simulate(
-            spec,
-            &SimulationOptions {
-                traces: options.traces,
-                max_depth: options.max_depth,
-                time_budget: options.time_budget,
-                seed: options.seed,
-            },
-        );
+        let start = Instant::now();
+        let total = options.traces.max(1);
+        let workers = options.workers.max(1).min(total);
+
+        let run_stripe = |worker: usize| -> Vec<(usize, ConformanceReport)> {
+            let mut out = Vec::new();
+            let mut index = worker;
+            while index < total {
+                // At least one trace (index 0) is always produced, budget or not.
+                if index > 0 {
+                    if let Some(budget) = options.time_budget {
+                        if start.elapsed() >= budget {
+                            break;
+                        }
+                    }
+                }
+                let mut rng = CheckerRng::seed_from_u64(
+                    options.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let trace = simulate_one(spec, options.max_depth, &mut rng);
+                let mut partial = ConformanceReport {
+                    traces_checked: 1,
+                    ..Default::default()
+                };
+                self.replay_trace(index, &trace, &mut partial);
+                out.push((index, partial));
+                index += workers;
+            }
+            out
+        };
+
+        let mut partials: Vec<(usize, ConformanceReport)> = if workers == 1 {
+            run_stripe(0)
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| scope.spawn(move || run_stripe(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("replay worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in trace-index order so the report is deterministic.
+        partials.sort_by_key(|(index, _)| *index);
         let mut report = ConformanceReport::default();
-        for (trace_index, trace) in traces.iter().enumerate() {
-            report.traces_checked += 1;
-            self.replay_trace(trace_index, trace, &mut report);
+        for (_, partial) in partials {
+            report.traces_checked += partial.traces_checked;
+            report.steps_replayed += partial.steps_replayed;
+            report.discrepancies.extend(partial.discrepancies);
         }
         report
     }
 
     /// Replays one model-level trace against a fresh cluster (used both by `check` and to
     /// confirm safety violations found during model checking, §3.5.2).
-    pub fn replay_trace(&self, trace_index: usize, trace: &Trace<ZabState>, report: &mut ConformanceReport) {
+    pub fn replay_trace(
+        &self,
+        trace_index: usize,
+        trace: &Trace<ZabState>,
+        report: &mut ConformanceReport,
+    ) {
         let mut cluster = Cluster::new(self.config);
         for (step_index, step) in trace.steps.iter().enumerate().skip(1) {
             report.steps_replayed += 1;
             let Some(events) = self.mapping.translate(&step.action) else {
-                report
-                    .discrepancies
-                    .push(Discrepancy::UnmappedAction { trace: trace_index, action: step.action.clone() });
+                report.discrepancies.push(Discrepancy::UnmappedAction {
+                    trace: trace_index,
+                    action: step.action.clone(),
+                });
                 continue;
             };
             let mut rejected = false;
@@ -240,7 +307,13 @@ mod tests {
     use remix_zab::{CodeVersion, SpecPreset};
 
     fn options() -> ConformanceOptions {
-        ConformanceOptions { traces: 12, max_depth: 24, seed: 7, time_budget: None }
+        ConformanceOptions {
+            traces: 12,
+            max_depth: 24,
+            seed: 7,
+            time_budget: None,
+            workers: 1,
+        }
     }
 
     #[test]
@@ -277,7 +350,14 @@ mod tests {
         let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
         let spec = SpecPreset::MSpec1.build(&config);
         let checker = ConformanceChecker::new(config);
-        let report = checker.check(&spec, &ConformanceOptions { traces: 20, max_depth: 30, ..options() });
+        let report = checker.check(
+            &spec,
+            &ConformanceOptions {
+                traces: 20,
+                max_depth: 30,
+                ..options()
+            },
+        );
         assert!(
             !report.conforms(),
             "the baseline specification should not conform to the asynchronous implementation"
@@ -286,5 +366,25 @@ mod tests {
             .discrepancies
             .iter()
             .any(|d| matches!(d, Discrepancy::VariableMismatch { variable, .. } if variable == "lastCommitted")));
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential() {
+        // Per-trace seeding makes the sampled batch independent of the worker count, so
+        // the merged reports must agree exactly.
+        let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+        let spec = SpecPreset::MSpec1.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let seq = checker.check(&spec, &options());
+        let par = checker.check(
+            &spec,
+            &ConformanceOptions {
+                workers: 4,
+                ..options()
+            },
+        );
+        assert_eq!(seq.traces_checked, par.traces_checked);
+        assert_eq!(seq.steps_replayed, par.steps_replayed);
+        assert_eq!(seq.discrepancies.len(), par.discrepancies.len());
     }
 }

@@ -1,0 +1,125 @@
+//! A tiny JSON writer for report rows and benchmark artefacts.
+//!
+//! The build environment has no access to crates.io, so instead of `serde` /
+//! `serde_json` the report types serialize themselves through this deliberately small
+//! builder.  It only *writes* JSON (objects, strings, integers, booleans, string
+//! arrays) — parsing is out of scope, and so are non-string keys, floats and nested
+//! objects, which the report rows do not need.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental builder for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds a string-or-null field.
+    pub fn opt_string(mut self, key: &str, value: Option<&str>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => {
+                let _ = write!(self.body, "\"{}\"", escape(v));
+            }
+            None => self.body.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u128(mut self, key: &str, value: u128) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn string_array(mut self, key: &str, values: &[String]) -> Self {
+        self.key(key);
+        self.body.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.body.push(',');
+            }
+            let _ = write!(self.body, "\"{}\"", escape(v));
+        }
+        self.body.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let json = JsonObject::new()
+            .string("name", "a \"quoted\" name")
+            .u128("count", 42)
+            .bool("ok", true)
+            .opt_string("maybe", None)
+            .string_array("tags", &["x".to_owned(), "y".to_owned()])
+            .finish();
+        assert_eq!(
+            json,
+            "{\"name\":\"a \\\"quoted\\\" name\",\"count\":42,\"ok\":true,\"maybe\":null,\"tags\":[\"x\",\"y\"]}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod composer;
 pub mod conformance;
+pub mod json;
 pub mod mapping;
 pub mod report;
 pub mod verifier;

@@ -17,7 +17,9 @@ pub struct ActionMapping {
 impl ActionMapping {
     /// Creates a mapping from a translation function.
     pub fn new(translate: impl Fn(&str) -> Option<Vec<SimEvent>> + Send + Sync + 'static) -> Self {
-        ActionMapping { translate: Box::new(translate) }
+        ActionMapping {
+            translate: Box::new(translate),
+        }
     }
 
     /// Translates one model action label into the code-level events to schedule.
@@ -37,18 +39,29 @@ impl std::fmt::Debug for ActionMapping {
 
 /// Parses the parameters of an instantiated action label, e.g. `"Foo(1, 2)"` → `[1, 2]`.
 fn params(label: &str) -> Vec<usize> {
-    let Some(open) = label.find('(') else { return Vec::new() };
+    let Some(open) = label.find('(') else {
+        return Vec::new();
+    };
     let inner = &label[open + 1..label.len().saturating_sub(1)];
     inner
         .split(',')
-        .filter_map(|p| p.trim().trim_matches(|c| c == '{' || c == '}').parse::<usize>().ok())
+        .filter_map(|p| {
+            p.trim()
+                .trim_matches(|c| c == '{' || c == '}')
+                .parse::<usize>()
+                .ok()
+        })
         .collect()
 }
 
 /// Parses the quorum set out of an `ElectionAndDiscovery(i, {a, b, c})` label.
 fn quorum_of(label: &str) -> Vec<Sid> {
-    let Some(open) = label.find('{') else { return Vec::new() };
-    let Some(close) = label.rfind('}') else { return Vec::new() };
+    let Some(open) = label.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = label.rfind('}') else {
+        return Vec::new();
+    };
     label[open + 1..close]
         .split(',')
         .filter_map(|p| p.trim().parse::<usize>().ok())
@@ -69,21 +82,31 @@ pub fn default_mapping() -> ActionMapping {
         let second = p.get(1).copied().unwrap_or(0);
         let events = match name {
             "ElectionAndDiscovery" | "OracleElectLeader" => {
-                vec![SimEvent::ElectLeader { leader: first, quorum: quorum_of(label) }]
+                vec![SimEvent::ElectLeader {
+                    leader: first,
+                    quorum: quorum_of(label),
+                }]
             }
             // The baseline FLE actions have no one-to-one code counterpart scheduled by
             // the coordinator; the election outcome is scheduled by FLEDecide of the
             // elected leader (§3.5.3: vote messages for the target leader get priority).
-            "FLEBroadcastNotification" | "FLEReceiveNotification" | "FLENotificationTimeout" => vec![],
+            "FLEBroadcastNotification" | "FLEReceiveNotification" | "FLENotificationTimeout" => {
+                vec![]
+            }
             "FLEDecide" => vec![],
             "ConnectAndFollowerSendFOLLOWERINFO"
             | "LeaderProcessFOLLOWERINFO"
             | "FollowerProcessLEADERINFO"
             | "LeaderProcessACKEPOCH" => vec![],
             "LeaderSyncFollower" | "LeaderSendNEWLEADER" => {
-                vec![SimEvent::LeaderSyncFollower { leader: first, follower: second }]
+                vec![SimEvent::LeaderSyncFollower {
+                    leader: first,
+                    follower: second,
+                }]
             }
-            "FollowerProcessSyncPackets" => vec![SimEvent::FollowerHandleSyncPackets { follower: first }],
+            "FollowerProcessSyncPackets" => {
+                vec![SimEvent::FollowerHandleSyncPackets { follower: first }]
+            }
             "FollowerProcessNEWLEADER" => vec![
                 SimEvent::FollowerNewLeaderUpdateEpoch { follower: first },
                 SimEvent::FollowerNewLeaderLogRequests { follower: first },
@@ -99,14 +122,23 @@ pub fn default_mapping() -> ActionMapping {
             "FollowerProcessNEWLEADER_LogAsync" => {
                 vec![SimEvent::FollowerNewLeaderLogRequests { follower: first }]
             }
-            "FollowerProcessNEWLEADER_ReplyAck" => vec![SimEvent::FollowerNewLeaderAck { follower: first }],
+            "FollowerProcessNEWLEADER_ReplyAck" => {
+                vec![SimEvent::FollowerNewLeaderAck { follower: first }]
+            }
             "FollowerSyncProcessorLogRequest" => vec![SimEvent::SyncProcessorRun { node: first }],
             "FollowerCommitProcessorCommit" => vec![SimEvent::CommitProcessorRun { node: first }],
             "LeaderProcessACKLD" | "LeaderProcessACK" => {
-                vec![SimEvent::LeaderProcessAck { leader: first, from: second }]
+                vec![SimEvent::LeaderProcessAck {
+                    leader: first,
+                    from: second,
+                }]
             }
-            "FollowerProcessCOMMITInSync" => vec![SimEvent::FollowerHandleCommitInSync { follower: first }],
-            "FollowerProcessPROPOSALInSync" => vec![SimEvent::FollowerHandleProposal { follower: first }],
+            "FollowerProcessCOMMITInSync" => {
+                vec![SimEvent::FollowerHandleCommitInSync { follower: first }]
+            }
+            "FollowerProcessPROPOSALInSync" => {
+                vec![SimEvent::FollowerHandleProposal { follower: first }]
+            }
             "FollowerProcessUPTODATE" | "FollowerProcessCOMMITLD" => {
                 vec![SimEvent::FollowerHandleUpToDate { follower: first }]
             }
@@ -123,8 +155,14 @@ pub fn default_mapping() -> ActionMapping {
             "NodeRestart" => vec![SimEvent::Restart { node: first }],
             "FollowerShutdown" => vec![SimEvent::FollowerShutdown { follower: first }],
             "LeaderShutdown" => vec![SimEvent::LeaderShutdown { leader: first }],
-            "NetworkPartition" => vec![SimEvent::Partition { a: first, b: second }],
-            "PartitionRecover" => vec![SimEvent::Heal { a: first, b: second }],
+            "NetworkPartition" => vec![SimEvent::Partition {
+                a: first,
+                b: second,
+            }],
+            "PartitionRecover" => vec![SimEvent::Heal {
+                a: first,
+                b: second,
+            }],
             "FollowerProcessNEWLEADER_AcceptHistory" => vec![
                 SimEvent::FollowerHandleSyncPackets { follower: first },
                 SimEvent::FollowerNewLeaderLogRequests { follower: first },
@@ -154,7 +192,13 @@ mod tests {
     fn coarse_election_maps_to_elect_leader() {
         let m = default_mapping();
         let events = m.translate("ElectionAndDiscovery(2, {0, 1, 2})").unwrap();
-        assert_eq!(events, vec![SimEvent::ElectLeader { leader: 2, quorum: vec![0, 1, 2] }]);
+        assert_eq!(
+            events,
+            vec![SimEvent::ElectLeader {
+                leader: 2,
+                quorum: vec![0, 1, 2]
+            }]
+        );
     }
 
     #[test]
@@ -162,7 +206,10 @@ mod tests {
         let m = default_mapping();
         let events = m.translate("FollowerProcessNEWLEADER(0, 2)").unwrap();
         assert_eq!(events.len(), 3);
-        assert_eq!(events[0], SimEvent::FollowerNewLeaderUpdateEpoch { follower: 0 });
+        assert_eq!(
+            events[0],
+            SimEvent::FollowerNewLeaderUpdateEpoch { follower: 0 }
+        );
         assert_eq!(events[2], SimEvent::FollowerNewLeaderAck { follower: 0 });
     }
 
@@ -174,7 +221,8 @@ mod tests {
             vec![SimEvent::SyncProcessorRun { node: 1 }]
         );
         assert_eq!(
-            m.translate("FollowerProcessNEWLEADER_ReplyAck(0, 2)").unwrap(),
+            m.translate("FollowerProcessNEWLEADER_ReplyAck(0, 2)")
+                .unwrap(),
             vec![SimEvent::FollowerNewLeaderAck { follower: 0 }]
         );
     }

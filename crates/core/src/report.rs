@@ -1,15 +1,16 @@
 //! Report rows: the structured data behind the tables of the evaluation section.
 //!
 //! The benchmark harness (`remix-bench`) fills these rows and prints them in the same
-//! layout as the paper (Tables 3-6); they are also serializable so EXPERIMENTS.md can be
-//! regenerated from JSON.
+//! layout as the paper (Tables 3-6); each row also serializes itself to a line of JSON
+//! (via the [`crate::json`] helpers) so EXPERIMENTS.md and `BENCH_*.json` artefacts can
+//! be regenerated mechanically.  Durations are serialized as integer milliseconds.
 
 use std::time::Duration;
 
-use serde::Serialize;
+use crate::json::JsonObject;
 
 /// One row of Table 4 (bug detection) or of the per-bug appendix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BugReport {
     /// The ZooKeeper issue, e.g. `"ZK-4643"`.
     pub bug: String,
@@ -18,7 +19,6 @@ pub struct BugReport {
     /// The most efficient specification that detects it.
     pub spec: String,
     /// Time to the first violation.
-    #[serde(with = "duration_millis")]
     pub time: Duration,
     /// Depth (transitions) of the counterexample.
     pub depth: u32,
@@ -30,13 +30,28 @@ pub struct BugReport {
     pub detected: bool,
 }
 
+impl BugReport {
+    /// Serializes the row as one JSON object (durations in milliseconds).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("bug", &self.bug)
+            .string("impact", &self.impact)
+            .string("spec", &self.spec)
+            .u128("time", self.time.as_millis())
+            .u128("depth", self.depth.into())
+            .u128("states", self.states as u128)
+            .string("invariant", &self.invariant)
+            .bool("detected", self.detected)
+            .finish()
+    }
+}
+
 /// One row of Table 5 (verification efficiency).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EfficiencyRow {
     /// The specification (SysSpec, mSpec-1..4).
     pub spec: String,
     /// Wall-clock time of the run.
-    #[serde(with = "duration_millis")]
     pub time: Duration,
     /// Maximum depth reached.
     pub depth: u32,
@@ -50,15 +65,29 @@ pub struct EfficiencyRow {
     pub completed: bool,
 }
 
+impl EfficiencyRow {
+    /// Serializes the row as one JSON object (durations in milliseconds).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("spec", &self.spec)
+            .u128("time", self.time.as_millis())
+            .u128("depth", self.depth.into())
+            .u128("states", self.states as u128)
+            .u128("violations", self.violations as u128)
+            .string_array("violated_invariants", &self.violated_invariants)
+            .bool("completed", self.completed)
+            .finish()
+    }
+}
+
 /// One row of Table 6 (verifying bug-fix pull requests).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FixVerificationRow {
     /// The pull request.
     pub pull_request: String,
     /// The base specification used (mSpec-3+).
     pub spec: String,
     /// Time to the first violation (or the full run when none).
-    #[serde(with = "duration_millis")]
     pub time: Duration,
     /// Depth of the counterexample.
     pub depth: u32,
@@ -68,13 +97,17 @@ pub struct FixVerificationRow {
     pub invariant: Option<String>,
 }
 
-mod duration_millis {
-    use std::time::Duration;
-
-    use serde::Serializer;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u128(d.as_millis())
+impl FixVerificationRow {
+    /// Serializes the row as one JSON object (durations in milliseconds).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("pull_request", &self.pull_request)
+            .string("spec", &self.spec)
+            .u128("time", self.time.as_millis())
+            .u128("depth", self.depth.into())
+            .u128("states", self.states as u128)
+            .opt_string("invariant", self.invariant.as_deref())
+            .finish()
     }
 }
 
@@ -94,7 +127,7 @@ mod tests {
             invariant: "I-8".to_owned(),
             detected: true,
         };
-        let json = serde_json::to_string(&row).unwrap();
+        let json = row.to_json();
         assert!(json.contains("\"ZK-4643\""));
         assert!(json.contains("\"time\":1700"));
 
@@ -107,7 +140,7 @@ mod tests {
             violated_invariants: vec!["I-10".to_owned()],
             completed: true,
         };
-        assert!(serde_json::to_string(&eff).unwrap().contains("I-10"));
+        assert!(eff.to_json().contains("I-10"));
 
         let fix = FixVerificationRow {
             pull_request: "PR-1848".to_owned(),
@@ -117,6 +150,11 @@ mod tests {
             states: 8_166_775,
             invariant: Some("I-8".to_owned()),
         };
-        assert!(serde_json::to_string(&fix).unwrap().contains("PR-1848"));
+        assert!(fix.to_json().contains("PR-1848"));
+        let none = FixVerificationRow {
+            invariant: None,
+            ..fix
+        };
+        assert!(none.to_json().contains("\"invariant\":null"));
     }
 }

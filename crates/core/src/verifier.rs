@@ -21,8 +21,14 @@ pub struct VerifierOptions {
     pub time_budget: Duration,
     /// Maximum number of distinct states explored.
     pub max_states: Option<usize>,
-    /// Worker threads for frontier expansion.
+    /// Worker threads for frontier expansion (TLC's `-workers`, §4.4).
     pub workers: usize,
+    /// Lock stripes of the checker's discovered-state set; see
+    /// [`CheckOptions::shards`](remix_checker::CheckOptions).
+    pub shards: usize,
+    /// Per-stripe successor batch size; see
+    /// [`CheckOptions::batch_size`](remix_checker::CheckOptions).
+    pub batch_size: usize,
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
@@ -30,11 +36,14 @@ pub struct VerifierOptions {
 
 impl Default for VerifierOptions {
     fn default() -> Self {
+        let check = CheckOptions::default();
         VerifierOptions {
             mode: CheckMode::FirstViolation,
             time_budget: Duration::from_secs(120),
             max_states: None,
             workers: 1,
+            shards: check.shards,
+            batch_size: check.batch_size,
             only_invariants: Vec::new(),
         }
     }
@@ -43,7 +52,12 @@ impl Default for VerifierOptions {
 impl VerifierOptions {
     /// Run-to-completion mode with the paper's violation limit of 10,000.
     pub fn completion() -> Self {
-        VerifierOptions { mode: CheckMode::Completion { violation_limit: 10_000 }, ..Default::default() }
+        VerifierOptions {
+            mode: CheckMode::Completion {
+                violation_limit: 10_000,
+            },
+            ..Default::default()
+        }
     }
 
     /// Restricts checking to a single invariant.
@@ -61,6 +75,12 @@ impl VerifierOptions {
     /// Sets the distinct-state cap.
     pub fn with_max_states(mut self, states: usize) -> Self {
         self.max_states = Some(states);
+        self
+    }
+
+    /// Sets the number of worker threads expanding each BFS frontier.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -101,7 +121,9 @@ impl Verifier {
 
     /// Verifies one of the preset mixed-grained specifications.
     pub fn verify_preset(&self, preset: SpecPreset, options: &VerifierOptions) -> VerificationRun {
-        let composed = Composer::new(self.config).compose_preset(preset).expect("preset composes");
+        let composed = Composer::new(self.config)
+            .compose_preset(preset)
+            .expect("preset composes");
         self.verify_spec(composed.spec, options)
     }
 
@@ -118,18 +140,26 @@ impl Verifier {
             time_budget: Some(options.time_budget),
             max_states: options.max_states,
             workers: options.workers,
+            shards: options.shards,
+            batch_size: options.batch_size,
             collect_traces: true,
         };
         let outcome = check_bfs(&spec, &check);
-        VerificationRun { spec_name: spec.name.clone(), outcome }
+        VerificationRun {
+            spec_name: spec.name.clone(),
+            outcome,
+        }
     }
 }
 
 /// Keeps only the named invariants of a specification (used to attribute a run to one
 /// bug in the Table 4 harness).
 fn restrict_invariants(mut spec: Spec<ZabState>, ids: &[&'static str]) -> Spec<ZabState> {
-    let kept: Vec<Invariant<ZabState>> =
-        spec.invariants.into_iter().filter(|inv| ids.contains(&inv.id)).collect();
+    let kept: Vec<Invariant<ZabState>> = spec
+        .invariants
+        .into_iter()
+        .filter(|inv| ids.contains(&inv.id))
+        .collect();
     spec.invariants = kept;
     spec
 }
@@ -140,7 +170,10 @@ mod tests {
     use remix_zab::CodeVersion;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "expensive model-checking run; use --release"
+    )]
     fn fixed_version_passes_mspec3_within_bounds() {
         let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
         let verifier = Verifier::new(config);
@@ -154,7 +187,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "expensive model-checking run; use --release"
+    )]
     fn buggy_version_fails_mspec3_and_invariant_filter_works() {
         let config = ClusterConfig::small(CodeVersion::V391);
         let verifier = Verifier::new(config);
@@ -166,7 +202,9 @@ mod tests {
         // Restricting to I-12 must attribute the run to the bad-acknowledgement bug.
         let run = verifier.verify_preset(
             SpecPreset::MSpec3,
-            &VerifierOptions::default().targeting("I-12").with_time_budget(Duration::from_secs(60)),
+            &VerifierOptions::default()
+                .targeting("I-12")
+                .with_time_budget(Duration::from_secs(60)),
         );
         assert_eq!(run.first_violated_invariant(), Some("I-12"));
     }

@@ -13,12 +13,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::module::ModuleId;
 
 /// Granularity of a module specification (§3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Granularity {
     /// Interaction-preserving coarsening of a module (e.g. the single
     /// `ElectionAndDiscovery` action of Figure 5b).
@@ -85,7 +83,10 @@ pub struct ActionInstance<S> {
 impl<S> ActionInstance<S> {
     /// Creates a new instance with the given label and successor state.
     pub fn new(label: impl Into<String>, next: S) -> Self {
-        ActionInstance { label: label.into(), next }
+        ActionInstance {
+            label: label.into(),
+            next,
+        }
     }
 }
 

@@ -34,7 +34,10 @@ pub struct ModuleFootprint {
 
 /// Computes the footprint of a module specification.
 pub fn module_footprint<S>(module: &ModuleSpec<S>) -> ModuleFootprint {
-    ModuleFootprint { reads: module.read_set(), writes: module.write_set() }
+    ModuleFootprint {
+        reads: module.read_set(),
+        writes: module.write_set(),
+    }
 }
 
 /// Computes the dependency variables of a module (Definition 2).
@@ -68,7 +71,10 @@ impl InteractionAnalysis {
 pub fn interaction_variables<S>(modules: &[&ModuleSpec<S>]) -> InteractionAnalysis {
     let mut dependencies: BTreeMap<ModuleId, BTreeSet<&'static str>> = BTreeMap::new();
     for m in modules {
-        dependencies.entry(m.module).or_default().extend(m.read_set());
+        dependencies
+            .entry(m.module)
+            .or_default()
+            .extend(m.read_set());
     }
 
     // Rule 1: variables shared by the dependency sets of two different modules.
@@ -107,7 +113,10 @@ pub fn interaction_variables<S>(modules: &[&ModuleSpec<S>]) -> InteractionAnalys
         }
     }
 
-    InteractionAnalysis { dependencies, interaction }
+    InteractionAnalysis {
+        dependencies,
+        interaction,
+    }
 }
 
 /// A single violation of the interaction-preservation constraints.
@@ -161,7 +170,10 @@ pub fn check_interaction_preservation<S>(
     coarse: &[&ModuleSpec<S>],
     protected: &BTreeSet<&'static str>,
 ) -> PreservationReport {
-    let mut report = PreservationReport { protected: protected.clone(), violations: Vec::new() };
+    let mut report = PreservationReport {
+        protected: protected.clone(),
+        violations: Vec::new(),
+    };
 
     let orig_writes: BTreeSet<&'static str> = original
         .iter()
@@ -173,17 +185,22 @@ pub fn check_interaction_preservation<S>(
         .flat_map(|m| m.write_set())
         .filter(|v| protected.contains(v))
         .collect();
-    let coarse_module = coarse.first().map(|m| m.module).unwrap_or(ModuleId("<empty>"));
+    let coarse_module = coarse
+        .first()
+        .map(|m| m.module)
+        .unwrap_or(ModuleId("<empty>"));
 
     for v in orig_writes.difference(&coarse_writes) {
-        report
-            .violations
-            .push(PreservationViolation::MissingWrite { module: coarse_module, variable: v });
+        report.violations.push(PreservationViolation::MissingWrite {
+            module: coarse_module,
+            variable: v,
+        });
     }
     for v in coarse_writes.difference(&orig_writes) {
-        report
-            .violations
-            .push(PreservationViolation::ExtraWrite { module: coarse_module, variable: v });
+        report.violations.push(PreservationViolation::ExtraWrite {
+            module: coarse_module,
+            variable: v,
+        });
     }
     report
 }
@@ -323,7 +340,10 @@ mod tests {
         assert!(!report.preserved());
         assert!(report.violations.iter().any(|v| matches!(
             v,
-            PreservationViolation::MissingWrite { variable: "zabState", .. }
+            PreservationViolation::MissingWrite {
+                variable: "zabState",
+                ..
+            }
         )));
     }
 
@@ -346,9 +366,12 @@ mod tests {
         );
         let report = check_interaction_preservation(&[&election_fine()], &[&coarse], &protected);
         assert!(!report.preserved());
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, PreservationViolation::ExtraWrite { variable: "history", .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            PreservationViolation::ExtraWrite {
+                variable: "history",
+                ..
+            }
+        )));
     }
 }

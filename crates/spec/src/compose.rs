@@ -36,18 +36,27 @@ pub struct CompositionPlan {
 impl CompositionPlan {
     /// Creates a plan with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        CompositionPlan { name: name.into(), choices: Vec::new() }
+        CompositionPlan {
+            name: name.into(),
+            choices: Vec::new(),
+        }
     }
 
     /// Adds a module choice and returns the plan (builder style).
     pub fn with(mut self, module: ModuleId, granularity: Granularity) -> Self {
-        self.choices.push(ModuleChoice { module, granularity });
+        self.choices.push(ModuleChoice {
+            module,
+            granularity,
+        });
         self
     }
 
     /// Returns the granularity chosen for `module`, if present in the plan.
     pub fn granularity_of(&self, module: ModuleId) -> Option<Granularity> {
-        self.choices.iter().find(|c| c.module == module).map(|c| c.granularity)
+        self.choices
+            .iter()
+            .find(|c| c.module == module)
+            .map(|c| c.granularity)
     }
 }
 
@@ -65,15 +74,22 @@ pub fn compose<S: SpecState>(
     let mut seen: BTreeSet<ModuleId> = BTreeSet::new();
     for m in &modules {
         if !seen.insert(m.module) {
-            return Err(SpecError::DuplicateModule { module: m.module.name().to_owned() });
+            return Err(SpecError::DuplicateModule {
+                module: m.module.name().to_owned(),
+            });
         }
     }
 
     let granularity_of = |module: ModuleId| -> Option<Granularity> {
-        modules.iter().find(|m| m.module == module).map(|m| m.granularity)
+        modules
+            .iter()
+            .find(|m| m.module == module)
+            .map(|m| m.granularity)
     };
-    let selected: Vec<Invariant<S>> =
-        invariants.into_iter().filter(|inv| inv.applies(&granularity_of)).collect();
+    let selected: Vec<Invariant<S>> = invariants
+        .into_iter()
+        .filter(|inv| inv.applies(&granularity_of))
+        .collect();
 
     Ok(Spec::new(name, init, modules, selected))
 }
@@ -86,9 +102,14 @@ mod tests {
     use crate::spec::testutil::{Counters, MOD_X, MOD_Y};
 
     fn module(module: ModuleId, granularity: Granularity) -> ModuleSpec<Counters> {
-        let action = ActionDef::new("Noop", module, granularity, vec!["x"], vec!["x"], |s: &Counters| {
-            vec![ActionInstance::new("Noop", s.clone())]
-        });
+        let action = ActionDef::new(
+            "Noop",
+            module,
+            granularity,
+            vec!["x"],
+            vec!["x"],
+            |s: &Counters| vec![ActionInstance::new("Noop", s.clone())],
+        );
         ModuleSpec::new(module, granularity, vec![action])
     }
 
@@ -97,7 +118,10 @@ mod tests {
         let err = compose(
             "dup",
             vec![Counters { x: 0, y: 0 }],
-            vec![module(MOD_X, Granularity::Baseline), module(MOD_X, Granularity::Coarse)],
+            vec![
+                module(MOD_X, Granularity::Baseline),
+                module(MOD_X, Granularity::Coarse),
+            ],
             vec![],
         )
         .unwrap_err();
@@ -120,7 +144,10 @@ mod tests {
         let spec = compose(
             "mix",
             vec![Counters { x: 0, y: 0 }],
-            vec![module(MOD_X, Granularity::Coarse), module(MOD_Y, Granularity::Baseline)],
+            vec![
+                module(MOD_X, Granularity::Coarse),
+                module(MOD_Y, Granularity::Baseline),
+            ],
             vec![always.clone(), scoped.clone()],
         )
         .unwrap();
@@ -131,7 +158,10 @@ mod tests {
         let spec = compose(
             "mix-fine",
             vec![Counters { x: 0, y: 0 }],
-            vec![module(MOD_X, Granularity::Coarse), module(MOD_Y, Granularity::FineConcurrent)],
+            vec![
+                module(MOD_X, Granularity::Coarse),
+                module(MOD_Y, Granularity::FineConcurrent),
+            ],
             vec![always, scoped],
         )
         .unwrap();

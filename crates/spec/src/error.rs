@@ -37,11 +37,20 @@ pub enum SpecError {
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpecError::UnknownModule { module, granularity } => {
-                write!(f, "no specification for module `{module}` at granularity `{granularity}`")
+            SpecError::UnknownModule {
+                module,
+                granularity,
+            } => {
+                write!(
+                    f,
+                    "no specification for module `{module}` at granularity `{granularity}`"
+                )
             }
             SpecError::DuplicateModule { module } => {
-                write!(f, "module `{module}` selected more than once in the composition")
+                write!(
+                    f,
+                    "module `{module}` selected more than once in the composition"
+                )
             }
             SpecError::MissingModule { module } => {
                 write!(f, "composition plan does not cover module `{module}`")
@@ -68,7 +77,9 @@ mod tests {
         };
         assert!(e.to_string().contains("Election"));
         assert!(e.to_string().contains("Coarse"));
-        let e = SpecError::UnknownInvariant { id: "I-8".to_owned() };
+        let e = SpecError::UnknownInvariant {
+            id: "I-8".to_owned(),
+        };
         assert!(e.to_string().contains("I-8"));
     }
 }

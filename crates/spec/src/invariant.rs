@@ -10,13 +10,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::Granularity;
 use crate::module::ModuleId;
 
 /// Where an invariant comes from (the "Source" column of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InvariantSource {
     /// A safety property defined by the Zab protocol (I-1..I-10).
     Protocol,
@@ -70,7 +68,13 @@ impl<S> Invariant<S> {
         source: InvariantSource,
         check: impl Fn(&S) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Invariant { id, name, source, scope: InvariantScope::Always, check: Arc::new(check) }
+        Invariant {
+            id,
+            name,
+            source,
+            scope: InvariantScope::Always,
+            check: Arc::new(check),
+        }
     }
 
     /// Creates an invariant that only applies when `module` is specified at a granularity
@@ -126,8 +130,12 @@ mod tests {
 
     #[test]
     fn always_invariant_applies_everywhere() {
-        let inv: Invariant<u32> =
-            Invariant::always("I-1", "Primary uniqueness", InvariantSource::Protocol, |s| *s < 10);
+        let inv: Invariant<u32> = Invariant::always(
+            "I-1",
+            "Primary uniqueness",
+            InvariantSource::Protocol,
+            |s| *s < 10,
+        );
         assert!(inv.holds(&3));
         assert!(!inv.holds(&11));
         assert!(inv.applies(&|_m| None));

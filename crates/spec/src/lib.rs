@@ -9,7 +9,7 @@
 //!
 //! The framework supports:
 //!
-//! * **Composition** ([`compose`]): assembling per-module specifications of different
+//! * **Composition** ([`compose`](mod@compose)): assembling per-module specifications of different
 //!   granularities into a single *mixed-grained* specification whose next-state relation
 //!   is the disjunction of all chosen actions (the paper's Figure 7).
 //! * **Dependency / interaction-variable analysis** ([`analysis`]): the conservative
@@ -23,6 +23,8 @@
 //!   invariants that make sense for its granularity (§3.5.1).
 //! * **Traces** ([`trace`]): counterexample and simulation traces with projection onto a
 //!   target module, used both for debugging and for conformance checking.
+
+#![warn(missing_docs)]
 
 pub mod action;
 pub mod analysis;
@@ -44,5 +46,7 @@ pub use error::SpecError;
 pub use invariant::{Invariant, InvariantScope, InvariantSource};
 pub use module::{ModuleId, ModuleSpec};
 pub use spec::{Spec, SpecState};
-pub use trace::{condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep};
+pub use trace::{
+    condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep,
+};
 pub use value::Value;

@@ -7,12 +7,10 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::{ActionDef, Granularity};
 
 /// Identifier of a module (a set of actions, Definition 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModuleId(pub &'static str);
 
 impl ModuleId {
@@ -47,10 +45,16 @@ impl<S> ModuleSpec<S> {
     /// module and granularity it is registered under.
     pub fn new(module: ModuleId, granularity: Granularity, actions: Vec<ActionDef<S>>) -> Self {
         debug_assert!(
-            actions.iter().all(|a| a.module == module && a.granularity == granularity),
+            actions
+                .iter()
+                .all(|a| a.module == module && a.granularity == granularity),
             "actions must be tagged with the module/granularity they are registered under"
         );
-        ModuleSpec { module, granularity, actions }
+        ModuleSpec {
+            module,
+            granularity,
+            actions,
+        }
     }
 
     /// Number of actions in this module specification (reported in Table 3).
@@ -60,12 +64,18 @@ impl<S> ModuleSpec<S> {
 
     /// The union of the variables read by this module's actions.
     pub fn read_set(&self) -> BTreeSet<&'static str> {
-        self.actions.iter().flat_map(|a| a.reads.iter().copied()).collect()
+        self.actions
+            .iter()
+            .flat_map(|a| a.reads.iter().copied())
+            .collect()
     }
 
     /// The union of the variables written by this module's actions.
     pub fn write_set(&self) -> BTreeSet<&'static str> {
-        self.actions.iter().flat_map(|a| a.writes.iter().copied()).collect()
+        self.actions
+            .iter()
+            .flat_map(|a| a.writes.iter().copied())
+            .collect()
     }
 
     /// The union of all variables mentioned (read or written) by this module.
@@ -81,7 +91,10 @@ impl<S> fmt::Debug for ModuleSpec<S> {
         f.debug_struct("ModuleSpec")
             .field("module", &self.module)
             .field("granularity", &self.granularity)
-            .field("actions", &self.actions.iter().map(|a| a.name).collect::<Vec<_>>())
+            .field(
+                "actions",
+                &self.actions.iter().map(|a| a.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -91,10 +104,19 @@ mod tests {
     use super::*;
     use crate::action::ActionInstance;
 
-    fn action(name: &'static str, reads: Vec<&'static str>, writes: Vec<&'static str>) -> ActionDef<u32> {
-        ActionDef::new(name, ModuleId("M"), Granularity::Baseline, reads, writes, move |_s: &u32| {
-            vec![ActionInstance::new(name, 0u32)]
-        })
+    fn action(
+        name: &'static str,
+        reads: Vec<&'static str>,
+        writes: Vec<&'static str>,
+    ) -> ActionDef<u32> {
+        ActionDef::new(
+            name,
+            ModuleId("M"),
+            Granularity::Baseline,
+            reads,
+            writes,
+            move |_s: &u32| vec![ActionInstance::new(name, 0u32)],
+        )
     }
 
     #[test]
@@ -102,7 +124,10 @@ mod tests {
         let m = ModuleSpec::new(
             ModuleId("M"),
             Granularity::Baseline,
-            vec![action("A", vec!["x", "y"], vec!["x"]), action("B", vec!["y", "z"], vec!["w"])],
+            vec![
+                action("A", vec!["x", "y"], vec!["x"]),
+                action("B", vec!["y", "z"], vec!["w"]),
+            ],
         );
         assert_eq!(m.action_count(), 2);
         assert_eq!(m.read_set(), ["x", "y", "z"].into_iter().collect());

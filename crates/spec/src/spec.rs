@@ -48,7 +48,12 @@ impl<S: SpecState> Spec<S> {
         modules: Vec<ModuleSpec<S>>,
         invariants: Vec<Invariant<S>>,
     ) -> Self {
-        Spec { name: name.into(), init, modules, invariants }
+        Spec {
+            name: name.into(),
+            init,
+            modules,
+            invariants,
+        }
     }
 
     /// Enumerates all successors of `state` under the next-state relation, labelled with
@@ -67,13 +72,19 @@ impl<S: SpecState> Spec<S> {
 
     /// Returns the invariants violated by `state` (empty when all hold).
     pub fn violated_invariants(&self, state: &S) -> Vec<&Invariant<S>> {
-        self.invariants.iter().filter(|inv| !inv.holds(state)).collect()
+        self.invariants
+            .iter()
+            .filter(|inv| !inv.holds(state))
+            .collect()
     }
 
     /// Returns the granularity chosen for `module`, if the module is part of this
     /// specification.
     pub fn module_granularity(&self, module: ModuleId) -> Option<Granularity> {
-        self.modules.iter().find(|m| m.module == module).map(|m| m.granularity)
+        self.modules
+            .iter()
+            .find(|m| m.module == module)
+            .map(|m| m.granularity)
     }
 
     /// All actions of the composed next-state relation, in module order.
@@ -97,7 +108,10 @@ impl<S: SpecState> Spec<S> {
 
     /// The composition matrix: module → granularity (Table 1 rows).
     pub fn composition(&self) -> Vec<(ModuleId, Granularity)> {
-        self.modules.iter().map(|m| (m.module, m.granularity)).collect()
+        self.modules
+            .iter()
+            .map(|m| (m.module, m.granularity))
+            .collect()
     }
 }
 
@@ -161,7 +175,10 @@ pub(crate) mod testutil {
             vec!["x"],
             move |s: &Counters| {
                 if s.x < max {
-                    vec![ActionInstance::new(format!("IncX({})", s.x), Counters { x: s.x + 1, y: s.y })]
+                    vec![ActionInstance::new(
+                        format!("IncX({})", s.x),
+                        Counters { x: s.x + 1, y: s.y },
+                    )]
                 } else {
                     vec![]
                 }
@@ -176,15 +193,21 @@ pub(crate) mod testutil {
             move |s: &Counters| {
                 // `y` may only grow while it is below `x` (an interaction with module X).
                 if s.y < s.x {
-                    vec![ActionInstance::new(format!("IncY({})", s.y), Counters { x: s.x, y: s.y + 1 })]
+                    vec![ActionInstance::new(
+                        format!("IncY({})", s.y),
+                        Counters { x: s.x, y: s.y + 1 },
+                    )]
                 } else {
                     vec![]
                 }
             },
         );
-        let inv = Invariant::always("INV-ORD", "y never exceeds x", InvariantSource::Protocol, |s: &Counters| {
-            s.y <= s.x
-        });
+        let inv = Invariant::always(
+            "INV-ORD",
+            "y never exceeds x",
+            InvariantSource::Protocol,
+            |s: &Counters| s.y <= s.x,
+        );
         Spec::new(
             "counters",
             vec![Counters { x: 0, y: 0 }],

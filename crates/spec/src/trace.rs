@@ -9,8 +9,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::spec::SpecState;
 use crate::value::Value;
 
@@ -40,12 +38,20 @@ impl<S> Default for Trace<S> {
 impl<S> Trace<S> {
     /// Creates a trace starting from an initial state.
     pub fn from_init(init: S) -> Self {
-        Trace { steps: vec![TraceStep { action: "Init".to_owned(), state: init }] }
+        Trace {
+            steps: vec![TraceStep {
+                action: "Init".to_owned(),
+                state: init,
+            }],
+        }
     }
 
     /// Appends a step.
     pub fn push(&mut self, action: impl Into<String>, state: S) {
-        self.steps.push(TraceStep { action: action.into(), state });
+        self.steps.push(TraceStep {
+            action: action.into(),
+            state,
+        });
     }
 
     /// Number of transitions (the "Depth" columns of Tables 4-6 count transitions, i.e.
@@ -61,7 +67,11 @@ impl<S> Trace<S> {
 
     /// The sequence of action labels, excluding the initial pseudo-action.
     pub fn action_labels(&self) -> Vec<&str> {
-        self.steps.iter().skip(1).map(|s| s.action.as_str()).collect()
+        self.steps
+            .iter()
+            .skip(1)
+            .map(|s| s.action.as_str())
+            .collect()
     }
 
     /// Returns `true` if the trace has no steps at all.
@@ -80,14 +90,14 @@ impl<S: fmt::Debug> fmt::Display for Trace<S> {
 }
 
 /// A trace projected onto a set of variables: each step keeps only the projected values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProjectedTrace {
     /// Per-step projected variable assignments.
     pub steps: Vec<ProjectedStep>,
 }
 
 /// One step of a [`ProjectedTrace`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProjectedStep {
     /// The action that produced this state (`"Init"` for the first step).
     pub action: String,
@@ -101,7 +111,10 @@ pub fn project_trace<S: SpecState>(trace: &Trace<S>, vars: &[&str]) -> Projected
         steps: trace
             .steps
             .iter()
-            .map(|s| ProjectedStep { action: s.action.clone(), vars: s.state.project(vars) })
+            .map(|s| ProjectedStep {
+                action: s.action.clone(),
+                vars: s.state.project(vars),
+            })
             .collect(),
     }
 }

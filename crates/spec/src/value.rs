@@ -9,14 +9,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A TLA+-style value: booleans, integers, strings, sequences, sets and records.
 ///
 /// `Value` is totally ordered so it can be placed in sets and used as a map key, and it
 /// implements [`fmt::Display`] with TLA+-like syntax (`<<...>>` for sequences, `{...}`
 /// for sets, `[k |-> v]` for records).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// A boolean.
     Bool(bool),
@@ -254,7 +252,10 @@ mod tests {
         ]);
         assert_eq!(v.to_string(), "[mtype |-> \"ACK\", mzxid |-> <<1, 2>>]");
         assert_eq!(Value::Bool(true).to_string(), "TRUE");
-        assert_eq!(Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+        assert_eq!(
+            Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
     }
 
     #[test]

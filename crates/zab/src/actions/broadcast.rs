@@ -56,22 +56,35 @@ pub(crate) fn leader_process_request_step(cfg: &Cfg, state: &mut ZabState, i: Si
 /// synchronizing after the epoch was established.  Returns `false` when not enabled.
 pub(crate) fn leader_process_ack_step(state: &mut ZabState, i: Sid, j: Sid) -> bool {
     let leader = &state.servers[i];
-    if !leader.is_up() || leader.state != ServerState::Leading || leader.phase != ZabPhase::Broadcast {
+    if !leader.is_up()
+        || leader.state != ServerState::Leading
+        || leader.phase != ZabPhase::Broadcast
+    {
         return false;
     }
-    let Some(Message::Ack { zxid }) = state.head(j, i) else { return false };
+    let Some(Message::Ack { zxid }) = state.head(j, i) else {
+        return false;
+    };
     let zxid = *zxid;
     state.pop(j, i);
 
     if state.servers[i].pending_acks.contains_key(&zxid) {
-        state.servers[i].pending_acks.get_mut(&zxid).expect("checked").insert(j);
+        state.servers[i]
+            .pending_acks
+            .get_mut(&zxid)
+            .expect("checked")
+            .insert(j);
         commit_ready_proposals(state, i);
     } else if !state.servers[i].newleader_acks.contains(&j) {
         // A late acknowledgement of NEWLEADER (or UPTODATE): bring the follower up to
         // date with the proposals it missed while synchronizing, then include it in the
         // broadcast set.
-        let missed: Vec<Txn> =
-            state.servers[i].history.iter().filter(|t| t.zxid > zxid).copied().collect();
+        let missed: Vec<Txn> = state.servers[i]
+            .history
+            .iter()
+            .filter(|t| t.zxid > zxid)
+            .copied()
+            .collect();
         let committed_upto = leader_committed_zxid(state, i);
         for t in missed {
             state.send(i, j, Message::Proposal { txn: t });
@@ -107,7 +120,9 @@ pub(crate) fn commit_ready_proposals(state: &mut ZabState, i: Sid) {
             break;
         }
         let zxid = state.servers[i].history[next_index].zxid;
-        let Some(ackers) = state.servers[i].pending_acks.get(&zxid) else { break };
+        let Some(ackers) = state.servers[i].pending_acks.get(&zxid) else {
+            break;
+        };
         if !state.is_quorum(ackers) {
             break;
         }
@@ -124,7 +139,10 @@ pub(crate) fn commit_ready_proposals(state: &mut ZabState, i: Sid) {
 /// are the error paths guarded by the code-level invariants.
 pub(crate) fn follower_apply_commit(state: &mut ZabState, i: Sid, zxid: Zxid, logged_check: bool) {
     let sv = &mut state.servers[i];
-    if sv.history[..sv.last_committed].iter().any(|t| t.zxid == zxid) {
+    if sv.history[..sv.last_committed]
+        .iter()
+        .any(|t| t.zxid == zxid)
+    {
         // Already delivered (duplicate commit): ignore.
         return;
     }
@@ -135,7 +153,11 @@ pub(crate) fn follower_apply_commit(state: &mut ZabState, i: Sid, zxid: Zxid, lo
     if logged_check {
         // The committed transaction is not the next entry of the log (either not logged
         // yet, or the log diverged): ZooKeeper's commit path treats this as an error.
-        let instance = if sv.history.iter().any(|t| t.zxid == zxid) { 3 } else { 2 };
+        let instance = if sv.history.iter().any(|t| t.zxid == zxid) {
+            3
+        } else {
+            2
+        };
         state.record_violation(CodeViolation {
             kind: ViolationKind::BadCommit,
             instance,
@@ -155,14 +177,24 @@ fn leader_process_request(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
         "LeaderProcessRequest",
         BROADCAST,
         granularity,
-        vec!["state", "zabState", "currentEpoch", "history", "txnBudget", "ackldRecv"],
+        vec![
+            "state",
+            "zabState",
+            "currentEpoch",
+            "history",
+            "txnBudget",
+            "ackldRecv",
+        ],
         vec!["history", "proposalAcks", "msgs", "txnBudget", "ghost"],
         move |s: &ZabState| {
             let mut out = Vec::new();
             for i in servers(s) {
                 let mut next = s.clone();
                 if leader_process_request_step(&cfg, &mut next, i) {
-                    out.push(ActionInstance::new(format!("LeaderProcessRequest({i})"), next));
+                    out.push(ActionInstance::new(
+                        format!("LeaderProcessRequest({i})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -176,7 +208,14 @@ fn follower_process_proposal(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessPROPOSAL",
         BROADCAST,
         Granularity::Baseline,
-        vec!["state", "zabState", "leaderAddr", "history", "currentEpoch", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "history",
+            "currentEpoch",
+            "msgs",
+        ],
         vec!["history", "msgs", "violation"],
         |s: &ZabState| {
             let mut out = Vec::new();
@@ -189,14 +228,19 @@ fn follower_process_proposal(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::Proposal { txn }) = s.head(j, i) else { continue };
+                let Some(Message::Proposal { txn }) = s.head(j, i) else {
+                    continue;
+                };
                 let txn = *txn;
                 let mut next = s.clone();
                 next.pop(j, i);
                 check_proposal(&mut next, i, txn);
                 next.servers[i].history.push(txn);
                 next.send(i, j, Message::Ack { zxid: txn.zxid });
-                out.push(ActionInstance::new(format!("FollowerProcessPROPOSAL({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessPROPOSAL({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -232,14 +276,25 @@ fn leader_process_ack(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabStat
         "LeaderProcessACK",
         BROADCAST,
         granularity,
-        vec!["state", "zabState", "proposalAcks", "ackldRecv", "history", "lastCommitted", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "proposalAcks",
+            "ackldRecv",
+            "history",
+            "lastCommitted",
+            "msgs",
+        ],
         vec!["proposalAcks", "ackldRecv", "lastCommitted", "msgs"],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
                 let mut next = s.clone();
                 if leader_process_ack_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(format!("LeaderProcessACK({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("LeaderProcessACK({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -253,7 +308,14 @@ fn follower_process_commit(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessCOMMIT",
         BROADCAST,
         Granularity::Baseline,
-        vec!["state", "zabState", "leaderAddr", "history", "lastCommitted", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "history",
+            "lastCommitted",
+            "msgs",
+        ],
         vec!["lastCommitted", "msgs", "violation"],
         |s: &ZabState| {
             let mut out = Vec::new();
@@ -266,12 +328,17 @@ fn follower_process_commit(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::Commit { zxid }) = s.head(j, i) else { continue };
+                let Some(Message::Commit { zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let zxid = *zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_apply_commit(&mut next, i, zxid, true);
-                out.push(ActionInstance::new(format!("FollowerProcessCOMMIT({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessCOMMIT({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -280,7 +347,10 @@ fn follower_process_commit(_cfg: &Cfg) -> ActionDef<ZabState> {
 
 /// The shared Broadcast actions (leader side) reused by the fine-grained variant.
 pub(crate) fn shared_actions(cfg: &Cfg, granularity: Granularity) -> Vec<ActionDef<ZabState>> {
-    vec![leader_process_request(cfg, granularity), leader_process_ack(cfg, granularity)]
+    vec![
+        leader_process_request(cfg, granularity),
+        leader_process_ack(cfg, granularity),
+    ]
 }
 
 /// The baseline Broadcast module specification (four actions).
@@ -330,7 +400,9 @@ mod tests {
 
     fn run(module: &ModuleSpec<ZabState>, mut s: ZabState, steps: usize) -> ZabState {
         for _ in 0..steps {
-            let Some(inst) = module.actions.iter().flat_map(|a| a.enabled(&s)).next() else { break };
+            let Some(inst) = module.actions.iter().flat_map(|a| a.enabled(&s)).next() else {
+                break;
+            };
             s = inst.next;
         }
         s
@@ -343,8 +415,15 @@ mod tests {
         let s = broadcast_ready();
         let s = run(&m, s, 60);
         for i in 0..3 {
-            assert_eq!(s.servers[i].history.len(), 2, "server {i} should log both txns");
-            assert_eq!(s.servers[i].last_committed, 2, "server {i} should deliver both txns");
+            assert_eq!(
+                s.servers[i].history.len(),
+                2,
+                "server {i} should log both txns"
+            );
+            assert_eq!(
+                s.servers[i].last_committed, 2,
+                "server {i} should deliver both txns"
+            );
         }
         assert!(s.violation.is_none());
         assert_eq!(s.ghost.broadcast.len(), 2);

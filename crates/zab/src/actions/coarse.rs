@@ -24,8 +24,12 @@ fn quorums(candidates: &[Sid], min: usize) -> Vec<BTreeSet<Sid>> {
     let mut out = Vec::new();
     let n = candidates.len();
     for mask in 1u32..(1 << n) {
-        let set: BTreeSet<Sid> =
-            candidates.iter().enumerate().filter(|(k, _)| mask & (1 << k) != 0).map(|(_, &s)| s).collect();
+        let set: BTreeSet<Sid> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << k) != 0)
+            .map(|(_, &s)| s)
+            .collect();
         if set.len() >= min {
             out.push(set);
         }
@@ -35,7 +39,11 @@ fn quorums(candidates: &[Sid], min: usize) -> Vec<BTreeSet<Sid>> {
 
 /// The vote a server would cast for itself, used to pick the election winner.
 fn candidate_vote(state: &ZabState, i: Sid) -> Vote {
-    Vote { epoch: state.servers[i].current_epoch, zxid: state.servers[i].last_zxid(), leader: i }
+    Vote {
+        epoch: state.servers[i].current_epoch,
+        zxid: state.servers[i].last_zxid(),
+        leader: i,
+    }
 }
 
 /// Builds the single coarse `ElectionAndDiscovery(i, Q)` action.
@@ -45,7 +53,13 @@ fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
         "ElectionAndDiscovery",
         ELECTION,
         Granularity::Coarse,
-        vec!["state", "zabState", "currentEpoch", "acceptedEpoch", "history"],
+        vec![
+            "state",
+            "zabState",
+            "currentEpoch",
+            "acceptedEpoch",
+            "history",
+        ],
         // `msgs` is declared written because the combined action absorbs the election and
         // discovery traffic whose net effect it models (no discovery messages remain in
         // flight once the action completes), preserving the interaction with the
@@ -92,7 +106,11 @@ fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
                     sv.phase = ZabPhase::Synchronization;
                     sv.leader = Some(leader);
                     sv.recv_votes.clear();
-                    sv.vote = Vote { epoch: sv.current_epoch, zxid: last_zxid, leader };
+                    sv.vote = Vote {
+                        epoch: sv.current_epoch,
+                        zxid: last_zxid,
+                        leader,
+                    };
                     if member == leader {
                         sv.state = ServerState::Leading;
                         sv.current_epoch = new_epoch;
@@ -125,7 +143,11 @@ fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
 
 /// The coarse Election module: the single combined action.
 pub fn election_module(cfg: &Cfg) -> ModuleSpec<ZabState> {
-    ModuleSpec::new(ELECTION, Granularity::Coarse, vec![election_and_discovery(cfg)])
+    ModuleSpec::new(
+        ELECTION,
+        Granularity::Coarse,
+        vec![election_and_discovery(cfg)],
+    )
 }
 
 /// The coarse Discovery module: empty — its externally visible effects are folded into
@@ -155,11 +177,18 @@ mod tests {
         assert_eq!(insts.len(), 4);
         for inst in &insts {
             let next = &inst.next;
-            let leader = next.servers.iter().position(|sv| sv.state == ServerState::Leading).unwrap();
+            let leader = next
+                .servers
+                .iter()
+                .position(|sv| sv.state == ServerState::Leading)
+                .unwrap();
             assert_eq!(next.servers[leader].current_epoch, 1);
             assert_eq!(next.servers[leader].phase, ZabPhase::Synchronization);
-            let followers =
-                next.servers.iter().filter(|sv| sv.state == ServerState::Following).count();
+            let followers = next
+                .servers
+                .iter()
+                .filter(|sv| sv.state == ServerState::Following)
+                .count();
             assert!(followers >= 1);
         }
     }

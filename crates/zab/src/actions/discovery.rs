@@ -15,7 +15,13 @@ fn follower_info(_cfg: &Cfg) -> ActionDef<ZabState> {
         "ConnectAndFollowerSendFOLLOWERINFO",
         DISCOVERY,
         Granularity::Baseline,
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "history"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "history",
+        ],
         vec!["msgs"],
         |s: &ZabState| {
             let mut out = Vec::new();
@@ -62,7 +68,9 @@ fn leader_process_follower_info(cfg: &Cfg) -> ActionDef<ZabState> {
                 if !s.servers[i].is_up() || s.servers[i].state != ServerState::Leading {
                     continue;
                 }
-                let Some(Message::FollowerInfo { last_zxid, .. }) = s.head(j, i) else { continue };
+                let Some(Message::FollowerInfo { last_zxid, .. }) = s.head(j, i) else {
+                    continue;
+                };
                 let last_zxid = *last_zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -80,14 +88,18 @@ fn leader_process_follower_info(cfg: &Cfg) -> ActionDef<ZabState> {
                         if epoch <= cfg.max_epoch {
                             next.servers[i].accepted_epoch = epoch;
                             next.servers[i].epoch_proposed = true;
-                            let learners: Vec<_> = next.servers[i].learners.iter().copied().collect();
+                            let learners: Vec<_> =
+                                next.servers[i].learners.iter().copied().collect();
                             for l in learners {
                                 next.send(i, l, Message::LeaderInfo { epoch });
                             }
                         }
                     }
                 }
-                out.push(ActionInstance::new(format!("LeaderProcessFOLLOWERINFO({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("LeaderProcessFOLLOWERINFO({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -101,7 +113,14 @@ fn follower_process_leader_info(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessLEADERINFO",
         DISCOVERY,
         Granularity::Baseline,
-        vec!["state", "leaderAddr", "acceptedEpoch", "currentEpoch", "history", "msgs"],
+        vec![
+            "state",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "history",
+            "msgs",
+        ],
         vec!["acceptedEpoch", "zabState", "msgs", "state"],
         |s: &ZabState| {
             let mut out = Vec::new();
@@ -110,7 +129,9 @@ fn follower_process_leader_info(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if !sv.is_up() || sv.state != ServerState::Following || sv.leader != Some(j) {
                     continue;
                 }
-                let Some(Message::LeaderInfo { epoch }) = s.head(j, i) else { continue };
+                let Some(Message::LeaderInfo { epoch }) = s.head(j, i) else {
+                    continue;
+                };
                 let epoch = *epoch;
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -126,7 +147,10 @@ fn follower_process_leader_info(_cfg: &Cfg) -> ActionDef<ZabState> {
                     // Epoch regression: the follower abandons this leader.
                     next.servers[i].shutdown_to_looking(i, true);
                 }
-                out.push(ActionInstance::new(format!("FollowerProcessLEADERINFO({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessLEADERINFO({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -148,7 +172,9 @@ fn leader_process_ack_epoch(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if !s.servers[i].is_up() || s.servers[i].state != ServerState::Leading {
                     continue;
                 }
-                let Some(Message::AckEpoch { last_zxid, .. }) = s.head(j, i) else { continue };
+                let Some(Message::AckEpoch { last_zxid, .. }) = s.head(j, i) else {
+                    continue;
+                };
                 let last_zxid = *last_zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -162,7 +188,10 @@ fn leader_process_ack_epoch(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.servers[i].phase = ZabPhase::Synchronization;
                     }
                 }
-                out.push(ActionInstance::new(format!("LeaderProcessACKEPOCH({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("LeaderProcessACKEPOCH({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -214,7 +243,9 @@ mod tests {
         let m = module(&cfg());
         let mut s = s;
         for _ in 0..100 {
-            let Some(inst) = m.actions.iter().flat_map(|a| a.enabled(&s)).next() else { break };
+            let Some(inst) = m.actions.iter().flat_map(|a| a.enabled(&s)).next() else {
+                break;
+            };
             s = inst.next;
         }
         s
@@ -240,7 +271,10 @@ mod tests {
         let mut s = post_election();
         s.servers[0].history.push(crate::types::Txn::new(1, 1, 5));
         let s = run_to_quiescence(s);
-        assert_eq!(s.servers[2].learner_last_zxid.get(&0), Some(&Zxid::new(1, 1)));
+        assert_eq!(
+            s.servers[2].learner_last_zxid.get(&0),
+            Some(&Zxid::new(1, 1))
+        );
     }
 
     #[test]
@@ -250,7 +284,10 @@ mod tests {
             sv.accepted_epoch = 4; // == max_epoch, so the next epoch would exceed it
         }
         let s = run_to_quiescence(s);
-        assert!(!s.servers[2].epoch_proposed, "epoch proposal must respect max_epoch");
+        assert!(
+            !s.servers[2].epoch_proposed,
+            "epoch proposal must respect max_epoch"
+        );
     }
 
     #[test]

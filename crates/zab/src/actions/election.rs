@@ -43,7 +43,10 @@ fn fle_broadcast(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if sv.state == ServerState::Looking && !sv.vote_broadcast {
                     let mut next = s.clone();
                     broadcast_vote(&mut next, i);
-                    out.push(ActionInstance::new(format!("FLEBroadcastNotification({i})"), next));
+                    out.push(ActionInstance::new(
+                        format!("FLEBroadcastNotification({i})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -66,7 +69,9 @@ fn fle_receive(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if !s.servers[i].is_up() {
                     continue;
                 }
-                let Some(Message::Notification { vote }) = s.head(j, i) else { continue };
+                let Some(Message::Notification { vote }) = s.head(j, i) else {
+                    continue;
+                };
                 let vote = *vote;
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -77,7 +82,10 @@ fn fle_receive(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.servers[i].vote_broadcast = false;
                     }
                 }
-                out.push(ActionInstance::new(format!("FLEReceiveNotification({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FLEReceiveNotification({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -100,8 +108,12 @@ fn fle_decide(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if sv.state != ServerState::Looking || !sv.vote_broadcast {
                     continue;
                 }
-                let mut agreeing: std::collections::BTreeSet<Sid> =
-                    sv.recv_votes.iter().filter(|(_, v)| **v == sv.vote).map(|(j, _)| *j).collect();
+                let mut agreeing: std::collections::BTreeSet<Sid> = sv
+                    .recv_votes
+                    .iter()
+                    .filter(|(_, v)| **v == sv.vote)
+                    .map(|(j, _)| *j)
+                    .collect();
                 agreeing.insert(i);
                 if !s.is_quorum(&agreeing) {
                     continue;
@@ -152,7 +164,10 @@ fn fle_timeout(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if quiet && peer_looking {
                     let mut next = s.clone();
                     next.servers[i].vote_broadcast = false;
-                    out.push(ActionInstance::new(format!("FLENotificationTimeout({i})"), next));
+                    out.push(ActionInstance::new(
+                        format!("FLENotificationTimeout({i})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -165,14 +180,23 @@ pub fn module(cfg: &Cfg) -> ModuleSpec<ZabState> {
     ModuleSpec::new(
         ELECTION,
         Granularity::Baseline,
-        vec![fle_broadcast(cfg), fle_receive(cfg), fle_decide(cfg), fle_timeout(cfg)],
+        vec![
+            fle_broadcast(cfg),
+            fle_receive(cfg),
+            fle_decide(cfg),
+            fle_timeout(cfg),
+        ],
     )
 }
 
 /// Initial vote of a server, used by tests and by state constructors.
 pub fn self_vote(state: &ZabState, i: Sid) -> Vote {
     let sv = &state.servers[i];
-    Vote { epoch: sv.current_epoch, zxid: sv.last_zxid(), leader: i }
+    Vote {
+        epoch: sv.current_epoch,
+        zxid: sv.last_zxid(),
+        leader: i,
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +261,11 @@ mod tests {
         s.servers[0].current_epoch = 2;
         s.servers[0].vote = self_vote(&s, 0);
         // Server 0 broadcasts; server 1 receives and must adopt the vote.
-        let b = m.actions[0].enabled(&s).into_iter().find(|i| i.label == "FLEBroadcastNotification(0)").unwrap();
+        let b = m.actions[0]
+            .enabled(&s)
+            .into_iter()
+            .find(|i| i.label == "FLEBroadcastNotification(0)")
+            .unwrap();
         let s = b.next;
         let r = m.actions[1]
             .enabled(&s)
@@ -246,7 +274,10 @@ mod tests {
             .unwrap();
         let s = r.next;
         assert_eq!(s.servers[1].vote.leader, 0);
-        assert!(!s.servers[1].vote_broadcast, "adopting a vote forces a rebroadcast");
+        assert!(
+            !s.servers[1].vote_broadcast,
+            "adopting a vote forces a rebroadcast"
+        );
     }
 
     #[test]
@@ -290,6 +321,8 @@ mod tests {
             .flat_map(|a| a.enabled(&s))
             .map(|i| i.label)
             .collect();
-        assert!(labels.iter().all(|l| !l.contains("(1)") && !l.contains("(1,")));
+        assert!(labels
+            .iter()
+            .all(|l| !l.contains("(1)") && !l.contains("(1,")));
     }
 }

@@ -20,7 +20,14 @@ fn node_crash(_cfg: &Cfg) -> ActionDef<ZabState> {
         FAULTS,
         Granularity::Baseline,
         vec!["state", "crashBudget"],
-        vec!["state", "zabState", "crashBudget", "msgs", "queuedRequests", "committedRequests"],
+        vec![
+            "state",
+            "zabState",
+            "crashBudget",
+            "msgs",
+            "queuedRequests",
+            "committedRequests",
+        ],
         |s: &ZabState| {
             let mut out = Vec::new();
             if s.crashes_remaining == 0 {
@@ -75,7 +82,14 @@ fn follower_shutdown(cfg: &Cfg) -> ActionDef<ZabState> {
         FAULTS,
         Granularity::Baseline,
         vec!["state", "leaderAddr", "partitions"],
-        vec!["state", "zabState", "currentVote", "queuedRequests", "committedRequests", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "currentVote",
+            "queuedRequests",
+            "committedRequests",
+            "msgs",
+        ],
         move |s: &ZabState| {
             let mut out = Vec::new();
             for i in servers(s) {
@@ -106,7 +120,14 @@ fn leader_shutdown(cfg: &Cfg) -> ActionDef<ZabState> {
         FAULTS,
         Granularity::Baseline,
         vec!["state", "partitions"],
-        vec!["state", "zabState", "currentVote", "queuedRequests", "committedRequests", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "currentVote",
+            "queuedRequests",
+            "committedRequests",
+            "msgs",
+        ],
         move |s: &ZabState| {
             let mut out = Vec::new();
             for i in servers(s) {
@@ -146,14 +167,20 @@ fn network_partition(_cfg: &Cfg) -> ActionDef<ZabState> {
             }
             for i in 0..s.n() {
                 for j in (i + 1)..s.n() {
-                    if s.partitioned.contains(&(i, j)) || !s.servers[i].is_up() || !s.servers[j].is_up() {
+                    if s.partitioned.contains(&(i, j))
+                        || !s.servers[i].is_up()
+                        || !s.servers[j].is_up()
+                    {
                         continue;
                     }
                     let mut next = s.clone();
                     next.partitions_remaining -= 1;
                     next.partitioned.insert((i, j));
                     next.clear_pair_channels(i, j);
-                    out.push(ActionInstance::new(format!("NetworkPartition({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("NetworkPartition({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -174,7 +201,10 @@ fn partition_recover(_cfg: &Cfg) -> ActionDef<ZabState> {
             for &(i, j) in &s.partitioned {
                 let mut next = s.clone();
                 next.partitioned.remove(&(i, j));
-                out.push(ActionInstance::new(format!("PartitionRecover({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("PartitionRecover({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -237,14 +267,22 @@ mod tests {
     fn follower_shutdown_requires_unreachable_leader() {
         let m = module(&cfg(CodeVersion::V391));
         let s = following_state();
-        let shutdown = m.actions.iter().find(|a| a.name == "FollowerShutdown").unwrap();
-        assert!(shutdown.enabled(&s).is_empty(), "leader reachable: no shutdown");
+        let shutdown = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerShutdown")
+            .unwrap();
+        assert!(
+            shutdown.enabled(&s).is_empty(),
+            "leader reachable: no shutdown"
+        );
         let mut s2 = s.clone();
         s2.servers[2].crash();
         let insts = shutdown.enabled(&s2);
         assert_eq!(insts.len(), 2);
         assert!(insts.iter().all(|i| {
-            let sv = &i.next.servers[usize::from(i.label.as_bytes()["FollowerShutdown(".len()] - b'0')];
+            let sv =
+                &i.next.servers[usize::from(i.label.as_bytes()["FollowerShutdown(".len()] - b'0')];
             sv.state == ServerState::Looking
         }));
     }
@@ -268,8 +306,15 @@ mod tests {
                 .unwrap()
                 .next
         };
-        assert_eq!(shutdown(&buggy, &s).servers[0].queued_requests.len(), 1, "ZK-4712 path");
-        assert!(shutdown(&fixed, &s).servers[0].queued_requests.is_empty(), "fixed path");
+        assert_eq!(
+            shutdown(&buggy, &s).servers[0].queued_requests.len(),
+            1,
+            "ZK-4712 path"
+        );
+        assert!(
+            shutdown(&fixed, &s).servers[0].queued_requests.is_empty(),
+            "fixed path"
+        );
     }
 
     #[test]
@@ -279,7 +324,11 @@ mod tests {
         s.servers[0].crash();
         s.servers[1].crash();
         s.crashes_remaining = 0;
-        let shutdown = m.actions.iter().find(|a| a.name == "LeaderShutdown").unwrap();
+        let shutdown = m
+            .actions
+            .iter()
+            .find(|a| a.name == "LeaderShutdown")
+            .unwrap();
         let insts = shutdown.enabled(&s);
         assert_eq!(insts.len(), 1);
         assert_eq!(insts[0].next.servers[2].state, ServerState::Looking);
@@ -289,14 +338,27 @@ mod tests {
     fn partition_and_recovery() {
         let m = module(&cfg(CodeVersion::V391));
         let s = following_state();
-        let partition = m.actions.iter().find(|a| a.name == "NetworkPartition").unwrap();
+        let partition = m
+            .actions
+            .iter()
+            .find(|a| a.name == "NetworkPartition")
+            .unwrap();
         let insts = partition.enabled(&s);
         assert_eq!(insts.len(), 3, "three possible pairs");
         let partitioned = insts.into_iter().next().unwrap().next;
         assert_eq!(partitioned.partitioned.len(), 1);
         assert_eq!(partitioned.partitions_remaining, 0);
-        let recover = m.actions.iter().find(|a| a.name == "PartitionRecover").unwrap();
-        let healed = recover.enabled(&partitioned).into_iter().next().unwrap().next;
+        let recover = m
+            .actions
+            .iter()
+            .find(|a| a.name == "PartitionRecover")
+            .unwrap();
+        let healed = recover
+            .enabled(&partitioned)
+            .into_iter()
+            .next()
+            .unwrap()
+            .next;
         assert!(healed.partitioned.is_empty());
         // The budget is not restored by healing.
         assert_eq!(healed.partitions_remaining, 0);

@@ -36,7 +36,15 @@ fn newleader_update_epoch(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
         "FollowerProcessNEWLEADER_UpdateEpoch",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "currentEpoch", "packetsSync", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "packetsSync",
+            "msgs",
+        ],
         vec!["currentEpoch", "msgs"],
         move |s: &ZabState| {
             let bugs = cfg.bugs();
@@ -51,7 +59,9 @@ fn newleader_update_epoch(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
                 {
                     continue;
                 }
-                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else { continue };
+                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let (epoch, zxid) = (*epoch, *zxid);
                 if sv.accepted_epoch != epoch || sv.current_epoch == epoch {
                     continue;
@@ -87,7 +97,15 @@ fn newleader_log_and_ack(cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessNEWLEADER_LogAndAck",
         SYNCHRONIZATION,
         Granularity::FineAtomic,
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "currentEpoch", "packetsSync", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "packetsSync",
+            "msgs",
+        ],
         vec!["history", "packetsSync", "msgs"],
         move |s: &ZabState| {
             let bugs = cfg.bugs();
@@ -101,7 +119,9 @@ fn newleader_log_and_ack(cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else { continue };
+                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let (epoch, zxid) = (*epoch, *zxid);
                 if sv.accepted_epoch != epoch {
                     continue;
@@ -151,7 +171,15 @@ fn newleader_log_async(cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessNEWLEADER_LogAsync",
         SYNCHRONIZATION,
         Granularity::FineConcurrent,
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "currentEpoch", "packetsSync", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "packetsSync",
+            "msgs",
+        ],
         vec!["queuedRequests", "packetsSync", "history"],
         move |s: &ZabState| {
             let bugs = cfg.bugs();
@@ -165,7 +193,9 @@ fn newleader_log_async(cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::NewLeader { epoch, .. }) = s.head(j, i) else { continue };
+                let Some(Message::NewLeader { epoch, .. }) = s.head(j, i) else {
+                    continue;
+                };
                 let epoch = *epoch;
                 if sv.accepted_epoch != epoch || sv.packets_not_committed.is_empty() {
                     continue;
@@ -223,7 +253,9 @@ fn newleader_reply_ack(cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else { continue };
+                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let (epoch, zxid) = (*epoch, *zxid);
                 if sv.accepted_epoch != epoch
                     || sv.current_epoch != epoch
@@ -264,7 +296,8 @@ fn sync_processor_log_request(_cfg: &Cfg) -> ActionDef<ZabState> {
             let mut out = Vec::new();
             for i in servers(s) {
                 let sv = &s.servers[i];
-                if !sv.is_up() || sv.queued_requests.is_empty() || sv.state == ServerState::Leading {
+                if !sv.is_up() || sv.queued_requests.is_empty() || sv.state == ServerState::Leading
+                {
                     continue;
                 }
                 let mut next = s.clone();
@@ -275,7 +308,10 @@ fn sync_processor_log_request(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.send(i, l, Message::Ack { zxid: txn.zxid });
                     }
                 }
-                out.push(ActionInstance::new(format!("FollowerSyncProcessorLogRequest({i})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerSyncProcessorLogRequest({i})"),
+                    next,
+                ));
             }
             out
         },
@@ -299,13 +335,16 @@ fn commit_processor_commit(cfg: &Cfg) -> ActionDef<ZabState> {
             let mut out = Vec::new();
             for i in servers(s) {
                 let sv = &s.servers[i];
-                if !sv.is_up() || sv.pending_commits.is_empty() || sv.state == ServerState::Looking {
+                if !sv.is_up() || sv.pending_commits.is_empty() || sv.state == ServerState::Looking
+                {
                     continue;
                 }
                 let zxid = sv.pending_commits[0];
-                let already_delivered = sv.history[..sv.last_committed].iter().any(|t| t.zxid == zxid);
-                let is_next =
-                    sv.last_committed < sv.history.len() && sv.history[sv.last_committed].zxid == zxid;
+                let already_delivered = sv.history[..sv.last_committed]
+                    .iter()
+                    .any(|t| t.zxid == zxid);
+                let is_next = sv.last_committed < sv.history.len()
+                    && sv.history[sv.last_committed].zxid == zxid;
                 if !already_delivered && !is_next && !bugs.commit_requires_logged_txn {
                     // Fixed behaviour: wait until the logging thread catches up.
                     continue;
@@ -328,7 +367,10 @@ fn commit_processor_commit(cfg: &Cfg) -> ActionDef<ZabState> {
                         issue: "ZK-3023",
                     });
                 }
-                out.push(ActionInstance::new(format!("FollowerCommitProcessorCommit({i})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerCommitProcessorCommit({i})"),
+                    next,
+                ));
             }
             out
         },
@@ -344,7 +386,15 @@ fn follower_process_uptodate_concurrent(cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessUPTODATE",
         SYNCHRONIZATION,
         Granularity::FineConcurrent,
-        vec!["state", "zabState", "leaderAddr", "packetsSync", "history", "queuedRequests", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "packetsSync",
+            "history",
+            "queuedRequests",
+            "msgs",
+        ],
         vec![
             "queuedRequests",
             "committedRequests",
@@ -367,7 +417,9 @@ fn follower_process_uptodate_concurrent(cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::UpToDate { zxid }) = s.head(j, i) else { continue };
+                let Some(Message::UpToDate { zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let zxid = *zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -383,10 +435,15 @@ fn follower_process_uptodate_concurrent(cfg: &Cfg) -> ActionDef<ZabState> {
                     // zxid) go to the commit thread.
                     let deferred: Vec<_> = sv.packets_committed.drain(..).collect();
                     let mut to_commit: Vec<_> = Vec::new();
-                    let already: std::collections::BTreeSet<_> =
-                        sv.history[..sv.last_committed].iter().map(|t| t.zxid).collect();
+                    let already: std::collections::BTreeSet<_> = sv.history[..sv.last_committed]
+                        .iter()
+                        .map(|t| t.zxid)
+                        .collect();
                     for t in sv.history.iter().chain(sv.queued_requests.iter()) {
-                        if t.zxid <= zxid && !already.contains(&t.zxid) && !to_commit.contains(&t.zxid) {
+                        if t.zxid <= zxid
+                            && !already.contains(&t.zxid)
+                            && !to_commit.contains(&t.zxid)
+                        {
                             to_commit.push(t.zxid);
                         }
                     }
@@ -402,7 +459,10 @@ fn follower_process_uptodate_concurrent(cfg: &Cfg) -> ActionDef<ZabState> {
                 }
                 // The fine-grained model includes the follower's ACK to UPTODATE.
                 next.send(i, j, Message::Ack { zxid });
-                out.push(ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessUPTODATE({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -420,7 +480,15 @@ fn follower_process_proposal_async(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessPROPOSAL",
         BROADCAST,
         Granularity::FineConcurrent,
-        vec!["state", "zabState", "leaderAddr", "history", "currentEpoch", "queuedRequests", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "history",
+            "currentEpoch",
+            "queuedRequests",
+            "msgs",
+        ],
         vec!["queuedRequests", "msgs", "violation"],
         |s: &ZabState| {
             let mut out = Vec::new();
@@ -433,13 +501,18 @@ fn follower_process_proposal_async(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::Proposal { txn }) = s.head(j, i) else { continue };
+                let Some(Message::Proposal { txn }) = s.head(j, i) else {
+                    continue;
+                };
                 let txn = *txn;
                 let mut next = s.clone();
                 next.pop(j, i);
                 check_proposal(&mut next, i, txn);
                 next.servers[i].queued_requests.push(txn);
-                out.push(ActionInstance::new(format!("FollowerProcessPROPOSAL({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessPROPOSAL({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -465,12 +538,17 @@ fn follower_process_commit_async(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::Commit { zxid }) = s.head(j, i) else { continue };
+                let Some(Message::Commit { zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let zxid = *zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
                 next.servers[i].pending_commits.push(zxid);
-                out.push(ActionInstance::new(format!("FollowerProcessCOMMIT({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessCOMMIT({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -496,8 +574,22 @@ fn uptodate_baseline_at(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
         "FollowerProcessUPTODATE",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "leaderAddr", "packetsSync", "history", "msgs"],
-        vec!["history", "lastCommitted", "packetsSync", "zabState", "serving", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "packetsSync",
+            "history",
+            "msgs",
+        ],
+        vec![
+            "history",
+            "lastCommitted",
+            "packetsSync",
+            "zabState",
+            "serving",
+            "msgs",
+        ],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
@@ -509,12 +601,17 @@ fn uptodate_baseline_at(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
                 {
                     continue;
                 }
-                let Some(Message::UpToDate { zxid }) = s.head(j, i) else { continue };
+                let Some(Message::UpToDate { zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let zxid = *zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_uptodate_commit(&mut next, i, zxid);
-                out.push(ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessUPTODATE({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -571,7 +668,10 @@ mod tests {
         s.servers[0].phase = ZabPhase::Synchronization;
         s.servers[0].accepted_epoch = 1;
         s.servers[0].packets_not_committed.push(Txn::new(1, 1, 1));
-        s.msgs[leader][0].push(Message::NewLeader { epoch: 1, zxid: Zxid::new(1, 1) });
+        s.msgs[leader][0].push(Message::NewLeader {
+            epoch: 1,
+            zxid: Zxid::new(1, 1),
+        });
         s
     }
 
@@ -579,14 +679,25 @@ mod tests {
     fn buggy_order_allows_epoch_update_before_logging() {
         let m = sync_atomic_module(&cfg(CodeVersion::V391));
         let s = pending_newleader(CodeVersion::V391);
-        let update = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch").unwrap();
-        let log = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_LogAndAck").unwrap();
+        let update = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch")
+            .unwrap();
+        let log = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_LogAndAck")
+            .unwrap();
         // Buggy order: epoch first, logging not yet enabled.
         assert_eq!(update.enabled(&s).len(), 1);
         assert!(log.enabled(&s).is_empty());
         let s2 = update.enabled(&s).remove(0).next;
         assert_eq!(s2.servers[0].current_epoch, 1);
-        assert!(s2.servers[0].history.is_empty(), "crash here loses the history (ZK-4643)");
+        assert!(
+            s2.servers[0].history.is_empty(),
+            "crash here loses the history (ZK-4643)"
+        );
         // Now logging is enabled and completes the handshake.
         let s3 = log.enabled(&s2).remove(0).next;
         assert_eq!(s3.servers[0].history.len(), 1);
@@ -597,9 +708,20 @@ mod tests {
     fn fixed_order_requires_logging_before_epoch_update() {
         let m = sync_atomic_module(&cfg(CodeVersion::Pr1848));
         let s = pending_newleader(CodeVersion::Pr1848);
-        let update = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch").unwrap();
-        let log = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_LogAndAck").unwrap();
-        assert!(update.enabled(&s).is_empty(), "epoch update must wait for the history");
+        let update = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch")
+            .unwrap();
+        let log = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_LogAndAck")
+            .unwrap();
+        assert!(
+            update.enabled(&s).is_empty(),
+            "epoch update must wait for the history"
+        );
         let s2 = log.enabled(&s).remove(0).next;
         assert_eq!(s2.servers[0].history.len(), 1);
         assert_eq!(update.enabled(&s2).len(), 1);
@@ -609,9 +731,21 @@ mod tests {
     fn concurrent_newleader_acks_before_persisting_on_buggy_versions() {
         let m = sync_concurrent_module(&cfg(CodeVersion::V391));
         let s = pending_newleader(CodeVersion::V391);
-        let update = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch").unwrap();
-        let queue = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync").unwrap();
-        let ack = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_ReplyAck").unwrap();
+        let update = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch")
+            .unwrap();
+        let queue = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync")
+            .unwrap();
+        let ack = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_ReplyAck")
+            .unwrap();
         let s = update.enabled(&s).remove(0).next;
         let s = queue.enabled(&s).remove(0).next;
         assert_eq!(s.servers[0].queued_requests.len(), 1);
@@ -626,13 +760,32 @@ mod tests {
     fn fixed_versions_wait_for_the_queue_before_acking() {
         let m = sync_concurrent_module(&cfg(CodeVersion::Pr1993));
         let s = pending_newleader(CodeVersion::Pr1993);
-        let update = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch").unwrap();
-        let queue = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync").unwrap();
-        let ack = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_ReplyAck").unwrap();
-        let log = m.actions.iter().find(|a| a.name == "FollowerSyncProcessorLogRequest").unwrap();
+        let update = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_UpdateEpoch")
+            .unwrap();
+        let queue = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync")
+            .unwrap();
+        let ack = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_ReplyAck")
+            .unwrap();
+        let log = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerSyncProcessorLogRequest")
+            .unwrap();
         let s = update.enabled(&s).remove(0).next;
         let s = queue.enabled(&s).remove(0).next;
-        assert!(ack.enabled(&s).is_empty(), "PR-1993 only acks after persisting");
+        assert!(
+            ack.enabled(&s).is_empty(),
+            "PR-1993 only acks after persisting"
+        );
         let s = log.enabled(&s).remove(0).next;
         assert_eq!(s.servers[0].history.len(), 1);
         assert_eq!(ack.enabled(&s).len(), 1);
@@ -642,7 +795,11 @@ mod tests {
     fn final_fix_logs_synchronously_during_sync() {
         let m = sync_concurrent_module(&cfg(CodeVersion::FinalFix));
         let s = pending_newleader(CodeVersion::FinalFix);
-        let queue = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync").unwrap();
+        let queue = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER_LogAsync")
+            .unwrap();
         let s = queue.enabled(&s).remove(0).next;
         assert_eq!(s.servers[0].history.len(), 1, "logged directly");
         assert!(s.servers[0].queued_requests.is_empty());
@@ -654,12 +811,26 @@ mod tests {
         let mut s = pending_newleader(CodeVersion::V391);
         s.servers[0].queued_requests.push(Txn::new(1, 1, 1));
         s.servers[0].packets_not_committed.clear();
-        let log = m.actions.iter().find(|a| a.name == "FollowerSyncProcessorLogRequest").unwrap();
-        let s2 = log.enabled(&s).into_iter().find(|i| i.label.contains("(0)")).unwrap().next;
+        let log = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerSyncProcessorLogRequest")
+            .unwrap();
+        let s2 = log
+            .enabled(&s)
+            .into_iter()
+            .find(|i| i.label.contains("(0)"))
+            .unwrap()
+            .next;
         assert_eq!(s2.servers[0].history.len(), 1);
         assert!(s2.servers[0].queued_requests.is_empty());
         // The per-request ACK goes to the leader before the NEWLEADER ack: ZK-4685 fuel.
-        assert_eq!(s2.msgs[0][2].last().unwrap(), &Message::Ack { zxid: Zxid::new(1, 1) });
+        assert_eq!(
+            s2.msgs[0][2].last().unwrap(),
+            &Message::Ack {
+                zxid: Zxid::new(1, 1)
+            }
+        );
     }
 
     #[test]
@@ -671,14 +842,13 @@ mod tests {
         s.servers[0].queued_requests.push(Txn::new(1, 1, 1));
         s.servers[0].packets_not_committed.clear();
 
-        let commit =
-            |m: &ModuleSpec<ZabState>, s: &ZabState| -> Vec<ActionInstance<ZabState>> {
-                m.actions
-                    .iter()
-                    .find(|a| a.name == "FollowerCommitProcessorCommit")
-                    .unwrap()
-                    .enabled(s)
-            };
+        let commit = |m: &ModuleSpec<ZabState>, s: &ZabState| -> Vec<ActionInstance<ZabState>> {
+            m.actions
+                .iter()
+                .find(|a| a.name == "FollowerCommitProcessorCommit")
+                .unwrap()
+                .enabled(s)
+        };
         let insts = commit(&buggy, &s);
         assert_eq!(insts.len(), 1);
         let v = insts[0].next.violation.clone().expect("ZK-3023 violation");
@@ -695,12 +865,27 @@ mod tests {
         s.servers[0].phase = ZabPhase::Broadcast;
         s.servers[0].current_epoch = 1;
         s.msgs[2][0].clear();
-        s.msgs[2][0].push(Message::Proposal { txn: Txn::new(1, 1, 1) });
-        s.msgs[2][0].push(Message::Commit { zxid: Zxid::new(1, 1) });
-        let prop = m.actions.iter().find(|a| a.name == "FollowerProcessPROPOSAL").unwrap();
+        s.msgs[2][0].push(Message::Proposal {
+            txn: Txn::new(1, 1, 1),
+        });
+        s.msgs[2][0].push(Message::Commit {
+            zxid: Zxid::new(1, 1),
+        });
+        let prop = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessPROPOSAL")
+            .unwrap();
         let s = prop.enabled(&s).remove(0).next;
-        assert_eq!(s.servers[0].queued_requests.last().unwrap().zxid, Zxid::new(1, 1));
-        let commit = m.actions.iter().find(|a| a.name == "FollowerProcessCOMMIT").unwrap();
+        assert_eq!(
+            s.servers[0].queued_requests.last().unwrap().zxid,
+            Zxid::new(1, 1)
+        );
+        let commit = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessCOMMIT")
+            .unwrap();
         let s = commit.enabled(&s).remove(0).next;
         assert_eq!(s.servers[0].pending_commits, vec![Zxid::new(1, 1)]);
     }

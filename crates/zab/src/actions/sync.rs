@@ -11,7 +11,9 @@ use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
 
 use crate::modules::SYNCHRONIZATION;
 use crate::state::ZabState;
-use crate::types::{CodeViolation, Message, ServerState, Sid, SyncMode, Txn, ViolationKind, ZabPhase, Zxid};
+use crate::types::{
+    CodeViolation, Message, ServerState, Sid, SyncMode, Txn, ViolationKind, ZabPhase, Zxid,
+};
 
 use super::{pairs, Cfg};
 
@@ -32,7 +34,10 @@ pub(crate) fn leader_sync_follower_step(state: &mut ZabState, i: Sid, j: Sid) ->
     {
         return false;
     }
-    let follower_zxid = *state.servers[i].learner_last_zxid.get(&j).unwrap_or(&Zxid::ZERO);
+    let follower_zxid = *state.servers[i]
+        .learner_last_zxid
+        .get(&j)
+        .unwrap_or(&Zxid::ZERO);
     let leader_history = state.servers[i].history.clone();
     let leader_last = state.servers[i].last_zxid();
     let committed_upto = if state.servers[i].last_committed > 0 {
@@ -44,7 +49,12 @@ pub(crate) fn leader_sync_follower_step(state: &mut ZabState, i: Sid, j: Sid) ->
     let follower_point_known =
         follower_zxid == Zxid::ZERO || leader_history.iter().any(|t| t.zxid == follower_zxid);
     let payload = if follower_zxid == leader_last {
-        Message::SyncPackets { mode: SyncMode::Diff, txns: Vec::new(), committed_upto, trunc_to: Zxid::ZERO }
+        Message::SyncPackets {
+            mode: SyncMode::Diff,
+            txns: Vec::new(),
+            committed_upto,
+            trunc_to: Zxid::ZERO,
+        }
     } else if follower_zxid > leader_last {
         Message::SyncPackets {
             mode: SyncMode::Trunc,
@@ -53,9 +63,17 @@ pub(crate) fn leader_sync_follower_step(state: &mut ZabState, i: Sid, j: Sid) ->
             trunc_to: leader_last,
         }
     } else if follower_point_known {
-        let txns: Vec<Txn> =
-            leader_history.iter().filter(|t| t.zxid > follower_zxid).copied().collect();
-        Message::SyncPackets { mode: SyncMode::Diff, txns, committed_upto, trunc_to: Zxid::ZERO }
+        let txns: Vec<Txn> = leader_history
+            .iter()
+            .filter(|t| t.zxid > follower_zxid)
+            .copied()
+            .collect();
+        Message::SyncPackets {
+            mode: SyncMode::Diff,
+            txns,
+            committed_upto,
+            trunc_to: Zxid::ZERO,
+        }
     } else {
         Message::SyncPackets {
             mode: SyncMode::Snap,
@@ -68,7 +86,14 @@ pub(crate) fn leader_sync_follower_step(state: &mut ZabState, i: Sid, j: Sid) ->
     let epoch = state.servers[i].accepted_epoch;
     state.servers[i].sync_sent.insert(j);
     state.send(i, j, payload);
-    state.send(i, j, Message::NewLeader { epoch, zxid: leader_last });
+    state.send(
+        i,
+        j,
+        Message::NewLeader {
+            epoch,
+            zxid: leader_last,
+        },
+    );
     true
 }
 
@@ -110,7 +135,9 @@ pub(crate) fn leader_process_ackld_step(cfg: &Cfg, state: &mut ZabState, i: Sid,
     {
         return false;
     }
-    let Some(Message::Ack { zxid }) = state.head(j, i) else { return false };
+    let Some(Message::Ack { zxid }) = state.head(j, i) else {
+        return false;
+    };
     let zxid = *zxid;
     state.pop(j, i);
     let newleader_zxid = state.servers[i].last_zxid();
@@ -132,14 +159,23 @@ pub(crate) fn leader_process_ackld_step(cfg: &Cfg, state: &mut ZabState, i: Sid,
         });
     } else {
         // Tolerant behaviour (PR-1993 / final fix): remember the proposal acknowledgement.
-        state.servers[i].pending_acks.entry(zxid).or_default().insert(j);
+        state.servers[i]
+            .pending_acks
+            .entry(zxid)
+            .or_default()
+            .insert(j);
     }
     true
 }
 
 /// Handles a COMMIT received by a follower that is still in the Synchronization phase
 /// (after NEWLEADER, before UPTODATE).  Returns `false` when not enabled.
-pub(crate) fn follower_commit_in_sync_step(cfg: &Cfg, state: &mut ZabState, i: Sid, j: Sid) -> bool {
+pub(crate) fn follower_commit_in_sync_step(
+    cfg: &Cfg,
+    state: &mut ZabState,
+    i: Sid,
+    j: Sid,
+) -> bool {
     let sv = &state.servers[i];
     if !sv.is_up()
         || sv.state != ServerState::Following
@@ -148,7 +184,9 @@ pub(crate) fn follower_commit_in_sync_step(cfg: &Cfg, state: &mut ZabState, i: S
     {
         return false;
     }
-    let Some(Message::Commit { zxid }) = state.head(j, i) else { return false };
+    let Some(Message::Commit { zxid }) = state.head(j, i) else {
+        return false;
+    };
     let zxid = *zxid;
     state.pop(j, i);
     let sv = &mut state.servers[i];
@@ -165,7 +203,9 @@ pub(crate) fn follower_commit_in_sync_step(cfg: &Cfg, state: &mut ZabState, i: S
                 issue: "out-of-order commit during sync",
             });
         }
-    } else if sv.history.iter().any(|t| t.zxid == zxid) || sv.queued_requests.iter().any(|t| t.zxid == zxid) {
+    } else if sv.history.iter().any(|t| t.zxid == zxid)
+        || sv.queued_requests.iter().any(|t| t.zxid == zxid)
+    {
         // The transaction was already logged (DIFF payload handled at NEWLEADER) or is
         // queued for logging; remember the commit for delivery at UPTODATE.
         sv.packets_committed.push(zxid);
@@ -195,7 +235,9 @@ pub(crate) fn follower_proposal_in_sync_step(state: &mut ZabState, i: Sid, j: Si
     {
         return false;
     }
-    let Some(Message::Proposal { txn }) = state.head(j, i) else { return false };
+    let Some(Message::Proposal { txn }) = state.head(j, i) else {
+        return false;
+    };
     let txn = *txn;
     state.pop(j, i);
     state.servers[i].packets_not_committed.push(txn);
@@ -212,8 +254,16 @@ pub(crate) fn follower_process_sync_packets_step(state: &mut ZabState, i: Sid, j
     {
         return false;
     }
-    let Some(Message::SyncPackets { .. }) = state.head(j, i) else { return false };
-    let Some(Message::SyncPackets { mode, txns, committed_upto, trunc_to }) = state.pop(j, i) else {
+    let Some(Message::SyncPackets { .. }) = state.head(j, i) else {
+        return false;
+    };
+    let Some(Message::SyncPackets {
+        mode,
+        txns,
+        committed_upto,
+        trunc_to,
+    }) = state.pop(j, i)
+    else {
         return false;
     };
     let sv = &mut state.servers[i];
@@ -238,8 +288,11 @@ pub(crate) fn follower_process_sync_packets_step(state: &mut ZabState, i: Sid, j
         }
         SyncMode::Snap => {
             sv.history = txns;
-            sv.last_committed =
-                sv.history.iter().filter(|t| t.zxid <= committed_upto).count();
+            sv.last_committed = sv
+                .history
+                .iter()
+                .filter(|t| t.zxid <= committed_upto)
+                .count();
             sv.packets_not_committed.clear();
             sv.packets_committed.clear();
         }
@@ -282,7 +335,10 @@ fn leader_sync_follower(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
             for (i, j) in pairs(s) {
                 let mut next = s.clone();
                 if leader_sync_follower_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(format!("LeaderSyncFollower({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("LeaderSyncFollower({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -295,14 +351,24 @@ fn follower_process_sync_packets(_cfg: &Cfg, granularity: Granularity) -> Action
         "FollowerProcessSyncPackets",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "leaderAddr", "history", "lastCommitted", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "history",
+            "lastCommitted",
+            "msgs",
+        ],
         vec!["history", "lastCommitted", "packetsSync", "msgs"],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
                 let mut next = s.clone();
                 if follower_process_sync_packets_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(format!("FollowerProcessSyncPackets({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("FollowerProcessSyncPackets({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -317,8 +383,23 @@ fn follower_process_newleader_atomic(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessNEWLEADER",
         SYNCHRONIZATION,
         Granularity::Baseline,
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "currentEpoch", "packetsSync", "msgs"],
-        vec!["currentEpoch", "history", "packetsSync", "msgs", "state", "zabState"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "packetsSync",
+            "msgs",
+        ],
+        vec![
+            "currentEpoch",
+            "history",
+            "packetsSync",
+            "msgs",
+            "state",
+            "zabState",
+        ],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
@@ -330,7 +411,9 @@ fn follower_process_newleader_atomic(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else { continue };
+                let Some(Message::NewLeader { epoch, zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let (epoch, zxid) = (*epoch, *zxid);
                 let mut next = s.clone();
                 next.pop(j, i);
@@ -343,7 +426,10 @@ fn follower_process_newleader_atomic(_cfg: &Cfg) -> ActionDef<ZabState> {
                 } else {
                     next.servers[i].shutdown_to_looking(i, true);
                 }
-                out.push(ActionInstance::new(format!("FollowerProcessNEWLEADER({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessNEWLEADER({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -356,7 +442,14 @@ fn leader_process_ackld(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSta
         "LeaderProcessACKLD",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "ackldRecv", "history", "lastCommitted", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "ackldRecv",
+            "history",
+            "lastCommitted",
+            "msgs",
+        ],
         vec![
             "ackldRecv",
             "currentEpoch",
@@ -373,7 +466,10 @@ fn leader_process_ackld(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSta
             for (i, j) in pairs(s) {
                 let mut next = s.clone();
                 if leader_process_ackld_step(&cfg, &mut next, i, j) {
-                    out.push(ActionInstance::new(format!("LeaderProcessACKLD({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("LeaderProcessACKLD({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -388,8 +484,22 @@ fn follower_process_uptodate(_cfg: &Cfg) -> ActionDef<ZabState> {
         "FollowerProcessUPTODATE",
         SYNCHRONIZATION,
         Granularity::Baseline,
-        vec!["state", "zabState", "leaderAddr", "packetsSync", "history", "msgs"],
-        vec!["history", "lastCommitted", "packetsSync", "zabState", "serving", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "packetsSync",
+            "history",
+            "msgs",
+        ],
+        vec![
+            "history",
+            "lastCommitted",
+            "packetsSync",
+            "zabState",
+            "serving",
+            "msgs",
+        ],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
@@ -401,12 +511,17 @@ fn follower_process_uptodate(_cfg: &Cfg) -> ActionDef<ZabState> {
                 {
                     continue;
                 }
-                let Some(Message::UpToDate { zxid }) = s.head(j, i) else { continue };
+                let Some(Message::UpToDate { zxid }) = s.head(j, i) else {
+                    continue;
+                };
                 let zxid = *zxid;
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_uptodate_commit(&mut next, i, zxid);
-                out.push(ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next));
+                out.push(ActionInstance::new(
+                    format!("FollowerProcessUPTODATE({i}, {j})"),
+                    next,
+                ));
             }
             out
         },
@@ -419,14 +534,25 @@ fn follower_process_commit_in_sync(cfg: &Cfg, granularity: Granularity) -> Actio
         "FollowerProcessCOMMITInSync",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "leaderAddr", "packetsSync", "history", "queuedRequests", "msgs"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "packetsSync",
+            "history",
+            "queuedRequests",
+            "msgs",
+        ],
         vec!["packetsSync", "msgs", "violation"],
         move |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
                 let mut next = s.clone();
                 if follower_commit_in_sync_step(&cfg, &mut next, i, j) {
-                    out.push(ActionInstance::new(format!("FollowerProcessCOMMITInSync({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("FollowerProcessCOMMITInSync({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -491,7 +617,11 @@ mod tests {
     /// A state where server 2 leads servers 0 and 1, all in Synchronization, epoch 1
     /// negotiated; the leader already has `leader_txns` in its history with
     /// `committed` of them committed.
-    pub(crate) fn post_discovery(version: CodeVersion, leader_txns: u32, committed: usize) -> ZabState {
+    pub(crate) fn post_discovery(
+        version: CodeVersion,
+        leader_txns: u32,
+        committed: usize,
+    ) -> ZabState {
         let config = ClusterConfig::small(version);
         let mut s = ZabState::initial(&config);
         for i in 0..3 {
@@ -522,7 +652,9 @@ mod tests {
 
     fn run(module: &ModuleSpec<ZabState>, mut s: ZabState, steps: usize) -> ZabState {
         for _ in 0..steps {
-            let Some(inst) = module.actions.iter().flat_map(|a| a.enabled(&s)).next() else { break };
+            let Some(inst) = module.actions.iter().flat_map(|a| a.enabled(&s)).next() else {
+                break;
+            };
             s = inst.next;
         }
         s
@@ -535,7 +667,8 @@ mod tests {
         // Late NEWLEADER acknowledgements (after the epoch is established) are handled by
         // the Broadcast module, so compose both modules as a mixed run would.
         let mut m = module(&cfg);
-        m.actions.extend(crate::actions::broadcast::module(&cfg).actions);
+        m.actions
+            .extend(crate::actions::broadcast::module(&cfg).actions);
         let s = post_discovery(CodeVersion::V391, 2, 2);
         let s = run(&m, s, 120);
         let leader = &s.servers[2];
@@ -572,7 +705,8 @@ mod tests {
     fn snap_sync_replaces_a_diverged_history() {
         let cfg = Arc::new(ClusterConfig::small(CodeVersion::V391).with_transactions(0));
         let mut m = module(&cfg);
-        m.actions.extend(crate::actions::broadcast::module(&cfg).actions);
+        m.actions
+            .extend(crate::actions::broadcast::module(&cfg).actions);
         let mut s = post_discovery(CodeVersion::V391, 2, 2);
         // The leader's log starts at counter 2; follower 1's last zxid <<1, 1>> is behind
         // the leader but not a point in the leader's log, which forces a SNAP sync.
@@ -589,7 +723,9 @@ mod tests {
         let cfg = cfg_for(CodeVersion::V391);
         let mut s = post_discovery(CodeVersion::V391, 1, 1);
         // The leader is collecting NEWLEADER acks; an ACK for a proposal zxid arrives.
-        s.msgs[0][2].push(Message::Ack { zxid: Zxid::new(1, 7) });
+        s.msgs[0][2].push(Message::Ack {
+            zxid: Zxid::new(1, 7),
+        });
         let mut next = s.clone();
         assert!(leader_process_ackld_step(&cfg, &mut next, 2, 0));
         let v = next.violation.expect("violation recorded");
@@ -609,14 +745,29 @@ mod tests {
         let masked = cfg_for(CodeVersion::V391);
         let unmasked = Arc::new(ClusterConfig::small(CodeVersion::V391).unmask_zk4394());
         let mut s = post_discovery(CodeVersion::V391, 1, 1);
-        s.msgs[2][0].push(Message::Commit { zxid: Zxid::new(1, 9) });
+        s.msgs[2][0].push(Message::Commit {
+            zxid: Zxid::new(1, 9),
+        });
 
         let mut masked_next = s.clone();
-        assert!(follower_commit_in_sync_step(&masked, &mut masked_next, 0, 2));
-        assert!(masked_next.violation.is_none(), "masked configuration drops the commit");
+        assert!(follower_commit_in_sync_step(
+            &masked,
+            &mut masked_next,
+            0,
+            2
+        ));
+        assert!(
+            masked_next.violation.is_none(),
+            "masked configuration drops the commit"
+        );
 
         let mut unmasked_next = s.clone();
-        assert!(follower_commit_in_sync_step(&unmasked, &mut unmasked_next, 0, 2));
+        assert!(follower_commit_in_sync_step(
+            &unmasked,
+            &mut unmasked_next,
+            0,
+            2
+        ));
         let v = unmasked_next.violation.expect("violation recorded");
         assert_eq!(v.issue, "ZK-4394");
         assert_eq!(v.kind, ViolationKind::BadCommit);
@@ -625,7 +776,9 @@ mod tests {
         let mut s2 = s;
         s2.msgs[2][0].clear();
         s2.servers[0].history.push(Txn::new(1, 1, 1));
-        s2.msgs[2][0].push(Message::Commit { zxid: Zxid::new(1, 1) });
+        s2.msgs[2][0].push(Message::Commit {
+            zxid: Zxid::new(1, 1),
+        });
         let mut ok = s2.clone();
         assert!(follower_commit_in_sync_step(&unmasked, &mut ok, 0, 2));
         assert!(ok.violation.is_none());
@@ -638,8 +791,15 @@ mod tests {
         let m = module(&cfg);
         let mut s = post_discovery(CodeVersion::V391, 0, 0);
         s.servers[0].accepted_epoch = 3;
-        s.msgs[2][0].push(Message::NewLeader { epoch: 1, zxid: Zxid::ZERO });
-        let action = m.actions.iter().find(|a| a.name == "FollowerProcessNEWLEADER").unwrap();
+        s.msgs[2][0].push(Message::NewLeader {
+            epoch: 1,
+            zxid: Zxid::ZERO,
+        });
+        let action = m
+            .actions
+            .iter()
+            .find(|a| a.name == "FollowerProcessNEWLEADER")
+            .unwrap();
         let inst = action
             .enabled(&s)
             .into_iter()

@@ -1,7 +1,5 @@
 //! Model-checking configuration: cluster size, fault budgets and transaction bounds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::versions::{BugFlags, CodeVersion};
 
 /// Configuration of a model-checking run (the "standard configuration" of §4.4, scaled).
@@ -10,7 +8,7 @@ use crate::versions::{BugFlags, CodeVersion};
 /// three node crashes and up to three network partitions.  The reproduction keeps the
 /// three-server cluster shape and lets each experiment pick transaction / fault budgets
 /// that finish in a laptop-scale time budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Number of servers in the ensemble.
     pub num_servers: usize,
@@ -48,13 +46,20 @@ impl ClusterConfig {
     /// The configuration used by the efficiency evaluation (Table 5, scaled): three
     /// servers, two transactions, two crashes, no partitions.
     pub fn table5(version: CodeVersion) -> Self {
-        ClusterConfig { max_crashes: 2, ..ClusterConfig::small(version) }
+        ClusterConfig {
+            max_crashes: 2,
+            ..ClusterConfig::small(version)
+        }
     }
 
     /// The configuration used by bug detection (Table 4, scaled): three servers, up to
     /// three transactions and two crashes.
     pub fn table4(version: CodeVersion) -> Self {
-        ClusterConfig { max_transactions: 3, max_crashes: 2, ..ClusterConfig::small(version) }
+        ClusterConfig {
+            max_transactions: 3,
+            max_crashes: 2,
+            ..ClusterConfig::small(version)
+        }
     }
 
     /// Sets the number of crashes.
@@ -105,7 +110,10 @@ mod tests {
     #[test]
     fn quorum_is_a_strict_majority() {
         assert_eq!(ClusterConfig::small(CodeVersion::V391).quorum_size(), 2);
-        let five = ClusterConfig { num_servers: 5, ..Default::default() };
+        let five = ClusterConfig {
+            num_servers: 5,
+            ..Default::default()
+        };
         assert_eq!(five.quorum_size(), 3);
     }
 
@@ -127,8 +135,14 @@ mod tests {
     #[test]
     fn presets_match_paper_shape() {
         let t5 = ClusterConfig::table5(CodeVersion::V370);
-        assert_eq!((t5.num_servers, t5.max_transactions, t5.max_crashes), (3, 2, 2));
+        assert_eq!(
+            (t5.num_servers, t5.max_transactions, t5.max_crashes),
+            (3, 2, 2)
+        );
         let t4 = ClusterConfig::table4(CodeVersion::V391);
-        assert_eq!((t4.num_servers, t4.max_transactions, t4.max_crashes), (3, 3, 2));
+        assert_eq!(
+            (t4.num_servers, t4.max_transactions, t4.max_crashes),
+            (3, 3, 2)
+        );
     }
 }

@@ -49,7 +49,9 @@ fn i1(s: &ZabState) -> bool {
 }
 
 fn i2(s: &ZabState) -> bool {
-    s.servers.iter().all(|sv| sv.delivered().iter().all(|t| s.ghost.broadcast.contains(t)))
+    s.servers
+        .iter()
+        .all(|sv| sv.delivered().iter().all(|t| s.ghost.broadcast.contains(t)))
 }
 
 fn i3(s: &ZabState) -> bool {
@@ -81,14 +83,17 @@ fn i5(s: &ZabState) -> bool {
     // them (strictly increasing counters).
     s.servers.iter().all(|sv| {
         let d = sv.delivered();
-        d.windows(2).all(|w| w[0].zxid.epoch != w[1].zxid.epoch || w[0].zxid.counter < w[1].zxid.counter)
+        d.windows(2)
+            .all(|w| w[0].zxid.epoch != w[1].zxid.epoch || w[0].zxid.counter < w[1].zxid.counter)
     })
 }
 
 fn i6(s: &ZabState) -> bool {
     // Transactions of an earlier epoch are delivered before transactions of a later one:
     // the delivered sequence is sorted by zxid.
-    s.servers.iter().all(|sv| sv.delivered().windows(2).all(|w| w[0].zxid < w[1].zxid))
+    s.servers
+        .iter()
+        .all(|sv| sv.delivered().windows(2).all(|w| w[0].zxid < w[1].zxid))
 }
 
 fn i7(s: &ZabState) -> bool {
@@ -134,14 +139,20 @@ fn i8(s: &ZabState) -> bool {
 
 fn i9(s: &ZabState) -> bool {
     for sv in &s.servers {
-        let Some(last) = sv.delivered().last() else { continue };
+        let Some(last) = sv.delivered().last() else {
+            continue;
+        };
         let e = last.zxid.epoch;
-        let Some(initial) = s.ghost.initial_history.get(&e) else { continue };
+        let Some(initial) = s.ghost.initial_history.get(&e) else {
+            continue;
+        };
         if !prefix_comparable(sv.delivered(), initial) {
             return false;
         }
-        let beyond_initial =
-            initial.last().map(|t| last.zxid > t.zxid).unwrap_or(!sv.delivered().is_empty());
+        let beyond_initial = initial
+            .last()
+            .map(|t| last.zxid > t.zxid)
+            .unwrap_or(!sv.delivered().is_empty());
         if beyond_initial && !is_prefix(initial, sv.delivered()) {
             return false;
         }
@@ -157,7 +168,10 @@ fn i10(s: &ZabState) -> bool {
             continue;
         }
         for sb in s.servers.iter().skip(a + 1) {
-            if !sb.is_up() || sb.phase != ZabPhase::Broadcast || sa.current_epoch != sb.current_epoch {
+            if !sb.is_up()
+                || sb.phase != ZabPhase::Broadcast
+                || sa.current_epoch != sb.current_epoch
+            {
                 continue;
             }
             if !prefix_comparable(&sa.history, &sb.history) {
@@ -182,9 +196,19 @@ pub fn protocol_invariants() -> Vec<Invariant<ZabState>> {
         Invariant::always("I-5", "Local primary order", InvariantSource::Protocol, i5),
         Invariant::always("I-6", "Global primary order", InvariantSource::Protocol, i6),
         Invariant::always("I-7", "Primary integrity", InvariantSource::Protocol, i7),
-        Invariant::always("I-8", "Initial history integrity", InvariantSource::Protocol, i8),
+        Invariant::always(
+            "I-8",
+            "Initial history integrity",
+            InvariantSource::Protocol,
+            i8,
+        ),
         Invariant::always("I-9", "Commit consistency", InvariantSource::Protocol, i9),
-        Invariant::always("I-10", "History consistency", InvariantSource::Protocol, i10),
+        Invariant::always(
+            "I-10",
+            "History consistency",
+            InvariantSource::Protocol,
+            i10,
+        ),
     ]
 }
 
@@ -260,7 +284,13 @@ mod tests {
             assert!(inv.holds(&s), "{} should hold initially", inv.id);
         }
         assert_eq!(all_invariants().len(), 14);
-        assert_eq!(CODE_INVARIANT_INSTANCES.iter().map(|(_, n)| n).sum::<usize>(), 11);
+        assert_eq!(
+            CODE_INVARIANT_INSTANCES
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<usize>(),
+            11
+        );
     }
 
     #[test]
@@ -312,8 +342,12 @@ mod tests {
     #[test]
     fn i8_detects_lost_initial_history() {
         let mut s = base();
-        s.ghost.initial_history.insert(1, vec![txn(1, 1), txn(1, 2)]);
-        s.ghost.initial_history.insert(2, vec![txn(1, 1), txn(1, 2), txn(2, 1)]);
+        s.ghost
+            .initial_history
+            .insert(1, vec![txn(1, 1), txn(1, 2)]);
+        s.ghost
+            .initial_history
+            .insert(2, vec![txn(1, 1), txn(1, 2), txn(2, 1)]);
         assert!(i8(&s));
         // Epoch 3 lost the committed transaction <<1, 2>> (the ZK-4643 / ZK-4646 symptom).
         s.ghost.initial_history.insert(3, vec![txn(1, 1)]);
@@ -323,7 +357,9 @@ mod tests {
     #[test]
     fn i9_requires_delivery_of_the_initial_history() {
         let mut s = base();
-        s.ghost.initial_history.insert(1, vec![txn(1, 1), txn(1, 2)]);
+        s.ghost
+            .initial_history
+            .insert(1, vec![txn(1, 1), txn(1, 2)]);
         // Delivering beyond the initial history without containing it is a violation.
         s.servers[0].history = vec![txn(1, 1), txn(1, 3)];
         s.servers[0].last_committed = 2;

@@ -7,7 +7,6 @@
 use std::sync::Arc;
 
 use remix_spec::{compose, CompositionPlan, Granularity, ModuleSpec, Spec, SpecError};
-use serde::{Deserialize, Serialize};
 
 use crate::actions::{broadcast, coarse, discovery, election, faults, fine, sync};
 use crate::config::ClusterConfig;
@@ -16,7 +15,7 @@ use crate::modules::{BROADCAST, DISCOVERY, ELECTION, SYNCHRONIZATION};
 use crate::state::ZabState;
 
 /// The mixed-grained specification presets of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpecPreset {
     /// The system specification: every module at baseline granularity.
     SysSpec,
@@ -35,7 +34,13 @@ pub enum SpecPreset {
 impl SpecPreset {
     /// All presets, in the order of Table 1.
     pub fn all() -> &'static [SpecPreset] {
-        &[SpecPreset::SysSpec, SpecPreset::MSpec1, SpecPreset::MSpec2, SpecPreset::MSpec3, SpecPreset::MSpec4]
+        &[
+            SpecPreset::SysSpec,
+            SpecPreset::MSpec1,
+            SpecPreset::MSpec2,
+            SpecPreset::MSpec3,
+            SpecPreset::MSpec4,
+        ]
     }
 
     /// The preset's name as used in the paper.
@@ -113,7 +118,10 @@ pub fn module_at(
 ///
 /// The fault module is always composed in, and the invariants of Table 2 are filtered by
 /// applicability to the chosen granularities.
-pub fn build_from_plan(plan: &CompositionPlan, config: &ClusterConfig) -> Result<Spec<ZabState>, SpecError> {
+pub fn build_from_plan(
+    plan: &CompositionPlan,
+    config: &ClusterConfig,
+) -> Result<Spec<ZabState>, SpecError> {
     let cfg = Arc::new(*config);
     let mut modules = Vec::new();
     for choice in &plan.choices {
@@ -126,7 +134,12 @@ pub fn build_from_plan(plan: &CompositionPlan, config: &ClusterConfig) -> Result
         modules.push(m);
     }
     modules.push(faults::module(&cfg));
-    compose(plan.name.clone(), vec![ZabState::initial(config)], modules, all_invariants())
+    compose(
+        plan.name.clone(),
+        vec![ZabState::initial(config)],
+        modules,
+        all_invariants(),
+    )
 }
 
 #[cfg(test)]
@@ -152,18 +165,43 @@ mod tests {
     fn table1_composition_matrix() {
         use Granularity::*;
         let cases = [
-            (SpecPreset::SysSpec, [Baseline, Baseline, Baseline, Baseline]),
+            (
+                SpecPreset::SysSpec,
+                [Baseline, Baseline, Baseline, Baseline],
+            ),
             (SpecPreset::MSpec1, [Coarse, Coarse, Baseline, Baseline]),
             (SpecPreset::MSpec2, [Coarse, Coarse, FineAtomic, Baseline]),
-            (SpecPreset::MSpec3, [Coarse, Coarse, FineConcurrent, FineConcurrent]),
-            (SpecPreset::MSpec4, [Baseline, Baseline, FineConcurrent, FineConcurrent]),
+            (
+                SpecPreset::MSpec3,
+                [Coarse, Coarse, FineConcurrent, FineConcurrent],
+            ),
+            (
+                SpecPreset::MSpec4,
+                [Baseline, Baseline, FineConcurrent, FineConcurrent],
+            ),
         ];
         for (preset, expected) in cases {
             let spec = preset.build(&config());
-            assert_eq!(spec.module_granularity(ELECTION), Some(expected[0]), "{preset:?}");
-            assert_eq!(spec.module_granularity(DISCOVERY), Some(expected[1]), "{preset:?}");
-            assert_eq!(spec.module_granularity(SYNCHRONIZATION), Some(expected[2]), "{preset:?}");
-            assert_eq!(spec.module_granularity(BROADCAST), Some(expected[3]), "{preset:?}");
+            assert_eq!(
+                spec.module_granularity(ELECTION),
+                Some(expected[0]),
+                "{preset:?}"
+            );
+            assert_eq!(
+                spec.module_granularity(DISCOVERY),
+                Some(expected[1]),
+                "{preset:?}"
+            );
+            assert_eq!(
+                spec.module_granularity(SYNCHRONIZATION),
+                Some(expected[2]),
+                "{preset:?}"
+            );
+            assert_eq!(
+                spec.module_granularity(BROADCAST),
+                Some(expected[3]),
+                "{preset:?}"
+            );
         }
     }
 
@@ -173,7 +211,10 @@ mod tests {
         let m1 = SpecPreset::MSpec1.build(&config());
         let m3 = SpecPreset::MSpec3.build(&config());
         assert!(m1.action_count() < sys.action_count());
-        assert!(m3.action_count() > m1.action_count(), "fine-grained modelling adds actions");
+        assert!(
+            m3.action_count() > m1.action_count(),
+            "fine-grained modelling adds actions"
+        );
     }
 
     #[test]

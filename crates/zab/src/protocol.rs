@@ -39,7 +39,14 @@ fn oracle_elect(cfg: &Arc<ClusterConfig>) -> ActionDef<ZabState> {
         ELECTION,
         Granularity::Protocol,
         vec!["state", "currentEpoch", "history"],
-        vec!["state", "zabState", "leaderAddr", "acceptedEpoch", "currentEpoch", "learners"],
+        vec![
+            "state",
+            "zabState",
+            "leaderAddr",
+            "acceptedEpoch",
+            "currentEpoch",
+            "learners",
+        ],
         move |s: &ZabState| {
             let mut out = Vec::new();
             let looking: Vec<Sid> = (0..s.n())
@@ -142,7 +149,10 @@ fn leader_send_newleader(_cfg: &Arc<ClusterConfig>) -> ActionDef<ZabState> {
                         },
                     );
                     next.send(i, j, Message::NewLeader { epoch, zxid });
-                    out.push(ActionInstance::new(format!("LeaderSendNEWLEADER({i}, {j})"), next));
+                    out.push(ActionInstance::new(
+                        format!("LeaderSendNEWLEADER({i}, {j})"),
+                        next,
+                    ));
                 }
             }
             out
@@ -172,10 +182,19 @@ fn follower_newleader_actions(
     }
     // Accepting the leader's history: replace the follower's log (protocol-level SNAP).
     fn accept_history(s: &mut ZabState, i: Sid, j: Sid) {
-        if let Some(Message::SyncPackets { txns, committed_upto, .. }) = s.pop(j, i) {
+        if let Some(Message::SyncPackets {
+            txns,
+            committed_upto,
+            ..
+        }) = s.pop(j, i)
+        {
             let sv = &mut s.servers[i];
             sv.history = txns;
-            sv.last_committed = sv.history.iter().filter(|t| t.zxid <= committed_upto).count();
+            sv.last_committed = sv
+                .history
+                .iter()
+                .filter(|t| t.zxid <= committed_upto)
+                .count();
         }
     }
 
@@ -202,7 +221,9 @@ fn follower_newleader_actions(
                             }
                             let mut probe = s.clone();
                             probe.pop(j, i);
-                            let Some((epoch, zxid)) = pending(&probe, i, j) else { continue };
+                            let Some((epoch, zxid)) = pending(&probe, i, j) else {
+                                continue;
+                            };
                             let mut next = s.clone();
                             // Atomically: accept the history, set the epoch, acknowledge.
                             accept_history(&mut next, i, j);
@@ -231,7 +252,8 @@ fn follower_newleader_actions(
                     let mut out = Vec::new();
                     for i in 0..s.n() {
                         for j in 0..s.n() {
-                            if i == j || !matches!(s.head(j, i), Some(Message::SyncPackets { .. })) {
+                            if i == j || !matches!(s.head(j, i), Some(Message::SyncPackets { .. }))
+                            {
                                 continue;
                             }
                             let mut probe = s.clone();
@@ -265,7 +287,9 @@ fn follower_newleader_actions(
                             }
                             // History must have been accepted first (the SyncPackets
                             // message is gone and NEWLEADER is now at the head).
-                            let Some((epoch, zxid)) = pending(s, i, j) else { continue };
+                            let Some((epoch, zxid)) = pending(s, i, j) else {
+                                continue;
+                            };
                             let mut next = s.clone();
                             next.pop(j, i);
                             next.servers[i].current_epoch = epoch;
@@ -293,7 +317,14 @@ fn establishment_actions(_cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> 
             SYNCHRONIZATION,
             Granularity::Protocol,
             vec!["state", "zabState", "ackldRecv", "history", "msgs"],
-            vec!["ackldRecv", "lastCommitted", "zabState", "serving", "msgs", "ghost"],
+            vec![
+                "ackldRecv",
+                "lastCommitted",
+                "zabState",
+                "serving",
+                "msgs",
+                "ghost",
+            ],
             |s: &ZabState| {
                 let mut out = Vec::new();
                 for i in 0..s.n() {
@@ -304,7 +335,9 @@ fn establishment_actions(_cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> 
                         {
                             continue;
                         }
-                        let Some(Message::Ack { zxid }) = s.head(j, i) else { continue };
+                        let Some(Message::Ack { zxid }) = s.head(j, i) else {
+                            continue;
+                        };
                         if *zxid != s.servers[i].last_zxid() {
                             continue;
                         }
@@ -326,7 +359,10 @@ fn establishment_actions(_cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> 
                                 next.send(i, f, Message::UpToDate { zxid: last });
                             }
                         }
-                        out.push(ActionInstance::new(format!("LeaderProcessACKLD({i}, {j})"), next));
+                        out.push(ActionInstance::new(
+                            format!("LeaderProcessACKLD({i}, {j})"),
+                            next,
+                        ));
                     }
                 }
                 out
@@ -349,7 +385,9 @@ fn establishment_actions(_cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> 
                         {
                             continue;
                         }
-                        let Some(Message::UpToDate { zxid }) = s.head(j, i) else { continue };
+                        let Some(Message::UpToDate { zxid }) = s.head(j, i) else {
+                            continue;
+                        };
                         let zxid = *zxid;
                         let mut next = s.clone();
                         next.pop(j, i);
@@ -357,7 +395,10 @@ fn establishment_actions(_cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> 
                         sv.last_committed = sv.history.iter().filter(|t| t.zxid <= zxid).count();
                         sv.phase = ZabPhase::Broadcast;
                         sv.serving = true;
-                        out.push(ActionInstance::new(format!("FollowerProcessCOMMITLD({i}, {j})"), next));
+                        out.push(ActionInstance::new(
+                            format!("FollowerProcessCOMMITLD({i}, {j})"),
+                            next,
+                        ));
                     }
                 }
                 out
@@ -380,8 +421,13 @@ fn broadcast_actions(cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> {
                 let mut out = Vec::new();
                 for i in 0..s.n() {
                     let mut next = s.clone();
-                    if crate::actions::broadcast::leader_process_request_step(&cfg_prop, &mut next, i) {
-                        out.push(ActionInstance::new(format!("LeaderBroadcastPROPOSE({i})"), next));
+                    if crate::actions::broadcast::leader_process_request_step(
+                        &cfg_prop, &mut next, i,
+                    ) {
+                        out.push(ActionInstance::new(
+                            format!("LeaderBroadcastPROPOSE({i})"),
+                            next,
+                        ));
                     }
                 }
                 out
@@ -404,13 +450,18 @@ fn broadcast_actions(cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> {
                         {
                             continue;
                         }
-                        let Some(Message::Proposal { txn }) = s.head(j, i) else { continue };
+                        let Some(Message::Proposal { txn }) = s.head(j, i) else {
+                            continue;
+                        };
                         let txn = *txn;
                         let mut next = s.clone();
                         next.pop(j, i);
                         next.servers[i].history.push(txn);
                         next.send(i, j, Message::Ack { zxid: txn.zxid });
-                        out.push(ActionInstance::new(format!("FollowerAcceptPROPOSE({i}, {j})"), next));
+                        out.push(ActionInstance::new(
+                            format!("FollowerAcceptPROPOSE({i}, {j})"),
+                            next,
+                        ));
                     }
                 }
                 out
@@ -431,7 +482,10 @@ fn broadcast_actions(cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> {
                         }
                         let mut next = s.clone();
                         if crate::actions::broadcast::leader_process_ack_step(&mut next, i, j) {
-                            out.push(ActionInstance::new(format!("LeaderProcessACK({i}, {j})"), next));
+                            out.push(ActionInstance::new(
+                                format!("LeaderProcessACK({i}, {j})"),
+                                next,
+                            ));
                         }
                     }
                 }
@@ -442,7 +496,14 @@ fn broadcast_actions(cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> {
             "FollowerDeliverCOMMIT",
             BROADCAST,
             Granularity::Protocol,
-            vec!["state", "zabState", "leaderAddr", "history", "lastCommitted", "msgs"],
+            vec![
+                "state",
+                "zabState",
+                "leaderAddr",
+                "history",
+                "lastCommitted",
+                "msgs",
+            ],
             vec!["lastCommitted", "msgs"],
             |s: &ZabState| {
                 let mut out = Vec::new();
@@ -455,12 +516,17 @@ fn broadcast_actions(cfg: &Arc<ClusterConfig>) -> Vec<ActionDef<ZabState>> {
                         {
                             continue;
                         }
-                        let Some(Message::Commit { zxid }) = s.head(j, i) else { continue };
+                        let Some(Message::Commit { zxid }) = s.head(j, i) else {
+                            continue;
+                        };
                         let zxid = *zxid;
                         let mut next = s.clone();
                         next.pop(j, i);
                         crate::actions::broadcast::follower_apply_commit(&mut next, i, zxid, false);
-                        out.push(ActionInstance::new(format!("FollowerDeliverCOMMIT({i}, {j})"), next));
+                        out.push(ActionInstance::new(
+                            format!("FollowerDeliverCOMMIT({i}, {j})"),
+                            next,
+                        ));
                     }
                 }
                 out
@@ -490,8 +556,13 @@ pub fn protocol_spec(variant: ProtocolVariant, config: &ClusterConfig) -> Spec<Z
         ProtocolVariant::Improved => "ProtocolSpec-Improved",
     };
     let _ = FAULTS;
-    compose(name, vec![ZabState::initial(config)], vec![election, sync, broadcast, faults], protocol_invariants())
-        .expect("protocol composition is well-formed")
+    compose(
+        name,
+        vec![ZabState::initial(config)],
+        vec![election, sync, broadcast, faults],
+        protocol_invariants(),
+    )
+    .expect("protocol composition is well-formed")
 }
 
 #[cfg(test)]
@@ -525,18 +596,20 @@ mod tests {
         // Elect a leader and run until a follower has the NEWLEADER pair pending.
         for _ in 0..10 {
             let succ = spec.successors(&s);
-            let Some((_, n)) = succ
-                .iter()
-                .find(|(l, _)| l.starts_with("OracleElectLeader") || l.starts_with("LeaderSendNEWLEADER"))
-            else {
+            let Some((_, n)) = succ.iter().find(|(l, _)| {
+                l.starts_with("OracleElectLeader") || l.starts_with("LeaderSendNEWLEADER")
+            }) else {
                 break;
             };
             s = n.clone();
         }
         let succ = spec.successors(&s);
-        let has_accept = succ.iter().any(|(l, _)| l.starts_with("FollowerProcessNEWLEADER_AcceptHistory"));
-        let has_epoch =
-            succ.iter().any(|(l, _)| l.starts_with("FollowerProcessNEWLEADER_UpdateEpochAndAck"));
+        let has_accept = succ
+            .iter()
+            .any(|(l, _)| l.starts_with("FollowerProcessNEWLEADER_AcceptHistory"));
+        let has_epoch = succ
+            .iter()
+            .any(|(l, _)| l.starts_with("FollowerProcessNEWLEADER_UpdateEpochAndAck"));
         assert!(has_accept, "history acceptance must be enabled first");
         assert!(!has_epoch, "epoch update must wait for the history");
     }

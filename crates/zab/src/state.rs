@@ -10,13 +10,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use remix_spec::{SpecState, Value};
-use serde::Serialize;
 
 use crate::config::ClusterConfig;
 use crate::types::{CodeViolation, Message, ServerState, Sid, Txn, Vote, ZabPhase, Zxid};
 
 /// Per-server state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ServerData {
     // ---- Durable state (survives crashes) -------------------------------------------
     /// `currentEpoch`: the epoch the server has committed to (written to disk).
@@ -91,7 +90,11 @@ impl ServerData {
             state: ServerState::Looking,
             phase: ZabPhase::Election,
             leader: None,
-            vote: Vote { epoch: 0, zxid: Zxid::ZERO, leader: sid },
+            vote: Vote {
+                epoch: 0,
+                zxid: Zxid::ZERO,
+                leader: sid,
+            },
             vote_broadcast: false,
             recv_votes: BTreeMap::new(),
             learners: BTreeSet::new(),
@@ -134,7 +137,11 @@ impl ServerData {
         self.state = ServerState::Looking;
         self.phase = ZabPhase::Election;
         self.leader = None;
-        self.vote = Vote { epoch: self.current_epoch, zxid: self.last_zxid(), leader: sid };
+        self.vote = Vote {
+            epoch: self.current_epoch,
+            zxid: self.last_zxid(),
+            leader: sid,
+        };
         self.vote_broadcast = false;
         self.recv_votes.clear();
         self.learners.clear();
@@ -174,7 +181,7 @@ impl ServerData {
 }
 
 /// Ghost variables used only by the protocol-level invariants.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct GhostState {
     /// Leader that established each epoch (quorum of NEWLEADER acknowledgements).
     pub established_leaders: BTreeMap<u32, Sid>,
@@ -189,7 +196,7 @@ pub struct GhostState {
 }
 
 /// The global state of the ZooKeeper system specification.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ZabState {
     /// Per-server state, indexed by sid.
     pub servers: Vec<ServerData>,
@@ -320,7 +327,11 @@ impl ZabState {
 
     /// The highest accepted epoch across all servers (used when proposing a new epoch).
     pub fn max_accepted_epoch(&self) -> u32 {
-        self.servers.iter().map(|s| s.accepted_epoch.max(s.current_epoch)).max().unwrap_or(0)
+        self.servers
+            .iter()
+            .map(|s| s.accepted_epoch.max(s.current_epoch))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -398,8 +409,14 @@ impl SpecState for ZabState {
                 })),
                 "packetsSync" => Some(per_server(&|s| {
                     Value::record(vec![
-                        ("notCommitted".to_owned(), Value::from(s.packets_not_committed.len())),
-                        ("committed".to_owned(), Value::from(s.packets_committed.len())),
+                        (
+                            "notCommitted".to_owned(),
+                            Value::from(s.packets_not_committed.len()),
+                        ),
+                        (
+                            "committed".to_owned(),
+                            Value::from(s.packets_committed.len()),
+                        ),
                     ])
                 })),
                 "queuedRequests" => Some(per_server(&|s| Value::from(s.queued_requests.len()))),
@@ -454,7 +471,13 @@ mod tests {
     fn send_and_receive_are_fifo() {
         let mut s = state();
         s.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
-        s.send(0, 1, Message::Commit { zxid: Zxid::new(1, 1) });
+        s.send(
+            0,
+            1,
+            Message::Commit {
+                zxid: Zxid::new(1, 1),
+            },
+        );
         assert_eq!(s.head(0, 1).unwrap().kind(), "UPTODATE");
         assert_eq!(s.pop(0, 1).unwrap().kind(), "UPTODATE");
         assert_eq!(s.pop(0, 1).unwrap().kind(), "COMMIT");
@@ -501,7 +524,11 @@ mod tests {
         let mut sd = ServerData::initial(1);
         sd.queued_requests.push(Txn::new(1, 1, 1));
         sd.shutdown_to_looking(1, false);
-        assert_eq!(sd.queued_requests.len(), 1, "buggy shutdown keeps the queue");
+        assert_eq!(
+            sd.queued_requests.len(),
+            1,
+            "buggy shutdown keeps the queue"
+        );
         sd.shutdown_to_looking(1, true);
         assert!(sd.queued_requests.is_empty());
     }
@@ -519,7 +546,14 @@ mod tests {
     #[test]
     fn projection_covers_registered_variables() {
         let s = state();
-        let p = s.project(&["state", "currentEpoch", "history", "msgs", "violation", "nonexistent"]);
+        let p = s.project(&[
+            "state",
+            "currentEpoch",
+            "history",
+            "msgs",
+            "violation",
+            "nonexistent",
+        ]);
         assert_eq!(p.len(), 5);
         assert_eq!(p["violation"], Value::Bool(false));
         assert_eq!(p["msgs"], Value::Int(0));

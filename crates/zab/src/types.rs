@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Server identifier (the `sid` / `myid` of a ZooKeeper ensemble member).
 pub type Sid = usize;
 
 /// A ZooKeeper transaction identifier: an (epoch, counter) pair, totally ordered
 /// epoch-major.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Zxid {
     /// The epoch in which the transaction was proposed.
     pub epoch: u32,
@@ -24,7 +22,10 @@ impl Zxid {
     }
 
     /// The zero zxid `<<0, 0>>` used for empty histories.
-    pub const ZERO: Zxid = Zxid { epoch: 0, counter: 0 };
+    pub const ZERO: Zxid = Zxid {
+        epoch: 0,
+        counter: 0,
+    };
 }
 
 impl fmt::Display for Zxid {
@@ -34,7 +35,7 @@ impl fmt::Display for Zxid {
 }
 
 /// A transaction: a zxid plus an opaque payload value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Txn {
     /// The transaction identifier.
     pub zxid: Zxid,
@@ -45,7 +46,10 @@ pub struct Txn {
 impl Txn {
     /// Creates a transaction.
     pub const fn new(epoch: u32, counter: u32, value: u32) -> Self {
-        Txn { zxid: Zxid::new(epoch, counter), value }
+        Txn {
+            zxid: Zxid::new(epoch, counter),
+            value,
+        }
     }
 }
 
@@ -56,7 +60,7 @@ impl fmt::Display for Txn {
 }
 
 /// The coarse server state (`state` variable of the TLA+ specifications).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ServerState {
     /// Running leader election.
     Looking,
@@ -69,7 +73,7 @@ pub enum ServerState {
 }
 
 /// The Zab phase a server is in (`zabState` variable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ZabPhase {
     /// Phase 0: leader election.
     Election,
@@ -82,7 +86,7 @@ pub enum ZabPhase {
 }
 
 /// How a follower's log is brought up to date during synchronization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SyncMode {
     /// Send the proposals the follower misses.
     Diff,
@@ -98,7 +102,7 @@ pub enum SyncMode {
 /// `FastLeaderElection.totalOrderPredicate` uses, which is what makes a node with a
 /// higher `currentEpoch` but stale history win an election (the mechanism behind
 /// ZK-4643).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vote {
     /// The voter's current epoch (peer epoch).
     pub epoch: u32,
@@ -109,7 +113,7 @@ pub struct Vote {
 }
 
 /// Messages exchanged between servers.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Message {
     /// Fast-leader-election notification carrying the sender's vote.
     Notification {
@@ -195,7 +199,7 @@ impl Message {
 }
 
 /// The code-level invariant families of Table 2 (I-11..I-14).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViolationKind {
     /// I-11: exceptions or failed assertions on server state upon receiving a message.
     BadState,
@@ -222,7 +226,7 @@ impl ViolationKind {
 /// A code-level error path reached by the execution (an exception or failed assertion in
 /// the ZooKeeper implementation).  Recording it in the state lets the code-level
 /// invariants of Table 2 flag the execution.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CodeViolation {
     /// The invariant family.
     pub kind: ViolationKind,
@@ -248,11 +252,30 @@ mod tests {
 
     #[test]
     fn vote_ordering_prefers_epoch_then_zxid_then_sid() {
-        let stale_high_epoch = Vote { epoch: 3, zxid: Zxid::new(1, 1), leader: 0 };
-        let fresh_low_epoch = Vote { epoch: 2, zxid: Zxid::new(2, 5), leader: 2 };
-        assert!(stale_high_epoch > fresh_low_epoch, "higher currentEpoch wins (ZK-4643 mechanism)");
-        let a = Vote { epoch: 2, zxid: Zxid::new(2, 1), leader: 1 };
-        let b = Vote { epoch: 2, zxid: Zxid::new(2, 1), leader: 2 };
+        let stale_high_epoch = Vote {
+            epoch: 3,
+            zxid: Zxid::new(1, 1),
+            leader: 0,
+        };
+        let fresh_low_epoch = Vote {
+            epoch: 2,
+            zxid: Zxid::new(2, 5),
+            leader: 2,
+        };
+        assert!(
+            stale_high_epoch > fresh_low_epoch,
+            "higher currentEpoch wins (ZK-4643 mechanism)"
+        );
+        let a = Vote {
+            epoch: 2,
+            zxid: Zxid::new(2, 1),
+            leader: 1,
+        };
+        let b = Vote {
+            epoch: 2,
+            zxid: Zxid::new(2, 1),
+            leader: 2,
+        };
         assert!(b > a, "sid breaks ties");
     }
 
@@ -261,7 +284,14 @@ mod tests {
         assert_eq!(Message::UpToDate { zxid: Zxid::ZERO }.kind(), "UPTODATE");
         assert_eq!(Message::Ack { zxid: Zxid::ZERO }.kind(), "ACK");
         assert_eq!(
-            Message::Notification { vote: Vote { epoch: 0, zxid: Zxid::ZERO, leader: 0 } }.kind(),
+            Message::Notification {
+                vote: Vote {
+                    epoch: 0,
+                    zxid: Zxid::ZERO,
+                    leader: 0
+                }
+            }
+            .kind(),
             "NOTIFICATION"
         );
     }
@@ -276,6 +306,9 @@ mod tests {
 
     #[test]
     fn txn_display() {
-        assert_eq!(Txn::new(1, 2, 7).to_string(), "[zxid |-> <<1, 2>>, value |-> 7]");
+        assert_eq!(
+            Txn::new(1, 2, 7).to_string(),
+            "[zxid |-> <<1, 2>>, value |-> 7]"
+        );
     }
 }

@@ -7,14 +7,13 @@
 //! fix of §5.4); [`BugFlags`] is the derived set of behavioural switches consumed by the
 //! specification actions.
 
-use serde::{Deserialize, Serialize};
-
 /// The ZooKeeper issues modelled by this reproduction.
-pub const MODELLED_ISSUES: &[&str] =
-    &["ZK-3023", "ZK-4394", "ZK-4643", "ZK-4646", "ZK-4685", "ZK-4712"];
+pub const MODELLED_ISSUES: &[&str] = &[
+    "ZK-3023", "ZK-4394", "ZK-4643", "ZK-4646", "ZK-4685", "ZK-4712",
+];
 
 /// A version of the ZooKeeper log-replication implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CodeVersion {
     /// ZooKeeper 3.7.0 — the version used for the efficiency evaluation (Table 5).
     V370,
@@ -95,7 +94,7 @@ impl CodeVersion {
 }
 
 /// Behavioural switches derived from a [`CodeVersion`] (or set explicitly for ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BugFlags {
     /// ZK-4643 enabling order: epoch before history.
     pub epoch_updated_before_history: bool,
@@ -122,7 +121,7 @@ impl BugFlags {
 
 /// One edge of the bug lineage of Figure 8: a change (optimization or fix) and the bugs
 /// it introduced or left open.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineageEdge {
     /// The change (JIRA issue or optimization) at the origin of the edge.
     pub cause: &'static str,
@@ -135,16 +134,56 @@ pub struct LineageEdge {
 /// The bug lineage of Figure 8: the ZK-2678 data-recovery optimizations and the chain of
 /// data-loss / inconsistency bugs they introduced, including fixes that opened new bugs.
 pub const BUG_LINEAGE: &[LineageEdge] = &[
-    LineageEdge { cause: "ZK-2678", effect: "ZK-2845", effect_fix_merged: true },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-3023", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-3642", effect_fix_merged: true },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-3911", effect_fix_merged: true },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-4643", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-4646", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-3911", effect: "ZK-3023", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-3911", effect: "ZK-4685", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-4394", effect_fix_merged: false },
-    LineageEdge { cause: "ZK-2678", effect: "ZK-4712", effect_fix_merged: false },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-2845",
+        effect_fix_merged: true,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-3023",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-3642",
+        effect_fix_merged: true,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-3911",
+        effect_fix_merged: true,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-4643",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-4646",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-3911",
+        effect: "ZK-3023",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-3911",
+        effect: "ZK-4685",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-4394",
+        effect_fix_merged: false,
+    },
+    LineageEdge {
+        cause: "ZK-2678",
+        effect: "ZK-4712",
+        effect_fix_merged: false,
+    },
 ];
 
 #[cfg(test)]
@@ -167,7 +206,10 @@ mod tests {
         let plus = CodeVersion::MSpec3Plus.bugs();
         assert!(!plus.shutdown_keeps_request_queue);
         assert_eq!(
-            BugFlags { shutdown_keeps_request_queue: true, ..plus },
+            BugFlags {
+                shutdown_keeps_request_queue: true,
+                ..plus
+            },
             base,
             "mSpec-3+ differs from v3.9.1 only by the ZK-4712 fix"
         );
@@ -188,7 +230,12 @@ mod tests {
     #[test]
     fn pull_requests_leave_some_bug_open() {
         // Each PR of Table 6 must still expose at least one error path.
-        for pr in [CodeVersion::Pr1848, CodeVersion::Pr1930, CodeVersion::Pr1993, CodeVersion::Pr2111] {
+        for pr in [
+            CodeVersion::Pr1848,
+            CodeVersion::Pr1930,
+            CodeVersion::Pr1993,
+            CodeVersion::Pr2111,
+        ] {
             let b = pr.bugs();
             let any_open = b.epoch_updated_before_history
                 || b.ack_newleader_before_persist
@@ -204,7 +251,9 @@ mod tests {
     fn lineage_mentions_all_modelled_issues() {
         for issue in MODELLED_ISSUES {
             assert!(
-                BUG_LINEAGE.iter().any(|e| e.effect == *issue || e.cause == *issue),
+                BUG_LINEAGE
+                    .iter()
+                    .any(|e| e.effect == *issue || e.cause == *issue),
                 "{issue} missing from the lineage"
             );
         }

@@ -7,16 +7,24 @@ use remix_checker::{check_bfs, CheckOptions};
 use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 
 fn options(seconds: u64) -> CheckOptions {
-    CheckOptions::default().with_time_budget(Duration::from_secs(seconds)).with_max_states(400_000)
+    CheckOptions::default()
+        .with_time_budget(Duration::from_secs(seconds))
+        .with_max_states(400_000)
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn mspec3_finds_a_violation_quickly_on_v391() {
     let config = ClusterConfig::small(CodeVersion::V391);
     let spec = SpecPreset::MSpec3.build(&config);
     let outcome = check_bfs(&spec, &options(60));
-    assert!(!outcome.passed(), "mSpec-3 must find a violation: {outcome}");
+    assert!(
+        !outcome.passed(),
+        "mSpec-3 must find a violation: {outcome}"
+    );
     let v = outcome.first_violation().unwrap();
     println!(
         "mSpec-3 found {} at depth {} ({} states)",
@@ -25,18 +33,30 @@ fn mspec3_finds_a_violation_quickly_on_v391() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn mspec2_finds_initial_history_violation_on_v391() {
     let config = ClusterConfig::small(CodeVersion::V391).with_crashes(2);
     let spec = SpecPreset::MSpec2.build(&config);
     let outcome = check_bfs(&spec, &options(120));
-    assert!(!outcome.passed(), "mSpec-2 must find a violation: {outcome}");
+    assert!(
+        !outcome.passed(),
+        "mSpec-2 must find a violation: {outcome}"
+    );
     let v = outcome.first_violation().unwrap();
-    println!("mSpec-2 first violation: {} at depth {}", v.invariant, v.depth);
+    println!(
+        "mSpec-2 first violation: {} at depth {}",
+        v.invariant, v.depth
+    );
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn mspec1_finds_no_violation_when_zk4394_masked() {
     let config = ClusterConfig::small(CodeVersion::V391).with_transactions(1);
     let spec = SpecPreset::MSpec1.build(&config);

@@ -147,7 +147,9 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 fn err(reason: impl Into<String>) -> SimError {
-    SimError { reason: reason.into() }
+    SimError {
+        reason: reason.into(),
+    }
 }
 
 /// The simulated cluster.
@@ -187,7 +189,12 @@ impl Cluster {
                 let epoch = self
                     .nodes
                     .iter()
-                    .map(|n| n.server.disk.accepted_epoch.max(n.server.disk.current_epoch))
+                    .map(|n| {
+                        n.server
+                            .disk
+                            .accepted_epoch
+                            .max(n.server.disk.current_epoch)
+                    })
                     .max()
                     .unwrap_or(0)
                     + 1;
@@ -220,22 +227,41 @@ impl Cluster {
             }
             SimEvent::LeaderSyncFollower { leader, follower } => {
                 let disk = self.nodes[leader].server.disk.clone();
-                let l = self.nodes[leader].leader.as_mut().ok_or_else(|| err("not a leader"))?;
+                let l = self.nodes[leader]
+                    .leader
+                    .as_mut()
+                    .ok_or_else(|| err("not a leader"))?;
                 l.sync_follower(follower, &disk, &mut self.network);
                 Ok(())
             }
             SimEvent::FollowerHandleSyncPackets { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
-                    Some(Message::SyncPackets { mode, txns, committed_upto, trunc_to }) => {
-                        self.nodes[follower].server.handle_sync_packets(mode, txns, committed_upto, trunc_to);
+                    Some(Message::SyncPackets {
+                        mode,
+                        txns,
+                        committed_upto,
+                        trunc_to,
+                    }) => {
+                        self.nodes[follower].server.handle_sync_packets(
+                            mode,
+                            txns,
+                            committed_upto,
+                            trunc_to,
+                        );
                         Ok(())
                     }
                     other => Err(err(format!("expected SYNCPACKETS, got {other:?}"))),
                 }
             }
             SimEvent::FollowerNewLeaderUpdateEpoch { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.peek(leader, follower) {
                     Some(Message::NewLeader { epoch, .. }) => {
                         let epoch = *epoch;
@@ -250,17 +276,24 @@ impl Cluster {
                 Ok(())
             }
             SimEvent::FollowerNewLeaderAck { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
                     Some(Message::NewLeader { zxid, .. }) => {
-                        self.nodes[follower].server.newleader_write_ack(zxid, &mut self.network);
+                        self.nodes[follower]
+                            .server
+                            .newleader_write_ack(zxid, &mut self.network);
                         Ok(())
                     }
                     other => Err(err(format!("expected NEWLEADER, got {other:?}"))),
                 }
             }
             SimEvent::SyncProcessorRun { node } => {
-                self.nodes[node].server.sync_processor_run_once(&mut self.network);
+                self.nodes[node]
+                    .server
+                    .sync_processor_run_once(&mut self.network);
                 Ok(())
             }
             SimEvent::CommitProcessorRun { node } => {
@@ -272,9 +305,18 @@ impl Cluster {
                 match self.network.recv(from, leader) {
                     Some(Message::Ack { zxid }) => {
                         let mut disk = self.nodes[leader].server.disk.clone();
-                        let l = self.nodes[leader].leader.as_mut().ok_or_else(|| err("not a leader"))?;
+                        let l = self.nodes[leader]
+                            .leader
+                            .as_mut()
+                            .ok_or_else(|| err("not a leader"))?;
                         if l.established {
-                            l.process_ack_in_broadcast(from, zxid, &mut disk, &mut self.network, quorum);
+                            l.process_ack_in_broadcast(
+                                from,
+                                zxid,
+                                &mut disk,
+                                &mut self.network,
+                                quorum,
+                            );
                         } else {
                             let ready = l.process_ack_during_sync(from, zxid, &disk, &bugs, quorum);
                             if ready {
@@ -289,28 +331,41 @@ impl Cluster {
                 }
             }
             SimEvent::FollowerHandleCommitInSync { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
                     Some(Message::Commit { zxid }) => {
                         let masked = self.config.mask_zk4394;
-                        self.nodes[follower].server.handle_commit_in_sync(zxid, &bugs, masked);
+                        self.nodes[follower]
+                            .server
+                            .handle_commit_in_sync(zxid, &bugs, masked);
                         Ok(())
                     }
                     other => Err(err(format!("expected COMMIT, got {other:?}"))),
                 }
             }
             SimEvent::FollowerHandleUpToDate { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
                     Some(Message::UpToDate { zxid }) => {
-                        self.nodes[follower].server.handle_uptodate(zxid, &bugs, &mut self.network);
+                        self.nodes[follower]
+                            .server
+                            .handle_uptodate(zxid, &bugs, &mut self.network);
                         Ok(())
                     }
                     other => Err(err(format!("expected UPTODATE, got {other:?}"))),
                 }
             }
             SimEvent::FollowerHandleProposal { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
                     Some(Message::Proposal { txn }) => {
                         if self.nodes[follower].server.phase == SyncPhase::Synchronizing {
@@ -324,7 +379,10 @@ impl Cluster {
                 }
             }
             SimEvent::FollowerHandleCommit { follower } => {
-                let leader = self.nodes[follower].server.leader.ok_or_else(|| err("no leader"))?;
+                let leader = self.nodes[follower]
+                    .server
+                    .leader
+                    .ok_or_else(|| err("no leader"))?;
                 match self.network.recv(leader, follower) {
                     Some(Message::Commit { zxid }) => {
                         self.nodes[follower].server.handle_commit(zxid);
@@ -337,7 +395,10 @@ impl Cluster {
                 self.next_value += 1;
                 let value = self.next_value;
                 let mut disk = self.nodes[leader].server.disk.clone();
-                let l = self.nodes[leader].leader.as_mut().ok_or_else(|| err("not a leader"))?;
+                let l = self.nodes[leader]
+                    .leader
+                    .as_mut()
+                    .ok_or_else(|| err("not a leader"))?;
                 l.propose(value, &mut disk, &mut self.network);
                 self.nodes[leader].server.disk = disk;
                 Ok(())
@@ -386,7 +447,11 @@ impl Cluster {
                     log: n.server.disk.log.clone(),
                     committed: n.server.disk.committed,
                     up: n.server.run_state != RunState::Down,
-                    error: n.server.error.clone().or_else(|| n.leader.as_ref().and_then(|l| l.error.clone())),
+                    error: n
+                        .server
+                        .error
+                        .clone()
+                        .or_else(|| n.leader.as_ref().and_then(|l| l.error.clone())),
                 })
                 .collect(),
         }
@@ -412,9 +477,18 @@ mod tests {
     fn happy_path_on_the_fixed_build() {
         let mut c = cluster(CodeVersion::FinalFix);
         let steps = [
-            SimEvent::ElectLeader { leader: 2, quorum: vec![0, 1, 2] },
-            SimEvent::LeaderSyncFollower { leader: 2, follower: 0 },
-            SimEvent::LeaderSyncFollower { leader: 2, follower: 1 },
+            SimEvent::ElectLeader {
+                leader: 2,
+                quorum: vec![0, 1, 2],
+            },
+            SimEvent::LeaderSyncFollower {
+                leader: 2,
+                follower: 0,
+            },
+            SimEvent::LeaderSyncFollower {
+                leader: 2,
+                follower: 1,
+            },
             SimEvent::FollowerHandleSyncPackets { follower: 0 },
             SimEvent::FollowerNewLeaderUpdateEpoch { follower: 0 },
             SimEvent::FollowerNewLeaderLogRequests { follower: 0 },
@@ -443,7 +517,8 @@ mod tests {
             SimEvent::CommitProcessorRun { node: 1 },
         ];
         for (idx, e) in steps.iter().enumerate() {
-            c.step(e).unwrap_or_else(|err| panic!("step {idx} ({e:?}) failed: {err}"));
+            c.step(e)
+                .unwrap_or_else(|err| panic!("step {idx} ({e:?}) failed: {err}"));
         }
         let obs = c.observe();
         assert!(obs.first_error().is_none());
@@ -460,10 +535,20 @@ mod tests {
     fn buggy_build_acks_newleader_before_persisting() {
         let mut c = cluster(CodeVersion::V391);
         // Seed the leader's log with one transaction so there is data to lose.
-        c.nodes[2].server.disk.log.push(remix_zab::Txn::new(1, 1, 9));
+        c.nodes[2]
+            .server
+            .disk
+            .log
+            .push(remix_zab::Txn::new(1, 1, 9));
         let steps = [
-            SimEvent::ElectLeader { leader: 2, quorum: vec![0, 2] },
-            SimEvent::LeaderSyncFollower { leader: 2, follower: 0 },
+            SimEvent::ElectLeader {
+                leader: 2,
+                quorum: vec![0, 2],
+            },
+            SimEvent::LeaderSyncFollower {
+                leader: 2,
+                follower: 0,
+            },
             SimEvent::FollowerHandleSyncPackets { follower: 0 },
             SimEvent::FollowerNewLeaderUpdateEpoch { follower: 0 },
             SimEvent::FollowerNewLeaderLogRequests { follower: 0 },
@@ -484,17 +569,37 @@ mod tests {
     #[test]
     fn events_that_do_not_match_the_state_are_rejected() {
         let mut c = cluster(CodeVersion::V391);
-        assert!(c.step(&SimEvent::LeaderSyncFollower { leader: 2, follower: 0 }).is_err());
-        assert!(c.step(&SimEvent::FollowerHandleUpToDate { follower: 0 }).is_err());
-        c.step(&SimEvent::ElectLeader { leader: 2, quorum: vec![0, 2] }).unwrap();
-        assert!(c.step(&SimEvent::ElectLeader { leader: 2, quorum: vec![0, 2] }).is_err());
+        assert!(c
+            .step(&SimEvent::LeaderSyncFollower {
+                leader: 2,
+                follower: 0
+            })
+            .is_err());
+        assert!(c
+            .step(&SimEvent::FollowerHandleUpToDate { follower: 0 })
+            .is_err());
+        c.step(&SimEvent::ElectLeader {
+            leader: 2,
+            quorum: vec![0, 2],
+        })
+        .unwrap();
+        assert!(c
+            .step(&SimEvent::ElectLeader {
+                leader: 2,
+                quorum: vec![0, 2]
+            })
+            .is_err());
         assert!(c.step(&SimEvent::Skip).is_ok());
     }
 
     #[test]
     fn crash_and_restart_preserve_the_disk() {
         let mut c = cluster(CodeVersion::V391);
-        c.nodes[1].server.disk.log.push(remix_zab::Txn::new(1, 1, 1));
+        c.nodes[1]
+            .server
+            .disk
+            .log
+            .push(remix_zab::Txn::new(1, 1, 1));
         c.nodes[1].server.disk.current_epoch = 1;
         c.step(&SimEvent::Crash { node: 1 }).unwrap();
         assert!(!c.observe().nodes[1].up);

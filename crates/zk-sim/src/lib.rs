@@ -3,10 +3,10 @@
 //!
 //! This crate plays the role of the ZooKeeper Java implementation in the paper's
 //! conformance-checking loop (§3.4, §3.5): it is structured like the code — a
-//! [`LeaderServer`](node::LeaderServer) with per-learner handlers, a
-//! [`FollowerServer`](node::FollowerServer) whose `Learner.syncWithLeader` loop processes
+//! [`LeaderServer`] with per-learner handlers, a
+//! [`FollowerServer`] whose `Learner.syncWithLeader` loop processes
 //! quorum packets, and the `SyncRequestProcessor` / `CommitProcessor` threads with their
-//! queues — but every thread step is an explicit [`SimEvent`](cluster::SimEvent) executed
+//! queues — but every thread step is an explicit [`SimEvent`] executed
 //! by the central scheduler, so the Remix coordinator can control the interleaving
 //! exactly as AspectJ instrumentation plus the RMI coordinator do for the real system.
 //!

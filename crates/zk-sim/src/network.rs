@@ -26,7 +26,10 @@ pub struct Network {
 impl Network {
     /// Creates a network for `n` servers.
     pub fn new(n: usize) -> Self {
-        Network { channels: vec![vec![Vec::new(); n]; n], partitioned: BTreeSet::new() }
+        Network {
+            channels: vec![vec![Vec::new(); n]; n],
+            partitioned: BTreeSet::new(),
+        }
     }
 
     /// Number of servers.
@@ -95,7 +98,13 @@ mod tests {
     fn channels_are_fifo_per_pair() {
         let mut n = Network::new(3);
         n.send(0, 1, Message::UpToDate { zxid: Zxid::ZERO });
-        n.send(0, 1, Message::Commit { zxid: Zxid::new(1, 1) });
+        n.send(
+            0,
+            1,
+            Message::Commit {
+                zxid: Zxid::new(1, 1),
+            },
+        );
         assert_eq!(n.in_flight(), 2);
         assert_eq!(n.recv(0, 1).unwrap().kind(), "UPTODATE");
         assert_eq!(n.recv(0, 1).unwrap().kind(), "COMMIT");

@@ -158,7 +158,13 @@ impl FollowerServer {
     }
 
     /// Handles the synchronization payload (DIFF / TRUNC / SNAP).
-    pub fn handle_sync_packets(&mut self, mode: SyncMode, txns: Vec<Txn>, committed_upto: Zxid, trunc_to: Zxid) {
+    pub fn handle_sync_packets(
+        &mut self,
+        mode: SyncMode,
+        txns: Vec<Txn>,
+        committed_upto: Zxid,
+        trunc_to: Zxid,
+    ) {
         match mode {
             SyncMode::Diff => {
                 for t in &self.disk.log[self.disk.committed..] {
@@ -179,7 +185,12 @@ impl FollowerServer {
             }
             SyncMode::Snap => {
                 self.disk.log = txns;
-                self.disk.committed = self.disk.log.iter().filter(|t| t.zxid <= committed_upto).count();
+                self.disk.committed = self
+                    .disk
+                    .log
+                    .iter()
+                    .filter(|t| t.zxid <= committed_upto)
+                    .count();
                 self.packets_not_committed.clear();
                 self.packets_committed.clear();
             }
@@ -214,7 +225,9 @@ impl FollowerServer {
     /// One iteration of the `SyncRequestProcessor` thread: append a queued request to the
     /// log and acknowledge it.
     pub fn sync_processor_run_once(&mut self, network: &mut Network) -> bool {
-        let Some(txn) = self.sync_processor.poll() else { return false };
+        let Some(txn) = self.sync_processor.poll() else {
+            return false;
+        };
         self.disk.log.push(txn);
         if self.run_state == RunState::Following {
             if let Some(leader) = self.leader {
@@ -230,9 +243,11 @@ impl FollowerServer {
             return false;
         }
         let zxid = self.commit_processor.queue[0];
-        let already = self.disk.log[..self.disk.committed].iter().any(|t| t.zxid == zxid);
-        let is_next =
-            self.disk.committed < self.disk.log.len() && self.disk.log[self.disk.committed].zxid == zxid;
+        let already = self.disk.log[..self.disk.committed]
+            .iter()
+            .any(|t| t.zxid == zxid);
+        let is_next = self.disk.committed < self.disk.log.len()
+            && self.disk.log[self.disk.committed].zxid == zxid;
         if !already && !is_next && !bugs.commit_requires_logged_txn {
             // Fixed implementation: wait for the logging thread.
             return false;
@@ -243,14 +258,20 @@ impl FollowerServer {
         } else if is_next {
             self.disk.committed += 1;
         } else {
-            self.raise(format!("ZK-3023: committing {zxid} which is not logged yet"));
+            self.raise(format!(
+                "ZK-3023: committing {zxid} which is not logged yet"
+            ));
         }
         true
     }
 
     /// Handles a COMMIT received while still synchronizing (the ZK-4394 code path).
     pub fn handle_commit_in_sync(&mut self, zxid: Zxid, bugs: &BugFlags, masked: bool) {
-        if let Some(pos) = self.packets_not_committed.iter().position(|t| t.zxid == zxid) {
+        if let Some(pos) = self
+            .packets_not_committed
+            .iter()
+            .position(|t| t.zxid == zxid)
+        {
             if pos == 0 {
                 self.packets_committed.push(zxid);
             } else {
@@ -284,8 +305,10 @@ impl FollowerServer {
                 self.sync_processor.offer(p);
             }
             let deferred: Vec<Zxid> = self.packets_committed.drain(..).collect();
-            let already: BTreeSet<Zxid> =
-                self.disk.log[..self.disk.committed].iter().map(|t| t.zxid).collect();
+            let already: BTreeSet<Zxid> = self.disk.log[..self.disk.committed]
+                .iter()
+                .map(|t| t.zxid)
+                .collect();
             let mut to_commit: Vec<Zxid> = Vec::new();
             for t in self.disk.log.iter().chain(self.sync_processor.queue.iter()) {
                 if t.zxid <= zxid && !already.contains(&t.zxid) && !to_commit.contains(&t.zxid) {
@@ -314,7 +337,11 @@ impl FollowerServer {
             self.raise("PROPOSAL epoch mismatch");
             return;
         }
-        if self.disk.log.last().is_some_and(|last| txn.zxid <= last.zxid)
+        if self
+            .disk
+            .log
+            .last()
+            .is_some_and(|last| txn.zxid <= last.zxid)
             && !self.sync_processor.queue.iter().any(|t| t.zxid == txn.zxid)
         {
             self.raise("PROPOSAL zxid not beyond the log");
@@ -413,16 +440,39 @@ impl LeaderServer {
     pub fn sync_follower(&mut self, follower: Sid, disk: &Disk, network: &mut Network) {
         let follower_zxid = *self.learners.get(&follower).unwrap_or(&Zxid::ZERO);
         let leader_last = disk.last_zxid();
-        let committed_upto =
-            if disk.committed > 0 { disk.log[disk.committed - 1].zxid } else { Zxid::ZERO };
+        let committed_upto = if disk.committed > 0 {
+            disk.log[disk.committed - 1].zxid
+        } else {
+            Zxid::ZERO
+        };
         let known = follower_zxid == Zxid::ZERO || disk.log.iter().any(|t| t.zxid == follower_zxid);
         let payload = if follower_zxid == leader_last {
-            Message::SyncPackets { mode: SyncMode::Diff, txns: vec![], committed_upto, trunc_to: Zxid::ZERO }
+            Message::SyncPackets {
+                mode: SyncMode::Diff,
+                txns: vec![],
+                committed_upto,
+                trunc_to: Zxid::ZERO,
+            }
         } else if follower_zxid > leader_last {
-            Message::SyncPackets { mode: SyncMode::Trunc, txns: vec![], committed_upto, trunc_to: leader_last }
+            Message::SyncPackets {
+                mode: SyncMode::Trunc,
+                txns: vec![],
+                committed_upto,
+                trunc_to: leader_last,
+            }
         } else if known {
-            let txns = disk.log.iter().filter(|t| t.zxid > follower_zxid).copied().collect();
-            Message::SyncPackets { mode: SyncMode::Diff, txns, committed_upto, trunc_to: Zxid::ZERO }
+            let txns = disk
+                .log
+                .iter()
+                .filter(|t| t.zxid > follower_zxid)
+                .copied()
+                .collect();
+            Message::SyncPackets {
+                mode: SyncMode::Diff,
+                txns,
+                committed_upto,
+                trunc_to: Zxid::ZERO,
+            }
         } else {
             Message::SyncPackets {
                 mode: SyncMode::Snap,
@@ -433,7 +483,14 @@ impl LeaderServer {
         };
         self.synced.insert(follower);
         network.send(self.sid, follower, payload);
-        network.send(self.sid, follower, Message::NewLeader { epoch: self.epoch, zxid: leader_last });
+        network.send(
+            self.sid,
+            follower,
+            Message::NewLeader {
+                epoch: self.epoch,
+                zxid: leader_last,
+            },
+        );
     }
 
     /// `Leader.processAck` while still waiting for the quorum of NEWLEADER acks.
@@ -454,7 +511,9 @@ impl LeaderServer {
                 return true;
             }
         } else if bugs.leader_rejects_early_proposal_ack {
-            self.raise(format!("ZK-4685: unexpected ACK {zxid} while waiting for NEWLEADER acks"));
+            self.raise(format!(
+                "ZK-4685: unexpected ACK {zxid} while waiting for NEWLEADER acks"
+            ));
         } else {
             self.outstanding.entry(zxid).or_default().insert(from);
         }
@@ -463,7 +522,8 @@ impl LeaderServer {
 
     /// Establishes the epoch: commit the initial history and release COMMITs + UPTODATE.
     pub fn establish(&mut self, disk: &mut Disk, network: &mut Network) {
-        let newly_committed: Vec<Zxid> = disk.log[disk.committed..].iter().map(|t| t.zxid).collect();
+        let newly_committed: Vec<Zxid> =
+            disk.log[disk.committed..].iter().map(|t| t.zxid).collect();
         disk.current_epoch = self.epoch;
         disk.committed = disk.log.len();
         self.established = true;
@@ -515,7 +575,9 @@ impl LeaderServer {
                     break;
                 }
                 let next = disk.log[disk.committed].zxid;
-                let Some(a) = self.outstanding.get(&next) else { break };
+                let Some(a) = self.outstanding.get(&next) else {
+                    break;
+                };
                 if a.len() < quorum {
                     break;
                 }
@@ -527,8 +589,11 @@ impl LeaderServer {
             }
         } else if !self.newleader_acks.contains(&from) {
             // Late NEWLEADER ack: replay the missed proposals and commits, then UPTODATE.
-            let committed_upto =
-                if disk.committed > 0 { disk.log[disk.committed - 1].zxid } else { Zxid::ZERO };
+            let committed_upto = if disk.committed > 0 {
+                disk.log[disk.committed - 1].zxid
+            } else {
+                Zxid::ZERO
+            };
             let missed: Vec<Txn> = disk.log.iter().filter(|t| t.zxid > zxid).copied().collect();
             for t in missed {
                 network.send(self.sid, from, Message::Proposal { txn: t });
@@ -537,7 +602,13 @@ impl LeaderServer {
                 }
             }
             self.newleader_acks.insert(from);
-            network.send(self.sid, from, Message::UpToDate { zxid: disk.last_zxid() });
+            network.send(
+                self.sid,
+                from,
+                Message::UpToDate {
+                    zxid: disk.last_zxid(),
+                },
+            );
         }
     }
 }
@@ -555,7 +626,10 @@ pub struct NodeHandle {
 impl NodeHandle {
     /// A freshly booted node.
     pub fn new(sid: Sid) -> Self {
-        NodeHandle { server: FollowerServer::new(sid), leader: None }
+        NodeHandle {
+            server: FollowerServer::new(sid),
+            leader: None,
+        }
     }
 }
 
@@ -581,12 +655,21 @@ mod tests {
         let mut net = Network::new(3);
         let mut f = FollowerServer::new(0);
         f.start_following(2, 1);
-        f.handle_sync_packets(SyncMode::Diff, vec![Txn::new(1, 1, 1)], Zxid::new(1, 1), Zxid::ZERO);
+        f.handle_sync_packets(
+            SyncMode::Diff,
+            vec![Txn::new(1, 1, 1)],
+            Zxid::new(1, 1),
+            Zxid::ZERO,
+        );
         assert_eq!(f.packets_not_committed.len(), 1);
         f.newleader_update_epoch(1);
         assert_eq!(f.disk.current_epoch, 1);
         f.newleader_log_requests(&bugs);
-        assert_eq!(f.sync_processor.queue.len(), 1, "asynchronous logging queues the packet");
+        assert_eq!(
+            f.sync_processor.queue.len(),
+            1,
+            "asynchronous logging queues the packet"
+        );
         assert!(f.disk.log.is_empty());
         f.newleader_write_ack(Zxid::new(1, 1), &mut net);
         assert_eq!(net.peek(0, 2).unwrap().kind(), "ACK");
@@ -614,7 +697,10 @@ mod tests {
         let mut g = f.clone();
         assert!(f.commit_processor_run_once(&buggy));
         assert!(f.error.as_deref().unwrap_or("").contains("ZK-3023"));
-        assert!(!g.commit_processor_run_once(&fixed), "fixed build waits for the log");
+        assert!(
+            !g.commit_processor_run_once(&fixed),
+            "fixed build waits for the log"
+        );
         assert!(g.error.is_none());
     }
 
@@ -635,7 +721,11 @@ mod tests {
     fn leader_sync_and_establishment_flow() {
         let bugs = CodeVersion::V391.bugs();
         let mut net = Network::new(3);
-        let mut disk = Disk { log: vec![Txn::new(1, 1, 1)], committed: 0, ..Disk::default() };
+        let mut disk = Disk {
+            log: vec![Txn::new(1, 1, 1)],
+            committed: 0,
+            ..Disk::default()
+        };
         let mut l = LeaderServer::new(2, 2);
         l.register_learner(0, Zxid::ZERO);
         l.sync_follower(0, &disk, &mut net);
@@ -648,8 +738,9 @@ mod tests {
         assert_eq!(disk.committed, 1);
         assert_eq!(disk.current_epoch, 2);
         // The uncommitted tail is committed and released before UPTODATE (ZK-4394 fuel).
-        let kinds: Vec<&str> = std::iter::from_fn(|| net.recv(2, 0)).map(|m| m.kind()).collect::<Vec<_>>()
-            [2..]
+        let kinds: Vec<&str> = std::iter::from_fn(|| net.recv(2, 0))
+            .map(|m| m.kind())
+            .collect::<Vec<_>>()[2..]
             .to_vec();
         assert_eq!(kinds, vec!["COMMIT", "UPTODATE"]);
     }
@@ -658,7 +749,11 @@ mod tests {
     fn early_proposal_ack_raises_zk4685_on_buggy_builds() {
         let buggy = CodeVersion::V391.bugs();
         let tolerant = CodeVersion::FinalFix.bugs();
-        let disk = Disk { log: vec![Txn::new(1, 1, 1)], committed: 1, ..Disk::default() };
+        let disk = Disk {
+            log: vec![Txn::new(1, 1, 1)],
+            committed: 1,
+            ..Disk::default()
+        };
         let mut l = LeaderServer::new(2, 2);
         l.process_ack_during_sync(0, Zxid::new(1, 9), &disk, &buggy, 2);
         assert!(l.error.as_deref().unwrap_or("").contains("ZK-4685"));

@@ -71,12 +71,20 @@ impl Observation {
 
     /// The variables this observation can project (the conformance-checkable subset).
     pub fn comparable_variables() -> &'static [&'static str] {
-        &["currentEpoch", "acceptedEpoch", "history", "lastCommitted", "violation"]
+        &[
+            "currentEpoch",
+            "acceptedEpoch",
+            "history",
+            "lastCommitted",
+            "violation",
+        ]
     }
 
     /// The first error raised by any node, if any.
     pub fn first_error(&self) -> Option<(&NodeObservation, &str)> {
-        self.nodes.iter().find_map(|n| n.error.as_deref().map(|e| (n, e)))
+        self.nodes
+            .iter()
+            .find_map(|n| n.error.as_deref().map(|e| (n, e)))
     }
 }
 
@@ -114,8 +122,14 @@ mod tests {
         let o = obs();
         let p = o.project(Observation::comparable_variables());
         assert_eq!(p.len(), 5);
-        assert_eq!(p["currentEpoch"], Value::Seq(vec![Value::Int(1), Value::Int(0)]));
-        assert_eq!(p["lastCommitted"], Value::Seq(vec![Value::Int(1), Value::Int(0)]));
+        assert_eq!(
+            p["currentEpoch"],
+            Value::Seq(vec![Value::Int(1), Value::Int(0)])
+        );
+        assert_eq!(
+            p["lastCommitted"],
+            Value::Seq(vec![Value::Int(1), Value::Int(0)])
+        );
         assert_eq!(p["violation"], Value::Bool(true));
         let history = p["history"].as_seq().unwrap();
         assert_eq!(history[0].len(), 1);

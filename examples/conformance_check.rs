@@ -10,7 +10,11 @@ use multigrained::zab::{ClusterConfig, CodeVersion, SpecPreset};
 fn main() {
     let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
     let checker = ConformanceChecker::new(config);
-    let options = ConformanceOptions { traces: 24, max_depth: 28, ..Default::default() };
+    let options = ConformanceOptions {
+        traces: 24,
+        max_depth: 28,
+        ..Default::default()
+    };
 
     for preset in [SpecPreset::MSpec1, SpecPreset::MSpec3] {
         let spec = preset.build(&config);
@@ -27,7 +31,13 @@ fn main() {
         // checking surfaces the model-code gap that motivates the fine-grained spec.
         if let Some(d) = report.discrepancies.first() {
             match d {
-                Discrepancy::VariableMismatch { action, variable, model, implementation, .. } => {
+                Discrepancy::VariableMismatch {
+                    action,
+                    variable,
+                    model,
+                    implementation,
+                    ..
+                } => {
                     println!("  first discrepancy after {action}: {variable} model={model} impl={implementation}");
                 }
                 other => println!("  first discrepancy: {other:?}"),

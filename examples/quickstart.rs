@@ -16,10 +16,19 @@ fn main() {
     // Compose mSpec-3: coarsened Election/Discovery, fine-grained (atomicity +
     // concurrency) Synchronization and Broadcast.  The composer also reports the
     // interaction-preservation check for the coarsened modules.
-    let composed = Composer::new(config).compose_preset(SpecPreset::MSpec3).expect("compose");
-    println!("composed {} with {} actions and {} invariants", composed.spec.name,
-        composed.spec.action_count(), composed.spec.invariants.len());
-    println!("interaction preserved by the coarsening: {}", composed.interaction_preserved());
+    let composed = Composer::new(config)
+        .compose_preset(SpecPreset::MSpec3)
+        .expect("compose");
+    println!(
+        "composed {} with {} actions and {} invariants",
+        composed.spec.name,
+        composed.spec.action_count(),
+        composed.spec.invariants.len()
+    );
+    println!(
+        "interaction preserved by the coarsening: {}",
+        composed.interaction_preserved()
+    );
 
     // Model-check it (stop at the first violation), exactly the Table 4 workflow.
     let verifier = Verifier::new(config);
@@ -30,7 +39,11 @@ fn main() {
     println!("\n{}", run.outcome);
 
     if let Some(violation) = run.outcome.first_violation() {
-        println!("counterexample for {} ({} transitions):", violation.invariant, violation.trace.depth());
+        println!(
+            "counterexample for {} ({} transitions):",
+            violation.invariant,
+            violation.trace.depth()
+        );
         for label in violation.trace.action_labels() {
             println!("  -> {label}");
         }

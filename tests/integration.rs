@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use multigrained::checker::{check_bfs, CheckOptions};
-use multigrained::remix::{Composer, ConformanceChecker, ConformanceOptions, Verifier, VerifierOptions};
+use multigrained::remix::{
+    Composer, ConformanceChecker, ConformanceOptions, Verifier, VerifierOptions,
+};
 use multigrained::spec::Granularity;
 use multigrained::zab::modules::{BROADCAST, ELECTION, SYNCHRONIZATION};
 use multigrained::zab::protocol::{protocol_spec, ProtocolVariant};
@@ -20,8 +22,14 @@ fn table1_compositions_are_available_and_interaction_preserving() {
         assert!(composed.spec.module_granularity(BROADCAST).is_some());
     }
     let m3 = composer.compose_preset(SpecPreset::MSpec3).unwrap();
-    assert_eq!(m3.spec.module_granularity(ELECTION), Some(Granularity::Coarse));
-    assert_eq!(m3.spec.module_granularity(SYNCHRONIZATION), Some(Granularity::FineConcurrent));
+    assert_eq!(
+        m3.spec.module_granularity(ELECTION),
+        Some(Granularity::Coarse)
+    );
+    assert_eq!(
+        m3.spec.module_granularity(SYNCHRONIZATION),
+        Some(Granularity::FineConcurrent)
+    );
     assert_eq!(m3.spec.invariants.len(), 14);
 }
 
@@ -29,7 +37,9 @@ fn table1_compositions_are_available_and_interaction_preserving() {
 fn coarse_election_collapses_the_state_space() {
     // The same bounded exploration covers far fewer states once Election and Discovery
     // are coarsened — the mechanism behind the Table 5 speedups.
-    let config = ClusterConfig::small(CodeVersion::V391).with_transactions(0).with_crashes(0);
+    let config = ClusterConfig::small(CodeVersion::V391)
+        .with_transactions(0)
+        .with_crashes(0);
     let baseline = SpecPreset::SysSpec.build(&config);
     let coarse = SpecPreset::MSpec1.build(&config);
     let options = CheckOptions::default().with_max_states(30_000);
@@ -44,29 +54,46 @@ fn coarse_election_collapses_the_state_space() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn fine_grained_specs_find_bugs_coarse_specs_miss() {
     // mSpec-1 (atomic synchronization) passes; mSpec-3 (fine-grained) finds a violation.
     let config = ClusterConfig::small(CodeVersion::V391).with_transactions(1);
     let verifier = Verifier::new(config);
     let budget = VerifierOptions::default().with_time_budget(Duration::from_secs(90));
     let m1 = verifier.verify_preset(SpecPreset::MSpec1, &budget);
-    assert!(m1.passed(), "mSpec-1 misses the concurrency bugs: {}", m1.outcome);
+    assert!(
+        m1.passed(),
+        "mSpec-1 misses the concurrency bugs: {}",
+        m1.outcome
+    );
     let m3 = verifier.verify_preset(SpecPreset::MSpec3, &budget);
     assert!(!m3.passed(), "mSpec-3 must expose a code-level bug");
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn every_pull_request_is_rejected_and_the_final_fix_passes() {
-    for version in [CodeVersion::Pr1930, CodeVersion::Pr1993, CodeVersion::Pr2111] {
+    for version in [
+        CodeVersion::Pr1930,
+        CodeVersion::Pr1993,
+        CodeVersion::Pr2111,
+    ] {
         let config = ClusterConfig::small(version);
         let verifier = Verifier::new(config);
         let run = verifier.verify_preset(
             SpecPreset::MSpec3,
             &VerifierOptions::default().with_time_budget(Duration::from_secs(90)),
         );
-        assert!(!run.passed(), "{version:?} should still violate an invariant");
+        assert!(
+            !run.passed(),
+            "{version:?} should still violate an invariant"
+        );
     }
     let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
     let verifier = Verifier::new(config);
@@ -80,7 +107,10 @@ fn every_pull_request_is_rejected_and_the_final_fix_passes() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn violation_traces_are_confirmed_at_the_code_level() {
     // Find a violation with mSpec-3 and deterministically replay it against the
     // code-level simulator (§3.5.3): the implementation must reach a matching error or
@@ -101,17 +131,31 @@ fn violation_traces_are_confirmed_at_the_code_level() {
 fn conformance_checking_detects_the_baseline_model_code_gap() {
     let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
     let checker = ConformanceChecker::new(config);
-    let options = ConformanceOptions { traces: 16, max_depth: 24, ..Default::default() };
+    let options = ConformanceOptions {
+        traces: 16,
+        max_depth: 24,
+        ..Default::default()
+    };
     let baseline = SpecPreset::MSpec1.build(&config);
     let fine = SpecPreset::MSpec3.build(&config);
     let baseline_report = checker.check(&baseline, &options);
     let fine_report = checker.check(&fine, &options);
-    assert!(!baseline_report.conforms(), "baseline spec hides the asynchronous commit");
-    assert!(fine_report.conforms(), "{:?}", fine_report.discrepancies.first());
+    assert!(
+        !baseline_report.conforms(),
+        "baseline spec hides the asynchronous commit"
+    );
+    assert!(
+        fine_report.conforms(),
+        "{:?}",
+        fine_report.discrepancies.first()
+    );
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "expensive model-checking run; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "expensive model-checking run; use --release"
+)]
 fn protocol_specifications_satisfy_the_zab_safety_properties() {
     let config = ClusterConfig {
         max_transactions: 1,
@@ -128,6 +172,10 @@ fn protocol_specifications_satisfy_the_zab_safety_properties() {
                 .with_time_budget(Duration::from_secs(120))
                 .with_max_states(400_000),
         );
-        assert!(run.passed(), "{variant:?} must satisfy I-1..I-10: {}", run.outcome);
+        assert!(
+            run.passed(),
+            "{variant:?} must satisfy I-1..I-10: {}",
+            run.outcome
+        );
     }
 }

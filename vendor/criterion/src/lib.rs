@@ -1,0 +1,184 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion) harness.
+//!
+//! The build container has no network access to crates.io, so this crate implements the
+//! subset of criterion's API that the `remix-bench` bench targets use: benchmark groups,
+//! `sample_size` / `measurement_time` knobs, `bench_function` with a [`Bencher`] whose
+//! `iter` closure is timed, and the `criterion_group!` / `criterion_main!` macros.  The
+//! measurement model is intentionally simple — warm-up iterations followed by timed
+//! samples — and results are printed as text and appended as JSON lines to the file named
+//! by `CRITERION_JSON` (when set) so harness scripts can collect machine-readable rows.
+//!
+//! Swap this path dependency for the real `criterion` crate when network access is
+//! available; the bench sources compile unchanged.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running one warm-up call and then up to `sample_size` measured calls
+    /// (stopping early when the measurement-time budget is exhausted).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, not recorded.
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn summary(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let min = sorted[0];
+        let max = *sorted.last().unwrap();
+        Some((min, mean, max))
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        match bencher.summary() {
+            Some((min, mean, max)) => {
+                println!(
+                    "bench {full_id:<48} samples {:>3}  min {min:>10.3?}  mean {mean:>10.3?}  max {max:>10.3?}",
+                    bencher.samples.len()
+                );
+                self.criterion.record(&full_id, &bencher.samples);
+            }
+            None => println!("bench {full_id:<48} (no samples)"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting happens eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    json_sink: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a harness; honours the `CRITERION_JSON` environment variable as a path to
+    /// append one JSON object per finished benchmark to.
+    pub fn new() -> Self {
+        Criterion {
+            json_sink: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, id: &str, samples: &[Duration]) {
+        let Some(path) = &self.json_sink else { return };
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total.as_secs_f64() / sorted.len() as f64;
+        let line = format!(
+            "{{\"id\":\"{}\",\"samples\":{},\"min_s\":{:.6},\"mean_s\":{:.6},\"max_s\":{:.6}}}",
+            id.replace('"', "'"),
+            sorted.len(),
+            sorted[0].as_secs_f64(),
+            mean,
+            sorted.last().unwrap().as_secs_f64(),
+        );
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest) framework.
+//!
+//! The build container has no network access to crates.io, so this crate implements the
+//! subset of proptest's API used by the workspace's property tests: the [`Strategy`](strategy::Strategy)
+//! trait with `prop_map`, range and tuple strategies, [`collection::vec`], the
+//! `proptest!` macro, and the `prop_assert*` assertion macros.  Values are generated from
+//! a deterministic per-test RNG (seeded from the test name), so failures are
+//! reproducible; shrinking is not implemented — a failing case panics with the assertion
+//! message directly.
+//!
+//! Swap this path dependency for the real `proptest` crate when network access is
+//! available; the test sources compile unchanged.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual proptest imports: the [`Strategy`](strategy::Strategy) trait and the macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` that runs the body for [`test_runner::CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion; panics (no shrinking) when the condition fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
