@@ -1,0 +1,95 @@
+//! Criterion bench for guided schedule exploration: uniform vs coverage-guided
+//! sampling of the §3.5.2 loop, plus the committed comparison artefact.
+//!
+//! Besides the timing loops, `bench_explore_artifact` runs the paired
+//! guided-vs-uniform comparison of `remix_bench::explore_comparison` — same seeds,
+//! same budgets, deep Table 4 invariants only (I-8/I-10) — and writes the rows to
+//! `BENCH_explore.json` (path overridable via `EXPLORE_JSON`).  Each row records the
+//! policy's time/traces to first violation, its coverage footprint, and how far delta
+//! debugging shrank the counterexample; uniform sampling typically finds nothing on
+//! these invariants within the budget, which is the asymmetry the artefact documents.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::explore_comparison;
+use remix_checker::{explore, ExploreOptions};
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
+
+/// One bounded sampling run for the timing loops (easy target: all invariants, so both
+/// policies stop at the first shallow violation and the loop measures sampling cost,
+/// not luck).
+fn sampling_run(guided: bool) -> usize {
+    let config = ClusterConfig::explore(CodeVersion::V391);
+    let spec = SpecPreset::MSpec3.build(&config);
+    let base = if guided {
+        ExploreOptions::default().guided(16)
+    } else {
+        ExploreOptions::default().uniform()
+    };
+    let options = ExploreOptions {
+        traces: 64,
+        max_depth: 40,
+        seed: 7,
+        time_budget: Some(Duration::from_secs(30)),
+        ..base
+    };
+    explore(&spec, &options).stats.traces
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_sampling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
+    group.bench_function("uniform", |b| b.iter(|| sampling_run(false)));
+    group.bench_function("coverage-guided", |b| b.iter(|| sampling_run(true)));
+    group.finish();
+}
+
+fn bench_explore_artifact(_c: &mut Criterion) {
+    // The committed artefact: paired runs on the deep invariants across several seeds.
+    let seeds = [1u64, 3, 7, 99, 0xC0FFEE];
+    let rows = explore_comparison(1024, 60, Duration::from_secs(15), &seeds);
+    for row in &rows {
+        println!(
+            "explore seed={} mode={}: violation={} first_violation_trace={:?} traces={} shrunk={:?}/{:?}",
+            row.seed,
+            row.mode,
+            row.violation_found,
+            row.first_violation_trace,
+            row.traces,
+            row.shrunk_depth,
+            row.original_depth,
+        );
+    }
+    let found = |mode: &str| {
+        rows.iter()
+            .filter(|r| r.mode == mode && r.violation_found)
+            .count()
+    };
+    // Benches run with the package directory as CWD; anchor the artefact at the
+    // workspace root unless overridden.
+    let path = std::env::var("EXPLORE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_explore.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"explore_guided\",\n  \"workload\": \"mSpec-3 on v3.9.1 (explore config), deep invariants I-8/I-10 only, {} traces x depth {} per run\",\n  \"seeds\": {},\n  \"uniform_runs_with_violation\": {},\n  \"guided_runs_with_violation\": {},\n  \"note\": \"paired seeds: each seed runs both policies with identical budgets; durations in milliseconds\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        1024,
+        60,
+        seeds.len(),
+        found("uniform"),
+        found("coverage-guided"),
+        rows.iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_sampling, bench_explore_artifact);
+criterion_main!(benches);

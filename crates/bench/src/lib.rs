@@ -7,10 +7,10 @@
 
 use std::time::Duration;
 
-use remix_checker::CheckMode;
+use remix_checker::{explore, shrink_violation, CheckMode, ExploreOptions};
 use remix_core::{
     BugReport, ComposedSpec, Composer, ConformanceChecker, ConformanceOptions, EfficiencyRow,
-    FixVerificationRow, Verifier, VerifierOptions,
+    ExploreRow, FixVerificationRow, Verifier, VerifierOptions,
 };
 use remix_spec::Granularity;
 use remix_zab::invariants::CODE_INVARIANT_INSTANCES;
@@ -339,6 +339,72 @@ pub fn improved_protocol(budget: Duration) -> Vec<(String, bool, usize)> {
         .collect()
 }
 
+/// Guided-vs-uniform schedule exploration (the sampling loop of §3.5.2 with and
+/// without coverage bias) on the deep data-inconsistency bug of Table 4 (ZK-4712's
+/// I-10 on v3.9.1, plus the ZK-4643 data-loss invariant I-8): for each seed, both
+/// policies get the same trace/time budget and the rows record how many traces each
+/// needed before the first violation, how much of the state space it covered, and how
+/// far delta debugging shrank the counterexample.
+///
+/// Uniform sampling spends its budget re-walking the hot election/discovery region and
+/// rarely reaches these violations at all; the coverage-guided policy biases toward
+/// rarely-fingerprinted successors and finds them on a subset of seeds — which is
+/// exactly the asymmetry `BENCH_explore.json` exists to document.
+pub fn explore_comparison(
+    traces: usize,
+    max_depth: u32,
+    budget: Duration,
+    seeds: &[u64],
+) -> Vec<ExploreRow> {
+    let config = ClusterConfig::explore(CodeVersion::V391);
+    let mut spec = SpecPreset::MSpec3.build(&config);
+    // Restrict to the deep bugs: the shallow invariants (I-11/I-14) are found within a
+    // handful of traces by either policy and would drown out the comparison.
+    spec.invariants.retain(|i| i.id == "I-8" || i.id == "I-10");
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        for (mode, base) in [
+            ("uniform", ExploreOptions::default().uniform()),
+            ("coverage-guided", ExploreOptions::default().guided(16)),
+        ] {
+            let options = ExploreOptions {
+                traces,
+                max_depth,
+                seed,
+                time_budget: Some(budget),
+                ..base
+            };
+            let outcome = explore(&spec, &options);
+            let (original_depth, shrunk_depth) = match outcome.first_violation() {
+                Some(v) => {
+                    let shrunk = shrink_violation(&spec, &v.trace, v.invariant);
+                    (
+                        Some(shrunk.original_depth as u32),
+                        Some(shrunk.shrunk_depth() as u32),
+                    )
+                }
+                None => (None, None),
+            };
+            rows.push(ExploreRow {
+                mode: mode.to_owned(),
+                spec: outcome.spec_name.clone(),
+                seed,
+                traces: outcome.stats.traces,
+                steps: outcome.stats.steps,
+                violation_found: !outcome.passed(),
+                time_to_violation: outcome.stats.time_to_first_violation,
+                first_violation_trace: outcome.stats.first_violation_trace,
+                original_depth,
+                shrunk_depth,
+                distinct_prefixes: outcome.stats.coverage.distinct_prefixes,
+                max_prefix_hits: outcome.stats.coverage.max_prefix_hits,
+                distinct_actions: outcome.stats.coverage.distinct_actions,
+            });
+        }
+    }
+    rows
+}
+
 /// §4.1 / §3.4: conformance checking of the baseline and fine-grained specifications
 /// against the v3.9.1 implementation.
 pub fn conformance_summary() -> Vec<(String, usize, usize, usize)> {
@@ -395,6 +461,27 @@ mod tests {
             "fine-grained modelling adds actions"
         );
         assert!(m3.instrumentation_points >= m1.instrumentation_points);
+    }
+
+    #[test]
+    fn explore_comparison_produces_paired_rows() {
+        // A tiny budget: the point here is row shape and JSON validity, not whether the
+        // deep bug is actually found (the bench target runs the real budgets).
+        let rows = explore_comparison(4, 20, Duration::from_secs(5), &[1, 2]);
+        assert_eq!(rows.len(), 4, "one row per (seed, mode) pair");
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].mode, "uniform");
+            assert_eq!(pair[1].mode, "coverage-guided");
+            assert_eq!(pair[0].seed, pair[1].seed);
+        }
+        for row in &rows {
+            assert!(row.traces >= 1);
+            assert!(row.distinct_prefixes > 0);
+            if let (Some(original), Some(shrunk)) = (row.original_depth, row.shrunk_depth) {
+                assert!(shrunk <= original);
+            }
+            assert!(row.to_json().contains("\"mode\""));
+        }
     }
 
     #[test]

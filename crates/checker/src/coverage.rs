@@ -1,0 +1,278 @@
+//! Coverage accounting for guided schedule exploration.
+//!
+//! The conformance loop of §3.5.2 samples model-level traces by *uniform* random walk,
+//! which keeps revisiting the hot regions of the state space (election/discovery churn)
+//! and rarely reaches the deep interleavings where the historical bugs live.  The guided
+//! explorer ([`mod@crate::explore`]) instead biases each action choice toward *rarely
+//! visited* territory, and this module provides the shared bookkeeping it biases on:
+//!
+//! * **per-fingerprint-prefix hit counters** — how often each region of the state space
+//!   (identified by the leading [`CoverageMap::prefix_bits`] bits of the 128-bit state
+//!   fingerprint) has been visited across all sampled traces, and
+//! * **per-action hit counters** — how often each action *definition* (the label up to
+//!   its instantiation arguments, e.g. `NodeCrash` for `NodeCrash(2)`) has been taken.
+//!
+//! The map is shared by all explorer workers, so it reuses the lock-striping scheme of
+//! the parallel BFS engine ([`crate::bfs`]): counters are split into power-of-two
+//! stripes — prefix counters keyed by the leading fingerprint bits, action counters by
+//! a hash of the definition name, so each counter lives on exactly one stripe and both
+//! reads and writes lock a single stripe.  Inserts only contend when two workers hit
+//! the same stripe, and contended acquisitions are counted so a run can report how much
+//! the sharing actually cost (mirroring `CheckStats::shard_contention`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::fingerprint::Fingerprint;
+
+/// One lock stripe of the coverage counters.
+struct CoverageShard {
+    /// Fingerprint-prefix → visit count.
+    prefixes: Mutex<HashMap<u64, u64>>,
+    /// Action definition name → taken count.
+    actions: Mutex<HashMap<String, u64>>,
+    /// Lock acquisitions on this stripe that found it already held.
+    contention: AtomicU64,
+}
+
+/// Lock-striped hit counters over fingerprint prefixes and action names.
+///
+/// All operations are `&self` and thread-safe; the map is designed to be shared by the
+/// workers of one guided exploration run (§3.5.2's sampling loop, made coverage-aware).
+pub struct CoverageMap {
+    shards: Vec<CoverageShard>,
+    /// `shards.len() - 1`; the stripe count is always a power of two.
+    mask: usize,
+    /// Right-shift extracting the coverage prefix from the leading fingerprint bits.
+    prefix_shift: u32,
+    /// Number of leading fingerprint bits that form a coverage prefix.
+    prefix_bits: u32,
+}
+
+/// A point-in-time summary of a [`CoverageMap`], reported alongside exploration stats
+/// (and serialized into `BENCH_explore.json` by the bench harness).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoverageSnapshot {
+    /// Number of distinct fingerprint prefixes visited.
+    pub distinct_prefixes: usize,
+    /// Total state visits recorded (one per trace step).
+    pub total_hits: u64,
+    /// The highest hit count of any single prefix (a measure of how hot the hottest
+    /// region was; uniform sampling drives this far above the mean).
+    pub max_prefix_hits: u64,
+    /// Number of distinct action definitions taken.
+    pub distinct_actions: usize,
+    /// Total contended lock acquisitions across all stripes.
+    pub contention: u64,
+}
+
+impl CoverageMap {
+    /// Creates a map with `shards` lock stripes (rounded up to a power of two) counting
+    /// hits at `prefix_bits`-bit fingerprint-prefix granularity (clamped to 1..=64).
+    ///
+    /// Coarser prefixes (fewer bits) make more states count as "the same region" and
+    /// push exploration away from anything resembling a visited state; finer prefixes
+    /// approach per-state novelty search.
+    pub fn new(shards: usize, prefix_bits: u32) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let prefix_bits = prefix_bits.clamp(1, 64);
+        CoverageMap {
+            shards: (0..n)
+                .map(|_| CoverageShard {
+                    prefixes: Mutex::new(HashMap::new()),
+                    actions: Mutex::new(HashMap::new()),
+                    contention: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: n - 1,
+            prefix_shift: 64 - prefix_bits,
+            prefix_bits,
+        }
+    }
+
+    /// The number of leading fingerprint bits that form a coverage prefix.
+    pub fn prefix_bits(&self) -> u32 {
+        self.prefix_bits
+    }
+
+    /// The coverage prefix of a fingerprint: its leading [`Self::prefix_bits`] bits.
+    pub fn prefix_of(&self, fp: Fingerprint) -> u64 {
+        fp.0 >> self.prefix_shift
+    }
+
+    fn shard_index(&self, prefix: u64) -> usize {
+        // The prefix already is the leading bits; stripe by its low bits so neighbouring
+        // prefixes spread across stripes.
+        (prefix as usize) & self.mask
+    }
+
+    /// The stripe owning an action definition's counter: FNV-1a of the name, so a
+    /// definition always lives on exactly one stripe and lookups lock only that one.
+    fn action_shard_index(&self, name: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) & self.mask
+    }
+
+    fn lock<'a, K, V>(
+        &'a self,
+        shard: &'a CoverageShard,
+        map: &'a Mutex<HashMap<K, V>>,
+    ) -> MutexGuard<'a, HashMap<K, V>> {
+        match map.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                shard.contention.fetch_add(1, Ordering::Relaxed);
+                map.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    /// Records one visit of the state with fingerprint `fp` reached by `action`, and
+    /// returns the prefix's hit count *before* this visit (so the caller can reason
+    /// about how novel the step was).
+    pub fn record(&self, fp: Fingerprint, action: &str) -> u64 {
+        let prefix = self.prefix_of(fp);
+        let shard = &self.shards[self.shard_index(prefix)];
+        let before = {
+            let mut prefixes = self.lock(shard, &shard.prefixes);
+            let slot = prefixes.entry(prefix).or_insert(0);
+            let before = *slot;
+            *slot += 1;
+            before
+        };
+        {
+            let name = action_definition(action);
+            let action_shard = &self.shards[self.action_shard_index(name)];
+            let mut actions = self.lock(action_shard, &action_shard.actions);
+            *actions.entry(name.to_owned()).or_insert(0) += 1;
+        }
+        before
+    }
+
+    /// Hit count of the state region containing `fp`.
+    pub fn prefix_hits(&self, fp: Fingerprint) -> u64 {
+        let prefix = self.prefix_of(fp);
+        let shard = &self.shards[self.shard_index(prefix)];
+        let prefixes = self.lock(shard, &shard.prefixes);
+        prefixes.get(&prefix).copied().unwrap_or(0)
+    }
+
+    /// Total hit count of an action definition (instantiation arguments are ignored, so
+    /// `NodeCrash(0)` and `NodeCrash(2)` share one counter).
+    ///
+    /// A definition's counter lives on exactly one stripe (keyed by the hash of its
+    /// name), so this locks a single stripe — it is on the guided explorer's
+    /// per-successor hot path.
+    pub fn action_hits_total(&self, action: &str) -> u64 {
+        let name = action_definition(action);
+        let shard = &self.shards[self.action_shard_index(name)];
+        let actions = self.lock(shard, &shard.actions);
+        actions.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summarizes the map.
+    pub fn snapshot(&self) -> CoverageSnapshot {
+        let mut snap = CoverageSnapshot::default();
+        for shard in &self.shards {
+            {
+                let prefixes = self.lock(shard, &shard.prefixes);
+                snap.distinct_prefixes += prefixes.len();
+                for hits in prefixes.values() {
+                    snap.total_hits += hits;
+                    snap.max_prefix_hits = snap.max_prefix_hits.max(*hits);
+                }
+            }
+            {
+                // A definition lives on exactly one stripe, so per-stripe map sizes sum
+                // to the distinct-definition count.
+                let actions = self.lock(shard, &shard.actions);
+                snap.distinct_actions += actions.len();
+            }
+            snap.contention += shard.contention.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// The action *definition* name of an instantiated label: everything before the first
+/// `(`, e.g. `NodeCrash` for `NodeCrash(2)`.
+pub fn action_definition(label: &str) -> &str {
+    label.split('(').next().unwrap_or(label).trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    #[test]
+    fn records_and_reports_hits() {
+        let map = CoverageMap::new(8, 16);
+        let fp = fingerprint(&42u64);
+        assert_eq!(map.prefix_hits(fp), 0);
+        assert_eq!(map.record(fp, "Step(1)"), 0);
+        assert_eq!(map.record(fp, "Step(2)"), 1);
+        assert_eq!(map.prefix_hits(fp), 2);
+        assert_eq!(
+            map.action_hits_total("Step(9)"),
+            2,
+            "arguments share a counter"
+        );
+        let snap = map.snapshot();
+        assert_eq!(snap.total_hits, 2);
+        assert_eq!(snap.distinct_prefixes, 1);
+        assert_eq!(snap.distinct_actions, 1);
+        assert_eq!(snap.max_prefix_hits, 2);
+    }
+
+    #[test]
+    fn prefix_granularity_buckets_states() {
+        // With a 1-bit prefix there are only two regions, so two distinct states very
+        // likely share one (and certainly at most two exist).
+        let map = CoverageMap::new(1, 1);
+        for i in 0..64u64 {
+            map.record(fingerprint(&i), "A");
+        }
+        let snap = map.snapshot();
+        assert!(snap.distinct_prefixes <= 2);
+        assert_eq!(snap.total_hits, 64);
+    }
+
+    #[test]
+    fn action_definition_strips_arguments() {
+        assert_eq!(action_definition("NodeCrash(2)"), "NodeCrash");
+        assert_eq!(action_definition("Init"), "Init");
+        assert_eq!(action_definition("Elect(1, [1, 2])"), "Elect");
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let map = CoverageMap::new(4, 12);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let map = &map;
+                scope.spawn(move || {
+                    for i in 0..256u64 {
+                        map.record(
+                            fingerprint(&(i % 16)),
+                            if t % 2 == 0 { "A(0)" } else { "B(1)" },
+                        );
+                    }
+                });
+            }
+        });
+        let snap = map.snapshot();
+        assert_eq!(snap.total_hits, 4 * 256);
+        assert_eq!(snap.distinct_actions, 2);
+        assert_eq!(
+            map.action_hits_total("A") + map.action_hits_total("B"),
+            4 * 256
+        );
+    }
+}

@@ -1,0 +1,613 @@
+//! Coverage-guided schedule exploration.
+//!
+//! The paper's conformance loop (§3.5.2) samples model-level traces by uniform random
+//! walk.  Uniform sampling wastes most of its budget re-walking the hot core of the
+//! state space: in the Zab model the election/discovery actions are enabled almost
+//! everywhere and keep funnelling walks through the same handful of states, while the
+//! interleavings behind the historical bugs (a crash *between* the epoch update and the
+//! history write, an acknowledgement *before* the sync processor ran) are reached by
+//! exactly one rare action sequence.
+//!
+//! [`explore`] keeps sampling traces, but each step draws the next action from a
+//! distribution biased toward *rarely covered* territory: successor states whose
+//! fingerprint prefix has a low hit count in the shared [`CoverageMap`], reached by
+//! action definitions that have been taken rarely (see [`Guidance::CoverageGuided`]).
+//! Every reachable state stays reachable — weights are never zero — so guided sampling
+//! is still probabilistically complete; it just stops paying rent on the hot loop.
+//!
+//! Sampling runs across [`ExploreOptions::workers`] threads, each trace seeded from its
+//! index exactly like the conformance checker's parallel replay
+//! (`CheckerRng::for_trace`), so with one worker a run is fully deterministic for a
+//! seed, and with many workers the *trace index → RNG stream* mapping still is (only
+//! the coverage bias, which depends on cross-worker interleaving, varies; see
+//! [`ExploreStats`]).  Violations found along the way carry their full trace and can be
+//! handed directly to [`crate::shrink`] for minimization.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use remix_spec::{Spec, SpecState, Trace};
+
+use crate::coverage::{CoverageMap, CoverageSnapshot};
+use crate::fingerprint::fingerprint;
+use crate::outcome::Violation;
+use crate::rng::CheckerRng;
+
+/// Default lock-stripe count of the shared coverage map (matches the BFS engine's
+/// default shard count; reused by `remix-core`'s guided conformance sampling).
+pub const DEFAULT_COVERAGE_SHARDS: usize = 64;
+
+/// Default fingerprint-prefix granularity of the coverage counters, in leading bits
+/// (reused by `remix-core`'s guided conformance sampling).
+pub const DEFAULT_PREFIX_BITS: u32 = 20;
+
+/// How the explorer chooses among enabled actions (§3.5.2's sampling policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guidance {
+    /// Uniform random choice — the paper's baseline sampling policy.
+    Uniform,
+    /// Coverage-guided choice: each successor is weighted by the *rarity* of its
+    /// fingerprint prefix and of its action definition in the shared coverage map.
+    CoverageGuided {
+        /// Strength of the rarity bias.  A successor's weight is
+        /// `rarity_weight * SCALE / (1 + hits) + 1`, so `0` degenerates to uniform and
+        /// larger values focus harder on unvisited regions while never zeroing out the
+        /// hot ones (every enabled action keeps positive probability).
+        rarity_weight: u32,
+    },
+}
+
+impl Default for Guidance {
+    fn default() -> Self {
+        Guidance::CoverageGuided { rarity_weight: 16 }
+    }
+}
+
+/// Options of a guided exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Maximum number of traces to sample (the sampling budget of §3.5.2).
+    pub traces: usize,
+    /// Maximum length (in transitions) of each trace.
+    pub max_depth: u32,
+    /// Base seed; trace `i` samples from `CheckerRng::for_trace(seed, i)`, making the
+    /// per-trace RNG streams independent of the worker count.
+    pub seed: u64,
+    /// Worker threads sampling traces concurrently over disjoint index stripes, like
+    /// the conformance checker's parallel replay.
+    pub workers: usize,
+    /// Wall-clock budget; sampling stops scheduling new traces once it expires.  At
+    /// least one trace is always produced.
+    pub time_budget: Option<Duration>,
+    /// The sampling policy (uniform baseline vs coverage-guided).
+    pub guidance: Guidance,
+    /// Lock stripes of the shared coverage map (see [`CoverageMap::new`] and the
+    /// identically-motivated `CheckOptions::shards`).
+    pub shards: usize,
+    /// Fingerprint-prefix granularity of the coverage counters, in leading bits.
+    pub prefix_bits: u32,
+    /// Stop scheduling new traces once any invariant violation has been found
+    /// (time-to-first-violation mode; in-flight traces still complete).
+    pub stop_on_violation: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            traces: 256,
+            max_depth: 40,
+            seed: 0xC0FFEE,
+            workers: 1,
+            time_budget: None,
+            guidance: Guidance::default(),
+            shards: DEFAULT_COVERAGE_SHARDS,
+            prefix_bits: DEFAULT_PREFIX_BITS,
+            stop_on_violation: true,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Switches to the uniform baseline policy.
+    pub fn uniform(mut self) -> Self {
+        self.guidance = Guidance::Uniform;
+        self
+    }
+
+    /// Switches to coverage-guided sampling with the given rarity weight.
+    pub fn guided(mut self, rarity_weight: u32) -> Self {
+        self.guidance = Guidance::CoverageGuided { rarity_weight };
+        self
+    }
+
+    /// Sets the sampling budget in traces.
+    pub fn with_traces(mut self, traces: usize) -> Self {
+        self.traces = traces;
+        self
+    }
+
+    /// Sets the per-trace depth bound.
+    pub fn with_max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+}
+
+/// Statistics of an exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Number of traces sampled.
+    pub traces: usize,
+    /// Total transitions taken across all traces.
+    pub steps: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// The lowest trace index on which a violation was found, if any.  For a fixed seed
+    /// this is deterministic with one worker; with several workers the sampled traces
+    /// are identical but the early-stop point may shift, so indices are comparable only
+    /// within a worker count.
+    pub first_violation_trace: Option<usize>,
+    /// Wall-clock time from the start of the run to the first recorded violation.
+    pub time_to_first_violation: Option<Duration>,
+    /// Snapshot of the shared coverage map at the end of the run.
+    pub coverage: CoverageSnapshot,
+}
+
+/// The outcome of a guided exploration run.
+#[derive(Debug)]
+pub struct ExploreOutcome<S> {
+    /// The name of the explored specification.
+    pub spec_name: String,
+    /// Violations found, at most one per invariant (the one on the lowest trace index),
+    /// each carrying the full sampled trace as a counterexample.
+    pub violations: Vec<Violation<S>>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+impl<S> ExploreOutcome<S> {
+    /// `true` when no invariant violation was found.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation found (lowest trace index, then shallowest), if any.
+    ///
+    /// `violations` is merged in `(trace index, depth, invariant)` order, so this is
+    /// the violation [`ExploreStats::first_violation_trace`] refers to.  With one
+    /// worker [`ExploreStats::time_to_first_violation`] describes it too; with several
+    /// workers the wall-clock minimum may have been observed for a later-index
+    /// violation that a faster worker reached first.
+    pub fn first_violation(&self) -> Option<&Violation<S>> {
+        self.violations.first()
+    }
+}
+
+/// A violation found while sampling, tagged with its trace index for deterministic
+/// merging.
+struct IndexedViolation<S> {
+    trace_index: usize,
+    violation: Violation<S>,
+}
+
+/// Samples one trace, biased by `guidance` over the shared `coverage` map.
+///
+/// Like [`crate::simulate::simulate_one`] this returns a legal execution — every step
+/// applies one enabled action — and handles the degenerate cases without panicking: an
+/// empty initial-state set yields an empty trace, and `max_depth == 0` yields the
+/// initial state alone.
+pub fn explore_one<S: SpecState>(
+    spec: &Spec<S>,
+    max_depth: u32,
+    rng: &mut CheckerRng,
+    coverage: &CoverageMap,
+    guidance: Guidance,
+) -> Trace<S> {
+    if spec.init.is_empty() {
+        return Trace::default();
+    }
+    let init = spec.init[rng.index(spec.init.len())].clone();
+    coverage.record(fingerprint(&init), "Init");
+    let mut trace = Trace::from_init(init.clone());
+    let mut current = init;
+    for _ in 0..max_depth {
+        let successors = spec.successors(&current);
+        if successors.is_empty() {
+            break;
+        }
+        let choice = match guidance {
+            Guidance::Uniform => rng.index(successors.len()),
+            Guidance::CoverageGuided { rarity_weight } => {
+                weighted_choice(&successors, coverage, rarity_weight, rng)
+            }
+        };
+        let (label, next) = successors
+            .into_iter()
+            .nth(choice)
+            .expect("choice is in bounds");
+        coverage.record(fingerprint(&next), &label);
+        trace.push(label, next.clone());
+        current = next;
+    }
+    trace
+}
+
+/// Weighted successor choice: weight `rarity_weight * SCALE / (1 + hits) + 1` where
+/// `hits` combines the successor's fingerprint-prefix count and its action definition
+/// count.  The `+ 1` floor keeps every enabled action reachable.
+fn weighted_choice<S: SpecState>(
+    successors: &[(String, S)],
+    coverage: &CoverageMap,
+    rarity_weight: u32,
+    rng: &mut CheckerRng,
+) -> usize {
+    const SCALE: u64 = 1024;
+    let weights: Vec<u64> = successors
+        .iter()
+        .map(|(label, next)| {
+            let hits = coverage
+                .prefix_hits(fingerprint(next))
+                .saturating_add(coverage.action_hits_total(label));
+            (rarity_weight as u64).saturating_mul(SCALE) / (1 + hits) + 1
+        })
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let mut r = rng.next_u64() % total;
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            return i;
+        }
+        r -= w;
+    }
+    weights.len() - 1
+}
+
+/// Runs coverage-guided (or uniform) trace sampling of `spec` under `options`,
+/// checking every visited state against the specification's invariants.
+pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> ExploreOutcome<S> {
+    let start = Instant::now();
+    let total = options.traces.max(1);
+    let workers = options.workers.max(1).min(total);
+    let coverage = CoverageMap::new(options.shards, options.prefix_bits);
+    let stop = AtomicBool::new(false);
+    let first_violation_nanos = AtomicU64::new(u64::MAX);
+
+    let run_stripe = |worker: usize| -> (usize, u64, Vec<IndexedViolation<S>>) {
+        let mut traces = 0usize;
+        let mut steps = 0u64;
+        let mut found: Vec<IndexedViolation<S>> = Vec::new();
+        let mut index = worker;
+        while index < total {
+            // Trace 0 is always sampled so a budget-bound run still reports something.
+            if index > 0 {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Some(budget) = options.time_budget {
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+            let mut rng = CheckerRng::for_trace(options.seed, index as u64);
+            let trace = explore_one(
+                spec,
+                options.max_depth,
+                &mut rng,
+                &coverage,
+                options.guidance,
+            );
+            traces += 1;
+            steps += trace.depth() as u64;
+            // Record the first violating state *per invariant* of this trace: later
+            // violations of the same invariant add no information (the walk typically
+            // stays in violation), but a different invariant first violated deeper in
+            // the same trace must not be dropped.
+            let mut seen_in_trace: Vec<&'static str> = Vec::new();
+            for (depth, step) in trace.steps.iter().enumerate() {
+                let violated = spec.violated_invariants(&step.state);
+                if violated.is_empty() {
+                    continue;
+                }
+                let mut fresh = false;
+                for inv in violated {
+                    if seen_in_trace.contains(&inv.id) {
+                        continue;
+                    }
+                    seen_in_trace.push(inv.id);
+                    fresh = true;
+                    found.push(IndexedViolation {
+                        trace_index: index,
+                        violation: Violation {
+                            invariant: inv.id,
+                            invariant_name: inv.name,
+                            depth: depth as u32,
+                            trace: prefix_trace(&trace, depth),
+                        },
+                    });
+                }
+                if fresh {
+                    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    first_violation_nanos.fetch_min(nanos, Ordering::AcqRel);
+                    if options.stop_on_violation {
+                        stop.store(true, Ordering::Release);
+                    }
+                }
+            }
+            index += workers;
+        }
+        (traces, steps, found)
+    };
+
+    let results: Vec<(usize, u64, Vec<IndexedViolation<S>>)> = if workers == 1 {
+        vec![run_stripe(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || run_stripe(w)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("explore worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut traces = 0usize;
+    let mut steps = 0u64;
+    let mut all: Vec<IndexedViolation<S>> = Vec::new();
+    for (t, s, found) in results {
+        traces += t;
+        steps += s;
+        all.extend(found);
+    }
+    // Deterministic merge: lowest trace index wins per invariant, ties by depth.
+    all.sort_by_key(|v| (v.trace_index, v.violation.depth, v.violation.invariant));
+    let first_violation_trace = all.first().map(|v| v.trace_index);
+    let mut violations: Vec<Violation<S>> = Vec::new();
+    for v in all {
+        if violations
+            .iter()
+            .any(|k| k.invariant == v.violation.invariant)
+        {
+            continue;
+        }
+        violations.push(v.violation);
+    }
+
+    let nanos = first_violation_nanos.load(Ordering::Acquire);
+    ExploreOutcome {
+        spec_name: spec.name.clone(),
+        violations,
+        stats: ExploreStats {
+            traces,
+            steps,
+            elapsed: start.elapsed(),
+            first_violation_trace,
+            time_to_first_violation: (nanos != u64::MAX).then(|| Duration::from_nanos(nanos)),
+            coverage: coverage.snapshot(),
+        },
+    }
+}
+
+/// The prefix of `trace` ending at step `depth` (inclusive).
+fn prefix_trace<S: Clone>(trace: &Trace<S>, depth: usize) -> Trace<S> {
+    Trace {
+        steps: trace.steps[..=depth].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_spec::{
+        ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec,
+    };
+    use std::collections::BTreeMap;
+
+    /// A walk with a hot "noise" loop and one rare "advance" chain: `Advance` is only
+    /// enabled when `noise == 0`, while three `Churn` actions shuffle `noise` through a
+    /// tiny set of values.  Uniform sampling spends most steps churning; coverage
+    /// guidance learns that churned states are over-visited and favours the fresh
+    /// states `Advance` produces.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Walk {
+        pos: u32,
+        noise: u32,
+    }
+
+    impl SpecState for Walk {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, remix_spec::Value> {
+            let mut m = BTreeMap::new();
+            if vars.contains(&"pos") {
+                m.insert("pos".to_owned(), remix_spec::Value::from(self.pos));
+            }
+            m
+        }
+        fn variable_names() -> Vec<&'static str> {
+            vec!["pos", "noise"]
+        }
+    }
+
+    fn needle_spec(target: u32) -> Spec<Walk> {
+        let m = ModuleId("Walk");
+        let churn = ActionDef::new(
+            "Churn",
+            m,
+            Granularity::Baseline,
+            vec!["noise"],
+            vec!["noise"],
+            |s: &Walk| {
+                (1..=3u32)
+                    .map(|i| {
+                        ActionInstance::new(
+                            format!("Churn({i})"),
+                            Walk {
+                                noise: (s.noise + i) % 4,
+                                ..s.clone()
+                            },
+                        )
+                    })
+                    .collect()
+            },
+        );
+        let advance = ActionDef::new(
+            "Advance",
+            m,
+            Granularity::Baseline,
+            vec!["pos", "noise"],
+            vec!["pos"],
+            |s: &Walk| {
+                if s.noise == 0 {
+                    vec![ActionInstance::new(
+                        format!("Advance({})", s.pos),
+                        Walk {
+                            pos: s.pos + 1,
+                            noise: s.noise,
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let inv = Invariant::always(
+            "NEEDLE",
+            "target position is unreachable",
+            InvariantSource::Protocol,
+            move |s: &Walk| s.pos < target,
+        );
+        Spec::new(
+            "needle",
+            vec![Walk { pos: 0, noise: 1 }],
+            vec![ModuleSpec::new(
+                m,
+                Granularity::Baseline,
+                vec![churn, advance],
+            )],
+            vec![inv],
+        )
+    }
+
+    fn options() -> ExploreOptions {
+        ExploreOptions::default()
+            .with_traces(400)
+            .with_max_depth(48)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn guided_traces_are_legal_executions() {
+        let spec = needle_spec(1000);
+        let coverage = CoverageMap::new(8, 16);
+        let mut rng = CheckerRng::seed_from_u64(5);
+        let trace = explore_one(
+            &spec,
+            24,
+            &mut rng,
+            &coverage,
+            Guidance::CoverageGuided { rarity_weight: 16 },
+        );
+        assert!(trace.depth() <= 24);
+        for w in trace.steps.windows(2) {
+            let successors = spec.successors(&w[0].state);
+            assert!(successors.iter().any(|(_, s)| s == &w[1].state));
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic_for_a_seed() {
+        let spec = needle_spec(6);
+        let a = explore(&spec, &options());
+        let b = explore(&spec, &options());
+        assert_eq!(a.stats.traces, b.stats.traces);
+        assert_eq!(a.stats.first_violation_trace, b.stats.first_violation_trace);
+        assert_eq!(
+            a.violations.iter().map(|v| v.depth).collect::<Vec<_>>(),
+            b.violations.iter().map(|v| v.depth).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn guided_finds_the_needle_faster_than_uniform() {
+        // Same seed, same budget; guidance must reach the rare deep state on an earlier
+        // trace index than the uniform baseline.
+        let spec = needle_spec(8);
+        let uniform = explore(&spec, &options().uniform());
+        let guided = explore(&spec, &options().guided(16));
+        let found_guided = guided
+            .stats
+            .first_violation_trace
+            .expect("guided exploration finds the needle");
+        match uniform.stats.first_violation_trace {
+            None => {} // uniform never found it within the budget — guided strictly wins
+            Some(found_uniform) => assert!(
+                found_guided < found_uniform,
+                "guided should find the violation on an earlier trace: guided={found_guided} uniform={found_uniform}"
+            ),
+        }
+        // The guided counterexample is a real violation of the spec.
+        let v = guided.first_violation().unwrap();
+        assert_eq!(v.invariant, "NEEDLE");
+        assert!(!spec
+            .violated_invariants(v.trace.last_state().unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn guided_coverage_spreads_over_more_prefixes() {
+        // On a pass-through budget (no violation to stop at), guidance visits at least
+        // as many distinct regions as uniform sampling with the same step budget.
+        let spec = needle_spec(1000);
+        let opts = options().with_traces(64);
+        let uniform = explore(&spec, &opts.clone().uniform());
+        let guided = explore(&spec, &opts.guided(16));
+        assert!(
+            guided.stats.coverage.distinct_prefixes >= uniform.stats.coverage.distinct_prefixes,
+            "guided {} vs uniform {}",
+            guided.stats.coverage.distinct_prefixes,
+            uniform.stats.coverage.distinct_prefixes
+        );
+    }
+
+    #[test]
+    fn empty_init_and_zero_depth_are_handled() {
+        let spec: Spec<Walk> = Spec::new("empty", vec![], vec![], vec![]);
+        let coverage = CoverageMap::new(1, 8);
+        let mut rng = CheckerRng::seed_from_u64(1);
+        let trace = explore_one(&spec, 10, &mut rng, &coverage, Guidance::Uniform);
+        assert!(trace.is_empty());
+
+        let spec = needle_spec(5);
+        let trace = explore_one(&spec, 0, &mut rng, &coverage, Guidance::Uniform);
+        assert_eq!(trace.depth(), 0);
+        assert_eq!(trace.steps.len(), 1);
+    }
+
+    #[test]
+    fn workers_share_the_coverage_map() {
+        let spec = needle_spec(1000);
+        let outcome = explore(&spec, &options().with_traces(32).with_workers(4));
+        assert_eq!(outcome.stats.traces, 32);
+        assert!(outcome.stats.coverage.total_hits > 0);
+        assert!(outcome.stats.steps > 0);
+    }
+}

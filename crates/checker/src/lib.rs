@@ -5,23 +5,31 @@
 //! have minimal depth, §4.4), checks every registered invariant on every reachable state,
 //! and reconstructs violation traces.  It also provides depth-first search, bounded
 //! random simulation (used by the conformance checker to sample model-level traces,
-//! §3.5.2), and the statistics reported in Tables 4-6 (time, depth, distinct states,
-//! number of violations).
+//! §3.5.2), coverage-guided schedule exploration ([`mod@explore`]: sampling biased toward
+//! rarely visited state regions), delta-debugging counterexample shrinking
+//! ([`shrink`]), and the statistics reported in Tables 4-6 (time, depth, distinct
+//! states, number of violations).
 
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod coverage;
 pub mod dfs;
+pub mod explore;
 pub mod fingerprint;
 pub mod options;
 pub mod outcome;
 pub mod rng;
+pub mod shrink;
 pub mod simulate;
 
 pub use bfs::check_bfs;
+pub use coverage::{CoverageMap, CoverageSnapshot};
 pub use dfs::check_dfs;
+pub use explore::{explore, explore_one, ExploreOptions, ExploreOutcome, ExploreStats, Guidance};
 pub use fingerprint::fingerprint;
 pub use options::{CheckMode, CheckOptions, SimulationOptions};
 pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 pub use rng::CheckerRng;
+pub use shrink::{replay_labels, shrink_trace, shrink_violation, ShrinkOutcome};
 pub use simulate::{simulate, simulate_one};

@@ -133,9 +133,17 @@ pub struct SimulationOptions {
     /// Maximum length (in transitions) of each trace.
     pub max_depth: u32,
     /// Wall-clock budget for the whole sampling run (the paper uses e.g. 30 minutes).
+    /// When it binds, how many trace indices complete before the cut-off depends on
+    /// scheduling, so budget-limited batches are not comparable across worker counts.
     pub time_budget: Option<Duration>,
-    /// Random seed for reproducibility: equal seeds yield identical trace batches.
+    /// Random seed for reproducibility: trace `i` samples from the sub-stream
+    /// `CheckerRng::for_trace(seed, i)`, so equal seeds yield identical trace batches
+    /// for any `workers` value (absent a binding time budget).
     pub seed: u64,
+    /// Worker threads sampling disjoint stripes of the trace-index space concurrently
+    /// (the parallelization contract of the conformance checker's replay, §3.5.2).
+    /// `1` runs inline on the calling thread.
+    pub workers: usize,
 }
 
 impl Default for SimulationOptions {
@@ -145,7 +153,34 @@ impl Default for SimulationOptions {
             max_depth: 40,
             time_budget: None,
             seed: 0xC0FFEE,
+            workers: 1,
         }
+    }
+}
+
+impl SimulationOptions {
+    /// Sets the number of traces to sample.
+    pub fn with_traces(mut self, traces: usize) -> Self {
+        self.traces = traces;
+        self
+    }
+
+    /// Sets the per-trace depth bound.
+    pub fn with_max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of sampling worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 }
 

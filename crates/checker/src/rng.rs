@@ -19,6 +19,23 @@ impl CheckerRng {
         CheckerRng { state: seed }
     }
 
+    /// The derived seed of one trace index of a batch run: the single source of truth
+    /// shared by [`CheckerRng::for_trace`] and by callers that record the value as a
+    /// schedule identity (`remix-core`'s `ShrunkDivergence::schedule_seed`).
+    pub fn trace_seed(seed: u64, index: u64) -> u64 {
+        seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Derives the generator for one trace index of a batch run.
+    ///
+    /// Both the conformance checker's parallel replay and the guided explorer sample
+    /// trace `index` from this sub-stream, so a batch is reproducible for a `(seed,
+    /// index)` pair regardless of how many workers stripe the index space (§3.5.2's
+    /// sampling loop, parallelized).
+    pub fn for_trace(seed: u64, index: u64) -> Self {
+        CheckerRng::seed_from_u64(Self::trace_seed(seed, index))
+    }
+
     /// Returns the next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

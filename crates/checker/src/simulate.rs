@@ -14,11 +14,18 @@ use crate::rng::CheckerRng;
 
 /// Generates one random trace of at most `max_depth` transitions starting from a random
 /// initial state.
+///
+/// Degenerate inputs are handled without panicking: a specification with no initial
+/// states yields an empty trace, and `max_depth == 0` yields a trace holding the chosen
+/// initial state alone (depth 0).
 pub fn simulate_one<S: SpecState>(
     spec: &Spec<S>,
     max_depth: u32,
     rng: &mut CheckerRng,
 ) -> Trace<S> {
+    if spec.init.is_empty() {
+        return Trace::default();
+    }
     let init = spec.init[rng.index(spec.init.len())].clone();
     let mut trace = Trace::from_init(init.clone());
     let mut current = init;
@@ -39,21 +46,51 @@ pub fn simulate_one<S: SpecState>(
 
 /// Generates a batch of random traces under the given options.
 ///
-/// Sampling stops early when the optional time budget expires; at least one trace is
-/// always produced.
+/// Trace `i` of the batch is sampled from its own sub-stream
+/// ([`CheckerRng::for_trace`]`(options.seed, i)`), and `options.workers` threads sample
+/// disjoint stripes of the index space concurrently, merging in index order — so absent
+/// a binding time budget the batch is byte-identical for every worker count (the same
+/// parallelization contract as the conformance checker's replay, §3.5.2).  A binding
+/// budget cuts each worker's stripe off at a scheduling-dependent index; at least one
+/// trace (index 0) is always produced.
 pub fn simulate<S: SpecState>(spec: &Spec<S>, options: &SimulationOptions) -> Vec<Trace<S>> {
     let start = Instant::now();
-    let mut rng = CheckerRng::seed_from_u64(options.seed);
-    let mut traces = Vec::with_capacity(options.traces);
-    for _ in 0..options.traces.max(1) {
-        traces.push(simulate_one(spec, options.max_depth, &mut rng));
-        if let Some(budget) = options.time_budget {
-            if start.elapsed() >= budget && !traces.is_empty() {
-                break;
+    let total = options.traces.max(1);
+    let workers = options.workers.max(1).min(total);
+
+    let run_stripe = |worker: usize| -> Vec<(usize, Trace<S>)> {
+        let mut out = Vec::new();
+        let mut index = worker;
+        while index < total {
+            if index > 0 {
+                if let Some(budget) = options.time_budget {
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
             }
+            let mut rng = CheckerRng::for_trace(options.seed, index as u64);
+            out.push((index, simulate_one(spec, options.max_depth, &mut rng)));
+            index += workers;
         }
-    }
-    traces
+        out
+    };
+
+    let mut indexed: Vec<(usize, Trace<S>)> = if workers == 1 {
+        run_stripe(0)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || run_stripe(w)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        })
+    };
+    indexed.sort_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, trace)| trace).collect()
 }
 
 #[cfg(test)]
@@ -125,6 +162,7 @@ mod tests {
             max_depth: 12,
             time_budget: None,
             seed: 99,
+            workers: 1,
         };
         let a = simulate(&spec, &opts);
         let b = simulate(&spec, &opts);
@@ -142,6 +180,7 @@ mod tests {
                 max_depth: 12,
                 time_budget: None,
                 seed: 1,
+                workers: 1,
             },
         );
         let b = simulate(
@@ -151,9 +190,55 @@ mod tests {
                 max_depth: 12,
                 time_budget: None,
                 seed: 2,
+                workers: 1,
             },
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_init_yields_an_empty_trace() {
+        let spec: Spec<N> = Spec::new("empty", vec![], vec![], vec![]);
+        let mut rng = CheckerRng::seed_from_u64(1);
+        let trace = simulate_one(&spec, 10, &mut rng);
+        assert!(trace.is_empty());
+        assert_eq!(trace.depth(), 0);
+        // Batch sampling over the empty spec also terminates without panicking.
+        let traces = simulate(&spec, &SimulationOptions::default());
+        assert!(traces.iter().all(|t| t.is_empty()));
+    }
+
+    #[test]
+    fn zero_max_depth_yields_the_initial_state_alone() {
+        let spec = branching_spec();
+        let mut rng = CheckerRng::seed_from_u64(2);
+        let trace = simulate_one(&spec, 0, &mut rng);
+        assert_eq!(trace.depth(), 0);
+        assert_eq!(trace.steps.len(), 1);
+        assert_eq!(trace.steps[0].action, "Init");
+    }
+
+    #[test]
+    fn batches_are_identical_across_worker_counts() {
+        let spec = branching_spec();
+        let base = SimulationOptions {
+            traces: 9,
+            max_depth: 16,
+            time_budget: None,
+            seed: 0xFEED,
+            workers: 1,
+        };
+        let one = simulate(&spec, &base);
+        for workers in [2, 3, 8] {
+            let many = simulate(
+                &spec,
+                &SimulationOptions {
+                    workers,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(one, many, "workers={workers}");
+        }
     }
 
     #[test]

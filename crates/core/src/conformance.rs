@@ -11,7 +11,9 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use remix_checker::{simulate_one, CheckerRng};
+use remix_checker::{
+    explore_one, shrink_trace, simulate_one, CheckerRng, CoverageMap, Guidance, ShrinkOutcome,
+};
 use remix_spec::{Spec, SpecState, Trace, Value};
 use remix_zab::{ClusterConfig, ZabState};
 use remix_zk_sim::{Cluster, Observation};
@@ -39,6 +41,17 @@ pub struct ConformanceOptions {
     /// time, §3.5.2), so parallelism is across traces; results are merged in trace-index
     /// order and — absent a binding `time_budget` — identical for any worker count.
     pub workers: usize,
+    /// The sampling policy: the paper's uniform random walk (§3.5.2), or coverage-guided
+    /// sampling biased toward rarely visited state regions (`remix-checker::explore`).
+    /// Guided sampling shares one coverage map across all workers, so with several
+    /// workers the sampled traces depend on their interleaving; uniform sampling stays
+    /// byte-identical for any worker count.
+    pub guidance: Guidance,
+    /// Delta-debug every diverging trace down to a locally minimal legal execution that
+    /// still diverges (re-replaying each candidate against a fresh implementation
+    /// cluster), and record the minimized schedules in
+    /// [`ConformanceReport::shrunk_divergences`].
+    pub shrink_divergences: bool,
 }
 
 impl Default for ConformanceOptions {
@@ -49,7 +62,23 @@ impl Default for ConformanceOptions {
             seed: 0x5EED,
             time_budget: None,
             workers: 1,
+            guidance: Guidance::Uniform,
+            shrink_divergences: false,
         }
+    }
+}
+
+impl ConformanceOptions {
+    /// Switches to coverage-guided trace sampling with the given rarity weight.
+    pub fn guided(mut self, rarity_weight: u32) -> Self {
+        self.guidance = Guidance::CoverageGuided { rarity_weight };
+        self
+    }
+
+    /// Enables delta-debugging of diverging traces.
+    pub fn with_shrinking(mut self) -> Self {
+        self.shrink_divergences = true;
+        self
     }
 }
 
@@ -104,6 +133,27 @@ pub enum Discrepancy {
     },
 }
 
+/// A diverging trace minimized by delta debugging (§3.5.2's counterexamples, made
+/// readable): the shrunk schedule is a legal execution of the specification whose
+/// replay still produces a discrepancy, and no single remaining action can be removed
+/// without losing that property.
+#[derive(Debug, Clone)]
+pub struct ShrunkDivergence {
+    /// Index of the sampled trace that diverged.
+    pub trace: usize,
+    /// Transition count of the originally sampled trace.
+    pub original_depth: usize,
+    /// Transition count after shrinking (never larger than `original_depth`).
+    pub shrunk_depth: usize,
+    /// The minimized schedule: the action labels of the shrunk trace, replayable via
+    /// `remix-checker::replay_labels` or [`ConformanceChecker::replay_trace`].
+    pub actions: Vec<String>,
+    /// The deterministic schedule seed the trace was sampled (and its shrunk form
+    /// re-validated) under — boot the replay cluster with `Cluster::with_seed` on this
+    /// value to reproduce the run exactly.
+    pub schedule_seed: u64,
+}
+
 /// The outcome of a conformance-checking run.
 #[derive(Debug, Default)]
 pub struct ConformanceReport {
@@ -113,6 +163,9 @@ pub struct ConformanceReport {
     pub steps_replayed: usize,
     /// The detected discrepancies.
     pub discrepancies: Vec<Discrepancy>,
+    /// Minimized diverging schedules (filled when
+    /// [`ConformanceOptions::shrink_divergences`] is set).
+    pub shrunk_divergences: Vec<ShrunkDivergence>,
 }
 
 impl ConformanceReport {
@@ -155,6 +208,14 @@ impl ConformanceChecker {
         let start = Instant::now();
         let total = options.traces.max(1);
         let workers = options.workers.max(1).min(total);
+        // One coverage map shared by every sampling worker (only consulted when the
+        // guidance is coverage-guided; recording for uniform runs would change nothing),
+        // at the explorer's default striping/granularity so guided conformance sampling
+        // behaves like a standalone guided exploration of the same spec.
+        let coverage = CoverageMap::new(
+            remix_checker::explore::DEFAULT_COVERAGE_SHARDS,
+            remix_checker::explore::DEFAULT_PREFIX_BITS,
+        );
 
         let run_stripe = |worker: usize| -> Vec<(usize, ConformanceReport)> {
             let mut out = Vec::new();
@@ -168,15 +229,38 @@ impl ConformanceChecker {
                         }
                     }
                 }
-                let mut rng = CheckerRng::seed_from_u64(
-                    options.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
-                let trace = simulate_one(spec, options.max_depth, &mut rng);
+                let schedule_seed = trace_seed(options.seed, index);
+                let mut rng = CheckerRng::for_trace(options.seed, index as u64);
+                let trace = match options.guidance {
+                    Guidance::Uniform => simulate_one(spec, options.max_depth, &mut rng),
+                    Guidance::CoverageGuided { .. } => explore_one(
+                        spec,
+                        options.max_depth,
+                        &mut rng,
+                        &coverage,
+                        options.guidance,
+                    ),
+                };
                 let mut partial = ConformanceReport {
                     traces_checked: 1,
                     ..Default::default()
                 };
-                self.replay_trace(index, &trace, &mut partial);
+                self.replay_trace_seeded(index, &trace, &mut partial, schedule_seed);
+                if options.shrink_divergences && !partial.discrepancies.is_empty() {
+                    let outcome = self.shrink_divergence(spec, &trace, schedule_seed);
+                    partial.shrunk_divergences.push(ShrunkDivergence {
+                        trace: index,
+                        original_depth: outcome.original_depth,
+                        shrunk_depth: outcome.shrunk_depth(),
+                        actions: outcome
+                            .trace
+                            .action_labels()
+                            .iter()
+                            .map(|l| (*l).to_owned())
+                            .collect(),
+                        schedule_seed,
+                    });
+                }
                 out.push((index, partial));
                 index += workers;
             }
@@ -204,8 +288,30 @@ impl ConformanceChecker {
             report.traces_checked += partial.traces_checked;
             report.steps_replayed += partial.steps_replayed;
             report.discrepancies.extend(partial.discrepancies);
+            report.shrunk_divergences.extend(partial.shrunk_divergences);
         }
         report
+    }
+
+    /// Delta-debugs a diverging model-level trace down to a locally minimal legal
+    /// execution whose replay (under the same deterministic `schedule_seed`) still
+    /// produces a discrepancy.
+    ///
+    /// Every candidate is first re-validated against `spec` (each remaining action must
+    /// stay enabled along the way) and then replayed against a fresh implementation
+    /// cluster; the oracle accepts it only when the replay still diverges, so the
+    /// shrunk trace is guaranteed to reproduce a model/code gap of §3.5.2.
+    pub fn shrink_divergence(
+        &self,
+        spec: &Spec<ZabState>,
+        trace: &Trace<ZabState>,
+        schedule_seed: u64,
+    ) -> ShrinkOutcome<ZabState> {
+        shrink_trace(spec, trace, |candidate| {
+            let mut probe = ConformanceReport::default();
+            self.replay_trace_seeded(0, candidate, &mut probe, schedule_seed);
+            !probe.discrepancies.is_empty()
+        })
     }
 
     /// Replays one model-level trace against a fresh cluster (used both by `check` and to
@@ -216,7 +322,20 @@ impl ConformanceChecker {
         trace: &Trace<ZabState>,
         report: &mut ConformanceReport,
     ) {
-        let mut cluster = Cluster::new(self.config);
+        self.replay_trace_seeded(trace_index, trace, report, 0);
+    }
+
+    /// Like [`Self::replay_trace`], booting the replay cluster with the deterministic
+    /// schedule seed of the sampled trace (`Cluster::with_seed`), so the replay — and
+    /// any shrunk form of it — is tagged with the schedule identity it was found under.
+    pub fn replay_trace_seeded(
+        &self,
+        trace_index: usize,
+        trace: &Trace<ZabState>,
+        report: &mut ConformanceReport,
+        schedule_seed: u64,
+    ) {
+        let mut cluster = Cluster::with_seed(self.config, schedule_seed);
         for (step_index, step) in trace.steps.iter().enumerate().skip(1) {
             report.steps_replayed += 1;
             let Some(events) = self.mapping.translate(&step.action) else {
@@ -285,6 +404,14 @@ impl ConformanceChecker {
     }
 }
 
+/// The deterministic per-trace seed: the value `CheckerRng::for_trace` seeds the
+/// sampling sub-stream of trace `index` with (shared derivation, so the recorded
+/// schedule identity can never drift from the sampling stream), reused as the replay
+/// cluster's schedule identity.
+fn trace_seed(seed: u64, index: usize) -> u64 {
+    CheckerRng::trace_seed(seed, index as u64)
+}
+
 /// Compares two projected variable views, returning the differing variables.
 fn compare_views(
     model: &BTreeMap<String, Value>,
@@ -311,8 +438,7 @@ mod tests {
             traces: 12,
             max_depth: 24,
             seed: 7,
-            time_budget: None,
-            workers: 1,
+            ..Default::default()
         }
     }
 
@@ -366,6 +492,53 @@ mod tests {
             .discrepancies
             .iter()
             .any(|d| matches!(d, Discrepancy::VariableMismatch { variable, .. } if variable == "lastCommitted")));
+    }
+
+    #[test]
+    fn guided_sampling_also_surfaces_the_gap() {
+        // Coverage-guided sampling is a different distribution over the same legal
+        // executions, so it must still expose the baseline model/code divergence.
+        let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+        let spec = SpecPreset::MSpec1.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let report = checker.check(
+            &spec,
+            &ConformanceOptions {
+                traces: 20,
+                max_depth: 30,
+                ..options()
+            }
+            .guided(16),
+        );
+        assert!(
+            !report.conforms(),
+            "guided sampling should find the async-commit gap"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_diverging_traces() {
+        let config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+        let spec = SpecPreset::MSpec1.build(&config);
+        let checker = ConformanceChecker::new(config);
+        let report = checker.check(
+            &spec,
+            &ConformanceOptions {
+                traces: 20,
+                max_depth: 30,
+                ..options()
+            }
+            .with_shrinking(),
+        );
+        assert!(!report.conforms());
+        assert!(
+            !report.shrunk_divergences.is_empty(),
+            "every diverging trace should have been shrunk"
+        );
+        for shrunk in &report.shrunk_divergences {
+            assert!(shrunk.shrunk_depth <= shrunk.original_depth);
+            assert_eq!(shrunk.actions.len(), shrunk.shrunk_depth);
+        }
     }
 
     #[test]

@@ -72,6 +72,18 @@ impl JsonObject {
         self
     }
 
+    /// Adds an unsigned-integer-or-null field.
+    pub fn opt_u128(mut self, key: &str, value: Option<u128>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => {
+                let _ = write!(self.body, "{v}");
+            }
+            None => self.body.push_str("null"),
+        }
+        self
+    }
+
     /// Adds a boolean field.
     pub fn bool(mut self, key: &str, value: bool) -> Self {
         self.key(key);

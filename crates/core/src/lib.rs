@@ -10,10 +10,12 @@
 //! * drives the model checker over the composed specification ([`verifier`]), producing
 //!   the bug-detection and efficiency measurements of Tables 4-6;
 //! * checks conformance between the specifications and the code-level implementation
-//!   ([`conformance`]): model-level traces are sampled by random exploration, mapped
-//!   action by action onto code-level events ([`mapping`]), replayed deterministically
-//!   against the `remix-zk-sim` cluster by a central coordinator, and compared variable
-//!   by variable after every step.
+//!   ([`conformance`]): model-level traces are sampled by random exploration — uniform,
+//!   or coverage-guided toward rarely visited state regions — mapped action by action
+//!   onto code-level events ([`mapping`]), replayed deterministically against the
+//!   `remix-zk-sim` cluster by a central coordinator, and compared variable by variable
+//!   after every step; diverging schedules can be delta-debugged down to locally
+//!   minimal traces that still diverge.
 
 pub mod composer;
 pub mod conformance;
@@ -23,7 +25,9 @@ pub mod report;
 pub mod verifier;
 
 pub use composer::{ComposedSpec, Composer};
-pub use conformance::{ConformanceChecker, ConformanceOptions, ConformanceReport, Discrepancy};
+pub use conformance::{
+    ConformanceChecker, ConformanceOptions, ConformanceReport, Discrepancy, ShrunkDivergence,
+};
 pub use mapping::{default_mapping, ActionMapping};
-pub use report::{BugReport, EfficiencyRow, FixVerificationRow};
-pub use verifier::{VerificationRun, Verifier, VerifierOptions};
+pub use report::{BugReport, EfficiencyRow, ExploreRow, FixVerificationRow};
+pub use verifier::{ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions};

@@ -111,9 +111,104 @@ impl FixVerificationRow {
     }
 }
 
+/// One row of the guided-vs-uniform exploration comparison (the `BENCH_explore.json`
+/// artefact): how quickly one sampling policy of §3.5.2 reached a violation, how much
+/// of the state space it covered, and how far the counterexample shrank.
+#[derive(Debug, Clone)]
+pub struct ExploreRow {
+    /// The sampling policy (`"uniform"` or `"coverage-guided"`).
+    pub mode: String,
+    /// The explored specification.
+    pub spec: String,
+    /// The base sampling seed of the run (both policies are compared seed by seed).
+    pub seed: u64,
+    /// Traces sampled before the run stopped.
+    pub traces: usize,
+    /// Total transitions taken across all sampled traces.
+    pub steps: u64,
+    /// Whether any invariant violation was found within the budget.
+    pub violation_found: bool,
+    /// Wall-clock time to the first violation, when one was found.
+    pub time_to_violation: Option<Duration>,
+    /// Trace index of the first violation, when one was found (the budget metric the
+    /// guided-vs-uniform comparison is about: lower = fewer wasted samples).
+    pub first_violation_trace: Option<usize>,
+    /// Transition count of the original counterexample, when one was found.
+    pub original_depth: Option<u32>,
+    /// Transition count after delta-debugging the counterexample
+    /// (`remix-checker::shrink`), when one was found.
+    pub shrunk_depth: Option<u32>,
+    /// Distinct fingerprint prefixes visited (coverage breadth).
+    pub distinct_prefixes: usize,
+    /// Hit count of the hottest prefix (coverage skew; uniform sampling drives this far
+    /// above the mean).
+    pub max_prefix_hits: u64,
+    /// Distinct action definitions taken.
+    pub distinct_actions: usize,
+}
+
+impl ExploreRow {
+    /// Serializes the row as one JSON object (durations in milliseconds).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("mode", &self.mode)
+            .string("spec", &self.spec)
+            .u128("seed", self.seed.into())
+            .u128("traces", self.traces as u128)
+            .u128("steps", self.steps.into())
+            .bool("violation_found", self.violation_found)
+            .opt_u128(
+                "time_to_violation",
+                self.time_to_violation.map(|d| d.as_millis()),
+            )
+            .opt_u128(
+                "first_violation_trace",
+                self.first_violation_trace.map(|t| t as u128),
+            )
+            .opt_u128("original_depth", self.original_depth.map(u128::from))
+            .opt_u128("shrunk_depth", self.shrunk_depth.map(u128::from))
+            .u128("distinct_prefixes", self.distinct_prefixes as u128)
+            .u128("max_prefix_hits", self.max_prefix_hits.into())
+            .u128("distinct_actions", self.distinct_actions as u128)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explore_rows_serialize_to_json() {
+        let row = ExploreRow {
+            mode: "coverage-guided".to_owned(),
+            spec: "mSpec-3".to_owned(),
+            seed: 7,
+            traces: 37,
+            steps: 1480,
+            violation_found: true,
+            time_to_violation: Some(Duration::from_millis(250)),
+            first_violation_trace: Some(36),
+            original_depth: Some(40),
+            shrunk_depth: Some(11),
+            distinct_prefixes: 512,
+            max_prefix_hits: 99,
+            distinct_actions: 12,
+        };
+        let json = row.to_json();
+        assert!(json.contains("\"mode\":\"coverage-guided\""));
+        assert!(json.contains("\"time_to_violation\":250"));
+        assert!(json.contains("\"shrunk_depth\":11"));
+        let none = ExploreRow {
+            violation_found: false,
+            time_to_violation: None,
+            first_violation_trace: None,
+            original_depth: None,
+            shrunk_depth: None,
+            ..row
+        };
+        assert!(none.to_json().contains("\"time_to_violation\":null"));
+    }
 
     #[test]
     fn rows_serialize_to_json() {

@@ -6,8 +6,8 @@
 
 use std::time::Duration;
 
-use remix_checker::{check_bfs, CheckMode, CheckOptions, CheckOutcome};
-use remix_spec::{Invariant, Spec};
+use remix_checker::{check_bfs, shrink_violation, CheckMode, CheckOptions, CheckOutcome};
+use remix_spec::{Invariant, Spec, Trace};
 use remix_zab::{ClusterConfig, SpecPreset, ZabState};
 
 use crate::composer::Composer;
@@ -32,6 +32,13 @@ pub struct VerifierOptions {
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
+    /// Delta-debug every counterexample trace after the run
+    /// (`remix-checker::shrink_violation`): each shrunk trace is a locally minimal
+    /// legal execution whose final state still violates the same invariant.  BFS
+    /// counterexamples are already depth-minimal (§4.4), so this mostly matters for
+    /// traces that reach the verifier from simulation or DFS; the shrunk forms are
+    /// reported in [`VerificationRun::shrunk`] without touching the raw outcome.
+    pub shrink_counterexamples: bool,
 }
 
 impl Default for VerifierOptions {
@@ -45,6 +52,7 @@ impl Default for VerifierOptions {
             shards: check.shards,
             batch_size: check.batch_size,
             only_invariants: Vec::new(),
+            shrink_counterexamples: false,
         }
     }
 }
@@ -83,6 +91,23 @@ impl VerifierOptions {
         self.workers = workers.max(1);
         self
     }
+
+    /// Enables counterexample shrinking.
+    pub fn with_shrinking(mut self) -> Self {
+        self.shrink_counterexamples = true;
+        self
+    }
+}
+
+/// A counterexample minimized by delta debugging after a verification run.
+#[derive(Debug, Clone)]
+pub struct ShrunkCounterexample {
+    /// The violated invariant the shrunk trace still violates.
+    pub invariant: &'static str,
+    /// Transition count of the checker's original counterexample.
+    pub original_depth: usize,
+    /// The locally minimal violating trace (never longer than the original).
+    pub trace: Trace<ZabState>,
 }
 
 /// The result of one verification run.
@@ -92,6 +117,9 @@ pub struct VerificationRun {
     pub spec_name: String,
     /// The raw model-checking outcome.
     pub outcome: CheckOutcome<ZabState>,
+    /// Shrunk counterexamples, one per recorded violation (filled when
+    /// [`VerifierOptions::shrink_counterexamples`] is set; empty otherwise).
+    pub shrunk: Vec<ShrunkCounterexample>,
 }
 
 impl VerificationRun {
@@ -145,9 +173,27 @@ impl Verifier {
             collect_traces: true,
         };
         let outcome = check_bfs(&spec, &check);
+        let shrunk = if options.shrink_counterexamples {
+            outcome
+                .violations
+                .iter()
+                .filter(|v| !v.trace.is_empty())
+                .map(|v| {
+                    let result = shrink_violation(&spec, &v.trace, v.invariant);
+                    ShrunkCounterexample {
+                        invariant: v.invariant,
+                        original_depth: result.original_depth,
+                        trace: result.trace,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         VerificationRun {
             spec_name: spec.name.clone(),
             outcome,
+            shrunk,
         }
     }
 }

@@ -1,0 +1,112 @@
+//! End-to-end shrink test: conformance divergence → delta-debugged schedule → the
+//! shrunk trace still diverges and is no longer than the original.
+//!
+//! The setup mirrors how the paper surfaces ZK-4646 (§3.5.2 / Table 4): the *model*
+//! describes the fixed follower (the synced history is persisted before NEWLEADER is
+//! acknowledged), while the *implementation* runs buggy v3.9.1, whose
+//! SyncRequestProcessor persists asynchronously.  Replaying fixed-model traces against
+//! the buggy code diverges on the `history` variable; shrinking must reduce each
+//! diverging schedule to a locally minimal legal execution that still reproduces the
+//! divergence when replayed.
+
+use remix_checker::replay_labels;
+use remix_core::{ConformanceChecker, ConformanceOptions};
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
+
+#[test]
+fn divergence_shrinks_to_a_minimal_still_diverging_schedule() {
+    // ZK-4646 flavour: fixed model vs buggy v3.9.1 implementation.
+    let impl_config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+    let model_config = ClusterConfig::small(CodeVersion::FinalFix).with_crashes(0);
+    let spec = SpecPreset::MSpec3.build(&model_config);
+    let checker = ConformanceChecker::new(impl_config);
+
+    let options = ConformanceOptions {
+        traces: 20,
+        max_depth: 30,
+        ..Default::default()
+    }
+    .with_shrinking();
+    let report = checker.check(&spec, &options);
+    assert!(
+        !report.conforms(),
+        "the fixed model must not conform to the buggy implementation"
+    );
+    assert!(
+        !report.shrunk_divergences.is_empty(),
+        "every diverging trace should have been delta-debugged"
+    );
+
+    for shrunk in &report.shrunk_divergences {
+        // Never longer than the original sampled trace.
+        assert!(
+            shrunk.shrunk_depth <= shrunk.original_depth,
+            "trace {}: shrunk {} > original {}",
+            shrunk.trace,
+            shrunk.shrunk_depth,
+            shrunk.original_depth
+        );
+        assert_eq!(shrunk.actions.len(), shrunk.shrunk_depth);
+
+        // The minimized schedule is a *legal execution* of the specification...
+        let trace = replay_labels(&spec, &spec.init[0], &shrunk.actions)
+            .expect("the shrunk schedule must replay as a legal execution of the spec");
+        assert_eq!(trace.depth(), shrunk.shrunk_depth);
+
+        // ...and replaying it against a fresh implementation cluster still diverges.
+        let mut probe = remix_core::ConformanceReport::default();
+        checker.replay_trace_seeded(shrunk.trace, &trace, &mut probe, shrunk.schedule_seed);
+        assert!(
+            !probe.discrepancies.is_empty(),
+            "trace {}: the shrunk schedule no longer diverges",
+            shrunk.trace
+        );
+    }
+
+    // At least one schedule actually got shorter — sampled walks on this configuration
+    // carry plenty of irrelevant churn, and a shrinker that never removes anything
+    // would be useless.
+    assert!(
+        report
+            .shrunk_divergences
+            .iter()
+            .any(|s| s.shrunk_depth < s.original_depth),
+        "no divergence shrank at all: {:?}",
+        report
+            .shrunk_divergences
+            .iter()
+            .map(|s| (s.original_depth, s.shrunk_depth))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn shrunk_schedules_replay_under_their_recorded_seed() {
+    // The schedule seed recorded on a shrunk divergence is the per-trace sampling seed,
+    // so a replay tagged with it reproduces the exact run the divergence was found in.
+    let impl_config = ClusterConfig::small(CodeVersion::V391).with_crashes(0);
+    let spec = SpecPreset::MSpec1.build(&impl_config);
+    let checker = ConformanceChecker::new(impl_config);
+    let report = checker.check(
+        &spec,
+        &ConformanceOptions {
+            traces: 20,
+            max_depth: 30,
+            ..Default::default()
+        }
+        .with_shrinking(),
+    );
+    assert!(
+        !report.conforms(),
+        "mSpec-1 diverges from the async implementation"
+    );
+    let shrunk = report
+        .shrunk_divergences
+        .first()
+        .expect("a diverging trace was shrunk");
+    let trace = replay_labels(&spec, &spec.init[0], &shrunk.actions).expect("legal");
+    let outcome = checker.shrink_divergence(&spec, &trace, shrunk.schedule_seed);
+    // Shrinking an already-minimal schedule is a fixpoint.
+    assert_eq!(outcome.shrunk_depth(), shrunk.shrunk_depth);
+    assert!(!outcome.reduced());
+}

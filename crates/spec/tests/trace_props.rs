@@ -1,0 +1,99 @@
+//! Property tests of [`Trace`] construction invariants, via the vendored `proptest`
+//! stand-in.
+//!
+//! Traces are the currency every layer above `remix-spec` trades in — the checker
+//! reconstructs them, the conformance checker replays them, the shrinker rewrites them
+//! — so the basic bookkeeping (`depth` = transitions, labels exclude the initial
+//! pseudo-action, projection/condensation behave) is pinned down over generated step
+//! sequences rather than single examples.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use remix_spec::{condense, project_trace, SpecState, Trace, Value};
+
+/// A minimal state for trace bookkeeping tests: one observable counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct S(u32);
+
+impl SpecState for S {
+    fn project(&self, vars: &[&str]) -> BTreeMap<String, Value> {
+        let mut m = BTreeMap::new();
+        if vars.contains(&"v") {
+            m.insert("v".to_owned(), Value::from(self.0));
+        }
+        m
+    }
+    fn variable_names() -> Vec<&'static str> {
+        vec!["v"]
+    }
+}
+
+proptest! {
+    /// `push` appends exactly one step: depth grows by one per push, the last state and
+    /// label are the pushed ones, and earlier steps are never disturbed.
+    #[test]
+    fn push_appends_exactly_one_step(values in proptest::collection::vec(0u32..100, 0..24)) {
+        let mut trace = Trace::from_init(S(0));
+        prop_assert_eq!(trace.depth(), 0);
+        prop_assert_eq!(trace.steps[0].action.as_str(), "Init");
+        for (i, v) in values.iter().enumerate() {
+            let before = trace.steps.clone();
+            trace.push(format!("Set({v})"), S(*v));
+            prop_assert_eq!(trace.depth(), i + 1);
+            prop_assert_eq!(trace.steps.len(), i + 2);
+            prop_assert_eq!(trace.last_state(), Some(&S(*v)));
+            prop_assert_eq!(trace.steps.last().unwrap().action.as_str(), format!("Set({v})").as_str());
+            // Existing steps are untouched.
+            prop_assert_eq!(&trace.steps[..before.len()], &before[..]);
+        }
+        // Labels enumerate the pushed actions, excluding the initial pseudo-action.
+        let labels = trace.action_labels();
+        prop_assert_eq!(labels.len(), values.len());
+        for (label, v) in labels.iter().zip(values.iter()) {
+            prop_assert_eq!(*label, format!("Set({v})").as_str());
+        }
+    }
+
+    /// `depth` always equals `steps.len() - 1` on non-empty traces, and an empty trace
+    /// reports depth 0 without underflowing.
+    #[test]
+    fn depth_counts_transitions(count in 0usize..32) {
+        let empty: Trace<S> = Trace::default();
+        prop_assert_eq!(empty.depth(), 0);
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.last_state(), None);
+
+        let mut trace = Trace::from_init(S(0));
+        for i in 0..count {
+            trace.push("Step", S(i as u32));
+        }
+        prop_assert_eq!(trace.depth(), trace.steps.len() - 1);
+        prop_assert!(!trace.is_empty());
+    }
+
+    /// Projection preserves step count and only keeps requested variables; condensation
+    /// never grows a trace and is idempotent.
+    #[test]
+    fn projection_and_condensation_invariants(
+        values in proptest::collection::vec(0u32..4, 1..24),
+    ) {
+        let mut trace = Trace::from_init(S(0));
+        for v in &values {
+            trace.push(format!("Set({v})"), S(*v));
+        }
+        let projected = project_trace(&trace, &["v"]);
+        prop_assert_eq!(projected.steps.len(), trace.steps.len());
+        for step in &projected.steps {
+            prop_assert!(step.vars.contains_key("v"));
+            prop_assert_eq!(step.vars.len(), 1);
+        }
+        let condensed = condense(&projected);
+        prop_assert!(condensed.steps.len() <= projected.steps.len());
+        // Condensation removes exactly the steps whose projection repeats.
+        for w in condensed.steps.windows(2) {
+            prop_assert_ne!(&w[0].vars, &w[1].vars);
+        }
+        prop_assert_eq!(&condense(&condensed), &condensed);
+    }
+}

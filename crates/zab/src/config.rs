@@ -62,6 +62,22 @@ impl ClusterConfig {
         }
     }
 
+    /// The configuration used by guided schedule exploration (the coverage-guided
+    /// sampling loop layered over §3.5.2's conformance sampling): the Table 4 budgets —
+    /// deep enough that the seeded bugs (e.g. ZK-4646's crash between the epoch update
+    /// and the history write) are reachable by a random walk — but with the epoch bound
+    /// raised so long sampled walks through repeated elections stay within the model.
+    ///
+    /// Uniform sampling mostly churns through the hot election/discovery region of this
+    /// space; the guided explorer biases away from it, which is exactly the comparison
+    /// the `BENCH_explore.json` artefact measures.
+    pub fn explore(version: CodeVersion) -> Self {
+        ClusterConfig {
+            max_epoch: 6,
+            ..ClusterConfig::table4(version)
+        }
+    }
+
     /// Sets the number of crashes.
     pub fn with_crashes(mut self, crashes: u32) -> Self {
         self.max_crashes = crashes;
@@ -143,6 +159,13 @@ mod tests {
         assert_eq!(
             (t4.num_servers, t4.max_transactions, t4.max_crashes),
             (3, 3, 2)
+        );
+        // The exploration preset keeps the Table 4 fault budgets but deepens the epoch
+        // bound so long sampled walks stay within the model.
+        let ex = ClusterConfig::explore(CodeVersion::V391);
+        assert_eq!(
+            (ex.max_transactions, ex.max_crashes, ex.max_epoch),
+            (t4.max_transactions, t4.max_crashes, 6)
         );
     }
 }

@@ -163,17 +163,39 @@ pub struct Cluster {
     pub network: Network,
     /// Client request payload counter.
     next_value: u32,
+    /// The schedule seed this replay runs under (see [`Cluster::with_seed`]).
+    schedule_seed: u64,
 }
 
 impl Cluster {
-    /// Boots a cluster.
+    /// Boots a cluster with schedule seed 0.
     pub fn new(config: ClusterConfig) -> Self {
+        Cluster::with_seed(config, 0)
+    }
+
+    /// Boots a cluster tagged with the deterministic schedule seed of the model-level
+    /// trace it replays.
+    ///
+    /// Execution itself is already deterministic — the coordinator schedules one
+    /// [`SimEvent`] at a time (§3.5.3) and the simulator makes no free choices — so the
+    /// seed does not perturb behaviour.  It records *which* sampled schedule this
+    /// replay belongs to: the conformance checker boots the replay cluster with the
+    /// per-trace sampling seed, and a shrunk divergence carries the same seed, so the
+    /// minimized trace can always be re-run under the identical schedule identity it
+    /// was found with.
+    pub fn with_seed(config: ClusterConfig, schedule_seed: u64) -> Self {
         Cluster {
             config,
             nodes: (0..config.num_servers).map(NodeHandle::new).collect(),
             network: Network::new(config.num_servers),
             next_value: 0,
+            schedule_seed,
         }
+    }
+
+    /// The deterministic schedule seed this replay is tagged with.
+    pub fn schedule_seed(&self) -> u64 {
+        self.schedule_seed
     }
 
     fn quorum(&self) -> usize {
