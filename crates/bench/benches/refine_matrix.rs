@@ -1,0 +1,82 @@
+//! Criterion bench for refinement checking: the cost of proving that the coarse
+//! compositions simulate the finer ones, plus the committed matrix artefact.
+//!
+//! `bench_refine_artifact` runs `remix_bench::refine_matrix` — {Coarse ⊑ Baseline
+//! (mSpec-1 over SysSpec), Baseline ⊑ FineAtomic (SysSpec over fSpec-atom)} × {3, 5}
+//! servers — and writes the rows to `BENCH_refine.json` (path overridable via
+//! `REFINE_JSON`).  Each row records the verdict, whether it is conclusive, per-side
+//! state and projection counts, and the wall time of the dual exploration; the
+//! three-server rows must refine conclusively, which is the machine-checked form of
+//! the paper's interaction-preservation claim (§3.2, Figure 5b).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::refine_matrix;
+use remix_checker::{check_refinement, RefineOptions};
+use remix_zab::{coarse_vs_baseline, ClusterConfig, CodeVersion, SpecPreset};
+
+/// One bounded three-server refinement check for the timing loop.
+fn refinement_run() -> usize {
+    let config = ClusterConfig {
+        max_transactions: 0,
+        max_crashes: 0,
+        ..ClusterConfig::small(CodeVersion::V391)
+    };
+    let fine = SpecPreset::SysSpec.build(&config);
+    let coarse = SpecPreset::MSpec1.build(&config);
+    let projection = coarse_vs_baseline(&config);
+    let outcome = check_refinement(
+        &fine,
+        &coarse,
+        &projection,
+        &RefineOptions::default().with_time_budget(Duration::from_secs(60)),
+    );
+    assert!(outcome.refines(), "{outcome}");
+    outcome.stats.fine_states
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("coarse_vs_baseline_3s", |b| b.iter(refinement_run));
+    group.finish();
+}
+
+fn bench_refine_artifact(_c: &mut Criterion) {
+    let rows = refine_matrix(Duration::from_secs(120), 1, 150_000);
+    for row in &rows {
+        println!(
+            "refine {}⊑{} servers={}: refines={} conclusive={} fine_states={} coarse_states={} time={:?}",
+            row.fine,
+            row.coarse,
+            row.servers,
+            row.refines,
+            row.conclusive,
+            row.fine_states,
+            row.coarse_states,
+            row.time,
+        );
+    }
+    // Benches run with the package directory as CWD; anchor the artefact at the
+    // workspace root unless overridden.
+    let path = std::env::var("REFINE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_refine.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"refine_matrix\",\n  \"workload\": \"{{Coarse vs Baseline, Baseline vs FineAtomic}} x {{3, 5}} servers, 1 txn, 0 crashes\",\n  \"note\": \"three-server rows are explored to exhaustion (conclusive); five-server rows are state-capped throughput probes; durations in milliseconds\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_refinement, bench_refine_artifact);
+criterion_main!(benches);

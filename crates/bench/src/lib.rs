@@ -7,14 +7,14 @@
 
 use std::time::Duration;
 
-use remix_checker::{explore, shrink_violation, CheckMode, ExploreOptions};
+use remix_checker::{explore, shrink_violation, CheckMode, ExploreOptions, RefineOptions};
 use remix_core::{
     BugReport, ComposedSpec, Composer, ConformanceChecker, ConformanceOptions, EfficiencyRow,
-    ExploreRow, FixVerificationRow, Verifier, VerifierOptions,
+    ExploreRow, FixVerificationRow, RefineRow, Verifier, VerifierOptions,
 };
-use remix_spec::Granularity;
+use remix_spec::{CompositionPlan, Granularity};
 use remix_zab::invariants::CODE_INVARIANT_INSTANCES;
-use remix_zab::modules::PHASES;
+use remix_zab::modules::{BROADCAST, DISCOVERY, ELECTION, PHASES, SYNCHRONIZATION};
 use remix_zab::protocol::{protocol_spec, ProtocolVariant};
 use remix_zab::{ClusterConfig, CodeVersion, SpecPreset, BUG_LINEAGE};
 
@@ -405,6 +405,55 @@ pub fn explore_comparison(
     rows
 }
 
+/// The refinement matrix (the `BENCH_refine.json` artefact): for each refinement pair
+/// — the Election/Discovery coarsening (mSpec-1 over SysSpec) and the fine-grained
+/// atomicity refinement of Synchronization (SysSpec over a FineAtomic plan) — and each
+/// ensemble size, check that the coarse composition simulates the fine one and record
+/// per-side state counts and wall times.
+///
+/// The three-server rows explore both sides to exhaustion (a conclusive verdict); the
+/// five-server rows are bounded by `max_states` per side and document throughput at
+/// scale rather than a verdict (`conclusive = false`).
+pub fn refine_matrix(
+    budget: Duration,
+    workers: usize,
+    large_ensemble_state_cap: usize,
+) -> Vec<RefineRow> {
+    let fine_atomic_plan = CompositionPlan::new("fSpec-atom")
+        .with(ELECTION, Granularity::Baseline)
+        .with(DISCOVERY, Granularity::Baseline)
+        .with(SYNCHRONIZATION, Granularity::FineAtomic)
+        .with(BROADCAST, Granularity::Baseline);
+    let mut rows = Vec::new();
+    for servers in [3usize, 5] {
+        let config = ClusterConfig {
+            num_servers: servers,
+            max_transactions: 1,
+            max_crashes: 0,
+            ..ClusterConfig::small(CodeVersion::V391)
+        };
+        let verifier = Verifier::new(config);
+        let mut options = RefineOptions::default()
+            .with_workers(workers)
+            .with_time_budget(budget);
+        if servers > 3 {
+            options = options.with_max_states(large_ensemble_state_cap);
+        }
+        rows.push(
+            verifier
+                .check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options)
+                .row(),
+        );
+        rows.push(
+            verifier
+                .check_refinement_plans(&fine_atomic_plan, &SpecPreset::SysSpec.plan(), &options)
+                .expect("FineAtomic plan refines to the baseline plan")
+                .row(),
+        );
+    }
+    rows
+}
+
 /// §4.1 / §3.4: conformance checking of the baseline and fine-grained specifications
 /// against the v3.9.1 implementation.
 pub fn conformance_summary() -> Vec<(String, usize, usize, usize)> {
@@ -481,6 +530,24 @@ mod tests {
                 assert!(shrunk <= original);
             }
             assert!(row.to_json().contains("\"mode\""));
+        }
+    }
+
+    #[test]
+    fn refine_matrix_produces_one_row_per_pair_and_size() {
+        // A tiny budget: the point is row shape and JSON validity; the bench target
+        // runs the real budgets and conclusive three-server verdicts.
+        let rows = refine_matrix(Duration::from_millis(500), 1, 500);
+        assert_eq!(rows.len(), 4, "two pairs × two ensemble sizes");
+        assert_eq!(rows[0].coarse, "mSpec-1");
+        assert_eq!(rows[0].fine, "SysSpec");
+        assert_eq!(rows[1].coarse, "SysSpec");
+        assert_eq!(rows[1].fine, "fSpec-atom");
+        assert_eq!(rows[0].servers, 3);
+        assert_eq!(rows[3].servers, 5);
+        for row in &rows {
+            assert!(row.to_json().contains("\"refines\""));
+            assert!(!row.projection.is_empty());
         }
     }
 

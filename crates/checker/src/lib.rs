@@ -7,8 +7,10 @@
 //! random simulation (used by the conformance checker to sample model-level traces,
 //! §3.5.2), coverage-guided schedule exploration ([`mod@explore`]: sampling biased toward
 //! rarely visited state regions), delta-debugging counterexample shrinking
-//! ([`shrink`]), and the statistics reported in Tables 4-6 (time, depth, distinct
-//! states, number of violations).
+//! ([`shrink`]), refinement checking between compositions of different granularities
+//! ([`refine`]: parallel dual exploration proving a coarse composition simulates a fine
+//! one under a granularity projection), and the statistics reported in Tables 4-6
+//! (time, depth, distinct states, number of violations).
 
 #![warn(missing_docs)]
 
@@ -19,6 +21,7 @@ pub mod explore;
 pub mod fingerprint;
 pub mod options;
 pub mod outcome;
+pub mod refine;
 pub mod rng;
 pub mod shrink;
 pub mod simulate;
@@ -30,6 +33,10 @@ pub use explore::{explore, explore_one, ExploreOptions, ExploreOutcome, ExploreS
 pub use fingerprint::fingerprint;
 pub use options::{CheckMode, CheckOptions, SimulationOptions};
 pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+pub use refine::{
+    check_refinement, DivergenceKind, RefineDivergence, RefineMode, RefineOptions, RefineOutcome,
+    RefineStats,
+};
 pub use rng::CheckerRng;
 pub use shrink::{replay_labels, shrink_trace, shrink_violation, ShrinkOutcome};
 pub use simulate::{simulate, simulate_one};

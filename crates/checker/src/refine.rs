@@ -1,0 +1,1092 @@
+//! Refinement checking: does a coarse composition simulate a finer one?
+//!
+//! The composer's interaction-preservation check (§3.2) is *syntactic* — it compares
+//! declared variable footprints.  This module is the semantic counterpart: it explores
+//! the state spaces of a fine and a coarse composition in parallel (reusing the
+//! lock-striped fingerprint-shard design of [`crate::bfs`]) and verifies that, under a
+//! [`TraceProjection`], the coarse specification admits exactly the externally visible
+//! behaviours of the fine one:
+//!
+//! * every *stable* reachable projection of the fine composition is a reachable
+//!   projection of the coarse composition (the coarsening loses no interactions), and
+//!   vice versa (the coarsening invents none);
+//! * in [`RefineMode::Simulation`], additionally every fine *stabilization step* — a
+//!   transition between consecutive stable projections, possibly through a stretch of
+//!   unstable states that a coarse action executes atomically — is matched by a path in
+//!   the coarse projected quotient graph (weak simulation up to stuttering).
+//!
+//! On divergence the checker reconstructs a concrete witness trace of the offending
+//! side via BFS parent pointers and delta-debugs it down to a locally minimal trace
+//! that still exhibits the divergence ([`crate::shrink`]).
+//!
+//! The projections-only comparison is deliberately performed on quotient classes (all
+//! concrete states with the same projection are merged), which over-approximates the
+//! coarse side's matching power: the check can miss refinement violations that only
+//! distinguish states below the projection, but it never reports a false divergence
+//! for that reason.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use remix_spec::{Spec, SpecState, Trace, TraceProjection, Value};
+
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::shrink::{shrink_trace, ShrinkOutcome};
+
+/// What the refinement checker verifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineMode {
+    /// Two-sided inclusion of the reachable stable projections plus matching of every
+    /// fine stabilization step by a coarse path (weak simulation on the projected
+    /// quotient).  The default and the strongest check.
+    #[default]
+    Simulation,
+    /// Two-sided inclusion of the reachable stable projections only (every condensed
+    /// stable snapshot of one side is reachable on the other).  Cheaper; skips the
+    /// per-step matching.
+    TraceInclusion,
+}
+
+impl fmt::Display for RefineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RefineMode::Simulation => "simulation",
+            RefineMode::TraceInclusion => "trace-inclusion",
+        })
+    }
+}
+
+/// Options of a refinement check.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// What to verify.
+    pub mode: RefineMode,
+    /// Worker threads expanding each exploration frontier (both sides).
+    pub workers: usize,
+    /// Lock stripes of each side's discovered-state set (rounded up to a power of two).
+    pub shards: usize,
+    /// Maximum exploration depth per side; `None` = unbounded.
+    pub max_depth: Option<u32>,
+    /// Maximum distinct states per side; `None` = unbounded.  A side that hits the limit
+    /// is marked incomplete and inclusion checks *against* it are skipped (a missing
+    /// projection cannot be distinguished from a not-yet-explored one).
+    pub max_states: Option<usize>,
+    /// Wall-clock budget for the whole check; `None` = unbounded.
+    pub time_budget: Option<Duration>,
+    /// Delta-debug the divergence witness down to a locally minimal trace that still
+    /// diverges (via [`crate::shrink`]).
+    pub shrink_witness: bool,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            mode: RefineMode::Simulation,
+            workers: 1,
+            shards: 64,
+            max_depth: None,
+            max_states: None,
+            time_budget: None,
+            shrink_witness: true,
+        }
+    }
+}
+
+impl RefineOptions {
+    /// Sets the number of worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the check mode.
+    pub fn with_mode(mut self, mode: RefineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the per-side distinct-state cap.
+    pub fn with_max_states(mut self, states: usize) -> Self {
+        self.max_states = Some(states);
+        self
+    }
+
+    /// Sets the per-side depth bound.
+    pub fn with_max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Disables witness shrinking.
+    pub fn without_shrinking(mut self) -> Self {
+        self.shrink_witness = false;
+        self
+    }
+}
+
+/// How the fine and the coarse composition diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The fine composition reaches a stable projection the coarse one cannot: the
+    /// coarsening *loses* externally visible behaviour (e.g. a dropped update).
+    MissingInCoarse,
+    /// The coarse composition reaches a stable projection the fine one cannot: the
+    /// coarsening *invents* behaviour (e.g. electing a leader fast leader election
+    /// would never elect).
+    ExtraInCoarse,
+    /// A fine stabilization step has no matching path in the coarse projected quotient
+    /// (both endpoints are coarse-reachable, but not from each other).
+    UnmatchedStep,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DivergenceKind::MissingInCoarse => "projection missing in the coarse composition",
+            DivergenceKind::ExtraInCoarse => "projection only reachable in the coarse composition",
+            DivergenceKind::UnmatchedStep => {
+                "fine stabilization step unmatched by the coarse composition"
+            }
+        })
+    }
+}
+
+/// A refinement divergence: the kind, the offending projection, and a concrete witness.
+#[derive(Debug, Clone)]
+pub struct RefineDivergence<S> {
+    /// What went wrong.
+    pub kind: DivergenceKind,
+    /// Name of the specification the witness is an execution of (the fine side for
+    /// [`DivergenceKind::MissingInCoarse`] / [`DivergenceKind::UnmatchedStep`], the
+    /// coarse side for [`DivergenceKind::ExtraInCoarse`]).
+    pub witness_spec: String,
+    /// The offending projected state, rendered variable by variable.
+    pub projection: String,
+    /// A concrete execution of `witness_spec` reaching the divergence; shrunk to a
+    /// locally minimal diverging trace when [`RefineOptions::shrink_witness`] is set.
+    ///
+    /// For [`DivergenceKind::UnmatchedStep`] the trace ends in the concrete state that
+    /// completed the unmatched edge.  When the same state is reachable through several
+    /// stable contexts, the recorded BFS path may stabilize from a *different* (and
+    /// possibly matched) source class than the reported edge; in that case ddmin
+    /// leaves the trace unshrunk rather than minimizing away the divergence.
+    pub witness: Trace<S>,
+    /// Transition count of the witness before shrinking.
+    pub original_depth: usize,
+}
+
+/// Exploration statistics of one refinement check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Distinct concrete states explored on the fine side.
+    pub fine_states: usize,
+    /// Distinct concrete states explored on the coarse side.
+    pub coarse_states: usize,
+    /// Distinct stable projections reached by the fine side.
+    pub fine_projections: usize,
+    /// Distinct stable projections reached by the coarse side.
+    pub coarse_projections: usize,
+    /// Fine stabilization edges checked against the coarse quotient (Simulation mode).
+    pub edges_checked: usize,
+    /// Whether the fine side was explored to exhaustion within the budgets.
+    pub fine_complete: bool,
+    /// Whether the coarse side was explored to exhaustion within the budgets.
+    pub coarse_complete: bool,
+    /// Wall-clock time of the whole check.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a refinement check.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome<S> {
+    /// Name of the fine (concrete) specification.
+    pub fine_spec: String,
+    /// Name of the coarse (abstract) specification.
+    pub coarse_spec: String,
+    /// Name of the projection the comparison ran under.
+    pub projection: String,
+    /// The mode the check ran in.
+    pub mode: RefineMode,
+    /// Exploration statistics.
+    pub stats: RefineStats,
+    /// The first divergence found, if any.
+    pub divergence: Option<RefineDivergence<S>>,
+}
+
+impl<S> RefineOutcome<S> {
+    /// `true` when no divergence was found (the coarse composition simulates the fine
+    /// one under the projection, up to the explored bounds).
+    pub fn refines(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// `true` when the verdict is definite: either a divergence was found (a concrete
+    /// witness exists regardless of how much was explored), or both sides were
+    /// explored to exhaustion so [`refines`](Self::refines) is a statement about the
+    /// whole reachable state space rather than a bounded prefix.
+    pub fn conclusive(&self) -> bool {
+        self.divergence.is_some() || (self.stats.fine_complete && self.stats.coarse_complete)
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for RefineOutcome<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "refinement {} ⊑ {} under {} ({} mode)",
+            self.fine_spec, self.coarse_spec, self.projection, self.mode
+        )?;
+        writeln!(
+            f,
+            "fine:   {} states, {} stable projections{}",
+            self.stats.fine_states,
+            self.stats.fine_projections,
+            if self.stats.fine_complete {
+                ""
+            } else {
+                " (truncated)"
+            }
+        )?;
+        writeln!(
+            f,
+            "coarse: {} states, {} stable projections{}",
+            self.stats.coarse_states,
+            self.stats.coarse_projections,
+            if self.stats.coarse_complete {
+                ""
+            } else {
+                " (truncated)"
+            }
+        )?;
+        match &self.divergence {
+            None => writeln!(f, "verdict: refines"),
+            Some(d) => {
+                writeln!(
+                    f,
+                    "verdict: {} — witness ({} steps):",
+                    d.kind,
+                    d.witness.depth()
+                )?;
+                write!(f, "{}", d.witness)
+            }
+        }
+    }
+}
+
+/// Fingerprint of a projected state (64 bits suffice: projections are compared, not
+/// stored, and any collision would only *mask* a divergence on quotient classes that
+/// already over-approximate).
+fn projection_key(projected: &BTreeMap<String, Value>) -> u64 {
+    let mut h = DefaultHasher::new();
+    projected.hash(&mut h);
+    h.finish()
+}
+
+/// Renders a projected state for divergence reports.
+fn render_projection(projected: &BTreeMap<String, Value>) -> String {
+    let fields: Vec<String> = projected
+        .iter()
+        .map(|(k, v)| format!("{k} = {v}"))
+        .collect();
+    format!("[{}]", fields.join(", "))
+}
+
+/// Bookkeeping for one discovered concrete state of one side.
+struct Entry<S> {
+    state: Arc<S>,
+    parent: Option<Fingerprint>,
+    action: String,
+    /// The stable projections this state can be "inside of": its own projection when
+    /// stable, otherwise the stable projections last seen on some path leading here.
+    lset: BTreeSet<u64>,
+}
+
+/// One side's exploration summary.
+struct SideSummary<S> {
+    /// Stable projections → representative concrete fingerprint and discovery depth.
+    projs: HashMap<u64, (Fingerprint, u32)>,
+    /// Stabilization edges of the projected quotient: `from → {to}` with `from ≠ to`.
+    edges: HashMap<u64, BTreeSet<u64>>,
+    /// Per-edge representative: the concrete state that first completed the edge (its
+    /// BFS parent chain need not stabilize from `from`, but it ends in the edge's
+    /// target and is the best concrete anchor available without per-context parents).
+    edge_reps: HashMap<(u64, u64), Fingerprint>,
+    /// All discovered concrete states (for witness reconstruction), lock-striped.
+    seen: ShardedSeen<S>,
+    /// Whether exploration ran to exhaustion within the budgets.
+    complete: bool,
+}
+
+impl<S: SpecState> SideSummary<S> {
+    /// Returns the set of projections reachable from `from` in the quotient graph
+    /// (including `from` itself), memoized by the caller.
+    fn reachable_from(&self, from: u64) -> HashSet<u64> {
+        let mut out: HashSet<u64> = HashSet::new();
+        let mut frontier = vec![from];
+        out.insert(from);
+        while let Some(p) = frontier.pop() {
+            if let Some(succs) = self.edges.get(&p) {
+                for &q in succs {
+                    if out.insert(q) {
+                        frontier.push(q);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the concrete trace to `fp` by following parent pointers.
+    fn witness(&self, fp: Fingerprint) -> Trace<S> {
+        let mut chain: Vec<(String, Arc<S>)> = Vec::new();
+        let mut cursor = Some(fp);
+        while let Some(c) = cursor {
+            let (action, state, parent) = self
+                .seen
+                .with_entry(c, |e| (e.action.clone(), Arc::clone(&e.state), e.parent))
+                .expect("witness parent chain is complete");
+            chain.push((action, state));
+            cursor = parent;
+        }
+        chain.reverse();
+        let mut trace = Trace::default();
+        for (action, state) in chain {
+            trace.push(action, (*state).clone());
+        }
+        trace
+    }
+}
+
+/// The discovered-state set of one side, lock-striped by fingerprint prefix (the same
+/// sharding scheme as `bfs::ShardedSeen`).
+struct ShardedSeen<S> {
+    shards: Vec<Mutex<HashMap<Fingerprint, Entry<S>>>>,
+    mask: usize,
+    shift: u32,
+}
+
+impl<S> ShardedSeen<S> {
+    fn new(requested: usize) -> Self {
+        let n = requested.max(1).next_power_of_two();
+        let bits = n.trailing_zeros();
+        ShardedSeen {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            shift: (64 - bits) % 64,
+        }
+    }
+
+    fn shard_index(&self, fp: Fingerprint) -> usize {
+        ((fp.0 >> self.shift) as usize) & self.mask
+    }
+
+    fn lock(&self, index: usize) -> MutexGuard<'_, HashMap<Fingerprint, Entry<S>>> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn with_entry<T>(&self, fp: Fingerprint, f: impl FnOnce(&Entry<S>) -> T) -> Option<T> {
+        let guard = self.lock(self.shard_index(fp));
+        guard.get(&fp).map(f)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+}
+
+/// One successor produced by a worker, to be merged into the side summary.
+struct SuccessorRecord<S> {
+    fp: Fingerprint,
+    parent: Fingerprint,
+    action: String,
+    state: S,
+    /// Projection key when the successor is stable.
+    stable_key: Option<u64>,
+    /// The parent's `lset` at expansion time (stable parents carry their own key);
+    /// shared with the frontier entry — read-only until the merge.
+    parent_lset: Arc<BTreeSet<u64>>,
+}
+
+/// Explores one side of the refinement pair, recording stable projections and the
+/// stabilization edges of the projected quotient graph.
+///
+/// When `stop_when_missing_from` is set (the fully explored coarse projection set),
+/// exploration stops at the end of the first BFS level that discovers a stable
+/// projection absent from that set: deeper levels cannot contain a shallower
+/// divergence, so the minimal-depth divergence choice is unaffected while diverging
+/// checks skip the rest of the (often much larger) fine state space.
+fn explore_side<S: SpecState>(
+    spec: &Spec<S>,
+    projection: &TraceProjection<S>,
+    options: &RefineOptions,
+    deadline: Option<Instant>,
+    stop_when_missing_from: Option<&HashMap<u64, (Fingerprint, u32)>>,
+) -> SideSummary<S> {
+    let mut summary = SideSummary {
+        projs: HashMap::new(),
+        edges: HashMap::new(),
+        edge_reps: HashMap::new(),
+        seen: ShardedSeen::new(options.shards),
+        complete: true,
+    };
+
+    // Frontier entries carry the lset snapshot their successors inherit.
+    let mut frontier: Vec<(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)> = Vec::new();
+    for init in &spec.init {
+        let fp = fingerprint(init);
+        let mut shard = summary.seen.lock(summary.seen.shard_index(fp));
+        if shard.contains_key(&fp) {
+            continue;
+        }
+        let mut lset = BTreeSet::new();
+        if projection.is_stable(init) {
+            let projected = projection.project_state(init);
+            let key = projection_key(&projected);
+            lset.insert(key);
+            summary.projs.entry(key).or_insert((fp, 0));
+        }
+        let state = Arc::new(init.clone());
+        shard.insert(
+            fp,
+            Entry {
+                state: Arc::clone(&state),
+                parent: None,
+                action: "Init".to_owned(),
+                lset: lset.clone(),
+            },
+        );
+        drop(shard);
+        frontier.push((fp, state, Arc::new(lset)));
+    }
+
+    let workers = options.workers.max(1);
+    let mut depth: u32 = 0;
+    while !frontier.is_empty() {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                summary.complete = false;
+                break;
+            }
+        }
+        if let Some(max_depth) = options.max_depth {
+            if depth >= max_depth {
+                summary.complete = false;
+                break;
+            }
+        }
+        if let Some(max_states) = options.max_states {
+            if summary.seen.len() >= max_states {
+                summary.complete = false;
+                break;
+            }
+        }
+
+        // Expand the frontier: successor enumeration, fingerprinting and projection run
+        // in parallel; workers only share the lock-striped `seen` set for dedup scouting.
+        let effective = if frontier.len() < 64 { 1 } else { workers };
+        let chunk = frontier.len().div_ceil(effective);
+        let mut batches: Vec<Vec<SuccessorRecord<S>>> = Vec::with_capacity(effective);
+        if effective == 1 {
+            batches.push(expand_chunk(spec, projection, &summary.seen, &frontier));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(|| expand_chunk(spec, projection, &summary.seen, slice))
+                    })
+                    .collect();
+                for h in handles {
+                    batches.push(h.join().expect("refine worker panicked"));
+                }
+            });
+        }
+
+        // Merge sequentially at the level boundary: dedup against `seen`, record stable
+        // projections and stabilization edges, and build the next frontier.  States
+        // whose lset grew are re-enqueued so their successors learn the new contexts.
+        let child_depth = depth + 1;
+        let mut next: Vec<(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)> = Vec::new();
+        for batch in batches {
+            for rec in batch {
+                if let Some(key) = rec.stable_key {
+                    for &from in &*rec.parent_lset {
+                        if from != key {
+                            summary.edges.entry(from).or_default().insert(key);
+                            // Remember the concrete state completing this edge, so an
+                            // unmatched-step divergence can reconstruct a witness that
+                            // actually ends with the offending stabilization.
+                            summary.edge_reps.entry((from, key)).or_insert(rec.fp);
+                        }
+                    }
+                }
+                let child_lset: BTreeSet<u64> = match rec.stable_key {
+                    Some(key) => std::iter::once(key).collect(),
+                    None => (*rec.parent_lset).clone(),
+                };
+                let shard_idx = summary.seen.shard_index(rec.fp);
+                let mut shard = summary.seen.lock(shard_idx);
+                match shard.get_mut(&rec.fp) {
+                    Some(existing) => {
+                        // Known state: merge the lset; a grown lset on an *unstable*
+                        // state changes what its successors stabilize from, so re-expand.
+                        let before = existing.lset.len();
+                        existing.lset.extend(child_lset.iter().copied());
+                        let grew = existing.lset.len() > before;
+                        let is_stable = rec.stable_key.is_some();
+                        if grew && !is_stable {
+                            let entry_state = Arc::clone(&existing.state);
+                            let lset = Arc::new(existing.lset.clone());
+                            drop(shard);
+                            next.push((rec.fp, entry_state, lset));
+                        }
+                    }
+                    None => {
+                        if let Some(key) = rec.stable_key {
+                            summary.projs.entry(key).or_insert((rec.fp, child_depth));
+                        }
+                        let state = Arc::new(rec.state);
+                        shard.insert(
+                            rec.fp,
+                            Entry {
+                                state: Arc::clone(&state),
+                                parent: Some(rec.parent),
+                                action: rec.action,
+                                lset: child_lset.clone(),
+                            },
+                        );
+                        drop(shard);
+                        next.push((rec.fp, state, Arc::new(child_lset)));
+                    }
+                }
+            }
+        }
+        if let Some(known) = stop_when_missing_from {
+            if summary.projs.keys().any(|k| !known.contains_key(k)) {
+                // A divergence exists at (or above) this level; deeper levels cannot
+                // beat its depth.  The side is intentionally left incomplete.
+                summary.complete = false;
+                break;
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    summary
+}
+
+/// Expands one slice of the frontier, computing successors, fingerprints and projections.
+fn expand_chunk<S: SpecState>(
+    spec: &Spec<S>,
+    projection: &TraceProjection<S>,
+    seen: &ShardedSeen<S>,
+    slice: &[(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)],
+) -> Vec<SuccessorRecord<S>> {
+    let mut out = Vec::new();
+    for (parent_fp, state, lset) in slice {
+        for (label, next) in spec.successors(state) {
+            let fp = fingerprint(&next);
+            // Cheap scout: skip successors that are already known *and* whose lset
+            // already covers the parent context (the merge re-checks authoritatively).
+            let skip = seen
+                .with_entry(fp, |e| lset.iter().all(|l| e.lset.contains(l)))
+                .unwrap_or(false);
+            if skip {
+                continue;
+            }
+            let stable_key = if projection.is_stable(&next) {
+                Some(projection_key(&projection.project_state(&next)))
+            } else {
+                None
+            };
+            out.push(SuccessorRecord {
+                fp,
+                parent: *parent_fp,
+                action: label,
+                state: next,
+                stable_key,
+                parent_lset: Arc::clone(lset),
+            });
+        }
+    }
+    out
+}
+
+/// Checks that `coarse` simulates `fine` under `projection`.
+///
+/// Returns a [`RefineOutcome`]; [`RefineOutcome::refines`] is the verdict and
+/// [`RefineOutcome::divergence`] carries a (shrunk) concrete witness trace on failure.
+/// Inclusion of one side's projections in the other is only checked when the other side
+/// was explored to exhaustion; a truncated side yields an inconclusive (but
+/// divergence-free) outcome rather than a spurious divergence.
+pub fn check_refinement<S: SpecState>(
+    fine: &Spec<S>,
+    coarse: &Spec<S>,
+    projection: &TraceProjection<S>,
+    options: &RefineOptions,
+) -> RefineOutcome<S> {
+    let start = Instant::now();
+    let deadline = options.time_budget.map(|b| start + b);
+
+    let coarse_side = explore_side(coarse, projection, options, deadline, None);
+    let fine_side = explore_side(
+        fine,
+        projection,
+        options,
+        deadline,
+        // With the coarse set fully known, the fine exploration may stop at the first
+        // level exhibiting a missing projection instead of exhausting its state space.
+        if coarse_side.complete {
+            Some(&coarse_side.projs)
+        } else {
+            None
+        },
+    );
+
+    let mut stats = RefineStats {
+        fine_states: fine_side.seen.len(),
+        coarse_states: coarse_side.seen.len(),
+        fine_projections: fine_side.projs.len(),
+        coarse_projections: coarse_side.projs.len(),
+        edges_checked: 0,
+        fine_complete: fine_side.complete,
+        coarse_complete: coarse_side.complete,
+        elapsed: Duration::default(),
+    };
+
+    let mut divergence: Option<RefineDivergence<S>> = None;
+
+    // 1. Every stable fine projection must be coarse-reachable (no lost behaviour).
+    if coarse_side.complete {
+        let mut missing: Vec<(u32, u64, Fingerprint)> = fine_side
+            .projs
+            .iter()
+            .filter(|(key, _)| !coarse_side.projs.contains_key(key))
+            .map(|(key, (fp, depth))| (*depth, *key, *fp))
+            .collect();
+        missing.sort();
+        if let Some((_, key, fp)) = missing.first() {
+            divergence = Some(build_divergence(
+                DivergenceKind::MissingInCoarse,
+                fine,
+                &fine_side,
+                *fp,
+                projection,
+                options,
+                |candidate| trace_reaches_projection(candidate, projection, *key),
+            ));
+        }
+    }
+
+    // 2. Every stable coarse projection must be fine-reachable (no invented behaviour).
+    if divergence.is_none() && fine_side.complete {
+        let mut extra: Vec<(u32, u64, Fingerprint)> = coarse_side
+            .projs
+            .iter()
+            .filter(|(key, _)| !fine_side.projs.contains_key(key))
+            .map(|(key, (fp, depth))| (*depth, *key, *fp))
+            .collect();
+        extra.sort();
+        if let Some((_, key, fp)) = extra.first() {
+            divergence = Some(build_divergence(
+                DivergenceKind::ExtraInCoarse,
+                coarse,
+                &coarse_side,
+                *fp,
+                projection,
+                options,
+                |candidate| trace_reaches_projection(candidate, projection, *key),
+            ));
+        }
+    }
+
+    // 3. Simulation mode: every fine stabilization edge must be matched by a coarse
+    //    path between the same projected classes.
+    if divergence.is_none() && options.mode == RefineMode::Simulation && coarse_side.complete {
+        let mut reach_memo: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let mut sorted_edges: Vec<(u64, u64)> = fine_side
+            .edges
+            .iter()
+            .flat_map(|(from, tos)| tos.iter().map(move |to| (*from, *to)))
+            .collect();
+        sorted_edges.sort();
+        for (from, to) in sorted_edges {
+            stats.edges_checked += 1;
+            let reach = reach_memo
+                .entry(from)
+                .or_insert_with(|| coarse_side.reachable_from(from));
+            if !reach.contains(&to) {
+                // Prefer the concrete state that completed this edge over the class
+                // representative: its trace ends in the offending stabilization.
+                let fp = fine_side
+                    .edge_reps
+                    .get(&(from, to))
+                    .copied()
+                    .unwrap_or_else(|| fine_side.projs[&to].0);
+                let coarse_ref = &coarse_side;
+                let mut d = build_divergence(
+                    DivergenceKind::UnmatchedStep,
+                    fine,
+                    &fine_side,
+                    fp,
+                    projection,
+                    options,
+                    |candidate| trace_has_unmatched_edge(candidate, projection, coarse_ref),
+                );
+                // Render both endpoints of the unmatched step: the target is already in
+                // `d.projection`; prepend the source class the coarse side cannot leave.
+                if let Some((from_fp, _)) = fine_side.projs.get(&from) {
+                    if let Some(rendered) = fine_side.seen.with_entry(*from_fp, |e| {
+                        render_projection(&projection.project_state(&e.state))
+                    }) {
+                        d.projection = format!("{rendered} ⟶ {}", d.projection);
+                    }
+                }
+                divergence = Some(d);
+                break;
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    RefineOutcome {
+        fine_spec: fine.name.clone(),
+        coarse_spec: coarse.name.clone(),
+        projection: projection.name.clone(),
+        mode: options.mode,
+        stats,
+        divergence,
+    }
+}
+
+/// Builds (and optionally shrinks) a divergence record whose witness ends at `fp`.
+fn build_divergence<S: SpecState>(
+    kind: DivergenceKind,
+    witness_spec: &Spec<S>,
+    side: &SideSummary<S>,
+    fp: Fingerprint,
+    projection: &TraceProjection<S>,
+    options: &RefineOptions,
+    oracle: impl Fn(&Trace<S>) -> bool,
+) -> RefineDivergence<S> {
+    let witness = side.witness(fp);
+    let original_depth = witness.depth();
+    let rendered = witness
+        .last_state()
+        .map(|s| render_projection(&projection.project_state(s)))
+        .unwrap_or_default();
+    let witness = if options.shrink_witness {
+        let ShrinkOutcome { trace, .. } = shrink_trace(witness_spec, &witness, oracle);
+        trace
+    } else {
+        witness
+    };
+    RefineDivergence {
+        kind,
+        witness_spec: witness_spec.name.clone(),
+        projection: rendered,
+        witness,
+        original_depth,
+    }
+}
+
+/// Oracle: the candidate trace visits a stable state with projection key `key`.
+fn trace_reaches_projection<S: SpecState>(
+    candidate: &Trace<S>,
+    projection: &TraceProjection<S>,
+    key: u64,
+) -> bool {
+    candidate.steps.iter().any(|step| {
+        projection.is_stable(&step.state)
+            && projection_key(&projection.project_state(&step.state)) == key
+    })
+}
+
+/// Oracle: the candidate trace still contains a stabilization edge with no matching
+/// coarse path (used to shrink [`DivergenceKind::UnmatchedStep`] witnesses).
+fn trace_has_unmatched_edge<S: SpecState>(
+    candidate: &Trace<S>,
+    projection: &TraceProjection<S>,
+    coarse: &SideSummary<S>,
+) -> bool {
+    let mut last_stable: Option<u64> = None;
+    for step in &candidate.steps {
+        if !projection.is_stable(&step.state) {
+            continue;
+        }
+        let key = projection_key(&projection.project_state(&step.state));
+        if let Some(from) = last_stable {
+            if from != key && !coarse.reachable_from(from).contains(&key) {
+                return true;
+            }
+        }
+        last_stable = Some(key);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleId, ModuleSpec};
+    use std::collections::BTreeMap;
+
+    /// A two-phase toy: module `M` raises `n` by two in one coarse step, or in two fine
+    /// steps through an intermediate `mid` flag that the projection hides.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct TState {
+        n: u32,
+        mid: bool,
+    }
+
+    impl SpecState for TState {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, Value> {
+            let mut m = BTreeMap::new();
+            if vars.contains(&"n") {
+                m.insert("n".to_owned(), Value::from(self.n));
+            }
+            if vars.contains(&"mid") {
+                m.insert("mid".to_owned(), Value::Bool(self.mid));
+            }
+            m
+        }
+        fn variable_names() -> Vec<&'static str> {
+            vec!["n", "mid"]
+        }
+    }
+
+    const M: ModuleId = ModuleId("M");
+
+    fn fine_spec(limit: u32) -> Spec<TState> {
+        let start = ActionDef::new(
+            "StepStart",
+            M,
+            Granularity::Baseline,
+            vec!["n", "mid"],
+            vec!["mid"],
+            move |s: &TState| {
+                if !s.mid && s.n < limit {
+                    vec![ActionInstance::new(
+                        format!("StepStart({})", s.n),
+                        TState { mid: true, ..*s },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        let finish = ActionDef::new(
+            "StepFinish",
+            M,
+            Granularity::Baseline,
+            vec!["n", "mid"],
+            vec!["n", "mid"],
+            |s: &TState| {
+                if s.mid {
+                    vec![ActionInstance::new(
+                        format!("StepFinish({})", s.n),
+                        TState {
+                            n: s.n + 2,
+                            mid: false,
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        Spec::new(
+            "fine",
+            vec![TState { n: 0, mid: false }],
+            vec![ModuleSpec::new(
+                M,
+                Granularity::Baseline,
+                vec![start, finish],
+            )],
+            vec![],
+        )
+    }
+
+    fn coarse_spec(limit: u32, broken: bool) -> Spec<TState> {
+        let step = ActionDef::new(
+            "StepBoth",
+            M,
+            Granularity::Coarse,
+            vec!["n"],
+            vec!["n"],
+            move |s: &TState| {
+                if s.n < limit {
+                    // The broken variant jumps too far: it loses the fine spec's
+                    // intermediate visible states (and invents states of its own).
+                    let bump = if broken { 3 } else { 2 };
+                    vec![ActionInstance::new(
+                        format!("StepBoth({})", s.n),
+                        TState {
+                            n: s.n + bump,
+                            mid: false,
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        Spec::new(
+            "coarse",
+            vec![TState { n: 0, mid: false }],
+            vec![ModuleSpec::new(M, Granularity::Coarse, vec![step])],
+            vec![],
+        )
+    }
+
+    fn projection() -> TraceProjection<TState> {
+        TraceProjection::identity("n-only", Granularity::Coarse, Granularity::Baseline)
+            .with_state(|s: &TState| s.project(&["n"]))
+            .with_label(|l: &str| {
+                if l.starts_with("StepFinish") || l.starts_with("StepBoth") {
+                    Some("Step".to_owned())
+                } else {
+                    None
+                }
+            })
+            .with_stability(|s: &TState| !s.mid)
+    }
+
+    #[test]
+    fn matching_coarsening_refines() {
+        let outcome = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, false),
+            &projection(),
+            &RefineOptions::default(),
+        );
+        assert!(outcome.refines(), "{outcome}");
+        assert!(outcome.conclusive());
+        assert_eq!(outcome.stats.fine_projections, 4, "n ∈ {{0, 2, 4, 6}}");
+        assert_eq!(outcome.stats.coarse_projections, 4);
+        assert!(outcome.stats.edges_checked >= 3);
+        assert!(outcome.to_string().contains("verdict: refines"));
+    }
+
+    #[test]
+    fn broken_coarse_action_yields_a_shrunk_fine_witness() {
+        // The broken coarse step bumps by 3: the fine projections {2, 4} are missing
+        // from the coarse side (which reaches {0, 3, 6}).
+        let outcome = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, true),
+            &projection(),
+            &RefineOptions::default(),
+        );
+        let divergence = outcome.divergence.as_ref().expect("must diverge");
+        assert_eq!(divergence.kind, DivergenceKind::MissingInCoarse);
+        assert_eq!(divergence.witness_spec, "fine");
+        // The minimal witness of the first missing projection (n == 2) is two steps.
+        assert_eq!(divergence.witness.depth(), 2, "{}", divergence.witness);
+        assert!(divergence.witness.depth() <= divergence.original_depth);
+        assert!(divergence.projection.contains("n = 2"));
+    }
+
+    #[test]
+    fn invented_coarse_behaviour_is_reported_with_a_coarse_witness() {
+        // Coarse reaches odd n values the fine spec cannot: precision is violated even
+        // though every *fine* projection also needs matching (checked first) — restrict
+        // the fine spec so the missing direction stays clean.
+        let fine = fine_spec(0); // fine never moves: projections = {0}
+        let coarse = coarse_spec(1, true); // coarse reaches n = 1
+        let outcome = check_refinement(&fine, &coarse, &projection(), &RefineOptions::default());
+        let divergence = outcome.divergence.expect("must diverge");
+        assert_eq!(divergence.kind, DivergenceKind::ExtraInCoarse);
+        assert_eq!(divergence.witness_spec, "coarse");
+        assert_eq!(divergence.witness.depth(), 1);
+    }
+
+    #[test]
+    fn unmatched_step_is_caught_in_simulation_mode_only() {
+        // Coarse reaches both projections but only in the order 0 → 4 → 2: the fine
+        // stabilization edge 0 → 2 has no matching coarse path from 0's class... build
+        // it directly: coarse jumps 0 → 4, then 4 → 2.
+        let jump = ActionDef::new(
+            "Jump",
+            M,
+            Granularity::Coarse,
+            vec!["n"],
+            vec!["n"],
+            |s: &TState| match s.n {
+                0 => vec![ActionInstance::new("Jump(0)", TState { n: 4, mid: false })],
+                4 => vec![ActionInstance::new("Jump(4)", TState { n: 2, mid: false })],
+                _ => vec![],
+            },
+        );
+        let coarse = Spec::new(
+            "coarse-reordered",
+            vec![TState { n: 0, mid: false }],
+            vec![ModuleSpec::new(M, Granularity::Coarse, vec![jump])],
+            vec![],
+        );
+        // Fine: 0 → 2 → 4 (and stops at 4).
+        let fine = fine_spec(3);
+
+        let inclusion = check_refinement(
+            &fine,
+            &coarse,
+            &projection(),
+            &RefineOptions::default().with_mode(RefineMode::TraceInclusion),
+        );
+        assert!(inclusion.refines(), "projection sets match: {inclusion}");
+
+        let simulation = check_refinement(&fine, &coarse, &projection(), &RefineOptions::default());
+        let divergence = simulation.divergence.expect("simulation must diverge");
+        // Fine's stabilization edge 2 → 4 is unmatched: the coarse quotient reaches 4
+        // only directly from 0 (its edges are 0 → 4 → 2, nothing out of 2).
+        assert_eq!(divergence.kind, DivergenceKind::UnmatchedStep);
+        assert!(divergence.witness.depth() >= 1);
+    }
+
+    #[test]
+    fn truncated_sides_are_inconclusive_not_divergent() {
+        let outcome = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, true),
+            &projection(),
+            &RefineOptions::default().with_max_states(1),
+        );
+        assert!(outcome.refines(), "no divergence may be reported");
+        assert!(!outcome.conclusive());
+    }
+
+    #[test]
+    fn parallel_workers_agree_with_sequential() {
+        let seq = check_refinement(
+            &fine_spec(40),
+            &coarse_spec(40, false),
+            &projection(),
+            &RefineOptions::default(),
+        );
+        let par = check_refinement(
+            &fine_spec(40),
+            &coarse_spec(40, false),
+            &projection(),
+            &RefineOptions::default().with_workers(4),
+        );
+        assert_eq!(seq.refines(), par.refines());
+        assert_eq!(seq.stats.fine_states, par.stats.fine_states);
+        assert_eq!(seq.stats.fine_projections, par.stats.fine_projections);
+        assert_eq!(seq.stats.coarse_projections, par.stats.coarse_projections);
+    }
+}

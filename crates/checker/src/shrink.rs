@@ -80,6 +80,14 @@ pub fn replay_labels<S: SpecState>(
 /// contiguous chunks of actions, halving the chunk size ddmin-style, and every
 /// candidate is re-validated against the spec before the oracle sees it, so the
 /// result is always a legal execution.
+///
+/// Degenerate witnesses are already minimal and short-circuit without touching the
+/// oracle: an empty trace, an init-only trace and a single-action trace all come back
+/// unchanged with `oracle_calls == 0`.  (Callers such as the refinement checker hand
+/// ddmin whatever witness exploration produced, including depth-0 witnesses of a
+/// diverging *initial* state and depth-1 witnesses of a diverging first step — the
+/// only removal a depth-1 witness admits is the empty execution, which cannot witness
+/// anything, so there is nothing to search.)
 pub fn shrink_trace<S: SpecState>(
     spec: &Spec<S>,
     trace: &Trace<S>,
@@ -92,7 +100,11 @@ pub fn shrink_trace<S: SpecState>(
         candidates: 0,
         oracle_calls: 0,
     };
-    if trace.steps.is_empty() || original_depth == 0 {
+    let Some(first) = trace.steps.first() else {
+        return outcome; // Empty witness: nothing to remove.
+    };
+    if original_depth <= 1 {
+        // Init-only or single-action witness: already 1-minimal, return unchanged.
         return outcome;
     }
     outcome.oracle_calls += 1;
@@ -100,7 +112,7 @@ pub fn shrink_trace<S: SpecState>(
         // Nothing to minimize: the property does not even hold on the input.
         return outcome;
     }
-    let init = trace.steps[0].state.clone();
+    let init = first.state.clone();
     let mut labels: Vec<String> = trace
         .steps
         .iter()
@@ -352,6 +364,39 @@ mod tests {
         let outcome = shrink_trace(&spec, &init_only, |_| true);
         assert_eq!(outcome.trace, init_only);
         assert_eq!(outcome.oracle_calls, 0);
+    }
+
+    #[test]
+    fn single_action_witness_is_returned_unchanged() {
+        // ddmin over a single-action witness must terminate and return the input
+        // unchanged — the only removable candidate is the empty execution, which cannot
+        // witness anything — regardless of what the oracle would say about it.
+        let spec = toggle_spec(10);
+        let mut one = Trace::from_init(TState { n: 0, t: false });
+        one.push("Inc(0)", TState { n: 1, t: false });
+        for oracle in [true, false] {
+            let outcome = shrink_trace(&spec, &one, |_| oracle);
+            assert_eq!(outcome.trace, one, "oracle = {oracle}");
+            assert_eq!(outcome.shrunk_depth(), 1);
+            assert!(!outcome.reduced());
+            assert_eq!(
+                outcome.oracle_calls, 0,
+                "degenerate witnesses skip the oracle"
+            );
+            assert_eq!(outcome.candidates, 0);
+        }
+    }
+
+    #[test]
+    fn two_action_witness_still_shrinks_normally() {
+        // The depth-1 guard must not swallow the first genuinely shrinkable size.
+        let spec = toggle_spec(10);
+        let mut two = Trace::from_init(TState { n: 0, t: false });
+        two.push("Toggle(false)", TState { n: 0, t: true });
+        two.push("Inc(0)", TState { n: 1, t: true }); // n is what the oracle watches
+        let outcome = shrink_trace(&spec, &two, |t| t.last_state().is_some_and(|s| s.n == 1));
+        assert_eq!(outcome.trace.action_labels(), vec!["Inc(0)"]);
+        assert!(outcome.reduced());
     }
 
     #[test]

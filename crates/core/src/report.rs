@@ -174,9 +174,115 @@ impl ExploreRow {
     }
 }
 
+/// One row of the refinement matrix (the `BENCH_refine.json` artefact): whether one
+/// composition simulates another under a granularity projection, with the state counts
+/// and wall time of the dual exploration.
+#[derive(Debug, Clone)]
+pub struct RefineRow {
+    /// The fine (concrete) specification.
+    pub fine: String,
+    /// The coarse (abstract) specification.
+    pub coarse: String,
+    /// The projection the comparison ran under.
+    pub projection: String,
+    /// The check mode (`"simulation"` or `"trace-inclusion"`).
+    pub mode: String,
+    /// The modelled code version.
+    pub version: String,
+    /// Number of servers in the configuration.
+    pub servers: usize,
+    /// Whether the coarse side simulates the fine side.
+    pub refines: bool,
+    /// Whether both sides were explored to exhaustion (a conclusive verdict).
+    pub conclusive: bool,
+    /// The divergence kind when one was found.
+    pub divergence: Option<String>,
+    /// Transition count of the shrunk divergence witness.
+    pub witness_depth: Option<u32>,
+    /// Transition count of the witness before shrinking.
+    pub witness_original_depth: Option<u32>,
+    /// Distinct concrete states explored on the fine side.
+    pub fine_states: usize,
+    /// Distinct concrete states explored on the coarse side.
+    pub coarse_states: usize,
+    /// Distinct stable projections on the fine side.
+    pub fine_projections: usize,
+    /// Distinct stable projections on the coarse side.
+    pub coarse_projections: usize,
+    /// Fine stabilization edges checked against the coarse quotient.
+    pub edges_checked: usize,
+    /// Wall-clock time of the check.
+    pub time: Duration,
+}
+
+impl RefineRow {
+    /// Serializes the row as one JSON object (durations in milliseconds).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("fine", &self.fine)
+            .string("coarse", &self.coarse)
+            .string("projection", &self.projection)
+            .string("mode", &self.mode)
+            .string("version", &self.version)
+            .u128("servers", self.servers as u128)
+            .bool("refines", self.refines)
+            .bool("conclusive", self.conclusive)
+            .opt_string("divergence", self.divergence.as_deref())
+            .opt_u128("witness_depth", self.witness_depth.map(u128::from))
+            .opt_u128(
+                "witness_original_depth",
+                self.witness_original_depth.map(u128::from),
+            )
+            .u128("fine_states", self.fine_states as u128)
+            .u128("coarse_states", self.coarse_states as u128)
+            .u128("fine_projections", self.fine_projections as u128)
+            .u128("coarse_projections", self.coarse_projections as u128)
+            .u128("edges_checked", self.edges_checked as u128)
+            .u128("time", self.time.as_millis())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn refine_rows_serialize_to_json() {
+        let row = RefineRow {
+            fine: "SysSpec".to_owned(),
+            coarse: "mSpec-1".to_owned(),
+            projection: "Coarse⊑Baseline(Election+Discovery)".to_owned(),
+            mode: "simulation".to_owned(),
+            version: "ZooKeeper v3.9.1".to_owned(),
+            servers: 3,
+            refines: true,
+            conclusive: true,
+            divergence: None,
+            witness_depth: None,
+            witness_original_depth: None,
+            fine_states: 65_653,
+            coarse_states: 181,
+            fine_projections: 181,
+            coarse_projections: 181,
+            edges_checked: 704,
+            time: Duration::from_millis(5_400),
+        };
+        let json = row.to_json();
+        assert!(json.contains("\"refines\":true"));
+        assert!(json.contains("\"divergence\":null"));
+        assert!(json.contains("\"time\":5400"));
+        let diverging = RefineRow {
+            refines: false,
+            divergence: Some("MissingInCoarse".to_owned()),
+            witness_depth: Some(12),
+            witness_original_depth: Some(31),
+            ..row
+        };
+        let json = diverging.to_json();
+        assert!(json.contains("\"divergence\":\"MissingInCoarse\""));
+        assert!(json.contains("\"witness_depth\":12"));
+    }
 
     #[test]
     fn explore_rows_serialize_to_json() {

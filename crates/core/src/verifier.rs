@@ -6,11 +6,15 @@
 
 use std::time::Duration;
 
-use remix_checker::{check_bfs, shrink_violation, CheckMode, CheckOptions, CheckOutcome};
-use remix_spec::{Invariant, Spec, Trace};
-use remix_zab::{ClusterConfig, SpecPreset, ZabState};
+use remix_checker::{
+    check_bfs, check_refinement, shrink_violation, CheckMode, CheckOptions, CheckOutcome,
+    RefineOptions, RefineOutcome,
+};
+use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, Trace};
+use remix_zab::{projection_between, ClusterConfig, SpecPreset, ZabState};
 
 use crate::composer::Composer;
+use crate::report::RefineRow;
 
 /// Options of a verification run.
 #[derive(Debug, Clone)]
@@ -195,6 +199,144 @@ impl Verifier {
             outcome,
             shrunk,
         }
+    }
+}
+
+/// The result of one refinement check between two compositions.
+#[derive(Debug)]
+pub struct RefinementRun {
+    /// The raw refinement outcome, including the (shrunk) witness on divergence.
+    pub outcome: RefineOutcome<ZabState>,
+    /// The configuration the check ran under.
+    pub config: ClusterConfig,
+}
+
+impl RefinementRun {
+    /// `true` when the coarse composition simulates the fine one.
+    pub fn refines(&self) -> bool {
+        self.outcome.refines()
+    }
+
+    /// The modules of the actions in the divergence witness that exist only in the
+    /// fine composition — the localization of the divergence (e.g. the thread actions
+    /// of the Synchronization module for a ZK-3023 witness).
+    ///
+    /// Empty when the check refines, or when every witness action also exists on the
+    /// coarse side (the divergence then comes from an interleaving, not a fine-only
+    /// action).
+    pub fn culprit_modules(&self, fine: &Spec<ZabState>, coarse: &Spec<ZabState>) -> Vec<ModuleId> {
+        let Some(divergence) = &self.outcome.divergence else {
+            return Vec::new();
+        };
+        let coarse_names: std::collections::BTreeSet<&str> =
+            coarse.actions().map(|a| a.name).collect();
+        let mut culprits: std::collections::BTreeSet<ModuleId> = Default::default();
+        for label in divergence.witness.action_labels() {
+            let name = label.split('(').next().unwrap_or(label);
+            if coarse_names.contains(name) {
+                continue;
+            }
+            if let Some(action) = fine.actions().find(|a| a.name == name) {
+                culprits.insert(action.module);
+            }
+        }
+        culprits.into_iter().collect()
+    }
+
+    /// Renders the result as a row of the refinement matrix.
+    pub fn row(&self) -> RefineRow {
+        RefineRow {
+            fine: self.outcome.fine_spec.clone(),
+            coarse: self.outcome.coarse_spec.clone(),
+            projection: self.outcome.projection.clone(),
+            mode: self.outcome.mode.to_string(),
+            version: self.config.version.label().to_owned(),
+            servers: self.config.num_servers,
+            refines: self.outcome.refines(),
+            conclusive: self.outcome.conclusive(),
+            divergence: self
+                .outcome
+                .divergence
+                .as_ref()
+                .map(|d| format!("{:?}", d.kind)),
+            witness_depth: self
+                .outcome
+                .divergence
+                .as_ref()
+                .map(|d| d.witness.depth() as u32),
+            witness_original_depth: self
+                .outcome
+                .divergence
+                .as_ref()
+                .map(|d| d.original_depth as u32),
+            fine_states: self.outcome.stats.fine_states,
+            coarse_states: self.outcome.stats.coarse_states,
+            fine_projections: self.outcome.stats.fine_projections,
+            coarse_projections: self.outcome.stats.coarse_projections,
+            edges_checked: self.outcome.stats.edges_checked,
+            time: self.outcome.stats.elapsed,
+        }
+    }
+}
+
+impl Verifier {
+    /// Checks that the `coarse` preset simulates the `fine` preset under the
+    /// granularity projection derived from their composition plans.
+    ///
+    /// This is the semantic verification of the paper's interaction-preservation claim
+    /// (§3.2): it is what justifies trusting mixed-grained verification results
+    /// obtained with the coarse composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the presets do not form a refinement pair — i.e. `coarse` does not
+    /// select a strictly coarser granularity than `fine` for at least one module (note
+    /// the argument order: the *fine* preset comes first).  Use
+    /// [`check_refinement_plans`](Self::check_refinement_plans) for a non-panicking
+    /// variant over arbitrary plans.
+    pub fn check_refinement(
+        &self,
+        fine: SpecPreset,
+        coarse: SpecPreset,
+        options: &RefineOptions,
+    ) -> RefinementRun {
+        self.check_refinement_plans(&fine.plan(), &coarse.plan(), options)
+            .unwrap_or_else(|| {
+                panic!(
+                    "presets do not form a refinement pair: {} must strictly abstract {} \
+                     (check the argument order: fine first, coarse second)",
+                    coarse.name(),
+                    fine.name()
+                )
+            })
+    }
+
+    /// Checks refinement between two arbitrary composition plans.  Returns `None` when
+    /// the plans do not form a refinement pair (identical granularities everywhere, or
+    /// the `coarse` plan does not abstract the `fine` plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a plan that *does* form a refinement pair fails to build (it names
+    /// a module/granularity combination the specification library does not provide) —
+    /// that is a set-up error, reported with the underlying [`remix_spec::SpecError`]
+    /// rather than folded into the `None` case.
+    pub fn check_refinement_plans(
+        &self,
+        fine_plan: &CompositionPlan,
+        coarse_plan: &CompositionPlan,
+        options: &RefineOptions,
+    ) -> Option<RefinementRun> {
+        let projection = projection_between(fine_plan, coarse_plan, &self.config)?;
+        let fine = remix_zab::build_from_plan(fine_plan, &self.config)
+            .unwrap_or_else(|e| panic!("fine plan {} does not build: {e:?}", fine_plan.name));
+        let coarse = remix_zab::build_from_plan(coarse_plan, &self.config)
+            .unwrap_or_else(|e| panic!("coarse plan {} does not build: {e:?}", coarse_plan.name));
+        let outcome = check_refinement(&fine, &coarse, &projection, options);
+        Some(RefinementRun {
+            outcome,
+            config: self.config,
+        })
     }
 }
 

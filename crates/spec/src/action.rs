@@ -51,6 +51,17 @@ impl Granularity {
         self.detail_rank() >= other.detail_rank()
     }
 
+    /// Returns `true` if this granularity is a *strict* abstraction of `other`: it models
+    /// strictly less code-level detail, so a specification at this granularity is the
+    /// coarse side of a refinement check against a specification at `other`.
+    ///
+    /// `abstracts` is a strict partial order (irreflexive, asymmetric, transitive); it is
+    /// the strict companion of [`Granularity::at_least`] with the arguments flipped:
+    /// `a.abstracts(b) ⟺ b.at_least(a) ∧ a ≠ b` over the detail ranks.
+    pub fn abstracts(self, other: Granularity) -> bool {
+        self.detail_rank() < other.detail_rank()
+    }
+
     fn detail_rank(self) -> u8 {
         match self {
             Granularity::Protocol => 0,
@@ -186,6 +197,16 @@ mod tests {
         assert!(!Granularity::Coarse.at_least(Granularity::FineAtomic));
         assert_eq!(Granularity::FineAtomic.label(), "Fine-grained (atom.)");
         assert_eq!(Granularity::Coarse.to_string(), "Coarsened");
+    }
+
+    #[test]
+    fn abstracts_is_strict() {
+        assert!(Granularity::Coarse.abstracts(Granularity::Baseline));
+        assert!(Granularity::Baseline.abstracts(Granularity::FineAtomic));
+        assert!(Granularity::Protocol.abstracts(Granularity::Coarse));
+        // Irreflexive and asymmetric.
+        assert!(!Granularity::Baseline.abstracts(Granularity::Baseline));
+        assert!(!Granularity::Baseline.abstracts(Granularity::Coarse));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   invariants that make sense for its granularity (§3.5.1).
 //! * **Traces** ([`trace`]): counterexample and simulation traces with projection onto a
 //!   target module, used both for debugging and for conformance checking.
+//! * **Granularity projections** ([`projection`]): the abstraction relation between two
+//!   granularities of the same library — per-state and per-label projections plus a
+//!   stability predicate — consumed by the refinement checker
+//!   (`remix-checker::refine`) to prove that a coarse composition simulates a fine one.
 
 #![warn(missing_docs)]
 
@@ -32,6 +36,7 @@ pub mod compose;
 pub mod error;
 pub mod invariant;
 pub mod module;
+pub mod projection;
 pub mod spec;
 pub mod trace;
 pub mod value;
@@ -45,6 +50,7 @@ pub use compose::{compose, CompositionPlan, ModuleChoice};
 pub use error::SpecError;
 pub use invariant::{Invariant, InvariantScope, InvariantSource};
 pub use module::{ModuleId, ModuleSpec};
+pub use projection::{LabelProjectionFn, StabilityFn, StateProjectionFn, TraceProjection};
 pub use spec::{Spec, SpecState};
 pub use trace::{
     condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep,

@@ -1,0 +1,241 @@
+//! Granularity projections: the abstraction relation between specifications of
+//! different granularities.
+//!
+//! Composing modules at mixed granularities is only sound when the coarse module
+//! specifications admit exactly the cross-module interactions of the finer ones (§3.2).
+//! The refinement checker (`remix-checker::refine`) verifies this *semantically* by
+//! exploring both compositions and comparing them under a [`TraceProjection`] — a triple
+//! of
+//!
+//! * a **state projection**: the externally visible part of a state at the coarse
+//!   granularity, with the internal bookkeeping of the coarsened modules (votes,
+//!   notification messages, thread queues) normalized away;
+//! * a **label projection**: which fine action labels are visible at the coarse
+//!   granularity (`None` = internal step that the coarse side matches by stuttering);
+//! * a **stability predicate**: whether a state is *between* coarse steps.  A coarse
+//!   action such as `ElectionAndDiscovery` (Figure 5b) executes many fine transitions
+//!   atomically; fine states inside that stretch correspond to no coarse state at all
+//!   and are only compared once the stretch completes ("commit points" of the
+//!   coarsening).
+//!
+//! [`TraceProjection::project_trace`] applies all three to a concrete trace, producing
+//! the condensed, stable-snapshot [`ProjectedTrace`] on which trace equivalence (the
+//! `~` relation of Appendix B.4) is decided.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::action::Granularity;
+use crate::spec::SpecState;
+use crate::trace::{condense, ProjectedStep, ProjectedTrace, Trace};
+use crate::value::Value;
+
+/// Function projecting a state onto its externally visible variables.
+pub type StateProjectionFn<S> = Arc<dyn Fn(&S) -> BTreeMap<String, Value> + Send + Sync>;
+
+/// Function mapping a fine action label onto the coarse label space (`None` = internal).
+pub type LabelProjectionFn = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// Predicate deciding whether a state lies between coarse steps (a commit point).
+pub type StabilityFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// The abstraction relation between two granularities of one specification library.
+#[derive(Clone)]
+pub struct TraceProjection<S> {
+    /// Human-readable name, e.g. `"Coarse⊑Baseline(Election+Discovery)"`.
+    pub name: String,
+    /// The coarse (abstract) granularity of the pair.
+    pub coarse: Granularity,
+    /// The fine (concrete) granularity of the pair.
+    pub fine: Granularity,
+    state: StateProjectionFn<S>,
+    label: LabelProjectionFn,
+    stable: StabilityFn<S>,
+}
+
+impl<S: SpecState> TraceProjection<S> {
+    /// Creates the identity projection between two granularities: every variable is
+    /// visible, every label is visible unchanged, and every state is stable.
+    ///
+    /// `coarse` must strictly abstract `fine` ([`Granularity::abstracts`]); the
+    /// constructor asserts this so ill-ordered pairs fail loudly at construction time.
+    pub fn identity(name: impl Into<String>, coarse: Granularity, fine: Granularity) -> Self {
+        assert!(
+            coarse.abstracts(fine),
+            "{coarse} does not abstract {fine}: projections go from fine to coarse"
+        );
+        TraceProjection {
+            name: name.into(),
+            coarse,
+            fine,
+            state: Arc::new(|s: &S| {
+                let vars = S::variable_names();
+                s.project(&vars)
+            }),
+            label: Arc::new(|l: &str| Some(l.to_owned())),
+            stable: Arc::new(|_| true),
+        }
+    }
+
+    /// Replaces the state projection.
+    pub fn with_state(
+        mut self,
+        state: impl Fn(&S) -> BTreeMap<String, Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.state = Arc::new(state);
+        self
+    }
+
+    /// Replaces the label projection.
+    pub fn with_label(
+        mut self,
+        label: impl Fn(&str) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        self.label = Arc::new(label);
+        self
+    }
+
+    /// Replaces the stability predicate.
+    pub fn with_stability(mut self, stable: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        self.stable = Arc::new(stable);
+        self
+    }
+
+    /// Projects one state onto its externally visible variables.
+    pub fn project_state(&self, state: &S) -> BTreeMap<String, Value> {
+        (self.state)(state)
+    }
+
+    /// Maps a fine action label onto the coarse label space (`None` = internal step).
+    pub fn project_label(&self, label: &str) -> Option<String> {
+        (self.label)(label)
+    }
+
+    /// Returns `true` when `state` is a commit point of the coarsening (it corresponds
+    /// to a coarse state and participates in the refinement comparison).
+    pub fn is_stable(&self, state: &S) -> bool {
+        (self.stable)(state)
+    }
+
+    /// Projects a trace: keeps the stable snapshots, projects each onto the visible
+    /// variables, maps the labels, and condenses away stuttering steps.
+    ///
+    /// The result is total on every trace (projection never fails): unstable steps are
+    /// folded into the preceding stable snapshot, internal labels are replaced by `"τ"`
+    /// when the projected state still changed (which the condensation then keeps), and
+    /// repeated projections are dropped.
+    pub fn project_trace(&self, trace: &Trace<S>) -> ProjectedTrace {
+        let mut steps: Vec<ProjectedStep> = Vec::new();
+        for (i, step) in trace.steps.iter().enumerate() {
+            if !self.is_stable(&step.state) {
+                continue;
+            }
+            let action = if i == 0 {
+                step.action.clone()
+            } else {
+                self.project_label(&step.action)
+                    .unwrap_or_else(|| "τ".to_owned())
+            };
+            steps.push(ProjectedStep {
+                action,
+                vars: self.project_state(&step.state),
+            });
+        }
+        condense(&ProjectedTrace { steps })
+    }
+}
+
+impl<S> fmt::Debug for TraceProjection<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceProjection")
+            .field("name", &self.name)
+            .field("coarse", &self.coarse)
+            .field("fine", &self.fine)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::testutil::Counters;
+
+    fn sample() -> Trace<Counters> {
+        let mut t = Trace::from_init(Counters { x: 0, y: 0 });
+        t.push("IncX(0)", Counters { x: 1, y: 0 });
+        t.push("IncY(0)", Counters { x: 1, y: 1 });
+        t.push("IncX(1)", Counters { x: 2, y: 1 });
+        t
+    }
+
+    fn y_projection() -> TraceProjection<Counters> {
+        TraceProjection::identity("y-only", Granularity::Coarse, Granularity::Baseline)
+            .with_state(|s: &Counters| s.project(&["y"]))
+            .with_label(|l: &str| {
+                if l.starts_with("IncY") {
+                    Some(l.to_owned())
+                } else {
+                    None
+                }
+            })
+    }
+
+    #[test]
+    #[should_panic(expected = "does not abstract")]
+    fn identity_rejects_ill_ordered_pairs() {
+        let _ = TraceProjection::<Counters>::identity(
+            "bad",
+            Granularity::FineAtomic,
+            Granularity::Coarse,
+        );
+    }
+
+    #[test]
+    fn identity_projection_keeps_everything() {
+        let p: TraceProjection<Counters> =
+            TraceProjection::identity("id", Granularity::Coarse, Granularity::Baseline);
+        let t = sample();
+        let projected = p.project_trace(&t);
+        assert_eq!(projected.steps.len(), 4);
+        assert_eq!(projected.steps[1].action, "IncX(0)");
+        assert!(p.is_stable(&Counters { x: 0, y: 0 }));
+        assert_eq!(p.project_label("IncX(0)"), Some("IncX(0)".to_owned()));
+    }
+
+    #[test]
+    fn state_and_label_projections_condense_internal_steps() {
+        let p = y_projection();
+        let t = sample();
+        let projected = p.project_trace(&t);
+        // Only the y-changing step survives condensation; the IncX steps stutter.
+        assert_eq!(projected.steps.len(), 2);
+        assert_eq!(projected.steps[1].action, "IncY(0)");
+        assert_eq!(projected.steps[1].vars["y"], Value::Int(1));
+        // Projection is idempotent: condensing the projected trace is a fixed point.
+        assert_eq!(condense(&projected), projected);
+    }
+
+    #[test]
+    fn unstable_snapshots_are_skipped() {
+        // States with x > y are "mid-step" for this toy coarsening.
+        let p = y_projection().with_stability(|s: &Counters| s.x == s.y);
+        let t = sample();
+        let projected = p.project_trace(&t);
+        // Only (0, 0) and (1, 1) are stable; their y-projections are 0 and 1.
+        assert_eq!(projected.steps.len(), 2);
+        assert_eq!(projected.steps[0].vars["y"], Value::Int(0));
+        assert_eq!(projected.steps[1].vars["y"], Value::Int(1));
+    }
+
+    #[test]
+    fn internal_label_with_visible_change_becomes_tau() {
+        // Everything visible in the state, but all labels internal: changes show as τ.
+        let p: TraceProjection<Counters> =
+            TraceProjection::identity("tau", Granularity::Coarse, Granularity::Baseline)
+                .with_label(|_| None);
+        let projected = p.project_trace(&sample());
+        assert!(projected.steps.iter().skip(1).all(|s| s.action == "τ"));
+        assert_eq!(projected.steps.len(), 4, "x/y change on every step");
+    }
+}

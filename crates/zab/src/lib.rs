@@ -9,6 +9,9 @@
 //!   coarse interaction-preserving abstraction, faults);
 //! * [`invariants`] — the fourteen invariants of Table 2;
 //! * [`presets`] — the mixed-grained compositions of Table 1 (SysSpec, mSpec-1..4);
+//! * [`projection`] — the granularity projections relating those compositions, consumed
+//!   by the refinement checker (`remix-checker::refine`) to prove the coarsenings
+//!   interaction-preserving;
 //! * [`versions`] — the ZooKeeper code versions, bug flags and the bug lineage of
 //!   Figure 8;
 //! * [`protocol`] — the protocol-level specification of Zab (§2.1.1) together with the
@@ -19,6 +22,7 @@ pub mod config;
 pub mod invariants;
 pub mod modules;
 pub mod presets;
+pub mod projection;
 pub mod protocol;
 pub mod state;
 pub mod types;
@@ -26,6 +30,9 @@ pub mod versions;
 
 pub use config::ClusterConfig;
 pub use presets::{build_from_plan, SpecPreset};
+pub use projection::{
+    baseline_vs_fine_sync, coarse_vs_baseline, projection_between, ProjectionSpec,
+};
 pub use state::{GhostState, ServerData, ZabState};
 pub use types::{
     CodeViolation, Message, ServerState, Sid, SyncMode, Txn, ViolationKind, Vote, ZabPhase, Zxid,

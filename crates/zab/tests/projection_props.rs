@@ -1,0 +1,123 @@
+//! Property tests of the granularity projections, via the vendored `proptest` stand-in.
+//!
+//! The refinement checker's verdicts are only as trustworthy as the projections it
+//! compares under, so the algebraic properties the engine relies on are pinned down
+//! over generated inputs: projection is *total* on every simulated Baseline trace and
+//! *idempotent* (projecting a projected trace is a fixed point), the label projection
+//! is idempotent on its own image, and `Granularity::abstracts` is a strict partial
+//! order (the precondition of `TraceProjection::identity`).
+
+use proptest::prelude::*;
+use remix_checker::{simulate_one, CheckerRng};
+use remix_spec::{condense, Granularity};
+use remix_zab::{
+    baseline_vs_fine_sync, coarse_vs_baseline, ClusterConfig, CodeVersion, SpecPreset,
+};
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        max_transactions: 1,
+        max_crashes: 1,
+        ..ClusterConfig::small(CodeVersion::V391)
+    }
+}
+
+const GRANULARITIES: [Granularity; 5] = [
+    Granularity::Protocol,
+    Granularity::Coarse,
+    Granularity::Baseline,
+    Granularity::FineAtomic,
+    Granularity::FineConcurrent,
+];
+
+proptest! {
+    /// Projecting a simulated Baseline trace is total: every state projects to a
+    /// well-formed variable map (with the globally visible variables always present),
+    /// every label maps to `Some` or `None` without panicking, and the projected trace
+    /// is condensed (no two consecutive steps with equal projections).
+    #[test]
+    fn baseline_trace_projection_is_total(seed in 0u64..64, depth in 1u32..40) {
+        let config = config();
+        let spec = SpecPreset::SysSpec.build(&config);
+        let projection = coarse_vs_baseline(&config);
+        let mut rng = CheckerRng::seed_from_u64(seed);
+        let trace = simulate_one(&spec, depth, &mut rng);
+        for step in &trace.steps {
+            let projected = projection.project_state(&step.state);
+            prop_assert!(projected.contains_key("servers"));
+            prop_assert!(projected.contains_key("ghost"));
+            prop_assert!(projected.contains_key("crashBudget"));
+            prop_assert!(projected.contains_key("violation"));
+            // Stability is a total predicate too.
+            let _ = projection.is_stable(&step.state);
+            let _ = projection.project_label(&step.action);
+        }
+        let projected = projection.project_trace(&trace);
+        prop_assert!(projected.steps.len() <= trace.steps.len());
+        for w in projected.steps.windows(2) {
+            prop_assert_ne!(&w[0].vars, &w[1].vars);
+        }
+    }
+
+    /// Trace projection is idempotent: the projected trace is already condensed, so
+    /// condensing it again is a fixed point — for both the election/discovery and the
+    /// synchronization normalizations, on traces of the matching fine composition.
+    #[test]
+    fn trace_projection_is_idempotent(seed in 0u64..48, depth in 1u32..32) {
+        let config = config();
+        let mut rng = CheckerRng::seed_from_u64(seed);
+
+        let baseline = SpecPreset::SysSpec.build(&config);
+        let p1 = coarse_vs_baseline(&config);
+        let t1 = simulate_one(&baseline, depth, &mut rng);
+        let projected = p1.project_trace(&t1);
+        prop_assert_eq!(&condense(&projected), &projected);
+
+        let fine = SpecPreset::MSpec4.build(&config);
+        let p2 = baseline_vs_fine_sync(&config, Granularity::FineConcurrent);
+        let t2 = simulate_one(&fine, depth, &mut rng);
+        let projected = p2.project_trace(&t2);
+        prop_assert_eq!(&condense(&projected), &projected);
+    }
+
+    /// The label projection is idempotent on its image: a label that survives
+    /// projection projects to itself again.
+    #[test]
+    fn label_projection_is_idempotent_on_its_image(seed in 0u64..48, depth in 1u32..32) {
+        let config = config();
+        let spec = SpecPreset::SysSpec.build(&config);
+        let projection = coarse_vs_baseline(&config);
+        let mut rng = CheckerRng::seed_from_u64(seed);
+        let trace = simulate_one(&spec, depth, &mut rng);
+        for label in trace.action_labels() {
+            if let Some(mapped) = projection.project_label(label) {
+                prop_assert_eq!(projection.project_label(&mapped), Some(mapped.clone()));
+            }
+        }
+        // The coarse big-step label is a fixed point as well.
+        let ead = projection
+            .project_label("ElectionAndDiscovery(2, {0, 1, 2})")
+            .expect("visible");
+        prop_assert_eq!(projection.project_label(&ead), Some(ead.clone()));
+    }
+
+    /// `Granularity::abstracts` is a strict partial order: irreflexive, asymmetric and
+    /// transitive (checked over all generated triples).
+    #[test]
+    fn abstracts_is_a_strict_partial_order(a in 0usize..5, b in 0usize..5, c in 0usize..5) {
+        let (a, b, c) = (GRANULARITIES[a], GRANULARITIES[b], GRANULARITIES[c]);
+        // Irreflexive.
+        prop_assert!(!a.abstracts(a));
+        // Asymmetric.
+        if a.abstracts(b) {
+            prop_assert!(!b.abstracts(a));
+        }
+        // Transitive.
+        if a.abstracts(b) && b.abstracts(c) {
+            prop_assert!(a.abstracts(c));
+        }
+        // Consistency with the non-strict order: strict abstraction is exactly
+        // "strictly less detail".
+        prop_assert_eq!(a.abstracts(b), b.at_least(a) && !a.at_least(b));
+    }
+}

@@ -24,6 +24,28 @@ pub enum SimEvent {
         /// The participating quorum (including the leader).
         quorum: Vec<Sid>,
     },
+    /// A LOOKING server that overheard the winning election round connects to the
+    /// already-elected leader and completes the discovery handshake (the code path a
+    /// late `FastLeaderElection` decision takes; the model-level counterpart is the
+    /// coarse `ElectionAndDiscoveryLateJoin` action).
+    FollowerJoinLeader {
+        /// The joining server.
+        follower: Sid,
+        /// The established (or synchronizing) leader it connects to.
+        leader: Sid,
+    },
+    /// An election round interrupted by the elected leader crashing mid-discovery: the
+    /// `joined` followers durably accepted the proposed epoch, the leader wrote its
+    /// `acceptedEpoch` (but never committed `currentEpoch`) and died (the model-level
+    /// counterpart is the coarse `ElectionAndDiscoveryLeaderCrash` action).
+    ElectLeaderInterrupted {
+        /// The elected (and immediately crashed) leader.
+        leader: Sid,
+        /// The participating quorum (including the leader).
+        quorum: Vec<Sid>,
+        /// The followers whose discovery handshake completed before the crash.
+        joined: Vec<Sid>,
+    },
     /// The leader's LearnerHandler sends the sync payload and NEWLEADER to a follower.
     LeaderSyncFollower {
         /// The leader.
@@ -245,6 +267,59 @@ impl Cluster {
                         self.nodes[m].server.start_following(leader, epoch);
                     }
                 }
+                Ok(())
+            }
+            SimEvent::FollowerJoinLeader { follower, leader } => {
+                if self.nodes[follower].server.run_state != RunState::Looking {
+                    return Err(err(format!("server {follower} is not LOOKING")));
+                }
+                if self.nodes[leader].server.run_state != RunState::Leading {
+                    return Err(err(format!("server {leader} is not LEADING")));
+                }
+                let last = self.nodes[follower].server.disk.last_zxid();
+                let epoch = self.nodes[leader].server.disk.accepted_epoch;
+                let l = self.nodes[leader]
+                    .leader
+                    .as_mut()
+                    .ok_or_else(|| err("not a leader"))?;
+                l.register_learner(follower, last);
+                self.nodes[follower].server.start_following(leader, epoch);
+                Ok(())
+            }
+            SimEvent::ElectLeaderInterrupted {
+                leader,
+                quorum,
+                joined,
+            } => {
+                let epoch = self
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        n.server
+                            .disk
+                            .accepted_epoch
+                            .max(n.server.disk.current_epoch)
+                    })
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                for &m in &quorum {
+                    if self.nodes[m].server.run_state != RunState::Looking {
+                        return Err(err(format!("server {m} is not LOOKING")));
+                    }
+                }
+                for &j in &joined {
+                    if !quorum.contains(&j) || j == leader {
+                        return Err(err(format!("server {j} did not participate")));
+                    }
+                    self.nodes[j].server.start_following(leader, epoch);
+                }
+                // The leader durably accepted the epoch it proposed, then died before
+                // committing it.
+                self.nodes[leader].server.disk.accepted_epoch = epoch;
+                self.nodes[leader].server.crash();
+                self.nodes[leader].leader = None;
+                self.network.disconnect(leader);
                 Ok(())
             }
             SimEvent::LeaderSyncFollower { leader, follower } => {

@@ -6,7 +6,9 @@
 //! * [`spec`] — the specification framework (values, actions, modules, composition,
 //!   dependency / interaction-variable analysis, interaction-preservation checking).
 //! * [`checker`] — the explicit-state model checker (BFS/DFS exploration, invariant
-//!   checking, counterexample traces, random simulation).
+//!   checking, counterexample traces, random simulation, coverage-guided schedule
+//!   exploration, counterexample shrinking, and cross-granularity refinement
+//!   checking).
 //! * [`zab`] — multi-grained specifications of the Zab protocol and the ZooKeeper
 //!   system (protocol spec, system spec, fine-grained atomicity/concurrency specs,
 //!   coarse-grained abstractions, invariants, code versions and bug lineage).
