@@ -442,6 +442,7 @@ pub fn refine_matrix(
         rows.push(
             verifier
                 .check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options)
+                .expect("presets form a refinement pair")
                 .row(),
         );
         rows.push(

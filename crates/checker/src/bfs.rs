@@ -8,13 +8,20 @@
 //!
 //! Exploration is level-synchronous and scales across [`CheckOptions::workers`] threads:
 //!
-//! * **Sharded fingerprint set** — the set of discovered states is split into
-//!   [`CheckOptions::shards`] lock-striped shards keyed by the leading bits of the state
-//!   fingerprint, so concurrent inserts contend only when they hash to the same stripe.
-//!   Per-shard contention (lock acquisitions that had to wait) is reported in
-//!   [`CheckStats::shard_contention`].
+//! * **Persistent worker pool** — worker threads are spawned *once per run* and park on
+//!   a condition variable between levels; the coordinator publishes each level
+//!   (frontier, steal ranges, depth) and wakes them.  The previous engine re-spawned
+//!   its workers at every level boundary, which made small-frontier levels pay thread
+//!   spawn latency over and over — the measured cause of the *negative* multi-worker
+//!   scaling in earlier `BENCH_table5.json` artefacts.
+//! * **Arena state store** — discovered states live in a lock-striped
+//!   [`StateStore`]: `u32` state indices, parent-by-index, interned action labels, and
+//!   (in [`StoreMode::Full`](crate::store::StoreMode)) states inline in the arena — no
+//!   per-state `Arc`, no per-transition `String`.
+//!   [`StoreMode::FingerprintOnly`](crate::store::StoreMode) drops the states entirely
+//!   for memory-bounded runs; see [`crate::store`].
 //! * **Per-worker successor buffers** — each worker accumulates successors in local
-//!   per-shard buffers and merges a buffer into its shard in one batch of
+//!   per-shard buffers and merges a buffer into its stripe in one batch of
 //!   [`CheckOptions::batch_size`] states (and unconditionally at the level boundary),
 //!   amortising one lock acquisition over the whole batch.
 //! * **Work stealing** — the frontier of each level is split into one contiguous range
@@ -22,6 +29,18 @@
 //!   remaining range, so skewed successor costs cannot leave threads idle.  Range bounds
 //!   live in one packed atomic word, so a claim and a steal can never hand the same
 //!   index to two workers: every state is expanded exactly once for any worker count.
+//! * **Deterministic stop precedence** — several stop conditions can trip within one
+//!   level (a violation on one worker, the state limit on another, the wall clock on a
+//!   third).  Stop requests accumulate in a bitmask and are resolved once per level
+//!   under a fixed precedence — violation stops over [`StopReason::StateLimit`] over
+//!   [`StopReason::TimeBudget`] — so the reported [`StopReason`] does not depend on
+//!   which worker tripped its condition first.  Expansion aborts a level early once any
+//!   stop is requested (as the engine always has); sequentially that abort point — and
+//!   hence the fired set and reported reason — is reproducible because states are
+//!   claimed and flushed in a fixed order, while across workers the fired set can vary
+//!   with scheduling — the precedence then guarantees the *resolution* over the fired
+//!   set is still fixed, and a scheduling-dependent wall-clock stop can never mask a
+//!   violation stop.
 //!
 //! With `workers = 1` the same code runs inline on the calling thread, with no thread
 //! spawns and no atomics on the hot path beyond the shard counters, so sequential runs
@@ -29,132 +48,60 @@
 //! the same state space and report the same minimal violation depth (all states of a
 //! level share one depth); see the `parallel_matches_sequential_*` regression tests.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
-use remix_spec::{Spec, SpecState, Trace};
+use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::{CheckMode, CheckOptions};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+use crate::store::{Insert, StateIndex, StateStore};
 
-/// Bookkeeping for one discovered state.
-struct Entry<S> {
-    state: Arc<S>,
-    parent: Option<Fingerprint>,
-    action: String,
-}
-
-/// One lock stripe of the discovered-state set.
-struct Shard<S> {
-    map: Mutex<HashMap<Fingerprint, Entry<S>>>,
-    /// Number of lock acquisitions on this stripe that found it already held.
-    contention: AtomicU64,
-}
-
-/// The discovered-state set, lock-striped by fingerprint prefix.
-struct ShardedSeen<S> {
-    shards: Vec<Shard<S>>,
-    /// `shards.len() - 1`; shard count is always a power of two.
-    mask: usize,
-    /// Right-shift that extracts the stripe index from the fingerprint's leading bits.
-    shift: u32,
-    /// Total number of states inserted across all shards.
-    len: AtomicUsize,
-}
-
-impl<S> ShardedSeen<S> {
-    fn new(requested_shards: usize) -> Self {
-        let n = requested_shards.max(1).next_power_of_two();
-        let bits = n.trailing_zeros();
-        ShardedSeen {
-            shards: (0..n)
-                .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
-                    contention: AtomicU64::new(0),
-                })
-                .collect(),
-            mask: n - 1,
-            // `% 64` keeps the single-shard case (bits = 0) well-defined; the mask then
-            // collapses every index to zero anyway.
-            shift: (64 - bits) % 64,
-            len: AtomicUsize::new(0),
-        }
-    }
-
-    fn shard_index(&self, fp: Fingerprint) -> usize {
-        ((fp.0 >> self.shift) as usize) & self.mask
-    }
-
-    /// Locks one stripe, counting the acquisition as contended when it had to wait.
-    fn lock_shard(&self, index: usize) -> MutexGuard<'_, HashMap<Fingerprint, Entry<S>>> {
-        let shard = &self.shards[index];
-        match shard.map.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                shard.contention.fetch_add(1, Ordering::Relaxed);
-                shard.map.lock().unwrap_or_else(PoisonError::into_inner)
-            }
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
-    }
-
-    fn contention_counters(&self) -> Vec<u64> {
-        self.shards
-            .iter()
-            .map(|s| s.contention.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    /// Looks up one entry, mapping it through `f` under the stripe lock.
-    fn with_entry<T>(&self, fp: Fingerprint, f: impl FnOnce(&Entry<S>) -> T) -> Option<T> {
-        let guard = self.lock_shard(self.shard_index(fp));
-        guard.get(&fp).map(f)
-    }
-}
-
-/// Why workers were asked to stop, packed into an atomic for cross-thread signalling.
+/// Accumulated stop requests, resolved under a fixed precedence at level boundaries.
 struct StopCell {
-    reason: AtomicU8,
+    bits: AtomicU8,
 }
 
-const STOP_NONE: u8 = 0;
-const STOP_FIRST_VIOLATION: u8 = 1;
-const STOP_VIOLATION_LIMIT: u8 = 2;
-const STOP_TIME_BUDGET: u8 = 3;
-const STOP_STATE_LIMIT: u8 = 4;
+const STOP_FIRST_VIOLATION: u8 = 1 << 0;
+const STOP_VIOLATION_LIMIT: u8 = 1 << 1;
+const STOP_STATE_LIMIT: u8 = 1 << 2;
+const STOP_TIME_BUDGET: u8 = 1 << 3;
 
 impl StopCell {
     fn new() -> Self {
         StopCell {
-            reason: AtomicU8::new(STOP_NONE),
+            bits: AtomicU8::new(0),
         }
     }
 
-    /// Requests a stop; the first reason to arrive wins.
+    /// Records a stop request; requests accumulate rather than race.
     fn request(&self, reason: u8) {
-        let _ =
-            self.reason
-                .compare_exchange(STOP_NONE, reason, Ordering::AcqRel, Ordering::Relaxed);
+        self.bits.fetch_or(reason, Ordering::AcqRel);
     }
 
     fn requested(&self) -> bool {
-        self.reason.load(Ordering::Acquire) != STOP_NONE
+        self.bits.load(Ordering::Acquire) != 0
     }
 
+    /// Resolves the accumulated requests under the documented precedence: violation
+    /// stops (which carry a counterexample) outrank the state limit (a deterministic
+    /// function of the exploration), which outranks the wall-clock budget (the only
+    /// scheduling-dependent condition).  The result is therefore identical for every
+    /// worker count and interleaving that trips the same set of conditions.
     fn stop_reason(&self) -> Option<StopReason> {
-        match self.reason.load(Ordering::Acquire) {
-            STOP_FIRST_VIOLATION => Some(StopReason::FirstViolation),
-            STOP_VIOLATION_LIMIT => Some(StopReason::ViolationLimit),
-            STOP_TIME_BUDGET => Some(StopReason::TimeBudget),
-            STOP_STATE_LIMIT => Some(StopReason::StateLimit),
-            _ => None,
+        let bits = self.bits.load(Ordering::Acquire);
+        if bits & STOP_FIRST_VIOLATION != 0 {
+            Some(StopReason::FirstViolation)
+        } else if bits & STOP_VIOLATION_LIMIT != 0 {
+            Some(StopReason::ViolationLimit)
+        } else if bits & STOP_STATE_LIMIT != 0 {
+            Some(StopReason::StateLimit)
+        } else if bits & STOP_TIME_BUDGET != 0 {
+            Some(StopReason::TimeBudget)
+        } else {
+            None
         }
     }
 }
@@ -184,6 +131,11 @@ impl StealRange {
         StealRange {
             packed: AtomicU64::new(pack(start, end)),
         }
+    }
+
+    /// Re-arms this range for a new level (only the coordinator writes between levels).
+    fn reset(&self, start: usize, end: usize) {
+        self.packed.store(pack(start, end), Ordering::Release);
     }
 
     /// Claims the next index of this range, if any remains.
@@ -236,6 +188,9 @@ impl StealRange {
 /// A violation observed by a worker, resolved into a [`Violation`] (with trace) after the
 /// level completes.
 struct PendingViolation {
+    index: StateIndex,
+    /// The violating state's fingerprint: the scheduling-independent tie-breaker when
+    /// choosing each invariant's representative (state indices depend on insert order).
     fp: Fingerprint,
     depth: u32,
     invariant: &'static str,
@@ -244,72 +199,92 @@ struct PendingViolation {
 
 /// Everything one worker produced while expanding (part of) one level.
 struct WorkerLevelResult<S> {
-    next_frontier: Vec<(Fingerprint, Arc<S>)>,
+    next_frontier: Vec<(StateIndex, S)>,
     transitions: u64,
     violations: Vec<PendingViolation>,
 }
 
-/// Shared, read-only context for the workers of one level.
-struct LevelContext<'a, S> {
+impl<S> Default for WorkerLevelResult<S> {
+    fn default() -> Self {
+        WorkerLevelResult {
+            next_frontier: Vec::new(),
+            transitions: 0,
+            violations: Vec::new(),
+        }
+    }
+}
+
+/// Coordination state of the persistent worker pool: generation counter, in-flight
+/// worker count and the shutdown flag, guarded by one mutex with two condvars.
+struct Gate {
+    generation: u64,
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// Everything shared between the coordinator and the pool workers for a whole run.
+///
+/// Run-constant fields are plain references; per-level fields (`frontier`, `ranges`,
+/// `child_depth`) are rewritten by the coordinator *between* levels, while every worker
+/// is parked — the generation handshake in `gate` is the synchronisation point.
+struct RunShared<'a, S> {
     spec: &'a Spec<S>,
-    seen: &'a ShardedSeen<S>,
-    frontier: &'a [(Fingerprint, Arc<S>)],
-    ranges: &'a [StealRange],
+    labels: &'a LabelTable,
+    store: &'a StateStore<S>,
     stop: &'a StopCell,
     violation_count: &'a AtomicUsize,
     violation_limit: usize,
     violation_stop: u8,
-    child_depth: u32,
     batch_size: usize,
     max_states: Option<usize>,
     deadline: Option<Instant>,
+    frontier: RwLock<Vec<(StateIndex, S)>>,
+    ranges: Vec<StealRange>,
+    child_depth: AtomicU32,
+    results: Vec<Mutex<Option<WorkerLevelResult<S>>>>,
+    /// The first panic payload caught on a pool worker, re-raised by the coordinator
+    /// after the level completes (a dead worker must still decrement `gate.remaining`,
+    /// or the coordinator would wait forever — see `pool_worker`).
+    worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    gate: Mutex<Gate>,
+    work_ready: Condvar,
+    work_done: Condvar,
 }
 
 /// Runs breadth-first model checking of `spec` under `options`.
 pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
     let start = Instant::now();
     let workers = options.workers.max(1);
-    let seen: ShardedSeen<S> = ShardedSeen::new(options.shards);
+    let labels = LabelTable::new();
+    let store: StateStore<S> = StateStore::new(options.store_mode, options.shards);
     let stop = StopCell::new();
     let violation_count = AtomicUsize::new(0);
     let mut violations: Vec<Violation<S>> = Vec::new();
-    let mut per_worker_transitions = vec![0u64; workers];
-    let mut max_depth_reached: u32 = 0;
-    let mut stop_reason = StopReason::Exhausted;
 
     let (violation_limit, violation_stop) = match options.mode {
         CheckMode::FirstViolation => (1, STOP_FIRST_VIOLATION),
         CheckMode::Completion { violation_limit } => (violation_limit, STOP_VIOLATION_LIMIT),
     };
-    let deadline = options.time_budget.map(|b| start + b);
 
-    // Seed the set with the initial states (depth 0), checking invariants on each.
-    let mut frontier: Vec<(Fingerprint, Arc<S>)> = Vec::new();
+    // Seed the store with the initial states (depth 0), checking invariants on each.
+    let mut frontier: Vec<(StateIndex, S)> = Vec::new();
     let mut pending: Vec<PendingViolation> = Vec::new();
     for init in &spec.init {
         let fp = fingerprint(init);
-        let state = Arc::new(init.clone());
-        let mut shard = seen.lock_shard(seen.shard_index(fp));
-        if shard.contains_key(&fp) {
+        let mut handle = store.lock_shard(store.shard_of(fp));
+        let Insert::Fresh(index, state) =
+            handle.insert(fp, None, LabelTable::init_id(), init.clone())
+        else {
             continue;
-        }
-        shard.insert(
-            fp,
-            Entry {
-                state: Arc::clone(&state),
-                parent: None,
-                action: "Init".to_owned(),
-            },
-        );
-        drop(shard);
-        seen.len.fetch_add(1, Ordering::Relaxed);
-        frontier.push((fp, Arc::clone(&state)));
+        };
+        drop(handle);
         let violated = spec.violated_invariants(&state);
         if !violated.is_empty() {
             let total =
                 violation_count.fetch_add(violated.len(), Ordering::AcqRel) + violated.len();
             for inv in violated {
                 pending.push(PendingViolation {
+                    index,
                     fp,
                     depth: 0,
                     invariant: inv.id,
@@ -320,10 +295,37 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                 stop.request(violation_stop);
             }
         }
+        frontier.push((index, state));
     }
-    resolve_violations(&seen, options, pending, &mut violations);
+
+    let shared = RunShared {
+        spec,
+        labels: &labels,
+        store: &store,
+        stop: &stop,
+        violation_count: &violation_count,
+        violation_limit,
+        violation_stop,
+        batch_size: options.batch_size.max(1),
+        max_states: options.max_states,
+        deadline: options.time_budget.map(|b| start + b),
+        frontier: RwLock::new(Vec::new()),
+        ranges: (0..workers).map(|_| StealRange::new(0, 0)).collect(),
+        child_depth: AtomicU32::new(1),
+        results: (0..workers).map(|_| Mutex::new(None)).collect(),
+        worker_panic: Mutex::new(None),
+        gate: Mutex::new(Gate {
+            generation: 0,
+            remaining: 0,
+            shutdown: false,
+        }),
+        work_ready: Condvar::new(),
+        work_done: Condvar::new(),
+    };
+
+    resolve_violations(&shared, options, pending, &mut violations);
     if let Some(reason) = stop.stop_reason() {
-        let stats = stats_from(&seen, &per_worker_transitions, max_depth_reached, start);
+        let stats = stats_from(&store, &vec![0u64; workers], 0, start);
         return CheckOutcome {
             spec_name: spec.name.clone(),
             stats,
@@ -333,78 +335,40 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         };
     }
 
-    let mut level_depth: u32 = 0;
-    while !frontier.is_empty() {
-        // Check resource budgets between levels (workers also check them within a level).
-        if let Some(budget) = options.time_budget {
-            if start.elapsed() >= budget {
-                stop_reason = StopReason::TimeBudget;
-                break;
+    let mut per_worker_transitions = vec![0u64; workers];
+    let mut max_depth_reached: u32 = 0;
+    let mut stop_reason = StopReason::Exhausted;
+
+    let run = |pool: bool| {
+        level_loop(
+            &shared,
+            options,
+            start,
+            frontier,
+            pool,
+            &mut per_worker_transitions,
+            &mut max_depth_reached,
+            &mut violations,
+        )
+    };
+    if workers == 1 {
+        stop_reason = run(false);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || pool_worker(shared, w));
             }
-        }
-        if let Some(max_depth) = options.max_depth {
-            if level_depth >= max_depth {
-                stop_reason = StopReason::DepthBound;
-                break;
-            }
-        }
-
-        // Small frontiers are not worth the thread spawns; expand them inline.
-        let effective_workers = if frontier.len() < 64 { 1 } else { workers };
-        let ranges = split_frontier(frontier.len(), effective_workers);
-        let ctx = LevelContext {
-            spec,
-            seen: &seen,
-            frontier: &frontier,
-            ranges: &ranges,
-            stop: &stop,
-            violation_count: &violation_count,
-            violation_limit,
-            violation_stop,
-            child_depth: level_depth + 1,
-            batch_size: options.batch_size.max(1),
-            max_states: options.max_states,
-            deadline,
-        };
-
-        let mut results: Vec<(usize, WorkerLevelResult<S>)> = Vec::with_capacity(effective_workers);
-        if effective_workers == 1 {
-            results.push((0, expand_range(&ctx, 0)));
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..effective_workers)
-                    .map(|w| {
-                        let ctx = &ctx;
-                        scope.spawn(move || expand_range(ctx, w))
-                    })
-                    .collect();
-                for (w, handle) in handles.into_iter().enumerate() {
-                    results.push((w, handle.join().expect("worker panicked")));
-                }
-            });
-        }
-
-        // Batch-merge the per-worker results at the level boundary.
-        let mut next_frontier: Vec<(Fingerprint, Arc<S>)> = Vec::new();
-        let mut pending: Vec<PendingViolation> = Vec::new();
-        for (w, result) in results {
-            per_worker_transitions[w] += result.transitions;
-            next_frontier.extend(result.next_frontier);
-            pending.extend(result.violations);
-        }
-        resolve_violations(&seen, options, pending, &mut violations);
-        if !next_frontier.is_empty() {
-            max_depth_reached = max_depth_reached.max(level_depth + 1);
-        }
-        if let Some(reason) = stop.stop_reason() {
-            stop_reason = reason;
-            break;
-        }
-        frontier = next_frontier;
-        level_depth += 1;
+            stop_reason = run(true);
+            // Unpark everyone one last time so the scope can join.
+            let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            gate.shutdown = true;
+            drop(gate);
+            shared.work_ready.notify_all();
+        });
     }
 
-    let stats = stats_from(&seen, &per_worker_transitions, max_depth_reached, start);
+    let stats = stats_from(&store, &per_worker_transitions, max_depth_reached, start);
     CheckOutcome {
         spec_name: spec.name.clone(),
         stats,
@@ -414,34 +378,192 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     }
 }
 
-/// Splits `len` frontier slots into one contiguous [`StealRange`] per worker.
-fn split_frontier(len: usize, workers: usize) -> Vec<StealRange> {
-    let chunk = len.div_ceil(workers);
-    (0..workers)
-        .map(|w| {
-            let start = (w * chunk).min(len);
-            let end = ((w + 1) * chunk).min(len);
-            StealRange::new(start, end)
-        })
-        .collect()
+/// The level-synchronous main loop, shared by the inline (1-worker) and pooled paths.
+#[allow(clippy::too_many_arguments)]
+fn level_loop<S: SpecState>(
+    shared: &RunShared<'_, S>,
+    options: &CheckOptions,
+    start: Instant,
+    mut frontier: Vec<(StateIndex, S)>,
+    pool: bool,
+    per_worker_transitions: &mut [u64],
+    max_depth_reached: &mut u32,
+    violations: &mut Vec<Violation<S>>,
+) -> StopReason {
+    let workers = per_worker_transitions.len();
+    let mut level_depth: u32 = 0;
+    while !frontier.is_empty() {
+        // Check resource budgets between levels (workers also check them within a level).
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() >= budget {
+                return StopReason::TimeBudget;
+            }
+        }
+        if let Some(max_depth) = options.max_depth {
+            if level_depth >= max_depth {
+                return StopReason::DepthBound;
+            }
+        }
+
+        shared.child_depth.store(level_depth + 1, Ordering::Release);
+        // Small frontiers are not worth waking the pool for; expand them inline.
+        let use_pool = pool && frontier.len() >= 64;
+        let mut results: Vec<WorkerLevelResult<S>> = Vec::with_capacity(workers);
+        if use_pool {
+            {
+                let mut shared_frontier = shared
+                    .frontier
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *shared_frontier = std::mem::take(&mut frontier);
+                let len = shared_frontier.len();
+                let chunk = len.div_ceil(workers);
+                for (w, range) in shared.ranges.iter().enumerate() {
+                    range.reset((w * chunk).min(len), ((w + 1) * chunk).min(len));
+                }
+            }
+            // Wake the pool and wait for every worker to finish the level.
+            {
+                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+                gate.generation += 1;
+                gate.remaining = workers;
+                drop(gate);
+                shared.work_ready.notify_all();
+                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+                while gate.remaining > 0 {
+                    gate = shared
+                        .work_done
+                        .wait(gate)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            if let Some(payload) = shared
+                .worker_panic
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                // Wake the parked workers so `thread::scope` can join, then re-raise
+                // the worker's panic from the coordinator.
+                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+                gate.shutdown = true;
+                drop(gate);
+                shared.work_ready.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+            for slot in &shared.results {
+                let result = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("every pool worker publishes a level result");
+                results.push(result);
+            }
+        } else {
+            shared.ranges[0].reset(0, frontier.len());
+            for range in &shared.ranges[1..] {
+                range.reset(0, 0);
+            }
+            results.push(expand_range(shared, &frontier, 0));
+        }
+
+        // Batch-merge the per-worker results at the level boundary.
+        let mut next_frontier: Vec<(StateIndex, S)> = Vec::new();
+        let mut pending: Vec<PendingViolation> = Vec::new();
+        for (w, result) in results.into_iter().enumerate() {
+            per_worker_transitions[w] += result.transitions;
+            next_frontier.extend(result.next_frontier);
+            pending.extend(result.violations);
+        }
+        resolve_violations(shared, options, pending, violations);
+        if !next_frontier.is_empty() {
+            *max_depth_reached = (*max_depth_reached).max(level_depth + 1);
+        }
+        if let Some(reason) = shared.stop.stop_reason() {
+            return reason;
+        }
+        frontier = next_frontier;
+        level_depth += 1;
+    }
+    StopReason::Exhausted
+}
+
+/// The body of one pool worker: park until the coordinator publishes a level (or shuts
+/// the run down), expand it, publish the result, repeat.
+fn pool_worker<S: SpecState>(shared: &RunShared<'_, S>, worker: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        {
+            let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            while gate.generation == last_generation && !gate.shutdown {
+                gate = shared
+                    .work_ready
+                    .wait(gate)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if gate.shutdown {
+                return;
+            }
+            last_generation = gate.generation;
+        }
+        // A panicking spec closure (action or invariant) must not leave the
+        // coordinator waiting forever on `gate.remaining`: catch the panic, publish an
+        // empty result, request a stop so the other workers drain, and let the
+        // coordinator re-raise the payload after the level completes.  (The previous
+        // per-level-spawn engine propagated worker panics through `join()`; this keeps
+        // that contract under the persistent pool.)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let frontier = shared
+                .frontier
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            expand_range(shared, &frontier, worker)
+        }))
+        .unwrap_or_else(|payload| {
+            shared
+                .worker_panic
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get_or_insert(payload);
+            shared.stop.request(STOP_TIME_BUDGET);
+            WorkerLevelResult::default()
+        });
+        *shared.results[worker]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(result);
+        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        gate.remaining -= 1;
+        if gate.remaining == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// One buffered successor awaiting its batch merge: 24 bytes of metadata plus the state.
+struct BufferedSuccessor<S> {
+    fp: Fingerprint,
+    parent: StateIndex,
+    label: LabelId,
+    state: S,
 }
 
 /// The worker loop: claims frontier indices (own range first, then stolen halves),
 /// expands each state, and buffers successors per shard, flushing in batches.
-fn expand_range<S: SpecState>(ctx: &LevelContext<'_, S>, worker: usize) -> WorkerLevelResult<S> {
-    let mut result = WorkerLevelResult {
-        next_frontier: Vec::new(),
-        transitions: 0,
-        violations: Vec::new(),
-    };
-    let shard_count = ctx.seen.shards.len();
-    let mut buffers: Vec<Vec<(Fingerprint, Fingerprint, String, S)>> =
+fn expand_range<S: SpecState>(
+    shared: &RunShared<'_, S>,
+    frontier: &[(StateIndex, S)],
+    worker: usize,
+) -> WorkerLevelResult<S> {
+    let mut result = WorkerLevelResult::default();
+    let shard_count = shared.store.shard_count();
+    let mut buffers: Vec<Vec<BufferedSuccessor<S>>> =
         (0..shard_count).map(|_| Vec::new()).collect();
     let mut stolen: Option<StealRange> = None;
     let mut processed: u64 = 0;
+    let child_depth = shared.child_depth.load(Ordering::Acquire);
 
     'claim: loop {
-        if ctx.stop.requested() {
+        if shared.stop.requested() {
             break;
         }
         // Claim from the stolen range first (it was taken to be worked on), then from the
@@ -453,10 +575,10 @@ fn expand_range<S: SpecState>(ctx: &LevelContext<'_, S>, worker: usize) -> Worke
                 }
                 stolen = None;
             }
-            if let Some(idx) = ctx.ranges[worker].claim() {
+            if let Some(idx) = shared.ranges[worker].claim() {
                 break idx;
             }
-            let victim = ctx
+            let victim = shared
                 .ranges
                 .iter()
                 .enumerate()
@@ -476,22 +598,29 @@ fn expand_range<S: SpecState>(ctx: &LevelContext<'_, S>, worker: usize) -> Worke
             }
         };
 
-        let (parent_fp, state) = &ctx.frontier[idx];
-        for (label, next) in ctx.spec.successors(state) {
-            result.transitions += 1;
-            let fp = fingerprint(&next);
-            let shard = ctx.seen.shard_index(fp);
-            buffers[shard].push((fp, *parent_fp, label, next));
-            if buffers[shard].len() >= ctx.batch_size {
-                flush_shard(ctx, shard, &mut buffers[shard], &mut result);
-            }
-        }
+        let (parent_index, state) = &frontier[idx];
+        shared
+            .spec
+            .for_each_successor(state, shared.labels, |label, next| {
+                result.transitions += 1;
+                let fp = fingerprint(&next);
+                let shard = shared.store.shard_of(fp);
+                buffers[shard].push(BufferedSuccessor {
+                    fp,
+                    parent: *parent_index,
+                    label,
+                    state: next,
+                });
+                if buffers[shard].len() >= shared.batch_size {
+                    flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
+                }
+            });
 
         processed += 1;
-        if processed % 64 == 0 {
-            if let Some(deadline) = ctx.deadline {
+        if processed.is_multiple_of(64) {
+            if let Some(deadline) = shared.deadline {
                 if Instant::now() >= deadline {
-                    ctx.stop.request(STOP_TIME_BUDGET);
+                    shared.stop.request(STOP_TIME_BUDGET);
                 }
             }
         }
@@ -501,72 +630,69 @@ fn expand_range<S: SpecState>(ctx: &LevelContext<'_, S>, worker: usize) -> Worke
     // requested, in which case exploration is being aborted anyway and merging the
     // leftovers would only push `distinct_states` further past the stop condition (the
     // pre-parallel engine likewise broke out without expanding the rest of the level).
-    if !ctx.stop.requested() {
-        for shard in 0..shard_count {
-            if !buffers[shard].is_empty() {
-                flush_shard(ctx, shard, &mut buffers[shard], &mut result);
+    if !shared.stop.requested() {
+        for (shard, buffer) in buffers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                flush_shard(shared, shard, buffer, child_depth, &mut result);
             }
         }
     }
     result
 }
 
-/// Merges one per-worker buffer into its shard under a single lock acquisition, then
+/// Merges one per-worker buffer into its stripe under a single lock acquisition, then
 /// (outside the lock) checks invariants on the states that were actually new.
 fn flush_shard<S: SpecState>(
-    ctx: &LevelContext<'_, S>,
+    shared: &RunShared<'_, S>,
     shard: usize,
-    buffer: &mut Vec<(Fingerprint, Fingerprint, String, S)>,
+    buffer: &mut Vec<BufferedSuccessor<S>>,
+    child_depth: u32,
     result: &mut WorkerLevelResult<S>,
 ) {
-    let mut fresh: Vec<(Fingerprint, Arc<S>)> = Vec::new();
+    let mut fresh: Vec<(StateIndex, Fingerprint, S)> = Vec::new();
     {
-        let mut map = ctx.seen.lock_shard(shard);
-        for (fp, parent, action, state) in buffer.drain(..) {
-            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(fp) {
-                let state = Arc::new(state);
-                slot.insert(Entry {
-                    state: Arc::clone(&state),
-                    parent: Some(parent),
-                    action,
-                });
-                fresh.push((fp, state));
+        let mut handle = shared.store.lock_shard(shard);
+        for item in buffer.drain(..) {
+            if let Insert::Fresh(index, state) =
+                handle.insert(item.fp, Some(item.parent), item.label, item.state)
+            {
+                fresh.push((index, item.fp, state));
             }
         }
     }
-    for (fp, state) in fresh {
-        let total_states = ctx.seen.len.fetch_add(1, Ordering::AcqRel) + 1;
-        if let Some(max_states) = ctx.max_states {
-            if total_states >= max_states {
-                ctx.stop.request(STOP_STATE_LIMIT);
+    for (index, fp, state) in fresh {
+        if let Some(max_states) = shared.max_states {
+            if shared.store.len() >= max_states {
+                shared.stop.request(STOP_STATE_LIMIT);
             }
         }
-        let violated = ctx.spec.violated_invariants(&state);
+        let violated = shared.spec.violated_invariants(&state);
         if !violated.is_empty() {
-            let total = ctx
+            let total = shared
                 .violation_count
                 .fetch_add(violated.len(), Ordering::AcqRel)
                 + violated.len();
             for inv in violated {
                 result.violations.push(PendingViolation {
+                    index,
                     fp,
-                    depth: ctx.child_depth,
+                    depth: child_depth,
                     invariant: inv.id,
                     invariant_name: inv.name,
                 });
             }
-            if total >= ctx.violation_limit {
-                ctx.stop.request(ctx.violation_stop);
+            if total >= shared.violation_limit {
+                shared.stop.request(shared.violation_stop);
             }
         }
-        result.next_frontier.push((fp, state));
+        result.next_frontier.push((index, state));
     }
 }
 
 /// Turns pending worker-side violation records into [`Violation`]s with reconstructed
 /// traces, keeping (as before) only the first recorded violation of each invariant.
 fn resolve_violations<S: SpecState>(
-    seen: &ShardedSeen<S>,
+    shared: &RunShared<'_, S>,
     options: &CheckOptions,
     mut pending: Vec<PendingViolation>,
     violations: &mut Vec<Violation<S>>,
@@ -579,7 +705,9 @@ fn resolve_violations<S: SpecState>(
             continue;
         }
         let trace = if options.collect_traces {
-            reconstruct_trace(seen, p.fp)
+            shared
+                .store
+                .reconstruct_trace(shared.spec, shared.labels, p.index)
         } else {
             Trace::default()
         };
@@ -592,44 +720,28 @@ fn resolve_violations<S: SpecState>(
     }
 }
 
-fn stats_from<S>(
-    seen: &ShardedSeen<S>,
+fn stats_from<S: SpecState>(
+    store: &StateStore<S>,
     per_worker_transitions: &[u64],
     max_depth: u32,
     start: Instant,
 ) -> CheckStats {
     CheckStats {
-        distinct_states: seen.len(),
+        distinct_states: store.len(),
         transitions: per_worker_transitions.iter().sum(),
         max_depth,
         elapsed: start.elapsed(),
         per_worker_transitions: per_worker_transitions.to_vec(),
-        shard_contention: seen.contention_counters(),
+        shard_contention: store.contention_counters(),
+        peak_entry_bytes: store.entry_bytes(),
+        entry_bytes_per_state: store.entry_bytes_per_state(),
     }
-}
-
-/// Reconstructs the trace from an initial state to `fp` by following parent pointers.
-fn reconstruct_trace<S: SpecState>(seen: &ShardedSeen<S>, fp: Fingerprint) -> Trace<S> {
-    let mut chain: Vec<(String, Arc<S>)> = Vec::new();
-    let mut cursor = Some(fp);
-    while let Some(c) = cursor {
-        let (action, state, parent) = seen
-            .with_entry(c, |e| (e.action.clone(), Arc::clone(&e.state), e.parent))
-            .expect("trace parent chain is complete");
-        chain.push((action, state));
-        cursor = parent;
-    }
-    chain.reverse();
-    let mut trace = Trace::default();
-    for (action, state) in chain {
-        trace.push(action, (*state).clone());
-    }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreMode;
     use remix_spec::{
         ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec,
     };
@@ -737,6 +849,10 @@ mod tests {
         // Reachable states are all pairs with b <= a <= 3: 4 + 3 + 2 + 1 = 10.
         assert_eq!(outcome.stats.distinct_states, 10);
         assert_eq!(outcome.stats.max_depth, 6);
+        assert_eq!(
+            outcome.stats.peak_entry_bytes,
+            10 * outcome.stats.entry_bytes_per_state
+        );
     }
 
     #[test]
@@ -750,6 +866,51 @@ mod tests {
         assert_eq!(v.depth, 3);
         assert_eq!(v.trace.depth(), 3);
         assert_eq!(v.trace.last_state().unwrap(), &Pair { a: 2, b: 1, max: 3 });
+    }
+
+    #[test]
+    fn fingerprint_only_mode_finds_the_same_counterexample() {
+        let spec = pair_spec(3, Some((2, 1)));
+        let full = check_bfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::Full),
+        );
+        let fp_only = check_bfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+        );
+        let (v_full, v_fp) = (
+            full.first_violation().unwrap(),
+            fp_only.first_violation().unwrap(),
+        );
+        assert_eq!(v_full.depth, v_fp.depth);
+        assert_eq!(v_full.trace.last_state(), v_fp.trace.last_state());
+        assert_eq!(
+            v_full.trace.action_labels(),
+            v_fp.trace.action_labels(),
+            "the replayed fingerprint-only trace matches the stored one"
+        );
+        assert!(
+            fp_only.stats.entry_bytes_per_state < full.stats.entry_bytes_per_state,
+            "dropping states must shrink the per-entry footprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_only_mode_explores_the_same_space() {
+        let spec = pair_spec(12, None);
+        let full = check_bfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::Full),
+        );
+        let fp_only = check_bfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+        );
+        assert_eq!(full.stats.distinct_states, fp_only.stats.distinct_states);
+        assert_eq!(full.stats.transitions, fp_only.stats.transitions);
+        assert_eq!(full.stats.max_depth, fp_only.stats.max_depth);
+        assert!(fp_only.stats.peak_entry_bytes < full.stats.peak_entry_bytes);
     }
 
     #[test]
@@ -797,6 +958,98 @@ mod tests {
     }
 
     #[test]
+    fn violation_stop_outranks_resource_stops_in_the_same_level() {
+        // A level where both the first violation and the state limit fire must still
+        // deterministically report the violation stop — it carries the counterexample.
+        let spec = pair_spec(8, Some((1, 0)));
+        for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            let outcome = check_bfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_store_mode(mode)
+                    .with_max_states(1),
+            );
+            assert_eq!(
+                outcome.stop_reason,
+                StopReason::FirstViolation,
+                "store mode {mode}"
+            );
+            assert!(!outcome.passed());
+        }
+    }
+
+    #[test]
+    fn stop_requests_resolve_under_a_fixed_precedence() {
+        // Whatever order workers trip their conditions in — violation limit, state
+        // limit and time budget all within one level — the resolved reason is fixed.
+        for order in [
+            [STOP_TIME_BUDGET, STOP_STATE_LIMIT, STOP_VIOLATION_LIMIT],
+            [STOP_VIOLATION_LIMIT, STOP_TIME_BUDGET, STOP_STATE_LIMIT],
+            [STOP_STATE_LIMIT, STOP_VIOLATION_LIMIT, STOP_TIME_BUDGET],
+        ] {
+            let cell = StopCell::new();
+            for bit in order {
+                cell.request(bit);
+            }
+            assert_eq!(cell.stop_reason(), Some(StopReason::ViolationLimit));
+        }
+        let cell = StopCell::new();
+        cell.request(STOP_TIME_BUDGET);
+        cell.request(STOP_STATE_LIMIT);
+        assert_eq!(cell.stop_reason(), Some(StopReason::StateLimit));
+        cell.request(STOP_FIRST_VIOLATION);
+        assert_eq!(cell.stop_reason(), Some(StopReason::FirstViolation));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in successor closure")]
+    fn pool_worker_panics_propagate_instead_of_hanging() {
+        // A wide first level (>= 64 states) forces the persistent pool to run; the
+        // poisoned state's successor closure then panics on a worker thread.  The
+        // panic must resurface from check_bfs (as it did with the per-level-spawn
+        // engine), not leave the coordinator parked forever.
+        let m = ModuleId("Wide");
+        let spawn = ActionDef::new(
+            "Spawn",
+            m,
+            Granularity::Baseline,
+            vec!["a"],
+            vec!["a"],
+            |s: &Pair| {
+                if s.a == 0 {
+                    return (1..=100)
+                        .map(|i| {
+                            ActionInstance::new(
+                                format!("Spawn({i})"),
+                                Pair {
+                                    a: i,
+                                    b: 0,
+                                    max: 100,
+                                },
+                            )
+                        })
+                        .collect();
+                }
+                if s.a == 42 {
+                    panic!("boom in successor closure");
+                }
+                vec![]
+            },
+        );
+        let spec = Spec::new(
+            "wide",
+            vec![Pair {
+                a: 0,
+                b: 0,
+                max: 100,
+            }],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![spawn])],
+            vec![],
+        );
+        let _ = check_bfs(&spec, &CheckOptions::default().with_workers(4));
+    }
+
+    #[test]
     fn parallel_workers_agree_with_sequential() {
         let spec = pair_spec(12, Some((9, 4)));
         let seq = check_bfs(&spec, &CheckOptions::default());
@@ -821,19 +1074,22 @@ mod tests {
         let spec = pair_spec(14, None);
         let baseline = check_bfs(&spec, &CheckOptions::default());
         for (shards, batch) in [(1, 1), (2, 3), (256, 4096)] {
-            let outcome = check_bfs(
-                &spec,
-                &CheckOptions::default()
-                    .with_workers(3)
-                    .with_shards(shards)
-                    .with_batch_size(batch),
-            );
-            assert_eq!(
-                outcome.stats.distinct_states,
-                baseline.stats.distinct_states
-            );
-            assert_eq!(outcome.stats.max_depth, baseline.stats.max_depth);
-            assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+            for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+                let outcome = check_bfs(
+                    &spec,
+                    &CheckOptions::default()
+                        .with_workers(3)
+                        .with_shards(shards)
+                        .with_batch_size(batch)
+                        .with_store_mode(mode),
+                );
+                assert_eq!(
+                    outcome.stats.distinct_states,
+                    baseline.stats.distinct_states
+                );
+                assert_eq!(outcome.stats.max_depth, baseline.stats.max_depth);
+                assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+            }
         }
     }
 

@@ -24,14 +24,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use remix_spec::{LabelId, LabelTable};
+
 use crate::fingerprint::Fingerprint;
 
 /// One lock stripe of the coverage counters.
 struct CoverageShard {
     /// Fingerprint-prefix → visit count.
     prefixes: Mutex<HashMap<u64, u64>>,
-    /// Action definition name → taken count.
-    actions: Mutex<HashMap<String, u64>>,
+    /// Interned action-definition id → taken count.  Definition names are interned
+    /// into the map's [`LabelTable`] (the same layer the state store uses for labels),
+    /// so the per-step hot path allocates no strings: recording and looking up an
+    /// action costs one read-locked table hit plus one striped counter bump.
+    actions: Mutex<HashMap<LabelId, u64>>,
     /// Lock acquisitions on this stripe that found it already held.
     contention: AtomicU64,
 }
@@ -48,6 +53,8 @@ pub struct CoverageMap {
     prefix_shift: u32,
     /// Number of leading fingerprint bits that form a coverage prefix.
     prefix_bits: u32,
+    /// Interned action-definition names (shared by all workers of a run).
+    labels: LabelTable,
 }
 
 /// A point-in-time summary of a [`CoverageMap`], reported alongside exploration stats
@@ -88,6 +95,7 @@ impl CoverageMap {
             mask: n - 1,
             prefix_shift: 64 - prefix_bits,
             prefix_bits,
+            labels: LabelTable::new(),
         }
     }
 
@@ -107,15 +115,11 @@ impl CoverageMap {
         (prefix as usize) & self.mask
     }
 
-    /// The stripe owning an action definition's counter: FNV-1a of the name, so a
-    /// definition always lives on exactly one stripe and lookups lock only that one.
-    fn action_shard_index(&self, name: &str) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (h as usize) & self.mask
+    /// The stripe owning an action definition's counter: the definition's dense
+    /// interned id, so a definition always lives on exactly one stripe and lookups
+    /// lock only that one (no string hashing on the per-successor hot path).
+    fn action_shard_index(&self, id: LabelId) -> usize {
+        (id.0 as usize) & self.mask
     }
 
     fn lock<'a, K, V>(
@@ -147,10 +151,10 @@ impl CoverageMap {
             before
         };
         {
-            let name = action_definition(action);
-            let action_shard = &self.shards[self.action_shard_index(name)];
+            let id = self.labels.intern(action_definition(action));
+            let action_shard = &self.shards[self.action_shard_index(id)];
             let mut actions = self.lock(action_shard, &action_shard.actions);
-            *actions.entry(name.to_owned()).or_insert(0) += 1;
+            *actions.entry(id).or_insert(0) += 1;
         }
         before
     }
@@ -170,10 +174,10 @@ impl CoverageMap {
     /// name), so this locks a single stripe — it is on the guided explorer's
     /// per-successor hot path.
     pub fn action_hits_total(&self, action: &str) -> u64 {
-        let name = action_definition(action);
-        let shard = &self.shards[self.action_shard_index(name)];
+        let id = self.labels.intern(action_definition(action));
+        let shard = &self.shards[self.action_shard_index(id)];
         let actions = self.lock(shard, &shard.actions);
-        actions.get(name).copied().unwrap_or(0)
+        actions.get(&id).copied().unwrap_or(0)
     }
 
     /// Summarizes the map.

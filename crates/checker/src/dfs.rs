@@ -3,29 +3,43 @@
 //! DFS uses far less memory per level than BFS but does not produce minimal-depth
 //! counterexamples.  It is provided for completeness (TLC offers both strategies); the
 //! paper's experiments all use BFS.
+//!
+//! Discovered states live in the same [`StateStore`] arena as
+//! the BFS engine's (sequential here, so a single stripe): `u32` indices, parent-by-
+//! index, interned labels, and optionally no stored states at all
+//! ([`StoreMode::FingerprintOnly`](crate::store::StoreMode)).
+//!
+//! # Depth-bounded soundness
+//!
+//! Depth-bounded DFS must track the *best-known* depth of every state, not the depth of
+//! its first discovery.  DFS discovery depths are not minimal: a state first reached
+//! through a long path may later be reached through a shorter one, and an engine that
+//! freezes the first depth will refuse to (re-)expand the state even though the shorter
+//! path leaves room below `max_depth` — silently dropping states that BFS finds within
+//! the same bound.  This engine re-pushes a state whenever a strictly shallower path to
+//! it is found while a depth bound is active (without a bound, re-expansion cannot
+//! change the reachable set and is skipped); see the
+//! `depth_bounded_dfs_reexpands_states_reached_shallower` regression test, which fails
+//! against the previous first-discovery-depth engine.
 
-use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Instant;
 
-use remix_spec::{Spec, SpecState, Trace};
+use remix_spec::{LabelTable, Spec, SpecState, Trace};
 
-use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::fingerprint::fingerprint;
 use crate::options::{CheckMode, CheckOptions};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
-
-struct Entry<S> {
-    state: Arc<S>,
-    parent: Option<Fingerprint>,
-    action: String,
-    depth: u32,
-}
+use crate::store::{Insert, StateIndex, StateStore};
 
 /// Runs depth-first model checking of `spec` under `options`.
 pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
     let start = Instant::now();
-    let mut seen: HashMap<Fingerprint, Entry<S>> = HashMap::new();
-    let mut stack: Vec<Fingerprint> = Vec::new();
+    let labels = LabelTable::new();
+    // DFS is sequential; a single stripe makes `StateIndex` values dense (0, 1, 2, …),
+    // which lets the best-known depths live in a flat vector indexed by state.
+    let store: StateStore<S> = StateStore::new(options.store_mode, 1);
+    let mut best_depth: Vec<u32> = Vec::new();
+    let mut stack: Vec<(StateIndex, S, u32)> = Vec::new();
     let mut violations: Vec<Violation<S>> = Vec::new();
     let mut violation_count = 0usize;
     let mut transitions = 0u64;
@@ -39,30 +53,29 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
 
     for init in &spec.init {
         let fp = fingerprint(init);
-        if seen.contains_key(&fp) {
+        let mut handle = store.lock_shard(store.shard_of(fp));
+        let Insert::Fresh(index, state) =
+            handle.insert(fp, None, LabelTable::init_id(), init.clone())
+        else {
             continue;
-        }
-        seen.insert(
-            fp,
-            Entry {
-                state: Arc::new(init.clone()),
-                parent: None,
-                action: "Init".to_owned(),
-                depth: 0,
-            },
-        );
-        stack.push(fp);
+        };
+        drop(handle);
+        best_depth.push(0);
         check_state(
             spec,
-            &seen,
-            fp,
+            &labels,
+            &store,
+            index,
+            0,
+            &state,
             options,
             &mut violations,
             &mut violation_count,
         );
+        stack.push((index, state, 0));
     }
 
-    'outer: while let Some(fp) = stack.pop() {
+    'outer: while let Some((index, state, depth)) = stack.pop() {
         if violation_count >= violation_limit {
             stop_reason = if matches!(options.mode, CheckMode::FirstViolation) {
                 StopReason::FirstViolation
@@ -77,42 +90,65 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                 break;
             }
         }
-        let (depth, state) = {
-            let e = &seen[&fp];
-            (e.depth, Arc::clone(&e.state))
-        };
+        // A re-pushed state may since have been improved further; expand only the
+        // best-known depth (stale stack entries are skipped, not re-expanded deeper).
+        if depth > best_depth[index.0 as usize] {
+            continue;
+        }
         if let Some(max_depth) = options.max_depth {
             if depth >= max_depth {
                 stop_reason = StopReason::DepthBound;
                 continue;
             }
         }
-        for (label, next) in spec.successors(&state) {
+        let ndepth = depth + 1;
+        let mut successors: Vec<(StateIndex, S, u32, bool)> = Vec::new();
+        spec.for_each_successor(&state, &labels, |label, next| {
             transitions += 1;
             let nfp = fingerprint(&next);
-            if seen.contains_key(&nfp) {
-                continue;
+            let mut handle = store.lock_shard(store.shard_of(nfp));
+            match handle.insert(nfp, Some(index), label, next) {
+                Insert::Fresh(nindex, next) => {
+                    drop(handle);
+                    best_depth.push(ndepth);
+                    max_depth_reached = max_depth_reached.max(ndepth);
+                    successors.push((nindex, next, ndepth, true));
+                }
+                Insert::Existing(nindex, next) => {
+                    drop(handle);
+                    // The depth-bound soundness fix: a strictly shallower path makes
+                    // previously out-of-budget successors reachable, so the state goes
+                    // back on the stack at its improved depth.  Without a bound the
+                    // reachable set cannot change, so the re-expansion is skipped.
+                    if options.max_depth.is_some() && ndepth < best_depth[nindex.0 as usize] {
+                        best_depth[nindex.0 as usize] = ndepth;
+                        // Keep the recorded chain consistent with best-known depths:
+                        // traces reconstructed through this state must follow the
+                        // shallower arm, or their length would exceed the reported
+                        // violation depth (and the bound itself).
+                        store.set_parent(nindex, index, label);
+                        successors.push((nindex, next, ndepth, false));
+                    }
+                }
             }
-            let ndepth = depth + 1;
-            max_depth_reached = max_depth_reached.max(ndepth);
-            seen.insert(
-                nfp,
-                Entry {
-                    state: Arc::new(next),
-                    parent: Some(fp),
-                    action: label,
-                    depth: ndepth,
-                },
-            );
-            stack.push(nfp);
-            check_state(
-                spec,
-                &seen,
-                nfp,
-                options,
-                &mut violations,
-                &mut violation_count,
-            );
+        });
+        for (nindex, next, ndepth, is_fresh) in successors {
+            // Invariants are checked once, at first discovery (re-pushed states were
+            // already checked).
+            if is_fresh {
+                check_state(
+                    spec,
+                    &labels,
+                    &store,
+                    nindex,
+                    ndepth,
+                    &next,
+                    options,
+                    &mut violations,
+                    &mut violation_count,
+                );
+            }
+            stack.push((nindex, next, ndepth));
             if violation_count >= violation_limit
                 && matches!(options.mode, CheckMode::FirstViolation)
             {
@@ -120,7 +156,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                 break 'outer;
             }
             if let Some(max_states) = options.max_states {
-                if seen.len() >= max_states {
+                if store.len() >= max_states {
                     stop_reason = StopReason::StateLimit;
                     break 'outer;
                 }
@@ -129,12 +165,14 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     }
 
     let stats = CheckStats {
-        distinct_states: seen.len(),
+        distinct_states: store.len(),
         transitions,
         max_depth: max_depth_reached,
         elapsed: start.elapsed(),
         per_worker_transitions: vec![transitions],
         shard_contention: Vec::new(),
+        peak_entry_bytes: store.entry_bytes(),
+        entry_bytes_per_state: store.entry_bytes_per_state(),
     };
     CheckOutcome {
         spec_name: spec.name.clone(),
@@ -145,16 +183,19 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_state<S: SpecState>(
     spec: &Spec<S>,
-    seen: &HashMap<Fingerprint, Entry<S>>,
-    fp: Fingerprint,
+    labels: &LabelTable,
+    store: &StateStore<S>,
+    index: StateIndex,
+    depth: u32,
+    state: &S,
     options: &CheckOptions,
     violations: &mut Vec<Violation<S>>,
     violation_count: &mut usize,
 ) {
-    let entry = &seen[&fp];
-    let violated = spec.violated_invariants(&entry.state);
+    let violated = spec.violated_invariants(state);
     if violated.is_empty() {
         return;
     }
@@ -164,43 +205,26 @@ fn check_state<S: SpecState>(
             continue;
         }
         let trace = if options.collect_traces {
-            reconstruct_trace(seen, fp)
+            store.reconstruct_trace(spec, labels, index)
         } else {
             Trace::default()
         };
         violations.push(Violation {
             invariant: inv.id,
             invariant_name: inv.name,
-            depth: entry.depth,
+            depth,
             trace,
         });
     }
 }
 
-fn reconstruct_trace<S: SpecState>(
-    seen: &HashMap<Fingerprint, Entry<S>>,
-    fp: Fingerprint,
-) -> Trace<S> {
-    let mut chain = Vec::new();
-    let mut cursor = Some(fp);
-    while let Some(c) = cursor {
-        let e = &seen[&c];
-        chain.push(e);
-        cursor = e.parent;
-    }
-    chain.reverse();
-    let mut trace = Trace::default();
-    for e in chain {
-        trace.push(e.action.clone(), (*e.state).clone());
-    }
-    trace
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreMode;
     use remix_spec::{
         ActionDef, ActionInstance, Granularity, Invariant, InvariantSource, ModuleId, ModuleSpec,
+        Spec,
     };
     use std::collections::BTreeMap;
 
@@ -279,5 +303,145 @@ mod tests {
         let d = check_dfs(&spec, &CheckOptions::default());
         let b = crate::bfs::check_bfs(&spec, &CheckOptions::default());
         assert_eq!(d.stats.distinct_states, b.stats.distinct_states);
+    }
+
+    #[test]
+    fn fingerprint_only_dfs_matches_full_dfs() {
+        let spec = chain_spec(12, Some(9));
+        let full = check_dfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::Full),
+        );
+        let fp_only = check_dfs(
+            &spec,
+            &CheckOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+        );
+        assert_eq!(full.stats.distinct_states, fp_only.stats.distinct_states);
+        assert_eq!(
+            full.first_violation().unwrap().trace.action_labels(),
+            fp_only.first_violation().unwrap().trace.action_labels()
+        );
+        assert!(fp_only.stats.peak_entry_bytes < full.stats.peak_entry_bytes);
+    }
+
+    /// A diamond joined at `X = N(1)`: the short arm `0 → B → X` and the long arm
+    /// `0 → A1 → A2 → X`, with the tail `X → Y → Z` behind the join.  The long arm is
+    /// enumerated *last* at the root, so the DFS stack pops it *first* and discovers `X`
+    /// at depth 3 (and `Y` at depth 4, where the `max_depth = 4` bound stops expansion).
+    /// When the short arm later reaches `X` at depth 2, an engine that freezes the
+    /// first-discovery depth never re-expands `X`, and `Z` — which BFS finds at depth 4,
+    /// inside the same bound — is silently dropped.
+    fn diamond_spec() -> Spec<N> {
+        let m = ModuleId("Diamond");
+        let hop = ActionDef::new(
+            "Hop",
+            m,
+            Granularity::Baseline,
+            vec!["n"],
+            vec!["n"],
+            |s: &N| {
+                let next = match s.0 {
+                    0 => Some(20), // 0 → B
+                    20 => Some(1), // B → X
+                    1 => Some(2),  // X → Y
+                    2 => Some(3),  // Y → Z
+                    _ => None,
+                };
+                next.map(|n| vec![ActionInstance::new(format!("Hop({})", s.0), N(n))])
+                    .unwrap_or_default()
+            },
+        );
+        let detour = ActionDef::new(
+            "Detour",
+            m,
+            Granularity::Baseline,
+            vec!["n"],
+            vec!["n"],
+            |s: &N| {
+                let next = match s.0 {
+                    0 => Some(10),  // 0 → A1
+                    10 => Some(11), // A1 → A2
+                    11 => Some(1),  // A2 → X
+                    _ => None,
+                };
+                next.map(|n| vec![ActionInstance::new(format!("Detour({})", s.0), N(n))])
+                    .unwrap_or_default()
+            },
+        );
+        Spec::new(
+            "diamond",
+            vec![N(0)],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![hop, detour])],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn depth_bounded_dfs_reexpands_states_reached_shallower() {
+        let spec = diamond_spec();
+        for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            let options = CheckOptions::default()
+                .with_max_depth(4)
+                .with_store_mode(mode);
+            let bfs = crate::bfs::check_bfs(&spec, &options);
+            let dfs = check_dfs(&spec, &options);
+            // All of {0, B, A1, A2, X, Y, Z} lie within 4 transitions of the initial
+            // state; a DFS that freezes first-discovery depths finds only 6 of them (Z
+            // is reachable within the bound only through the re-discovered shallower
+            // path to X).
+            assert_eq!(bfs.stats.distinct_states, 7);
+            assert_eq!(
+                dfs.stats.distinct_states, bfs.stats.distinct_states,
+                "depth-bounded DFS must reach every state BFS reaches within the same \
+                 bound (store mode {mode})"
+            );
+        }
+    }
+
+    #[test]
+    fn reexpanded_states_report_traces_along_the_shallower_arm() {
+        // Same diamond, but Z violates: Z is only reached through the re-expanded
+        // shallower path to X, so its recorded chain must follow that arm — a trace
+        // walking the deep first-discovery arm would be longer than the reported depth
+        // (and than the bound itself).
+        let mut spec = diamond_spec();
+        spec.invariants = vec![Invariant::always(
+            "NOT-Z",
+            "never reach Z",
+            InvariantSource::Protocol,
+            |s: &N| s.0 != 3,
+        )];
+        for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            let outcome = check_dfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_max_depth(4)
+                    .with_store_mode(mode),
+            );
+            let v = outcome
+                .first_violation()
+                .unwrap_or_else(|| panic!("Z is reachable within the bound ({mode})"));
+            assert_eq!(v.trace.last_state(), Some(&N(3)), "{mode}");
+            assert_eq!(
+                v.trace.depth() as u32,
+                v.depth,
+                "trace length must match the reported depth ({mode})"
+            );
+            assert!(v.depth <= 4, "no trace may exceed the bound ({mode})");
+            assert_eq!(
+                v.trace.action_labels(),
+                vec!["Hop(0)", "Hop(20)", "Hop(1)", "Hop(2)"],
+                "the chain follows the shallower arm ({mode})"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_dfs_still_terminates_on_the_diamond() {
+        // Without a depth bound the re-expansion path is skipped entirely; the diamond
+        // still explores to exhaustion.
+        let outcome = check_dfs(&diamond_spec(), &CheckOptions::default());
+        assert_eq!(outcome.stop_reason, StopReason::Exhausted);
+        assert_eq!(outcome.stats.distinct_states, 7);
     }
 }

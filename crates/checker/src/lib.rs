@@ -25,6 +25,7 @@ pub mod refine;
 pub mod rng;
 pub mod shrink;
 pub mod simulate;
+pub mod store;
 
 pub use bfs::check_bfs;
 pub use coverage::{CoverageMap, CoverageSnapshot};
@@ -40,3 +41,4 @@ pub use refine::{
 pub use rng::CheckerRng;
 pub use shrink::{replay_labels, shrink_trace, shrink_violation, ShrinkOutcome};
 pub use simulate::{simulate, simulate_one};
+pub use store::{StateIndex, StateStore, StoreMode};

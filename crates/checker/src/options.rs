@@ -2,25 +2,22 @@
 
 use std::time::Duration;
 
+use crate::store::StoreMode;
+
 /// Whether checking stops at the first invariant violation or runs to completion.
 ///
 /// These are the two modes of Table 5: "(a) stopping at the first violation" and
 /// "(b) running to completion (till the limit)".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckMode {
     /// Stop as soon as any invariant violation is found (Table 5, mode (a)).
+    #[default]
     FirstViolation,
     /// Keep exploring; record up to `violation_limit` violating states (Table 5, mode (b)).
     Completion {
         /// Maximum number of violations recorded before stopping (the paper uses 10,000).
         violation_limit: usize,
     },
-}
-
-impl Default for CheckMode {
-    fn default() -> Self {
-        CheckMode::FirstViolation
-    }
 }
 
 /// Options controlling an exhaustive model-checking run.
@@ -59,6 +56,13 @@ pub struct CheckOptions {
     /// Whether to keep full predecessor information for violation-trace reconstruction
     /// (the counterexample traces of §3.5.3 / Table 4).
     pub collect_traces: bool,
+    /// Which backend discovered states are kept in: the compact full-state arena
+    /// ([`StoreMode::Full`], the default), or the TLC-style memory-bounded
+    /// [`StoreMode::FingerprintOnly`] store that drops full states and reconstructs
+    /// violation traces by bounded re-exploration of the recorded `(parent, label)`
+    /// chains.  Defaults to [`StoreMode::from_env`] (the `REMIX_STORE_MODE` CI matrix
+    /// hook); see [`crate::store`] for the memory model.
+    pub store_mode: StoreMode,
 }
 
 impl Default for CheckOptions {
@@ -72,6 +76,7 @@ impl Default for CheckOptions {
             shards: 64,
             batch_size: 128,
             collect_traces: true,
+            store_mode: StoreMode::from_env(),
         }
     }
 }
@@ -120,6 +125,12 @@ impl CheckOptions {
     /// Sets the per-stripe successor batch size.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Selects the discovered-state store backend.
+    pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
         self
     }
 }
@@ -193,6 +204,9 @@ mod tests {
         let o = CheckOptions::default();
         assert_eq!(o.mode, CheckMode::FirstViolation);
         assert_eq!(o.workers, 1);
+        // The default follows the REMIX_STORE_MODE env hook, so assert against it
+        // rather than a literal — the test then holds in CI's store-mode matrix too.
+        assert_eq!(o.store_mode, StoreMode::from_env());
         assert!(o.collect_traces);
         assert!(o.shards >= 1 && o.batch_size >= 1);
         let c = CheckOptions::completion();
@@ -212,7 +226,9 @@ mod tests {
             .with_workers(0)
             .with_shards(0)
             .with_batch_size(0)
+            .with_store_mode(StoreMode::FingerprintOnly)
             .with_time_budget(Duration::from_secs(1));
+        assert_eq!(o.store_mode, StoreMode::FingerprintOnly);
         assert_eq!(o.max_depth, Some(5));
         assert_eq!(o.max_states, Some(100));
         assert_eq!(o.workers, 1, "worker count is clamped to at least one");

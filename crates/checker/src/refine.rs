@@ -29,13 +29,14 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use remix_spec::{Spec, SpecState, Trace, TraceProjection, Value};
+use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace, TraceProjection, Value};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::shrink::{shrink_trace, ShrinkOutcome};
+use crate::store::{Insert, StateIndex, StateStore, StoreMode};
 
 /// What the refinement checker verifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +81,12 @@ pub struct RefineOptions {
     /// Delta-debug the divergence witness down to a locally minimal trace that still
     /// diverges (via [`crate::shrink`]).
     pub shrink_witness: bool,
+    /// Which backend each side keeps its discovered states in.  With
+    /// [`StoreMode::FingerprintOnly`] the concrete states are dropped after expansion
+    /// and divergence witnesses are reconstructed by bounded re-exploration of the
+    /// recorded `(parent index, label)` chains — the memory-bounded configuration for
+    /// large refinement pairs.
+    pub store_mode: StoreMode,
 }
 
 impl Default for RefineOptions {
@@ -92,6 +99,7 @@ impl Default for RefineOptions {
             max_states: None,
             time_budget: None,
             shrink_witness: true,
+            store_mode: StoreMode::from_env(),
         }
     }
 }
@@ -130,6 +138,12 @@ impl RefineOptions {
     /// Disables witness shrinking.
     pub fn without_shrinking(mut self) -> Self {
         self.shrink_witness = false;
+        self
+    }
+
+    /// Selects the discovered-state store backend for both sides.
+    pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
         self
     }
 }
@@ -301,28 +315,30 @@ fn render_projection(projected: &BTreeMap<String, Value>) -> String {
     format!("[{}]", fields.join(", "))
 }
 
-/// Bookkeeping for one discovered concrete state of one side.
-struct Entry<S> {
-    state: Arc<S>,
-    parent: Option<Fingerprint>,
-    action: String,
-    /// The stable projections this state can be "inside of": its own projection when
-    /// stable, otherwise the stable projections last seen on some path leading here.
-    lset: BTreeSet<u64>,
-}
-
 /// One side's exploration summary.
-struct SideSummary<S> {
-    /// Stable projections → representative concrete fingerprint and discovery depth.
-    projs: HashMap<u64, (Fingerprint, u32)>,
+///
+/// Concrete states, parent indices and interned action labels live in the shared
+/// [`StateStore`] arena (in [`StoreMode::FingerprintOnly`] the states are dropped after
+/// expansion); the refinement-specific *lset* annotation — the stable projections a
+/// state can be "inside of": its own projection when stable, otherwise the stable
+/// projections last seen on some path leading here — lives in a side table keyed by
+/// [`StateIndex`].
+struct SideSummary<S: SpecState> {
+    /// Stable projections → representative state index and discovery depth.
+    projs: HashMap<u64, (StateIndex, u32)>,
     /// Stabilization edges of the projected quotient: `from → {to}` with `from ≠ to`.
     edges: HashMap<u64, BTreeSet<u64>>,
     /// Per-edge representative: the concrete state that first completed the edge (its
     /// BFS parent chain need not stabilize from `from`, but it ends in the edge's
     /// target and is the best concrete anchor available without per-context parents).
-    edge_reps: HashMap<(u64, u64), Fingerprint>,
-    /// All discovered concrete states (for witness reconstruction), lock-striped.
-    seen: ShardedSeen<S>,
+    edge_reps: HashMap<(u64, u64), StateIndex>,
+    /// All discovered concrete states (dedup map, parent chains, optional states).
+    seen: StateStore<S>,
+    /// The run's interned action labels.
+    labels: LabelTable,
+    /// Per-state lsets.  Written only by the sequential level merge; read concurrently
+    /// by the expansion workers' dedup scout.
+    lsets: RwLock<HashMap<StateIndex, BTreeSet<u64>>>,
     /// Whether exploration ran to exhaustion within the budgets.
     complete: bool,
 }
@@ -346,74 +362,29 @@ impl<S: SpecState> SideSummary<S> {
         out
     }
 
-    /// Reconstructs the concrete trace to `fp` by following parent pointers.
-    fn witness(&self, fp: Fingerprint) -> Trace<S> {
-        let mut chain: Vec<(String, Arc<S>)> = Vec::new();
-        let mut cursor = Some(fp);
-        while let Some(c) = cursor {
-            let (action, state, parent) = self
-                .seen
-                .with_entry(c, |e| (e.action.clone(), Arc::clone(&e.state), e.parent))
-                .expect("witness parent chain is complete");
-            chain.push((action, state));
-            cursor = parent;
-        }
-        chain.reverse();
-        let mut trace = Trace::default();
-        for (action, state) in chain {
-            trace.push(action, (*state).clone());
-        }
-        trace
-    }
-}
-
-/// The discovered-state set of one side, lock-striped by fingerprint prefix (the same
-/// sharding scheme as `bfs::ShardedSeen`).
-struct ShardedSeen<S> {
-    shards: Vec<Mutex<HashMap<Fingerprint, Entry<S>>>>,
-    mask: usize,
-    shift: u32,
-}
-
-impl<S> ShardedSeen<S> {
-    fn new(requested: usize) -> Self {
-        let n = requested.max(1).next_power_of_two();
-        let bits = n.trailing_zeros();
-        ShardedSeen {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
-            mask: n - 1,
-            shift: (64 - bits) % 64,
-        }
+    /// Reconstructs the concrete trace to `index` (a parent-index walk in the full
+    /// store, a bounded label-chain replay in the fingerprint-only store).
+    fn witness(&self, spec: &Spec<S>, index: StateIndex) -> Trace<S> {
+        self.seen.reconstruct_trace(spec, &self.labels, index)
     }
 
-    fn shard_index(&self, fp: Fingerprint) -> usize {
-        ((fp.0 >> self.shift) as usize) & self.mask
-    }
-
-    fn lock(&self, index: usize) -> MutexGuard<'_, HashMap<Fingerprint, Entry<S>>> {
-        self.shards[index]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn with_entry<T>(&self, fp: Fingerprint, f: impl FnOnce(&Entry<S>) -> T) -> Option<T> {
-        let guard = self.lock(self.shard_index(fp));
-        guard.get(&fp).map(f)
-    }
-
-    fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+    /// The concrete state at `index`: cloned from the full store, or recovered by
+    /// replaying its recorded chain when the store dropped it.
+    fn state_of(&self, spec: &Spec<S>, index: StateIndex) -> S {
+        self.seen.with_state(index, S::clone).unwrap_or_else(|| {
+            self.witness(spec, index)
+                .last_state()
+                .expect("a stored chain is never empty")
+                .clone()
+        })
     }
 }
 
 /// One successor produced by a worker, to be merged into the side summary.
 struct SuccessorRecord<S> {
     fp: Fingerprint,
-    parent: Fingerprint,
-    action: String,
+    parent: StateIndex,
+    label: LabelId,
     state: S,
     /// Projection key when the successor is stable.
     stable_key: Option<u64>,
@@ -435,43 +406,42 @@ fn explore_side<S: SpecState>(
     projection: &TraceProjection<S>,
     options: &RefineOptions,
     deadline: Option<Instant>,
-    stop_when_missing_from: Option<&HashMap<u64, (Fingerprint, u32)>>,
+    stop_when_missing_from: Option<&HashMap<u64, (StateIndex, u32)>>,
 ) -> SideSummary<S> {
     let mut summary = SideSummary {
         projs: HashMap::new(),
         edges: HashMap::new(),
         edge_reps: HashMap::new(),
-        seen: ShardedSeen::new(options.shards),
+        seen: StateStore::new(options.store_mode, options.shards),
+        labels: LabelTable::new(),
+        lsets: RwLock::new(HashMap::new()),
         complete: true,
     };
 
     // Frontier entries carry the lset snapshot their successors inherit.
-    let mut frontier: Vec<(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)> = Vec::new();
+    let mut frontier: Vec<(StateIndex, S, Arc<BTreeSet<u64>>)> = Vec::new();
     for init in &spec.init {
         let fp = fingerprint(init);
-        let mut shard = summary.seen.lock(summary.seen.shard_index(fp));
-        if shard.contains_key(&fp) {
+        let mut handle = summary.seen.lock_shard(summary.seen.shard_of(fp));
+        let Insert::Fresh(index, state) =
+            handle.insert(fp, None, LabelTable::init_id(), init.clone())
+        else {
             continue;
-        }
+        };
+        drop(handle);
         let mut lset = BTreeSet::new();
-        if projection.is_stable(init) {
-            let projected = projection.project_state(init);
+        if projection.is_stable(&state) {
+            let projected = projection.project_state(&state);
             let key = projection_key(&projected);
             lset.insert(key);
-            summary.projs.entry(key).or_insert((fp, 0));
+            summary.projs.entry(key).or_insert((index, 0));
         }
-        let state = Arc::new(init.clone());
-        shard.insert(
-            fp,
-            Entry {
-                state: Arc::clone(&state),
-                parent: None,
-                action: "Init".to_owned(),
-                lset: lset.clone(),
-            },
-        );
-        drop(shard);
-        frontier.push((fp, state, Arc::new(lset)));
+        summary
+            .lsets
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(index, lset.clone());
+        frontier.push((index, state, Arc::new(lset)));
     }
 
     let workers = options.workers.max(1);
@@ -497,18 +467,19 @@ fn explore_side<S: SpecState>(
         }
 
         // Expand the frontier: successor enumeration, fingerprinting and projection run
-        // in parallel; workers only share the lock-striped `seen` set for dedup scouting.
+        // in parallel; workers share the store's dedup map and the lset table read-only.
         let effective = if frontier.len() < 64 { 1 } else { workers };
         let chunk = frontier.len().div_ceil(effective);
         let mut batches: Vec<Vec<SuccessorRecord<S>>> = Vec::with_capacity(effective);
         if effective == 1 {
-            batches.push(expand_chunk(spec, projection, &summary.seen, &frontier));
+            batches.push(expand_chunk(spec, projection, &summary, &frontier));
         } else {
             std::thread::scope(|scope| {
+                let summary = &summary;
                 let handles: Vec<_> = frontier
                     .chunks(chunk)
                     .map(|slice| {
-                        scope.spawn(|| expand_chunk(spec, projection, &summary.seen, slice))
+                        scope.spawn(move || expand_chunk(spec, projection, summary, slice))
                     })
                     .collect();
                 for h in handles {
@@ -517,13 +488,24 @@ fn explore_side<S: SpecState>(
             });
         }
 
-        // Merge sequentially at the level boundary: dedup against `seen`, record stable
-        // projections and stabilization edges, and build the next frontier.  States
-        // whose lset grew are re-enqueued so their successors learn the new contexts.
+        // Merge sequentially at the level boundary: dedup against the store, record
+        // stable projections and stabilization edges, and build the next frontier.
+        // States whose lset grew are re-enqueued so their successors learn the new
+        // contexts.
         let child_depth = depth + 1;
-        let mut next: Vec<(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)> = Vec::new();
+        let mut next: Vec<(StateIndex, S, Arc<BTreeSet<u64>>)> = Vec::new();
         for batch in batches {
             for rec in batch {
+                let child_lset: BTreeSet<u64> = match rec.stable_key {
+                    Some(key) => std::iter::once(key).collect(),
+                    None => (*rec.parent_lset).clone(),
+                };
+                let mut handle = summary.seen.lock_shard(summary.seen.shard_of(rec.fp));
+                let insert = handle.insert(rec.fp, Some(rec.parent), rec.label, rec.state);
+                drop(handle);
+                let index = match &insert {
+                    Insert::Fresh(index, _) | Insert::Existing(index, _) => *index,
+                };
                 if let Some(key) = rec.stable_key {
                     for &from in &*rec.parent_lset {
                         if from != key {
@@ -531,47 +513,38 @@ fn explore_side<S: SpecState>(
                             // Remember the concrete state completing this edge, so an
                             // unmatched-step divergence can reconstruct a witness that
                             // actually ends with the offending stabilization.
-                            summary.edge_reps.entry((from, key)).or_insert(rec.fp);
+                            summary.edge_reps.entry((from, key)).or_insert(index);
                         }
                     }
                 }
-                let child_lset: BTreeSet<u64> = match rec.stable_key {
-                    Some(key) => std::iter::once(key).collect(),
-                    None => (*rec.parent_lset).clone(),
-                };
-                let shard_idx = summary.seen.shard_index(rec.fp);
-                let mut shard = summary.seen.lock(shard_idx);
-                match shard.get_mut(&rec.fp) {
-                    Some(existing) => {
+                match insert {
+                    Insert::Existing(index, state) => {
                         // Known state: merge the lset; a grown lset on an *unstable*
                         // state changes what its successors stabilize from, so re-expand.
-                        let before = existing.lset.len();
-                        existing.lset.extend(child_lset.iter().copied());
-                        let grew = existing.lset.len() > before;
-                        let is_stable = rec.stable_key.is_some();
-                        if grew && !is_stable {
-                            let entry_state = Arc::clone(&existing.state);
-                            let lset = Arc::new(existing.lset.clone());
-                            drop(shard);
-                            next.push((rec.fp, entry_state, lset));
+                        let mut lsets = summary
+                            .lsets
+                            .write()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        let existing = lsets.entry(index).or_default();
+                        let before = existing.len();
+                        existing.extend(child_lset.iter().copied());
+                        let grew = existing.len() > before;
+                        let merged = Arc::new(existing.clone());
+                        drop(lsets);
+                        if grew && rec.stable_key.is_none() {
+                            next.push((index, state, merged));
                         }
                     }
-                    None => {
+                    Insert::Fresh(index, state) => {
                         if let Some(key) = rec.stable_key {
-                            summary.projs.entry(key).or_insert((rec.fp, child_depth));
+                            summary.projs.entry(key).or_insert((index, child_depth));
                         }
-                        let state = Arc::new(rec.state);
-                        shard.insert(
-                            rec.fp,
-                            Entry {
-                                state: Arc::clone(&state),
-                                parent: Some(rec.parent),
-                                action: rec.action,
-                                lset: child_lset.clone(),
-                            },
-                        );
-                        drop(shard);
-                        next.push((rec.fp, state, Arc::new(child_lset)));
+                        summary
+                            .lsets
+                            .write()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(index, child_lset.clone());
+                        next.push((index, state, Arc::new(child_lset)));
                     }
                 }
             }
@@ -594,20 +567,25 @@ fn explore_side<S: SpecState>(
 fn expand_chunk<S: SpecState>(
     spec: &Spec<S>,
     projection: &TraceProjection<S>,
-    seen: &ShardedSeen<S>,
-    slice: &[(Fingerprint, Arc<S>, Arc<BTreeSet<u64>>)],
+    summary: &SideSummary<S>,
+    slice: &[(StateIndex, S, Arc<BTreeSet<u64>>)],
 ) -> Vec<SuccessorRecord<S>> {
     let mut out = Vec::new();
-    for (parent_fp, state, lset) in slice {
-        for (label, next) in spec.successors(state) {
+    for (parent_index, state, lset) in slice {
+        spec.for_each_successor(state, &summary.labels, |label, next| {
             let fp = fingerprint(&next);
             // Cheap scout: skip successors that are already known *and* whose lset
             // already covers the parent context (the merge re-checks authoritatively).
-            let skip = seen
-                .with_entry(fp, |e| lset.iter().all(|l| e.lset.contains(l)))
-                .unwrap_or(false);
+            let skip = summary.seen.find(fp).is_some_and(|index| {
+                summary
+                    .lsets
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&index)
+                    .is_some_and(|known| lset.iter().all(|l| known.contains(l)))
+            });
             if skip {
-                continue;
+                return;
             }
             let stable_key = if projection.is_stable(&next) {
                 Some(projection_key(&projection.project_state(&next)))
@@ -616,13 +594,13 @@ fn expand_chunk<S: SpecState>(
             };
             out.push(SuccessorRecord {
                 fp,
-                parent: *parent_fp,
-                action: label,
+                parent: *parent_index,
+                label,
                 state: next,
                 stable_key,
                 parent_lset: Arc::clone(lset),
             });
-        }
+        });
     }
     out
 }
@@ -673,19 +651,19 @@ pub fn check_refinement<S: SpecState>(
 
     // 1. Every stable fine projection must be coarse-reachable (no lost behaviour).
     if coarse_side.complete {
-        let mut missing: Vec<(u32, u64, Fingerprint)> = fine_side
+        let mut missing: Vec<(u32, u64, StateIndex)> = fine_side
             .projs
             .iter()
             .filter(|(key, _)| !coarse_side.projs.contains_key(key))
-            .map(|(key, (fp, depth))| (*depth, *key, *fp))
+            .map(|(key, (index, depth))| (*depth, *key, *index))
             .collect();
         missing.sort();
-        if let Some((_, key, fp)) = missing.first() {
+        if let Some((_, key, index)) = missing.first() {
             divergence = Some(build_divergence(
                 DivergenceKind::MissingInCoarse,
                 fine,
                 &fine_side,
-                *fp,
+                *index,
                 projection,
                 options,
                 |candidate| trace_reaches_projection(candidate, projection, *key),
@@ -695,19 +673,19 @@ pub fn check_refinement<S: SpecState>(
 
     // 2. Every stable coarse projection must be fine-reachable (no invented behaviour).
     if divergence.is_none() && fine_side.complete {
-        let mut extra: Vec<(u32, u64, Fingerprint)> = coarse_side
+        let mut extra: Vec<(u32, u64, StateIndex)> = coarse_side
             .projs
             .iter()
             .filter(|(key, _)| !fine_side.projs.contains_key(key))
-            .map(|(key, (fp, depth))| (*depth, *key, *fp))
+            .map(|(key, (index, depth))| (*depth, *key, *index))
             .collect();
         extra.sort();
-        if let Some((_, key, fp)) = extra.first() {
+        if let Some((_, key, index)) = extra.first() {
             divergence = Some(build_divergence(
                 DivergenceKind::ExtraInCoarse,
                 coarse,
                 &coarse_side,
-                *fp,
+                *index,
                 projection,
                 options,
                 |candidate| trace_reaches_projection(candidate, projection, *key),
@@ -733,7 +711,7 @@ pub fn check_refinement<S: SpecState>(
             if !reach.contains(&to) {
                 // Prefer the concrete state that completed this edge over the class
                 // representative: its trace ends in the offending stabilization.
-                let fp = fine_side
+                let index = fine_side
                     .edge_reps
                     .get(&(from, to))
                     .copied()
@@ -743,19 +721,18 @@ pub fn check_refinement<S: SpecState>(
                     DivergenceKind::UnmatchedStep,
                     fine,
                     &fine_side,
-                    fp,
+                    index,
                     projection,
                     options,
                     |candidate| trace_has_unmatched_edge(candidate, projection, coarse_ref),
                 );
                 // Render both endpoints of the unmatched step: the target is already in
                 // `d.projection`; prepend the source class the coarse side cannot leave.
-                if let Some((from_fp, _)) = fine_side.projs.get(&from) {
-                    if let Some(rendered) = fine_side.seen.with_entry(*from_fp, |e| {
-                        render_projection(&projection.project_state(&e.state))
-                    }) {
-                        d.projection = format!("{rendered} ⟶ {}", d.projection);
-                    }
+                if let Some((from_index, _)) = fine_side.projs.get(&from) {
+                    let rendered = render_projection(
+                        &projection.project_state(&fine_side.state_of(fine, *from_index)),
+                    );
+                    d.projection = format!("{rendered} ⟶ {}", d.projection);
                 }
                 divergence = Some(d);
                 break;
@@ -774,17 +751,17 @@ pub fn check_refinement<S: SpecState>(
     }
 }
 
-/// Builds (and optionally shrinks) a divergence record whose witness ends at `fp`.
+/// Builds (and optionally shrinks) a divergence record whose witness ends at `index`.
 fn build_divergence<S: SpecState>(
     kind: DivergenceKind,
     witness_spec: &Spec<S>,
     side: &SideSummary<S>,
-    fp: Fingerprint,
+    index: StateIndex,
     projection: &TraceProjection<S>,
     options: &RefineOptions,
     oracle: impl Fn(&Trace<S>) -> bool,
 ) -> RefineDivergence<S> {
-    let witness = side.witness(fp);
+    let witness = side.witness(witness_spec, index);
     let original_depth = witness.depth();
     let rendered = witness
         .last_state()
@@ -1056,6 +1033,46 @@ mod tests {
         // only directly from 0 (its edges are 0 → 4 → 2, nothing out of 2).
         assert_eq!(divergence.kind, DivergenceKind::UnmatchedStep);
         assert!(divergence.witness.depth() >= 1);
+    }
+
+    #[test]
+    fn fingerprint_only_store_reproduces_the_same_divergence() {
+        // Dropping the concrete states must not change the verdict; the witness is
+        // reconstructed by replaying the recorded (parent, label) chain instead of
+        // cloning states out of the arena.
+        let full = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, true),
+            &projection(),
+            &RefineOptions::default(),
+        );
+        let fp_only = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, true),
+            &projection(),
+            &RefineOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+        );
+        let (d_full, d_fp) = (
+            full.divergence.as_ref().expect("full store diverges"),
+            fp_only.divergence.as_ref().expect("fp-only store diverges"),
+        );
+        assert_eq!(d_full.kind, d_fp.kind);
+        assert_eq!(d_full.projection, d_fp.projection);
+        assert_eq!(d_full.witness.depth(), d_fp.witness.depth());
+        assert_eq!(
+            d_full.witness.action_labels(),
+            d_fp.witness.action_labels(),
+            "the replayed witness matches the stored one"
+        );
+        // The refining pair agrees too.
+        let ok = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, false),
+            &projection(),
+            &RefineOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+        );
+        assert!(ok.refines(), "{ok}");
+        assert!(ok.conclusive());
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! The discovered-state store: the memory layer under every exploration engine.
+//!
+//! Earlier engines kept one `HashMap<Fingerprint, Entry>` per run whose entries held an
+//! `Arc<S>` clone of the state, the *parent's fingerprint* (16 bytes, plus a second map
+//! lookup per trace step) and a freshly allocated `String` action label — three heap
+//! allocations and ~70 bytes of bookkeeping per discovered state before counting the
+//! state itself.  This module replaces that layer with a [`StateStore`]: a lock-striped
+//! **arena** of entries addressed by dense `u32` [`StateIndex`]es, with
+//!
+//! * the parent stored as an *index* instead of a fingerprint (4 bytes; parent-chain
+//!   walks are array reads, not hash lookups),
+//! * the action label stored as an interned [`LabelId`] (4 bytes; the label string is
+//!   allocated once per *distinct* label per run, see [`remix_spec::LabelTable`]), and
+//! * the state stored inline in the arena (no per-state `Arc`), or — in
+//!   [`StoreMode::FingerprintOnly`] — not at all.
+//!
+//! # Backends
+//!
+//! [`StoreMode::Full`] (the compact full-state store) keeps every discovered state in
+//! the arena, so counterexample traces are reconstructed by walking parent indices and
+//! cloning states out — O(depth) with no successor re-evaluation.
+//!
+//! [`StoreMode::FingerprintOnly`] is the TLC-style memory-bounded backend: only the
+//! 128-bit fingerprint, parent index and label id are kept (24 bytes of payload per
+//! state, independent of the state type).  Traces are reconstructed on demand by
+//! **bounded re-exploration**: the recorded `(parent index, label)` chain is replayed
+//! forward through [`Spec::successors`], matching each step by label and fingerprint —
+//! O(depth × branching) successor evaluations, paid only when a violation is actually
+//! reported.  This is the backend for exhaustive runs whose state count, not state
+//! size, is the binding constraint.
+//!
+//! Both backends are safe for concurrent insertion from many workers: the arena is
+//! striped into power-of-two lock shards routed by the fingerprint's leading bits, and
+//! a [`StateIndex`] packs `(local slot, shard)` so indices stay valid forever without
+//! any cross-shard coordination.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace, INIT_LABEL};
+
+use crate::fingerprint::{fingerprint, Fingerprint};
+
+/// Which backend a run stores discovered states in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// The compact full-state store: states live inline in the arena, traces are
+    /// reconstructed by parent-index walks.  The default.
+    #[default]
+    Full,
+    /// The TLC-style fingerprint-only store: full states are dropped after expansion;
+    /// traces are reconstructed by bounded re-exploration along the recorded
+    /// `(parent index, label)` chain.  Use for memory-bounded exhaustive runs.
+    FingerprintOnly,
+}
+
+impl fmt::Display for StoreMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreMode::Full => "full",
+            StoreMode::FingerprintOnly => "fingerprint-only",
+        })
+    }
+}
+
+impl StoreMode {
+    /// The backend selected by the `REMIX_STORE_MODE` environment variable
+    /// (`"fingerprint-only"` / `"fingerprint_only"` / `"full"`), defaulting to
+    /// [`StoreMode::Full`] when unset or unrecognised.
+    ///
+    /// `CheckOptions::default()` and `RefineOptions::default()` start from this value,
+    /// which is how CI runs the release-gated refinement and exploration suites once
+    /// per backend without a per-test parameter.  Explicit `with_store_mode(..)` calls
+    /// always win.
+    pub fn from_env() -> StoreMode {
+        match std::env::var("REMIX_STORE_MODE").as_deref() {
+            Ok("fingerprint-only") | Ok("fingerprint_only") => StoreMode::FingerprintOnly,
+            _ => StoreMode::Full,
+        }
+    }
+}
+
+/// Dense identifier of a discovered state: `(local slot << shard bits) | shard`.
+///
+/// `u32::MAX` is reserved as the no-parent sentinel, capping a run at just under 2^32
+/// discovered states — far beyond what fits in memory at 24+ bytes per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateIndex(pub u32);
+
+/// The reserved parent marker of initial states.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Fixed per-entry metadata: 24 bytes regardless of the state type.
+struct SlotMeta {
+    fp: Fingerprint,
+    /// Packed [`StateIndex`] of the parent, or [`NO_PARENT`] for initial states.
+    parent: u32,
+    /// Interned label of the action that first discovered this state.
+    label: LabelId,
+}
+
+/// One lock stripe of the arena.
+struct StoreShard<S> {
+    /// Fingerprint → local slot index (dedup map; values index `meta`/`states`).
+    map: HashMap<Fingerprint, u32>,
+    meta: Vec<SlotMeta>,
+    /// Parallel to `meta` in [`StoreMode::Full`]; stays empty in
+    /// [`StoreMode::FingerprintOnly`].
+    states: Vec<S>,
+}
+
+struct ShardCell<S> {
+    inner: Mutex<StoreShard<S>>,
+    /// Lock acquisitions on this stripe that found it already held.
+    contention: AtomicU64,
+}
+
+/// The lock-striped discovered-state arena.  See the module docs for the memory model.
+pub struct StateStore<S> {
+    shards: Vec<ShardCell<S>>,
+    mode: StoreMode,
+    /// `log2(shards.len())`.
+    shard_bits: u32,
+    /// `shards.len() - 1`.
+    mask: usize,
+    /// Right-shift extracting the stripe from the fingerprint's leading bits.
+    shift: u32,
+    len: AtomicUsize,
+}
+
+/// The result of an insertion attempt.  Both arms hand a state back to the caller, so
+/// an insert never swallows the moved-in value.
+pub enum Insert<S> {
+    /// The fingerprint was already present; the existing entry's index is returned
+    /// along with the (unconsumed) moved-in state.
+    Existing(StateIndex, S),
+    /// A fresh entry was created.  The returned state is for the caller's frontier: the
+    /// moved-in state in [`StoreMode::FingerprintOnly`] (the store keeps nothing), or a
+    /// clone in [`StoreMode::Full`] (the store keeps the original inline).
+    Fresh(StateIndex, S),
+}
+
+/// A locked stripe, ready for a batch of insertions under one lock acquisition.
+pub struct ShardHandle<'a, S> {
+    guard: MutexGuard<'a, StoreShard<S>>,
+    shard: u32,
+    shard_bits: u32,
+    mode: StoreMode,
+    len: &'a AtomicUsize,
+}
+
+impl<S: SpecState> ShardHandle<'_, S> {
+    /// Inserts one state discovered by `label` from `parent` (or an initial state when
+    /// `parent` is `None`).  Deduplicates by fingerprint.
+    pub fn insert(
+        &mut self,
+        fp: Fingerprint,
+        parent: Option<StateIndex>,
+        label: LabelId,
+        state: S,
+    ) -> Insert<S> {
+        let inner = &mut *self.guard;
+        match inner.map.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                Insert::Existing(pack(*slot.get(), self.shard, self.shard_bits), state)
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let local = inner.meta.len() as u32;
+                // The packed index must round-trip: `local` may not spill into the
+                // shard bits, and `NO_PARENT` (u32::MAX) stays reserved.
+                assert!(
+                    (self.shard_bits == 0 && local < u32::MAX)
+                        || (self.shard_bits > 0 && local < 1 << (32 - self.shard_bits)),
+                    "state-store stripe is full ({local} slots at {} shard bits)",
+                    self.shard_bits
+                );
+                let index = pack(local, self.shard, self.shard_bits);
+                assert_ne!(index.0, NO_PARENT, "state store is full (2^32 entries)");
+                slot.insert(local);
+                inner.meta.push(SlotMeta {
+                    fp,
+                    parent: parent.map_or(NO_PARENT, |p| p.0),
+                    label,
+                });
+                let for_caller = match self.mode {
+                    StoreMode::Full => {
+                        let clone = state.clone();
+                        inner.states.push(state);
+                        clone
+                    }
+                    StoreMode::FingerprintOnly => state,
+                };
+                self.len.fetch_add(1, Ordering::AcqRel);
+                Insert::Fresh(index, for_caller)
+            }
+        }
+    }
+}
+
+#[inline]
+fn pack(local: u32, shard: u32, shard_bits: u32) -> StateIndex {
+    StateIndex((local << shard_bits) | shard)
+}
+
+#[inline]
+fn unpack(index: StateIndex, shard_bits: u32) -> (u32, u32) {
+    (index.0 >> shard_bits, index.0 & ((1 << shard_bits) - 1))
+}
+
+impl<S: SpecState> StateStore<S> {
+    /// Creates a store with `shards` lock stripes (rounded up to a power of two).
+    pub fn new(mode: StoreMode, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let bits = n.trailing_zeros();
+        StateStore {
+            shards: (0..n)
+                .map(|_| ShardCell {
+                    inner: Mutex::new(StoreShard {
+                        map: HashMap::new(),
+                        meta: Vec::new(),
+                        states: Vec::new(),
+                    }),
+                    contention: AtomicU64::new(0),
+                })
+                .collect(),
+            mode,
+            shard_bits: bits,
+            mask: n - 1,
+            // `% 64` keeps the single-shard case (bits = 0) well-defined; the mask then
+            // collapses every stripe index to zero anyway.
+            shift: (64 - bits) % 64,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The backend this store runs.
+    pub fn mode(&self) -> StoreMode {
+        self.mode
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe owning a fingerprint (routed by its leading bits).
+    pub fn shard_of(&self, fp: Fingerprint) -> usize {
+        ((fp.0 >> self.shift) as usize) & self.mask
+    }
+
+    /// Locks one stripe for a batch of insertions, counting the acquisition as
+    /// contended when it had to wait.
+    pub fn lock_shard(&self, shard: usize) -> ShardHandle<'_, S> {
+        let cell = &self.shards[shard];
+        let guard = match cell.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                cell.contention.fetch_add(1, Ordering::Relaxed);
+                cell.inner.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        ShardHandle {
+            guard,
+            shard: shard as u32,
+            shard_bits: self.shard_bits,
+            mode: self.mode,
+            len: &self.len,
+        }
+    }
+
+    /// Total number of entries across all stripes.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// `true` when nothing has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-stripe contended-lock-acquisition counters.
+    pub fn contention_counters(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.contention.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Looks up the index of a fingerprint, if present.
+    pub fn find(&self, fp: Fingerprint) -> Option<StateIndex> {
+        let shard = self.shard_of(fp);
+        let guard = self.shards[shard]
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard
+            .map
+            .get(&fp)
+            .map(|&local| pack(local, shard as u32, self.shard_bits))
+    }
+
+    /// The `(fingerprint, parent, label)` metadata of an entry.
+    pub fn meta(&self, index: StateIndex) -> (Fingerprint, Option<StateIndex>, LabelId) {
+        let (local, shard) = unpack(index, self.shard_bits);
+        let guard = self.shards[shard as usize]
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let meta = &guard.meta[local as usize];
+        let parent = (meta.parent != NO_PARENT).then_some(StateIndex(meta.parent));
+        (meta.fp, parent, meta.label)
+    }
+
+    /// Rewrites an entry's discovery edge to `(parent, label)`.
+    ///
+    /// Used by depth-bounded DFS when a strictly shallower path to an already-stored
+    /// state is found: the recorded chain must follow best-known depths, or traces
+    /// reconstructed through the re-discovered state would walk the old, deeper arm
+    /// and disagree with the reported violation depth (and the depth bound).  Parent
+    /// depths are strictly decreasing along any chain, so the rewrite cannot create a
+    /// cycle.
+    pub fn set_parent(&self, index: StateIndex, parent: StateIndex, label: LabelId) {
+        let (local, shard) = unpack(index, self.shard_bits);
+        let mut guard = self.shards[shard as usize]
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let meta = &mut guard.meta[local as usize];
+        meta.parent = parent.0;
+        meta.label = label;
+    }
+
+    /// Maps an entry's stored state through `f`.  Returns `None` in
+    /// [`StoreMode::FingerprintOnly`] (the state was dropped after expansion).
+    pub fn with_state<T>(&self, index: StateIndex, f: impl FnOnce(&S) -> T) -> Option<T> {
+        let (local, shard) = unpack(index, self.shard_bits);
+        let guard = self.shards[shard as usize]
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.states.get(local as usize).map(f)
+    }
+
+    /// Fixed resident bytes the store pays per entry: the 24-byte metadata slot, the
+    /// dedup-map entry (fingerprint key + `u32` slot), and — in [`StoreMode::Full`] —
+    /// the inline state.
+    ///
+    /// This is the *per-entry payload* accounting the bench artefact reports: it
+    /// excludes hash-map load-factor overhead and any heap owned by the state itself,
+    /// both of which only widen the gap in favour of [`StoreMode::FingerprintOnly`].
+    pub fn entry_bytes_per_state(&self) -> usize {
+        let fixed = std::mem::size_of::<SlotMeta>()
+            + std::mem::size_of::<Fingerprint>()
+            + std::mem::size_of::<u32>();
+        match self.mode {
+            StoreMode::Full => fixed + std::mem::size_of::<S>(),
+            StoreMode::FingerprintOnly => fixed,
+        }
+    }
+
+    /// Resident entry-payload bytes of the whole store.  The store is append-only, so
+    /// this is also the run's peak.
+    pub fn entry_bytes(&self) -> usize {
+        self.len() * self.entry_bytes_per_state()
+    }
+
+    /// Reconstructs the trace from an initial state to `index`.
+    ///
+    /// In [`StoreMode::Full`] this walks parent indices and clones the stored states —
+    /// no successor evaluation.  In [`StoreMode::FingerprintOnly`] the stored states
+    /// are gone, so the recorded `(parent, label)` chain is replayed forward through
+    /// [`Spec::successors`]: at each step the successor whose interned label matches
+    /// the recorded [`LabelId`] *and* whose fingerprint matches the recorded entry is
+    /// taken.  The replay is bounded by the chain's length; each step evaluates the
+    /// successors of exactly one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chain is not replayable against `spec` — i.e. the store was
+    /// filled from a different specification or label table than the one passed here.
+    pub fn reconstruct_trace(
+        &self,
+        spec: &Spec<S>,
+        labels: &LabelTable,
+        index: StateIndex,
+    ) -> Trace<S> {
+        // Collect the chain root-first (one parent walk covers both backends).
+        let mut chain: Vec<(StateIndex, Fingerprint, LabelId)> = Vec::new();
+        let mut cursor = Some(index);
+        while let Some(c) = cursor {
+            let (fp, parent, label) = self.meta(c);
+            chain.push((c, fp, label));
+            cursor = parent;
+        }
+        chain.reverse();
+
+        if self.mode == StoreMode::Full {
+            // States are in the arena: clone them out along the collected chain.
+            let mut trace = Trace::default();
+            for (idx, _, label) in &chain {
+                let state = self
+                    .with_state(*idx, S::clone)
+                    .expect("full store keeps every state");
+                trace.push(labels.resolve(*label), state);
+            }
+            return trace;
+        }
+
+        // Fingerprint-only: bounded re-exploration along the recorded chain.
+        let (_, root_fp, root_label) = chain[0];
+        debug_assert_eq!(labels.resolve(root_label), INIT_LABEL);
+        let mut current = spec
+            .init
+            .iter()
+            .find(|s| fingerprint(*s) == root_fp)
+            .cloned()
+            .expect("chain root is an initial state of the replayed spec");
+        let mut trace = Trace::from_init(current.clone());
+        for (_, fp, label) in &chain[1..] {
+            let label_str = labels.resolve(*label);
+            let next = spec
+                .successors(&current)
+                .into_iter()
+                .find(|(l, s)| l == &label_str && fingerprint(s) == *fp)
+                .map(|(_, s)| s)
+                .expect("recorded (parent, label) chain replays through the spec");
+            trace.push(label_str, next.clone());
+            current = next;
+        }
+        trace
+    }
+}
+
+impl<S> fmt::Debug for StateStore<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateStore")
+            .field("mode", &self.mode)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleId, ModuleSpec};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct N(u32);
+
+    impl SpecState for N {
+        fn project(&self, vars: &[&str]) -> BTreeMap<String, remix_spec::Value> {
+            let mut m = BTreeMap::new();
+            if vars.contains(&"n") {
+                m.insert("n".to_owned(), remix_spec::Value::from(self.0));
+            }
+            m
+        }
+        fn variable_names() -> Vec<&'static str> {
+            vec!["n"]
+        }
+    }
+
+    fn chain_spec(limit: u32) -> Spec<N> {
+        let m = ModuleId("Chain");
+        let inc = ActionDef::new(
+            "Inc",
+            m,
+            Granularity::Baseline,
+            vec!["n"],
+            vec!["n"],
+            move |s: &N| {
+                if s.0 < limit {
+                    vec![ActionInstance::new(format!("Inc({})", s.0), N(s.0 + 1))]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        Spec::new(
+            "chain",
+            vec![N(0)],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![inc])],
+            vec![],
+        )
+    }
+
+    /// Fills a store with the chain 0..=limit, returning the final index.
+    fn fill(store: &StateStore<N>, labels: &LabelTable, limit: u32) -> StateIndex {
+        let fp0 = fingerprint(&N(0));
+        let mut handle = store.lock_shard(store.shard_of(fp0));
+        let Insert::Fresh(mut prev, _) = handle.insert(fp0, None, LabelTable::init_id(), N(0))
+        else {
+            panic!("fresh insert");
+        };
+        drop(handle);
+        for i in 0..limit {
+            let next = N(i + 1);
+            let fp = fingerprint(&next);
+            let label = labels.intern(&format!("Inc({i})"));
+            let mut handle = store.lock_shard(store.shard_of(fp));
+            match handle.insert(fp, Some(prev), label, next) {
+                Insert::Fresh(idx, _) => prev = idx,
+                Insert::Existing(..) => panic!("chain states are distinct"),
+            }
+        }
+        prev
+    }
+
+    #[test]
+    fn insert_deduplicates_and_counts() {
+        for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            let store: StateStore<N> = StateStore::new(mode, 4);
+            let fp = fingerprint(&N(7));
+            let mut handle = store.lock_shard(store.shard_of(fp));
+            let Insert::Fresh(idx, returned) = handle.insert(fp, None, LabelTable::init_id(), N(7))
+            else {
+                panic!("first insert is fresh");
+            };
+            assert_eq!(returned, N(7), "caller gets the state back in both modes");
+            let Insert::Existing(existing, back) =
+                handle.insert(fp, None, LabelTable::init_id(), N(7))
+            else {
+                panic!("second insert is a duplicate");
+            };
+            assert_eq!(existing, idx);
+            assert_eq!(back, N(7), "duplicates hand the moved-in state back");
+            drop(handle);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.find(fp), Some(idx));
+            assert_eq!(store.find(fingerprint(&N(8))), None);
+            let kept = store.with_state(idx, |s| s.clone());
+            match mode {
+                StoreMode::Full => assert_eq!(kept, Some(N(7))),
+                StoreMode::FingerprintOnly => assert_eq!(kept, None),
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_only_entries_are_strictly_smaller() {
+        let full: StateStore<N> = StateStore::new(StoreMode::Full, 1);
+        let fp_only: StateStore<N> = StateStore::new(StoreMode::FingerprintOnly, 1);
+        assert!(fp_only.entry_bytes_per_state() < full.entry_bytes_per_state());
+        assert_eq!(
+            full.entry_bytes_per_state() - fp_only.entry_bytes_per_state(),
+            std::mem::size_of::<N>()
+        );
+    }
+
+    #[test]
+    fn full_store_reconstructs_by_parent_walk() {
+        let spec = chain_spec(5);
+        let labels = LabelTable::new();
+        let store: StateStore<N> = StateStore::new(StoreMode::Full, 8);
+        let last = fill(&store, &labels, 5);
+        let trace = store.reconstruct_trace(&spec, &labels, last);
+        assert_eq!(trace.depth(), 5);
+        assert_eq!(trace.last_state(), Some(&N(5)));
+        assert_eq!(trace.steps[0].action, INIT_LABEL);
+        assert_eq!(trace.action_labels()[0], "Inc(0)");
+    }
+
+    #[test]
+    fn fingerprint_only_store_reconstructs_by_replay() {
+        let spec = chain_spec(5);
+        let labels = LabelTable::new();
+        let store: StateStore<N> = StateStore::new(StoreMode::FingerprintOnly, 8);
+        let last = fill(&store, &labels, 5);
+        // No states are kept...
+        assert_eq!(store.with_state(last, |s| s.clone()), None);
+        // ...yet the trace replays to the same execution the full store records.
+        let trace = store.reconstruct_trace(&spec, &labels, last);
+        assert_eq!(trace.depth(), 5);
+        assert_eq!(trace.last_state(), Some(&N(5)));
+        assert_eq!(
+            trace.action_labels(),
+            vec!["Inc(0)", "Inc(1)", "Inc(2)", "Inc(3)", "Inc(4)"]
+        );
+        assert_eq!(store.entry_bytes(), 6 * store.entry_bytes_per_state());
+    }
+
+    #[test]
+    fn indices_pack_shard_and_slot() {
+        let store: StateStore<N> = StateStore::new(StoreMode::Full, 8);
+        let labels = LabelTable::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            let fp = fingerprint(&N(i));
+            let mut handle = store.lock_shard(store.shard_of(fp));
+            let Insert::Fresh(idx, _) = handle.insert(fp, None, LabelTable::init_id(), N(i)) else {
+                panic!("distinct states");
+            };
+            drop(handle);
+            assert!(seen.insert(idx), "indices are unique across shards");
+            let (meta_fp, parent, label) = store.meta(idx);
+            assert_eq!(meta_fp, fp);
+            assert_eq!(parent, None);
+            assert_eq!(label, LabelTable::init_id());
+        }
+        let _ = labels;
+        assert_eq!(store.len(), 64);
+        assert_eq!(store.contention_counters().len(), 8);
+    }
+}

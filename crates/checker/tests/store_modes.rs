@@ -1,0 +1,159 @@
+//! Integration tests of the two discovered-state store backends on the real Zab model:
+//! stop-reason precedence must be deterministic across both modes, and fingerprint-only
+//! violation traces must replay through `Spec::successors` to the violating state.
+
+use std::time::Duration;
+
+use remix_checker::{check_bfs, CheckMode, CheckOptions, StopReason, StoreMode};
+use remix_spec::Spec;
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset, ZabState};
+
+fn spec(version: CodeVersion) -> Spec<ZabState> {
+    let config = ClusterConfig::small(version).with_transactions(1);
+    SpecPreset::MSpec3.build(&config)
+}
+
+/// Both backends explore the identical state space and agree on every statistic that
+/// does not describe memory layout.
+#[test]
+fn store_modes_explore_identical_state_spaces() {
+    let spec = spec(CodeVersion::FinalFix);
+    let options = CheckOptions::default().with_max_states(4_000);
+    let full = check_bfs(&spec, &options.clone().with_store_mode(StoreMode::Full));
+    let fp_only = check_bfs(
+        &spec,
+        &options.clone().with_store_mode(StoreMode::FingerprintOnly),
+    );
+    assert_eq!(full.stats.distinct_states, fp_only.stats.distinct_states);
+    assert_eq!(full.stats.transitions, fp_only.stats.transitions);
+    assert_eq!(full.stats.max_depth, fp_only.stats.max_depth);
+    assert_eq!(full.stop_reason, fp_only.stop_reason);
+    assert!(
+        fp_only.stats.peak_entry_bytes < full.stats.peak_entry_bytes,
+        "fingerprint-only entries must be strictly smaller: {} vs {}",
+        fp_only.stats.peak_entry_bytes,
+        full.stats.peak_entry_bytes
+    );
+}
+
+/// `max_states`, `time_budget` and `violation_limit` may all trip within the same BFS
+/// level; the reported reason must follow the documented precedence (violation stops
+/// over the state limit over the wall clock) in both store modes — and must therefore
+/// be identical across modes and worker counts.
+#[test]
+fn stop_reason_precedence_is_deterministic_across_store_modes() {
+    let spec = spec(CodeVersion::V391);
+    // Find the minimal violation depth d, then the state count within depth d - 1, so
+    // a `max_states` of that count + 1 is first exceeded in exactly the level that
+    // merges the first violating state: both conditions fire in the same level.
+    let probe = check_bfs(&spec, &CheckOptions::default());
+    let violation_depth = probe.first_violation().expect("v3.9.1 violates").depth;
+    assert!(violation_depth > 1, "a deep violation makes the race real");
+    let before = check_bfs(
+        &spec,
+        &CheckOptions::default().with_max_depth(violation_depth - 1),
+    );
+    let cap = before.stats.distinct_states + 1;
+
+    for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+        // Sequential claim/flush order is fixed, so the fired set is reproducible: the
+        // violating state is merged in the same level where the cap trips (batched
+        // flushing merges it before the early abort under the default batch size), and
+        // the resolved reason is exactly the documented precedence.
+        let outcome = check_bfs(
+            &spec,
+            &CheckOptions {
+                mode: CheckMode::Completion { violation_limit: 1 },
+                ..CheckOptions::default()
+            }
+            .with_store_mode(mode)
+            .with_max_states(cap)
+            .with_time_budget(Duration::from_secs(3600)),
+        );
+        assert_eq!(
+            outcome.stop_reason,
+            StopReason::ViolationLimit,
+            "mode {mode}: violation stop outranks the state limit"
+        );
+        assert!(!outcome.passed());
+
+        // Parallel runs may abort the level as soon as a resource limit trips (so the
+        // violating state of the same level is not always discovered), but the resolved
+        // reason still follows the precedence over whatever conditions fired — never
+        // the scheduling-dependent wall clock.
+        let parallel = check_bfs(
+            &spec,
+            &CheckOptions {
+                mode: CheckMode::Completion { violation_limit: 1 },
+                ..CheckOptions::default()
+            }
+            .with_store_mode(mode)
+            .with_workers(4)
+            .with_max_states(cap)
+            .with_time_budget(Duration::from_secs(3600)),
+        );
+        assert!(
+            matches!(
+                parallel.stop_reason,
+                StopReason::ViolationLimit | StopReason::StateLimit
+            ),
+            "mode {mode}: got {}",
+            parallel.stop_reason
+        );
+
+        // Without any violating state in reach, the same cap yields StateLimit.
+        let clean = check_bfs(
+            &spec,
+            &CheckOptions::default()
+                .with_store_mode(mode)
+                .with_max_states(before.stats.distinct_states.min(8))
+                .with_time_budget(Duration::from_secs(3600)),
+        );
+        assert_eq!(clean.stop_reason, StopReason::StateLimit);
+    }
+}
+
+/// A violation trace reconstructed by the fingerprint-only store's bounded
+/// re-exploration is a legal execution: every step is a successor of its predecessor
+/// under `Spec::successors` (matched by label), and it ends in the violating state.
+#[test]
+fn fingerprint_only_traces_replay_through_spec_successors() {
+    let spec = spec(CodeVersion::V391);
+    let outcome = check_bfs(
+        &spec,
+        &CheckOptions::default().with_store_mode(StoreMode::FingerprintOnly),
+    );
+    let violation = outcome.first_violation().expect("v3.9.1 violates mSpec-3");
+    let trace = &violation.trace;
+    assert!(!trace.is_empty(), "trace collection is on by default");
+    assert_eq!(trace.depth() as u32, violation.depth);
+
+    // Step 0 is an initial state; each later step must be among its predecessor's
+    // successors with exactly the recorded label.
+    assert!(spec.init.contains(&trace.steps[0].state));
+    for window in trace.steps.windows(2) {
+        let successors = spec.successors(&window[0].state);
+        assert!(
+            successors
+                .iter()
+                .any(|(label, next)| label == &window[1].action && next == &window[1].state),
+            "step `{}` must be a successor of its predecessor",
+            window[1].action
+        );
+    }
+    let last = trace.last_state().expect("non-empty");
+    assert!(
+        !spec.violated_invariants(last).is_empty(),
+        "the replayed trace ends in the violating state"
+    );
+
+    // And the replayed counterexample is identical to the full store's.
+    let full = check_bfs(
+        &spec,
+        &CheckOptions::default().with_store_mode(StoreMode::Full),
+    );
+    let full_violation = full.first_violation().expect("same violation");
+    assert_eq!(full_violation.invariant, violation.invariant);
+    assert_eq!(full_violation.depth, violation.depth);
+    assert_eq!(full_violation.trace.action_labels(), trace.action_labels());
+}

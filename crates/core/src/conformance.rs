@@ -397,8 +397,10 @@ impl ConformanceChecker {
     /// whether the implementation reaches a matching error / divergence, confirming the
     /// bug at the code level (§3.5.3).
     pub fn confirm_violation(&self, trace: &Trace<ZabState>) -> ConformanceReport {
-        let mut report = ConformanceReport::default();
-        report.traces_checked = 1;
+        let mut report = ConformanceReport {
+            traces_checked: 1,
+            ..Default::default()
+        };
         self.replay_trace(0, trace, &mut report);
         report
     }

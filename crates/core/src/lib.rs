@@ -34,5 +34,5 @@ pub use conformance::{
 pub use mapping::{default_mapping, ActionMapping};
 pub use report::{BugReport, EfficiencyRow, ExploreRow, FixVerificationRow, RefineRow};
 pub use verifier::{
-    RefinementRun, ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions,
+    RefinementRun, ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions, VerifyError,
 };

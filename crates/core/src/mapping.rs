@@ -9,9 +9,12 @@
 use remix_zab::Sid;
 use remix_zk_sim::SimEvent;
 
+/// Type of the label-translation function backing an [`ActionMapping`].
+type TranslateFn = dyn Fn(&str) -> Option<Vec<SimEvent>> + Send + Sync;
+
 /// A mapping from model-level action labels to code-level events.
 pub struct ActionMapping {
-    translate: Box<dyn Fn(&str) -> Option<Vec<SimEvent>> + Send + Sync>,
+    translate: Box<TranslateFn>,
 }
 
 impl ActionMapping {

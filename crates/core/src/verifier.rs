@@ -4,17 +4,62 @@
 //! output into the measurements the paper reports: per-bug detection rows (Table 4),
 //! per-specification efficiency rows (Table 5) and fix-verification rows (Table 6).
 
+use std::fmt;
 use std::time::Duration;
 
 use remix_checker::{
     check_bfs, check_refinement, shrink_violation, CheckMode, CheckOptions, CheckOutcome,
-    RefineOptions, RefineOutcome,
+    RefineOptions, RefineOutcome, StoreMode,
 };
-use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, Trace};
+use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, SpecError, Trace};
 use remix_zab::{projection_between, ClusterConfig, SpecPreset, ZabState};
 
 use crate::composer::Composer;
 use crate::report::RefineRow;
+
+/// A structured verification-setup failure.
+///
+/// Earlier versions panicked out of [`Verifier::check_refinement`] when the requested
+/// presets did not form a refinement pair or a composition plan failed to build; both
+/// are now reported as values so harnesses (benches, CI matrices, long-running
+/// verification loops) can skip or report a bad pairing instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The two presets/plans do not form a refinement pair: the `coarse` side must
+    /// select a strictly coarser granularity than the `fine` side for at least one
+    /// module (note the argument order: fine first, coarse second).
+    NotARefinementPair {
+        /// Name of the fine-side plan.
+        fine: String,
+        /// Name of the coarse-side plan.
+        coarse: String,
+    },
+    /// A plan that *does* form a refinement pair failed to build — it names a
+    /// module/granularity combination the specification library does not provide.
+    PlanBuild {
+        /// Name of the plan that failed to build.
+        plan: String,
+        /// The underlying specification error.
+        source: SpecError,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotARefinementPair { fine, coarse } => write!(
+                f,
+                "presets do not form a refinement pair: {coarse} must strictly abstract {fine} \
+                 (check the argument order: fine first, coarse second)"
+            ),
+            VerifyError::PlanBuild { plan, source } => {
+                write!(f, "composition plan {plan} does not build: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
 
 /// Options of a verification run.
 #[derive(Debug, Clone)]
@@ -33,6 +78,10 @@ pub struct VerifierOptions {
     /// Per-stripe successor batch size; see
     /// [`CheckOptions::batch_size`](remix_checker::CheckOptions).
     pub batch_size: usize,
+    /// Which backend the checker keeps discovered states in: the compact full-state
+    /// arena, or the TLC-style memory-bounded fingerprint-only store; see
+    /// [`StoreMode`].
+    pub store_mode: StoreMode,
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
@@ -55,6 +104,7 @@ impl Default for VerifierOptions {
             workers: 1,
             shards: check.shards,
             batch_size: check.batch_size,
+            store_mode: check.store_mode,
             only_invariants: Vec::new(),
             shrink_counterexamples: false,
         }
@@ -93,6 +143,12 @@ impl VerifierOptions {
     /// Sets the number of worker threads expanding each BFS frontier.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the discovered-state store backend.
+    pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
         self
     }
 
@@ -175,6 +231,7 @@ impl Verifier {
             shards: options.shards,
             batch_size: options.batch_size,
             collect_traces: true,
+            store_mode: options.store_mode,
         };
         let outcome = check_bfs(&spec, &check);
         let shrunk = if options.shrink_counterexamples {
@@ -287,53 +344,55 @@ impl Verifier {
     /// (§3.2): it is what justifies trusting mixed-grained verification results
     /// obtained with the coarse composition.
     ///
-    /// # Panics
-    ///
-    /// Panics when the presets do not form a refinement pair — i.e. `coarse` does not
-    /// select a strictly coarser granularity than `fine` for at least one module (note
-    /// the argument order: the *fine* preset comes first).  Use
-    /// [`check_refinement_plans`](Self::check_refinement_plans) for a non-panicking
-    /// variant over arbitrary plans.
+    /// Returns [`VerifyError::NotARefinementPair`] when `coarse` does not select a
+    /// strictly coarser granularity than `fine` for at least one module (note the
+    /// argument order: the *fine* preset comes first), and [`VerifyError::PlanBuild`]
+    /// when a preset's plan names a module/granularity combination the specification
+    /// library does not provide.
     pub fn check_refinement(
         &self,
         fine: SpecPreset,
         coarse: SpecPreset,
         options: &RefineOptions,
-    ) -> RefinementRun {
+    ) -> Result<RefinementRun, VerifyError> {
         self.check_refinement_plans(&fine.plan(), &coarse.plan(), options)
-            .unwrap_or_else(|| {
-                panic!(
-                    "presets do not form a refinement pair: {} must strictly abstract {} \
-                     (check the argument order: fine first, coarse second)",
-                    coarse.name(),
-                    fine.name()
-                )
-            })
     }
 
-    /// Checks refinement between two arbitrary composition plans.  Returns `None` when
-    /// the plans do not form a refinement pair (identical granularities everywhere, or
-    /// the `coarse` plan does not abstract the `fine` plan).
+    /// Checks refinement between two arbitrary composition plans.
     ///
-    /// # Panics
-    ///
-    /// Panics when a plan that *does* form a refinement pair fails to build (it names
-    /// a module/granularity combination the specification library does not provide) —
-    /// that is a set-up error, reported with the underlying [`remix_spec::SpecError`]
-    /// rather than folded into the `None` case.
+    /// Returns [`VerifyError::NotARefinementPair`] when the plans do not form a
+    /// refinement pair (identical granularities everywhere, or the `coarse` plan does
+    /// not abstract the `fine` plan), and [`VerifyError::PlanBuild`] when a plan that
+    /// *does* form a refinement pair fails to build — a set-up error reported with the
+    /// underlying [`remix_spec::SpecError`] instead of the panic earlier versions
+    /// raised.
     pub fn check_refinement_plans(
         &self,
         fine_plan: &CompositionPlan,
         coarse_plan: &CompositionPlan,
         options: &RefineOptions,
-    ) -> Option<RefinementRun> {
-        let projection = projection_between(fine_plan, coarse_plan, &self.config)?;
-        let fine = remix_zab::build_from_plan(fine_plan, &self.config)
-            .unwrap_or_else(|e| panic!("fine plan {} does not build: {e:?}", fine_plan.name));
-        let coarse = remix_zab::build_from_plan(coarse_plan, &self.config)
-            .unwrap_or_else(|e| panic!("coarse plan {} does not build: {e:?}", coarse_plan.name));
+    ) -> Result<RefinementRun, VerifyError> {
+        let projection =
+            projection_between(fine_plan, coarse_plan, &self.config).ok_or_else(|| {
+                VerifyError::NotARefinementPair {
+                    fine: fine_plan.name.clone(),
+                    coarse: coarse_plan.name.clone(),
+                }
+            })?;
+        let fine = remix_zab::build_from_plan(fine_plan, &self.config).map_err(|source| {
+            VerifyError::PlanBuild {
+                plan: fine_plan.name.clone(),
+                source,
+            }
+        })?;
+        let coarse = remix_zab::build_from_plan(coarse_plan, &self.config).map_err(|source| {
+            VerifyError::PlanBuild {
+                plan: coarse_plan.name.clone(),
+                source,
+            }
+        })?;
         let outcome = check_refinement(&fine, &coarse, &projection, options);
-        Some(RefinementRun {
+        Ok(RefinementRun {
             outcome,
             config: self.config,
         })
@@ -356,6 +415,29 @@ fn restrict_invariants(mut spec: Spec<ZabState>, ids: &[&'static str]) -> Spec<Z
 mod tests {
     use super::*;
     use remix_zab::CodeVersion;
+
+    #[test]
+    fn swapped_refinement_presets_report_an_error_instead_of_panicking() {
+        let verifier = Verifier::new(ClusterConfig::small(CodeVersion::FinalFix));
+        // Argument order swapped: the "coarse" side is strictly finer than the "fine"
+        // side, so no projection exists between the plans.
+        let err = verifier
+            .check_refinement(
+                SpecPreset::MSpec1,
+                SpecPreset::SysSpec,
+                &RefineOptions::default(),
+            )
+            .expect_err("swapped presets are not a refinement pair");
+        match &err {
+            VerifyError::NotARefinementPair { fine, coarse } => {
+                assert_eq!(fine, SpecPreset::MSpec1.plan().name.as_str());
+                assert_eq!(coarse, SpecPreset::SysSpec.plan().name.as_str());
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("refinement pair"), "{rendered}");
+    }
 
     #[test]
     #[cfg_attr(

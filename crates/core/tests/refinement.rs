@@ -42,11 +42,9 @@ fn coarse_election_refines_baseline_conclusively() {
             max_crashes: 0,
             ..ClusterConfig::small(version)
         };
-        let run = Verifier::new(config).check_refinement(
-            SpecPreset::SysSpec,
-            SpecPreset::MSpec1,
-            &options(),
-        );
+        let run = Verifier::new(config)
+            .check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options())
+            .expect("presets form a refinement pair");
         assert!(run.refines(), "{version:?}: {}", run.outcome);
         assert!(run.outcome.conclusive(), "{version:?} must be conclusive");
         assert!(run.outcome.stats.fine_states > run.outcome.stats.coarse_states);
@@ -80,8 +78,9 @@ fn coarse_election_under_crashes_diverges_until_fault_completed() {
         .with_max_states(900_000);
 
     // (a) The stock preset under-approximates: a crash-interrupted round diverges.
-    let run =
-        Verifier::new(config).check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options);
+    let run = Verifier::new(config)
+        .check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options)
+        .expect("presets form a refinement pair");
     let divergence = run.outcome.divergence.as_ref().expect("must diverge");
     assert_eq!(divergence.kind, DivergenceKind::MissingInCoarse);
     let fine = SpecPreset::SysSpec.build(&config);
@@ -228,7 +227,9 @@ fn version_row(version: CodeVersion) -> (remix_core::RefinementRun, Vec<&'static
         ..ClusterConfig::small(version)
     };
     let verifier = Verifier::new(config);
-    let run = verifier.check_refinement(SpecPreset::MSpec4, SpecPreset::SysSpec, &options());
+    let run = verifier
+        .check_refinement(SpecPreset::MSpec4, SpecPreset::SysSpec, &options())
+        .expect("presets form a refinement pair");
     let fine = SpecPreset::MSpec4.build(&config);
     let coarse = SpecPreset::SysSpec.build(&config);
     let culprits = run

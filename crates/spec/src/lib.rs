@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod compose;
 pub mod error;
 pub mod invariant;
+pub mod label;
 pub mod module;
 pub mod projection;
 pub mod spec;
@@ -49,6 +50,7 @@ pub use analysis::{
 pub use compose::{compose, CompositionPlan, ModuleChoice};
 pub use error::SpecError;
 pub use invariant::{Invariant, InvariantScope, InvariantSource};
+pub use label::{LabelId, LabelTable, INIT_LABEL};
 pub use module::{ModuleId, ModuleSpec};
 pub use projection::{LabelProjectionFn, StabilityFn, StateProjectionFn, TraceProjection};
 pub use spec::{Spec, SpecState};

@@ -6,6 +6,7 @@ use std::hash::Hash;
 
 use crate::action::{ActionDef, Granularity};
 use crate::invariant::Invariant;
+use crate::label::{LabelId, LabelTable};
 use crate::module::{ModuleId, ModuleSpec};
 use crate::value::Value;
 
@@ -68,6 +69,29 @@ impl<S: SpecState> Spec<S> {
             }
         }
         out
+    }
+
+    /// Streams all successors of `state` to `f`, interning each instantiated label into
+    /// `labels` and handing over the dense [`LabelId`] instead of the `String`.
+    ///
+    /// This is the checker's hot-path variant of [`Spec::successors`]: no intermediate
+    /// successor vector is built, and the per-transition label allocation dies here —
+    /// the owned label of each [`ActionInstance`](crate::ActionInstance) is consumed by
+    /// the interner (stored once per *distinct* label for the whole run), so downstream
+    /// bookkeeping stores a `u32` per transition rather than a heap string.
+    pub fn for_each_successor(
+        &self,
+        state: &S,
+        labels: &LabelTable,
+        mut f: impl FnMut(LabelId, S),
+    ) {
+        for module in &self.modules {
+            for action in &module.actions {
+                for inst in action.enabled(state) {
+                    f(labels.intern_owned(inst.label), inst.next);
+                }
+            }
+        }
     }
 
     /// Returns the invariants violated by `state` (empty when all hold).
@@ -233,6 +257,22 @@ mod tests {
         assert!(labels.contains(&"IncX(1)".to_owned()));
         assert!(labels.contains(&"IncY(0)".to_owned()));
         assert_eq!(succ.len(), 2);
+    }
+
+    #[test]
+    fn interned_successors_match_the_allocating_enumeration() {
+        let s = spec(2);
+        let labels = crate::label::LabelTable::new();
+        let state = Counters { x: 1, y: 0 };
+        let mut interned = Vec::new();
+        s.for_each_successor(&state, &labels, |id, next| {
+            interned.push((labels.resolve(id), next));
+        });
+        assert_eq!(s.successors(&state), interned);
+        // Re-enumeration interns nothing new.
+        let before = labels.len();
+        s.for_each_successor(&state, &labels, |_, _| {});
+        assert_eq!(labels.len(), before);
     }
 
     #[test]

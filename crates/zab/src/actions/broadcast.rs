@@ -16,16 +16,21 @@ use super::{pairs, servers, Cfg};
 // Shared leader-side steps.
 // ---------------------------------------------------------------------------------------
 
+/// The guard of [`leader_process_request_step`], checkable without cloning the state
+/// (the single source of truth pattern of `sync::leader_sync_follower_enabled`).
+pub(crate) fn leader_process_request_enabled(cfg: &Cfg, state: &ZabState, i: Sid) -> bool {
+    let leader = &state.servers[i];
+    leader.is_up()
+        && leader.state == ServerState::Leading
+        && leader.phase == ZabPhase::Broadcast
+        && leader.established
+        && state.txns_created < cfg.max_transactions
+}
+
 /// The leader creates a new transaction from a client request, appends it to its own log
 /// and sends a PROPOSAL to every synced follower.  Returns `false` when not enabled.
 pub(crate) fn leader_process_request_step(cfg: &Cfg, state: &mut ZabState, i: Sid) -> bool {
-    let leader = &state.servers[i];
-    if !leader.is_up()
-        || leader.state != ServerState::Leading
-        || leader.phase != ZabPhase::Broadcast
-        || !leader.established
-        || state.txns_created >= cfg.max_transactions
-    {
+    if !leader_process_request_enabled(cfg, state, i) {
         return false;
     }
     let epoch = state.servers[i].current_epoch;
@@ -51,15 +56,20 @@ pub(crate) fn leader_process_request_step(cfg: &Cfg, state: &mut ZabState, i: Si
     true
 }
 
+/// The guard of [`leader_process_ack_step`], checkable without cloning the state.
+pub(crate) fn leader_process_ack_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    let leader = &state.servers[i];
+    leader.is_up()
+        && leader.state == ServerState::Leading
+        && leader.phase == ZabPhase::Broadcast
+        && matches!(state.head(j, i), Some(Message::Ack { .. }))
+}
+
 /// The leader counts a proposal acknowledgement and commits in order once a quorum acks.
 /// Also handles a late NEWLEADER acknowledgement from a follower that finished
 /// synchronizing after the epoch was established.  Returns `false` when not enabled.
 pub(crate) fn leader_process_ack_step(state: &mut ZabState, i: Sid, j: Sid) -> bool {
-    let leader = &state.servers[i];
-    if !leader.is_up()
-        || leader.state != ServerState::Leading
-        || leader.phase != ZabPhase::Broadcast
-    {
+    if !leader_process_ack_enabled(state, i, j) {
         return false;
     }
     let Some(Message::Ack { zxid }) = state.head(j, i) else {
@@ -189,6 +199,9 @@ fn leader_process_request(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
         move |s: &ZabState| {
             let mut out = Vec::new();
             for i in servers(s) {
+                if !leader_process_request_enabled(&cfg, s, i) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if leader_process_request_step(&cfg, &mut next, i) {
                     out.push(ActionInstance::new(
@@ -289,6 +302,9 @@ fn leader_process_ack(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabStat
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !leader_process_ack_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if leader_process_ack_step(&mut next, i, j) {
                     out.push(ActionInstance::new(

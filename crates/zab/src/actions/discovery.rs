@@ -257,7 +257,7 @@ mod tests {
         assert_eq!(s.servers[2].phase, ZabPhase::Synchronization);
         assert_eq!(s.servers[2].accepted_epoch, 1);
         assert_eq!(s.servers[2].current_epoch, 1);
-        assert!(s.servers[2].epoch_acks.len() >= 1);
+        assert!(!s.servers[2].epoch_acks.is_empty());
         // Followers that processed LEADERINFO accepted the epoch.
         for i in 0..2 {
             if s.servers[i].phase == ZabPhase::Synchronization {

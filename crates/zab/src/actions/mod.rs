@@ -30,21 +30,14 @@ use crate::types::Sid;
 /// Convenience alias used by all builders.
 pub type Cfg = Arc<ClusterConfig>;
 
-/// Enumerates ordered pairs `(i, j)` with `i != j` of the ensemble.
-pub(crate) fn pairs(state: &ZabState) -> Vec<(Sid, Sid)> {
+/// Enumerates ordered pairs `(i, j)` with `i != j` of the ensemble, without allocating
+/// (successor enumeration runs once per action per discovered state).
+pub(crate) fn pairs(state: &ZabState) -> impl Iterator<Item = (Sid, Sid)> {
     let n = state.n();
-    let mut out = Vec::with_capacity(n * (n - 1));
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                out.push((i, j));
-            }
-        }
-    }
-    out
+    (0..n).flat_map(move |i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
 }
 
 /// Enumerates all server identifiers.
-pub(crate) fn servers(state: &ZabState) -> Vec<Sid> {
-    (0..state.n()).collect()
+pub(crate) fn servers(state: &ZabState) -> std::ops::Range<Sid> {
+    0..state.n()
 }

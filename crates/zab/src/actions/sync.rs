@@ -21,17 +21,36 @@ use super::{pairs, Cfg};
 // Shared leader-side steps (used by both the baseline and fine-grained modules).
 // ---------------------------------------------------------------------------------------
 
+/// `true` when server `i` is an up follower of `j` still in the Synchronization phase —
+/// the shared guard prefix of every in-sync message handler.
+pub(crate) fn follower_in_sync(state: &ZabState, i: Sid, j: Sid) -> bool {
+    let sv = &state.servers[i];
+    sv.is_up()
+        && sv.state == ServerState::Following
+        && sv.leader == Some(j)
+        && sv.phase == ZabPhase::Synchronization
+}
+
+/// The guard of [`leader_sync_follower_step`], checkable without cloning the state.
+///
+/// Each `*_enabled` predicate is the *single source of truth* for its action's guard:
+/// the step function delegates to it, and the action closures consult it before paying
+/// for a state clone — the speculative clone-per-candidate of the earlier enumeration
+/// was the checker's dominant cost (most candidates are disabled in any given state).
+pub(crate) fn leader_sync_follower_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    let leader = &state.servers[i];
+    leader.is_up()
+        && leader.state == ServerState::Leading
+        && leader.phase == ZabPhase::Synchronization
+        && leader.epoch_acks.contains(&j)
+        && !leader.sync_sent.contains(&j)
+        && state.reachable(i, j)
+}
+
 /// Decides the synchronization payload for follower `j` and sends it followed by
 /// NEWLEADER.  Returns `false` when the action is not enabled.
 pub(crate) fn leader_sync_follower_step(state: &mut ZabState, i: Sid, j: Sid) -> bool {
-    let leader = &state.servers[i];
-    if !leader.is_up()
-        || leader.state != ServerState::Leading
-        || leader.phase != ZabPhase::Synchronization
-        || !leader.epoch_acks.contains(&j)
-        || leader.sync_sent.contains(&j)
-        || !state.reachable(i, j)
-    {
+    if !leader_sync_follower_enabled(state, i, j) {
         return false;
     }
     let follower_zxid = *state.servers[i]
@@ -126,13 +145,18 @@ pub(crate) fn establish_leader(state: &mut ZabState, i: Sid) {
     }
 }
 
+/// The guard of [`leader_process_ackld_step`], checkable without cloning the state.
+pub(crate) fn leader_process_ackld_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    state.servers[i].is_up()
+        && state.servers[i].state == ServerState::Leading
+        && state.servers[i].phase == ZabPhase::Synchronization
+        && matches!(state.head(j, i), Some(Message::Ack { .. }))
+}
+
 /// Handles an ACK received by a leader that is still in the Synchronization phase.
 /// Returns `false` when not enabled.
 pub(crate) fn leader_process_ackld_step(cfg: &Cfg, state: &mut ZabState, i: Sid, j: Sid) -> bool {
-    if !state.servers[i].is_up()
-        || state.servers[i].state != ServerState::Leading
-        || state.servers[i].phase != ZabPhase::Synchronization
-    {
+    if !leader_process_ackld_enabled(state, i, j) {
         return false;
     }
     let Some(Message::Ack { zxid }) = state.head(j, i) else {
@@ -168,6 +192,11 @@ pub(crate) fn leader_process_ackld_step(cfg: &Cfg, state: &mut ZabState, i: Sid,
     true
 }
 
+/// The guard of [`follower_commit_in_sync_step`], checkable without cloning the state.
+pub(crate) fn follower_commit_in_sync_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    follower_in_sync(state, i, j) && matches!(state.head(j, i), Some(Message::Commit { .. }))
+}
+
 /// Handles a COMMIT received by a follower that is still in the Synchronization phase
 /// (after NEWLEADER, before UPTODATE).  Returns `false` when not enabled.
 pub(crate) fn follower_commit_in_sync_step(
@@ -176,12 +205,7 @@ pub(crate) fn follower_commit_in_sync_step(
     i: Sid,
     j: Sid,
 ) -> bool {
-    let sv = &state.servers[i];
-    if !sv.is_up()
-        || sv.state != ServerState::Following
-        || sv.leader != Some(j)
-        || sv.phase != ZabPhase::Synchronization
-    {
+    if !follower_commit_in_sync_enabled(state, i, j) {
         return false;
     }
     let Some(Message::Commit { zxid }) = state.head(j, i) else {
@@ -224,15 +248,15 @@ pub(crate) fn follower_commit_in_sync_step(
     true
 }
 
+/// The guard of [`follower_proposal_in_sync_step`], checkable without cloning the state.
+pub(crate) fn follower_proposal_in_sync_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    follower_in_sync(state, i, j) && matches!(state.head(j, i), Some(Message::Proposal { .. }))
+}
+
 /// Handles a PROPOSAL received by a follower that is still in the Synchronization phase:
 /// the proposal joins the pending packets and is logged at NEWLEADER / UPTODATE time.
 pub(crate) fn follower_proposal_in_sync_step(state: &mut ZabState, i: Sid, j: Sid) -> bool {
-    let sv = &state.servers[i];
-    if !sv.is_up()
-        || sv.state != ServerState::Following
-        || sv.leader != Some(j)
-        || sv.phase != ZabPhase::Synchronization
-    {
+    if !follower_proposal_in_sync_enabled(state, i, j) {
         return false;
     }
     let Some(Message::Proposal { txn }) = state.head(j, i) else {
@@ -244,19 +268,16 @@ pub(crate) fn follower_proposal_in_sync_step(state: &mut ZabState, i: Sid, j: Si
     true
 }
 
+/// The guard of [`follower_process_sync_packets_step`], checkable without cloning.
+pub(crate) fn follower_process_sync_packets_enabled(state: &ZabState, i: Sid, j: Sid) -> bool {
+    follower_in_sync(state, i, j) && matches!(state.head(j, i), Some(Message::SyncPackets { .. }))
+}
+
 /// Applies a SyncPackets payload on the follower.  Returns `false` when not enabled.
 pub(crate) fn follower_process_sync_packets_step(state: &mut ZabState, i: Sid, j: Sid) -> bool {
-    let sv = &state.servers[i];
-    if !sv.is_up()
-        || sv.state != ServerState::Following
-        || sv.leader != Some(j)
-        || sv.phase != ZabPhase::Synchronization
-    {
+    if !follower_process_sync_packets_enabled(state, i, j) {
         return false;
     }
-    let Some(Message::SyncPackets { .. }) = state.head(j, i) else {
-        return false;
-    };
     let Some(Message::SyncPackets {
         mode,
         txns,
@@ -333,6 +354,9 @@ fn leader_sync_follower(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !leader_sync_follower_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if leader_sync_follower_step(&mut next, i, j) {
                     out.push(ActionInstance::new(
@@ -363,6 +387,9 @@ fn follower_process_sync_packets(_cfg: &Cfg, granularity: Granularity) -> Action
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !follower_process_sync_packets_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if follower_process_sync_packets_step(&mut next, i, j) {
                     out.push(ActionInstance::new(
@@ -464,6 +491,9 @@ fn leader_process_ackld(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSta
         move |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !leader_process_ackld_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if leader_process_ackld_step(&cfg, &mut next, i, j) {
                     out.push(ActionInstance::new(
@@ -547,6 +577,9 @@ fn follower_process_commit_in_sync(cfg: &Cfg, granularity: Granularity) -> Actio
         move |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !follower_commit_in_sync_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if follower_commit_in_sync_step(&cfg, &mut next, i, j) {
                     out.push(ActionInstance::new(
@@ -570,6 +603,9 @@ fn follower_process_proposal_in_sync(_cfg: &Cfg, granularity: Granularity) -> Ac
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
+                if !follower_proposal_in_sync_enabled(s, i, j) {
+                    continue;
+                }
                 let mut next = s.clone();
                 if follower_proposal_in_sync_step(&mut next, i, j) {
                     out.push(ActionInstance::new(

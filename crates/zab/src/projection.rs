@@ -99,23 +99,24 @@ fn history_value(txns: &[crate::types::Txn]) -> Value {
 
 /// Projects one server onto its visible record under `spec`.
 fn project_server(sv: &ServerData, spec: ProjectionSpec) -> Value {
-    let mut fields: Vec<(String, Value)> = Vec::new();
-    // Durable data state: always visible — this is what the invariants are about.
-    fields.push(("history".to_owned(), history_value(&sv.history)));
-    fields.push((
-        "lastCommitted".to_owned(),
-        Value::from(sv.last_committed.min(sv.history.len())),
-    ));
-    // Thread queues: visible (the ZK-4712 stale-queue interaction lives here); the
-    // sync normalization makes states with non-empty queues unstable instead.
-    fields.push((
-        "queuedRequests".to_owned(),
-        history_value(&sv.queued_requests),
-    ));
-    fields.push((
-        "committedRequests".to_owned(),
-        Value::Seq(sv.pending_commits.iter().map(|z| zxid_value(*z)).collect()),
-    ));
+    let mut fields: Vec<(String, Value)> = vec![
+        // Durable data state: always visible — this is what the invariants are about.
+        ("history".to_owned(), history_value(&sv.history)),
+        (
+            "lastCommitted".to_owned(),
+            Value::from(sv.last_committed.min(sv.history.len())),
+        ),
+        // Thread queues: visible (the ZK-4712 stale-queue interaction lives here); the
+        // sync normalization makes states with non-empty queues unstable instead.
+        (
+            "queuedRequests".to_owned(),
+            history_value(&sv.queued_requests),
+        ),
+        (
+            "committedRequests".to_owned(),
+            Value::Seq(sv.pending_commits.iter().map(|z| zxid_value(*z)).collect()),
+        ),
+    ];
 
     let visible_control = !spec.normalize_election || in_phase(sv) || !sv.is_up();
     let state_label = if spec.normalize_election && sv.is_up() && !in_phase(sv) {

@@ -569,9 +569,11 @@ mod tests {
         Cluster::new(ClusterConfig::small(version))
     }
 
-    /// Drives a full, bug-free synchronization and one broadcast round on the fixed build.
+    /// Drives a full, bug-free synchronization and one broadcast round on the fixed
+    /// build.  Replay-step failures surface as structured [`SimError`]s through the
+    /// test's `Result` (with the failing step prepended) rather than a panic.
     #[test]
-    fn happy_path_on_the_fixed_build() {
+    fn happy_path_on_the_fixed_build() -> Result<(), SimError> {
         let mut c = cluster(CodeVersion::FinalFix);
         let steps = [
             SimEvent::ElectLeader {
@@ -615,7 +617,7 @@ mod tests {
         ];
         for (idx, e) in steps.iter().enumerate() {
             c.step(e)
-                .unwrap_or_else(|err| panic!("step {idx} ({e:?}) failed: {err}"));
+                .map_err(|cause| err(format!("step {idx} ({e:?}) failed: {cause}")))?;
         }
         let obs = c.observe();
         assert!(obs.first_error().is_none());
@@ -624,6 +626,7 @@ mod tests {
             assert_eq!(n.log.len(), 1, "server {}", n.sid);
             assert_eq!(n.committed, 1, "server {}", n.sid);
         }
+        Ok(())
     }
 
     /// Replays the ZK-4646 interleaving on the buggy build: the follower acknowledges

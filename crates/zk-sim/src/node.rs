@@ -766,8 +766,10 @@ mod tests {
     #[test]
     fn broadcast_commit_requires_a_quorum() {
         let mut net = Network::new(3);
-        let mut disk = Disk::default();
-        disk.current_epoch = 2;
+        let mut disk = Disk {
+            current_epoch: 2,
+            ..Default::default()
+        };
         let mut l = LeaderServer::new(2, 2);
         l.newleader_acks.insert(0);
         l.established = true;
