@@ -23,7 +23,7 @@ fn sampling_run(guided: bool) -> usize {
     let config = ClusterConfig::explore(CodeVersion::V391);
     let spec = SpecPreset::MSpec3.build(&config);
     let base = if guided {
-        ExploreOptions::default().guided(16)
+        ExploreOptions::default().guided(24)
     } else {
         ExploreOptions::default().uniform()
     };
@@ -76,7 +76,7 @@ fn bench_explore_artifact(_c: &mut Criterion) {
     let path = std::env::var("EXPLORE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_explore.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
-        "{{\n  \"bench\": \"explore_guided\",\n  \"workload\": \"mSpec-3 on v3.9.1 (explore config), deep invariants I-8/I-10 only, {} traces x depth {} per run\",\n  \"seeds\": {},\n  \"uniform_runs_with_violation\": {},\n  \"guided_runs_with_violation\": {},\n  \"note\": \"paired seeds: each seed runs both policies with identical budgets; durations in milliseconds\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"explore_guided\",\n  \"workload\": \"mSpec-3 on v3.9.1 (explore config), deep invariants I-8/I-10 only, {} traces x depth {} per run\",\n  \"seeds\": {},\n  \"uniform_runs_with_violation\": {},\n  \"guided_runs_with_violation\": {},\n  \"note\": \"paired seeds: each seed runs both policies with identical budgets; durations in milliseconds. coverage counts each prefix once per trace (max_prefix_hits <= traces by construction) and rarity weights are relative to the candidate set's minimum, so guidance no longer degenerates to uniform on long runs\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
         8192,
         60,
         seeds.len(),

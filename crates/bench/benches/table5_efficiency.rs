@@ -3,16 +3,17 @@
 //! worker-scaling and store-backend measurements of the parallel BFS engine.
 //!
 //! Besides the timing loops, `bench_workers_scaling` performs one instrumented
-//! fixed-workload run per `(store mode, worker count)` pair and writes the resulting
-//! rows (states/sec, speedup over one worker, per-worker transition balance, shard
-//! contention, and the store's peak entry bytes — where the fingerprint-only backend
-//! must come in strictly below the full-state arena) to `BENCH_table5.json` (path
-//! overridable via `TABLE5_JSON`).
+//! fixed-workload run per `(store mode, symmetry mode, worker count)` triple and
+//! writes the resulting rows (states/sec, speedup over one worker, per-worker
+//! transition balance, shard contention, and the store's peak entry bytes — where the
+//! fingerprint-only backend must come in strictly below the full-state arena, and the
+//! symmetry-reduced runs strictly below their unreduced twins on `distinct_states`)
+//! to `BENCH_table5.json` (path overridable via `TABLE5_JSON`).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use remix_checker::{check_bfs, CheckOptions, StoreMode};
+use remix_checker::{check_bfs, CheckOptions, StoreMode, SymmetryMode};
 use remix_core::{Verifier, VerifierOptions};
 use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 
@@ -58,16 +59,20 @@ fn bench_efficiency(c: &mut Criterion) {
 }
 
 /// One fixed-workload exploration: the fine-grained preset on the fixed implementation,
-/// run to exhaustion, so every `(store mode, worker count)` pair explores exactly the
-/// same states and throughput / memory are directly comparable.
+/// run to exhaustion, so every `(store mode, symmetry mode, worker count)` triple
+/// explores exactly the same states and throughput / memory are directly comparable
+/// (within a symmetry mode; canonicalization shrinks the workload itself, which is the
+/// point of the symmetry column).
 fn scaling_run(
     mode: StoreMode,
+    symmetry: SymmetryMode,
     workers: usize,
 ) -> remix_checker::CheckOutcome<remix_zab::ZabState> {
     let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
     let spec = SpecPreset::MSpec3.build(&config);
     let options = CheckOptions::default()
         .with_store_mode(mode)
+        .with_symmetry(symmetry)
         .with_workers(workers)
         .with_time_budget(Duration::from_secs(120));
     check_bfs(&spec, &options)
@@ -80,81 +85,101 @@ fn bench_workers_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(20));
     let worker_counts = [1usize, 2, 4];
     let modes = [StoreMode::Full, StoreMode::FingerprintOnly];
+    let symmetries = [SymmetryMode::Off, SymmetryMode::Canonicalize];
     for mode in modes {
-        for workers in worker_counts {
-            group.bench_function(format!("mSpec-3/{mode}/workers={workers}"), |b| {
-                b.iter(|| scaling_run(mode, workers).stats.distinct_states);
-            });
+        for symmetry in symmetries {
+            for workers in worker_counts {
+                group.bench_function(
+                    format!("mSpec-3/{mode}/symmetry={symmetry}/workers={workers}"),
+                    |b| {
+                        b.iter(|| scaling_run(mode, symmetry, workers).stats.distinct_states);
+                    },
+                );
+            }
         }
     }
     group.finish();
 
-    // One instrumented run per (mode, worker count) for the committed artefact.
+    // One instrumented run per (store mode, symmetry mode, worker count) for the
+    // committed artefact.
     let mut rows = Vec::new();
-    let mut workload_states = None;
+    // Expected distinct-state count per symmetry mode (identical across store modes
+    // and worker counts), and the concrete/canonical pair for the workload banner.
+    let mut workload_states: [Option<usize>; 2] = [None, None];
     let mut full_entry_bytes = None;
     for mode in modes {
-        let mut base_rate = None;
-        for workers in worker_counts {
-            let outcome = scaling_run(mode, workers);
-            // A throughput comparison is only meaningful over identical workloads: every
-            // run must exhaust the same state space, not get cut off by the time budget.
-            assert_eq!(
-                outcome.stop_reason,
-                remix_checker::StopReason::Exhausted,
-                "scaling run ({mode}, workers={workers}) must exhaust the workload; got {}",
-                outcome.stop_reason
-            );
-            let expected = *workload_states.get_or_insert(outcome.stats.distinct_states);
-            assert_eq!(
-                outcome.stats.distinct_states, expected,
-                "scaling runs must explore identical state spaces ({mode}, workers={workers})"
-            );
-            match mode {
-                StoreMode::Full => {
-                    full_entry_bytes.get_or_insert(outcome.stats.peak_entry_bytes);
+        for (si, symmetry) in symmetries.into_iter().enumerate() {
+            let mut base_rate = None;
+            for workers in worker_counts {
+                let outcome = scaling_run(mode, symmetry, workers);
+                // A throughput comparison is only meaningful over identical workloads:
+                // every run must exhaust its state space, not get cut off by the budget.
+                assert_eq!(
+                    outcome.stop_reason,
+                    remix_checker::StopReason::Exhausted,
+                    "scaling run ({mode}, {symmetry}, workers={workers}) must exhaust \
+                     the workload; got {}",
+                    outcome.stop_reason
+                );
+                let expected = *workload_states[si].get_or_insert(outcome.stats.distinct_states);
+                assert_eq!(
+                    outcome.stats.distinct_states, expected,
+                    "scaling runs must explore identical state spaces \
+                     ({mode}, {symmetry}, workers={workers})"
+                );
+                match mode {
+                    StoreMode::Full => {
+                        full_entry_bytes.get_or_insert(outcome.stats.peak_entry_bytes);
+                    }
+                    StoreMode::FingerprintOnly => {
+                        let full = full_entry_bytes.expect("full mode measured first");
+                        assert!(
+                            outcome.stats.peak_entry_bytes < full,
+                            "fingerprint-only peak entry bytes ({}) must be strictly \
+                             below the full store's ({full})",
+                            outcome.stats.peak_entry_bytes
+                        );
+                    }
                 }
-                StoreMode::FingerprintOnly => {
-                    let full = full_entry_bytes.expect("full mode measured first");
-                    assert!(
-                        outcome.stats.peak_entry_bytes < full,
-                        "fingerprint-only peak entry bytes ({}) must be strictly below \
-                         the full store's ({full})",
-                        outcome.stats.peak_entry_bytes
-                    );
-                }
+                let rate = outcome.stats.states_per_second();
+                let base = *base_rate.get_or_insert(rate);
+                let speedup = if base > 0.0 { rate / base } else { 0.0 };
+                println!(
+                    "scaling mode={mode} symmetry={symmetry} workers={workers}: {} states \
+                     in {:.2?} -> {:.0} states/s (speedup {speedup:.2}x, contention {}, \
+                     peak entry bytes {})",
+                    outcome.stats.distinct_states,
+                    outcome.stats.elapsed,
+                    rate,
+                    outcome.stats.total_contention(),
+                    outcome.stats.peak_entry_bytes,
+                );
+                rows.push(format!(
+                    "    {{\"store_mode\": \"{mode}\", \"symmetry\": \"{symmetry}\", \"workers\": {workers}, \"distinct_states\": {}, \"stop_reason\": \"{}\", \"elapsed_ms\": {}, \"states_per_sec\": {:.1}, \"speedup_vs_1_worker\": {speedup:.3}, \"peak_entry_bytes\": {}, \"entry_bytes_per_state\": {}, \"per_worker_transitions\": [{}], \"shard_contention_total\": {}}}",
+                    outcome.stats.distinct_states,
+                    outcome.stop_reason,
+                    outcome.stats.elapsed.as_millis(),
+                    rate,
+                    outcome.stats.peak_entry_bytes,
+                    outcome.stats.entry_bytes_per_state,
+                    outcome
+                        .stats
+                        .per_worker_transitions
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    outcome.stats.total_contention(),
+                ));
             }
-            let rate = outcome.stats.states_per_second();
-            let base = *base_rate.get_or_insert(rate);
-            let speedup = if base > 0.0 { rate / base } else { 0.0 };
-            println!(
-                "scaling mode={mode} workers={workers}: {} states in {:.2?} -> {:.0} states/s \
-                 (speedup {speedup:.2}x, contention {}, peak entry bytes {})",
-                outcome.stats.distinct_states,
-                outcome.stats.elapsed,
-                rate,
-                outcome.stats.total_contention(),
-                outcome.stats.peak_entry_bytes,
-            );
-            rows.push(format!(
-                "    {{\"store_mode\": \"{mode}\", \"workers\": {workers}, \"distinct_states\": {}, \"stop_reason\": \"{}\", \"elapsed_ms\": {}, \"states_per_sec\": {:.1}, \"speedup_vs_1_worker\": {speedup:.3}, \"peak_entry_bytes\": {}, \"entry_bytes_per_state\": {}, \"per_worker_transitions\": [{}], \"shard_contention_total\": {}}}",
-                outcome.stats.distinct_states,
-                outcome.stop_reason,
-                outcome.stats.elapsed.as_millis(),
-                rate,
-                outcome.stats.peak_entry_bytes,
-                outcome.stats.entry_bytes_per_state,
-                outcome
-                    .stats
-                    .per_worker_transitions
-                    .iter()
-                    .map(|t| t.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                outcome.stats.total_contention(),
-            ));
         }
     }
+    let [concrete_states, canonical_states] = workload_states;
+    assert!(
+        canonical_states.unwrap_or(0) < concrete_states.unwrap_or(usize::MAX),
+        "symmetry reduction must strictly shrink the workload \
+         ({canonical_states:?} vs {concrete_states:?} states)"
+    );
     // Benches run with the package directory as CWD; anchor the artefact at the
     // workspace root unless overridden.
     let path = std::env::var("TABLE5_JSON")
@@ -163,8 +188,9 @@ fn bench_workers_scaling(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"table5_workers_scaling\",\n  \"workload\": \"mSpec-3 on FinalFix, small config with 1 transaction, run to exhaustion ({} states), one row per (store mode, worker count)\",\n  \"host_cores\": {cores},\n  \"note\": \"speedup is bounded by host_cores; a single-core host cannot show parallel speedup. peak_entry_bytes counts per-entry store payload (metadata + dedup entry + inline state for the full mode); the fingerprint-only backend must be strictly lower.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        workload_states.unwrap_or(0),
+        "{{\n  \"bench\": \"table5_workers_scaling\",\n  \"workload\": \"mSpec-3 on FinalFix, small config with 1 transaction, run to exhaustion ({} concrete states; {} canonical representatives under symmetry reduction), one row per (store mode, symmetry mode, worker count)\",\n  \"host_cores\": {cores},\n  \"note\": \"speedup is bounded by host_cores; a single-core host cannot show parallel speedup. peak_entry_bytes counts per-entry store payload (metadata + dedup entry + inline state for the full mode); the fingerprint-only backend must be strictly lower. symmetry=canonicalize dedups whole server-id-permutation orbits (REMIX_SYMMETRY hook), so its distinct_states must be strictly lower than the off rows'.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        concrete_states.unwrap_or(0),
+        canonical_states.unwrap_or(0),
         rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, json) {

@@ -347,9 +347,10 @@ pub fn improved_protocol(budget: Duration) -> Vec<(String, bool, usize)> {
 /// far delta debugging shrank the counterexample.
 ///
 /// Uniform sampling spends its budget re-walking the hot election/discovery region and
-/// rarely reaches these violations at all; the coverage-guided policy biases toward
-/// rarely-fingerprinted successors and finds them on a subset of seeds — which is
-/// exactly the asymmetry `BENCH_explore.json` exists to document.
+/// only stumbles into these violations late, if at all; the coverage-guided policy
+/// biases toward rarely-fingerprinted successors and rarely-taken action definitions
+/// (per-dimension relative weights — see `Guidance::CoverageGuided`) and reaches them
+/// on earlier trace indices — the asymmetry `BENCH_explore.json` exists to document.
 pub fn explore_comparison(
     traces: usize,
     max_depth: u32,
@@ -365,7 +366,7 @@ pub fn explore_comparison(
     for &seed in seeds {
         for (mode, base) in [
             ("uniform", ExploreOptions::default().uniform()),
-            ("coverage-guided", ExploreOptions::default().guided(16)),
+            ("coverage-guided", ExploreOptions::default().guided(24)),
         ] {
             let options = ExploreOptions {
                 traces,

@@ -52,10 +52,10 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
-use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace};
+use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
-use crate::options::{CheckMode, CheckOptions};
+use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 use crate::store::{Insert, StateIndex, StateStore};
 
@@ -231,6 +231,11 @@ struct RunShared<'a, S> {
     spec: &'a Spec<S>,
     labels: &'a LabelTable,
     store: &'a StateStore<S>,
+    /// The active canonicalization function under
+    /// [`SymmetryMode::Canonicalize`] (`None` when symmetry is off or the spec has no
+    /// symmetry group).  When set, the frontier and the store hold canonical
+    /// representatives and violation traces are de-canonicalized on reconstruction.
+    canon: Option<&'a CanonFn<S>>,
     stop: &'a StopCell,
     violation_count: &'a AtomicUsize,
     violation_limit: usize,
@@ -266,18 +271,39 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         CheckMode::Completion { violation_limit } => (violation_limit, STOP_VIOLATION_LIMIT),
     };
 
+    // Symmetry reduction is active only when both the options request it and the spec
+    // carries a canonicalization function; otherwise the engine runs untouched.
+    let canon: Option<&CanonFn<S>> = match options.symmetry {
+        SymmetryMode::Canonicalize => spec.symmetry.as_ref(),
+        SymmetryMode::Off => None,
+    };
+
     // Seed the store with the initial states (depth 0), checking invariants on each.
     let mut frontier: Vec<(StateIndex, S)> = Vec::new();
     let mut pending: Vec<PendingViolation> = Vec::new();
     for init in &spec.init {
-        let fp = fingerprint(init);
-        let mut handle = store.lock_shard(store.shard_of(fp));
-        let Insert::Fresh(index, state) =
-            handle.insert(fp, None, LabelTable::init_id(), init.clone())
-        else {
+        let insert = match canon {
+            Some(canon) => {
+                let (canonical, perm) = canon(init);
+                let fp = fingerprint(&canonical);
+                let mut handle = store.lock_shard(store.shard_of(fp));
+                (
+                    handle.insert_canonical(fp, None, LabelTable::init_id(), canonical, perm),
+                    fp,
+                )
+            }
+            None => {
+                let fp = fingerprint(init);
+                let mut handle = store.lock_shard(store.shard_of(fp));
+                (
+                    handle.insert(fp, None, LabelTable::init_id(), init.clone()),
+                    fp,
+                )
+            }
+        };
+        let (Insert::Fresh(index, state), fp) = insert else {
             continue;
         };
-        drop(handle);
         let violated = spec.violated_invariants(&state);
         if !violated.is_empty() {
             let total =
@@ -302,6 +328,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         spec,
         labels: &labels,
         store: &store,
+        canon,
         stop: &stop,
         violation_count: &violation_count,
         violation_limit,
@@ -539,12 +566,14 @@ fn pool_worker<S: SpecState>(shared: &RunShared<'_, S>, worker: usize) {
     }
 }
 
-/// One buffered successor awaiting its batch merge: 24 bytes of metadata plus the state.
+/// One buffered successor awaiting its batch merge: 24 bytes of metadata plus the state
+/// (the canonical representative, with the applied permutation, under symmetry).
 struct BufferedSuccessor<S> {
     fp: Fingerprint,
     parent: StateIndex,
     label: LabelId,
     state: S,
+    perm: Option<Perm>,
 }
 
 /// The worker loop: claims frontier indices (own range first, then stolen halves),
@@ -603,6 +632,17 @@ fn expand_range<S: SpecState>(
             .spec
             .for_each_successor(state, shared.labels, |label, next| {
                 result.transitions += 1;
+                // Under symmetry the successor is replaced by the canonical
+                // representative of its orbit before fingerprinting, so the whole
+                // orbit dedups to one store entry; the applied permutation rides
+                // along for later trace de-canonicalization.
+                let (next, perm) = match shared.canon {
+                    Some(canon) => {
+                        let (canonical, perm) = canon(&next);
+                        (canonical, Some(perm))
+                    }
+                    None => (next, None),
+                };
                 let fp = fingerprint(&next);
                 let shard = shared.store.shard_of(fp);
                 buffers[shard].push(BufferedSuccessor {
@@ -610,6 +650,7 @@ fn expand_range<S: SpecState>(
                     parent: *parent_index,
                     label,
                     state: next,
+                    perm,
                 });
                 if buffers[shard].len() >= shared.batch_size {
                     flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
@@ -653,9 +694,17 @@ fn flush_shard<S: SpecState>(
     {
         let mut handle = shared.store.lock_shard(shard);
         for item in buffer.drain(..) {
-            if let Insert::Fresh(index, state) =
-                handle.insert(item.fp, Some(item.parent), item.label, item.state)
-            {
+            let insert = match item.perm {
+                Some(perm) => handle.insert_canonical(
+                    item.fp,
+                    Some(item.parent),
+                    item.label,
+                    item.state,
+                    perm,
+                ),
+                None => handle.insert(item.fp, Some(item.parent), item.label, item.state),
+            };
+            if let Insert::Fresh(index, state) = insert {
                 fresh.push((index, item.fp, state));
             }
         }
@@ -705,9 +754,20 @@ fn resolve_violations<S: SpecState>(
             continue;
         }
         let trace = if options.collect_traces {
-            shared
-                .store
-                .reconstruct_trace(shared.spec, shared.labels, p.index)
+            match shared.canon {
+                // A symmetry-reduced chain is a sequence of canonical forms, not an
+                // execution; replay it back into the original id frame so the witness
+                // runs step-by-step through `Spec::successors` on the original spec.
+                Some(canon) => shared.store.reconstruct_trace_decanonicalized(
+                    shared.spec,
+                    shared.labels,
+                    p.index,
+                    canon,
+                ),
+                None => shared
+                    .store
+                    .reconstruct_trace(shared.spec, shared.labels, p.index),
+            }
         } else {
             Trace::default()
         };

@@ -140,6 +140,14 @@ impl CoverageMap {
     /// Records one visit of the state with fingerprint `fp` reached by `action`, and
     /// returns the prefix's hit count *before* this visit (so the caller can reason
     /// about how novel the step was).
+    ///
+    /// The explorer calls this **at most once per trace per prefix** (and
+    /// [`CoverageMap::record_action`] for the remaining steps), so a prefix counter
+    /// reads as "number of traces that visited this region" and
+    /// [`CoverageSnapshot::max_prefix_hits`] can never exceed the trace count.  The
+    /// earlier every-step recording double-counted within-trace revisits — the
+    /// `max_prefix_hits: 8193` from 8192 traces in the committed `BENCH_explore.json`
+    /// artefact came from a walk stepping back into the initial state's region.
     pub fn record(&self, fp: Fingerprint, action: &str) -> u64 {
         let prefix = self.prefix_of(fp);
         let shard = &self.shards[self.shard_index(prefix)];
@@ -150,13 +158,21 @@ impl CoverageMap {
             *slot += 1;
             before
         };
-        {
-            let id = self.labels.intern(action_definition(action));
-            let action_shard = &self.shards[self.action_shard_index(id)];
-            let mut actions = self.lock(action_shard, &action_shard.actions);
-            *actions.entry(id).or_insert(0) += 1;
-        }
+        self.record_action(action);
         before
+    }
+
+    /// Records one taken step of `action` without touching any prefix counter.
+    ///
+    /// Used by the explorer for steps whose state region was already recorded earlier
+    /// in the same trace: action counters keep counting *steps* (how often a
+    /// definition fires) while prefix counters count *traces* (how many walks reached
+    /// a region).
+    pub fn record_action(&self, action: &str) {
+        let id = self.labels.intern(action_definition(action));
+        let action_shard = &self.shards[self.action_shard_index(id)];
+        let mut actions = self.lock(action_shard, &action_shard.actions);
+        *actions.entry(id).or_insert(0) += 1;
     }
 
     /// Hit count of the state region containing `fp`.

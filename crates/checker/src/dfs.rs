@@ -24,10 +24,10 @@
 
 use std::time::Instant;
 
-use remix_spec::{LabelTable, Spec, SpecState, Trace};
+use remix_spec::{CanonFn, LabelTable, Spec, SpecState, Trace};
 
 use crate::fingerprint::fingerprint;
-use crate::options::{CheckMode, CheckOptions};
+use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 use crate::store::{Insert, StateIndex, StateStore};
 
@@ -51,20 +51,36 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         CheckMode::Completion { violation_limit } => violation_limit,
     };
 
+    // Symmetry reduction is active only when both the options request it and the spec
+    // carries a canonicalization function (same contract as the BFS engine).
+    let canon: Option<&CanonFn<S>> = match options.symmetry {
+        SymmetryMode::Canonicalize => spec.symmetry.as_ref(),
+        SymmetryMode::Off => None,
+    };
+
     for init in &spec.init {
-        let fp = fingerprint(init);
-        let mut handle = store.lock_shard(store.shard_of(fp));
-        let Insert::Fresh(index, state) =
-            handle.insert(fp, None, LabelTable::init_id(), init.clone())
-        else {
+        let insert = match canon {
+            Some(canon) => {
+                let (canonical, perm) = canon(init);
+                let fp = fingerprint(&canonical);
+                let mut handle = store.lock_shard(store.shard_of(fp));
+                handle.insert_canonical(fp, None, LabelTable::init_id(), canonical, perm)
+            }
+            None => {
+                let fp = fingerprint(init);
+                let mut handle = store.lock_shard(store.shard_of(fp));
+                handle.insert(fp, None, LabelTable::init_id(), init.clone())
+            }
+        };
+        let Insert::Fresh(index, state) = insert else {
             continue;
         };
-        drop(handle);
         best_depth.push(0);
         check_state(
             spec,
             &labels,
             &store,
+            canon,
             index,
             0,
             &state,
@@ -105,9 +121,22 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         let mut successors: Vec<(StateIndex, S, u32, bool)> = Vec::new();
         spec.for_each_successor(&state, &labels, |label, next| {
             transitions += 1;
+            // Under symmetry the successor is replaced by its orbit's canonical
+            // representative before fingerprinting (see the BFS engine).
+            let (next, perm) = match canon {
+                Some(canon) => {
+                    let (canonical, perm) = canon(&next);
+                    (canonical, Some(perm))
+                }
+                None => (next, None),
+            };
             let nfp = fingerprint(&next);
             let mut handle = store.lock_shard(store.shard_of(nfp));
-            match handle.insert(nfp, Some(index), label, next) {
+            let insert = match perm.clone() {
+                Some(perm) => handle.insert_canonical(nfp, Some(index), label, next, perm),
+                None => handle.insert(nfp, Some(index), label, next),
+            };
+            match insert {
                 Insert::Fresh(nindex, next) => {
                     drop(handle);
                     best_depth.push(ndepth);
@@ -125,8 +154,9 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                         // Keep the recorded chain consistent with best-known depths:
                         // traces reconstructed through this state must follow the
                         // shallower arm, or their length would exceed the reported
-                        // violation depth (and the bound itself).
-                        store.set_parent(nindex, index, label);
+                        // violation depth (and the bound itself).  Under symmetry the
+                        // edge's recorded permutation moves with it.
+                        store.set_parent(nindex, index, label, perm.clone());
                         successors.push((nindex, next, ndepth, false));
                     }
                 }
@@ -140,6 +170,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                     spec,
                     &labels,
                     &store,
+                    canon,
                     nindex,
                     ndepth,
                     &next,
@@ -188,6 +219,7 @@ fn check_state<S: SpecState>(
     spec: &Spec<S>,
     labels: &LabelTable,
     store: &StateStore<S>,
+    canon: Option<&CanonFn<S>>,
     index: StateIndex,
     depth: u32,
     state: &S,
@@ -205,7 +237,10 @@ fn check_state<S: SpecState>(
             continue;
         }
         let trace = if options.collect_traces {
-            store.reconstruct_trace(spec, labels, index)
+            match canon {
+                Some(canon) => store.reconstruct_trace_decanonicalized(spec, labels, index, canon),
+                None => store.reconstruct_trace(spec, labels, index),
+            }
         } else {
             Trace::default()
         };

@@ -23,13 +23,15 @@
 //! [`ExploreStats`]).  Violations found along the way carry their full trace and can be
 //! handed directly to [`crate::shrink`] for minimization.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use remix_spec::{Spec, SpecState, Trace};
+use remix_spec::{CanonFn, Spec, SpecState, Trace};
 
 use crate::coverage::{CoverageMap, CoverageSnapshot};
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::options::SymmetryMode;
 use crate::outcome::Violation;
 use crate::rng::CheckerRng;
 
@@ -49,17 +51,33 @@ pub enum Guidance {
     /// Coverage-guided choice: each successor is weighted by the *rarity* of its
     /// fingerprint prefix and of its action definition in the shared coverage map.
     CoverageGuided {
-        /// Strength of the rarity bias.  A successor's weight is
-        /// `rarity_weight * SCALE / (1 + hits) + 1`, so `0` degenerates to uniform and
-        /// larger values focus harder on unvisited regions while never zeroing out the
-        /// hot ones (every enabled action keeps positive probability).
+        /// Strength of the rarity bias.  A successor's weight is computed *relative
+        /// to the least-visited candidate in the same choice*, per dimension:
+        ///
+        /// ```text
+        /// rarity_weight · SCALE · (1+min_prefix)/(1+prefix) · (1+min_action)/(1+action) + 1
+        /// ```
+        ///
+        /// — the rarest candidate always carries the full `rarity_weight * SCALE` and
+        /// hotter ones scale down by their hit *ratios*.  `0` degenerates to uniform,
+        /// and the `+ 1` floor keeps every enabled action reachable (probabilistic
+        /// completeness).
+        ///
+        /// The earlier absolute formula `rarity_weight * SCALE / (1 + hits) + 1`
+        /// (with `hits` the *sum* of both counters) had two degenerations: once hit
+        /// counts passed `rarity_weight * SCALE` every weight floored to 1,
+        /// collapsing long guided runs to uniform-with-overhead — the bug behind
+        /// guided losing to uniform in the old `BENCH_explore.json` artefact — and
+        /// the step-scaled action counters drowned the trace-scaled prefix novelty
+        /// signal inside the sum.  Per-dimension ratios are invariant under uniformly
+        /// growing hit counts, so the bias never degenerates.
         rarity_weight: u32,
     },
 }
 
 impl Default for Guidance {
     fn default() -> Self {
-        Guidance::CoverageGuided { rarity_weight: 16 }
+        Guidance::CoverageGuided { rarity_weight: 24 }
     }
 }
 
@@ -89,6 +107,13 @@ pub struct ExploreOptions {
     /// Stop scheduling new traces once any invariant violation has been found
     /// (time-to-first-violation mode; in-flight traces still complete).
     pub stop_on_violation: bool,
+    /// Whether coverage counters (and the rarity bias) key on canonical
+    /// representatives under the specification's symmetry group: id-renamed siblings
+    /// then share one hit counter, so guidance stops mistaking a renamed copy of a
+    /// hot region for fresh territory.  The sampled walks themselves stay in the
+    /// original id frame — violations need no de-canonicalization.  Defaults to
+    /// [`SymmetryMode::from_env`]; a no-op for specs without `Spec::symmetry`.
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for ExploreOptions {
@@ -103,6 +128,7 @@ impl Default for ExploreOptions {
             shards: DEFAULT_COVERAGE_SHARDS,
             prefix_bits: DEFAULT_PREFIX_BITS,
             stop_on_violation: true,
+            symmetry: SymmetryMode::from_env(),
         }
     }
 }
@@ -149,6 +175,12 @@ impl ExploreOptions {
         self.time_budget = Some(budget);
         self
     }
+
+    /// Selects the symmetry-reduction mode for the coverage counters.
+    pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
+        self
+    }
 }
 
 /// Statistics of an exploration run.
@@ -167,6 +199,13 @@ pub struct ExploreStats {
     pub first_violation_trace: Option<usize>,
     /// Wall-clock time from the start of the run to the first recorded violation.
     pub time_to_first_violation: Option<Duration>,
+    /// How far the run overshot [`ExploreOptions::time_budget`], when one was set and
+    /// exceeded.  The deadline is checked inside the per-step sampling loop (not just
+    /// between traces), so the overshoot is bounded by one successor
+    /// enumeration + invariant sweep per in-flight worker rather than by a whole
+    /// deep trace — the earlier between-traces-only check let a single long trace
+    /// overrun the budget unboundedly.
+    pub budget_overshoot: Option<Duration>,
     /// Snapshot of the shared coverage map at the end of the run.
     pub coverage: CoverageSnapshot,
 }
@@ -214,70 +253,137 @@ struct IndexedViolation<S> {
 /// applies one enabled action — and handles the degenerate cases without panicking: an
 /// empty initial-state set yields an empty trace, and `max_depth == 0` yields the
 /// initial state alone.
+///
+/// Coverage accounting: each fingerprint prefix is recorded **at most once per
+/// trace** (revisits within the same walk bump only the action counters), so prefix
+/// hit counts read as "traces that reached this region" and
+/// [`CoverageSnapshot::max_prefix_hits`] is bounded by the trace count.
+///
+/// When `deadline` is set, the walk is cut off as soon as the deadline passes —
+/// checked before every step, so a single deep trace cannot overshoot a run's time
+/// budget by more than one step.  When `canon` is set (symmetry reduction), coverage
+/// keys on canonical fingerprints while the walk itself stays in the original frame.
 pub fn explore_one<S: SpecState>(
     spec: &Spec<S>,
     max_depth: u32,
     rng: &mut CheckerRng,
     coverage: &CoverageMap,
     guidance: Guidance,
+    deadline: Option<Instant>,
+    canon: Option<&CanonFn<S>>,
 ) -> Trace<S> {
     if spec.init.is_empty() {
         return Trace::default();
     }
+    let coverage_fp = |s: &S| match canon {
+        Some(canon) => fingerprint(&canon(s).0),
+        None => fingerprint(s),
+    };
+    // Prefixes already recorded by *this* trace: revisits add no prefix hit.
+    let mut seen_prefixes: HashSet<u64> = HashSet::new();
+    let record = |fp: Fingerprint, label: &str, seen: &mut HashSet<u64>| {
+        if seen.insert(coverage.prefix_of(fp)) {
+            coverage.record(fp, label);
+        } else {
+            coverage.record_action(label);
+        }
+    };
     let init = spec.init[rng.index(spec.init.len())].clone();
-    coverage.record(fingerprint(&init), "Init");
+    record(coverage_fp(&init), "Init", &mut seen_prefixes);
     let mut trace = Trace::from_init(init.clone());
     let mut current = init;
     for _ in 0..max_depth {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         let successors = spec.successors(&current);
         if successors.is_empty() {
             break;
         }
-        let choice = match guidance {
-            Guidance::Uniform => rng.index(successors.len()),
+        // Guided choices hand back the chosen candidate's (canonical) fingerprint,
+        // which weighted_choice computed anyway — recomputing it for recording would
+        // repeat the most expensive per-step operation under symmetry.
+        let (choice, chosen_fp) = match guidance {
+            Guidance::Uniform => (rng.index(successors.len()), None),
             Guidance::CoverageGuided { rarity_weight } => {
-                weighted_choice(&successors, coverage, rarity_weight, rng)
+                let (i, fp) = weighted_choice(&successors, coverage, rarity_weight, rng, canon);
+                (i, Some(fp))
             }
         };
         let (label, next) = successors
             .into_iter()
             .nth(choice)
             .expect("choice is in bounds");
-        coverage.record(fingerprint(&next), &label);
+        let fp = chosen_fp.unwrap_or_else(|| coverage_fp(&next));
+        record(fp, &label, &mut seen_prefixes);
         trace.push(label, next.clone());
         current = next;
     }
     trace
 }
 
-/// Weighted successor choice: weight `rarity_weight * SCALE / (1 + hits) + 1` where
-/// `hits` combines the successor's fingerprint-prefix count and its action definition
-/// count.  The `+ 1` floor keeps every enabled action reachable.
+/// Weighted successor choice, relative to the least-visited candidate per dimension
+/// (see [`Guidance::CoverageGuided`] for the formula and its rationale); hit counts
+/// key on canonical fingerprints under symmetry.  Returns the chosen index together
+/// with the candidate's (canonical) fingerprint so the caller records coverage
+/// without recomputing it.
+///
+/// Normalizing each dimension by the candidate set's minimum makes the weights
+/// depend only on hit *ratios*, so the bias survives arbitrarily long runs: the old
+/// absolute formula degenerated to all-ones (uniform) once every candidate's count
+/// exceeded `rarity_weight * SCALE`.  The `+ 1` floor keeps every enabled action
+/// reachable.
 fn weighted_choice<S: SpecState>(
     successors: &[(String, S)],
     coverage: &CoverageMap,
     rarity_weight: u32,
     rng: &mut CheckerRng,
-) -> usize {
-    const SCALE: u64 = 1024;
-    let weights: Vec<u64> = successors
+    canon: Option<&CanonFn<S>>,
+) -> (usize, Fingerprint) {
+    const SCALE: u128 = 1024;
+    // Prefix hits count *traces* that reached a region (per-trace dedup) while action
+    // hits count *steps* globally, so the two live on very different scales: summed,
+    // the action term would drown the novelty signal.  Each dimension is therefore
+    // normalized by its own candidate-set minimum and the ratios are multiplied.
+    let hits: Vec<(Fingerprint, u64, u64)> = successors
         .iter()
         .map(|(label, next)| {
-            let hits = coverage
-                .prefix_hits(fingerprint(next))
-                .saturating_add(coverage.action_hits_total(label));
-            (rarity_weight as u64).saturating_mul(SCALE) / (1 + hits) + 1
+            let fp = match canon {
+                Some(canon) => fingerprint(&canon(next).0),
+                None => fingerprint(next),
+            };
+            (
+                fp,
+                coverage.prefix_hits(fp),
+                coverage.action_hits_total(label),
+            )
+        })
+        .collect();
+    let min_prefix = hits.iter().map(|(_, p, _)| *p).min().expect("non-empty");
+    let min_action = hits.iter().map(|(_, _, a)| *a).min().expect("non-empty");
+    let weights: Vec<u64> = hits
+        .iter()
+        .map(|(_, p, a)| {
+            // ≤ rarity_weight * SCALE + 1 ≤ 2^42: the u128 intermediates cannot
+            // overflow and the result always fits a u64.
+            let scaled = rarity_weight as u128 * SCALE * (min_prefix as u128 + 1)
+                / (*p as u128 + 1)
+                * (min_action as u128 + 1)
+                / (*a as u128 + 1);
+            scaled as u64 + 1
         })
         .collect();
     let total: u64 = weights.iter().sum();
     let mut r = rng.next_u64() % total;
+    let mut choice = weights.len() - 1;
     for (i, w) in weights.iter().enumerate() {
         if r < *w {
-            return i;
+            choice = i;
+            break;
         }
         r -= w;
     }
-    weights.len() - 1
+    (choice, hits[choice].0)
 }
 
 /// Runs coverage-guided (or uniform) trace sampling of `spec` under `options`,
@@ -289,6 +395,13 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
     let coverage = CoverageMap::new(options.shards, options.prefix_bits);
     let stop = AtomicBool::new(false);
     let first_violation_nanos = AtomicU64::new(u64::MAX);
+    let deadline = options.time_budget.map(|b| start + b);
+    // Symmetry reduction keys coverage on canonical forms when requested and the spec
+    // carries a canonicalization function.
+    let canon: Option<&CanonFn<S>> = match options.symmetry {
+        SymmetryMode::Canonicalize => spec.symmetry.as_ref(),
+        SymmetryMode::Off => None,
+    };
 
     let run_stripe = |worker: usize| -> (usize, u64, Vec<IndexedViolation<S>>) {
         let mut traces = 0usize;
@@ -308,12 +421,18 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
                 }
             }
             let mut rng = CheckerRng::for_trace(options.seed, index as u64);
+            // Trace 0 skips only the *scheduling* budget check above (so a
+            // budget-bound run still reports at least one trace); the in-walk
+            // deadline applies to every trace, keeping the documented one-step
+            // overshoot bound — an expired deadline still yields the initial state.
             let trace = explore_one(
                 spec,
                 options.max_depth,
                 &mut rng,
                 &coverage,
                 options.guidance,
+                deadline,
+                canon,
             );
             traces += 1;
             steps += trace.depth() as u64;
@@ -394,15 +513,20 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
     }
 
     let nanos = first_violation_nanos.load(Ordering::Acquire);
+    let elapsed = start.elapsed();
     ExploreOutcome {
         spec_name: spec.name.clone(),
         violations,
         stats: ExploreStats {
             traces,
             steps,
-            elapsed: start.elapsed(),
+            elapsed,
             first_violation_trace,
             time_to_first_violation: (nanos != u64::MAX).then(|| Duration::from_nanos(nanos)),
+            budget_overshoot: options
+                .time_budget
+                .and_then(|budget| elapsed.checked_sub(budget))
+                .filter(|o| !o.is_zero()),
             coverage: coverage.snapshot(),
         },
     }
@@ -525,6 +649,8 @@ mod tests {
             &mut rng,
             &coverage,
             Guidance::CoverageGuided { rarity_weight: 16 },
+            None,
+            None,
         );
         assert!(trace.depth() <= 24);
         for w in trace.steps.windows(2) {
@@ -593,13 +719,117 @@ mod tests {
         let spec: Spec<Walk> = Spec::new("empty", vec![], vec![], vec![]);
         let coverage = CoverageMap::new(1, 8);
         let mut rng = CheckerRng::seed_from_u64(1);
-        let trace = explore_one(&spec, 10, &mut rng, &coverage, Guidance::Uniform);
+        let trace = explore_one(
+            &spec,
+            10,
+            &mut rng,
+            &coverage,
+            Guidance::Uniform,
+            None,
+            None,
+        );
         assert!(trace.is_empty());
 
         let spec = needle_spec(5);
-        let trace = explore_one(&spec, 0, &mut rng, &coverage, Guidance::Uniform);
+        let trace = explore_one(&spec, 0, &mut rng, &coverage, Guidance::Uniform, None, None);
         assert_eq!(trace.depth(), 0);
         assert_eq!(trace.steps.len(), 1);
+    }
+
+    #[test]
+    fn coverage_counts_each_prefix_once_per_trace() {
+        // The Walk spec churns through a four-value noise set, so every walk revisits
+        // regions it has already recorded.  Per-trace dedup must keep the hottest
+        // prefix at or below the trace count — the committed artefact's
+        // `max_prefix_hits: 8193` out of 8192 traces came from exactly this
+        // within-trace revisit over-count.
+        let spec = needle_spec(1000);
+        for opts in [
+            options().with_traces(128).uniform(),
+            options().with_traces(128).guided(16),
+        ] {
+            let outcome = explore(&spec, &opts);
+            assert!(
+                outcome.stats.coverage.max_prefix_hits <= outcome.stats.traces as u64,
+                "max_prefix_hits {} must not exceed the {} sampled traces",
+                outcome.stats.coverage.max_prefix_hits,
+                outcome.stats.traces
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cuts_a_trace_mid_walk() {
+        // A deadline that has already passed must stop the walk before its first step;
+        // the earlier engine only checked the budget between traces, so one deep trace
+        // could overshoot it unboundedly.
+        let spec = needle_spec(1000);
+        let coverage = CoverageMap::new(8, 16);
+        let mut rng = CheckerRng::seed_from_u64(3);
+        let expired = Instant::now() - Duration::from_millis(1);
+        let trace = explore_one(
+            &spec,
+            1_000_000,
+            &mut rng,
+            &coverage,
+            Guidance::Uniform,
+            Some(expired),
+            None,
+        );
+        assert_eq!(trace.depth(), 0, "no step may start after the deadline");
+        assert_eq!(trace.steps.len(), 1, "the initial state is still reported");
+    }
+
+    #[test]
+    fn budget_overshoot_is_reported_and_bounded() {
+        let spec = needle_spec(1000);
+        let outcome = explore(
+            &spec,
+            &options()
+                .with_traces(64)
+                .with_max_depth(4096)
+                .with_time_budget(Duration::from_millis(1)),
+        );
+        // The run overshoots by at most one step of the single in-flight trace, not by
+        // the full 4096-step walk; on any realistic host that is well under a second.
+        if let Some(overshoot) = outcome.stats.budget_overshoot {
+            assert!(
+                overshoot < Duration::from_secs(5),
+                "overshoot {overshoot:?} suggests the per-step deadline check regressed"
+            );
+        }
+        assert!(outcome.stats.elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn rarity_weights_do_not_collapse_on_long_runs() {
+        // Pre-heat the coverage map far past the old absolute cut-off
+        // (rarity_weight * SCALE = 16 * 1024): under the old formula every weight
+        // would floor to 1 and the choice would be uniform; the relative formula must
+        // still strongly prefer the cold successor.
+        let spec = needle_spec(1000);
+        let coverage = CoverageMap::new(8, 16);
+        let hot = Walk { pos: 0, noise: 2 };
+        for _ in 0..200_000u32 {
+            coverage.record_action("Churn(2)");
+        }
+        let _ = spec; // hits come from the shared action counter
+        let successors = vec![
+            ("Churn(2)".to_owned(), hot.clone()),
+            ("Advance(0)".to_owned(), Walk { pos: 1, noise: 0 }),
+        ];
+        let mut rng = CheckerRng::seed_from_u64(9);
+        let mut cold_choices = 0usize;
+        for _ in 0..256 {
+            if weighted_choice(&successors, &coverage, 16, &mut rng, None).0 == 1 {
+                cold_choices += 1;
+            }
+        }
+        assert!(
+            cold_choices > 230,
+            "the cold successor must dominate ({cold_choices}/256 picks); \
+             near-uniform picks mean the rarity weight degenerated"
+        );
     }
 
     #[test]

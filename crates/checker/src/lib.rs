@@ -32,7 +32,7 @@ pub use coverage::{CoverageMap, CoverageSnapshot};
 pub use dfs::check_dfs;
 pub use explore::{explore, explore_one, ExploreOptions, ExploreOutcome, ExploreStats, Guidance};
 pub use fingerprint::fingerprint;
-pub use options::{CheckMode, CheckOptions, SimulationOptions};
+pub use options::{CheckMode, CheckOptions, SimulationOptions, SymmetryMode};
 pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 pub use refine::{
     check_refinement, DivergenceKind, RefineDivergence, RefineMode, RefineOptions, RefineOutcome,

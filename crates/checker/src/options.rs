@@ -1,8 +1,58 @@
 //! Model-checking and simulation options.
 
+use std::fmt;
 use std::time::Duration;
 
 use crate::store::StoreMode;
+
+/// Whether exploration keys its dedup maps, fingerprints and coverage counters on
+/// canonical representatives under the specification's symmetry group.
+///
+/// With `n` symmetric servers every reachable `ZabState` has up to `n!` siblings that
+/// differ only by a renaming of server ids; canonicalization explores one representative
+/// per orbit, cutting `distinct_states` (and the memory/throughput axis of Table 5)
+/// accordingly.  Violation traces are *de-canonicalized* before they are reported, so
+/// witnesses still replay step-by-step on the original specification — see
+/// [`crate::store::StateStore::reconstruct_trace_decanonicalized`].
+///
+/// The mode is a no-op for specifications without an attached symmetry group
+/// (`Spec::symmetry` is `None`), which keeps the `REMIX_SYMMETRY` CI matrix safe for
+/// state types that implement no `Canonicalize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymmetryMode {
+    /// Explore every concrete state (no symmetry reduction).  The default.
+    #[default]
+    Off,
+    /// Key dedup, fingerprints and coverage on canonical representatives
+    /// (`Spec::symmetry`), storing the per-edge permutations so violation traces can
+    /// be de-canonicalized back into the original id frame.
+    Canonicalize,
+}
+
+impl fmt::Display for SymmetryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SymmetryMode::Off => "off",
+            SymmetryMode::Canonicalize => "canonicalize",
+        })
+    }
+}
+
+impl SymmetryMode {
+    /// The mode selected by the `REMIX_SYMMETRY` environment variable
+    /// (`"canonicalize"` / `"on"` → [`SymmetryMode::Canonicalize`]), defaulting to
+    /// [`SymmetryMode::Off`] when unset or unrecognised.
+    ///
+    /// Like [`StoreMode::from_env`], this is the hook CI uses to run the release-gated
+    /// suites once per symmetry mode without a per-test parameter; explicit
+    /// `with_symmetry(..)` calls always win.
+    pub fn from_env() -> SymmetryMode {
+        match std::env::var("REMIX_SYMMETRY").as_deref() {
+            Ok("canonicalize") | Ok("canonical") | Ok("on") => SymmetryMode::Canonicalize,
+            _ => SymmetryMode::Off,
+        }
+    }
+}
 
 /// Whether checking stops at the first invariant violation or runs to completion.
 ///
@@ -63,6 +113,11 @@ pub struct CheckOptions {
     /// chains.  Defaults to [`StoreMode::from_env`] (the `REMIX_STORE_MODE` CI matrix
     /// hook); see [`crate::store`] for the memory model.
     pub store_mode: StoreMode,
+    /// Whether dedup, fingerprints and violation bookkeeping key on canonical
+    /// representatives under the specification's symmetry group (see [`SymmetryMode`]).
+    /// Defaults to [`SymmetryMode::from_env`] (the `REMIX_SYMMETRY` CI matrix hook);
+    /// a no-op for specifications without `Spec::symmetry`.
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for CheckOptions {
@@ -77,6 +132,7 @@ impl Default for CheckOptions {
             batch_size: 128,
             collect_traces: true,
             store_mode: StoreMode::from_env(),
+            symmetry: SymmetryMode::from_env(),
         }
     }
 }
@@ -131,6 +187,12 @@ impl CheckOptions {
     /// Selects the discovered-state store backend.
     pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
         self.store_mode = mode;
+        self
+    }
+
+    /// Selects the symmetry-reduction mode.
+    pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
         self
     }
 }
@@ -204,9 +266,11 @@ mod tests {
         let o = CheckOptions::default();
         assert_eq!(o.mode, CheckMode::FirstViolation);
         assert_eq!(o.workers, 1);
-        // The default follows the REMIX_STORE_MODE env hook, so assert against it
-        // rather than a literal — the test then holds in CI's store-mode matrix too.
+        // The defaults follow the REMIX_STORE_MODE / REMIX_SYMMETRY env hooks, so
+        // assert against them rather than literals — the test then holds in CI's
+        // (store mode × symmetry mode) matrix too.
         assert_eq!(o.store_mode, StoreMode::from_env());
+        assert_eq!(o.symmetry, SymmetryMode::from_env());
         assert!(o.collect_traces);
         assert!(o.shards >= 1 && o.batch_size >= 1);
         let c = CheckOptions::completion();
@@ -227,8 +291,10 @@ mod tests {
             .with_shards(0)
             .with_batch_size(0)
             .with_store_mode(StoreMode::FingerprintOnly)
+            .with_symmetry(SymmetryMode::Canonicalize)
             .with_time_budget(Duration::from_secs(1));
         assert_eq!(o.store_mode, StoreMode::FingerprintOnly);
+        assert_eq!(o.symmetry, SymmetryMode::Canonicalize);
         assert_eq!(o.max_depth, Some(5));
         assert_eq!(o.max_states, Some(100));
         assert_eq!(o.workers, 1, "worker count is clamped to at least one");

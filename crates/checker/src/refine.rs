@@ -32,9 +32,12 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace, TraceProjection, Value};
+use remix_spec::{
+    CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace, TraceProjection, Value,
+};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::options::SymmetryMode;
 use crate::shrink::{shrink_trace, ShrinkOutcome};
 use crate::store::{Insert, StateIndex, StateStore, StoreMode};
 
@@ -87,6 +90,20 @@ pub struct RefineOptions {
     /// recorded `(parent index, label)` chains — the memory-bounded configuration for
     /// large refinement pairs.
     pub store_mode: StoreMode,
+    /// Whether each side's dedup map, fingerprints and projections key on canonical
+    /// representatives under its specification's symmetry group (see
+    /// [`SymmetryMode`]).  Sound only when the projection is *equivariant* — it must
+    /// map an orbit of concrete states to one orbit of projected states, which holds
+    /// for projections over permutation-invariant summaries but **not** for
+    /// projections exposing per-server-indexed values (two sides may then pick
+    /// different representatives of the same projected class and report a spurious
+    /// divergence).  The checker therefore applies this mode only when the projection
+    /// declares `TraceProjection::assume_equivariant` (and the spec carries
+    /// `Spec::symmetry`); otherwise the knob is ignored, which keeps the
+    /// `REMIX_SYMMETRY` CI matrix sound for the per-server Zab projections.
+    /// Divergence witnesses are de-canonicalized before shrinking, so they replay on
+    /// the original specification.  Defaults to [`SymmetryMode::from_env`].
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for RefineOptions {
@@ -100,6 +117,7 @@ impl Default for RefineOptions {
             time_budget: None,
             shrink_witness: true,
             store_mode: StoreMode::from_env(),
+            symmetry: SymmetryMode::from_env(),
         }
     }
 }
@@ -144,6 +162,13 @@ impl RefineOptions {
     /// Selects the discovered-state store backend for both sides.
     pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
         self.store_mode = mode;
+        self
+    }
+
+    /// Selects the symmetry-reduction mode for both sides (see the field docs for the
+    /// equivariance requirement on the projection).
+    pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
         self
     }
 }
@@ -339,6 +364,9 @@ struct SideSummary<S: SpecState> {
     /// Per-state lsets.  Written only by the sequential level merge; read concurrently
     /// by the expansion workers' dedup scout.
     lsets: RwLock<HashMap<StateIndex, BTreeSet<u64>>>,
+    /// The active canonicalization function when this side explored canonical
+    /// representatives (symmetry reduction); `None` otherwise.
+    canon: Option<CanonFn<S>>,
     /// Whether exploration ran to exhaustion within the budgets.
     complete: bool,
 }
@@ -363,13 +391,23 @@ impl<S: SpecState> SideSummary<S> {
     }
 
     /// Reconstructs the concrete trace to `index` (a parent-index walk in the full
-    /// store, a bounded label-chain replay in the fingerprint-only store).
+    /// store, a bounded label-chain replay in the fingerprint-only store; a
+    /// de-canonicalizing replay under symmetry reduction, so the witness is an
+    /// execution of the original specification).
     fn witness(&self, spec: &Spec<S>, index: StateIndex) -> Trace<S> {
-        self.seen.reconstruct_trace(spec, &self.labels, index)
+        match &self.canon {
+            Some(canon) => {
+                self.seen
+                    .reconstruct_trace_decanonicalized(spec, &self.labels, index, canon)
+            }
+            None => self.seen.reconstruct_trace(spec, &self.labels, index),
+        }
     }
 
-    /// The concrete state at `index`: cloned from the full store, or recovered by
-    /// replaying its recorded chain when the store dropped it.
+    /// The state at `index`: the stored (canonical, under symmetry) state when
+    /// available, else the last state of the replayed chain.  Symmetry is only active
+    /// under a declared-equivariant projection, whose values agree across a state and
+    /// its renamings, so the original-frame replay result projects identically.
     fn state_of(&self, spec: &Spec<S>, index: StateIndex) -> S {
         self.seen.with_state(index, S::clone).unwrap_or_else(|| {
             self.witness(spec, index)
@@ -377,6 +415,17 @@ impl<S: SpecState> SideSummary<S> {
                 .expect("a stored chain is never empty")
                 .clone()
         })
+    }
+
+    /// The projection key of a stable state.  No canonicalization is needed even
+    /// under symmetry reduction: the mode is gated on
+    /// `TraceProjection::assume_equivariant`, under which projection and stability
+    /// agree on every member of an orbit — so projecting the raw state yields the
+    /// same key the exploration recorded for its canonical representative.
+    fn project_key_of(&self, projection: &TraceProjection<S>, state: &S) -> Option<u64> {
+        projection
+            .is_stable(state)
+            .then(|| projection_key(&projection.project_state(state)))
     }
 }
 
@@ -386,6 +435,8 @@ struct SuccessorRecord<S> {
     parent: StateIndex,
     label: LabelId,
     state: S,
+    /// The permutation that canonicalized `state`, under symmetry reduction.
+    perm: Option<Perm>,
     /// Projection key when the successor is stable.
     stable_key: Option<u64>,
     /// The parent's `lset` at expansion time (stable parents carry their own key);
@@ -408,6 +459,15 @@ fn explore_side<S: SpecState>(
     deadline: Option<Instant>,
     stop_when_missing_from: Option<&HashMap<u64, (StateIndex, u32)>>,
 ) -> SideSummary<S> {
+    // Symmetry reduction in a refinement comparison additionally requires the
+    // projection to be equivariant (orbits of concrete states must project to one
+    // class), declared via `TraceProjection::assume_equivariant` — without it the two
+    // sides could pick different representatives of the same projected class and
+    // report a spurious divergence, so the knob is ignored rather than unsound.
+    let canon: Option<CanonFn<S>> = match options.symmetry {
+        SymmetryMode::Canonicalize if projection.is_equivariant() => spec.symmetry.clone(),
+        _ => None,
+    };
     let mut summary = SideSummary {
         projs: HashMap::new(),
         edges: HashMap::new(),
@@ -415,17 +475,29 @@ fn explore_side<S: SpecState>(
         seen: StateStore::new(options.store_mode, options.shards),
         labels: LabelTable::new(),
         lsets: RwLock::new(HashMap::new()),
+        canon,
         complete: true,
     };
 
-    // Frontier entries carry the lset snapshot their successors inherit.
+    // Frontier entries carry the lset snapshot their successors inherit.  Under
+    // symmetry reduction the frontier, the store, the stable-projection set and the
+    // quotient edges all live in canonical space.
     let mut frontier: Vec<(StateIndex, S, Arc<BTreeSet<u64>>)> = Vec::new();
     for init in &spec.init {
-        let fp = fingerprint(init);
+        let (seed, perm) = match &summary.canon {
+            Some(canon) => {
+                let (c, p) = canon(init);
+                (c, Some(p))
+            }
+            None => (init.clone(), None),
+        };
+        let fp = fingerprint(&seed);
         let mut handle = summary.seen.lock_shard(summary.seen.shard_of(fp));
-        let Insert::Fresh(index, state) =
-            handle.insert(fp, None, LabelTable::init_id(), init.clone())
-        else {
+        let insert = match perm {
+            Some(p) => handle.insert_canonical(fp, None, LabelTable::init_id(), seed, p),
+            None => handle.insert(fp, None, LabelTable::init_id(), seed),
+        };
+        let Insert::Fresh(index, state) = insert else {
             continue;
         };
         drop(handle);
@@ -501,7 +573,16 @@ fn explore_side<S: SpecState>(
                     None => (*rec.parent_lset).clone(),
                 };
                 let mut handle = summary.seen.lock_shard(summary.seen.shard_of(rec.fp));
-                let insert = handle.insert(rec.fp, Some(rec.parent), rec.label, rec.state);
+                let insert = match rec.perm {
+                    Some(perm) => handle.insert_canonical(
+                        rec.fp,
+                        Some(rec.parent),
+                        rec.label,
+                        rec.state,
+                        perm,
+                    ),
+                    None => handle.insert(rec.fp, Some(rec.parent), rec.label, rec.state),
+                };
                 drop(handle);
                 let index = match &insert {
                     Insert::Fresh(index, _) | Insert::Existing(index, _) => *index,
@@ -573,6 +654,15 @@ fn expand_chunk<S: SpecState>(
     let mut out = Vec::new();
     for (parent_index, state, lset) in slice {
         spec.for_each_successor(state, &summary.labels, |label, next| {
+            // Under symmetry the successor is replaced by its orbit's canonical
+            // representative before fingerprinting and projecting.
+            let (next, perm) = match &summary.canon {
+                Some(canon) => {
+                    let (c, p) = canon(&next);
+                    (c, Some(p))
+                }
+                None => (next, None),
+            };
             let fp = fingerprint(&next);
             // Cheap scout: skip successors that are already known *and* whose lset
             // already covers the parent context (the merge re-checks authoritatively).
@@ -597,6 +687,7 @@ fn expand_chunk<S: SpecState>(
                 parent: *parent_index,
                 label,
                 state: next,
+                perm,
                 stable_key,
                 parent_lset: Arc::clone(lset),
             });
@@ -666,7 +757,7 @@ pub fn check_refinement<S: SpecState>(
                 *index,
                 projection,
                 options,
-                |candidate| trace_reaches_projection(candidate, projection, *key),
+                |candidate| trace_reaches_projection(candidate, projection, &fine_side, *key),
             ));
         }
     }
@@ -688,7 +779,7 @@ pub fn check_refinement<S: SpecState>(
                 *index,
                 projection,
                 options,
-                |candidate| trace_reaches_projection(candidate, projection, *key),
+                |candidate| trace_reaches_projection(candidate, projection, &coarse_side, *key),
             ));
         }
     }
@@ -716,7 +807,7 @@ pub fn check_refinement<S: SpecState>(
                     .get(&(from, to))
                     .copied()
                     .unwrap_or_else(|| fine_side.projs[&to].0);
-                let coarse_ref = &coarse_side;
+                let (fine_ref, coarse_ref) = (&fine_side, &coarse_side);
                 let mut d = build_divergence(
                     DivergenceKind::UnmatchedStep,
                     fine,
@@ -724,7 +815,9 @@ pub fn check_refinement<S: SpecState>(
                     index,
                     projection,
                     options,
-                    |candidate| trace_has_unmatched_edge(candidate, projection, coarse_ref),
+                    |candidate| {
+                        trace_has_unmatched_edge(candidate, projection, fine_ref, coarse_ref)
+                    },
                 );
                 // Render both endpoints of the unmatched step: the target is already in
                 // `d.projection`; prepend the source class the coarse side cannot leave.
@@ -782,31 +875,35 @@ fn build_divergence<S: SpecState>(
     }
 }
 
-/// Oracle: the candidate trace visits a stable state with projection key `key`.
+/// Oracle: the candidate trace visits a stable state with projection key `key` (keys
+/// are compared in `side`'s canonical frame under symmetry reduction).
 fn trace_reaches_projection<S: SpecState>(
     candidate: &Trace<S>,
     projection: &TraceProjection<S>,
+    side: &SideSummary<S>,
     key: u64,
 ) -> bool {
-    candidate.steps.iter().any(|step| {
-        projection.is_stable(&step.state)
-            && projection_key(&projection.project_state(&step.state)) == key
-    })
+    candidate
+        .steps
+        .iter()
+        .any(|step| side.project_key_of(projection, &step.state) == Some(key))
 }
 
 /// Oracle: the candidate trace still contains a stabilization edge with no matching
-/// coarse path (used to shrink [`DivergenceKind::UnmatchedStep`] witnesses).
+/// coarse path (used to shrink [`DivergenceKind::UnmatchedStep`] witnesses).  The
+/// candidate is a fine-side execution, so its states are keyed in the fine side's
+/// canonical frame before the coarse quotient is consulted.
 fn trace_has_unmatched_edge<S: SpecState>(
     candidate: &Trace<S>,
     projection: &TraceProjection<S>,
+    fine: &SideSummary<S>,
     coarse: &SideSummary<S>,
 ) -> bool {
     let mut last_stable: Option<u64> = None;
     for step in &candidate.steps {
-        if !projection.is_stable(&step.state) {
+        let Some(key) = fine.project_key_of(projection, &step.state) else {
             continue;
-        }
-        let key = projection_key(&projection.project_state(&step.state));
+        };
         if let Some(from) = last_stable {
             if from != key && !coarse.reachable_from(from).contains(&key) {
                 return true;

@@ -39,7 +39,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use remix_spec::{LabelId, LabelTable, Spec, SpecState, Trace, INIT_LABEL};
+use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace, INIT_LABEL};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
 
@@ -109,6 +109,10 @@ struct StoreShard<S> {
     /// Parallel to `meta` in [`StoreMode::Full`]; stays empty in
     /// [`StoreMode::FingerprintOnly`].
     states: Vec<S>,
+    /// Parallel to `meta` under symmetry reduction (every insert then records the
+    /// permutation that canonicalized the inserted state); stays empty otherwise.
+    /// Mixing permuted and unpermuted inserts in one store is a caller bug.
+    perms: Vec<Perm>,
 }
 
 struct ShardCell<S> {
@@ -161,6 +165,37 @@ impl<S: SpecState> ShardHandle<'_, S> {
         label: LabelId,
         state: S,
     ) -> Insert<S> {
+        self.insert_impl(fp, parent, label, state, None)
+    }
+
+    /// Like [`ShardHandle::insert`], but for symmetry-reduced runs: `state` must be
+    /// the *canonical* representative and `perm` the permutation that produced it
+    /// from the concrete successor (see `remix_spec::Canonicalize`).  The permutation
+    /// is recorded alongside the discovery edge so
+    /// [`StateStore::reconstruct_trace_decanonicalized`] can later rebuild a witness
+    /// in the original id frame.
+    ///
+    /// A store must be fed exclusively through this method or exclusively through
+    /// [`ShardHandle::insert`]; mixing the two within one run is a caller bug.
+    pub fn insert_canonical(
+        &mut self,
+        fp: Fingerprint,
+        parent: Option<StateIndex>,
+        label: LabelId,
+        state: S,
+        perm: Perm,
+    ) -> Insert<S> {
+        self.insert_impl(fp, parent, label, state, Some(perm))
+    }
+
+    fn insert_impl(
+        &mut self,
+        fp: Fingerprint,
+        parent: Option<StateIndex>,
+        label: LabelId,
+        state: S,
+        perm: Option<Perm>,
+    ) -> Insert<S> {
         let inner = &mut *self.guard;
         match inner.map.entry(fp) {
             std::collections::hash_map::Entry::Occupied(slot) => {
@@ -184,6 +219,14 @@ impl<S: SpecState> ShardHandle<'_, S> {
                     parent: parent.map_or(NO_PARENT, |p| p.0),
                     label,
                 });
+                if let Some(perm) = perm {
+                    debug_assert_eq!(
+                        inner.perms.len() + 1,
+                        inner.meta.len(),
+                        "stores mixing canonical and plain inserts cannot de-canonicalize"
+                    );
+                    inner.perms.push(perm);
+                }
                 let for_caller = match self.mode {
                     StoreMode::Full => {
                         let clone = state.clone();
@@ -221,6 +264,7 @@ impl<S: SpecState> StateStore<S> {
                         map: HashMap::new(),
                         meta: Vec::new(),
                         states: Vec::new(),
+                        perms: Vec::new(),
                     }),
                     contention: AtomicU64::new(0),
                 })
@@ -314,7 +358,8 @@ impl<S: SpecState> StateStore<S> {
         (meta.fp, parent, meta.label)
     }
 
-    /// Rewrites an entry's discovery edge to `(parent, label)`.
+    /// Rewrites an entry's discovery edge to `(parent, label)` (and, in a
+    /// symmetry-reduced store, its recorded permutation).
     ///
     /// Used by depth-bounded DFS when a strictly shallower path to an already-stored
     /// state is found: the recorded chain must follow best-known depths, or traces
@@ -322,7 +367,13 @@ impl<S: SpecState> StateStore<S> {
     /// and disagree with the reported violation depth (and the depth bound).  Parent
     /// depths are strictly decreasing along any chain, so the rewrite cannot create a
     /// cycle.
-    pub fn set_parent(&self, index: StateIndex, parent: StateIndex, label: LabelId) {
+    pub fn set_parent(
+        &self,
+        index: StateIndex,
+        parent: StateIndex,
+        label: LabelId,
+        perm: Option<Perm>,
+    ) {
         let (local, shard) = unpack(index, self.shard_bits);
         let mut guard = self.shards[shard as usize]
             .inner
@@ -331,6 +382,21 @@ impl<S: SpecState> StateStore<S> {
         let meta = &mut guard.meta[local as usize];
         meta.parent = parent.0;
         meta.label = label;
+        if let Some(perm) = perm {
+            guard.perms[local as usize] = perm;
+        }
+    }
+
+    /// The permutation recorded for an entry's discovery edge (the one that
+    /// canonicalized the inserted state), or `None` when the store was filled without
+    /// symmetry reduction.
+    pub fn perm_of(&self, index: StateIndex) -> Option<Perm> {
+        let (local, shard) = unpack(index, self.shard_bits);
+        let guard = self.shards[shard as usize]
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.perms.get(local as usize).cloned()
     }
 
     /// Maps an entry's stored state through `f`.  Returns `None` in
@@ -428,6 +494,117 @@ impl<S: SpecState> StateStore<S> {
                 .map(|(_, s)| s)
                 .expect("recorded (parent, label) chain replays through the spec");
             trace.push(label_str, next.clone());
+            current = next;
+        }
+        trace
+    }
+
+    /// Reconstructs a trace to `index` in the **original** (un-canonicalized) id frame
+    /// of a symmetry-reduced run.
+    ///
+    /// Under symmetry reduction the arena holds canonical representatives: every entry
+    /// was canonicalized on insertion and the applied permutation recorded with its
+    /// discovery edge.  A trace cloned straight out of the arena would therefore be a
+    /// sequence of canonical states that is *not* an execution of the original
+    /// specification (consecutive canonical forms are generally not successors of each
+    /// other).  This method instead replays the recorded chain forward through
+    /// [`Spec::successors`] in the original frame:
+    ///
+    /// 1. the root is the original initial state whose canonical fingerprint matches
+    ///    the recorded root entry;
+    /// 2. at each step, the successors of the current original-frame state are
+    ///    enumerated and filtered to those whose *canonical* fingerprint matches the
+    ///    recorded child entry — by orbit invariance these are exactly the concrete
+    ///    moves the canonical edge stands for;
+    /// 3. among the matches, the one whose canonicalization permutation equals the
+    ///    **composition** `π_edge ∘ σ` of the edge's stored permutation with the
+    ///    running original→canonical frame map `σ` is preferred — that candidate is
+    ///    the very execution the checker discovered, not merely an isomorphic sibling
+    ///    (any match would still be a valid witness, and is used as a fallback).
+    ///
+    /// Works identically for both store backends — the stored canonical states (when
+    /// present) are never cloned into the result — at the same O(depth × branching)
+    /// successor-evaluation cost the fingerprint-only backend already pays, incurred
+    /// only when a violation is actually reported.
+    ///
+    /// # Non-equivariant chains
+    ///
+    /// If the specification is not equivariant along this chain (see the symmetry
+    /// section of `ARCHITECTURE.md`), a step of the recorded chain may have no
+    /// matching successor in the original frame.  Rather than losing the violation
+    /// that is being reported, [`StoreMode::Full`] then falls back to the stored
+    /// *canonical-frame* chain (a sequence of representatives that may not replay
+    /// step-by-step, but whose endpoint still exhibits the violation up to renaming).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chain cannot be replayed **and** no fallback exists
+    /// ([`StoreMode::FingerprintOnly`] keeps no states): the store was filled from a
+    /// different specification or canonicalization function, or the spec is
+    /// non-equivariant along the chain.
+    pub fn reconstruct_trace_decanonicalized(
+        &self,
+        spec: &Spec<S>,
+        labels: &LabelTable,
+        index: StateIndex,
+        canon: &CanonFn<S>,
+    ) -> Trace<S> {
+        // Collect the chain root-first, each edge with its recorded permutation.
+        let mut chain: Vec<(Fingerprint, LabelId, Option<Perm>)> = Vec::new();
+        let mut cursor = Some(index);
+        while let Some(c) = cursor {
+            let (fp, parent, label) = self.meta(c);
+            chain.push((fp, label, self.perm_of(c)));
+            cursor = parent;
+        }
+        chain.reverse();
+
+        let (root_fp, root_label, _) = &chain[0];
+        debug_assert_eq!(labels.resolve(*root_label), INIT_LABEL);
+        let mut current = spec
+            .init
+            .iter()
+            .find(|s| fingerprint(&canon(s).0) == *root_fp)
+            .cloned()
+            .expect("chain root is the canonical form of an initial state");
+        // σ: the permutation mapping the current original-frame state onto its
+        // canonical representative (the frame the chain is recorded in).
+        let mut sigma = canon(&current).1;
+        let mut trace = Trace::from_init(current.clone());
+        for (fp, _, edge_perm) in &chain[1..] {
+            // The exact discovered execution satisfies canon(next).1 == π_edge ∘ σ.
+            let expected = edge_perm.as_ref().map(|p| p.compose(&sigma));
+            let mut fallback: Option<(String, S, Perm)> = None;
+            let mut exact: Option<(String, S, Perm)> = None;
+            for (l, s) in spec.successors(&current) {
+                let (c, p) = canon(&s);
+                if fingerprint(&c) != *fp {
+                    continue;
+                }
+                if expected.as_ref() == Some(&p) {
+                    exact = Some((l, s, p));
+                    break;
+                }
+                if fallback.is_none() {
+                    fallback = Some((l, s, p));
+                }
+            }
+            let Some((label, next, perm)) = exact.or(fallback) else {
+                // Non-equivariant step: the canonical edge has no counterpart from
+                // this original-frame state.  Keep the report alive with the stored
+                // canonical chain when the backend still has it.
+                if self.mode == StoreMode::Full {
+                    return self.reconstruct_trace(spec, labels, index);
+                }
+                panic!(
+                    "recorded canonical chain does not replay through the original \
+                     specification (non-equivariant spec or mismatched \
+                     canonicalization) and the fingerprint-only store kept no states \
+                     to fall back to"
+                );
+            };
+            sigma = perm;
+            trace.push(label, next.clone());
             current = next;
         }
         trace

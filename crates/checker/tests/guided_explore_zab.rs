@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 
-use remix_checker::{explore, shrink_violation, ExploreOptions};
+use remix_checker::{explore, shrink_violation, ExploreOptions, SymmetryMode};
 use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
 
 fn options() -> ExploreOptions {
@@ -26,6 +26,13 @@ fn options() -> ExploreOptions {
         .with_max_depth(60)
         .with_seed(7)
         .with_time_budget(Duration::from_secs(90))
+        // The guided-vs-uniform asymmetry this test documents was tuned against
+        // *concrete* coverage keys; canonical (symmetry-reduced) keys change the bias
+        // distribution and its trace indices, so the comparison pins symmetry off
+        // rather than inheriting the REMIX_SYMMETRY matrix value.  The symmetry
+        // suites (`checker/tests/symmetry.rs`, `zab/tests/symmetry_zab.rs`) cover
+        // canonical-keyed runs in both env settings.
+        .with_symmetry(SymmetryMode::Off)
 }
 
 #[test]
@@ -35,7 +42,7 @@ fn guided_sampling_finds_the_deep_bug_uniform_misses() {
     let mut spec = SpecPreset::MSpec3.build(&config);
     spec.invariants.retain(|i| i.id == "I-8" || i.id == "I-10");
 
-    let guided = explore(&spec, &options().guided(16));
+    let guided = explore(&spec, &options().guided(24));
     let found_guided = guided
         .stats
         .first_violation_trace

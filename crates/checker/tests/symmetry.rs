@@ -1,0 +1,381 @@
+//! Symmetry reduction on a toy fully symmetric spec: canonicalization must shrink the
+//! explored state count without changing any verdict, and violation witnesses must be
+//! de-canonicalized back into executions of the *original* specification — in both
+//! store backends and both engines.
+//!
+//! The model: `k` identical workers, each holding a counter; any worker may increment
+//! its counter up to `max`.  States are plain counter vectors, so the symmetric group
+//! acts by reordering them and sorting is an exact canonical form.  Without reduction
+//! the reachable space is `(max+1)^k` vectors; with it, the multisets —
+//! `C(max+k, k)` — which is where the strict `distinct_states` drop comes from.
+
+use std::collections::BTreeMap;
+
+use remix_checker::{check_bfs, check_dfs, CheckOptions, StopReason, StoreMode, SymmetryMode};
+use remix_spec::{
+    ActionDef, ActionInstance, Canonicalize, Granularity, Invariant, InvariantSource, ModuleId,
+    ModuleSpec, Perm, Spec, SpecState,
+};
+
+/// `k` interchangeable workers, each a bare counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Workers(Vec<u8>);
+
+impl SpecState for Workers {
+    fn project(&self, vars: &[&str]) -> BTreeMap<String, remix_spec::Value> {
+        let mut m = BTreeMap::new();
+        if vars.contains(&"counters") {
+            m.insert(
+                "counters".to_owned(),
+                remix_spec::Value::Seq(
+                    self.0
+                        .iter()
+                        .map(|c| remix_spec::Value::from(*c as u32))
+                        .collect(),
+                ),
+            );
+        }
+        m
+    }
+    fn variable_names() -> Vec<&'static str> {
+        vec!["counters"]
+    }
+}
+
+impl Canonicalize for Workers {
+    fn canonicalize(&self) -> (Self, Perm) {
+        // Sorting the counters is an exact canonical form for the full symmetric
+        // group; the permutation sends each worker to its sorted position (stable, so
+        // equal counters keep their relative order and the perm is well-defined).
+        let mut order: Vec<usize> = (0..self.0.len()).collect();
+        order.sort_by_key(|&i| self.0[i]);
+        let mut image = vec![0u32; self.0.len()];
+        for (new_pos, old) in order.iter().enumerate() {
+            image[*old] = new_pos as u32;
+        }
+        let perm = Perm::from_image(image);
+        (self.permute(&perm), perm)
+    }
+
+    fn permute(&self, perm: &Perm) -> Self {
+        let mut out = vec![0u8; self.0.len()];
+        for (i, c) in self.0.iter().enumerate() {
+            out[perm.apply(i)] = *c;
+        }
+        Workers(out)
+    }
+}
+
+/// The spec: every worker may increment below `max`; optionally an invariant that the
+/// counter multiset never reaches `bad` (a multiset, so it is permutation-invariant).
+fn workers_spec(k: usize, max: u8, bad: Option<Vec<u8>>) -> Spec<Workers> {
+    let m = ModuleId("Workers");
+    let inc = ActionDef::new(
+        "Inc",
+        m,
+        Granularity::Baseline,
+        vec!["counters"],
+        vec!["counters"],
+        move |s: &Workers| {
+            (0..s.0.len())
+                .filter(|&i| s.0[i] < max)
+                .map(|i| {
+                    let mut next = s.clone();
+                    next.0[i] += 1;
+                    ActionInstance::new(format!("Inc({i})"), next)
+                })
+                .collect()
+        },
+    );
+    let invariants = match bad {
+        Some(bad) => vec![Invariant::always(
+            "NOT-BAD",
+            "the bad counter multiset is unreachable",
+            InvariantSource::Protocol,
+            move |s: &Workers| {
+                let mut sorted = s.0.clone();
+                sorted.sort_unstable();
+                sorted != bad
+            },
+        )],
+        None => vec![],
+    };
+    Spec::new(
+        "workers",
+        vec![Workers(vec![0; k])],
+        vec![ModuleSpec::new(m, Granularity::Baseline, vec![inc])],
+        invariants,
+    )
+    .with_canonicalization()
+}
+
+fn options(symmetry: SymmetryMode, store: StoreMode) -> CheckOptions {
+    CheckOptions::default()
+        .with_symmetry(symmetry)
+        .with_store_mode(store)
+}
+
+/// `C(n, k)` (number of multisets of size `k` over `n` values is `C(max+k, k)`).
+fn binomial(n: usize, k: usize) -> usize {
+    (1..=k).fold(1, |acc, i| acc * (n - k + i) / i)
+}
+
+#[test]
+fn canonicalization_collapses_orbits_without_changing_the_verdict() {
+    let (k, max) = (3usize, 4u8);
+    let spec = workers_spec(k, max, None);
+    for store in [StoreMode::Full, StoreMode::FingerprintOnly] {
+        let off = check_bfs(&spec, &options(SymmetryMode::Off, store));
+        let canon = check_bfs(&spec, &options(SymmetryMode::Canonicalize, store));
+        assert_eq!(off.stop_reason, StopReason::Exhausted, "{store}");
+        assert_eq!(canon.stop_reason, StopReason::Exhausted, "{store}");
+        assert!(off.passed() && canon.passed(), "{store}");
+        assert_eq!(
+            off.stats.distinct_states,
+            (max as usize + 1).pow(k as u32),
+            "all counter vectors ({store})"
+        );
+        assert_eq!(
+            canon.stats.distinct_states,
+            binomial(max as usize + k, k),
+            "one representative per counter multiset ({store})"
+        );
+        assert!(
+            canon.stats.distinct_states < off.stats.distinct_states,
+            "symmetry must strictly reduce the explored space ({store})"
+        );
+        // The BFS level structure is preserved: the deepest state (all counters at
+        // max) sits at the same minimal depth in both runs.
+        assert_eq!(off.stats.max_depth, canon.stats.max_depth, "{store}");
+    }
+}
+
+#[test]
+fn decanonicalized_traces_replay_on_the_original_spec() {
+    // The violating multiset {1, 2, 2} is reachable at depth 5; BFS must report the
+    // same minimal depth with and without symmetry, and the symmetric run's witness —
+    // recorded as a chain of canonical forms — must replay as a real execution.
+    let spec = workers_spec(3, 3, Some(vec![1, 2, 2]));
+    for store in [StoreMode::Full, StoreMode::FingerprintOnly] {
+        let off = check_bfs(&spec, &options(SymmetryMode::Off, store));
+        let canon = check_bfs(&spec, &options(SymmetryMode::Canonicalize, store));
+        let (v_off, v_canon) = (
+            off.first_violation().expect("off finds the violation"),
+            canon.first_violation().expect("canonicalize finds it too"),
+        );
+        assert_eq!(v_off.invariant, v_canon.invariant, "{store}");
+        assert_eq!(
+            v_off.depth, v_canon.depth,
+            "minimal depth is preserved ({store})"
+        );
+        assert_eq!(v_canon.trace.depth() as u32, v_canon.depth, "{store}");
+        // Step-by-step replay through `Spec::successors` on the original spec: every
+        // consecutive pair must be one of its labelled transitions.
+        for w in v_canon.trace.steps.windows(2) {
+            let successors = spec.successors(&w[0].state);
+            assert!(
+                successors
+                    .iter()
+                    .any(|(l, s)| *l == w[1].action && *s == w[1].state),
+                "step {:?} -> {:?} via {} is not a transition of the original spec \
+                 ({store})",
+                w[0].state,
+                w[1].state,
+                w[1].action
+            );
+        }
+        // And the replayed endpoint still violates the invariant.
+        assert!(
+            !spec
+                .violated_invariants(v_canon.trace.last_state().unwrap())
+                .is_empty(),
+            "{store}"
+        );
+    }
+}
+
+#[test]
+fn dfs_reduces_and_replays_under_symmetry_too() {
+    let spec = workers_spec(3, 3, Some(vec![1, 2, 2]));
+    for store in [StoreMode::Full, StoreMode::FingerprintOnly] {
+        let passing = workers_spec(3, 3, None);
+        let off = check_dfs(&passing, &options(SymmetryMode::Off, store));
+        let canon = check_dfs(&passing, &options(SymmetryMode::Canonicalize, store));
+        assert_eq!(off.stop_reason, StopReason::Exhausted, "{store}");
+        assert_eq!(canon.stop_reason, StopReason::Exhausted, "{store}");
+        assert!(
+            canon.stats.distinct_states < off.stats.distinct_states,
+            "{store}"
+        );
+
+        let outcome = check_dfs(&spec, &options(SymmetryMode::Canonicalize, store));
+        let v = outcome.first_violation().expect("DFS finds the violation");
+        for w in v.trace.steps.windows(2) {
+            assert!(
+                spec.successors(&w[0].state)
+                    .iter()
+                    .any(|(l, s)| *l == w[1].action && *s == w[1].state),
+                "DFS witness must replay on the original spec ({store})"
+            );
+        }
+        assert!(
+            !spec
+                .violated_invariants(v.trace.last_state().unwrap())
+                .is_empty(),
+            "{store}"
+        );
+    }
+}
+
+#[test]
+fn symmetry_mode_is_a_no_op_without_an_attached_group() {
+    // A spec without `Spec::symmetry` must explore identically whatever the mode —
+    // this is what keeps the REMIX_SYMMETRY CI matrix safe for asymmetric models.
+    let mut spec = workers_spec(2, 3, None);
+    spec.symmetry = None;
+    let off = check_bfs(&spec, &options(SymmetryMode::Off, StoreMode::Full));
+    let canon = check_bfs(&spec, &options(SymmetryMode::Canonicalize, StoreMode::Full));
+    assert_eq!(off.stats.distinct_states, canon.stats.distinct_states);
+    assert_eq!(off.stats.transitions, canon.stats.transitions);
+}
+
+#[test]
+fn parallel_symmetric_runs_agree_with_sequential() {
+    let spec = workers_spec(3, 4, None);
+    let seq = check_bfs(&spec, &options(SymmetryMode::Canonicalize, StoreMode::Full));
+    let par = check_bfs(
+        &spec,
+        &options(SymmetryMode::Canonicalize, StoreMode::Full).with_workers(4),
+    );
+    assert_eq!(seq.stats.distinct_states, par.stats.distinct_states);
+    assert_eq!(seq.stats.transitions, par.stats.transitions);
+    assert_eq!(seq.stats.max_depth, par.stats.max_depth);
+}
+
+#[test]
+fn refinement_applies_symmetry_only_under_a_declared_equivariant_projection() {
+    use remix_checker::{check_refinement, RefineMode, RefineOptions};
+    use remix_spec::TraceProjection;
+
+    // Fine: workers step one at a time.  Coarse: a worker jumps straight to `max`.
+    // Projection: the *multiset* of counters, restricted to "settled" states where
+    // every counter is 0 or max — permutation-invariant, hence safely declarable as
+    // equivariant.  Both sides stabilize through the same settled multisets, so the
+    // pair refines.
+    let max = 3u8;
+    let fine = workers_spec(3, max, None);
+    let coarse = {
+        let m = ModuleId("Workers");
+        let jump = ActionDef::new(
+            "Jump",
+            m,
+            Granularity::Coarse,
+            vec!["counters"],
+            vec!["counters"],
+            move |s: &Workers| {
+                (0..s.0.len())
+                    .filter(|&i| s.0[i] == 0)
+                    .map(|i| {
+                        let mut next = s.clone();
+                        next.0[i] = max;
+                        ActionInstance::new(format!("Jump({i})"), next)
+                    })
+                    .collect()
+            },
+        );
+        Spec::new(
+            "workers-coarse",
+            vec![Workers(vec![0; 3])],
+            vec![ModuleSpec::new(m, Granularity::Coarse, vec![jump])],
+            vec![],
+        )
+        .with_canonicalization()
+    };
+    let projection = || {
+        TraceProjection::identity(
+            "settled-multiset",
+            Granularity::Coarse,
+            Granularity::Baseline,
+        )
+        .with_state(|s: &Workers| {
+            let mut sorted = s.0.clone();
+            sorted.sort_unstable();
+            let mut m = BTreeMap::new();
+            m.insert(
+                "multiset".to_owned(),
+                remix_spec::Value::Seq(
+                    sorted
+                        .iter()
+                        .map(|c| remix_spec::Value::from(*c as u32))
+                        .collect(),
+                ),
+            );
+            m
+        })
+        .with_stability(move |s: &Workers| s.0.iter().all(|&c| c == 0 || c == max))
+    };
+
+    let opts = RefineOptions::default()
+        .with_mode(RefineMode::TraceInclusion)
+        .with_symmetry(SymmetryMode::Canonicalize);
+
+    // Without the equivariance declaration the knob is ignored: state counts match a
+    // symmetry-off run exactly.
+    let plain = check_refinement(&fine, &coarse, &projection(), &opts);
+    let off = check_refinement(
+        &fine,
+        &coarse,
+        &projection(),
+        &RefineOptions::default()
+            .with_mode(RefineMode::TraceInclusion)
+            .with_symmetry(SymmetryMode::Off),
+    );
+    assert!(plain.refines() && off.refines(), "{plain}\n{off}");
+    assert_eq!(plain.stats.fine_states, off.stats.fine_states);
+    assert_eq!(plain.stats.coarse_states, off.stats.coarse_states);
+
+    // With the declaration, both sides explore canonical representatives: strictly
+    // fewer concrete states, identical verdict, identical projected classes.
+    let reduced = check_refinement(&fine, &coarse, &projection().assume_equivariant(), &opts);
+    assert!(reduced.refines(), "{reduced}");
+    assert!(reduced.conclusive());
+    assert!(
+        reduced.stats.fine_states < off.stats.fine_states,
+        "{} vs {}",
+        reduced.stats.fine_states,
+        off.stats.fine_states
+    );
+    assert!(reduced.stats.coarse_states < off.stats.coarse_states);
+    assert_eq!(reduced.stats.fine_projections, off.stats.fine_projections);
+    assert_eq!(
+        reduced.stats.coarse_projections,
+        off.stats.coarse_projections
+    );
+
+    // And a genuinely diverging pair still yields a replayable, de-canonicalized
+    // witness: forbid the all-max multiset on the coarse side only.
+    let fine_capped = workers_spec(3, 2, None);
+    let diverging = check_refinement(
+        &fine_capped,
+        &coarse,
+        &projection().assume_equivariant(),
+        &opts,
+    );
+    let divergence = diverging
+        .divergence
+        .as_ref()
+        .expect("coarse reaches settled multisets the capped fine spec cannot");
+    for w in divergence.witness.steps.windows(2) {
+        let spec = if divergence.witness_spec == "workers-coarse" {
+            &coarse
+        } else {
+            &fine_capped
+        };
+        assert!(
+            spec.successors(&w[0].state)
+                .iter()
+                .any(|(l, s)| *l == w[1].action && *s == w[1].state),
+            "witness must replay on the original spec"
+        );
+    }
+}

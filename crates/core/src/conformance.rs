@@ -239,6 +239,8 @@ impl ConformanceChecker {
                         &mut rng,
                         &coverage,
                         options.guidance,
+                        None,
+                        None,
                     ),
                 };
                 let mut partial = ConformanceReport {

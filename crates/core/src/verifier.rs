@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use remix_checker::{
     check_bfs, check_refinement, shrink_violation, CheckMode, CheckOptions, CheckOutcome,
-    RefineOptions, RefineOutcome, StoreMode,
+    RefineOptions, RefineOutcome, StoreMode, SymmetryMode,
 };
 use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, SpecError, Trace};
 use remix_zab::{projection_between, ClusterConfig, SpecPreset, ZabState};
@@ -82,6 +82,11 @@ pub struct VerifierOptions {
     /// arena, or the TLC-style memory-bounded fingerprint-only store; see
     /// [`StoreMode`].
     pub store_mode: StoreMode,
+    /// Whether the checker dedups on canonical representatives under the
+    /// specification's symmetry group (all Zab presets attach one: `ZabState` is
+    /// symmetric under server-id permutation); violation traces are de-canonicalized
+    /// before they are reported.  See [`SymmetryMode`].
+    pub symmetry: SymmetryMode,
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
@@ -105,6 +110,7 @@ impl Default for VerifierOptions {
             shards: check.shards,
             batch_size: check.batch_size,
             store_mode: check.store_mode,
+            symmetry: check.symmetry,
             only_invariants: Vec::new(),
             shrink_counterexamples: false,
         }
@@ -149,6 +155,12 @@ impl VerifierOptions {
     /// Selects the discovered-state store backend.
     pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
         self.store_mode = mode;
+        self
+    }
+
+    /// Selects the symmetry-reduction mode.
+    pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
         self
     }
 
@@ -232,6 +244,7 @@ impl Verifier {
             batch_size: options.batch_size,
             collect_traces: true,
             store_mode: options.store_mode,
+            symmetry: options.symmetry,
         };
         let outcome = check_bfs(&spec, &check);
         let shrunk = if options.shrink_counterexamples {

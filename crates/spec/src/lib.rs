@@ -27,6 +27,10 @@
 //!   granularities of the same library — per-state and per-label projections plus a
 //!   stability predicate — consumed by the refinement checker
 //!   (`remix-checker::refine`) to prove that a coarse composition simulates a fine one.
+//! * **Symmetry reduction** ([`symmetry`]): canonical representatives under a
+//!   permutation group of process ids ([`Canonicalize`] / [`Perm`]), attached to a
+//!   specification via [`Spec::with_canonicalization`] and consumed by the checker
+//!   engines to dedup whole orbits of id-renamed states at once.
 
 #![warn(missing_docs)]
 
@@ -39,6 +43,7 @@ pub mod label;
 pub mod module;
 pub mod projection;
 pub mod spec;
+pub mod symmetry;
 pub mod trace;
 pub mod value;
 
@@ -53,7 +58,8 @@ pub use invariant::{Invariant, InvariantScope, InvariantSource};
 pub use label::{LabelId, LabelTable, INIT_LABEL};
 pub use module::{ModuleId, ModuleSpec};
 pub use projection::{LabelProjectionFn, StabilityFn, StateProjectionFn, TraceProjection};
-pub use spec::{Spec, SpecState};
+pub use spec::{CanonFn, Spec, SpecState};
+pub use symmetry::{Canonicalize, Perm};
 pub use trace::{
     condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep,
 };

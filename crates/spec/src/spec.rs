@@ -4,11 +4,22 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
 
+use std::sync::Arc;
+
 use crate::action::{ActionDef, Granularity};
 use crate::invariant::Invariant;
 use crate::label::{LabelId, LabelTable};
 use crate::module::{ModuleId, ModuleSpec};
+use crate::symmetry::{Canonicalize, Perm};
 use crate::value::Value;
+
+/// A canonicalization function attached to a [`Spec`]: maps a state to the canonical
+/// representative of its orbit under the specification's symmetry group, returning the
+/// permutation that was applied (see [`Canonicalize`]).
+///
+/// Stored type-erased so `Spec` stays usable for state types without a symmetry group,
+/// and checker options can switch symmetry reduction on and off without generic bounds.
+pub type CanonFn<S> = Arc<dyn Fn(&S) -> (S, Perm) + Send + Sync>;
 
 /// Trait bound for states explored by the model checker.
 ///
@@ -39,6 +50,10 @@ pub struct Spec<S> {
     pub modules: Vec<ModuleSpec<S>>,
     /// The invariants checked on every reachable state.
     pub invariants: Vec<Invariant<S>>,
+    /// The specification's symmetry group, as a canonicalization function (`None` for
+    /// state types without one).  Engines consult it only when their options request
+    /// symmetry reduction; see [`Spec::with_canonicalization`].
+    pub symmetry: Option<CanonFn<S>>,
 }
 
 impl<S: SpecState> Spec<S> {
@@ -54,7 +69,30 @@ impl<S: SpecState> Spec<S> {
             init,
             modules,
             invariants,
+            symmetry: None,
         }
+    }
+
+    /// Attaches the canonical-representative function of the state type's
+    /// [`Canonicalize`] implementation as this specification's symmetry group.
+    ///
+    /// Attaching symmetry does not change any behaviour by itself: engines key their
+    /// dedup maps, fingerprints and coverage counters on canonical forms only when
+    /// their options select `SymmetryMode::Canonicalize` (the `REMIX_SYMMETRY` hook in
+    /// `remix-checker`).
+    pub fn with_canonicalization(mut self) -> Self
+    where
+        S: Canonicalize,
+    {
+        self.symmetry = Some(Arc::new(|s: &S| s.canonicalize()));
+        self
+    }
+
+    /// Attaches an arbitrary canonicalization function as this specification's
+    /// symmetry group (see [`CanonFn`] and the laws in [`crate::symmetry`]).
+    pub fn with_symmetry(mut self, canon: CanonFn<S>) -> Self {
+        self.symmetry = Some(canon);
+        self
     }
 
     /// Enumerates all successors of `state` under the next-state relation, labelled with
@@ -146,6 +184,7 @@ impl<S> fmt::Debug for Spec<S> {
             .field("init_states", &self.init.len())
             .field("modules", &self.modules.len())
             .field("invariants", &self.invariants.len())
+            .field("symmetry", &self.symmetry.is_some())
             .finish()
     }
 }

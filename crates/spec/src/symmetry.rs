@@ -1,0 +1,187 @@
+//! Symmetry reduction: canonical representatives under a permutation group.
+//!
+//! Distributed-system state spaces are dominated by states that differ only by a
+//! renaming of process identities: with `n` symmetric servers, every reachable state
+//! has up to `n!` indistinguishable siblings, and an explicit-state checker that
+//! fingerprints each sibling separately pays the full factorial redundancy in both
+//! memory and throughput.  Symmetry reduction (TLC's `SYMMETRY` sets) explores one
+//! *canonical representative* per orbit instead.
+//!
+//! This module provides the two pieces the engines need:
+//!
+//! * [`Perm`] — a permutation of `0..n` process ids, with identity, composition and
+//!   inversion.  Engines record the permutation applied at every discovery edge so a
+//!   violation trace can later be *de-canonicalized* back into the original id frame
+//!   (see `remix-checker`'s store).
+//! * [`Canonicalize`] — the per-state-type contract: map a state to the canonical
+//!   representative of its orbit, returning the permutation that was applied, and
+//!   rewrite a state under an arbitrary permutation.
+//!
+//! # Laws
+//!
+//! Implementations must satisfy, for all states `s` and permutations `π` over the
+//! state's id domain:
+//!
+//! 1. **Consistency** — `s.canonicalize() == (c, π)` implies `s.permute(&π) == c`.
+//! 2. **Idempotence** — `canon(canon(s)) == canon(s)` (canonical forms are fixed
+//!    points, up to the identity permutation).
+//! 3. **Orbit invariance** — `canon(s.permute(&π)) == canon(s)`: every member of an
+//!    orbit maps to the same representative.  This is the property that makes keying
+//!    dedup maps, fingerprints and coverage counters on canonical forms sound.
+//!
+//! Soundness of *exploration* under canonicalization additionally needs the
+//! specification itself to be equivariant (`t ∈ succ(s)` iff `π(t) ∈ succ(π(s))`);
+//! see the symmetry section of `ARCHITECTURE.md` for the argument and for where the
+//! Zab model approximates it.
+
+use std::fmt;
+
+/// A permutation of the dense id domain `0..n`.
+///
+/// `perm.apply(i)` is the new id of old id `i`.  Displayed in cycle-free one-line
+/// notation, e.g. `[2, 0, 1]` maps `0 → 2`, `1 → 0`, `2 → 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Perm(Vec<u32>);
+
+impl Perm {
+    /// The identity permutation over `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Perm((0..n as u32).collect())
+    }
+
+    /// Builds a permutation from its one-line image vector (`image[i]` is the new id
+    /// of old id `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `image` is not a permutation of `0..image.len()`.
+    pub fn from_image(image: Vec<u32>) -> Self {
+        let n = image.len();
+        let mut seen = vec![false; n];
+        for &v in &image {
+            assert!(
+                (v as usize) < n && !std::mem::replace(&mut seen[v as usize], true),
+                "not a permutation of 0..{n}: {image:?}"
+            );
+        }
+        Perm(image)
+    }
+
+    /// The size of the id domain.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty domain.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The new id of old id `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the id domain.
+    pub fn apply(&self, i: usize) -> usize {
+        self.0[i] as usize
+    }
+
+    /// `true` when this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| i as u32 == v)
+    }
+
+    /// The composition *self ∘ other*: first apply `other`, then `self`.
+    ///
+    /// `x.permute(&other).permute(&self) == x.permute(&self.compose(&other))` — the
+    /// composition rule engines use to accumulate per-edge permutations along a
+    /// parent chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domains differ.
+    pub fn compose(&self, other: &Perm) -> Perm {
+        assert_eq!(self.len(), other.len(), "composing different id domains");
+        Perm(other.0.iter().map(|&v| self.0[v as usize]).collect())
+    }
+
+    /// The inverse permutation: `p.compose(&p.inverse())` is the identity.
+    pub fn inverse(&self) -> Perm {
+        let mut inv = vec![0u32; self.0.len()];
+        for (i, &v) in self.0.iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        Perm(inv)
+    }
+
+    /// The one-line image vector (`image[i]` is the new id of old id `i`).
+    pub fn image(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Canonical representatives under a permutation group of process ids.
+///
+/// See the [module docs](self) for the laws implementations must satisfy, and
+/// `remix-zab`'s `ZabState` implementation for the canonical example: servers are
+/// sorted by a permutation-invariant sort key, groups of servers with equal keys are
+/// resolved by minimizing the rewritten state, and every `Sid`-bearing field (network
+/// channels, received votes, learner maps, pending acknowledgements, ghost
+/// establishment records, leader and vote fields) is rewritten consistently.
+pub trait Canonicalize: Sized {
+    /// Returns the canonical representative of this state's orbit together with the
+    /// permutation `π` that maps this state onto it (`canon == self.permute(&π)`).
+    fn canonicalize(&self) -> (Self, Perm);
+
+    /// Rewrites every id-bearing field of the state through `perm` (old id `i`
+    /// becomes `perm.apply(i)`).
+    fn permute(&self, perm: &Perm) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_inverse() {
+        let id = Perm::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.apply(2), 2);
+        let p = Perm::from_image(vec![2, 0, 1]);
+        assert!(!p.is_identity());
+        assert_eq!(p.apply(0), 2);
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+        assert_eq!(p.to_string(), "[2, 0, 1]");
+    }
+
+    #[test]
+    fn composition_applies_right_to_left() {
+        // other first, then self.
+        let swap01 = Perm::from_image(vec![1, 0, 2]);
+        let rot = Perm::from_image(vec![1, 2, 0]);
+        let composed = rot.compose(&swap01);
+        for i in 0..3 {
+            assert_eq!(composed.apply(i), rot.apply(swap01.apply(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn malformed_images_are_rejected() {
+        let _ = Perm::from_image(vec![0, 0, 1]);
+    }
+}

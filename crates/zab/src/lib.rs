@@ -12,6 +12,9 @@
 //! * [`projection`] — the granularity projections relating those compositions, consumed
 //!   by the refinement checker (`remix-checker::refine`) to prove the coarsenings
 //!   interaction-preserving;
+//! * [`symmetry`] — canonical representatives of `ZabState` under server-id
+//!   permutation, consumed by the checker's symmetry reduction
+//!   (`remix-checker::SymmetryMode`);
 //! * [`versions`] — the ZooKeeper code versions, bug flags and the bug lineage of
 //!   Figure 8;
 //! * [`protocol`] — the protocol-level specification of Zab (§2.1.1) together with the
@@ -25,6 +28,7 @@ pub mod presets;
 pub mod projection;
 pub mod protocol;
 pub mod state;
+pub mod symmetry;
 pub mod types;
 pub mod versions;
 

@@ -140,6 +140,11 @@ pub fn build_from_plan(
         modules,
         all_invariants(),
     )
+    // `ZabState` is symmetric under server-id permutation; attach its canonical-form
+    // function so checker runs may opt into symmetry reduction
+    // (`SymmetryMode::Canonicalize` / the `REMIX_SYMMETRY` hook).  Attaching it
+    // changes nothing by itself.
+    .map(Spec::with_canonicalization)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::config::ClusterConfig;
 use crate::types::{CodeViolation, Message, ServerState, Sid, Txn, Vote, ZabPhase, Zxid};
 
 /// Per-server state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerData {
     // ---- Durable state (survives crashes) -------------------------------------------
     /// `currentEpoch`: the epoch the server has committed to (written to disk).
@@ -181,7 +181,7 @@ impl ServerData {
 }
 
 /// Ghost variables used only by the protocol-level invariants.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GhostState {
     /// Leader that established each epoch (quorum of NEWLEADER acknowledgements).
     pub established_leaders: BTreeMap<u32, Sid>,
@@ -196,7 +196,11 @@ pub struct GhostState {
 }
 
 /// The global state of the ZooKeeper system specification.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// States are totally ordered (`Ord`) so symmetry reduction can pick the minimal
+/// member of a permutation orbit as its canonical representative (see
+/// [`crate::symmetry`]); the ordering itself carries no protocol meaning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ZabState {
     /// Per-server state, indexed by sid.
     pub servers: Vec<ServerData>,

@@ -1,0 +1,481 @@
+//! Symmetry reduction for the ZooKeeper system state: `ZabState` is symmetric under
+//! permutation of server ids.
+//!
+//! Every reachable [`ZabState`] has up to `n!` siblings that differ only by a renaming
+//! of `Sid`s: the per-server array is re-indexed and every `Sid`-bearing field —
+//! network channels, received votes, learner bookkeeping, acknowledgement sets,
+//! pending-proposal acks, leader and vote fields, partitions, ghost establishment
+//! records and code-violation attributions — is rewritten consistently.  The model
+//! checker pays for each sibling separately unless it dedups on a canonical
+//! representative per orbit; this module provides that representative via
+//! [`Canonicalize`].
+//!
+//! # How the representative is chosen
+//!
+//! 1. Each server gets a **permutation-invariant sort key** (`server_key`): its
+//!    durable and volatile scalars, its history, self-relative renderings of the
+//!    `Sid`-valued fields (`leader` is "none / other / myself", the vote is "for
+//!    myself or not"), invariant multiset summaries of its maps, and its message /
+//!    partition degrees.  Renaming ids never changes a server's key.
+//! 2. Servers are sorted by key.  When all keys are distinct this pins the *only*
+//!    permutation that can map the state onto a key-sorted sibling, and the rewrite
+//!    under that permutation is the canonical form.
+//! 3. Servers with **equal keys** may still differ through cross-references (who
+//!    follows whom, queue contents), so all orderings within each tie group are
+//!    enumerated — the candidate set is exactly the orbit members whose servers are
+//!    key-sorted — and the [`Ord`]-minimal rewritten state wins.  The candidate set,
+//!    and hence the minimum, depends only on the orbit, which gives exact orbit
+//!    invariance: `canon(π(s)) == canon(s)` for every permutation `π`.
+//!
+//! Tie groups are tiny in practice (they require byte-identical per-server summaries,
+//! as in the fully symmetric initial state); the enumeration is capped at
+//! [`MAX_TIE_CANDIDATES`] rewrites as a safety valve for pathological ensembles, far
+//! above anything a 3–5 server model can produce (`5! = 120`).
+//!
+//! # Soundness
+//!
+//! Keying exploration on canonical forms is exact when the next-state relation is
+//! *equivariant* (`t ∈ succ(s)` iff `π(t) ∈ succ(π(s))`).  The Zab action library is
+//! equivariant in all structure except fast leader election's numeric sid tie-break
+//! (`Vote` ordering compares `leader` ids last), which renaming does not commute
+//! with; the checker therefore treats symmetry reduction as an opt-in mode, and the
+//! acceptance tests verify verdict equality against `SymmetryMode::Off` empirically
+//! — see the symmetry section of `ARCHITECTURE.md` for the full argument.
+
+use remix_spec::{Canonicalize, Perm};
+
+use crate::state::{GhostState, ServerData, ZabState};
+use crate::types::{Message, Sid, Vote, Zxid};
+
+/// Upper bound on the number of tie-break candidates [`ZabState::canonicalize`]
+/// enumerates before falling back to the first key-sorted ordering.  `720 = 6!`
+/// covers a fully symmetric six-server ensemble exactly.
+pub const MAX_TIE_CANDIDATES: usize = 720;
+
+/// A server's `leader` field, rendered relative to the server itself (invariant under
+/// id renaming, unlike the raw `Sid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LeaderRel {
+    None,
+    Other,
+    Myself,
+}
+
+/// The permutation-invariant per-server sort key: two servers related by an id
+/// renaming always produce equal keys, and the key discriminates aggressively enough
+/// that tie groups collapse to servers with identical summaries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ServerKey {
+    current_epoch: u32,
+    accepted_epoch: u32,
+    state: crate::types::ServerState,
+    phase: crate::types::ZabPhase,
+    history: Vec<crate::types::Txn>,
+    last_committed: usize,
+    leader: LeaderRel,
+    vote_epoch: u32,
+    vote_zxid: Zxid,
+    vote_for_self: bool,
+    vote_broadcast: bool,
+    /// Invariant summary of `recv_votes`: the sorted multiset of
+    /// `(epoch, zxid, vote is for this server)` plus whether the server holds a vote
+    /// from itself.
+    recv_votes: Vec<(u32, Zxid, bool)>,
+    recv_vote_from_self: bool,
+    learners: usize,
+    /// Sorted multiset of the last zxids reported by learners (keys are `Sid`s, so
+    /// only the value multiset is invariant).
+    learner_last_zxids: Vec<Zxid>,
+    epoch_proposed: bool,
+    epoch_acks: usize,
+    sync_sent: usize,
+    newleader_acks: usize,
+    established: bool,
+    /// Per outstanding proposal: the zxid and how many acks it holds (and whether the
+    /// server acked its own proposal).
+    pending_acks: Vec<(Zxid, usize, bool)>,
+    connected: bool,
+    packets_not_committed: Vec<crate::types::Txn>,
+    packets_committed: Vec<Zxid>,
+    queued_requests: Vec<crate::types::Txn>,
+    pending_commits: Vec<Zxid>,
+    serving: bool,
+    /// Message degrees: total queued messages inbound and outbound (per-channel
+    /// lengths sorted, so the key sees the shape, not the peer ids).
+    out_channel_lens: Vec<usize>,
+    in_channel_lens: Vec<usize>,
+    /// Number of partition pairs this server is part of.
+    partition_degree: usize,
+    /// Whether the recorded code violation (if any) happened on this server.
+    violating: bool,
+    /// Number of epochs this server established (ghost).
+    established_epochs: usize,
+}
+
+fn server_key(state: &ZabState, i: Sid) -> ServerKey {
+    let s = &state.servers[i];
+    let mut recv_votes: Vec<(u32, Zxid, bool)> = s
+        .recv_votes
+        .values()
+        .map(|v| (v.epoch, v.zxid, v.leader == i))
+        .collect();
+    recv_votes.sort();
+    let mut learner_last_zxids: Vec<Zxid> = s.learner_last_zxid.values().copied().collect();
+    learner_last_zxids.sort();
+    let pending_acks: Vec<(Zxid, usize, bool)> = s
+        .pending_acks
+        .iter()
+        .map(|(z, acks)| (*z, acks.len(), acks.contains(&i)))
+        .collect();
+    let mut out_channel_lens: Vec<usize> = state.msgs[i].iter().map(Vec::len).collect();
+    out_channel_lens.sort_unstable();
+    let mut in_channel_lens: Vec<usize> = state.msgs.iter().map(|row| row[i].len()).collect();
+    in_channel_lens.sort_unstable();
+    ServerKey {
+        current_epoch: s.current_epoch,
+        accepted_epoch: s.accepted_epoch,
+        state: s.state,
+        phase: s.phase,
+        history: s.history.clone(),
+        last_committed: s.last_committed,
+        leader: match s.leader {
+            None => LeaderRel::None,
+            Some(l) if l == i => LeaderRel::Myself,
+            Some(_) => LeaderRel::Other,
+        },
+        vote_epoch: s.vote.epoch,
+        vote_zxid: s.vote.zxid,
+        vote_for_self: s.vote.leader == i,
+        vote_broadcast: s.vote_broadcast,
+        recv_votes,
+        recv_vote_from_self: s.recv_votes.contains_key(&i),
+        learners: s.learners.len(),
+        learner_last_zxids,
+        epoch_proposed: s.epoch_proposed,
+        epoch_acks: s.epoch_acks.len(),
+        sync_sent: s.sync_sent.len(),
+        newleader_acks: s.newleader_acks.len(),
+        established: s.established,
+        pending_acks,
+        connected: s.connected,
+        packets_not_committed: s.packets_not_committed.clone(),
+        packets_committed: s.packets_committed.clone(),
+        queued_requests: s.queued_requests.clone(),
+        pending_commits: s.pending_commits.clone(),
+        serving: s.serving,
+        out_channel_lens,
+        in_channel_lens,
+        partition_degree: state
+            .partitioned
+            .iter()
+            .filter(|(a, b)| *a == i || *b == i)
+            .count(),
+        violating: state.violation.as_ref().is_some_and(|v| v.server == i),
+        established_epochs: state
+            .ghost
+            .established_leaders
+            .values()
+            .filter(|l| **l == i)
+            .count(),
+    }
+}
+
+fn permute_sid(perm: &Perm, sid: Sid) -> Sid {
+    perm.apply(sid)
+}
+
+fn permute_vote(perm: &Perm, vote: &Vote) -> Vote {
+    Vote {
+        epoch: vote.epoch,
+        zxid: vote.zxid,
+        leader: permute_sid(perm, vote.leader),
+    }
+}
+
+fn permute_message(perm: &Perm, msg: &Message) -> Message {
+    match msg {
+        Message::Notification { vote } => Message::Notification {
+            vote: permute_vote(perm, vote),
+        },
+        // No other message carries a Sid.
+        other => other.clone(),
+    }
+}
+
+fn permute_server(perm: &Perm, s: &ServerData) -> ServerData {
+    // Fully explicit construction: `..s.clone()` would clone every Sid-bearing
+    // collection only to immediately overwrite and drop it, and permute_server runs
+    // once per generated successor on the canonicalizing hot path.
+    ServerData {
+        current_epoch: s.current_epoch,
+        accepted_epoch: s.accepted_epoch,
+        history: s.history.clone(),
+        last_committed: s.last_committed,
+        state: s.state,
+        phase: s.phase,
+        leader: s.leader.map(|l| permute_sid(perm, l)),
+        vote: permute_vote(perm, &s.vote),
+        vote_broadcast: s.vote_broadcast,
+        recv_votes: s
+            .recv_votes
+            .iter()
+            .map(|(sid, v)| (permute_sid(perm, *sid), permute_vote(perm, v)))
+            .collect(),
+        learners: s.learners.iter().map(|l| permute_sid(perm, *l)).collect(),
+        learner_last_zxid: s
+            .learner_last_zxid
+            .iter()
+            .map(|(sid, z)| (permute_sid(perm, *sid), *z))
+            .collect(),
+        epoch_proposed: s.epoch_proposed,
+        epoch_acks: s.epoch_acks.iter().map(|a| permute_sid(perm, *a)).collect(),
+        sync_sent: s.sync_sent.iter().map(|a| permute_sid(perm, *a)).collect(),
+        newleader_acks: s
+            .newleader_acks
+            .iter()
+            .map(|a| permute_sid(perm, *a))
+            .collect(),
+        established: s.established,
+        pending_acks: s
+            .pending_acks
+            .iter()
+            .map(|(z, acks)| (*z, acks.iter().map(|a| permute_sid(perm, *a)).collect()))
+            .collect(),
+        connected: s.connected,
+        packets_not_committed: s.packets_not_committed.clone(),
+        packets_committed: s.packets_committed.clone(),
+        queued_requests: s.queued_requests.clone(),
+        pending_commits: s.pending_commits.clone(),
+        serving: s.serving,
+    }
+}
+
+fn permute_ghost(perm: &Perm, g: &GhostState) -> GhostState {
+    GhostState {
+        established_leaders: g
+            .established_leaders
+            .iter()
+            .map(|(e, l)| (*e, permute_sid(perm, *l)))
+            .collect(),
+        duplicate_establishment: g.duplicate_establishment,
+        initial_history: g.initial_history.clone(),
+        broadcast: g.broadcast.clone(),
+    }
+}
+
+impl Canonicalize for ZabState {
+    fn canonicalize(&self) -> (Self, Perm) {
+        let n = self.servers.len();
+        if n <= 1 {
+            return (self.clone(), Perm::identity(n));
+        }
+        // 1. Key-sort the server indices (stable, so equal keys keep their relative
+        //    order and the fallback candidate is deterministic).
+        let keys: Vec<ServerKey> = (0..n).map(|i| server_key(self, i)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|a, b| keys[*a].cmp(&keys[*b]));
+
+        // 2. Group ties and enumerate the orderings within each group.
+        let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len) into `order`
+        let mut start = 0;
+        for i in 1..=n {
+            if i == n || keys[order[i]] != keys[order[start]] {
+                groups.push((start, i - start));
+                start = i;
+            }
+        }
+        let candidates: usize = groups
+            .iter()
+            .map(|(_, len)| (1..=*len).product::<usize>())
+            .product();
+
+        let perm_of = |order: &[usize]| {
+            // order[new_pos] = old index  ⇒  π(old) = new_pos.
+            let mut image = vec![0u32; n];
+            for (new_pos, old) in order.iter().enumerate() {
+                image[*old] = new_pos as u32;
+            }
+            Perm::from_image(image)
+        };
+
+        if candidates == 1 || candidates > MAX_TIE_CANDIDATES {
+            // Distinct keys pin the permutation (or the safety valve tripped and the
+            // first key-sorted ordering is used as an approximation).
+            let perm = perm_of(&order);
+            return (self.permute(&perm), perm);
+        }
+
+        // 3. Minimize over the tie-break candidates: every ordering that differs from
+        //    `order` only by rearranging servers within a tie group.
+        let mut best: Option<(ZabState, Perm)> = None;
+        let mut scratch = order.clone();
+        permute_groups(&mut scratch, &groups, 0, &mut |candidate| {
+            let perm = perm_of(candidate);
+            let rewritten = self.permute(&perm);
+            if best.as_ref().is_none_or(|(b, _)| rewritten < *b) {
+                best = Some((rewritten, perm));
+            }
+        });
+        best.expect("at least one candidate ordering exists")
+    }
+
+    fn permute(&self, perm: &Perm) -> Self {
+        let n = self.servers.len();
+        debug_assert_eq!(perm.len(), n, "permutation domain must match the ensemble");
+        // Place each rewritten server directly at its destination slot (cloning the
+        // whole array first would throw those clones away immediately).
+        let inv = perm.inverse();
+        let servers: Vec<ServerData> = (0..n)
+            .map(|new_pos| permute_server(perm, &self.servers[inv.apply(new_pos)]))
+            .collect();
+        let mut msgs = vec![vec![Vec::new(); n]; n];
+        for (i, row) in self.msgs.iter().enumerate() {
+            for (j, queue) in row.iter().enumerate() {
+                msgs[permute_sid(perm, i)][permute_sid(perm, j)] =
+                    queue.iter().map(|m| permute_message(perm, m)).collect();
+            }
+        }
+        ZabState {
+            servers,
+            msgs,
+            partitioned: self
+                .partitioned
+                .iter()
+                .map(|(a, b)| {
+                    let (pa, pb) = (permute_sid(perm, *a), permute_sid(perm, *b));
+                    (pa.min(pb), pa.max(pb))
+                })
+                .collect(),
+            crashes_remaining: self.crashes_remaining,
+            partitions_remaining: self.partitions_remaining,
+            txns_created: self.txns_created,
+            ghost: permute_ghost(perm, &self.ghost),
+            violation: self
+                .violation
+                .as_ref()
+                .map(|v| crate::types::CodeViolation {
+                    server: permute_sid(perm, v.server),
+                    ..v.clone()
+                }),
+        }
+    }
+}
+
+/// Calls `f` with every ordering obtained by permuting `order` within each tie group
+/// (the cartesian product of per-group permutations), via recursive Heap-style swaps.
+fn permute_groups(
+    order: &mut Vec<usize>,
+    groups: &[(usize, usize)],
+    group: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    let Some(&(start, len)) = groups.get(group) else {
+        f(order);
+        return;
+    };
+    fn inner(
+        order: &mut Vec<usize>,
+        groups: &[(usize, usize)],
+        group: usize,
+        start: usize,
+        k: usize,
+        len: usize,
+        f: &mut impl FnMut(&[usize]),
+    ) {
+        if k == len {
+            permute_groups(order, groups, group + 1, f);
+            return;
+        }
+        for i in k..len {
+            order.swap(start + k, start + i);
+            inner(order, groups, group, start, k + 1, len, f);
+            order.swap(start + k, start + i);
+        }
+    }
+    inner(order, groups, group, start, 0, len, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::types::{ServerState, Txn};
+    use crate::versions::CodeVersion;
+
+    fn state() -> ZabState {
+        ZabState::initial(&ClusterConfig::small(CodeVersion::V391))
+    }
+
+    #[test]
+    fn initial_state_is_its_own_canonical_form() {
+        // All servers of the initial state are related by renaming, so the state is
+        // fully symmetric: its orbit is a singleton and canonicalization fixes it.
+        let s = state();
+        let (c, _) = s.canonicalize();
+        assert_eq!(c, s);
+    }
+
+    #[test]
+    fn consistency_law_holds() {
+        let mut s = state();
+        s.servers[2].current_epoch = 3;
+        s.servers[2].history.push(Txn::new(3, 1, 9));
+        s.send(2, 0, Message::LeaderInfo { epoch: 3 });
+        let (c, p) = s.canonicalize();
+        assert_eq!(s.permute(&p), c, "canon == permute(self, π)");
+    }
+
+    #[test]
+    fn renamed_states_share_one_canonical_form() {
+        let mut s = state();
+        s.servers[0].state = ServerState::Down;
+        s.servers[1].current_epoch = 2;
+        s.servers[1].leader = Some(1);
+        s.servers[1].learners.insert(2);
+        s.servers[2].leader = Some(1);
+        s.send(1, 2, Message::UpToDate { zxid: Zxid::ZERO });
+        let rot = Perm::from_image(vec![1, 2, 0]);
+        let renamed = s.permute(&rot);
+        assert_ne!(s, renamed, "the rotation moves visible structure");
+        assert_eq!(s.canonicalize().0, renamed.canonicalize().0);
+    }
+
+    #[test]
+    fn permute_rewrites_every_sid_bearing_field() {
+        let mut s = state();
+        s.servers[0].leader = Some(2);
+        s.servers[0].recv_votes.insert(
+            2,
+            Vote {
+                epoch: 1,
+                zxid: Zxid::ZERO,
+                leader: 2,
+            },
+        );
+        s.servers[2].learner_last_zxid.insert(0, Zxid::new(1, 1));
+        s.servers[2]
+            .pending_acks
+            .entry(Zxid::new(1, 1))
+            .or_default()
+            .insert(0);
+        s.partitioned.insert((0, 2));
+        s.ghost.established_leaders.insert(1, 2);
+        s.violation = Some(crate::types::CodeViolation {
+            kind: crate::types::ViolationKind::BadAck,
+            instance: 1,
+            server: 2,
+            issue: "TEST",
+        });
+        let swap02 = Perm::from_image(vec![2, 1, 0]);
+        let t = s.permute(&swap02);
+        assert_eq!(t.servers[2].leader, Some(0));
+        assert_eq!(t.servers[2].recv_votes[&0].leader, 0);
+        assert_eq!(t.servers[0].learner_last_zxid[&2], Zxid::new(1, 1));
+        assert!(t.servers[0].pending_acks[&Zxid::new(1, 1)].contains(&2));
+        assert!(t.partitioned.contains(&(0, 2)), "pair stays normalized");
+        assert_eq!(t.ghost.established_leaders[&1], 0);
+        assert_eq!(t.violation.as_ref().unwrap().server, 0);
+        // Round-trip through the inverse restores the original.
+        assert_eq!(t.permute(&swap02.inverse()), s);
+    }
+}

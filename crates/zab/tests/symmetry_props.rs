@@ -1,0 +1,110 @@
+//! Property tests of `ZabState` canonicalization, via the vendored `proptest`
+//! stand-in.
+//!
+//! Symmetry reduction is only sound if the canonicalization function really is a
+//! canonical form for the orbit: applying it twice must be a fixed point, every
+//! id-renamed sibling must map to the *same* representative, and the invariants of
+//! Table 2 must not distinguish a state from its representative (otherwise keying
+//! invariant checking on canonical forms would flip verdicts).  States are generated
+//! the same way `projection_props.rs` generates its inputs — random walks through the
+//! real composed specifications, so every tested state is reachable — across both a
+//! correct and a buggy code version (the buggy walks reach violation-flagged states,
+//! exercising the `CodeViolation::server` rewriting too).
+
+use proptest::prelude::*;
+use remix_checker::{simulate_one, CheckerRng};
+use remix_spec::{Canonicalize, Perm};
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset, ZabState};
+
+fn config(version: CodeVersion) -> ClusterConfig {
+    ClusterConfig {
+        max_transactions: 1,
+        max_crashes: 1,
+        ..ClusterConfig::small(version)
+    }
+}
+
+/// A reachable state: the `depth`-th state of a seeded random walk.
+fn walk_state(version: CodeVersion, seed: u64, depth: u32) -> ZabState {
+    let spec = SpecPreset::MSpec3.build(&config(version));
+    let mut rng = CheckerRng::seed_from_u64(seed);
+    let trace = simulate_one(&spec, depth, &mut rng);
+    trace.last_state().expect("walks start somewhere").clone()
+}
+
+/// All six permutations of a three-server ensemble.
+fn perms3() -> Vec<Perm> {
+    [
+        [0u32, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ]
+    .into_iter()
+    .map(|image| Perm::from_image(image.to_vec()))
+    .collect()
+}
+
+proptest! {
+    /// Consistency: the returned permutation really maps the state onto its
+    /// representative, and canonicalization is idempotent (`canon(canon(s)) ==
+    /// canon(s)`).
+    #[test]
+    fn canonicalization_is_consistent_and_idempotent(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let s = walk_state(version, seed, depth);
+        let (canon, perm) = s.canonicalize();
+        prop_assert_eq!(&s.permute(&perm), &canon, "canon == permute(self, π)");
+        let (canon2, _) = canon.canonicalize();
+        prop_assert_eq!(&canon2, &canon, "canonical forms are fixed points");
+    }
+
+    /// Orbit invariance: every id-renamed sibling maps to the same representative —
+    /// the property that makes keying dedup maps and fingerprints on canonical forms
+    /// collapse whole orbits.
+    #[test]
+    fn canonicalization_is_permutation_invariant(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let s = walk_state(version, seed, depth);
+        let (canon, _) = s.canonicalize();
+        for perm in perms3() {
+            let renamed = s.permute(&perm);
+            let (canon_renamed, _) = renamed.canonicalize();
+            prop_assert_eq!(&canon_renamed, &canon, "π = {}", perm);
+        }
+    }
+
+    /// Invariant preservation: the Table 2 invariants cannot tell a state from its
+    /// canonical representative (they are all formulated over renaming-invariant
+    /// structure — histories, epochs, quorum cardinalities, ghost duplicates), so the
+    /// checker may evaluate them on representatives without changing any verdict.
+    #[test]
+    fn invariants_cannot_distinguish_a_state_from_its_representative(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let spec = SpecPreset::MSpec3.build(&config(version));
+        let mut rng = CheckerRng::seed_from_u64(seed);
+        let trace = simulate_one(&spec, depth, &mut rng);
+        for step in &trace.steps {
+            let (canon, _) = step.state.canonicalize();
+            let violated_s: Vec<&str> =
+                spec.violated_invariants(&step.state).iter().map(|i| i.id).collect();
+            let violated_c: Vec<&str> =
+                spec.violated_invariants(&canon).iter().map(|i| i.id).collect();
+            prop_assert_eq!(violated_s, violated_c);
+        }
+    }
+}
