@@ -2,12 +2,17 @@
 //! compositions simulate the finer ones, plus the committed matrix artefact.
 //!
 //! `bench_refine_artifact` runs `remix_bench::refine_matrix` — {Coarse ⊑ Baseline
-//! (mSpec-1 over SysSpec), Baseline ⊑ FineAtomic (SysSpec over fSpec-atom)} × {3, 5}
-//! servers — and writes the rows to `BENCH_refine.json` (path overridable via
-//! `REFINE_JSON`).  Each row records the verdict, whether it is conclusive, per-side
-//! state and projection counts, and the wall time of the dual exploration; the
-//! three-server rows must refine conclusively, which is the machine-checked form of
-//! the paper's interaction-preservation claim (§3.2, Figure 5b).
+//! (mSpec-1 over SysSpec), Baseline ⊑ FineAtomic (SysSpec over fSpec-atom), Coarse ⊑
+//! Coarse+FineAtomic (mSpec-1 over mSpec-2)} × {3, 5} servers — and writes the rows
+//! to `BENCH_refine.json` (path overridable via `REFINE_JSON`).  Each row records the
+//! three-valued verdict (`refines` / `diverges` / `inconclusive`), whether it is
+//! conclusive, per-side state, projection and spill counts, and the wall time of the
+//! dual exploration.  The three-server rows and the mSpec-2 ⊑ mSpec-1 rows must
+//! refine conclusively — including at five servers, which is the machine-checked form
+//! of the paper's interaction-preservation claim (§3.2, Figure 5b) at the scale the
+//! paper reports.  The capped five-server rows run under a 1 MiB fingerprint memory
+//! budget, so their discovered-state sets spill sorted runs to disk: the committed
+//! artefact documents one out-of-core run via the `*_bytes_spilled` columns.
 
 use std::time::Duration;
 
@@ -32,7 +37,7 @@ fn refinement_run() -> usize {
         &projection,
         &RefineOptions::default().with_time_budget(Duration::from_secs(60)),
     );
-    assert!(outcome.refines(), "{outcome}");
+    assert_eq!(outcome.refines(), Some(true), "{outcome}");
     outcome.stats.fine_states
 }
 
@@ -46,17 +51,18 @@ fn bench_refinement(c: &mut Criterion) {
 }
 
 fn bench_refine_artifact(_c: &mut Criterion) {
-    let rows = refine_matrix(Duration::from_secs(120), 1, 150_000);
+    let rows = refine_matrix(Duration::from_secs(120), 1, 150_000, Some(1 << 20));
     for row in &rows {
         println!(
-            "refine {}⊑{} servers={}: refines={} conclusive={} fine_states={} coarse_states={} time={:?}",
+            "refine {}⊑{} servers={}: verdict={} conclusive={} fine_states={} coarse_states={} spilled={}B time={:?}",
             row.fine,
             row.coarse,
             row.servers,
-            row.refines,
+            row.verdict,
             row.conclusive,
             row.fine_states,
             row.coarse_states,
+            row.fine_bytes_spilled + row.coarse_bytes_spilled,
             row.time,
         );
     }
@@ -65,7 +71,7 @@ fn bench_refine_artifact(_c: &mut Criterion) {
     let path = std::env::var("REFINE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_refine.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
-        "{{\n  \"bench\": \"refine_matrix\",\n  \"workload\": \"{{Coarse vs Baseline, Baseline vs FineAtomic}} x {{3, 5}} servers, 1 txn, 0 crashes\",\n  \"note\": \"three-server rows are explored to exhaustion (conclusive); five-server rows are state-capped throughput probes; durations in milliseconds\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"refine_matrix\",\n  \"workload\": \"{{Coarse vs Baseline, Baseline vs FineAtomic, Coarse vs Coarse+FineAtomic}} x {{3, 5}} servers, 1 txn, 0 crashes\",\n  \"note\": \"verdict is refines/diverges/inconclusive and is definite only when conclusive; three-server rows and the mSpec-2-vs-mSpec-1 rows (both sizes) are explored to exhaustion; the capped five-server rows run under a 1 MiB fingerprint budget and spill runs to disk (*_bytes_spilled); durations in milliseconds\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
         rows.iter()
             .map(|r| r.to_json())
             .collect::<Vec<_>>()

@@ -155,7 +155,7 @@ fn bench_workers_scaling(c: &mut Criterion) {
                     outcome.stats.peak_entry_bytes,
                 );
                 rows.push(format!(
-                    "    {{\"store_mode\": \"{mode}\", \"symmetry\": \"{symmetry}\", \"workers\": {workers}, \"distinct_states\": {}, \"stop_reason\": \"{}\", \"elapsed_ms\": {}, \"states_per_sec\": {:.1}, \"speedup_vs_1_worker\": {speedup:.3}, \"peak_entry_bytes\": {}, \"entry_bytes_per_state\": {}, \"per_worker_transitions\": [{}], \"shard_contention_total\": {}}}",
+                    "    {{\"store_mode\": \"{mode}\", \"symmetry\": \"{symmetry}\", \"workers\": {workers}, \"distinct_states\": {}, \"stop_reason\": \"{}\", \"elapsed_ms\": {}, \"states_per_sec\": {:.1}, \"speedup_vs_1_worker\": {speedup:.3}, \"peak_entry_bytes\": {}, \"entry_bytes_per_state\": {}, \"per_worker_transitions\": [{}], \"shard_contention_total\": {}, \"mem_budget\": {}, \"bytes_spilled\": {}}}",
                     outcome.stats.distinct_states,
                     outcome.stop_reason,
                     outcome.stats.elapsed.as_millis(),
@@ -170,6 +170,8 @@ fn bench_workers_scaling(c: &mut Criterion) {
                         .collect::<Vec<_>>()
                         .join(", "),
                     outcome.stats.total_contention(),
+                    outcome.stats.spill.budget_bytes,
+                    outcome.stats.spill.bytes_spilled,
                 ));
             }
         }
@@ -188,7 +190,7 @@ fn bench_workers_scaling(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"table5_workers_scaling\",\n  \"workload\": \"mSpec-3 on FinalFix, small config with 1 transaction, run to exhaustion ({} concrete states; {} canonical representatives under symmetry reduction), one row per (store mode, symmetry mode, worker count)\",\n  \"host_cores\": {cores},\n  \"note\": \"speedup is bounded by host_cores; a single-core host cannot show parallel speedup. peak_entry_bytes counts per-entry store payload (metadata + dedup entry + inline state for the full mode); the fingerprint-only backend must be strictly lower. symmetry=canonicalize dedups whole server-id-permutation orbits (REMIX_SYMMETRY hook), so its distinct_states must be strictly lower than the off rows'.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"table5_workers_scaling\",\n  \"workload\": \"mSpec-3 on FinalFix, small config with 1 transaction, run to exhaustion ({} concrete states; {} canonical representatives under symmetry reduction), one row per (store mode, symmetry mode, worker count)\",\n  \"host_cores\": {cores},\n  \"note\": \"speedup is bounded by host_cores; a single-core host cannot show parallel speedup. peak_entry_bytes counts per-entry store payload (metadata + dedup entry + inline state for the full mode); the fingerprint-only backend must be strictly lower. symmetry=canonicalize dedups whole server-id-permutation orbits (REMIX_SYMMETRY hook), so its distinct_states must be strictly lower than the off rows'. mem_budget/bytes_spilled record out-of-core fingerprint-set activity (0 when the run ran fully in RAM; REMIX_MEM_BUDGET hook).\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         concrete_states.unwrap_or(0),
         canonical_states.unwrap_or(0),
         rows.join(",\n")

@@ -48,6 +48,7 @@
 //! the same state space and report the same minimal violation depth (all states of a
 //! level share one depth); see the `parallel_matches_sequential_*` regression tests.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
@@ -57,7 +58,8 @@ use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace};
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
-use crate::store::{Insert, StateIndex, StateStore};
+use crate::spill::IndexQueue;
+use crate::store::{Insert, StateIndex, StateStore, StoreMode};
 
 /// Accumulated stop requests, resolved under a fixed precedence at level boundaries.
 struct StopCell {
@@ -222,6 +224,20 @@ struct Gate {
     shutdown: bool,
 }
 
+/// What the pool workers do in the next gate cycle: expand the published frontier, or
+/// (under owner routing) drain the shard mailboxes they own.
+const PHASE_EXPAND: u8 = 0;
+const PHASE_DRAIN: u8 = 1;
+
+/// One producer's batch of successors routed to the shard that owns their fingerprint
+/// range.  `(producer, seq)` gives drain a scheduling-independent replay order, so the
+/// owner-routed engine assigns slots deterministically for any worker interleaving.
+struct RoutedBatch<S> {
+    producer: u32,
+    seq: u32,
+    items: Vec<BufferedSuccessor<S>>,
+}
+
 /// Everything shared between the coordinator and the pool workers for a whole run.
 ///
 /// Run-constant fields are plain references; per-level fields (`frontier`, `ranges`,
@@ -246,6 +262,18 @@ struct RunShared<'a, S> {
     frontier: RwLock<Vec<(StateIndex, S)>>,
     ranges: Vec<StealRange>,
     child_depth: AtomicU32,
+    /// Owner-routed sharding (see [`CheckOptions::route_by_owner`]): when set, workers
+    /// deposit successor batches into the owning shard's mailbox during the expand
+    /// phase instead of locking the stripe, and a second drain phase lets each shard's
+    /// owner merge them single-threadedly.
+    route_by_owner: bool,
+    /// The phase the pool runs in the next gate cycle ([`PHASE_EXPAND`] or
+    /// [`PHASE_DRAIN`]); only the coordinator writes it, between cycles.
+    phase: AtomicU8,
+    /// Number of pool workers (drain ownership is `shard % pool_workers == worker`).
+    pool_workers: usize,
+    /// One mailbox per store shard for owner-routed batches.
+    mailboxes: Vec<Mutex<Vec<RoutedBatch<S>>>>,
     results: Vec<Mutex<Option<WorkerLevelResult<S>>>>,
     /// The first panic payload caught on a pool worker, re-raised by the coordinator
     /// after the level completes (a dead worker must still decrement `gate.remaining`,
@@ -261,7 +289,8 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     let start = Instant::now();
     let workers = options.workers.max(1);
     let labels = LabelTable::new();
-    let store: StateStore<S> = StateStore::new(options.store_mode, options.shards);
+    let store: StateStore<S> =
+        StateStore::with_spill(options.store_mode, options.shards, &options.spill);
     let stop = StopCell::new();
     let violation_count = AtomicUsize::new(0);
     let mut violations: Vec<Violation<S>> = Vec::new();
@@ -339,6 +368,12 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         frontier: RwLock::new(Vec::new()),
         ranges: (0..workers).map(|_| StealRange::new(0, 0)).collect(),
         child_depth: AtomicU32::new(1),
+        route_by_owner: options.route_by_owner,
+        phase: AtomicU8::new(PHASE_EXPAND),
+        pool_workers: workers,
+        mailboxes: (0..store.shard_count())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
         results: (0..workers).map(|_| Mutex::new(None)).collect(),
         worker_panic: Mutex::new(None),
         gate: Mutex::new(Gate {
@@ -405,21 +440,130 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     }
 }
 
+/// Frontier levels smaller than this are never spilled, whatever the memory budget:
+/// below it the queue's syscall overhead dwarfs the memory saved.
+const MIN_FRONTIER_CHUNK: usize = 256;
+
+/// One BFS level, either resident or round-tripping through an on-disk index queue.
+///
+/// Spilled levels store only the `u32` state indices; the states themselves are reloaded
+/// from the full-state arena chunk by chunk, which is why frontier spilling requires
+/// [`StoreMode::Full`] — in fingerprint-only mode the frontier is the *sole* holder of
+/// the live states and dropping them would lose the level.
+enum LevelFrontier<S> {
+    Ram(Vec<(StateIndex, S)>),
+    Disk(IndexQueue),
+}
+
+impl<S> LevelFrontier<S> {
+    fn len(&self) -> usize {
+        match self {
+            LevelFrontier::Ram(v) => v.len(),
+            LevelFrontier::Disk(q) => q.remaining(),
+        }
+    }
+}
+
+/// Accumulates the next BFS level across the chunks of the current one, spilling index
+/// runs to disk whenever the resident tail outgrows the memory budget.
+struct NextFrontier<'a, S> {
+    ram: Vec<(StateIndex, S)>,
+    disk: Option<IndexQueue>,
+    /// `(chunk_size, spill_dir)`; `None` disables frontier spilling entirely.
+    spill: Option<(usize, &'a Path)>,
+    child_depth: u32,
+    store: &'a StateStore<S>,
+}
+
+impl<'a, S: SpecState> NextFrontier<'a, S> {
+    fn new(spill: Option<(usize, &'a Path)>, child_depth: u32, store: &'a StateStore<S>) -> Self {
+        NextFrontier {
+            ram: Vec::new(),
+            disk: None,
+            spill,
+            child_depth,
+            store,
+        }
+    }
+
+    fn extend(&mut self, items: Vec<(StateIndex, S)>) {
+        self.ram.extend(items);
+        if let Some((threshold, dir)) = self.spill {
+            if self.ram.len() > threshold {
+                self.flush(dir);
+            }
+        }
+    }
+
+    /// Moves the resident entries onto the level's index queue, dropping the states
+    /// (they stay reloadable from the full-state arena).
+    fn flush(&mut self, dir: &Path) {
+        let queue = match &mut self.disk {
+            Some(queue) => queue,
+            None => {
+                let path = dir.join(format!("frontier-{:06}.idx", self.child_depth));
+                self.disk
+                    .insert(IndexQueue::create(&path).expect("creating a frontier spill queue"))
+            }
+        };
+        let indices: Vec<u32> = self.ram.drain(..).map(|(index, _)| index.0).collect();
+        queue
+            .push(&indices)
+            .expect("appending to a frontier spill queue");
+        self.store.note_frontier_spilled(indices.len() as u64);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ram.is_empty() && self.disk.as_ref().is_none_or(|q| q.remaining() == 0)
+    }
+
+    /// Finalizes the level: fully resident, or fully on disk once any part spilled (a
+    /// mixed level would expand its two halves in a scheduling-dependent order).
+    fn into_frontier(mut self) -> LevelFrontier<S> {
+        match self.disk.take() {
+            Some(queue) => {
+                self.disk = Some(queue);
+                if !self.ram.is_empty() {
+                    let (_, dir) = self.spill.expect("a spilled frontier has a spill dir");
+                    self.flush(dir);
+                }
+                LevelFrontier::Disk(self.disk.take().expect("queue restored above"))
+            }
+            None => LevelFrontier::Ram(self.ram),
+        }
+    }
+}
+
 /// The level-synchronous main loop, shared by the inline (1-worker) and pooled paths.
 #[allow(clippy::too_many_arguments)]
 fn level_loop<S: SpecState>(
     shared: &RunShared<'_, S>,
     options: &CheckOptions,
     start: Instant,
-    mut frontier: Vec<(StateIndex, S)>,
+    frontier: Vec<(StateIndex, S)>,
     pool: bool,
     per_worker_transitions: &mut [u64],
     max_depth_reached: &mut u32,
     violations: &mut Vec<Violation<S>>,
 ) -> StopReason {
-    let workers = per_worker_transitions.len();
+    // Frontier spilling is active only with a memory budget AND the full-state store
+    // (see `LevelFrontier`).  The chunk size is how many frontier entries the budget
+    // buys; states round-trip through disk only when a level outgrows it.
+    let frontier_spill: Option<(usize, &Path)> = match (
+        shared.store.spill_dir(),
+        options.spill.budget_bytes,
+        shared.store.mode(),
+    ) {
+        (Some(dir), Some(budget), StoreMode::Full) => {
+            let entry = std::mem::size_of::<(StateIndex, S)>().max(1);
+            Some(((budget as usize / entry).max(MIN_FRONTIER_CHUNK), dir))
+        }
+        _ => None,
+    };
+
+    let mut frontier = LevelFrontier::Ram(frontier);
     let mut level_depth: u32 = 0;
-    while !frontier.is_empty() {
+    while frontier.len() > 0 {
         // Check resource budgets between levels (workers also check them within a level).
         if let Some(budget) = options.time_budget {
             if start.elapsed() >= budget {
@@ -433,86 +577,182 @@ fn level_loop<S: SpecState>(
         }
 
         shared.child_depth.store(level_depth + 1, Ordering::Release);
-        // Small frontiers are not worth waking the pool for; expand them inline.
-        let use_pool = pool && frontier.len() >= 64;
-        let mut results: Vec<WorkerLevelResult<S>> = Vec::with_capacity(workers);
-        if use_pool {
-            {
-                let mut shared_frontier = shared
-                    .frontier
-                    .write()
-                    .unwrap_or_else(PoisonError::into_inner);
-                *shared_frontier = std::mem::take(&mut frontier);
-                let len = shared_frontier.len();
-                let chunk = len.div_ceil(workers);
-                for (w, range) in shared.ranges.iter().enumerate() {
-                    range.reset((w * chunk).min(len), ((w + 1) * chunk).min(len));
+        let mut next = NextFrontier::new(frontier_spill, level_depth + 1, shared.store);
+        let mut pending: Vec<PendingViolation> = Vec::new();
+
+        // A resident level is one chunk; a spilled level streams back in budget-sized
+        // chunks, each expanded exactly like a whole level used to be.
+        loop {
+            let chunk: Vec<(StateIndex, S)> = match &mut frontier {
+                LevelFrontier::Ram(v) => std::mem::take(v),
+                LevelFrontier::Disk(queue) => {
+                    let max = frontier_spill
+                        .map(|(chunk_size, _)| chunk_size)
+                        .unwrap_or(usize::MAX);
+                    queue
+                        .next_chunk(max)
+                        .expect("reading back a spilled frontier queue")
+                        .into_iter()
+                        .map(|raw| {
+                            let index = StateIndex(raw);
+                            let state = shared
+                                .store
+                                .with_state(index, S::clone)
+                                .expect("spilled frontiers require the full-state store");
+                            (index, state)
+                        })
+                        .collect()
                 }
+            };
+            if chunk.is_empty() {
+                break;
             }
-            // Wake the pool and wait for every worker to finish the level.
-            {
-                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
-                gate.generation += 1;
-                gate.remaining = workers;
-                drop(gate);
-                shared.work_ready.notify_all();
-                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
-                while gate.remaining > 0 {
-                    gate = shared
-                        .work_done
-                        .wait(gate)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
+            expand_level_chunk(
+                shared,
+                chunk,
+                pool,
+                per_worker_transitions,
+                &mut next,
+                &mut pending,
+            );
+            // Mid-level stops abort the remaining chunks, exactly as expansion of a
+            // resident level aborts its remaining claims.
+            if shared.stop.requested() || matches!(frontier, LevelFrontier::Ram(_)) {
+                break;
             }
-            if let Some(payload) = shared
-                .worker_panic
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take()
-            {
-                // Wake the parked workers so `thread::scope` can join, then re-raise
-                // the worker's panic from the coordinator.
-                let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
-                gate.shutdown = true;
-                drop(gate);
-                shared.work_ready.notify_all();
-                std::panic::resume_unwind(payload);
-            }
-            for slot in &shared.results {
-                let result = slot
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .take()
-                    .expect("every pool worker publishes a level result");
-                results.push(result);
-            }
-        } else {
-            shared.ranges[0].reset(0, frontier.len());
-            for range in &shared.ranges[1..] {
-                range.reset(0, 0);
-            }
-            results.push(expand_range(shared, &frontier, 0));
         }
 
-        // Batch-merge the per-worker results at the level boundary.
-        let mut next_frontier: Vec<(StateIndex, S)> = Vec::new();
-        let mut pending: Vec<PendingViolation> = Vec::new();
-        for (w, result) in results.into_iter().enumerate() {
-            per_worker_transitions[w] += result.transitions;
-            next_frontier.extend(result.next_frontier);
-            pending.extend(result.violations);
-        }
         resolve_violations(shared, options, pending, violations);
-        if !next_frontier.is_empty() {
+        if !next.is_empty() {
             *max_depth_reached = (*max_depth_reached).max(level_depth + 1);
         }
         if let Some(reason) = shared.stop.stop_reason() {
             return reason;
         }
-        frontier = next_frontier;
+        frontier = next.into_frontier();
         level_depth += 1;
     }
     StopReason::Exhausted
+}
+
+/// Expands one chunk of the current level (inline or on the pool), merging the per-worker
+/// results into the accumulators.  Under owner routing each chunk runs as two phases:
+/// expand (deposit successors into shard mailboxes) then drain (each shard's owner
+/// merges its mailbox).
+fn expand_level_chunk<S: SpecState>(
+    shared: &RunShared<'_, S>,
+    chunk: Vec<(StateIndex, S)>,
+    pool: bool,
+    per_worker_transitions: &mut [u64],
+    next: &mut NextFrontier<'_, S>,
+    pending: &mut Vec<PendingViolation>,
+) {
+    let workers = per_worker_transitions.len();
+    let mut merge = |results: Vec<WorkerLevelResult<S>>| {
+        for (w, result) in results.into_iter().enumerate() {
+            per_worker_transitions[w] += result.transitions;
+            next.extend(result.next_frontier);
+            pending.extend(result.violations);
+        }
+    };
+
+    // Small frontiers are not worth waking the pool for; expand them inline.
+    let use_pool = pool && chunk.len() >= 64;
+    if use_pool {
+        {
+            let mut shared_frontier = shared
+                .frontier
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *shared_frontier = chunk;
+            let len = shared_frontier.len();
+            let per_worker = len.div_ceil(workers);
+            for (w, range) in shared.ranges.iter().enumerate() {
+                range.reset((w * per_worker).min(len), ((w + 1) * per_worker).min(len));
+            }
+        }
+        shared.phase.store(PHASE_EXPAND, Ordering::Release);
+        merge(run_pool_cycle(shared, workers));
+        if shared.route_by_owner {
+            if shared.stop.requested() {
+                // The level is being aborted: deposited batches are discarded just as
+                // the unrouted engine drops unflushed worker buffers on a stop.
+                clear_mailboxes(shared);
+            } else {
+                shared.phase.store(PHASE_DRAIN, Ordering::Release);
+                merge(run_pool_cycle(shared, workers));
+            }
+        }
+    } else {
+        shared.ranges[0].reset(0, chunk.len());
+        for range in &shared.ranges[1..] {
+            range.reset(0, 0);
+        }
+        merge(vec![expand_range(shared, &chunk, 0)]);
+        if shared.route_by_owner {
+            if shared.stop.requested() {
+                clear_mailboxes(shared);
+            } else {
+                merge(vec![drain_mailboxes(shared, 0, 1)]);
+            }
+        }
+    }
+}
+
+/// Runs one gate cycle of the persistent pool (all workers execute the current phase)
+/// and collects the published per-worker results.
+fn run_pool_cycle<S: SpecState>(
+    shared: &RunShared<'_, S>,
+    workers: usize,
+) -> Vec<WorkerLevelResult<S>> {
+    // Wake the pool and wait for every worker to finish the cycle.
+    {
+        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        gate.generation += 1;
+        gate.remaining = workers;
+        drop(gate);
+        shared.work_ready.notify_all();
+        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        while gate.remaining > 0 {
+            gate = shared
+                .work_done
+                .wait(gate)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    if let Some(payload) = shared
+        .worker_panic
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        // Wake the parked workers so `thread::scope` can join, then re-raise
+        // the worker's panic from the coordinator.
+        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        gate.shutdown = true;
+        drop(gate);
+        shared.work_ready.notify_all();
+        std::panic::resume_unwind(payload);
+    }
+    let mut results = Vec::with_capacity(workers);
+    for slot in &shared.results {
+        let result = slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("every pool worker publishes a cycle result");
+        results.push(result);
+    }
+    results
+}
+
+fn clear_mailboxes<S>(shared: &RunShared<'_, S>) {
+    for mailbox in &shared.mailboxes {
+        mailbox
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
 }
 
 /// The body of one pool worker: park until the coordinator publishes a level (or shuts
@@ -540,11 +780,15 @@ fn pool_worker<S: SpecState>(shared: &RunShared<'_, S>, worker: usize) {
         // per-level-spawn engine propagated worker panics through `join()`; this keeps
         // that contract under the persistent pool.)
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let frontier = shared
-                .frontier
-                .read()
-                .unwrap_or_else(PoisonError::into_inner);
-            expand_range(shared, &frontier, worker)
+            if shared.phase.load(Ordering::Acquire) == PHASE_DRAIN {
+                drain_mailboxes(shared, worker, shared.pool_workers)
+            } else {
+                let frontier = shared
+                    .frontier
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                expand_range(shared, &frontier, worker)
+            }
         }))
         .unwrap_or_else(|payload| {
             shared
@@ -587,6 +831,14 @@ fn expand_range<S: SpecState>(
     let shard_count = shared.store.shard_count();
     let mut buffers: Vec<Vec<BufferedSuccessor<S>>> =
         (0..shard_count).map(|_| Vec::new()).collect();
+    let mut seqs: Vec<u32> = vec![
+        0;
+        if shared.route_by_owner {
+            shard_count
+        } else {
+            0
+        }
+    ];
     let mut stolen: Option<StealRange> = None;
     let mut processed: u64 = 0;
     let child_depth = shared.child_depth.load(Ordering::Acquire);
@@ -653,7 +905,11 @@ fn expand_range<S: SpecState>(
                     perm,
                 });
                 if buffers[shard].len() >= shared.batch_size {
-                    flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
+                    if shared.route_by_owner {
+                        deposit(shared, shard, worker, &mut seqs[shard], &mut buffers[shard]);
+                    } else {
+                        flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
+                    }
                 }
             });
 
@@ -674,9 +930,65 @@ fn expand_range<S: SpecState>(
     if !shared.stop.requested() {
         for (shard, buffer) in buffers.iter_mut().enumerate() {
             if !buffer.is_empty() {
-                flush_shard(shared, shard, buffer, child_depth, &mut result);
+                if shared.route_by_owner {
+                    deposit(shared, shard, worker, &mut seqs[shard], buffer);
+                } else {
+                    flush_shard(shared, shard, buffer, child_depth, &mut result);
+                }
             }
         }
+    }
+    result
+}
+
+/// Routes one successor batch to its owning shard's mailbox (owner-routed mode), tagging
+/// it with `(producer, seq)` so the drain phase can replay batches deterministically.
+fn deposit<S>(
+    shared: &RunShared<'_, S>,
+    shard: usize,
+    worker: usize,
+    seq: &mut u32,
+    buffer: &mut Vec<BufferedSuccessor<S>>,
+) {
+    let items = std::mem::take(buffer);
+    shared.mailboxes[shard]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(RoutedBatch {
+            producer: worker as u32,
+            seq: *seq,
+            items,
+        });
+    *seq += 1;
+}
+
+/// The drain phase of an owner-routed chunk: each of the `drainers` workers merges the
+/// mailboxes of the shards it owns (`shard % drainers == worker`), replaying batches in
+/// `(producer, seq)` order.  Every shard has exactly one drainer, so inserts into a
+/// stripe are single-threaded — the lock in `flush_shard` is uncontended by design.
+/// `drainers` is the number of workers participating in *this* drain cycle: the pool
+/// size on the pooled path, 1 when a small chunk drains inline.
+fn drain_mailboxes<S: SpecState>(
+    shared: &RunShared<'_, S>,
+    worker: usize,
+    drainers: usize,
+) -> WorkerLevelResult<S> {
+    let mut result = WorkerLevelResult::default();
+    let child_depth = shared.child_depth.load(Ordering::Acquire);
+    let workers = drainers.max(1);
+    for shard in (worker..shared.mailboxes.len()).step_by(workers) {
+        let mut batches = std::mem::take(
+            &mut *shared.mailboxes[shard]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        if batches.is_empty() {
+            continue;
+        }
+        batches.sort_by_key(|b| (b.producer, b.seq));
+        let mut combined: Vec<BufferedSuccessor<S>> =
+            batches.into_iter().flat_map(|b| b.items).collect();
+        flush_shard(shared, shard, &mut combined, child_depth, &mut result);
     }
     result
 }
@@ -795,6 +1107,7 @@ fn stats_from<S: SpecState>(
         shard_contention: store.contention_counters(),
         peak_entry_bytes: store.entry_bytes(),
         entry_bytes_per_state: store.entry_bytes_per_state(),
+        spill: store.spill_stats(),
     }
 }
 
@@ -1151,6 +1464,226 @@ mod tests {
                 assert_eq!(outcome.stop_reason, StopReason::Exhausted);
             }
         }
+    }
+
+    #[test]
+    fn tiny_memory_budget_spills_but_does_not_change_the_search() {
+        // A budget far below the state count must force fingerprint runs (and, in Full
+        // mode, frontier levels) onto disk while leaving every reported statistic and
+        // the violation identical to the in-RAM run.
+        use crate::spill::SpillConfig;
+        let spec = pair_spec(40, None);
+        // Explicitly in-RAM so the baseline ignores any ambient REMIX_MEM_BUDGET
+        // (the CI spill leg sets one for the whole test suite).
+        let baseline = check_bfs(
+            &spec,
+            &CheckOptions::default().with_spill(SpillConfig::in_ram()),
+        );
+        for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            let spilled = check_bfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_store_mode(mode)
+                    .with_spill(SpillConfig::in_ram().with_budget_bytes(1 << 10)),
+            );
+            assert_eq!(
+                spilled.stats.distinct_states, baseline.stats.distinct_states,
+                "store mode {mode}"
+            );
+            assert_eq!(spilled.stats.transitions, baseline.stats.transitions);
+            assert_eq!(spilled.stats.max_depth, baseline.stats.max_depth);
+            assert_eq!(spilled.stop_reason, StopReason::Exhausted);
+            assert!(
+                spilled.stats.spill.runs_spilled > 0,
+                "a 1 KiB budget over {} states must spill: {:?}",
+                spilled.stats.distinct_states,
+                spilled.stats.spill
+            );
+            assert!(spilled.stats.spill.disk_probes > 0);
+            assert_eq!(
+                spilled.stats.spill.frontier_spilled, 0,
+                "pair_spec levels are narrower than the minimum spill chunk"
+            );
+        }
+        assert_eq!(
+            baseline.stats.spill,
+            Default::default(),
+            "no budget, no spill activity"
+        );
+    }
+
+    /// A three-level comb: one root fans out to `width` children, each ticking twice.
+    /// Every level after the root is `width` states wide, far past the budgeted chunk.
+    fn wide_spec(width: u32) -> Spec<Pair> {
+        let m = ModuleId("Wide");
+        let spawn = ActionDef::new(
+            "Spawn",
+            m,
+            Granularity::Baseline,
+            vec!["a", "b"],
+            vec!["a", "b"],
+            move |s: &Pair| {
+                if s.a == 0 {
+                    (1..=width)
+                        .map(|i| {
+                            ActionInstance::new(
+                                format!("Spawn({i})"),
+                                Pair {
+                                    a: i,
+                                    b: 0,
+                                    max: width,
+                                },
+                            )
+                        })
+                        .collect()
+                } else if s.b < 2 {
+                    vec![ActionInstance::new(
+                        format!("Tick({},{})", s.a, s.b),
+                        Pair {
+                            b: s.b + 1,
+                            ..s.clone()
+                        },
+                    )]
+                } else {
+                    vec![]
+                }
+            },
+        );
+        Spec::new(
+            "wide",
+            vec![Pair {
+                a: 0,
+                b: 0,
+                max: width,
+            }],
+            vec![ModuleSpec::new(m, Granularity::Baseline, vec![spawn])],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn wide_levels_round_trip_through_the_frontier_queue() {
+        use crate::spill::SpillConfig;
+        let spec = wide_spec(600);
+        let baseline = check_bfs(&spec, &CheckOptions::default());
+        assert_eq!(baseline.stats.distinct_states, 1 + 3 * 600);
+        for workers in [1, 3] {
+            let spilled = check_bfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_workers(workers)
+                    .with_spill(SpillConfig::in_ram().with_budget_bytes(1 << 10)),
+            );
+            assert_eq!(
+                spilled.stats.distinct_states, baseline.stats.distinct_states,
+                "workers {workers}"
+            );
+            assert_eq!(spilled.stats.transitions, baseline.stats.transitions);
+            assert_eq!(spilled.stats.max_depth, baseline.stats.max_depth);
+            assert_eq!(spilled.stop_reason, StopReason::Exhausted);
+            assert!(
+                spilled.stats.spill.frontier_spilled > 0,
+                "600-wide levels exceed the budgeted chunk: {:?}",
+                spilled.stats.spill
+            );
+        }
+        // Fingerprint-only frontiers are the sole holders of the live states, so they
+        // must stay resident however small the budget is.
+        let fp_only = check_bfs(
+            &spec,
+            &CheckOptions::default()
+                .with_store_mode(StoreMode::FingerprintOnly)
+                .with_spill(SpillConfig::in_ram().with_budget_bytes(1 << 10)),
+        );
+        assert_eq!(
+            fp_only.stats.distinct_states,
+            baseline.stats.distinct_states
+        );
+        assert_eq!(fp_only.stats.spill.frontier_spilled, 0);
+    }
+
+    #[test]
+    fn spilled_run_finds_the_same_counterexample() {
+        use crate::spill::SpillConfig;
+        let spec = pair_spec(30, Some((20, 10)));
+        let in_ram = check_bfs(&spec, &CheckOptions::default());
+        let spilled = check_bfs(
+            &spec,
+            &CheckOptions::default().with_spill(SpillConfig::in_ram().with_budget_bytes(512)),
+        );
+        let (a, b) = (
+            in_ram.first_violation().unwrap(),
+            spilled.first_violation().unwrap(),
+        );
+        assert_eq!(a.depth, b.depth);
+        assert_eq!(a.trace.last_state(), b.trace.last_state());
+        assert_eq!(a.trace.action_labels(), b.trace.action_labels());
+        assert!(spilled.stats.spill.spilled());
+    }
+
+    #[test]
+    fn owner_routing_agrees_with_lock_striping() {
+        let spec = pair_spec(14, None);
+        let baseline = check_bfs(&spec, &CheckOptions::default());
+        for workers in [1, 3] {
+            for mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+                let routed = check_bfs(
+                    &spec,
+                    &CheckOptions::default()
+                        .with_workers(workers)
+                        .with_store_mode(mode)
+                        .with_owner_routing(true),
+                );
+                assert_eq!(
+                    routed.stats.distinct_states, baseline.stats.distinct_states,
+                    "workers {workers}, store mode {mode}"
+                );
+                assert_eq!(routed.stats.transitions, baseline.stats.transitions);
+                assert_eq!(routed.stats.max_depth, baseline.stats.max_depth);
+                assert_eq!(routed.stop_reason, StopReason::Exhausted);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_routing_reports_the_same_minimal_violation() {
+        let spec = pair_spec(12, Some((9, 4)));
+        let plain = check_bfs(&spec, &CheckOptions::default());
+        for workers in [1, 4] {
+            let routed = check_bfs(
+                &spec,
+                &CheckOptions::default()
+                    .with_workers(workers)
+                    .with_owner_routing(true),
+            );
+            assert_eq!(
+                routed.first_violation().unwrap().depth,
+                plain.first_violation().unwrap().depth,
+                "workers {workers}"
+            );
+            assert_eq!(routed.stop_reason, StopReason::FirstViolation);
+        }
+    }
+
+    #[test]
+    fn owner_routing_composes_with_spilling() {
+        use crate::spill::SpillConfig;
+        let spec = pair_spec(30, None);
+        let baseline = check_bfs(&spec, &CheckOptions::default());
+        let combined = check_bfs(
+            &spec,
+            &CheckOptions::default()
+                .with_workers(3)
+                .with_owner_routing(true)
+                .with_spill(SpillConfig::in_ram().with_budget_bytes(1 << 10)),
+        );
+        assert_eq!(
+            combined.stats.distinct_states,
+            baseline.stats.distinct_states
+        );
+        assert_eq!(combined.stats.transitions, baseline.stats.transitions);
+        assert_eq!(combined.stats.max_depth, baseline.stats.max_depth);
+        assert!(combined.stats.spill.spilled());
     }
 
     #[test]

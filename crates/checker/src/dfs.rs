@@ -204,6 +204,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         shard_contention: Vec::new(),
         peak_entry_bytes: store.entry_bytes(),
         entry_bytes_per_state: store.entry_bytes_per_state(),
+        spill: store.spill_stats(),
     };
     CheckOutcome {
         spec_name: spec.name.clone(),

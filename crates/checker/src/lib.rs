@@ -25,6 +25,7 @@ pub mod refine;
 pub mod rng;
 pub mod shrink;
 pub mod simulate;
+pub mod spill;
 pub mod store;
 
 pub use bfs::check_bfs;
@@ -36,9 +37,10 @@ pub use options::{CheckMode, CheckOptions, SimulationOptions, SymmetryMode};
 pub use outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 pub use refine::{
     check_refinement, DivergenceKind, RefineDivergence, RefineMode, RefineOptions, RefineOutcome,
-    RefineStats,
+    RefineStats, RefineVerdict,
 };
 pub use rng::CheckerRng;
 pub use shrink::{replay_labels, shrink_trace, shrink_violation, ShrinkOutcome};
 pub use simulate::{simulate, simulate_one};
+pub use spill::{SpillConfig, SpillStats};
 pub use store::{StateIndex, StateStore, StoreMode};

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::spill::SpillConfig;
 use crate::store::StoreMode;
 
 /// Whether exploration keys its dedup maps, fingerprints and coverage counters on
@@ -118,6 +119,21 @@ pub struct CheckOptions {
     /// Defaults to [`SymmetryMode::from_env`] (the `REMIX_SYMMETRY` CI matrix hook);
     /// a no-op for specifications without `Spec::symmetry`.
     pub symmetry: SymmetryMode,
+    /// The out-of-core tier: when a memory budget is set, the store spills its
+    /// fingerprint set to sorted disk runs and — in [`StoreMode::Full`] — BFS
+    /// round-trips oversized frontiers through on-disk queues, so runs whose state
+    /// count exceeds RAM still finish (with the same results; spilling never changes
+    /// what is explored).  Defaults to [`SpillConfig::from_env`] (the
+    /// `REMIX_MEM_BUDGET` / `REMIX_SPILL_DIR` hooks); inactive when no budget is set.
+    pub spill: SpillConfig,
+    /// Routes each successor batch to the worker *owning* its fingerprint's stripe
+    /// (shard `% workers`) instead of letting the discovering worker insert it: every
+    /// BFS level becomes an expand phase followed by an exchange-and-drain phase, so
+    /// each stripe has a single writer — the communication pattern of a
+    /// multi-process distributed checker, runnable in-process.  Off by default;
+    /// results are unchanged (see `bfs` tests), only insert scheduling differs.
+    /// Also enabled by `REMIX_ROUTE_BY_OWNER=1`.
+    pub route_by_owner: bool,
 }
 
 impl Default for CheckOptions {
@@ -133,6 +149,11 @@ impl Default for CheckOptions {
             collect_traces: true,
             store_mode: StoreMode::from_env(),
             symmetry: SymmetryMode::from_env(),
+            spill: SpillConfig::from_env(),
+            route_by_owner: matches!(
+                std::env::var("REMIX_ROUTE_BY_OWNER").as_deref(),
+                Ok("1") | Ok("true") | Ok("on") | Ok("owner")
+            ),
         }
     }
 }
@@ -193,6 +214,25 @@ impl CheckOptions {
     /// Selects the symmetry-reduction mode.
     pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
         self.symmetry = mode;
+        self
+    }
+
+    /// Sets the out-of-core configuration (memory budget + spill directory).
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Arms the out-of-core tier with a memory budget in bytes (shorthand for
+    /// [`CheckOptions::with_spill`] on the current config).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.spill.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables or disables owner-routed insertion (see the field docs).
+    pub fn with_owner_routing(mut self, on: bool) -> Self {
+        self.route_by_owner = on;
         self
     }
 }
@@ -292,9 +332,13 @@ mod tests {
             .with_batch_size(0)
             .with_store_mode(StoreMode::FingerprintOnly)
             .with_symmetry(SymmetryMode::Canonicalize)
+            .with_mem_budget(1 << 20)
+            .with_owner_routing(true)
             .with_time_budget(Duration::from_secs(1));
         assert_eq!(o.store_mode, StoreMode::FingerprintOnly);
         assert_eq!(o.symmetry, SymmetryMode::Canonicalize);
+        assert_eq!(o.spill.budget_bytes, Some(1 << 20));
+        assert!(o.route_by_owner);
         assert_eq!(o.max_depth, Some(5));
         assert_eq!(o.max_states, Some(100));
         assert_eq!(o.workers, 1, "worker count is clamped to at least one");

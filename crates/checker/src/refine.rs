@@ -104,6 +104,22 @@ pub struct RefineOptions {
     /// Divergence witnesses are de-canonicalized before shrinking, so they replay on
     /// the original specification.  Defaults to [`SymmetryMode::from_env`].
     pub symmetry: SymmetryMode,
+    /// Extra BFS levels explored after a state or depth budget trips, expanding only
+    /// *unstable* states (stable successors are recorded but not re-expanded).
+    ///
+    /// A hard stop mid-stabilization is what made capped runs collect almost no
+    /// stable projections (the 5-server mSpec-1 row: 1 fine projection against
+    /// 16,355 coarse ones — the stability predicate was never sampled under the
+    /// cap): the cap lands while every path is still inside a coarse action's
+    /// atomic stretch.  Draining finishes the stabilizations already in progress,
+    /// which is sound — every projection recorded is genuinely reachable — and
+    /// bounded, because only the unstable closure of the final frontier is
+    /// expanded, for at most this many levels.  `0` restores the hard stop.
+    pub stabilization_grace: u32,
+    /// Memory budget and spill directory for each side's discovered-state store
+    /// (see [`crate::spill::SpillConfig`]); defaults to the `REMIX_MEM_BUDGET` /
+    /// `REMIX_SPILL_DIR` environment hooks.
+    pub spill: crate::spill::SpillConfig,
 }
 
 impl Default for RefineOptions {
@@ -118,6 +134,8 @@ impl Default for RefineOptions {
             shrink_witness: true,
             store_mode: StoreMode::from_env(),
             symmetry: SymmetryMode::from_env(),
+            stabilization_grace: 16,
+            spill: crate::spill::SpillConfig::from_env(),
         }
     }
 }
@@ -169,6 +187,18 @@ impl RefineOptions {
     /// equivariance requirement on the projection).
     pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
         self.symmetry = mode;
+        self
+    }
+
+    /// Sets the number of unstable-only BFS levels drained after a budget trips.
+    pub fn with_stabilization_grace(mut self, levels: u32) -> Self {
+        self.stabilization_grace = levels;
+        self
+    }
+
+    /// Sets the store memory budget and spill directory for both sides.
+    pub fn with_spill(mut self, spill: crate::spill::SpillConfig) -> Self {
+        self.spill = spill;
         self
     }
 }
@@ -241,8 +271,54 @@ pub struct RefineStats {
     pub fine_complete: bool,
     /// Whether the coarse side was explored to exhaustion within the budgets.
     pub coarse_complete: bool,
+    /// Out-of-core activity of the fine side's store (zeroed when everything fit in
+    /// the memory budget).
+    pub fine_spill: crate::spill::SpillStats,
+    /// Out-of-core activity of the coarse side's store.
+    pub coarse_spill: crate::spill::SpillStats,
     /// Wall-clock time of the whole check.
     pub elapsed: Duration,
+}
+
+/// Three-valued verdict of a refinement check.
+///
+/// A bounded exploration that found nothing is *not* evidence of refinement: a
+/// truncated side may simply have stopped short of the divergence.  The verdict is
+/// therefore definite only when a concrete witness exists ([`Diverges`]) or when both
+/// sides were explored to exhaustion ([`Refines`]); everything else is
+/// [`Inconclusive`].
+///
+/// [`Diverges`]: RefineVerdict::Diverges
+/// [`Refines`]: RefineVerdict::Refines
+/// [`Inconclusive`]: RefineVerdict::Inconclusive
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineVerdict {
+    /// Both sides exhausted, no divergence: the coarse composition simulates the fine
+    /// one over the *entire* reachable state space.
+    Refines,
+    /// A concrete divergence witness was found (definite regardless of truncation).
+    Diverges,
+    /// No divergence in the explored prefix, but at least one side was truncated by a
+    /// state/depth/time budget — the check proves nothing about the full space.
+    Inconclusive,
+}
+
+impl RefineVerdict {
+    /// Stable lower-case serialization used in JSON rows (`refines` / `diverges` /
+    /// `inconclusive`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RefineVerdict::Refines => "refines",
+            RefineVerdict::Diverges => "diverges",
+            RefineVerdict::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+impl fmt::Display for RefineVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// The outcome of a refinement check.
@@ -263,10 +339,33 @@ pub struct RefineOutcome<S> {
 }
 
 impl<S> RefineOutcome<S> {
-    /// `true` when no divergence was found (the coarse composition simulates the fine
-    /// one under the projection, up to the explored bounds).
-    pub fn refines(&self) -> bool {
-        self.divergence.is_none()
+    /// The three-valued verdict.  [`RefineVerdict::Refines`] and
+    /// [`RefineVerdict::Diverges`] are definite; [`RefineVerdict::Inconclusive`] means
+    /// a budget truncated the exploration before anything was proved.
+    pub fn verdict(&self) -> RefineVerdict {
+        if self.divergence.is_some() {
+            RefineVerdict::Diverges
+        } else if self.stats.fine_complete && self.stats.coarse_complete {
+            RefineVerdict::Refines
+        } else {
+            RefineVerdict::Inconclusive
+        }
+    }
+
+    /// `Some(true)` when refinement was *proved* (both sides exhausted, no
+    /// divergence), `Some(false)` when a concrete divergence witness exists, and
+    /// `None` when the exploration was truncated before either could be established.
+    ///
+    /// The `Option` return is deliberate: an earlier version returned a bare `bool`
+    /// that was `true` for truncated, nothing-checked runs, and downstream reports
+    /// rendered those as passing verdicts.  Use [`verdict`](Self::verdict) for the
+    /// symbolic form and [`divergence`](Self::divergence) to inspect a witness.
+    pub fn refines(&self) -> Option<bool> {
+        match self.verdict() {
+            RefineVerdict::Refines => Some(true),
+            RefineVerdict::Diverges => Some(false),
+            RefineVerdict::Inconclusive => None,
+        }
     }
 
     /// `true` when the verdict is definite: either a divergence was found (a concrete
@@ -274,7 +373,7 @@ impl<S> RefineOutcome<S> {
     /// explored to exhaustion so [`refines`](Self::refines) is a statement about the
     /// whole reachable state space rather than a bounded prefix.
     pub fn conclusive(&self) -> bool {
-        self.divergence.is_some() || (self.stats.fine_complete && self.stats.coarse_complete)
+        self.verdict() != RefineVerdict::Inconclusive
     }
 }
 
@@ -308,7 +407,14 @@ impl<S: fmt::Debug> fmt::Display for RefineOutcome<S> {
             }
         )?;
         match &self.divergence {
-            None => writeln!(f, "verdict: refines"),
+            None => match self.verdict() {
+                RefineVerdict::Refines => writeln!(f, "verdict: refines"),
+                _ => writeln!(
+                    f,
+                    "verdict: inconclusive (no divergence in the explored prefix; \
+                     a truncated side proves nothing about the full space)"
+                ),
+            },
             Some(d) => {
                 writeln!(
                     f,
@@ -369,6 +475,13 @@ struct SideSummary<S: SpecState> {
     canon: Option<CanonFn<S>>,
     /// Whether exploration ran to exhaustion within the budgets.
     complete: bool,
+    /// Stabilization edges checked incrementally against the other side's quotient
+    /// (fine side in [`RefineMode::Simulation`] with a complete coarse side only).
+    edges_checked: usize,
+    /// The first stabilization edge with no matching coarse path, by discovery level
+    /// then key order (recorded during exploration; turned into a divergence by the
+    /// caller once the cheaper projection-inclusion checks come up clean).
+    unmatched_edge: Option<(u64, u64)>,
 }
 
 impl<S: SpecState> SideSummary<S> {
@@ -452,12 +565,19 @@ struct SuccessorRecord<S> {
 /// projection absent from that set: deeper levels cannot contain a shallower
 /// divergence, so the minimal-depth divergence choice is unaffected while diverging
 /// checks skip the rest of the (often much larger) fine state space.
+///
+/// When `simulate_against` is set (the fine side of a [`RefineMode::Simulation`]
+/// check, after the coarse side completed), every stabilization edge is checked
+/// against the coarse quotient as soon as the level discovering it finishes, so a run
+/// truncated by a budget still reports how many edges it actually verified instead of
+/// `edges_checked: 0`.
 fn explore_side<S: SpecState>(
     spec: &Spec<S>,
     projection: &TraceProjection<S>,
     options: &RefineOptions,
     deadline: Option<Instant>,
     stop_when_missing_from: Option<&HashMap<u64, (StateIndex, u32)>>,
+    simulate_against: Option<&SideSummary<S>>,
 ) -> SideSummary<S> {
     // Symmetry reduction in a refinement comparison additionally requires the
     // projection to be equivariant (orbits of concrete states must project to one
@@ -472,11 +592,13 @@ fn explore_side<S: SpecState>(
         projs: HashMap::new(),
         edges: HashMap::new(),
         edge_reps: HashMap::new(),
-        seen: StateStore::new(options.store_mode, options.shards),
+        seen: StateStore::with_spill(options.store_mode, options.shards, &options.spill),
         labels: LabelTable::new(),
         lsets: RwLock::new(HashMap::new()),
         canon,
         complete: true,
+        edges_checked: 0,
+        unmatched_edge: None,
     };
 
     // Frontier entries carry the lset snapshot their successors inherit.  Under
@@ -518,6 +640,14 @@ fn explore_side<S: SpecState>(
 
     let workers = options.workers.max(1);
     let mut depth: u32 = 0;
+    // Coarse-quotient reachability, memoized across levels for the incremental edge
+    // check (Simulation mode, complete coarse side).
+    let mut reach_memo: HashMap<u64, HashSet<u64>> = HashMap::new();
+    // `Some(levels_drained)` once a state/depth budget has tripped: the run is
+    // incomplete, but stabilizations already in progress are finished (unstable
+    // states only) for up to `stabilization_grace` extra levels, so the projection
+    // and edge sets are populated instead of frozen mid-atomic-stretch.
+    let mut draining: Option<u32> = None;
     while !frontier.is_empty() {
         if let Some(deadline) = deadline {
             if Instant::now() >= deadline {
@@ -525,17 +655,24 @@ fn explore_side<S: SpecState>(
                 break;
             }
         }
-        if let Some(max_depth) = options.max_depth {
-            if depth >= max_depth {
+        if draining.is_none() {
+            let depth_hit = options.max_depth.is_some_and(|max| depth >= max);
+            let states_hit = options
+                .max_states
+                .is_some_and(|max| summary.seen.len() >= max);
+            if depth_hit || states_hit {
                 summary.complete = false;
-                break;
+                if options.stabilization_grace == 0 {
+                    break;
+                }
+                draining = Some(0);
             }
         }
-        if let Some(max_states) = options.max_states {
-            if summary.seen.len() >= max_states {
-                summary.complete = false;
+        if let Some(drained) = draining {
+            if drained >= options.stabilization_grace {
                 break;
             }
+            draining = Some(drained + 1);
         }
 
         // Expand the frontier: successor enumeration, fingerprinting and projection run
@@ -566,6 +703,7 @@ fn explore_side<S: SpecState>(
         // contexts.
         let child_depth = depth + 1;
         let mut next: Vec<(StateIndex, S, Arc<BTreeSet<u64>>)> = Vec::new();
+        let mut new_edges: Vec<(u64, u64)> = Vec::new();
         for batch in batches {
             for rec in batch {
                 let child_lset: BTreeSet<u64> = match rec.stable_key {
@@ -590,7 +728,9 @@ fn explore_side<S: SpecState>(
                 if let Some(key) = rec.stable_key {
                     for &from in &*rec.parent_lset {
                         if from != key {
-                            summary.edges.entry(from).or_default().insert(key);
+                            if summary.edges.entry(from).or_default().insert(key) {
+                                new_edges.push((from, key));
+                            }
                             // Remember the concrete state completing this edge, so an
                             // unmatched-step divergence can reconstruct a witness that
                             // actually ends with the offending stabilization.
@@ -625,7 +765,35 @@ fn explore_side<S: SpecState>(
                             .write()
                             .unwrap_or_else(PoisonError::into_inner)
                             .insert(index, child_lset.clone());
-                        next.push((index, state, Arc::new(child_lset)));
+                        // While draining, stable successors close their stabilization
+                        // and are not expanded further: only the unstable closure of
+                        // the final frontier grows the capped exploration.
+                        if draining.is_none() || rec.stable_key.is_none() {
+                            next.push((index, state, Arc::new(child_lset)));
+                        }
+                    }
+                }
+            }
+        }
+        // Incremental simulation check: match the level's fresh stabilization edges
+        // against the (complete) coarse quotient right away, so a budget-truncated
+        // run reports the edge coverage it actually achieved.  The first unmatched
+        // edge is recorded, not acted on: the caller keeps the established check
+        // precedence (projection inclusion first, then edge matching).
+        if let Some(coarse) = simulate_against {
+            if summary.unmatched_edge.is_none() {
+                new_edges.sort_unstable();
+                for (from, to) in new_edges {
+                    summary.edges_checked += 1;
+                    let reach = reach_memo
+                        .entry(from)
+                        .or_insert_with(|| coarse.reachable_from(from));
+                    if !reach.contains(&to) && coarse.complete {
+                        // Absence from an *incomplete* coarse quotient proves
+                        // nothing (the matching path may lie past the coarse
+                        // budget); only a complete quotient condemns an edge.
+                        summary.unmatched_edge = Some((from, to));
+                        break;
                     }
                 }
             }
@@ -712,7 +880,7 @@ pub fn check_refinement<S: SpecState>(
     let start = Instant::now();
     let deadline = options.time_budget.map(|b| start + b);
 
-    let coarse_side = explore_side(coarse, projection, options, deadline, None);
+    let coarse_side = explore_side(coarse, projection, options, deadline, None, None);
     let fine_side = explore_side(
         fine,
         projection,
@@ -725,6 +893,15 @@ pub fn check_refinement<S: SpecState>(
         } else {
             None
         },
+        // ... and stabilization edges are checked level by level, so even a truncated
+        // fine exploration reports the simulation coverage it achieved.  The coarse
+        // side may itself be truncated: matches against its partial quotient still
+        // count as coverage, but only a *complete* quotient can condemn an edge.
+        if options.mode == RefineMode::Simulation {
+            Some(&coarse_side)
+        } else {
+            None
+        },
     );
 
     let mut stats = RefineStats {
@@ -732,9 +909,11 @@ pub fn check_refinement<S: SpecState>(
         coarse_states: coarse_side.seen.len(),
         fine_projections: fine_side.projs.len(),
         coarse_projections: coarse_side.projs.len(),
-        edges_checked: 0,
+        edges_checked: fine_side.edges_checked,
         fine_complete: fine_side.complete,
         coarse_complete: coarse_side.complete,
+        fine_spill: fine_side.seen.spill_stats(),
+        coarse_spill: coarse_side.seen.spill_stats(),
         elapsed: Duration::default(),
     };
 
@@ -785,51 +964,38 @@ pub fn check_refinement<S: SpecState>(
     }
 
     // 3. Simulation mode: every fine stabilization edge must be matched by a coarse
-    //    path between the same projected classes.
-    if divergence.is_none() && options.mode == RefineMode::Simulation && coarse_side.complete {
-        let mut reach_memo: HashMap<u64, HashSet<u64>> = HashMap::new();
-        let mut sorted_edges: Vec<(u64, u64)> = fine_side
-            .edges
-            .iter()
-            .flat_map(|(from, tos)| tos.iter().map(move |to| (*from, *to)))
-            .collect();
-        sorted_edges.sort();
-        for (from, to) in sorted_edges {
-            stats.edges_checked += 1;
-            let reach = reach_memo
-                .entry(from)
-                .or_insert_with(|| coarse_side.reachable_from(from));
-            if !reach.contains(&to) {
-                // Prefer the concrete state that completed this edge over the class
-                // representative: its trace ends in the offending stabilization.
-                let index = fine_side
-                    .edge_reps
-                    .get(&(from, to))
-                    .copied()
-                    .unwrap_or_else(|| fine_side.projs[&to].0);
-                let (fine_ref, coarse_ref) = (&fine_side, &coarse_side);
-                let mut d = build_divergence(
-                    DivergenceKind::UnmatchedStep,
-                    fine,
-                    &fine_side,
-                    index,
-                    projection,
-                    options,
-                    |candidate| {
-                        trace_has_unmatched_edge(candidate, projection, fine_ref, coarse_ref)
-                    },
+    //    path between the same projected classes.  The matching itself ran
+    //    incrementally inside the fine exploration (so `edges_checked` reflects the
+    //    explored prefix even under a budget); here the first recorded unmatched edge
+    //    is turned into a witness, after the cheaper inclusion checks came up clean.
+    if divergence.is_none() {
+        if let Some((from, to)) = fine_side.unmatched_edge {
+            // Prefer the concrete state that completed this edge over the class
+            // representative: its trace ends in the offending stabilization.
+            let index = fine_side
+                .edge_reps
+                .get(&(from, to))
+                .copied()
+                .unwrap_or_else(|| fine_side.projs[&to].0);
+            let (fine_ref, coarse_ref) = (&fine_side, &coarse_side);
+            let mut d = build_divergence(
+                DivergenceKind::UnmatchedStep,
+                fine,
+                &fine_side,
+                index,
+                projection,
+                options,
+                |candidate| trace_has_unmatched_edge(candidate, projection, fine_ref, coarse_ref),
+            );
+            // Render both endpoints of the unmatched step: the target is already in
+            // `d.projection`; prepend the source class the coarse side cannot leave.
+            if let Some((from_index, _)) = fine_side.projs.get(&from) {
+                let rendered = render_projection(
+                    &projection.project_state(&fine_side.state_of(fine, *from_index)),
                 );
-                // Render both endpoints of the unmatched step: the target is already in
-                // `d.projection`; prepend the source class the coarse side cannot leave.
-                if let Some((from_index, _)) = fine_side.projs.get(&from) {
-                    let rendered = render_projection(
-                        &projection.project_state(&fine_side.state_of(fine, *from_index)),
-                    );
-                    d.projection = format!("{rendered} ⟶ {}", d.projection);
-                }
-                divergence = Some(d);
-                break;
+                d.projection = format!("{rendered} ⟶ {}", d.projection);
             }
+            divergence = Some(d);
         }
     }
 
@@ -1049,7 +1215,8 @@ mod tests {
             &projection(),
             &RefineOptions::default(),
         );
-        assert!(outcome.refines(), "{outcome}");
+        assert_eq!(outcome.verdict(), RefineVerdict::Refines, "{outcome}");
+        assert_eq!(outcome.refines(), Some(true));
         assert!(outcome.conclusive());
         assert_eq!(outcome.stats.fine_projections, 4, "n ∈ {{0, 2, 4, 6}}");
         assert_eq!(outcome.stats.coarse_projections, 4);
@@ -1122,7 +1289,11 @@ mod tests {
             &projection(),
             &RefineOptions::default().with_mode(RefineMode::TraceInclusion),
         );
-        assert!(inclusion.refines(), "projection sets match: {inclusion}");
+        assert_eq!(
+            inclusion.verdict(),
+            RefineVerdict::Refines,
+            "projection sets match: {inclusion}"
+        );
 
         let simulation = check_refinement(&fine, &coarse, &projection(), &RefineOptions::default());
         let divergence = simulation.divergence.expect("simulation must diverge");
@@ -1168,7 +1339,7 @@ mod tests {
             &projection(),
             &RefineOptions::default().with_store_mode(StoreMode::FingerprintOnly),
         );
-        assert!(ok.refines(), "{ok}");
+        assert_eq!(ok.verdict(), RefineVerdict::Refines, "{ok}");
         assert!(ok.conclusive());
     }
 
@@ -1180,8 +1351,68 @@ mod tests {
             &projection(),
             &RefineOptions::default().with_max_states(1),
         );
-        assert!(outcome.refines(), "no divergence may be reported");
+        assert!(
+            outcome.divergence.is_none(),
+            "no divergence may be reported"
+        );
+        assert_eq!(outcome.verdict(), RefineVerdict::Inconclusive);
+        assert_eq!(
+            outcome.refines(),
+            None,
+            "a truncated run has no definite verdict"
+        );
         assert!(!outcome.conclusive());
+        assert!(
+            outcome.to_string().contains("verdict: inconclusive"),
+            "the rendered verdict must not read as passing: {outcome}"
+        );
+    }
+
+    /// Stability only holds at the endpoints of a long unstable stretch, so a state
+    /// cap always lands mid-stabilization — the shape of the 5-server mSpec-1 bench
+    /// row that collected 1 fine projection against 16,355 coarse ones.
+    fn deep_stability_projection() -> TraceProjection<TState> {
+        TraceProjection::identity("n-deep", Granularity::Coarse, Granularity::Baseline)
+            .with_state(|s: &TState| s.project(&["n"]))
+            .with_stability(|s: &TState| !s.mid && (s.n == 0 || s.n >= 4))
+    }
+
+    #[test]
+    fn capped_run_still_samples_stable_projections_and_edges() {
+        // Regression: under a cap that trips before the first non-initial stable
+        // state, the fine side used to freeze with `fine_projections: 1` and
+        // `edges_checked: 0`.  The stabilization drain finishes the in-progress
+        // stretches (recording projections and edges) without reporting a verdict.
+        let outcome = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, false),
+            &deep_stability_projection(),
+            &RefineOptions::default().with_max_states(2),
+        );
+        assert!(outcome.divergence.is_none(), "{outcome}");
+        assert_eq!(outcome.verdict(), RefineVerdict::Inconclusive);
+        assert!(
+            outcome.stats.fine_projections >= 2,
+            "the drained run samples stability past the cap: {:?}",
+            outcome.stats
+        );
+        assert!(
+            outcome.stats.edges_checked >= 1,
+            "edge checking starts incrementally, not only after both sides finish: {:?}",
+            outcome.stats
+        );
+
+        // Control: grace 0 restores the old hard stop and its broken accounting.
+        let hard = check_refinement(
+            &fine_spec(6),
+            &coarse_spec(6, false),
+            &deep_stability_projection(),
+            &RefineOptions::default()
+                .with_max_states(2)
+                .with_stabilization_grace(0),
+        );
+        assert_eq!(hard.stats.fine_projections, 1);
+        assert_eq!(hard.stats.edges_checked, 0);
     }
 
     #[test]
@@ -1202,5 +1433,80 @@ mod tests {
         assert_eq!(seq.stats.fine_states, par.stats.fine_states);
         assert_eq!(seq.stats.fine_projections, par.stats.fine_projections);
         assert_eq!(seq.stats.coarse_projections, par.stats.coarse_projections);
+    }
+
+    /// Satellite of the out-of-core PR: a refinement check whose fingerprint sets
+    /// exceed a tiny memory budget must spill, finish, and produce the *identical*
+    /// verdict and per-side statistics as the fully in-RAM run — in every store mode ×
+    /// symmetry mode combination.
+    #[test]
+    fn spilled_refinement_matches_the_in_ram_run_in_every_mode() {
+        use crate::options::SymmetryMode;
+        use crate::spill::SpillConfig;
+
+        for store_mode in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            for symmetry in [SymmetryMode::Off, SymmetryMode::Canonicalize] {
+                let mut base = RefineOptions::default()
+                    .with_store_mode(store_mode)
+                    .with_symmetry(symmetry);
+                // Few shards so the ~180-state sides overflow the per-shard flush
+                // floor (with the default 64 shards each delta table holds only a
+                // couple of entries and the budget can never force a flush).
+                base.shards = 2;
+                let in_ram = check_refinement(
+                    &fine_spec(120),
+                    &coarse_spec(120, false),
+                    &projection(),
+                    &base.clone().with_spill(SpillConfig::in_ram()),
+                );
+                let spilled = check_refinement(
+                    &fine_spec(120),
+                    &coarse_spec(120, false),
+                    &projection(),
+                    // 512 bytes: far below the ~120-state fine side's delta table, so
+                    // both sides flush sorted runs to disk and probe them.
+                    &base
+                        .clone()
+                        .with_spill(SpillConfig::in_ram().with_budget_bytes(512)),
+                );
+                let label = format!("{store_mode:?}/{symmetry:?}");
+                assert_eq!(in_ram.verdict(), spilled.verdict(), "{label}");
+                assert_eq!(spilled.refines(), Some(true), "{label}");
+                assert_eq!(
+                    in_ram.stats.fine_states, spilled.stats.fine_states,
+                    "{label}"
+                );
+                assert_eq!(
+                    in_ram.stats.coarse_states, spilled.stats.coarse_states,
+                    "{label}"
+                );
+                assert_eq!(
+                    in_ram.stats.fine_projections, spilled.stats.fine_projections,
+                    "{label}"
+                );
+                assert_eq!(
+                    in_ram.stats.coarse_projections, spilled.stats.coarse_projections,
+                    "{label}"
+                );
+                assert_eq!(
+                    in_ram.stats.edges_checked, spilled.stats.edges_checked,
+                    "{label}"
+                );
+                // The budgeted run actually went out of core on both sides, and the
+                // disk tier was consulted on later inserts (the fine chain never
+                // revisits a state, so most probes are bloom-filtered misses).
+                assert!(spilled.stats.fine_spill.spilled(), "{label}");
+                assert!(spilled.stats.fine_spill.runs_spilled > 0, "{label}");
+                assert!(
+                    spilled.stats.fine_spill.disk_probes + spilled.stats.fine_spill.bloom_negatives
+                        > 0,
+                    "{label}"
+                );
+                assert!(spilled.stats.coarse_spill.runs_spilled > 0, "{label}");
+                // …and the in-RAM baseline did not.
+                assert!(!in_ram.stats.fine_spill.spilled(), "{label}");
+                assert!(!in_ram.stats.coarse_spill.spilled(), "{label}");
+            }
+        }
     }
 }

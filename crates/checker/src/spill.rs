@@ -1,0 +1,447 @@
+//! The out-of-core tier: spilled fingerprint runs, bloom-guarded disk probes, and
+//! the knobs that decide when the in-RAM structures give way to files.
+//!
+//! This is the TLC-style disk-based fingerprint set (Yu/Manolios/Lamport): when a
+//! store stripe's in-RAM *delta table* reaches its share of the configured memory
+//! budget, the table is sorted and written out as an **immutable run** — a sorted
+//! array of fixed-width `(fingerprint, slot)` records.  Membership probes consult
+//! the delta table first, then each run through a per-run in-RAM bloom filter; only
+//! a bloom hit pays a disk read, which fetches one fence-indexed block and binary
+//! searches it.  Runs are mutually disjoint *by construction* (a fingerprint is
+//! deduplicated against every run before it may enter the delta table), so probe
+//! order never affects the answer and spilling cannot change which states a run
+//! discovers — only where their fingerprints live.
+//!
+//! The module also provides the on-disk index queue that [`crate::bfs`] round-trips
+//! oversized frontiers through, and the [`SpillConfig`] / [`SpillStats`] types the
+//! option and outcome structs surface.
+//!
+//! Everything here is `std`-only: plain files via [`std::os::unix::fs::FileExt`]
+//! positioned reads (no memory mapping — the workspace denies `unsafe`).
+
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fingerprint::Fingerprint;
+
+/// Bytes of one spilled record: two 64-bit fingerprint halves plus the 32-bit local
+/// slot the entry maps to.
+pub(crate) const RECORD_BYTES: usize = 20;
+
+/// Records per fence-indexed block: a probe that passes the bloom filter reads one
+/// `256 × 20 = 5120`-byte block and binary searches it in memory.
+const FENCE_EVERY: usize = 256;
+
+/// Estimated resident bytes of one delta-table entry (`HashMap<Fingerprint, u32>`
+/// payload plus load-factor and control overhead); used to translate the byte budget
+/// into a per-stripe flush threshold.
+pub(crate) const DELTA_ENTRY_BYTES: usize = 48;
+
+/// The smallest delta table worth flushing: below this, run files would degenerate
+/// into per-entry syscalls.
+pub(crate) const MIN_FLUSH_ENTRIES: usize = 8;
+
+/// Where (and whether) a run may spill its fingerprint set and frontiers to disk.
+///
+/// The default is fully in-RAM (`budget_bytes: None`).  [`SpillConfig::from_env`]
+/// reads the `REMIX_MEM_BUDGET` (e.g. `"64m"`, `"2g"`, `"500k"`, or plain bytes) and
+/// `REMIX_SPILL_DIR` environment variables, which is how CI runs the spill-path legs
+/// without per-test parameters; explicit builder calls always win.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Memory budget in bytes for the store's fingerprint set (and, in
+    /// [`crate::store::StoreMode::Full`], the BFS frontier).  `None` disables
+    /// spilling entirely.
+    pub budget_bytes: Option<u64>,
+    /// Directory spill files are created under (a unique per-store subdirectory is
+    /// created inside it and removed when the store drops).  `None` uses the system
+    /// temp directory.
+    pub dir: Option<PathBuf>,
+}
+
+impl SpillConfig {
+    /// The configuration selected by `REMIX_MEM_BUDGET` / `REMIX_SPILL_DIR`;
+    /// spilling stays off when `REMIX_MEM_BUDGET` is unset or unparseable.
+    pub fn from_env() -> SpillConfig {
+        SpillConfig {
+            budget_bytes: std::env::var("REMIX_MEM_BUDGET")
+                .ok()
+                .and_then(|s| parse_mem_budget(&s)),
+            dir: std::env::var_os("REMIX_SPILL_DIR").map(PathBuf::from),
+        }
+    }
+
+    /// A configuration that never spills, regardless of the environment.
+    pub fn in_ram() -> SpillConfig {
+        SpillConfig::default()
+    }
+
+    /// Sets the memory budget in bytes.
+    pub fn with_budget_bytes(mut self, bytes: u64) -> SpillConfig {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the directory spill files live under.
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> SpillConfig {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// `true` when a budget is set, i.e. the out-of-core tier is armed.
+    pub fn is_active(&self) -> bool {
+        self.budget_bytes.is_some()
+    }
+}
+
+/// Parses a memory budget: a plain byte count or a number with a `k`/`m`/`g` suffix
+/// (powers of 1024, case-insensitive, optional trailing `b`/`ib`).
+pub fn parse_mem_budget(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let digits_end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let value: u64 = s[..digits_end].parse().ok()?;
+    let shift = match s[digits_end..].trim_start() {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        _ => return None,
+    };
+    value.checked_shl(shift)
+}
+
+/// Out-of-core activity counters of one run, surfaced in `CheckStats` and
+/// `RefineStats`.  All-zero when everything fit in the budget (or no budget was set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// The configured memory budget in bytes; `0` when spilling was off.
+    pub budget_bytes: u64,
+    /// Immutable sorted runs written to disk.
+    pub runs_spilled: u64,
+    /// Fingerprint-set entries moved out of RAM into runs.
+    pub entries_spilled: u64,
+    /// Bytes written to run files.
+    pub bytes_spilled: u64,
+    /// Membership probes that passed a bloom filter and paid a disk read.
+    pub disk_probes: u64,
+    /// Membership probes a bloom filter answered negatively without touching disk.
+    pub bloom_negatives: u64,
+    /// Frontier entries round-tripped through on-disk level queues.
+    pub frontier_spilled: u64,
+}
+
+impl SpillStats {
+    /// `true` when the run actually exceeded its memory budget somewhere — the
+    /// fingerprint set spilled runs or a BFS frontier round-tripped through disk.
+    pub fn spilled(&self) -> bool {
+        self.runs_spilled > 0 || self.frontier_spilled > 0
+    }
+}
+
+/// Atomic counterpart of [`SpillStats`], updated concurrently by shard handles.
+#[derive(Debug, Default)]
+pub(crate) struct SpillCounters {
+    pub runs_spilled: AtomicU64,
+    pub entries_spilled: AtomicU64,
+    pub bytes_spilled: AtomicU64,
+    pub disk_probes: AtomicU64,
+    pub bloom_negatives: AtomicU64,
+    pub frontier_spilled: AtomicU64,
+}
+
+impl SpillCounters {
+    pub fn snapshot(&self, budget_bytes: u64) -> SpillStats {
+        SpillStats {
+            budget_bytes,
+            runs_spilled: self.runs_spilled.load(Ordering::Relaxed),
+            entries_spilled: self.entries_spilled.load(Ordering::Relaxed),
+            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
+            disk_probes: self.disk_probes.load(Ordering::Relaxed),
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
+            frontier_spilled: self.frontier_spilled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Creates the unique per-store spill directory under `base` (or the system temp
+/// directory), named by pid and a process-wide sequence number so concurrent stores
+/// never collide.
+pub(crate) fn create_spill_dir(base: Option<&Path>) -> io::Result<PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let base = base
+        .map(Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!(
+        "remix-spill-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Total sort key of a fingerprint (the record order of run files).
+#[inline]
+fn key(fp: Fingerprint) -> u128 {
+    ((fp.0 as u128) << 64) | fp.1 as u128
+}
+
+/// A blocked bloom filter over one run's fingerprints: ~10 bits and 4 probes per
+/// key (≈1% false-positive rate), so a negative membership probe usually costs four
+/// cache lines of RAM instead of a disk read.  The two independently keyed SipHash
+/// halves of [`Fingerprint`] supply the double-hashing pair directly.
+struct Bloom {
+    words: Vec<u64>,
+    /// `words.len() * 64 - 1`; the bit count is a power of two.
+    bit_mask: u64,
+}
+
+const BLOOM_BITS_PER_KEY: usize = 10;
+const BLOOM_PROBES: u64 = 4;
+
+impl Bloom {
+    fn with_capacity(keys: usize) -> Bloom {
+        let bits = (keys * BLOOM_BITS_PER_KEY).next_power_of_two().max(64);
+        Bloom {
+            words: vec![0u64; bits / 64],
+            bit_mask: bits as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, fp: Fingerprint) {
+        for i in 0..BLOOM_PROBES {
+            let bit = fp.0.wrapping_add(i.wrapping_mul(fp.1)) & self.bit_mask;
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    #[inline]
+    fn maybe_contains(&self, fp: Fingerprint) -> bool {
+        (0..BLOOM_PROBES).all(|i| {
+            let bit = fp.0.wrapping_add(i.wrapping_mul(fp.1)) & self.bit_mask;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+/// One immutable sorted run of `(fingerprint, slot)` records on disk, with its
+/// in-RAM bloom filter and fence index (the first key and byte offset of every
+/// [`FENCE_EVERY`]-record block).
+pub(crate) struct SpillRun {
+    file: File,
+    records: usize,
+    fences: Vec<(u128, u64)>,
+    bloom: Bloom,
+}
+
+impl SpillRun {
+    /// Sorts `entries` and writes them as a new run at `path` (which must not exist).
+    pub fn write(path: &Path, mut entries: Vec<(Fingerprint, u32)>) -> io::Result<SpillRun> {
+        entries.sort_unstable_by_key(|(fp, _)| key(*fp));
+        let mut bloom = Bloom::with_capacity(entries.len());
+        let mut fences = Vec::with_capacity(entries.len().div_ceil(FENCE_EVERY));
+        let mut buf = Vec::with_capacity(entries.len() * RECORD_BYTES);
+        for (i, (fp, slot)) in entries.iter().enumerate() {
+            if i % FENCE_EVERY == 0 {
+                fences.push((key(*fp), (i * RECORD_BYTES) as u64));
+            }
+            bloom.insert(*fp);
+            buf.extend_from_slice(&fp.0.to_le_bytes());
+            buf.extend_from_slice(&fp.1.to_le_bytes());
+            buf.extend_from_slice(&slot.to_le_bytes());
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all_at(&buf, 0)?;
+        Ok(SpillRun {
+            file,
+            records: entries.len(),
+            fences,
+            bloom,
+        })
+    }
+
+    /// Number of records in this run.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Looks up `fp`, consulting the bloom filter before touching disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run file has become unreadable: silently treating a stored
+    /// fingerprint as new would corrupt the exploration (duplicate slots, broken
+    /// determinism), so an I/O error here is fatal by design.
+    pub fn probe(&self, fp: Fingerprint, counters: &SpillCounters) -> Option<u32> {
+        if !self.bloom.maybe_contains(fp) {
+            counters.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        counters.disk_probes.fetch_add(1, Ordering::Relaxed);
+        let k = key(fp);
+        // The last fence whose first key is <= k owns the only block that can hold k.
+        let block = match self.fences.partition_point(|(first, _)| *first <= k) {
+            0 => return None,
+            i => i - 1,
+        };
+        let offset = self.fences[block].1;
+        let in_block = FENCE_EVERY.min(self.records - block * FENCE_EVERY);
+        let mut buf = vec![0u8; in_block * RECORD_BYTES];
+        self.file
+            .read_exact_at(&mut buf, offset)
+            .expect("spill run became unreadable; cannot continue soundly");
+        // Binary search the block's fixed-width records.
+        let (mut lo, mut hi) = (0usize, in_block);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let at = mid * RECORD_BYTES;
+            let rec_key = {
+                let hi64 = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+                let lo64 = u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap());
+                ((hi64 as u128) << 64) | lo64 as u128
+            };
+            match rec_key.cmp(&k) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let at = mid * RECORD_BYTES + 16;
+                    return Some(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A bounded on-disk FIFO of `u32` state indices: the backing of BFS levels too
+/// large for their memory budget.  Writes append; reads stream sequential chunks.
+pub(crate) struct IndexQueue {
+    file: File,
+    written: usize,
+    read: usize,
+}
+
+impl IndexQueue {
+    /// Creates an empty queue file at `path` (which must not exist).
+    pub fn create(path: &Path) -> io::Result<IndexQueue> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(IndexQueue {
+            file,
+            written: 0,
+            read: 0,
+        })
+    }
+
+    /// Appends a batch of indices.
+    pub fn push(&mut self, indices: &[u32]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(indices.len() * 4);
+        for i in indices {
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        self.file.write_all_at(&buf, (self.written * 4) as u64)?;
+        self.written += indices.len();
+        Ok(())
+    }
+
+    /// Indices not yet consumed by [`IndexQueue::next_chunk`].
+    pub fn remaining(&self) -> usize {
+        self.written - self.read
+    }
+
+    /// Total indices ever appended.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.written
+    }
+
+    /// Reads up to `max` indices in FIFO order; empty when drained.
+    pub fn next_chunk(&mut self, max: usize) -> io::Result<Vec<u32>> {
+        let n = self.remaining().min(max);
+        let mut buf = vec![0u8; n * 4];
+        self.file.read_exact_at(&mut buf, (self.read * 4) as u64)?;
+        self.read += n;
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budget_suffixes() {
+        assert_eq!(parse_mem_budget("1048576"), Some(1 << 20));
+        assert_eq!(parse_mem_budget("64k"), Some(64 << 10));
+        assert_eq!(parse_mem_budget("64K"), Some(64 << 10));
+        assert_eq!(parse_mem_budget("512m"), Some(512 << 20));
+        assert_eq!(parse_mem_budget("512MiB"), Some(512 << 20));
+        assert_eq!(parse_mem_budget("2g"), Some(2 << 30));
+        assert_eq!(parse_mem_budget("2 gb"), Some(2 << 30));
+        assert_eq!(parse_mem_budget(""), None);
+        assert_eq!(parse_mem_budget("lots"), None);
+        assert_eq!(parse_mem_budget("64x"), None);
+    }
+
+    fn fp(i: u64) -> Fingerprint {
+        // Spread keys so sort order differs from insertion order.
+        Fingerprint(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), !i)
+    }
+
+    #[test]
+    fn run_round_trips_every_entry_and_rejects_absent_keys() {
+        let dir = create_spill_dir(None).unwrap();
+        let entries: Vec<(Fingerprint, u32)> = (0..1000u64).map(|i| (fp(i), i as u32)).collect();
+        let run = SpillRun::write(&dir.join("run-0.fps"), entries.clone()).unwrap();
+        assert_eq!(run.len(), 1000);
+        let counters = SpillCounters::default();
+        for (f, slot) in &entries {
+            assert_eq!(run.probe(*f, &counters), Some(*slot));
+        }
+        assert_eq!(counters.disk_probes.load(Ordering::Relaxed), 1000);
+        let mut negatives = 0;
+        for i in 1000..3000u64 {
+            if run.probe(fp(i), &counters).is_none() {
+                negatives += 1;
+            } else {
+                panic!("absent key reported present");
+            }
+        }
+        assert_eq!(negatives, 2000);
+        assert!(
+            counters.bloom_negatives.load(Ordering::Relaxed) > 1500,
+            "the bloom filter must answer most absent probes without disk reads: {}",
+            counters.bloom_negatives.load(Ordering::Relaxed)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_queue_streams_fifo_chunks() {
+        let dir = create_spill_dir(None).unwrap();
+        let mut q = IndexQueue::create(&dir.join("level-0.idx")).unwrap();
+        q.push(&[1, 2, 3]).unwrap();
+        q.push(&[4, 5]).unwrap();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.next_chunk(2).unwrap(), vec![1, 2]);
+        q.push(&[6]).unwrap();
+        assert_eq!(q.next_chunk(10).unwrap(), vec![3, 4, 5, 6]);
+        assert_eq!(q.next_chunk(10).unwrap(), Vec::<u32>::new());
+        assert_eq!(q.remaining(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

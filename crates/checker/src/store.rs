@@ -36,12 +36,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace, INIT_LABEL};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::spill::{self, SpillConfig, SpillCounters, SpillRun, SpillStats};
 
 /// Which backend a run stores discovered states in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,7 +106,16 @@ struct SlotMeta {
 /// One lock stripe of the arena.
 struct StoreShard<S> {
     /// Fingerprint → local slot index (dedup map; values index `meta`/`states`).
+    ///
+    /// Under a memory budget this is the stripe's *delta table*: once it reaches its
+    /// share of the budget it is flushed to an immutable sorted run in `runs` and
+    /// restarted empty, so its resident size stays bounded while `len` keeps growing.
     map: HashMap<Fingerprint, u32>,
+    /// Spilled portions of the dedup map: immutable sorted `(fingerprint, slot)` runs
+    /// on disk, mutually disjoint with each other and with `map` by construction (a
+    /// fingerprint is probed against every run before it may enter the delta table).
+    /// Empty when no memory budget is configured.
+    runs: Vec<SpillRun>,
     meta: Vec<SlotMeta>,
     /// Parallel to `meta` in [`StoreMode::Full`]; stays empty in
     /// [`StoreMode::FingerprintOnly`].
@@ -121,6 +132,19 @@ struct ShardCell<S> {
     contention: AtomicU64,
 }
 
+/// The out-of-core plan of a budgeted store: where spill files go and when each
+/// stripe's delta table gives way to a sorted run.
+struct StoreSpill {
+    /// Unique per-store directory holding every run (and frontier queue) file;
+    /// removed when the store drops.
+    dir: PathBuf,
+    /// Delta-table entries per stripe before it is flushed to a run.
+    flush_entries: usize,
+    /// The configured budget, echoed into [`SpillStats`].
+    budget_bytes: u64,
+    counters: SpillCounters,
+}
+
 /// The lock-striped discovered-state arena.  See the module docs for the memory model.
 pub struct StateStore<S> {
     shards: Vec<ShardCell<S>>,
@@ -132,6 +156,17 @@ pub struct StateStore<S> {
     /// Right-shift extracting the stripe from the fingerprint's leading bits.
     shift: u32,
     len: AtomicUsize,
+    /// The out-of-core tier; `None` when no memory budget is configured (the store
+    /// then behaves exactly as before the spill tier existed).
+    spill: Option<StoreSpill>,
+}
+
+impl<S> Drop for StateStore<S> {
+    fn drop(&mut self) {
+        if let Some(spill) = &self.spill {
+            let _ = std::fs::remove_dir_all(&spill.dir);
+        }
+    }
 }
 
 /// The result of an insertion attempt.  Both arms hand a state back to the caller, so
@@ -153,6 +188,7 @@ pub struct ShardHandle<'a, S> {
     shard_bits: u32,
     mode: StoreMode,
     len: &'a AtomicUsize,
+    spill: Option<&'a StoreSpill>,
 }
 
 impl<S: SpecState> ShardHandle<'_, S> {
@@ -197,49 +233,81 @@ impl<S: SpecState> ShardHandle<'_, S> {
         perm: Option<Perm>,
     ) -> Insert<S> {
         let inner = &mut *self.guard;
-        match inner.map.entry(fp) {
-            std::collections::hash_map::Entry::Occupied(slot) => {
-                Insert::Existing(pack(*slot.get(), self.shard, self.shard_bits), state)
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                let local = inner.meta.len() as u32;
-                // The packed index must round-trip: `local` may not spill into the
-                // shard bits, and `NO_PARENT` (u32::MAX) stays reserved.
-                assert!(
-                    (self.shard_bits == 0 && local < u32::MAX)
-                        || (self.shard_bits > 0 && local < 1 << (32 - self.shard_bits)),
-                    "state-store stripe is full ({local} slots at {} shard bits)",
-                    self.shard_bits
-                );
-                let index = pack(local, self.shard, self.shard_bits);
-                assert_ne!(index.0, NO_PARENT, "state store is full (2^32 entries)");
-                slot.insert(local);
-                inner.meta.push(SlotMeta {
-                    fp,
-                    parent: parent.map_or(NO_PARENT, |p| p.0),
-                    label,
-                });
-                if let Some(perm) = perm {
-                    debug_assert_eq!(
-                        inner.perms.len() + 1,
-                        inner.meta.len(),
-                        "stores mixing canonical and plain inserts cannot de-canonicalize"
-                    );
-                    inner.perms.push(perm);
+        // Dedup: the in-RAM delta table first, then (budgeted stores only) every
+        // spilled run, bloom filters first.  Runs and delta table are disjoint, so
+        // the probe order never affects the answer — only which tier pays for it.
+        if let Some(&local) = inner.map.get(&fp) {
+            return Insert::Existing(pack(local, self.shard, self.shard_bits), state);
+        }
+        if let Some(spill) = self.spill {
+            for run in &inner.runs {
+                if let Some(local) = run.probe(fp, &spill.counters) {
+                    return Insert::Existing(pack(local, self.shard, self.shard_bits), state);
                 }
-                let for_caller = match self.mode {
-                    StoreMode::Full => {
-                        let clone = state.clone();
-                        inner.states.push(state);
-                        clone
-                    }
-                    StoreMode::FingerprintOnly => state,
-                };
-                self.len.fetch_add(1, Ordering::AcqRel);
-                Insert::Fresh(index, for_caller)
             }
         }
+        let local = inner.meta.len() as u32;
+        // The packed index must round-trip: `local` may not spill into the
+        // shard bits, and `NO_PARENT` (u32::MAX) stays reserved.
+        assert!(
+            (self.shard_bits == 0 && local < u32::MAX)
+                || (self.shard_bits > 0 && local < 1 << (32 - self.shard_bits)),
+            "state-store stripe is full ({local} slots at {} shard bits)",
+            self.shard_bits
+        );
+        let index = pack(local, self.shard, self.shard_bits);
+        assert_ne!(index.0, NO_PARENT, "state store is full (2^32 entries)");
+        inner.map.insert(fp, local);
+        inner.meta.push(SlotMeta {
+            fp,
+            parent: parent.map_or(NO_PARENT, |p| p.0),
+            label,
+        });
+        if let Some(perm) = perm {
+            debug_assert_eq!(
+                inner.perms.len() + 1,
+                inner.meta.len(),
+                "stores mixing canonical and plain inserts cannot de-canonicalize"
+            );
+            inner.perms.push(perm);
+        }
+        let for_caller = match self.mode {
+            StoreMode::Full => {
+                let clone = state.clone();
+                inner.states.push(state);
+                clone
+            }
+            StoreMode::FingerprintOnly => state,
+        };
+        self.len.fetch_add(1, Ordering::AcqRel);
+        if let Some(spill) = self.spill {
+            if inner.map.len() >= spill.flush_entries {
+                flush_delta_table(inner, spill, self.shard);
+            }
+        }
+        Insert::Fresh(index, for_caller)
     }
+}
+
+/// Flushes a stripe's delta table to a new immutable sorted run.  Slot assignments
+/// are untouched — the entries only change *where* they live, so spilling can never
+/// alter which states a run discovers or which indices they get.
+fn flush_delta_table<S>(inner: &mut StoreShard<S>, spill: &StoreSpill, shard: u32) {
+    let entries: Vec<(Fingerprint, u32)> = inner.map.drain().collect();
+    let path = spill
+        .dir
+        .join(format!("shard{:04}-run{:04}.fps", shard, inner.runs.len()));
+    let run = SpillRun::write(&path, entries).expect("writing a fingerprint spill run");
+    spill.counters.runs_spilled.fetch_add(1, Ordering::Relaxed);
+    spill
+        .counters
+        .entries_spilled
+        .fetch_add(run.len() as u64, Ordering::Relaxed);
+    spill
+        .counters
+        .bytes_spilled
+        .fetch_add((run.len() * spill::RECORD_BYTES) as u64, Ordering::Relaxed);
+    inner.runs.push(run);
 }
 
 #[inline]
@@ -253,15 +321,47 @@ fn unpack(index: StateIndex, shard_bits: u32) -> (u32, u32) {
 }
 
 impl<S: SpecState> StateStore<S> {
-    /// Creates a store with `shards` lock stripes (rounded up to a power of two).
+    /// Creates a fully in-RAM store with `shards` lock stripes (rounded up to a power
+    /// of two).  Equivalent to [`StateStore::with_spill`] with an inactive config.
     pub fn new(mode: StoreMode, shards: usize) -> Self {
+        Self::with_spill(mode, shards, &SpillConfig::in_ram())
+    }
+
+    /// Creates a store with `shards` lock stripes (rounded up to a power of two),
+    /// armed with the out-of-core tier when `config` carries a memory budget.
+    ///
+    /// Under a budget, each stripe's dedup map becomes a bounded *delta table*: when
+    /// it reaches its share of the budget (`budget / 48 bytes-per-entry / stripes`,
+    /// floored at a small minimum) it is sorted and flushed to an immutable run file
+    /// under the spill directory.  Lookups then probe the delta table, then each
+    /// run's bloom filter, and only pay a positioned disk read on a bloom hit.
+    /// Spilling never changes slot assignment, so a budgeted run discovers exactly
+    /// the states — with exactly the indices — the in-RAM run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spill directory cannot be created: silently continuing
+    /// unbudgeted would defeat the point of asking for a budget.
+    pub fn with_spill(mode: StoreMode, shards: usize, config: &SpillConfig) -> Self {
         let n = shards.max(1).next_power_of_two();
         let bits = n.trailing_zeros();
+        let spill = config.budget_bytes.map(|budget| {
+            let dir = spill::create_spill_dir(config.dir.as_deref())
+                .expect("creating the spill directory for a memory-budgeted store");
+            StoreSpill {
+                dir,
+                flush_entries: (budget as usize / spill::DELTA_ENTRY_BYTES / n)
+                    .max(spill::MIN_FLUSH_ENTRIES),
+                budget_bytes: budget,
+                counters: SpillCounters::default(),
+            }
+        });
         StateStore {
             shards: (0..n)
                 .map(|_| ShardCell {
                     inner: Mutex::new(StoreShard {
                         map: HashMap::new(),
+                        runs: Vec::new(),
                         meta: Vec::new(),
                         states: Vec::new(),
                         perms: Vec::new(),
@@ -276,6 +376,32 @@ impl<S: SpecState> StateStore<S> {
             // collapses every stripe index to zero anyway.
             shift: (64 - bits) % 64,
             len: AtomicUsize::new(0),
+            spill,
+        }
+    }
+
+    /// Out-of-core activity so far: all-zero when no budget is set or nothing has
+    /// spilled yet.
+    pub fn spill_stats(&self) -> SpillStats {
+        match &self.spill {
+            Some(spill) => spill.counters.snapshot(spill.budget_bytes),
+            None => SpillStats::default(),
+        }
+    }
+
+    /// The store's spill directory, when the out-of-core tier is armed.  BFS borrows
+    /// it for frontier-level queue files so everything is cleaned up together.
+    pub(crate) fn spill_dir(&self) -> Option<&Path> {
+        self.spill.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Records `n` frontier entries round-tripped through an on-disk level queue.
+    pub(crate) fn note_frontier_spilled(&self, n: u64) {
+        if let Some(spill) = &self.spill {
+            spill
+                .counters
+                .frontier_spilled
+                .fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -312,6 +438,7 @@ impl<S: SpecState> StateStore<S> {
             shard_bits: self.shard_bits,
             mode: self.mode,
             len: &self.len,
+            spill: self.spill.as_ref(),
         }
     }
 
@@ -333,17 +460,23 @@ impl<S: SpecState> StateStore<S> {
             .collect()
     }
 
-    /// Looks up the index of a fingerprint, if present.
+    /// Looks up the index of a fingerprint, if present (in the delta table or any
+    /// spilled run).
     pub fn find(&self, fp: Fingerprint) -> Option<StateIndex> {
         let shard = self.shard_of(fp);
         let guard = self.shards[shard]
             .inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        if let Some(&local) = guard.map.get(&fp) {
+            return Some(pack(local, shard as u32, self.shard_bits));
+        }
+        let spill = self.spill.as_ref()?;
         guard
-            .map
-            .get(&fp)
-            .map(|&local| pack(local, shard as u32, self.shard_bits))
+            .runs
+            .iter()
+            .find_map(|run| run.probe(fp, &spill.counters))
+            .map(|local| pack(local, shard as u32, self.shard_bits))
     }
 
     /// The `(fingerprint, parent, label)` metadata of an entry.

@@ -330,14 +330,17 @@ fn refinement_applies_symmetry_only_under_a_declared_equivariant_projection() {
             .with_mode(RefineMode::TraceInclusion)
             .with_symmetry(SymmetryMode::Off),
     );
-    assert!(plain.refines() && off.refines(), "{plain}\n{off}");
+    assert!(
+        plain.refines() == Some(true) && off.refines() == Some(true),
+        "{plain}\n{off}"
+    );
     assert_eq!(plain.stats.fine_states, off.stats.fine_states);
     assert_eq!(plain.stats.coarse_states, off.stats.coarse_states);
 
     // With the declaration, both sides explore canonical representatives: strictly
     // fewer concrete states, identical verdict, identical projected classes.
     let reduced = check_refinement(&fine, &coarse, &projection().assume_equivariant(), &opts);
-    assert!(reduced.refines(), "{reduced}");
+    assert_eq!(reduced.refines(), Some(true), "{reduced}");
     assert!(reduced.conclusive());
     assert!(
         reduced.stats.fine_states < off.stats.fine_states,

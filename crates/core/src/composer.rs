@@ -34,8 +34,13 @@ impl ComposedSpec {
     /// [`Composer::compose_checked`] was used, the semantic refinement check against
     /// the un-coarsened composition.
     pub fn interaction_preserved(&self) -> bool {
+        // An inconclusive (budget-truncated) refinement check is *not* preservation
+        // evidence: only a conclusive passing verdict counts.
         self.preservation.iter().all(|(_, r)| r.preserved())
-            && self.refinement.as_ref().is_none_or(|r| r.refines())
+            && self
+                .refinement
+                .as_ref()
+                .is_none_or(|r| r.refines() == Some(true))
     }
 }
 

@@ -191,9 +191,13 @@ pub struct RefineRow {
     pub version: String,
     /// Number of servers in the configuration.
     pub servers: usize,
-    /// Whether the coarse side simulates the fine side.
-    pub refines: bool,
-    /// Whether both sides were explored to exhaustion (a conclusive verdict).
+    /// The three-valued verdict: `"refines"`, `"diverges"`, or `"inconclusive"`.
+    /// A budget-truncated run is `"inconclusive"` — never a definite verdict, so no
+    /// consumer can mistake a truncated row for a proof (the old `refines: true` +
+    /// `conclusive: false` pairing).
+    pub verdict: String,
+    /// Whether the verdict is definite (both sides explored far enough to decide).
+    /// `"refines"`/`"diverges"` imply `true`; `"inconclusive"` implies `false`.
     pub conclusive: bool,
     /// The divergence kind when one was found.
     pub divergence: Option<String>,
@@ -211,6 +215,12 @@ pub struct RefineRow {
     pub coarse_projections: usize,
     /// Fine stabilization edges checked against the coarse quotient.
     pub edges_checked: usize,
+    /// The checker's memory budget in bytes (0 when unbudgeted — everything in RAM).
+    pub mem_budget: u64,
+    /// Fingerprint bytes the fine side spilled to sorted on-disk runs.
+    pub fine_bytes_spilled: u64,
+    /// Fingerprint bytes the coarse side spilled to sorted on-disk runs.
+    pub coarse_bytes_spilled: u64,
     /// Wall-clock time of the check.
     pub time: Duration,
 }
@@ -225,7 +235,7 @@ impl RefineRow {
             .string("mode", &self.mode)
             .string("version", &self.version)
             .u128("servers", self.servers as u128)
-            .bool("refines", self.refines)
+            .string("verdict", &self.verdict)
             .bool("conclusive", self.conclusive)
             .opt_string("divergence", self.divergence.as_deref())
             .opt_u128("witness_depth", self.witness_depth.map(u128::from))
@@ -238,6 +248,9 @@ impl RefineRow {
             .u128("fine_projections", self.fine_projections as u128)
             .u128("coarse_projections", self.coarse_projections as u128)
             .u128("edges_checked", self.edges_checked as u128)
+            .u128("mem_budget", self.mem_budget.into())
+            .u128("fine_bytes_spilled", self.fine_bytes_spilled.into())
+            .u128("coarse_bytes_spilled", self.coarse_bytes_spilled.into())
             .u128("time", self.time.as_millis())
             .finish()
     }
@@ -256,7 +269,7 @@ mod tests {
             mode: "simulation".to_owned(),
             version: "ZooKeeper v3.9.1".to_owned(),
             servers: 3,
-            refines: true,
+            verdict: "refines".to_owned(),
             conclusive: true,
             divergence: None,
             witness_depth: None,
@@ -266,22 +279,44 @@ mod tests {
             fine_projections: 181,
             coarse_projections: 181,
             edges_checked: 704,
+            mem_budget: 0,
+            fine_bytes_spilled: 0,
+            coarse_bytes_spilled: 0,
             time: Duration::from_millis(5_400),
         };
         let json = row.to_json();
-        assert!(json.contains("\"refines\":true"));
+        assert!(json.contains("\"verdict\":\"refines\""));
         assert!(json.contains("\"divergence\":null"));
         assert!(json.contains("\"time\":5400"));
         let diverging = RefineRow {
-            refines: false,
+            verdict: "diverges".to_owned(),
             divergence: Some("MissingInCoarse".to_owned()),
             witness_depth: Some(12),
             witness_original_depth: Some(31),
-            ..row
+            ..row.clone()
         };
         let json = diverging.to_json();
         assert!(json.contains("\"divergence\":\"MissingInCoarse\""));
         assert!(json.contains("\"witness_depth\":12"));
+
+        // A truncated run: the verdict string itself says inconclusive, and the spill
+        // columns surface the out-of-core activity.
+        let truncated = RefineRow {
+            verdict: "inconclusive".to_owned(),
+            conclusive: false,
+            mem_budget: 1 << 30,
+            fine_bytes_spilled: 123_456,
+            coarse_bytes_spilled: 0,
+            ..row
+        };
+        let json = truncated.to_json();
+        assert!(json.contains("\"verdict\":\"inconclusive\""));
+        assert!(
+            !json.contains("\"refines\""),
+            "no boolean refines field can pair a definite verdict with conclusive:false"
+        );
+        assert!(json.contains("\"mem_budget\":1073741824"));
+        assert!(json.contains("\"fine_bytes_spilled\":123456"));
     }
 
     #[test]

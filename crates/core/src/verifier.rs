@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use remix_checker::{
     check_bfs, check_refinement, shrink_violation, CheckMode, CheckOptions, CheckOutcome,
-    RefineOptions, RefineOutcome, StoreMode, SymmetryMode,
+    RefineOptions, RefineOutcome, RefineVerdict, SpillConfig, StoreMode, SymmetryMode,
 };
 use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, SpecError, Trace};
 use remix_zab::{projection_between, ClusterConfig, SpecPreset, ZabState};
@@ -87,6 +87,13 @@ pub struct VerifierOptions {
     /// symmetric under server-id permutation); violation traces are de-canonicalized
     /// before they are reported.  See [`SymmetryMode`].
     pub symmetry: SymmetryMode,
+    /// Memory budget and spill directory of the checker's out-of-core tier; defaults
+    /// honour `REMIX_MEM_BUDGET` / `REMIX_SPILL_DIR`.  See
+    /// [`SpillConfig`].
+    pub spill: SpillConfig,
+    /// Owner-routed sharding of the discovered-state set; see
+    /// [`CheckOptions::route_by_owner`](remix_checker::CheckOptions).
+    pub route_by_owner: bool,
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
@@ -111,6 +118,8 @@ impl Default for VerifierOptions {
             batch_size: check.batch_size,
             store_mode: check.store_mode,
             symmetry: check.symmetry,
+            spill: check.spill,
+            route_by_owner: check.route_by_owner,
             only_invariants: Vec::new(),
             shrink_counterexamples: false,
         }
@@ -161,6 +170,19 @@ impl VerifierOptions {
     /// Selects the symmetry-reduction mode.
     pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
         self.symmetry = mode;
+        self
+    }
+
+    /// Sets the checker's memory budget in bytes (fingerprint runs and — in the
+    /// full-state store — frontier levels beyond it spill to disk).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.spill.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Replaces the whole out-of-core configuration.
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
         self
     }
 
@@ -245,6 +267,8 @@ impl Verifier {
             collect_traces: true,
             store_mode: options.store_mode,
             symmetry: options.symmetry,
+            spill: options.spill.clone(),
+            route_by_owner: options.route_by_owner,
         };
         let outcome = check_bfs(&spec, &check);
         let shrunk = if options.shrink_counterexamples {
@@ -282,9 +306,17 @@ pub struct RefinementRun {
 }
 
 impl RefinementRun {
-    /// `true` when the coarse composition simulates the fine one.
-    pub fn refines(&self) -> bool {
+    /// The definite verdict when there is one: `Some(true)` only when the coarse
+    /// composition simulates the fine one over the *whole* reachable space,
+    /// `Some(false)` on a concrete divergence, `None` when a budget truncated the
+    /// check (nothing was proved either way).
+    pub fn refines(&self) -> Option<bool> {
         self.outcome.refines()
+    }
+
+    /// The three-valued verdict of the check.
+    pub fn verdict(&self) -> RefineVerdict {
+        self.outcome.verdict()
     }
 
     /// The modules of the actions in the divergence witness that exist only in the
@@ -322,7 +354,7 @@ impl RefinementRun {
             mode: self.outcome.mode.to_string(),
             version: self.config.version.label().to_owned(),
             servers: self.config.num_servers,
-            refines: self.outcome.refines(),
+            verdict: self.outcome.verdict().as_str().to_owned(),
             conclusive: self.outcome.conclusive(),
             divergence: self
                 .outcome
@@ -344,6 +376,14 @@ impl RefinementRun {
             fine_projections: self.outcome.stats.fine_projections,
             coarse_projections: self.outcome.stats.coarse_projections,
             edges_checked: self.outcome.stats.edges_checked,
+            mem_budget: self
+                .outcome
+                .stats
+                .fine_spill
+                .budget_bytes
+                .max(self.outcome.stats.coarse_spill.budget_bytes),
+            fine_bytes_spilled: self.outcome.stats.fine_spill.bytes_spilled,
+            coarse_bytes_spilled: self.outcome.stats.coarse_spill.bytes_spilled,
             time: self.outcome.stats.elapsed,
         }
     }

@@ -45,7 +45,7 @@ fn coarse_election_refines_baseline_conclusively() {
         let run = Verifier::new(config)
             .check_refinement(SpecPreset::SysSpec, SpecPreset::MSpec1, &options())
             .expect("presets form a refinement pair");
-        assert!(run.refines(), "{version:?}: {}", run.outcome);
+        assert_eq!(run.refines(), Some(true), "{version:?}: {}", run.outcome);
         assert!(run.outcome.conclusive(), "{version:?} must be conclusive");
         assert!(run.outcome.stats.fine_states > run.outcome.stats.coarse_states);
         assert_eq!(
@@ -53,8 +53,8 @@ fn coarse_election_refines_baseline_conclusively() {
             "the stable projected state spaces coincide exactly"
         );
         let row = run.row();
-        assert!(row.refines && row.conclusive);
-        assert!(row.to_json().contains("\"refines\":true"));
+        assert!(row.verdict == "refines" && row.conclusive);
+        assert!(row.to_json().contains("\"verdict\":\"refines\""));
     }
 }
 
@@ -207,7 +207,7 @@ fn compose_checked_makes_interaction_preserved_a_checked_property() {
         .compose_checked(&SpecPreset::MSpec1.plan(), &options())
         .expect("composes");
     let refinement = composed.refinement.as_ref().expect("semantic check ran");
-    assert!(refinement.refines());
+    assert_eq!(refinement.refines(), Some(true));
     assert!(composed.interaction_preserved());
 
     // A composition with nothing coarsened skips the semantic check.
@@ -322,12 +322,27 @@ fn fixed_versions_refine_cleanly_at_the_atomicity_granularity() {
         let run = Verifier::new(config)
             .check_refinement_plans(&fine_atomic_plan(), &SpecPreset::SysSpec.plan(), &options())
             .expect("plans form a refinement pair");
-        assert!(run.refines(), "{version:?}: {}", run.outcome);
+        assert!(
+            run.outcome.divergence.is_none(),
+            "{version:?}: {}",
+            run.outcome
+        );
         if must_be_conclusive {
+            assert_eq!(
+                run.refines(),
+                Some(true),
+                "{version:?}: a conclusive clean run is a definite verdict"
+            );
             assert!(run.outcome.conclusive(), "{version:?}");
             assert_eq!(
                 run.outcome.stats.fine_projections,
                 run.outcome.stats.coarse_projections
+            );
+        } else {
+            assert_ne!(
+                run.refines(),
+                Some(false),
+                "{version:?}: no divergence may be claimed"
             );
         }
     }
