@@ -47,17 +47,38 @@
 //! behave exactly like the pre-parallel engine.  Parallel and sequential runs discover
 //! the same state space and report the same minimal violation depth (all states of a
 //! level share one depth); see the `parallel_matches_sequential_*` regression tests.
+//!
+//! # Partial-order reduction and incremental canonicalization
+//!
+//! Under [`CheckOptions::por`] the engine prunes redundant interleavings with sleep
+//! sets derived from declared action footprints (see the `por` module): each frontier
+//! state carries the set of labels already covered through a sibling ordering, pruned
+//! transitions are skipped *before* canonicalization and fingerprinting, and the sleep
+//! sets of all same-level arrival edges are intersected at the level barrier — which
+//! keeps the reduction sound for safety properties, minimal-depth preserving, and
+//! deterministic across worker counts.  Independently, when the spec provides an
+//! incremental canonicalization (`Spec::incremental_symmetry`) and a successor's
+//! footprint bounds which servers changed, the per-successor canonicalization reuses
+//! the parent's sort keys instead of recomputing all of them — the parent is already
+//! canonical, so untouched keys are unchanged by construction (debug builds verify
+//! every incremental result against the full recomputation).
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
-use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace};
+use remix_spec::{
+    canon_stats, CanonFn, Effect, IncrementalCanon, LabelId, LabelTable, Perm, Spec, SpecState,
+    Trace,
+};
 
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+use crate::por::{self, FootprintTable, SleepSet};
 use crate::spill::IndexQueue;
 use crate::store::{Insert, StateIndex, StateStore, StoreMode};
 
@@ -203,7 +224,13 @@ struct PendingViolation {
 struct WorkerLevelResult<S> {
     next_frontier: Vec<(StateIndex, S)>,
     transitions: u64,
+    /// Transitions skipped by sleep-set POR (not counted in `transitions`).
+    pruned: u64,
     violations: Vec<PendingViolation>,
+    /// Arrival edges recorded under POR: the sleep set each inserted (fresh *or*
+    /// already-known) successor would inherit through this edge.  The coordinator
+    /// intersects the contributions per target at the level barrier.
+    sleep_edges: Vec<(StateIndex, SleepSet)>,
 }
 
 impl<S> Default for WorkerLevelResult<S> {
@@ -211,7 +238,9 @@ impl<S> Default for WorkerLevelResult<S> {
         WorkerLevelResult {
             next_frontier: Vec::new(),
             transitions: 0,
+            pruned: 0,
             violations: Vec::new(),
+            sleep_edges: Vec::new(),
         }
     }
 }
@@ -252,6 +281,18 @@ struct RunShared<'a, S> {
     /// symmetry group).  When set, the frontier and the store hold canonical
     /// representatives and violation traces are de-canonicalized on reconstruction.
     canon: Option<&'a CanonFn<S>>,
+    /// The incremental variant of `canon`, used for successors whose footprint bounds
+    /// the touched servers (`None` when symmetry is off or the spec only provides the
+    /// full recomputation).
+    incr: Option<&'a IncrementalCanon<S>>,
+    /// Sleep-set partial-order reduction is active ([`CheckOptions::por`]).
+    por: bool,
+    /// Declared footprint per interned label (grown lazily as labels are explored).
+    footprints: FootprintTable,
+    /// The sleep set of each current-frontier state, index-aligned with the published
+    /// frontier.  Rewritten by the coordinator between levels; empty for spilled
+    /// levels (their sleeps degrade to ∅, which is always sound).
+    frontier_sleeps: RwLock<Vec<SleepSet>>,
     stop: &'a StopCell,
     violation_count: &'a AtomicUsize,
     violation_limit: usize,
@@ -287,6 +328,7 @@ struct RunShared<'a, S> {
 /// Runs breadth-first model checking of `spec` under `options`.
 pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
     let start = Instant::now();
+    let fallbacks_before = canon_stats::tie_cap_fallbacks();
     let workers = options.workers.max(1);
     let labels = LabelTable::new();
     let store: StateStore<S> =
@@ -306,6 +348,9 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         SymmetryMode::Canonicalize => spec.symmetry.as_ref(),
         SymmetryMode::Off => None,
     };
+    // The incremental path only makes sense when the full canonicalization is active
+    // (it shares the same canonical-representative invariant).
+    let incr: Option<&IncrementalCanon<S>> = canon.and(spec.incremental_symmetry.as_ref());
 
     // Seed the store with the initial states (depth 0), checking invariants on each.
     let mut frontier: Vec<(StateIndex, S)> = Vec::new();
@@ -358,6 +403,10 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         labels: &labels,
         store: &store,
         canon,
+        incr,
+        por: options.por,
+        footprints: FootprintTable::new(),
+        frontier_sleeps: RwLock::new(Vec::new()),
         stop: &stop,
         violation_count: &violation_count,
         violation_limit,
@@ -387,7 +436,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
 
     resolve_violations(&shared, options, pending, &mut violations);
     if let Some(reason) = stop.stop_reason() {
-        let stats = stats_from(&store, &vec![0u64; workers], 0, start);
+        let stats = stats_from(&store, &vec![0u64; workers], 0, start, 0, fallbacks_before);
         return CheckOutcome {
             spec_name: spec.name.clone(),
             stats,
@@ -398,6 +447,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     }
 
     let mut per_worker_transitions = vec![0u64; workers];
+    let mut pruned_transitions: u64 = 0;
     let mut max_depth_reached: u32 = 0;
     let mut stop_reason = StopReason::Exhausted;
 
@@ -409,6 +459,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             frontier,
             pool,
             &mut per_worker_transitions,
+            &mut pruned_transitions,
             &mut max_depth_reached,
             &mut violations,
         )
@@ -430,7 +481,14 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         });
     }
 
-    let stats = stats_from(&store, &per_worker_transitions, max_depth_reached, start);
+    let stats = stats_from(
+        &store,
+        &per_worker_transitions,
+        max_depth_reached,
+        start,
+        pruned_transitions,
+        fallbacks_before,
+    );
     CheckOutcome {
         spec_name: spec.name.clone(),
         stats,
@@ -543,6 +601,7 @@ fn level_loop<S: SpecState>(
     frontier: Vec<(StateIndex, S)>,
     pool: bool,
     per_worker_transitions: &mut [u64],
+    pruned_transitions: &mut u64,
     max_depth_reached: &mut u32,
     violations: &mut Vec<Violation<S>>,
 ) -> StopReason {
@@ -579,6 +638,7 @@ fn level_loop<S: SpecState>(
         shared.child_depth.store(level_depth + 1, Ordering::Release);
         let mut next = NextFrontier::new(frontier_spill, level_depth + 1, shared.store);
         let mut pending: Vec<PendingViolation> = Vec::new();
+        let mut sleep_edges: Vec<(StateIndex, SleepSet)> = Vec::new();
 
         // A resident level is one chunk; a spilled level streams back in budget-sized
         // chunks, each expanded exactly like a whole level used to be.
@@ -612,8 +672,10 @@ fn level_loop<S: SpecState>(
                 chunk,
                 pool,
                 per_worker_transitions,
+                pruned_transitions,
                 &mut next,
                 &mut pending,
+                &mut sleep_edges,
             );
             // Mid-level stops abort the remaining chunks, exactly as expansion of a
             // resident level aborts its remaining claims.
@@ -630,29 +692,72 @@ fn level_loop<S: SpecState>(
             return reason;
         }
         frontier = next.into_frontier();
+        if shared.por {
+            publish_frontier_sleeps(shared, sleep_edges, &frontier);
+        }
         level_depth += 1;
     }
     StopReason::Exhausted
+}
+
+/// Builds the next level's sleep sets from the arrival edges recorded during the level
+/// just expanded, and publishes them index-aligned with the next frontier.
+///
+/// A state reached through several same-level edges keeps only the labels *every*
+/// arrival keeps asleep (set intersection — commutative, so the result is independent
+/// of worker scheduling).  Edges to states of older levels (re-visits at greater depth)
+/// have no aligned frontier slot and are dropped; spilled levels get no sleep sets at
+/// all — both degrade the reduction, never its soundness.
+fn publish_frontier_sleeps<S>(
+    shared: &RunShared<'_, S>,
+    sleep_edges: Vec<(StateIndex, SleepSet)>,
+    frontier: &LevelFrontier<S>,
+) {
+    let mut by_index: HashMap<u32, SleepSet> = HashMap::with_capacity(sleep_edges.len());
+    for (index, sleep) in sleep_edges {
+        match by_index.entry(index.0) {
+            Entry::Occupied(mut slot) => por::intersect_sorted(slot.get_mut(), &sleep),
+            Entry::Vacant(slot) => {
+                slot.insert(sleep);
+            }
+        }
+    }
+    let aligned: Vec<SleepSet> = match frontier {
+        LevelFrontier::Ram(v) => v
+            .iter()
+            .map(|(index, _)| by_index.remove(&index.0).unwrap_or_default())
+            .collect(),
+        LevelFrontier::Disk(_) => Vec::new(),
+    };
+    *shared
+        .frontier_sleeps
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = aligned;
 }
 
 /// Expands one chunk of the current level (inline or on the pool), merging the per-worker
 /// results into the accumulators.  Under owner routing each chunk runs as two phases:
 /// expand (deposit successors into shard mailboxes) then drain (each shard's owner
 /// merges its mailbox).
+#[allow(clippy::too_many_arguments)]
 fn expand_level_chunk<S: SpecState>(
     shared: &RunShared<'_, S>,
     chunk: Vec<(StateIndex, S)>,
     pool: bool,
     per_worker_transitions: &mut [u64],
+    pruned_transitions: &mut u64,
     next: &mut NextFrontier<'_, S>,
     pending: &mut Vec<PendingViolation>,
+    sleep_edges: &mut Vec<(StateIndex, SleepSet)>,
 ) {
     let workers = per_worker_transitions.len();
     let mut merge = |results: Vec<WorkerLevelResult<S>>| {
         for (w, result) in results.into_iter().enumerate() {
             per_worker_transitions[w] += result.transitions;
+            *pruned_transitions += result.pruned;
             next.extend(result.next_frontier);
             pending.extend(result.violations);
+            sleep_edges.extend(result.sleep_edges);
         }
     };
 
@@ -818,6 +923,8 @@ struct BufferedSuccessor<S> {
     label: LabelId,
     state: S,
     perm: Option<Perm>,
+    /// The sleep set this edge hands down to its target (empty when POR is off).
+    sleep: SleepSet,
 }
 
 /// The worker loop: claims frontier indices (own range first, then stolen halves),
@@ -842,6 +949,15 @@ fn expand_range<S: SpecState>(
     let mut stolen: Option<StealRange> = None;
     let mut processed: u64 = 0;
     let child_depth = shared.child_depth.load(Ordering::Acquire);
+    // Index-aligned sleep sets of the published frontier (empty map when POR is off or
+    // the level was spilled).  Workers hold the read lock for the whole cycle; the
+    // coordinator only writes between cycles, while every worker is parked.
+    let frontier_sleeps = shared.por.then(|| {
+        shared
+            .frontier_sleeps
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    });
 
     'claim: loop {
         if shared.stop.requested() {
@@ -880,21 +996,81 @@ fn expand_range<S: SpecState>(
         };
 
         let (parent_index, state) = &frontier[idx];
+        // POR bookkeeping for this parent: the labels it must not re-explore (sorted),
+        // their footprints (resolved once, outside the hot closure), and the explored
+        // earlier siblings accumulated as enumeration proceeds.
+        let sleep_in: &[LabelId] = frontier_sleeps
+            .as_ref()
+            .and_then(|sleeps| sleeps.get(idx))
+            .map_or(&[], |sleep| sleep.as_slice());
+        let sleep_in_effects: Vec<(LabelId, Effect)> = if sleep_in.is_empty() {
+            Vec::new()
+        } else {
+            shared.footprints.resolve(sleep_in)
+        };
+        let mut retained: Vec<(LabelId, Effect)> = Vec::new();
+        // The parent's canonicalization memo, built lazily on the first successor that
+        // can use the incremental path (the parent state is already canonical).
+        let mut memo: Option<Box<dyn std::any::Any + Send + Sync>> = None;
         shared
             .spec
-            .for_each_successor(state, shared.labels, |label, next| {
+            .for_each_successor(state, shared.labels, |label, next, effect| {
+                if shared.por && sleep_in.binary_search(&label).is_ok() {
+                    // Already covered through a sibling interleaving of an earlier
+                    // edge: skip before canonicalization and fingerprinting.
+                    result.pruned += 1;
+                    return;
+                }
                 result.transitions += 1;
+                let mut sleep = SleepSet::new();
+                if shared.por {
+                    if let Some(e) = effect {
+                        shared.footprints.record(label, e);
+                    }
+                    sleep = por::child_sleep(&sleep_in_effects, &retained, effect);
+                    if let Some(e) = effect.filter(|e| !e.is_global()) {
+                        retained.push((label, e));
+                    }
+                }
                 // Under symmetry the successor is replaced by the canonical
                 // representative of its orbit before fingerprinting, so the whole
                 // orbit dedups to one store entry; the applied permutation rides
-                // along for later trace de-canonicalization.
-                let (next, perm) = match shared.canon {
-                    Some(canon) => {
+                // along for later trace de-canonicalization.  When the successor's
+                // footprint bounds the touched servers, the incremental path reuses
+                // the parent's sort keys instead of recomputing all of them.
+                let (next, perm) = match (shared.canon, shared.incr) {
+                    (Some(_canon), Some(incr)) if effect.is_some_and(|e| !e.is_global()) => {
+                        let touched = effect.expect("guarded above").touched_servers();
+                        let parent_memo = memo.get_or_insert_with(|| (incr.memo)(state));
+                        #[cfg(debug_assertions)]
+                        let oracle = next.clone();
+                        let (canonical, perm) = (incr.canon)(next, &**parent_memo, touched);
+                        #[cfg(debug_assertions)]
+                        debug_assert_eq!(
+                            canonical,
+                            _canon(&oracle).0,
+                            "incremental canonicalization diverged from the full \
+                             recomputation (label {label:?})"
+                        );
+                        (canonical, Some(perm))
+                    }
+                    (Some(_canon), Some(incr)) => {
+                        // No usable footprint, but the owned full path still skips the
+                        // deep rewrite when the canonical permutation is the identity.
+                        let (canonical, perm) = (incr.full_owned)(next);
+                        (canonical, Some(perm))
+                    }
+                    (Some(canon), None) => {
                         let (canonical, perm) = canon(&next);
                         (canonical, Some(perm))
                     }
-                    None => (next, None),
+                    (None, _) => (next, None),
                 };
+                // Sleep-set labels live in the parent's id frame; a relabelling edge
+                // invalidates them, so the child starts awake (always sound).
+                if perm.as_ref().is_some_and(|p| !p.is_identity()) {
+                    sleep.clear();
+                }
                 let fp = fingerprint(&next);
                 let shard = shared.store.shard_of(fp);
                 buffers[shard].push(BufferedSuccessor {
@@ -903,6 +1079,7 @@ fn expand_range<S: SpecState>(
                     label,
                     state: next,
                     perm,
+                    sleep,
                 });
                 if buffers[shard].len() >= shared.batch_size {
                     if shared.route_by_owner {
@@ -1005,7 +1182,8 @@ fn flush_shard<S: SpecState>(
     let mut fresh: Vec<(StateIndex, Fingerprint, S)> = Vec::new();
     {
         let mut handle = shared.store.lock_shard(shard);
-        for item in buffer.drain(..) {
+        for mut item in buffer.drain(..) {
+            let sleep = std::mem::take(&mut item.sleep);
             let insert = match item.perm {
                 Some(perm) => handle.insert_canonical(
                     item.fp,
@@ -1016,6 +1194,16 @@ fn flush_shard<S: SpecState>(
                 ),
                 None => handle.insert(item.fp, Some(item.parent), item.label, item.state),
             };
+            // Both fresh and already-known targets contribute an arrival edge: a state
+            // reached again within the same level only keeps a label asleep if every
+            // minimal-depth arrival does (re-visits from older levels are dropped at
+            // the barrier — their targets have no slot in the next frontier).
+            let index = match &insert {
+                Insert::Fresh(index, _) | Insert::Existing(index, _) => *index,
+            };
+            if shared.por {
+                result.sleep_edges.push((index, sleep));
+            }
             if let Insert::Fresh(index, state) = insert {
                 fresh.push((index, item.fp, state));
             }
@@ -1097,6 +1285,8 @@ fn stats_from<S: SpecState>(
     per_worker_transitions: &[u64],
     max_depth: u32,
     start: Instant,
+    pruned_transitions: u64,
+    canon_fallbacks_before: u64,
 ) -> CheckStats {
     CheckStats {
         distinct_states: store.len(),
@@ -1108,6 +1298,8 @@ fn stats_from<S: SpecState>(
         peak_entry_bytes: store.entry_bytes(),
         entry_bytes_per_state: store.entry_bytes_per_state(),
         spill: store.spill_stats(),
+        pruned_transitions,
+        canon_fallbacks: canon_stats::tie_cap_fallbacks().saturating_sub(canon_fallbacks_before),
     }
 }
 

@@ -21,19 +21,37 @@
 //! change the reachable set and is skipped); see the
 //! `depth_bounded_dfs_reexpands_states_reached_shallower` regression test, which fails
 //! against the previous first-discovery-depth engine.
+//!
+//! # Partial-order reduction
+//!
+//! Under [`CheckOptions::por`] (and no depth bound — sleep-set re-pushes and
+//! depth-improvement re-pushes would otherwise interact) the engine prunes redundant
+//! interleavings with sleep sets (see the `por` module).  DFS combines sleep sets with
+//! state matching the classical way: each state records the sleep set of its first
+//! discovery, and a later arrival whose incoming sleep set is *smaller* shrinks the
+//! record (intersection) and re-pushes the state so the newly-awake transitions get
+//! explored — without the re-push, edges pruned on the first visit could be lost for
+//! good.  Sets only shrink, so the re-push loop terminates.  Incremental
+//! canonicalization (`Spec::incremental_symmetry`) is applied exactly as in the BFS
+//! engine: successors whose footprint bounds the touched servers reuse the parent's
+//! sort keys.
 
 use std::time::Instant;
 
-use remix_spec::{CanonFn, LabelTable, Spec, SpecState, Trace};
+use remix_spec::{
+    canon_stats, CanonFn, Effect, IncrementalCanon, LabelId, LabelTable, Spec, SpecState, Trace,
+};
 
 use crate::fingerprint::fingerprint;
 use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
+use crate::por::{self, FootprintTable, SleepSet};
 use crate::store::{Insert, StateIndex, StateStore};
 
 /// Runs depth-first model checking of `spec` under `options`.
 pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
     let start = Instant::now();
+    let fallbacks_before = canon_stats::tie_cap_fallbacks();
     let labels = LabelTable::new();
     // DFS is sequential; a single stripe makes `StateIndex` values dense (0, 1, 2, …),
     // which lets the best-known depths live in a flat vector indexed by state.
@@ -43,8 +61,14 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
     let mut violations: Vec<Violation<S>> = Vec::new();
     let mut violation_count = 0usize;
     let mut transitions = 0u64;
+    let mut pruned = 0u64;
     let mut max_depth_reached = 0u32;
     let mut stop_reason = StopReason::Exhausted;
+    // Sleep-set POR is only safe without a depth bound (see the module docs); the
+    // recorded sleep set of each state lives in a flat vector parallel to `best_depth`.
+    let use_por = options.por && options.max_depth.is_none();
+    let mut sleeps: Vec<SleepSet> = Vec::new();
+    let footprints = FootprintTable::new();
 
     let violation_limit = match options.mode {
         CheckMode::FirstViolation => 1,
@@ -57,6 +81,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         SymmetryMode::Canonicalize => spec.symmetry.as_ref(),
         SymmetryMode::Off => None,
     };
+    let incr: Option<&IncrementalCanon<S>> = canon.and(spec.incremental_symmetry.as_ref());
 
     for init in &spec.init {
         let insert = match canon {
@@ -76,6 +101,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             continue;
         };
         best_depth.push(0);
+        sleeps.push(SleepSet::new());
         check_state(
             spec,
             &labels,
@@ -119,17 +145,75 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         }
         let ndepth = depth + 1;
         let mut successors: Vec<(StateIndex, S, u32, bool)> = Vec::new();
-        spec.for_each_successor(&state, &labels, |label, next| {
+        // POR bookkeeping for this expansion: the state's recorded sleep set (cloned —
+        // the closure grows `sleeps` for fresh successors), its resolved footprints,
+        // and the explored earlier siblings.
+        let sleep_in: SleepSet = if use_por {
+            sleeps[index.0 as usize].clone()
+        } else {
+            SleepSet::new()
+        };
+        let sleep_in_effects: Vec<(LabelId, Effect)> = if sleep_in.is_empty() {
+            Vec::new()
+        } else {
+            footprints.resolve(&sleep_in)
+        };
+        let mut retained: Vec<(LabelId, Effect)> = Vec::new();
+        let mut memo: Option<Box<dyn std::any::Any + Send + Sync>> = None;
+        spec.for_each_successor(&state, &labels, |label, next, effect| {
+            if use_por && sleep_in.binary_search(&label).is_ok() {
+                // Covered through a sibling interleaving: skip before
+                // canonicalization and fingerprinting.
+                pruned += 1;
+                return;
+            }
             transitions += 1;
+            let mut sleep = SleepSet::new();
+            if use_por {
+                if let Some(e) = effect {
+                    footprints.record(label, e);
+                }
+                sleep = por::child_sleep(&sleep_in_effects, &retained, effect);
+                if let Some(e) = effect.filter(|e| !e.is_global()) {
+                    retained.push((label, e));
+                }
+            }
             // Under symmetry the successor is replaced by its orbit's canonical
-            // representative before fingerprinting (see the BFS engine).
-            let (next, perm) = match canon {
-                Some(canon) => {
+            // representative before fingerprinting (see the BFS engine); footprinted
+            // successors take the incremental path, reusing the parent's sort keys.
+            let (next, perm) = match (canon, incr) {
+                (Some(_canon), Some(incr)) if effect.is_some_and(|e| !e.is_global()) => {
+                    let touched = effect.expect("guarded above").touched_servers();
+                    let parent_memo = memo.get_or_insert_with(|| (incr.memo)(&state));
+                    #[cfg(debug_assertions)]
+                    let oracle = next.clone();
+                    let (canonical, perm) = (incr.canon)(next, &**parent_memo, touched);
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        canonical,
+                        _canon(&oracle).0,
+                        "incremental canonicalization diverged from the full \
+                         recomputation (label {label:?})"
+                    );
+                    (canonical, Some(perm))
+                }
+                (Some(_canon), Some(incr)) => {
+                    // No usable footprint, but the owned full path still skips the
+                    // deep rewrite when the canonical permutation is the identity.
+                    let (canonical, perm) = (incr.full_owned)(next);
+                    (canonical, Some(perm))
+                }
+                (Some(canon), None) => {
                     let (canonical, perm) = canon(&next);
                     (canonical, Some(perm))
                 }
-                None => (next, None),
+                (None, _) => (next, None),
             };
+            // Sleep labels live in the parent's id frame; a relabelling edge starts
+            // the child awake (always sound).
+            if perm.as_ref().is_some_and(|p| !p.is_identity()) {
+                sleep.clear();
+            }
             let nfp = fingerprint(&next);
             let mut handle = store.lock_shard(store.shard_of(nfp));
             let insert = match perm.clone() {
@@ -140,6 +224,9 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                 Insert::Fresh(nindex, next) => {
                     drop(handle);
                     best_depth.push(ndepth);
+                    if use_por {
+                        sleeps.push(sleep);
+                    }
                     max_depth_reached = max_depth_reached.max(ndepth);
                     successors.push((nindex, next, ndepth, true));
                 }
@@ -158,6 +245,20 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                         // edge's recorded permutation moves with it.
                         store.set_parent(nindex, index, label, perm.clone());
                         successors.push((nindex, next, ndepth, false));
+                    } else if use_por {
+                        // Sleep-set shrink: this arrival keeps fewer labels asleep
+                        // than the recorded first visit, so the state must be
+                        // re-expanded with the intersection or the newly-awake edges
+                        // would be lost.  The re-push uses the state's *recorded*
+                        // depth — a deeper `ndepth` would be skipped as stale at pop
+                        // time (`use_por` implies no depth bound, so depths play no
+                        // other role here).
+                        let recorded = &mut sleeps[nindex.0 as usize];
+                        let before = recorded.len();
+                        por::intersect_sorted(recorded, &sleep);
+                        if recorded.len() < before {
+                            successors.push((nindex, next, best_depth[nindex.0 as usize], false));
+                        }
                     }
                 }
             }
@@ -205,6 +306,8 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         peak_entry_bytes: store.entry_bytes(),
         entry_bytes_per_state: store.entry_bytes_per_state(),
         spill: store.spill_stats(),
+        pruned_transitions: pruned,
+        canon_fallbacks: canon_stats::tie_cap_fallbacks().saturating_sub(fallbacks_before),
     };
     CheckOutcome {
         spec_name: spec.name.clone(),

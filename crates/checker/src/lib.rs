@@ -21,6 +21,7 @@ pub mod explore;
 pub mod fingerprint;
 pub mod options;
 pub mod outcome;
+pub(crate) mod por;
 pub mod refine;
 pub mod rng;
 pub mod shrink;

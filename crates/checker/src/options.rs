@@ -134,6 +134,16 @@ pub struct CheckOptions {
     /// results are unchanged (see `bfs` tests), only insert scheduling differs.
     /// Also enabled by `REMIX_ROUTE_BY_OWNER=1`.
     pub route_by_owner: bool,
+    /// Dynamic partial-order reduction via sleep sets: transitions whose declared
+    /// read/write footprints ([`remix_spec::Effect`]) prove them independent of an
+    /// already-explored sibling are pruned, reported in
+    /// `CheckStats::pruned_transitions`.  Sound for safety properties: every reachable
+    /// state is still reached (at its minimal depth in BFS), only redundant
+    /// interleavings between two reached states are skipped, so verdicts, distinct
+    /// state counts and minimal violation depths are unchanged — see the partial-order
+    /// reduction section of `ARCHITECTURE.md`.  A no-op for actions without declared
+    /// effects.  Off by default; also enabled by `REMIX_POR=1`.
+    pub por: bool,
 }
 
 impl Default for CheckOptions {
@@ -153,6 +163,10 @@ impl Default for CheckOptions {
             route_by_owner: matches!(
                 std::env::var("REMIX_ROUTE_BY_OWNER").as_deref(),
                 Ok("1") | Ok("true") | Ok("on") | Ok("owner")
+            ),
+            por: matches!(
+                std::env::var("REMIX_POR").as_deref(),
+                Ok("1") | Ok("true") | Ok("on")
             ),
         }
     }
@@ -235,6 +249,12 @@ impl CheckOptions {
         self.route_by_owner = on;
         self
     }
+
+    /// Enables or disables sleep-set partial-order reduction (see the field docs).
+    pub fn with_por(mut self, on: bool) -> Self {
+        self.por = on;
+        self
+    }
 }
 
 /// Options controlling random simulation (used by conformance checking, §3.5.2).
@@ -311,6 +331,14 @@ mod tests {
         // (store mode × symmetry mode) matrix too.
         assert_eq!(o.store_mode, StoreMode::from_env());
         assert_eq!(o.symmetry, SymmetryMode::from_env());
+        assert_eq!(
+            o.por,
+            matches!(
+                std::env::var("REMIX_POR").as_deref(),
+                Ok("1") | Ok("true") | Ok("on")
+            ),
+            "POR defaults follow the REMIX_POR env hook"
+        );
         assert!(o.collect_traces);
         assert!(o.shards >= 1 && o.batch_size >= 1);
         let c = CheckOptions::completion();
@@ -334,11 +362,13 @@ mod tests {
             .with_symmetry(SymmetryMode::Canonicalize)
             .with_mem_budget(1 << 20)
             .with_owner_routing(true)
+            .with_por(true)
             .with_time_budget(Duration::from_secs(1));
         assert_eq!(o.store_mode, StoreMode::FingerprintOnly);
         assert_eq!(o.symmetry, SymmetryMode::Canonicalize);
         assert_eq!(o.spill.budget_bytes, Some(1 << 20));
         assert!(o.route_by_owner);
+        assert!(o.por);
         assert_eq!(o.max_depth, Some(5));
         assert_eq!(o.max_states, Some(100));
         assert_eq!(o.workers, 1, "worker count is clamped to at least one");

@@ -821,7 +821,7 @@ fn expand_chunk<S: SpecState>(
 ) -> Vec<SuccessorRecord<S>> {
     let mut out = Vec::new();
     for (parent_index, state, lset) in slice {
-        spec.for_each_successor(state, &summary.labels, |label, next| {
+        spec.for_each_successor(state, &summary.labels, |label, next, _effect| {
             // Under symmetry the successor is replaced by its orbit's canonical
             // representative before fingerprinting and projecting.
             let (next, perm) = match &summary.canon {

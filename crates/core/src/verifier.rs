@@ -94,6 +94,10 @@ pub struct VerifierOptions {
     /// Owner-routed sharding of the discovered-state set; see
     /// [`CheckOptions::route_by_owner`](remix_checker::CheckOptions).
     pub route_by_owner: bool,
+    /// Whether the checker prunes provably redundant interleavings of independent
+    /// actions with sleep sets (the default honours `REMIX_POR`); see
+    /// [`CheckOptions::por`](remix_checker::CheckOptions).
+    pub por: bool,
     /// Restrict checking to these invariant identifiers (empty = all selected by the
     /// composition).  Used by the Table 4 harness to attribute a run to one bug.
     pub only_invariants: Vec<&'static str>,
@@ -120,6 +124,7 @@ impl Default for VerifierOptions {
             symmetry: check.symmetry,
             spill: check.spill,
             route_by_owner: check.route_by_owner,
+            por: check.por,
             only_invariants: Vec::new(),
             shrink_counterexamples: false,
         }
@@ -170,6 +175,12 @@ impl VerifierOptions {
     /// Selects the symmetry-reduction mode.
     pub fn with_symmetry(mut self, mode: SymmetryMode) -> Self {
         self.symmetry = mode;
+        self
+    }
+
+    /// Enables or disables sleep-set partial-order reduction.
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.por = por;
         self
     }
 
@@ -269,6 +280,7 @@ impl Verifier {
             symmetry: options.symmetry,
             spill: options.spill.clone(),
             route_by_owner: options.route_by_owner,
+            por: options.por,
         };
         let outcome = check_bfs(&spec, &check);
         let shrunk = if options.shrink_counterexamples {

@@ -13,6 +13,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::effect::Effect;
 use crate::module::ModuleId;
 
 /// Granularity of a module specification (§3 of the paper).
@@ -89,15 +90,31 @@ pub struct ActionInstance<S> {
     pub label: String,
     /// The successor state produced by executing the action.
     pub next: S,
+    /// The instance's declared read/write footprint, when the action provides one.
+    ///
+    /// Must be a function of the label's parameters only (see [`crate::effect`]), so
+    /// that every firing of the same label declares the same footprint.  `None` is the
+    /// conservative default: the checker treats the instance as dependent on the whole
+    /// state.
+    pub effect: Option<Effect>,
 }
 
 impl<S> ActionInstance<S> {
-    /// Creates a new instance with the given label and successor state.
+    /// Creates a new instance with the given label and successor state (no declared
+    /// footprint).
     pub fn new(label: impl Into<String>, next: S) -> Self {
         ActionInstance {
             label: label.into(),
             next,
+            effect: None,
         }
+    }
+
+    /// Attaches a declared read/write footprint to the instance.
+    #[must_use]
+    pub fn with_effect(mut self, effect: Effect) -> Self {
+        self.effect = Some(effect);
+        self
     }
 }
 

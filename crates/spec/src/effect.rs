@@ -1,0 +1,272 @@
+//! Static read/write footprints of action instances, used for dynamic partial-order
+//! reduction and incremental canonicalization.
+//!
+//! An [`Effect`] is a conservative, *label-determined* footprint: it must be a function
+//! of the action's parameters alone (never of the state it fires in), so that the same
+//! label always declares the same footprint.  Where the true footprint is state-dependent
+//! (e.g. "clear the channel to whoever my leader is"), the declaration must be a
+//! superset (e.g. the whole channel row).  Declaring no effect at all
+//! (`ActionInstance::effect == None`) is always sound: the checker treats such an action
+//! as dependent on everything and recomputes canonical forms from scratch after it.
+//!
+//! The footprint covers three resource domains:
+//!
+//! * **servers** — per-server replica state, as a bitmask over server ids `0..8`;
+//! * **channels** — directed FIFO message channels, bit `from * 8 + to` of a `u64`.
+//!   Network-level facts about the link (reachability, partition status) are charged to
+//!   the channel bits of both directions, so a send (which *reads* reachability) and a
+//!   partition (which *writes* it) conflict through the channel domain;
+//! * **flags** — named global scalars (fault budgets, ghost history, the first-writer
+//!   violation cell).
+//!
+//! Two effects are *independent* exactly when neither's write set intersects the other's
+//! read-or-write set in any domain ([`Effect::independent`]), the classical condition
+//! under which the two transitions commute and preserve each other's enabledness.  For
+//! that condition to be meaningful the declared reads must also cover the action's
+//! *guard* reads, not just the values flowing into the written state.
+#![allow(clippy::module_name_repetitions)]
+
+/// Maximum number of servers representable in a footprint mask.
+pub const MAX_EFFECT_SERVERS: usize = 8;
+
+/// Named global scalars of the flag domain (bits of `Effect::{reads,writes}_flags`).
+pub mod flags {
+    /// The remaining crash budget.
+    pub const CRASH_BUDGET: u16 = 1 << 0;
+    /// The remaining partition budget.
+    pub const PARTITION_BUDGET: u16 = 1 << 1;
+    /// The transaction-creation budget.
+    pub const TXN_BUDGET: u16 = 1 << 2;
+    /// Ghost bookkeeping (established leaders, broadcast history, ...).
+    pub const GHOST: u16 = 1 << 3;
+    /// The first-writer-wins code-violation cell.  Writes to it never commute, so any
+    /// action that *may* record a violation must declare a read *and* a write of this
+    /// flag.
+    pub const VIOLATION: u16 = 1 << 4;
+    /// The whole state: an action declaring this bit conflicts with everything.
+    pub const GLOBAL: u16 = 1 << 15;
+}
+
+/// A conservative read/write footprint of one action instance.
+///
+/// Built with the fluent constructors; all sets default to empty.  See the module
+/// documentation for the soundness contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Effect {
+    /// Servers whose replica state the action reads (guards included), as a bitmask.
+    pub reads_servers: u8,
+    /// Servers whose replica state the action may write, as a bitmask.
+    pub writes_servers: u8,
+    /// Directed channels the action reads (bit `from * 8 + to`).
+    pub reads_channels: u64,
+    /// Directed channels the action may write (send, pop, clear, or their
+    /// partition/reachability status).
+    pub writes_channels: u64,
+    /// Global flag scalars the action reads.
+    pub reads_flags: u16,
+    /// Global flag scalars the action may write.
+    pub writes_flags: u16,
+}
+
+impl Effect {
+    /// An empty footprint (reads and writes nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The whole-state footprint: dependent on everything, canonical keys of every
+    /// server may change.
+    #[must_use]
+    pub fn global() -> Self {
+        Self {
+            reads_flags: flags::GLOBAL,
+            writes_flags: flags::GLOBAL,
+            ..Self::default()
+        }
+    }
+
+    /// Returns `true` when the footprint covers the whole state.
+    #[must_use]
+    pub fn is_global(&self) -> bool {
+        (self.reads_flags | self.writes_flags) & flags::GLOBAL != 0
+    }
+
+    fn server_bit(i: usize) -> Option<u8> {
+        (i < MAX_EFFECT_SERVERS).then(|| 1u8 << i)
+    }
+
+    fn channel_bit(from: usize, to: usize) -> Option<u64> {
+        (from < MAX_EFFECT_SERVERS && to < MAX_EFFECT_SERVERS)
+            .then(|| 1u64 << (from * MAX_EFFECT_SERVERS + to))
+    }
+
+    /// Declares a read of server `i`'s state.  Out-of-range ids degrade to [`global`](Self::global).
+    #[must_use]
+    pub fn reads_server(mut self, i: usize) -> Self {
+        match Self::server_bit(i) {
+            Some(b) => self.reads_servers |= b,
+            None => return Self::global(),
+        }
+        self
+    }
+
+    /// Declares a write (and implicitly a read) of server `i`'s state.
+    #[must_use]
+    pub fn writes_server(mut self, i: usize) -> Self {
+        match Self::server_bit(i) {
+            Some(b) => {
+                self.writes_servers |= b;
+                self.reads_servers |= b;
+            }
+            None => return Self::global(),
+        }
+        self
+    }
+
+    /// Declares a read of the directed channel `from -> to` (its content or its
+    /// link-level status such as reachability).
+    #[must_use]
+    pub fn reads_channel(mut self, from: usize, to: usize) -> Self {
+        match Self::channel_bit(from, to) {
+            Some(b) => self.reads_channels |= b,
+            None => return Self::global(),
+        }
+        self
+    }
+
+    /// Declares a write (and implicitly a read) of the directed channel `from -> to`.
+    #[must_use]
+    pub fn writes_channel(mut self, from: usize, to: usize) -> Self {
+        match Self::channel_bit(from, to) {
+            Some(b) => {
+                self.writes_channels |= b;
+                self.reads_channels |= b;
+            }
+            None => return Self::global(),
+        }
+        self
+    }
+
+    /// Declares writes of every channel adjacent to server `i` (both directions), the
+    /// footprint of crashing or shutting down a server.
+    #[must_use]
+    pub fn writes_channels_of(mut self, i: usize) -> Self {
+        if i >= MAX_EFFECT_SERVERS {
+            return Self::global();
+        }
+        let row: u64 = 0xffu64 << (i * MAX_EFFECT_SERVERS);
+        let col: u64 = (0..MAX_EFFECT_SERVERS)
+            .map(|f| 1u64 << (f * MAX_EFFECT_SERVERS + i))
+            .fold(0, |a, b| a | b);
+        self.writes_channels |= row | col;
+        self.reads_channels |= row | col;
+        self
+    }
+
+    /// Declares a read of a flag scalar (see [`flags`]).
+    #[must_use]
+    pub fn reads_flag(mut self, f: u16) -> Self {
+        self.reads_flags |= f;
+        self
+    }
+
+    /// Declares a write (and implicitly a read) of a flag scalar (see [`flags`]).
+    #[must_use]
+    pub fn writes_flag(mut self, f: u16) -> Self {
+        self.writes_flags |= f;
+        self.reads_flags |= f;
+        self
+    }
+
+    /// `true` when the two effects are independent: neither's writes intersect the
+    /// other's reads or writes in any domain.  Independent transitions commute and
+    /// preserve each other's enabledness, the premise of sleep-set pruning.
+    #[must_use]
+    pub fn independent(&self, other: &Effect) -> bool {
+        if self.is_global() || other.is_global() {
+            return false;
+        }
+        let servers = (self.writes_servers & (other.reads_servers | other.writes_servers))
+            | (other.writes_servers & (self.reads_servers | self.writes_servers));
+        let channels = (self.writes_channels & (other.reads_channels | other.writes_channels))
+            | (other.writes_channels & (self.reads_channels | self.writes_channels));
+        let flags = (self.writes_flags & (other.reads_flags | other.writes_flags))
+            | (other.writes_flags & (self.reads_flags | self.writes_flags));
+        servers == 0 && channels == 0 && flags == 0
+    }
+
+    /// The servers whose permutation-invariant canonical sort key may differ between
+    /// the pre- and post-state of this action: every written server plus both endpoints
+    /// of every written channel (channel lengths and partition status are part of both
+    /// endpoints' keys).  Meaningless for [`global`](Self::global) effects — callers
+    /// must recompute everything in that case.
+    #[must_use]
+    pub fn touched_servers(&self) -> u8 {
+        let mut touched = self.writes_servers;
+        let mut chans = self.writes_channels;
+        while chans != 0 {
+            let bit = chans.trailing_zeros() as usize;
+            touched |= 1 << (bit / MAX_EFFECT_SERVERS);
+            touched |= 1 << (bit % MAX_EFFECT_SERVERS);
+            chans &= chans - 1;
+        }
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_footprints_are_independent() {
+        let a = Effect::new().writes_server(0).writes_channel(2, 0);
+        let b = Effect::new().writes_server(1).writes_channel(2, 1);
+        assert!(a.independent(&b));
+        assert!(b.independent(&a));
+    }
+
+    #[test]
+    fn read_write_overlap_is_dependent() {
+        // b only *reads* server 0, which a writes.
+        let a = Effect::new().writes_server(0);
+        let b = Effect::new().reads_server(0).writes_server(1);
+        assert!(!a.independent(&b));
+        // Pure read/read overlap stays independent.
+        let c = Effect::new().reads_server(0).writes_server(2);
+        assert!(b.independent(&c));
+    }
+
+    #[test]
+    fn flags_conflict_and_global_dominates() {
+        let a = Effect::new().writes_flag(flags::VIOLATION).writes_server(0);
+        let b = Effect::new().writes_flag(flags::VIOLATION).writes_server(1);
+        assert!(!a.independent(&b));
+        assert!(!Effect::global().independent(&Effect::new()));
+        assert!(Effect::global().is_global());
+    }
+
+    #[test]
+    fn channel_row_covers_every_direction() {
+        let crash = Effect::new().writes_server(1).writes_channels_of(1);
+        let send = Effect::new().writes_server(0).writes_channel(0, 1);
+        let other = Effect::new().writes_server(0).writes_channel(0, 2);
+        assert!(!crash.independent(&send), "send into the crashed row");
+        assert!(crash.independent(&other), "unrelated link commutes");
+    }
+
+    #[test]
+    fn touched_servers_covers_channel_endpoints() {
+        let e = Effect::new().writes_server(0).writes_channel(2, 1);
+        assert_eq!(e.touched_servers(), 0b111);
+        let crash = Effect::new().writes_server(3).writes_channels_of(3);
+        assert_eq!(crash.touched_servers(), 0xff);
+    }
+
+    #[test]
+    fn out_of_range_ids_degrade_to_global() {
+        assert!(Effect::new().writes_server(9).is_global());
+        assert!(Effect::new().writes_channel(0, 12).is_global());
+    }
+}

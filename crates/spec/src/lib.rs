@@ -37,6 +37,7 @@
 pub mod action;
 pub mod analysis;
 pub mod compose;
+pub mod effect;
 pub mod error;
 pub mod invariant;
 pub mod label;
@@ -53,13 +54,14 @@ pub use analysis::{
     InteractionAnalysis, ModuleFootprint, PreservationReport, PreservationViolation,
 };
 pub use compose::{compose, CompositionPlan, ModuleChoice};
+pub use effect::Effect;
 pub use error::SpecError;
 pub use invariant::{Invariant, InvariantScope, InvariantSource};
 pub use label::{LabelId, LabelTable, INIT_LABEL};
 pub use module::{ModuleId, ModuleSpec};
 pub use projection::{LabelProjectionFn, StabilityFn, StateProjectionFn, TraceProjection};
-pub use spec::{CanonFn, Spec, SpecState};
-pub use symmetry::{Canonicalize, Perm};
+pub use spec::{CanonFn, IncrementalCanon, Spec, SpecState};
+pub use symmetry::{canon_stats, Canonicalize, IncrementalCanonicalize, Perm};
 pub use trace::{
     condense, condensed_states, project_trace, ProjectedStep, ProjectedTrace, Trace, TraceStep,
 };

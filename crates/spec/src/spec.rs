@@ -7,10 +7,11 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 use crate::action::{ActionDef, Granularity};
+use crate::effect::Effect;
 use crate::invariant::Invariant;
 use crate::label::{LabelId, LabelTable};
 use crate::module::{ModuleId, ModuleSpec};
-use crate::symmetry::{Canonicalize, Perm};
+use crate::symmetry::{Canonicalize, IncrementalCanonicalize, Perm};
 use crate::value::Value;
 
 /// A canonicalization function attached to a [`Spec`]: maps a state to the canonical
@@ -20,6 +21,37 @@ use crate::value::Value;
 /// Stored type-erased so `Spec` stays usable for state types without a symmetry group,
 /// and checker options can switch symmetry reduction on and off without generic bounds.
 pub type CanonFn<S> = Arc<dyn Fn(&S) -> (S, Perm) + Send + Sync>;
+
+/// Type-erased incremental canonicalization attached to a [`Spec`] alongside its
+/// [`CanonFn`] (see [`IncrementalCanonicalize`]).
+///
+/// `memo` captures the per-process sort keys of a parent state about to be expanded;
+/// `canon` canonicalizes one owned successor, reusing the memo for every process not in
+/// the `touched` bitmask.  The memo travels as `Box<dyn Any>` so `Spec` needs no
+/// associated-type parameter; the closure pair is constructed together, so the
+/// downcast inside `canon` cannot fail.
+pub struct IncrementalCanon<S> {
+    /// Computes the expansion memo of a (canonical) parent state.
+    #[allow(clippy::type_complexity)]
+    pub memo: Arc<dyn Fn(&S) -> Box<dyn std::any::Any + Send + Sync> + Send + Sync>,
+    /// Canonicalizes an owned successor given the parent memo and touched mask.
+    #[allow(clippy::type_complexity)]
+    pub canon: Arc<dyn Fn(S, &(dyn std::any::Any + Send + Sync), u8) -> (S, Perm) + Send + Sync>,
+    /// Owned full canonicalization ([`Canonicalize::canonicalize_owned`]) for successors
+    /// without a usable effect footprint: still skips the deep rewrite when the
+    /// canonicalizing permutation is the identity.
+    pub full_owned: Arc<dyn Fn(S) -> (S, Perm) + Send + Sync>,
+}
+
+impl<S> Clone for IncrementalCanon<S> {
+    fn clone(&self) -> Self {
+        IncrementalCanon {
+            memo: Arc::clone(&self.memo),
+            canon: Arc::clone(&self.canon),
+            full_owned: Arc::clone(&self.full_owned),
+        }
+    }
+}
 
 /// Trait bound for states explored by the model checker.
 ///
@@ -54,6 +86,10 @@ pub struct Spec<S> {
     /// state types without one).  Engines consult it only when their options request
     /// symmetry reduction; see [`Spec::with_canonicalization`].
     pub symmetry: Option<CanonFn<S>>,
+    /// The incremental companion of [`symmetry`](Self::symmetry), when the state type
+    /// provides one (see [`Spec::with_incremental_canonicalization`]).  Engines fall
+    /// back to the full `symmetry` function for successors without a declared effect.
+    pub incremental_symmetry: Option<IncrementalCanon<S>>,
 }
 
 impl<S: SpecState> Spec<S> {
@@ -70,6 +106,7 @@ impl<S: SpecState> Spec<S> {
             modules,
             invariants,
             symmetry: None,
+            incremental_symmetry: None,
         }
     }
 
@@ -95,6 +132,32 @@ impl<S: SpecState> Spec<S> {
         self
     }
 
+    /// Like [`Spec::with_canonicalization`], additionally attaching the state type's
+    /// [`IncrementalCanonicalize`] implementation so engines can reuse the parent's
+    /// per-process sort keys on successors whose action declared an
+    /// [`Effect`] footprint.
+    pub fn with_incremental_canonicalization(mut self) -> Self
+    where
+        S: IncrementalCanonicalize,
+    {
+        self.symmetry = Some(Arc::new(|s: &S| s.canonicalize()));
+        self.incremental_symmetry = Some(IncrementalCanon {
+            memo: Arc::new(|s: &S| {
+                Box::new(s.canon_memo()) as Box<dyn std::any::Any + Send + Sync>
+            }),
+            canon: Arc::new(
+                |s: S, memo: &(dyn std::any::Any + Send + Sync), touched: u8| {
+                    let memo = memo
+                        .downcast_ref::<S::Memo>()
+                        .expect("memo built by the paired closure");
+                    s.canonicalize_incremental(memo, touched)
+                },
+            ),
+            full_owned: Arc::new(|s: S| s.canonicalize_owned()),
+        });
+        self
+    }
+
     /// Enumerates all successors of `state` under the next-state relation, labelled with
     /// the fully instantiated action name.
     pub fn successors(&self, state: &S) -> Vec<(String, S)> {
@@ -117,16 +180,20 @@ impl<S: SpecState> Spec<S> {
     /// the owned label of each [`ActionInstance`](crate::ActionInstance) is consumed by
     /// the interner (stored once per *distinct* label for the whole run), so downstream
     /// bookkeeping stores a `u32` per transition rather than a heap string.
+    ///
+    /// The third closure argument is the instance's declared [`Effect`] footprint
+    /// (`None` when the action does not declare one), which drives partial-order
+    /// reduction and incremental canonicalization in the checker.
     pub fn for_each_successor(
         &self,
         state: &S,
         labels: &LabelTable,
-        mut f: impl FnMut(LabelId, S),
+        mut f: impl FnMut(LabelId, S, Option<Effect>),
     ) {
         for module in &self.modules {
             for action in &module.actions {
                 for inst in action.enabled(state) {
-                    f(labels.intern_owned(inst.label), inst.next);
+                    f(labels.intern_owned(inst.label), inst.next, inst.effect);
                 }
             }
         }
@@ -185,6 +252,7 @@ impl<S> fmt::Debug for Spec<S> {
             .field("modules", &self.modules.len())
             .field("invariants", &self.invariants.len())
             .field("symmetry", &self.symmetry.is_some())
+            .field("incremental_symmetry", &self.incremental_symmetry.is_some())
             .finish()
     }
 }
@@ -304,13 +372,13 @@ mod tests {
         let labels = crate::label::LabelTable::new();
         let state = Counters { x: 1, y: 0 };
         let mut interned = Vec::new();
-        s.for_each_successor(&state, &labels, |id, next| {
+        s.for_each_successor(&state, &labels, |id, next, _effect| {
             interned.push((labels.resolve(id), next));
         });
         assert_eq!(s.successors(&state), interned);
         // Re-enumeration interns nothing new.
         let before = labels.len();
-        s.for_each_successor(&state, &labels, |_, _| {});
+        s.for_each_successor(&state, &labels, |_, _, _| {});
         assert_eq!(labels.len(), before);
     }
 

@@ -146,9 +146,67 @@ pub trait Canonicalize: Sized {
     /// permutation `π` that maps this state onto it (`canon == self.permute(&π)`).
     fn canonicalize(&self) -> (Self, Perm);
 
+    /// Owned variant of [`canonicalize`](Self::canonicalize): consumes `self` so an
+    /// implementation can return the state unchanged (no deep rewrite) when the
+    /// canonicalizing permutation turns out to be the identity — which in a checker
+    /// expanding successors of an already-canonical parent is the common case.
+    /// Must agree with `canonicalize` on both components for every state.
+    fn canonicalize_owned(self) -> (Self, Perm) {
+        self.canonicalize()
+    }
+
     /// Rewrites every id-bearing field of the state through `perm` (old id `i`
     /// becomes `perm.apply(i)`).
     fn permute(&self, perm: &Perm) -> Self;
+}
+
+/// Incremental canonicalization: reuse the parent state's per-process sort keys when
+/// only a known subset of processes changed.
+///
+/// A checker expands one (already canonical) parent into many successors.  With a memo
+/// of the parent's permutation-invariant sort keys and, per successor, a conservative
+/// bitmask of the processes the generating action may have *touched* (from
+/// [`Effect::touched_servers`](crate::effect::Effect::touched_servers)), the
+/// implementation only recomputes the touched keys — and when the merged key sequence
+/// is already strictly sorted, the successor is its own canonical form and is returned
+/// untouched, skipping the deep permuting rewrite entirely.
+///
+/// The law tying the two traits together: for every state `s`, memo `m = p.canon_memo()`
+/// of a parent `p`, and touched mask `t` that covers every process whose key differs
+/// between `p` and `s`,
+/// `s.clone().canonicalize_incremental(&m, t) == s.canonicalize()`.
+pub trait IncrementalCanonicalize: Canonicalize {
+    /// The memoized per-process keys of a state (opaque to the checker).
+    type Memo: Send + Sync + 'static;
+
+    /// Computes the memo for a state about to be expanded.
+    fn canon_memo(&self) -> Self::Memo;
+
+    /// Canonicalizes `self`, reusing `memo` for every process not in `touched`
+    /// (bit `i` set ⇒ process `i`'s key must be recomputed).  Takes ownership so the
+    /// common already-canonical case returns `self` without a clone.
+    fn canonicalize_incremental(self, memo: &Self::Memo, touched: u8) -> (Self, Perm);
+}
+
+/// Process-global counters for canonicalization edge cases, snapshotted by the checker
+/// into its per-run statistics (`CheckStats::canon_fallbacks` in `remix-checker`).
+pub mod canon_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TIE_CAP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+    /// Records one tie-group that exceeded every refinement stage and fell back to a
+    /// non-orbit-invariant ordering.  Any nonzero count means two members of one orbit
+    /// may map to different representatives (dedup misses, never unsoundness).
+    pub fn note_tie_cap_fallback() {
+        TIE_CAP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The process-global fallback count (monotonic; diff two reads to scope a run).
+    #[must_use]
+    pub fn tie_cap_fallbacks() -> u64 {
+        TIE_CAP_FALLBACKS.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

@@ -4,13 +4,14 @@
 //! follower; the fine-grained (concurrency) variant in `fine.rs` routes proposals and
 //! commits through the follower's SyncRequestProcessor / CommitProcessor queues.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::effect::flags;
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::BROADCAST;
 use crate::state::ZabState;
 use crate::types::{CodeViolation, Message, ServerState, Sid, Txn, ViolationKind, ZabPhase, Zxid};
 
-use super::{pairs, servers, Cfg};
+use super::{eff_recv, eff_recv_reply, pairs, servers, Cfg};
 
 // ---------------------------------------------------------------------------------------
 // Shared leader-side steps.
@@ -204,10 +205,18 @@ fn leader_process_request(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
                 }
                 let mut next = s.clone();
                 if leader_process_request_step(&cfg, &mut next, i) {
-                    out.push(ActionInstance::new(
-                        format!("LeaderProcessRequest({i})"),
-                        next,
-                    ));
+                    // Proposals go to a state-dependent follower set; the transaction
+                    // budget and the ghost broadcast history are global scalars.
+                    out.push(
+                        ActionInstance::new(format!("LeaderProcessRequest({i})"), next)
+                            .with_effect(
+                                Effect::new()
+                                    .writes_server(i)
+                                    .writes_channels_of(i)
+                                    .writes_flag(flags::TXN_BUDGET)
+                                    .writes_flag(flags::GHOST),
+                            ),
+                    );
                 }
             }
             out
@@ -250,10 +259,10 @@ fn follower_process_proposal(_cfg: &Cfg) -> ActionDef<ZabState> {
                 check_proposal(&mut next, i, txn);
                 next.servers[i].history.push(txn);
                 next.send(i, j, Message::Ack { zxid: txn.zxid });
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessPROPOSAL({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessPROPOSAL({i}, {j})"), next)
+                        .with_effect(eff_recv_reply(i, j).writes_flag(flags::VIOLATION)),
+                );
             }
             out
         },
@@ -307,10 +316,11 @@ fn leader_process_ack(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabStat
                 }
                 let mut next = s.clone();
                 if leader_process_ack_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("LeaderProcessACK({i}, {j})"),
-                        next,
-                    ));
+                    // Commits broadcast to a state-dependent follower set.
+                    out.push(
+                        ActionInstance::new(format!("LeaderProcessACK({i}, {j})"), next)
+                            .with_effect(Effect::new().writes_server(i).writes_channels_of(i)),
+                    );
                 }
             }
             out
@@ -351,10 +361,10 @@ fn follower_process_commit(_cfg: &Cfg) -> ActionDef<ZabState> {
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_apply_commit(&mut next, i, zxid, true);
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessCOMMIT({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessCOMMIT({i}, {j})"), next)
+                        .with_effect(eff_recv(i, j).writes_flag(flags::VIOLATION)),
+                );
             }
             out
         },

@@ -5,7 +5,8 @@
 //! the buggy versions the SyncRequestProcessor queue survives the shutdown and its stale
 //! requests may still be logged after the server joins a new epoch.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::effect::flags;
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::FAULTS;
 use crate::state::ZabState;
@@ -41,7 +42,14 @@ fn node_crash(_cfg: &Cfg) -> ActionDef<ZabState> {
                 next.crashes_remaining -= 1;
                 next.servers[i].crash();
                 next.clear_channels(i);
-                out.push(ActionInstance::new(format!("NodeCrash({i})"), next));
+                out.push(
+                    ActionInstance::new(format!("NodeCrash({i})"), next).with_effect(
+                        Effect::new()
+                            .writes_server(i)
+                            .writes_channels_of(i)
+                            .writes_flag(flags::CRASH_BUDGET),
+                    ),
+                );
             }
             out
         },
@@ -65,7 +73,16 @@ fn node_restart(_cfg: &Cfg) -> ActionDef<ZabState> {
                 }
                 let mut next = s.clone();
                 next.servers[i].restart(i);
-                out.push(ActionInstance::new(format!("NodeRestart({i})"), next));
+                // Restart flips `reachable(i, j)` for every peer `j` from false to
+                // true, and link status is charged to the channel pair bits (the
+                // convention in `actions/mod.rs`), so `i`'s channels are written even
+                // though no message moves — otherwise a guard or a `send` reading
+                // reachability of a link of `i` (e.g. `FollowerShutdown`'s dead-leader
+                // check) would be disabled by a restart it was declared independent of.
+                out.push(
+                    ActionInstance::new(format!("NodeRestart({i})"), next)
+                        .with_effect(Effect::new().writes_server(i).writes_channels_of(i)),
+                );
             }
             out
         },
@@ -105,7 +122,11 @@ fn follower_shutdown(cfg: &Cfg) -> ActionDef<ZabState> {
                 let clear_queue = !cfg.bugs().shutdown_keeps_request_queue;
                 next.servers[i].shutdown_to_looking(i, clear_queue);
                 next.clear_pair_channels(i, leader);
-                out.push(ActionInstance::new(format!("FollowerShutdown({i})"), next));
+                // The leader endpoint is state-dependent, so claim every channel of `i`.
+                out.push(
+                    ActionInstance::new(format!("FollowerShutdown({i})"), next)
+                        .with_effect(Effect::new().writes_server(i).writes_channels_of(i)),
+                );
             }
             out
         },
@@ -144,7 +165,14 @@ fn leader_shutdown(cfg: &Cfg) -> ActionDef<ZabState> {
                 let clear_queue = !cfg.bugs().shutdown_keeps_request_queue;
                 next.servers[i].shutdown_to_looking(i, clear_queue);
                 next.clear_channels(i);
-                out.push(ActionInstance::new(format!("LeaderShutdown({i})"), next));
+                // The quorum scan reads every server's up status.
+                let mut effect = Effect::new().writes_server(i).writes_channels_of(i);
+                for j in servers(s) {
+                    effect = effect.reads_server(j);
+                }
+                out.push(
+                    ActionInstance::new(format!("LeaderShutdown({i})"), next).with_effect(effect),
+                );
             }
             out
         },
@@ -177,10 +205,17 @@ fn network_partition(_cfg: &Cfg) -> ActionDef<ZabState> {
                     next.partitions_remaining -= 1;
                     next.partitioned.insert((i, j));
                     next.clear_pair_channels(i, j);
-                    out.push(ActionInstance::new(
-                        format!("NetworkPartition({i}, {j})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("NetworkPartition({i}, {j})"), next)
+                            .with_effect(
+                                Effect::new()
+                                    .reads_server(i)
+                                    .reads_server(j)
+                                    .writes_channel(i, j)
+                                    .writes_channel(j, i)
+                                    .writes_flag(flags::PARTITION_BUDGET),
+                            ),
+                    );
                 }
             }
             out
@@ -201,10 +236,10 @@ fn partition_recover(_cfg: &Cfg) -> ActionDef<ZabState> {
             for &(i, j) in &s.partitioned {
                 let mut next = s.clone();
                 next.partitioned.remove(&(i, j));
-                out.push(ActionInstance::new(
-                    format!("PartitionRecover({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("PartitionRecover({i}, {j})"), next)
+                        .with_effect(Effect::new().writes_channel(i, j).writes_channel(j, i)),
+                );
             }
             out
         },

@@ -9,7 +9,8 @@
 //! * [`broadcast_concurrent_module`]: the Broadcast module with proposals and commits
 //!   routed through the same thread queues.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::effect::flags;
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::{BROADCAST, SYNCHRONIZATION};
 use crate::state::ZabState;
@@ -17,7 +18,7 @@ use crate::types::{CodeViolation, Message, ServerState, Txn, ViolationKind, ZabP
 
 use super::broadcast::{check_proposal, shared_actions as broadcast_shared};
 use super::sync::{follower_uptodate_commit, shared_actions as sync_shared};
-use super::{pairs, servers, Cfg};
+use super::{eff_recv, eff_recv_reply, pairs, servers, Cfg};
 
 // ---------------------------------------------------------------------------------------
 // Split NEWLEADER handling (atomicity granularity, Figure 3).
@@ -78,10 +79,13 @@ fn newleader_update_epoch(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabS
                     next.pop(j, i);
                     next.send(i, j, Message::Ack { zxid });
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessNEWLEADER_UpdateEpoch({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(
+                        format!("FollowerProcessNEWLEADER_UpdateEpoch({i}, {j})"),
+                        next,
+                    )
+                    .with_effect(eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -149,10 +153,13 @@ fn newleader_log_and_ack(cfg: &Cfg) -> ActionDef<ZabState> {
                     next.pop(j, i);
                     next.send(i, j, Message::Ack { zxid });
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessNEWLEADER_LogAndAck({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(
+                        format!("FollowerProcessNEWLEADER_LogAndAck({i}, {j})"),
+                        next,
+                    )
+                    .with_effect(eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -211,10 +218,14 @@ fn newleader_log_async(cfg: &Cfg) -> ActionDef<ZabState> {
                 } else {
                     sv.queued_requests.extend(pending);
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessNEWLEADER_LogAsync({i}, {j})"),
-                    next,
-                ));
+                // Reads the NEWLEADER head without consuming it.
+                out.push(
+                    ActionInstance::new(
+                        format!("FollowerProcessNEWLEADER_LogAsync({i}, {j})"),
+                        next,
+                    )
+                    .with_effect(Effect::new().writes_server(i).reads_channel(j, i)),
+                );
             }
             out
         },
@@ -270,10 +281,13 @@ fn newleader_reply_ack(cfg: &Cfg) -> ActionDef<ZabState> {
                 let mut next = s.clone();
                 next.pop(j, i);
                 next.send(i, j, Message::Ack { zxid });
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessNEWLEADER_ReplyAck({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(
+                        format!("FollowerProcessNEWLEADER_ReplyAck({i}, {j})"),
+                        next,
+                    )
+                    .with_effect(eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -308,10 +322,11 @@ fn sync_processor_log_request(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.send(i, l, Message::Ack { zxid: txn.zxid });
                     }
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerSyncProcessorLogRequest({i})"),
-                    next,
-                ));
+                // The ACK goes to a state-dependent leader: claim every channel of `i`.
+                out.push(
+                    ActionInstance::new(format!("FollowerSyncProcessorLogRequest({i})"), next)
+                        .with_effect(Effect::new().writes_server(i).writes_channels_of(i)),
+                );
             }
             out
         },
@@ -367,10 +382,10 @@ fn commit_processor_commit(cfg: &Cfg) -> ActionDef<ZabState> {
                         issue: "ZK-3023",
                     });
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerCommitProcessorCommit({i})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerCommitProcessorCommit({i})"), next)
+                        .with_effect(Effect::new().writes_server(i).writes_flag(flags::VIOLATION)),
+                );
             }
             out
         },
@@ -459,10 +474,10 @@ fn follower_process_uptodate_concurrent(cfg: &Cfg) -> ActionDef<ZabState> {
                 }
                 // The fine-grained model includes the follower's ACK to UPTODATE.
                 next.send(i, j, Message::Ack { zxid });
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessUPTODATE({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next)
+                        .with_effect(eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -509,10 +524,10 @@ fn follower_process_proposal_async(_cfg: &Cfg) -> ActionDef<ZabState> {
                 next.pop(j, i);
                 check_proposal(&mut next, i, txn);
                 next.servers[i].queued_requests.push(txn);
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessPROPOSAL({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessPROPOSAL({i}, {j})"), next)
+                        .with_effect(eff_recv(i, j).writes_flag(flags::VIOLATION)),
+                );
             }
             out
         },
@@ -545,10 +560,10 @@ fn follower_process_commit_async(_cfg: &Cfg) -> ActionDef<ZabState> {
                 let mut next = s.clone();
                 next.pop(j, i);
                 next.servers[i].pending_commits.push(zxid);
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessCOMMIT({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessCOMMIT({i}, {j})"), next)
+                        .with_effect(eff_recv(i, j)),
+                );
             }
             out
         },
@@ -608,10 +623,10 @@ fn uptodate_baseline_at(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_uptodate_commit(&mut next, i, zxid);
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessUPTODATE({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next)
+                        .with_effect(eff_recv(i, j)),
+                );
             }
             out
         },

@@ -23,12 +23,52 @@ pub mod sync;
 
 use std::sync::Arc;
 
+use remix_spec::Effect;
+
 use crate::config::ClusterConfig;
 use crate::state::ZabState;
 use crate::types::Sid;
 
 /// Convenience alias used by all builders.
 pub type Cfg = Arc<ClusterConfig>;
+
+// ---------------------------------------------------------------------------------------
+// Declared read/write footprints (`ActionInstance::with_effect`).
+//
+// A footprint must be a conservative superset of everything the action's guard reads and
+// its step writes, as a function of the label parameters alone.  The conventions:
+//
+// * A server's whole local struct is one cell (`writes_server`); guards reading it are
+//   covered because writes imply reads.
+// * The channel pair (i, j) covers the message queue in that direction *and* the
+//   partition status of the pair: fault actions that flip reachability write both
+//   directions, so any guard calling `reachable(i, j)` is covered by reading (or
+//   writing) either direction.
+// * `state.send(i, j, ..)` is a write of channel (i, j); `head`/`pop(j, i)` read/write
+//   channel (j, i).
+// * Global scalars (budgets, ghost bookkeeping, the first-writer-wins violation cell)
+//   are named flags (`remix_spec::effect::flags`).
+//
+// Actions whose write set depends on the *state* (a leader broadcasting to whichever
+// followers have acknowledged) conservatively claim every channel touching the server
+// (`writes_channels_of`).  Election, Discovery and the coarse merged module stay
+// unannotated: `None` means dependent-on-everything, which is always sound.
+// ---------------------------------------------------------------------------------------
+
+/// Footprint of a message handler on server `i` that pops the head of channel `j → i`
+/// and may push a reply on `i → j`.
+pub(crate) fn eff_recv_reply(i: Sid, j: Sid) -> Effect {
+    Effect::new()
+        .writes_server(i)
+        .writes_channel(j, i)
+        .writes_channel(i, j)
+}
+
+/// Footprint of a message handler on server `i` that pops the head of channel `j → i`
+/// without replying.
+pub(crate) fn eff_recv(i: Sid, j: Sid) -> Effect {
+    Effect::new().writes_server(i).writes_channel(j, i)
+}
 
 /// Enumerates ordered pairs `(i, j)` with `i != j` of the ensemble, without allocating
 /// (successor enumeration runs once per action per discovered state).

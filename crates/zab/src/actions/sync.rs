@@ -7,7 +7,8 @@
 //! SNAP), sends the payload and NEWLEADER, collects the quorum of acknowledgements,
 //! establishes the epoch and releases UPTODATE.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::effect::flags;
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::SYNCHRONIZATION;
 use crate::state::ZabState;
@@ -15,7 +16,7 @@ use crate::types::{
     CodeViolation, Message, ServerState, Sid, SyncMode, Txn, ViolationKind, ZabPhase, Zxid,
 };
 
-use super::{pairs, Cfg};
+use super::{eff_recv, eff_recv_reply, pairs, Cfg};
 
 // ---------------------------------------------------------------------------------------
 // Shared leader-side steps (used by both the baseline and fine-grained modules).
@@ -359,10 +360,10 @@ fn leader_sync_follower(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
                 }
                 let mut next = s.clone();
                 if leader_sync_follower_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("LeaderSyncFollower({i}, {j})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("LeaderSyncFollower({i}, {j})"), next)
+                            .with_effect(Effect::new().writes_server(i).writes_channel(i, j)),
+                    );
                 }
             }
             out
@@ -392,10 +393,10 @@ fn follower_process_sync_packets(_cfg: &Cfg, granularity: Granularity) -> Action
                 }
                 let mut next = s.clone();
                 if follower_process_sync_packets_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("FollowerProcessSyncPackets({i}, {j})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("FollowerProcessSyncPackets({i}, {j})"), next)
+                            .with_effect(eff_recv(i, j)),
+                    );
                 }
             }
             out
@@ -453,10 +454,10 @@ fn follower_process_newleader_atomic(_cfg: &Cfg) -> ActionDef<ZabState> {
                 } else {
                     next.servers[i].shutdown_to_looking(i, true);
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessNEWLEADER({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessNEWLEADER({i}, {j})"), next)
+                        .with_effect(eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -496,10 +497,18 @@ fn leader_process_ackld(cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSta
                 }
                 let mut next = s.clone();
                 if leader_process_ackld_step(&cfg, &mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("LeaderProcessACKLD({i}, {j})"),
-                        next,
-                    ));
+                    // Establishing the epoch broadcasts to a state-dependent follower
+                    // set, records ghost bookkeeping and may record a violation.
+                    out.push(
+                        ActionInstance::new(format!("LeaderProcessACKLD({i}, {j})"), next)
+                            .with_effect(
+                                Effect::new()
+                                    .writes_server(i)
+                                    .writes_channels_of(i)
+                                    .writes_flag(flags::GHOST)
+                                    .writes_flag(flags::VIOLATION),
+                            ),
+                    );
                 }
             }
             out
@@ -548,10 +557,10 @@ fn follower_process_uptodate(_cfg: &Cfg) -> ActionDef<ZabState> {
                 let mut next = s.clone();
                 next.pop(j, i);
                 follower_uptodate_commit(&mut next, i, zxid);
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessUPTODATE({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessUPTODATE({i}, {j})"), next)
+                        .with_effect(eff_recv(i, j)),
+                );
             }
             out
         },
@@ -582,10 +591,10 @@ fn follower_process_commit_in_sync(cfg: &Cfg, granularity: Granularity) -> Actio
                 }
                 let mut next = s.clone();
                 if follower_commit_in_sync_step(&cfg, &mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("FollowerProcessCOMMITInSync({i}, {j})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("FollowerProcessCOMMITInSync({i}, {j})"), next)
+                            .with_effect(eff_recv(i, j).writes_flag(flags::VIOLATION)),
+                    );
                 }
             }
             out
@@ -608,10 +617,13 @@ fn follower_process_proposal_in_sync(_cfg: &Cfg, granularity: Granularity) -> Ac
                 }
                 let mut next = s.clone();
                 if follower_proposal_in_sync_step(&mut next, i, j) {
-                    out.push(ActionInstance::new(
-                        format!("FollowerProcessPROPOSALInSync({i}, {j})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(
+                            format!("FollowerProcessPROPOSALInSync({i}, {j})"),
+                            next,
+                        )
+                        .with_effect(eff_recv(i, j)),
+                    );
                 }
             }
             out

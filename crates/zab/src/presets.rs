@@ -142,9 +142,10 @@ pub fn build_from_plan(
     )
     // `ZabState` is symmetric under server-id permutation; attach its canonical-form
     // function so checker runs may opt into symmetry reduction
-    // (`SymmetryMode::Canonicalize` / the `REMIX_SYMMETRY` hook).  Attaching it
-    // changes nothing by itself.
-    .map(Spec::with_canonicalization)
+    // (`SymmetryMode::Canonicalize` / the `REMIX_SYMMETRY` hook), plus the incremental
+    // variant that reuses the parent's per-server sort keys on successors whose action
+    // declared a footprint.  Attaching them changes nothing by itself.
+    .map(Spec::with_incremental_canonicalization)
 }
 
 #[cfg(test)]

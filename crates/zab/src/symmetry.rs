@@ -29,8 +29,18 @@
 //!
 //! Tie groups are tiny in practice (they require byte-identical per-server summaries,
 //! as in the fully symmetric initial state); the enumeration is capped at
-//! [`MAX_TIE_CANDIDATES`] rewrites as a safety valve for pathological ensembles, far
-//! above anything a 3–5 server model can produce (`5! = 120`).
+//! [`MAX_TIE_CANDIDATES`] rewrites, far above anything a 3–5 server model can produce
+//! (`5! = 120`).  When a larger ensemble exceeds the cap, the tie groups are first
+//! *refined* with an orbit-invariant relational coloring (iterated signatures over the
+//! pairwise relations: channel lengths, partitions, leader/learner/ack edges), and if
+//! classes still exceed the cap, by individualization-refinement — distinguishing one
+//! member of the first non-singleton class per branch and re-refining, which resolves
+//! vertex-transitive structures (rings) that pure refinement cannot split.  Both stages
+//! depend only on orbit-invariant data, so the candidate set — and hence the chosen
+//! minimum — is identical for every member of an orbit.  Only if even the branch
+//! enumeration overflows the cap does the code fall back to a non-invariant prefix; the
+//! fallback is counted process-globally (`remix_spec::canon_stats`), surfaced as
+//! `CheckStats::canon_fallbacks`, and trips a debug assertion.
 //!
 //! # Soundness
 //!
@@ -42,14 +52,17 @@
 //! acceptance tests verify verdict equality against `SymmetryMode::Off` empirically
 //! — see the symmetry section of `ARCHITECTURE.md` for the full argument.
 
-use remix_spec::{Canonicalize, Perm};
+use remix_spec::effect::MAX_EFFECT_SERVERS;
+use remix_spec::{canon_stats, Canonicalize, IncrementalCanonicalize, Perm};
 
 use crate::state::{GhostState, ServerData, ZabState};
 use crate::types::{Message, Sid, Vote, Zxid};
 
-/// Upper bound on the number of tie-break candidates [`ZabState::canonicalize`]
-/// enumerates before falling back to the first key-sorted ordering.  `720 = 6!`
-/// covers a fully symmetric six-server ensemble exactly.
+/// Upper bound on the number of tie-break candidates `ZabState::canonicalize`
+/// enumerates directly, and on the orderings the individualization-refinement stage may
+/// branch into before the counted fallback.  `720 = 6!` covers a fully symmetric
+/// six-server ensemble exactly; larger tie groups go through relational refinement
+/// first (see the module docs).
 pub const MAX_TIE_CANDIDATES: usize = 720;
 
 /// A server's `leader` field, rendered relative to the server itself (invariant under
@@ -263,60 +276,335 @@ fn permute_ghost(perm: &Perm, g: &GhostState) -> GhostState {
     }
 }
 
+/// `order[new_pos] = old index  ⇒  π(old) = new_pos`.
+fn perm_of_order(order: &[usize]) -> Perm {
+    let mut image = vec![0u32; order.len()];
+    for (new_pos, old) in order.iter().enumerate() {
+        image[*old] = new_pos as u32;
+    }
+    Perm::from_image(image)
+}
+
+/// Minimizes the rewritten state over every ordering that differs from `order` only by
+/// rearranging servers within a tie group.
+fn minimize_over_groups(
+    state: &ZabState,
+    mut order: Vec<usize>,
+    groups: &[(usize, usize)],
+) -> (ZabState, Perm) {
+    let mut best: Option<(ZabState, Perm)> = None;
+    permute_groups(&mut order, groups, 0, &mut |candidate| {
+        let perm = perm_of_order(candidate);
+        let rewritten = state.permute(&perm);
+        if best.as_ref().is_none_or(|(b, _)| rewritten < *b) {
+            best = Some((rewritten, perm));
+        }
+    });
+    best.expect("at least one candidate ordering exists")
+}
+
+/// Packed orbit-invariant descriptor of the directed relation from server `i` to
+/// server `j`: channel length plus the cross-reference edges (partition, leader, vote,
+/// learner and acknowledgement sets).  Renaming ids maps `rel(s, i, j)` to
+/// `rel(π(s), π(i), π(j))` unchanged, which is what makes the refinement coloring
+/// equivariant.
+fn rel(state: &ZabState, i: Sid, j: Sid) -> u64 {
+    let s = &state.servers[i];
+    let mut r = state.msgs[i][j].len().min(255) as u64;
+    if state.partitioned.contains(&(i.min(j), i.max(j))) {
+        r |= 1 << 8;
+    }
+    if s.leader == Some(j) {
+        r |= 1 << 9;
+    }
+    if s.recv_votes.contains_key(&j) {
+        r |= 1 << 10;
+    }
+    if s.vote.leader == j {
+        r |= 1 << 11;
+    }
+    if s.learners.contains(&j) {
+        r |= 1 << 12;
+    }
+    if s.epoch_acks.contains(&j) {
+        r |= 1 << 13;
+    }
+    if s.sync_sent.contains(&j) {
+        r |= 1 << 14;
+    }
+    if s.newleader_acks.contains(&j) {
+        r |= 1 << 15;
+    }
+    if s.learner_last_zxid.contains_key(&j) {
+        r |= 1 << 16;
+    }
+    if s.pending_acks.values().any(|acks| acks.contains(&j)) {
+        r |= 1 << 17;
+    }
+    r
+}
+
+/// Iterated equitable refinement of a server coloring: each round replaces a server's
+/// color with the rank of `(old color, sorted multiset of (color(j), rel(i,j), rel(j,i)))`
+/// among the distinct signatures, until a fixed point.  Because the old color leads the
+/// signature, refinement only ever *splits* classes and keeps their relative order, so
+/// a coloring that starts from key-group ranks stays consistent with the key sort.
+fn refine_colors(state: &ZabState, colors: &mut Vec<usize>) {
+    let n = colors.len();
+    // (own color, sorted multiset of (neighbour color, rel out, rel in)).
+    type Signature = (usize, Vec<(usize, u64, u64)>);
+    loop {
+        let sigs: Vec<Signature> = (0..n)
+            .map(|i| {
+                let mut row: Vec<(usize, u64, u64)> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (colors[j], rel(state, i, j), rel(state, j, i)))
+                    .collect();
+                row.sort_unstable();
+                (colors[i], row)
+            })
+            .collect();
+        let mut distinct = sigs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let new: Vec<usize> = sigs
+            .iter()
+            .map(|s| distinct.binary_search(s).expect("own signature is present"))
+            .collect();
+        if new == *colors {
+            return;
+        }
+        *colors = new;
+    }
+}
+
+/// Splits server `m` out of its color class, placing it *first* within the class so the
+/// individualized coloring still refines the original class order.
+fn individualize(colors: &mut [usize], m: usize) {
+    let cm = colors[m];
+    for (i, c) in colors.iter_mut().enumerate() {
+        if *c > cm || (*c == cm && i != m) {
+            *c += 1;
+        }
+    }
+}
+
+/// Individualization-refinement: refines `colors` to a fixed point, and while any class
+/// is non-singleton, branches over its members (individualize one, recurse).  Every
+/// discrete coloring contributes one candidate ordering.  Returns `false` when the
+/// branch count exceeds [`MAX_TIE_CANDIDATES`] (the collected prefix is then *not*
+/// orbit-invariant).
+fn ir_orderings(state: &ZabState, mut colors: Vec<usize>, out: &mut Vec<Vec<usize>>) -> bool {
+    refine_colors(state, &mut colors);
+    let n = colors.len();
+    let mut counts = vec![0usize; n];
+    for &c in &colors {
+        counts[c] += 1;
+    }
+    match (0..n).find(|&c| counts[c] >= 2) {
+        None => {
+            if out.len() >= MAX_TIE_CANDIDATES {
+                return false;
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| colors[i]);
+            out.push(order);
+            true
+        }
+        Some(class) => (0..n).filter(|&i| colors[i] == class).all(|m| {
+            let mut branch = colors.clone();
+            individualize(&mut branch, m);
+            ir_orderings(state, branch, out)
+        }),
+    }
+}
+
+/// Resolves a tie structure too large to enumerate directly: refine with the relational
+/// coloring, re-enumerate if the refined classes are small enough, otherwise run
+/// individualization-refinement.  Only the residual overflow of the IR branch count
+/// falls back to a non-invariant choice — counted and debug-asserted.
+fn canonicalize_refined(
+    state: &ZabState,
+    order: &[usize],
+    groups: &[(usize, usize)],
+) -> (ZabState, Perm) {
+    let n = order.len();
+    // Initial colors: the key-group rank of each server.
+    let mut colors = vec![0usize; n];
+    for (gidx, &(start, len)) in groups.iter().enumerate() {
+        for pos in start..start + len {
+            colors[order[pos]] = gidx;
+        }
+    }
+    refine_colors(state, &mut colors);
+
+    let mut order2: Vec<usize> = (0..n).collect();
+    order2.sort_by_key(|&i| colors[i]);
+    let mut groups2: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || colors[order2[i]] != colors[order2[start]] {
+            groups2.push((start, i - start));
+            start = i;
+        }
+    }
+    let candidates: usize = groups2
+        .iter()
+        .map(|(_, len)| (1..=*len).product::<usize>())
+        .product();
+    if candidates <= MAX_TIE_CANDIDATES {
+        return minimize_over_groups(state, order2, &groups2);
+    }
+
+    let mut orderings: Vec<Vec<usize>> = Vec::new();
+    let complete = ir_orderings(state, colors, &mut orderings);
+    if !complete {
+        // The prefix explored so far is minimized anyway (deterministic, but two orbit
+        // members may now disagree on their representative — a dedup miss, never
+        // unsoundness).  Count it so `CheckStats::canon_fallbacks` surfaces the loss.
+        canon_stats::note_tie_cap_fallback();
+        debug_assert!(
+            false,
+            "canonicalization tie group overflowed {MAX_TIE_CANDIDATES} candidates even \
+             after individualization-refinement ({n} servers)"
+        );
+    }
+    if orderings.is_empty() {
+        orderings.push(order2);
+    }
+    let mut best: Option<(ZabState, Perm)> = None;
+    for ord in &orderings {
+        let perm = perm_of_order(ord);
+        let rewritten = state.permute(&perm);
+        if best.as_ref().is_none_or(|(b, _)| rewritten < *b) {
+            best = Some((rewritten, perm));
+        }
+    }
+    best.expect("at least one candidate ordering exists")
+}
+
+/// The shared canonicalization pipeline over precomputed per-server keys (borrowed so
+/// the incremental path can mix memoized and freshly computed keys).
+fn canonicalize_from_keys(state: &ZabState, keys: &[&ServerKey]) -> (ZabState, Perm) {
+    let n = keys.len();
+    // 1. Key-sort the server indices (stable, so equal keys keep their relative order
+    //    and the candidate set is deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| keys[*a].cmp(keys[*b]));
+
+    // 2. Group ties.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len) into `order`
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || keys[order[i]] != keys[order[start]] {
+            groups.push((start, i - start));
+            start = i;
+        }
+    }
+    let candidates: usize = groups
+        .iter()
+        .map(|(_, len)| (1..=*len).product::<usize>())
+        .product();
+
+    if candidates == 1 {
+        // Distinct keys pin the only order-preserving permutation.
+        let perm = perm_of_order(&order);
+        return (state.permute(&perm), perm);
+    }
+    if candidates <= MAX_TIE_CANDIDATES {
+        // 3. Minimize over the tie-break candidates: every ordering that differs from
+        //    `order` only by rearranging servers within a tie group.
+        return minimize_over_groups(state, order, &groups);
+    }
+    // 4. Too many candidates: refine the ties relationally before enumerating.
+    canonicalize_refined(state, &order, &groups)
+}
+
+/// Owned variant of [`canonicalize_from_keys`]: produces the same representative and
+/// permutation but returns `state` itself — no deep [`ZabState::permute`] rewrite — when
+/// the canonicalizing permutation is the identity.  Two cases hit that fast path: the
+/// keys are already strictly sorted (the only candidate is the identity), and the keys
+/// are weakly sorted with ties none of whose rearrangements beats the state as it stands
+/// (the identity is enumerated as a candidate but never materialized).
+fn canonicalize_owned_from_keys(state: ZabState, keys: &[&ServerKey]) -> (ZabState, Perm) {
+    let n = keys.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| keys[*a].cmp(keys[*b]));
+
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || keys[order[i]] != keys[order[start]] {
+            groups.push((start, i - start));
+            start = i;
+        }
+    }
+    let candidates: usize = groups
+        .iter()
+        .map(|(_, len)| (1..=*len).product::<usize>())
+        .product();
+
+    if candidates == 1 {
+        let perm = perm_of_order(&order);
+        if perm.is_identity() {
+            return (state, perm);
+        }
+        return (state.permute(&perm), perm);
+    }
+    let sorted_in_place = order.iter().enumerate().all(|(pos, old)| pos == *old);
+    if candidates <= MAX_TIE_CANDIDATES && sorted_in_place {
+        // The identity ordering is one of the tie-break candidates (and, being
+        // enumerated first, wins comparisons it ties), so use the un-rewritten state as
+        // the running minimum and only materialize the non-identity rearrangements.
+        let mut best: Option<(ZabState, Perm)> = None;
+        permute_groups(&mut order, &groups, 0, &mut |candidate| {
+            if candidate.iter().enumerate().all(|(pos, old)| pos == *old) {
+                return;
+            }
+            let perm = perm_of_order(candidate);
+            let rewritten = state.permute(&perm);
+            let beats = match &best {
+                Some((b, _)) => rewritten < *b,
+                None => rewritten < state,
+            };
+            if beats {
+                best = Some((rewritten, perm));
+            }
+        });
+        return match best {
+            Some(found) => found,
+            None => {
+                let id = Perm::identity(n);
+                (state, id)
+            }
+        };
+    }
+    if candidates <= MAX_TIE_CANDIDATES {
+        return minimize_over_groups(&state, order, &groups);
+    }
+    canonicalize_refined(&state, &order, &groups)
+}
+
 impl Canonicalize for ZabState {
     fn canonicalize(&self) -> (Self, Perm) {
         let n = self.servers.len();
         if n <= 1 {
             return (self.clone(), Perm::identity(n));
         }
-        // 1. Key-sort the server indices (stable, so equal keys keep their relative
-        //    order and the fallback candidate is deterministic).
         let keys: Vec<ServerKey> = (0..n).map(|i| server_key(self, i)).collect();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|a, b| keys[*a].cmp(&keys[*b]));
+        let key_refs: Vec<&ServerKey> = keys.iter().collect();
+        canonicalize_from_keys(self, &key_refs)
+    }
 
-        // 2. Group ties and enumerate the orderings within each group.
-        let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len) into `order`
-        let mut start = 0;
-        for i in 1..=n {
-            if i == n || keys[order[i]] != keys[order[start]] {
-                groups.push((start, i - start));
-                start = i;
-            }
+    fn canonicalize_owned(self) -> (Self, Perm) {
+        let n = self.servers.len();
+        if n <= 1 {
+            let id = Perm::identity(n);
+            return (self, id);
         }
-        let candidates: usize = groups
-            .iter()
-            .map(|(_, len)| (1..=*len).product::<usize>())
-            .product();
-
-        let perm_of = |order: &[usize]| {
-            // order[new_pos] = old index  ⇒  π(old) = new_pos.
-            let mut image = vec![0u32; n];
-            for (new_pos, old) in order.iter().enumerate() {
-                image[*old] = new_pos as u32;
-            }
-            Perm::from_image(image)
-        };
-
-        if candidates == 1 || candidates > MAX_TIE_CANDIDATES {
-            // Distinct keys pin the permutation (or the safety valve tripped and the
-            // first key-sorted ordering is used as an approximation).
-            let perm = perm_of(&order);
-            return (self.permute(&perm), perm);
-        }
-
-        // 3. Minimize over the tie-break candidates: every ordering that differs from
-        //    `order` only by rearranging servers within a tie group.
-        let mut best: Option<(ZabState, Perm)> = None;
-        let mut scratch = order.clone();
-        permute_groups(&mut scratch, &groups, 0, &mut |candidate| {
-            let perm = perm_of(candidate);
-            let rewritten = self.permute(&perm);
-            if best.as_ref().is_none_or(|(b, _)| rewritten < *b) {
-                best = Some((rewritten, perm));
-            }
-        });
-        best.expect("at least one candidate ordering exists")
+        let keys: Vec<ServerKey> = (0..n).map(|i| server_key(&self, i)).collect();
+        let key_refs: Vec<&ServerKey> = keys.iter().collect();
+        canonicalize_owned_from_keys(self, &key_refs)
     }
 
     fn permute(&self, perm: &Perm) -> Self {
@@ -393,6 +681,61 @@ fn permute_groups(
         }
     }
     inner(order, groups, group, start, 0, len, f);
+}
+
+/// Memoized per-server canonical sort keys of an already-canonical parent state, reused
+/// by [`IncrementalCanonicalize`] for every successor of that parent.
+pub struct CanonMemo {
+    keys: Vec<ServerKey>,
+}
+
+impl IncrementalCanonicalize for ZabState {
+    type Memo = CanonMemo;
+
+    fn canon_memo(&self) -> CanonMemo {
+        CanonMemo {
+            keys: (0..self.servers.len())
+                .map(|i| server_key(self, i))
+                .collect(),
+        }
+    }
+
+    fn canonicalize_incremental(self, memo: &CanonMemo, touched: u8) -> (Self, Perm) {
+        let n = self.servers.len();
+        if n <= 1 {
+            return (self, Perm::identity(n));
+        }
+        if n != memo.keys.len() || n > MAX_EFFECT_SERVERS {
+            // The ensemble size changed under us or exceeds the footprint mask: the
+            // memo is useless, recompute everything.
+            return Canonicalize::canonicalize(&self);
+        }
+        // Recompute only the touched keys; every other server's key is identical to the
+        // parent's because the action's declared footprint did not reach it.
+        let fresh: Vec<Option<ServerKey>> = (0..n)
+            .map(|i| (touched & (1 << i) != 0).then(|| server_key(&self, i)))
+            .collect();
+        #[cfg(debug_assertions)]
+        for (i, f) in fresh.iter().enumerate() {
+            if f.is_none() {
+                debug_assert_eq!(
+                    server_key(&self, i),
+                    memo.keys[i],
+                    "server {i} is outside the action's declared footprint but its \
+                     canonical key changed: the Effect annotation is not conservative"
+                );
+            }
+        }
+        let key_at = |i: usize| fresh[i].as_ref().unwrap_or(&memo.keys[i]);
+        if (1..n).all(|i| key_at(i - 1) < key_at(i)) {
+            // Strictly key-sorted: the successor is its own canonical form, skip the
+            // deep permuting rewrite entirely.  This is the common case when the parent
+            // is canonical and the action perturbed few servers.
+            return (self, Perm::identity(n));
+        }
+        let key_refs: Vec<&ServerKey> = (0..n).map(key_at).collect();
+        canonicalize_owned_from_keys(self, &key_refs)
+    }
 }
 
 #[cfg(test)]
@@ -477,5 +820,89 @@ mod tests {
         assert_eq!(t.violation.as_ref().unwrap().server, 0);
         // Round-trip through the inverse restores the original.
         assert_eq!(t.permute(&swap02.inverse()), s);
+    }
+
+    /// Regression for the old tie-cap fallback: a tie group larger than
+    /// `MAX_TIE_CANDIDATES` used to silently take the *first* key-sorted ordering,
+    /// which is not orbit-invariant — two renamings of one state could land on
+    /// different "canonical" forms.  An eight-server directed message ring is the
+    /// worst case: all eight keys are equal (candidates `8! = 40320`), and the ring is
+    /// vertex-transitive, so plain relational refinement cannot split it either —
+    /// only individualization-refinement resolves it.
+    #[test]
+    fn oversized_tie_groups_stay_orbit_invariant() {
+        let fallbacks_before = canon_stats::tie_cap_fallbacks();
+        let cfg = ClusterConfig {
+            num_servers: 8,
+            ..ClusterConfig::small(CodeVersion::V391)
+        };
+        let mut s = ZabState::initial(&cfg);
+        for i in 0..8 {
+            s.send(i, (i + 1) % 8, Message::LeaderInfo { epoch: 1 });
+        }
+        let (c, p) = s.canonicalize();
+        assert_eq!(s.permute(&p), c, "consistency law");
+        // Idempotence: the representative is a fixed point.
+        assert_eq!(c.canonicalize().0, c);
+        // Orbit invariance under a permutation that is NOT a ring automorphism: the
+        // transposed state is a genuinely different member of the orbit.
+        let swap01 = Perm::from_image(vec![1, 0, 2, 3, 4, 5, 6, 7]);
+        let renamed = s.permute(&swap01);
+        assert_ne!(s, renamed, "the transposition moves visible structure");
+        assert_eq!(renamed.canonicalize().0, c);
+        // And under a rotation, for good measure.
+        let rot = Perm::from_image(vec![1, 2, 3, 4, 5, 6, 7, 0]);
+        assert_eq!(s.permute(&rot).canonicalize().0, c);
+        assert_eq!(
+            canon_stats::tie_cap_fallbacks(),
+            fallbacks_before,
+            "individualization-refinement must resolve the ring without falling back"
+        );
+    }
+
+    #[test]
+    fn incremental_canonicalization_matches_full_recompute() {
+        // Parent with fully distinct keys: canonical, memoizable.
+        let mut parent = state();
+        parent.servers[1].current_epoch = 1;
+        parent.servers[2].current_epoch = 2;
+        let (parent, _) = parent.canonicalize();
+        let memo = parent.canon_memo();
+
+        // A successor that only touches server 1 and stays key-sorted: the fast path
+        // must return it unchanged with the identity permutation.
+        let mut child = parent.clone();
+        child.servers[1].epoch_proposed = true;
+        let (full, _) = child.canonicalize();
+        let (inc, perm) = child.clone().canonicalize_incremental(&memo, 0b010);
+        assert_eq!(inc, full);
+        assert!(perm.is_identity());
+
+        // A successor that reorders the keys (server 0 jumps ahead of server 2): the
+        // incremental path must agree with the full recompute, including the perm.
+        let mut child = parent.clone();
+        child.servers[0].current_epoch = 5;
+        child.send(0, 2, Message::LeaderInfo { epoch: 5 });
+        let (full, full_perm) = child.canonicalize();
+        let (inc, inc_perm) = child.clone().canonicalize_incremental(&memo, 0b101);
+        assert_eq!(inc, full);
+        assert_eq!(inc_perm, full_perm);
+
+        // Over-approximate touched masks are always safe.
+        let (inc, _) = child.clone().canonicalize_incremental(&memo, 0xff);
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn incremental_canonicalization_handles_ties() {
+        // The fully symmetric initial state keys every server identically, so the
+        // incremental path must fall through to the tie-break enumeration.
+        let parent = state().canonicalize().0;
+        let memo = parent.canon_memo();
+        let mut child = parent.clone();
+        child.send(2, 0, Message::LeaderInfo { epoch: 1 });
+        let (full, _) = child.canonicalize();
+        let (inc, _) = child.clone().canonicalize_incremental(&memo, 0b101);
+        assert_eq!(inc, full);
     }
 }

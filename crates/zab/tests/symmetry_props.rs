@@ -13,7 +13,8 @@
 
 use proptest::prelude::*;
 use remix_checker::{simulate_one, CheckerRng};
-use remix_spec::{Canonicalize, Perm};
+use remix_spec::effect::{flags, MAX_EFFECT_SERVERS};
+use remix_spec::{Canonicalize, IncrementalCanonicalize, Perm};
 use remix_zab::{ClusterConfig, CodeVersion, SpecPreset, ZabState};
 
 fn config(version: CodeVersion) -> ClusterConfig {
@@ -105,6 +106,141 @@ proptest! {
             let violated_c: Vec<&str> =
                 spec.violated_invariants(&canon).iter().map(|i| i.id).collect();
             prop_assert_eq!(violated_s, violated_c);
+        }
+    }
+
+    /// Owned canonicalization: the allocation-avoiding owned variant must agree with
+    /// the borrowed recomputation on both the representative and the permutation —
+    /// checked on reachable states and every id-renamed sibling, which exercises all
+    /// three of its paths (identity fast path, unmaterialized-identity tie minimization,
+    /// and the permuting fallback).
+    #[test]
+    fn owned_canonicalization_matches_borrowed(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let s = walk_state(version, seed, depth);
+        for perm in perms3() {
+            let renamed = s.permute(&perm);
+            let (canon, p) = renamed.canonicalize();
+            let (canon_owned, p_owned) = renamed.clone().canonicalize_owned();
+            prop_assert_eq!(&canon_owned, &canon, "representative differs under {}", &perm);
+            prop_assert_eq!(&p_owned, &p, "permutation differs under {}", &perm);
+        }
+    }
+
+    /// Incremental canonicalization: for every successor of a reachable state whose
+    /// action declares a (non-global) footprint, re-sorting only the touched servers
+    /// against the parent's memoized keys must yield exactly the representative of the
+    /// full recomputation — the law the checker's debug-assert oracle also enforces,
+    /// here checked over arbitrary action sequences.
+    #[test]
+    fn incremental_canonicalization_matches_full_on_successors(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let spec = SpecPreset::MSpec3.build(&config(version));
+        let mut rng = CheckerRng::seed_from_u64(seed);
+        let trace = simulate_one(&spec, depth, &mut rng);
+        let parent = trace.last_state().expect("walks start somewhere");
+        let memo = parent.canon_memo();
+        for module in &spec.modules {
+            for action in &module.actions {
+                for inst in action.enabled(parent) {
+                    let Some(e) = inst.effect.filter(|e| !e.is_global()) else {
+                        continue;
+                    };
+                    let (full, _) = inst.next.canonicalize();
+                    let (incr, _) = inst
+                        .next
+                        .clone()
+                        .canonicalize_incremental(&memo, e.touched_servers());
+                    prop_assert_eq!(&incr, &full, "label {}", inst.label);
+                }
+            }
+        }
+    }
+
+    /// Footprint conservatism: whatever an action's declared footprint does *not*
+    /// write must be identical between the pre- and post-state — untouched servers,
+    /// unwritten channels (content and partition status) and unwritten global
+    /// scalars.  An under-declared write set would make both sleep-set pruning and
+    /// incremental canonicalization unsound, so this is the safety net for every
+    /// `with_effect` annotation in the action library.
+    #[test]
+    fn declared_footprints_cover_every_write(
+        seed in 0u64..48,
+        depth in 0u32..40,
+        buggy in 0u8..2,
+    ) {
+        let version = if buggy == 1 { CodeVersion::V391 } else { CodeVersion::FinalFix };
+        let spec = SpecPreset::MSpec3.build(&config(version));
+        let mut rng = CheckerRng::seed_from_u64(seed);
+        let trace = simulate_one(&spec, depth, &mut rng);
+        let parent = trace.last_state().expect("walks start somewhere");
+        let n = parent.servers.len();
+        for module in &spec.modules {
+            for action in &module.actions {
+                for inst in action.enabled(parent) {
+                    let Some(e) = inst.effect.filter(|e| !e.is_global()) else {
+                        continue;
+                    };
+                    let next = &inst.next;
+                    for k in 0..n {
+                        if e.writes_servers & (1 << k) == 0 {
+                            prop_assert_eq!(
+                                &parent.servers[k], &next.servers[k],
+                                "label {} wrote undeclared server {}", inst.label, k
+                            );
+                        }
+                    }
+                    for f in 0..n {
+                        for t in 0..n {
+                            let bit = 1u64 << (f * MAX_EFFECT_SERVERS + t);
+                            if e.writes_channels & bit == 0 {
+                                prop_assert_eq!(
+                                    &parent.msgs[f][t], &next.msgs[f][t],
+                                    "label {} wrote undeclared channel {} -> {}",
+                                    inst.label, f, t
+                                );
+                            }
+                            // Partition status is charged to the channel bits of both
+                            // directions.
+                            let back = 1u64 << (t * MAX_EFFECT_SERVERS + f);
+                            if e.writes_channels & (bit | back) == 0 {
+                                prop_assert_eq!(
+                                    parent.partitioned.contains(&(f, t)),
+                                    next.partitioned.contains(&(f, t)),
+                                    "label {} repartitioned undeclared pair ({}, {})",
+                                    inst.label, f, t
+                                );
+                            }
+                        }
+                    }
+                    let scalars: [(u16, bool); 5] = [
+                        (flags::CRASH_BUDGET, parent.crashes_remaining == next.crashes_remaining),
+                        (
+                            flags::PARTITION_BUDGET,
+                            parent.partitions_remaining == next.partitions_remaining,
+                        ),
+                        (flags::TXN_BUDGET, parent.txns_created == next.txns_created),
+                        (flags::GHOST, parent.ghost == next.ghost),
+                        (flags::VIOLATION, parent.violation == next.violation),
+                    ];
+                    for (flag, unchanged) in scalars {
+                        if e.writes_flags & flag == 0 {
+                            prop_assert!(
+                                unchanged,
+                                "label {} wrote undeclared flag {:#x}", inst.label, flag
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
