@@ -1,0 +1,71 @@
+//! End-to-end audit of the Zab workspace annotations.
+//!
+//! Two halves of the same acceptance bar:
+//!
+//! * the honest workspace must come out **clean** — zero soundness findings from the
+//!   effect audit and the commute oracle over a bounded corpus of every preset;
+//! * the seeded `NodeRestart` under-declaration (the PR 7 incident, re-created by
+//!   `remix_zab::underdeclare_node_restart`) must be **flagged**, naming the action,
+//!   a `link` field and the undeclared channel bit.
+
+use remix_analyze::{analyze_spec, effect_audit, FindingClass, Tier};
+use remix_checker::CorpusOptions;
+use remix_zab::{underdeclare_node_restart, ClusterConfig, CodeVersion, SpecPreset};
+
+fn opts() -> CorpusOptions {
+    CorpusOptions {
+        max_states: 4_000,
+        max_depth: 64,
+    }
+}
+
+#[test]
+fn honest_zab_presets_have_no_soundness_findings() {
+    let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
+    for &preset in SpecPreset::all() {
+        let spec = preset.build(&config);
+        let report = analyze_spec(&spec, opts());
+        let unsound: Vec<String> = report.soundness().map(|f| f.to_string()).collect();
+        assert!(
+            unsound.is_empty(),
+            "{}: {} soundness findings:\n{}",
+            preset.name(),
+            unsound.len(),
+            unsound.join("\n")
+        );
+        assert!(
+            report.audited_transitions > 0,
+            "{}: audit ran",
+            preset.name()
+        );
+    }
+}
+
+#[test]
+fn seeded_node_restart_underdeclaration_is_flagged() {
+    let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
+    let mut spec = SpecPreset::MSpec3.build(&config);
+    underdeclare_node_restart(&mut spec);
+    let report = effect_audit(&spec, opts());
+    let finding = report
+        .soundness()
+        .find(|f| f.action == "NodeRestart")
+        .unwrap_or_else(|| {
+            panic!(
+                "seeded NodeRestart under-declaration not flagged; findings: {:?}",
+                report.findings
+            )
+        });
+    assert_eq!(finding.tier, Tier::EffectAudit);
+    assert_eq!(finding.class, FindingClass::Soundness);
+    assert!(
+        finding.field_path.starts_with("link["),
+        "expected a link field, got {}",
+        finding.field_path
+    );
+    assert!(
+        finding.effect_bits.contains("channel["),
+        "expected an undeclared channel bit, got {}",
+        finding.effect_bits
+    );
+}

@@ -1,0 +1,36 @@
+//! `remix-lint`: the source-level spec lint of the analysis subsystem (tier 3 of
+//! `remix-analyze`).
+//!
+//! Scans `crates/*/src` of the workspace (or of the directory given as the first
+//! argument) for violations of the conventions that keep declared
+//! [`Effect`](remix_spec::Effect) footprints honest — unannotated action instances,
+//! fault actions without link bits, extracted guards not shared with their step
+//! functions, and panics inside action closures.  Prints every finding and exits
+//! non-zero when there is at least one, so CI can gate on a clean workspace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use remix_analyze::lint_workspace;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    let report = lint_workspace(&root);
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!("remix-lint: workspace clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "remix-lint: {} convention finding(s) in {}",
+            report.findings.len(),
+            root.display()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod corpus;
 pub mod coverage;
 pub mod dfs;
 pub mod explore;
@@ -30,6 +31,7 @@ pub mod spill;
 pub mod store;
 
 pub use bfs::check_bfs;
+pub use corpus::{corpus, CorpusOptions};
 pub use coverage::{CoverageMap, CoverageSnapshot};
 pub use dfs::check_dfs;
 pub use explore::{explore, explore_one, ExploreOptions, ExploreOutcome, ExploreStats, Guidance};

@@ -20,6 +20,8 @@
 //!   after every step; diverging schedules can be delta-debugged down to locally
 //!   minimal traces that still diverge.
 
+#![warn(missing_docs)]
+
 pub mod composer;
 pub mod conformance;
 pub mod json;
@@ -32,7 +34,9 @@ pub use conformance::{
     ConformanceChecker, ConformanceOptions, ConformanceReport, Discrepancy, ShrunkDivergence,
 };
 pub use mapping::{default_mapping, ActionMapping};
-pub use report::{BugReport, EfficiencyRow, ExploreRow, FixVerificationRow, RefineRow};
+pub use report::{
+    AnalysisRow, BugReport, EfficiencyRow, ExploreRow, FixVerificationRow, RefineRow,
+};
 pub use verifier::{
     RefinementRun, ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions, VerifyError,
 };

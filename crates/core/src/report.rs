@@ -256,9 +256,93 @@ impl RefineRow {
     }
 }
 
+/// One row of the spec-soundness analysis artefact (`BENCH_analysis.json`): one
+/// finding of one analysis tier, plus the spec it was found in and whether the
+/// finding comes from the deliberately seeded regression (CI fails on any
+/// soundness-class row with `seeded: false`).
+#[derive(Debug, Clone)]
+pub struct AnalysisRow {
+    /// The analyzed specification (or `"workspace"` for source-lint rows).
+    pub spec: String,
+    /// The analysis tier (`effect_audit`, `commute_oracle`, `spec_lint`).
+    pub tier: String,
+    /// The severity class (`soundness`, `precision`, `convention`).
+    pub class: String,
+    /// The action name (semantic tiers) or lint rule id (spec lint).
+    pub action: String,
+    /// The offending instance label or source location.
+    pub location: String,
+    /// The semantic field whose write escaped the declaration, when applicable.
+    pub field_path: String,
+    /// The undeclared / unused effect bits in display form, when applicable.
+    pub effect_bits: String,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// Estimated pruning lost to an over-wide declaration (precision rows only).
+    pub estimated_lost_pruning: u64,
+    /// Whether the finding comes from the seeded under-declaration regression.
+    pub seeded: bool,
+}
+
+impl AnalysisRow {
+    /// Builds a row from an analyzer finding.
+    pub fn from_finding(spec: &str, finding: &remix_analyze::Finding, seeded: bool) -> Self {
+        AnalysisRow {
+            spec: spec.to_owned(),
+            tier: finding.tier.as_str().to_owned(),
+            class: finding.class.as_str().to_owned(),
+            action: finding.action.clone(),
+            location: finding.location.clone(),
+            field_path: finding.field_path.clone(),
+            effect_bits: finding.effect_bits.clone(),
+            detail: finding.detail.clone(),
+            estimated_lost_pruning: finding.estimated_lost_pruning,
+            seeded,
+        }
+    }
+
+    /// Serializes the row as one JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("spec", &self.spec)
+            .string("tier", &self.tier)
+            .string("class", &self.class)
+            .string("action", &self.action)
+            .string("location", &self.location)
+            .string("field_path", &self.field_path)
+            .string("effect_bits", &self.effect_bits)
+            .string("detail", &self.detail)
+            .u128("estimated_lost_pruning", self.estimated_lost_pruning.into())
+            .bool("seeded", self.seeded)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn analysis_rows_serialize_to_json() {
+        let finding = remix_analyze::Finding {
+            tier: remix_analyze::Tier::EffectAudit,
+            class: remix_analyze::FindingClass::Soundness,
+            action: "NodeRestart".to_owned(),
+            location: "NodeRestart(1)".to_owned(),
+            field_path: "link[0][1]".to_owned(),
+            effect_bits: "channel[0->1]".to_owned(),
+            detail: "observed write outside declared footprint".to_owned(),
+            estimated_lost_pruning: 0,
+        };
+        let row = AnalysisRow::from_finding("mSpec-3", &finding, true);
+        let json = row.to_json();
+        assert!(json.contains("\"spec\":\"mSpec-3\""));
+        assert!(json.contains("\"tier\":\"effect_audit\""));
+        assert!(json.contains("\"class\":\"soundness\""));
+        assert!(json.contains("\"field_path\":\"link[0][1]\""));
+        assert!(json.contains("\"effect_bits\":\"channel[0->1]\""));
+        assert!(json.contains("\"seeded\":true"));
+    }
 
     #[test]
     fn refine_rows_serialize_to_json() {

@@ -7,9 +7,11 @@
 use std::fmt;
 use std::time::Duration;
 
+use remix_analyze::AnalysisReport;
 use remix_checker::{
     check_bfs, check_refinement, shrink_violation, CheckMode, CheckOptions, CheckOutcome,
-    RefineOptions, RefineOutcome, RefineVerdict, SpillConfig, StoreMode, SymmetryMode,
+    CorpusOptions, RefineOptions, RefineOutcome, RefineVerdict, SpillConfig, StoreMode,
+    SymmetryMode,
 };
 use remix_spec::{CompositionPlan, Invariant, ModuleId, Spec, SpecError, Trace};
 use remix_zab::{projection_between, ClusterConfig, SpecPreset, ZabState};
@@ -42,6 +44,19 @@ pub enum VerifyError {
         /// The underlying specification error.
         source: SpecError,
     },
+    /// The pre-check analysis gate ([`Verifier::verify_spec_gated`]) found
+    /// soundness-class findings: some declared [`Effect`](remix_spec::Effect)
+    /// footprint is narrower than the writes the effect audit observed (or a
+    /// declared-independent pair fails its commute diamond).  Model checking with
+    /// sleep-set POR or incremental canonicalization on such a specification can
+    /// silently drop states, so the verifier refuses to run it.
+    UnsoundFootprint {
+        /// Name of the analyzed specification.
+        spec: String,
+        /// The rendered soundness findings (one per line of
+        /// [`remix_analyze::Finding`]'s display form).
+        findings: Vec<String>,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -54,6 +69,14 @@ impl fmt::Display for VerifyError {
             ),
             VerifyError::PlanBuild { plan, source } => {
                 write!(f, "composition plan {plan} does not build: {source}")
+            }
+            VerifyError::UnsoundFootprint { spec, findings } => {
+                write!(
+                    f,
+                    "specification {spec} has {} unsound effect declaration(s); first: {}",
+                    findings.len(),
+                    findings.first().map(String::as_str).unwrap_or("<none>")
+                )
             }
         }
     }
@@ -308,6 +331,59 @@ impl Verifier {
     }
 }
 
+impl Verifier {
+    /// Runs the semantic analysis tiers — effect audit and commute oracle
+    /// (`remix-analyze`) — over a bounded BFS corpus of a preset composition.
+    ///
+    /// The corpus is explored without symmetry or partial-order reduction: those are
+    /// exactly the reductions whose soundness the analysis establishes.
+    pub fn analyze_preset(&self, preset: SpecPreset, corpus: CorpusOptions) -> AnalysisReport {
+        let composed = Composer::new(self.config)
+            .compose_preset(preset)
+            .expect("preset composes");
+        self.analyze_spec(&composed.spec, corpus)
+    }
+
+    /// Runs the semantic analysis tiers over an already-composed specification.
+    pub fn analyze_spec(&self, spec: &Spec<ZabState>, corpus: CorpusOptions) -> AnalysisReport {
+        remix_analyze::analyze_spec(spec, corpus)
+    }
+
+    /// Verifies a preset behind the analysis pre-check gate: the semantic analysis
+    /// runs first, and any soundness-class finding aborts the run with
+    /// [`VerifyError::UnsoundFootprint`] instead of model checking on declarations
+    /// that could silently drop states.
+    pub fn verify_preset_gated(
+        &self,
+        preset: SpecPreset,
+        options: &VerifierOptions,
+        corpus: CorpusOptions,
+    ) -> Result<VerificationRun, VerifyError> {
+        let composed = Composer::new(self.config)
+            .compose_preset(preset)
+            .expect("preset composes");
+        self.verify_spec_gated(composed.spec, options, corpus)
+    }
+
+    /// Verifies an already-composed specification behind the analysis gate; see
+    /// [`Verifier::verify_preset_gated`].
+    pub fn verify_spec_gated(
+        &self,
+        spec: Spec<ZabState>,
+        options: &VerifierOptions,
+        corpus: CorpusOptions,
+    ) -> Result<VerificationRun, VerifyError> {
+        let report = self.analyze_spec(&spec, corpus);
+        if report.has_soundness() {
+            return Err(VerifyError::UnsoundFootprint {
+                spec: spec.name.clone(),
+                findings: report.soundness().map(|f| f.to_string()).collect(),
+            });
+        }
+        Ok(self.verify_spec(spec, options))
+    }
+}
+
 /// The result of one refinement check between two compositions.
 #[derive(Debug)]
 pub struct RefinementRun {
@@ -502,6 +578,49 @@ mod tests {
         }
         let rendered = err.to_string();
         assert!(rendered.contains("refinement pair"), "{rendered}");
+    }
+
+    #[test]
+    fn analysis_gate_rejects_underdeclared_footprints() {
+        let config = ClusterConfig::small(CodeVersion::FinalFix).with_transactions(1);
+        let verifier = Verifier::new(config);
+        let corpus = CorpusOptions {
+            max_states: 1_500,
+            max_depth: 64,
+        };
+
+        // The honest workspace passes the gate (and a tiny bounded check).
+        let composed = Composer::new(config)
+            .compose_preset(SpecPreset::MSpec3)
+            .expect("preset composes");
+        let run = verifier.verify_spec_gated(
+            composed.spec,
+            &VerifierOptions::default()
+                .with_time_budget(Duration::from_secs(10))
+                .with_max_states(500),
+            corpus,
+        );
+        assert!(run.is_ok(), "honest spec must pass the gate: {run:?}");
+
+        // The seeded NodeRestart under-declaration is refused before checking.
+        let mut seeded = Composer::new(config)
+            .compose_preset(SpecPreset::MSpec3)
+            .expect("preset composes")
+            .spec;
+        remix_zab::underdeclare_node_restart(&mut seeded);
+        let err = verifier
+            .verify_spec_gated(seeded, &VerifierOptions::default(), corpus)
+            .expect_err("under-declared footprint must be refused");
+        match &err {
+            VerifyError::UnsoundFootprint { findings, .. } => {
+                assert!(
+                    findings.iter().any(|f| f.contains("NodeRestart")),
+                    "findings name the action: {findings:?}"
+                );
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(err.to_string().contains("unsound effect declaration"));
     }
 
     #[test]

@@ -45,6 +45,45 @@ pub mod flags {
     pub const VIOLATION: u16 = 1 << 4;
     /// The whole state: an action declaring this bit conflicts with everything.
     pub const GLOBAL: u16 = 1 << 15;
+
+    /// The human-readable name of a single flag bit, if it is one of the named scalars.
+    #[must_use]
+    pub fn name(bit: u16) -> Option<&'static str> {
+        match bit {
+            CRASH_BUDGET => Some("crashBudget"),
+            PARTITION_BUDGET => Some("partitionBudget"),
+            TXN_BUDGET => Some("txnBudget"),
+            GHOST => Some("ghost"),
+            VIOLATION => Some("violation"),
+            GLOBAL => Some("global"),
+            _ => None,
+        }
+    }
+}
+
+/// One named bit of an [`Effect`] write set, used by analysis passes to report
+/// undeclared or unused footprint bits in human-readable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EffectBit {
+    /// The replica state of one server.
+    Server(usize),
+    /// One directed channel `from -> to` (content or link-level status).
+    Channel(usize, usize),
+    /// One global flag scalar (a bit of the flag domain).
+    Flag(u16),
+}
+
+impl std::fmt::Display for EffectBit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EffectBit::Server(i) => write!(f, "server[{i}]"),
+            EffectBit::Channel(from, to) => write!(f, "channel[{from}->{to}]"),
+            EffectBit::Flag(bit) => match flags::name(bit) {
+                Some(name) => write!(f, "flag[{name}]"),
+                None => write!(f, "flag[{bit:#06x}]"),
+            },
+        }
+    }
 }
 
 /// A conservative read/write footprint of one action instance.
@@ -196,6 +235,64 @@ impl Effect {
         servers == 0 && channels == 0 && flags == 0
     }
 
+    /// The union of two footprints: reads and writes are combined bitwise per domain.
+    ///
+    /// Union is monotone for conflict: if `a` conflicts with `b`, then `a.union(c)`
+    /// still conflicts with `b` for any `c` — widening a footprint can only lose
+    /// precision, never soundness.
+    #[must_use]
+    pub fn union(&self, other: &Effect) -> Effect {
+        Effect {
+            reads_servers: self.reads_servers | other.reads_servers,
+            writes_servers: self.writes_servers | other.writes_servers,
+            reads_channels: self.reads_channels | other.reads_channels,
+            writes_channels: self.writes_channels | other.writes_channels,
+            reads_flags: self.reads_flags | other.reads_flags,
+            writes_flags: self.writes_flags | other.writes_flags,
+        }
+    }
+
+    /// `true` when every write bit of `other` is also a write bit of `self` — i.e. this
+    /// declaration is at least as wide as the observed footprint `other`.  A global
+    /// footprint covers everything.
+    #[must_use]
+    pub fn covers_writes(&self, other: &Effect) -> bool {
+        if self.is_global() {
+            return true;
+        }
+        if other.is_global() {
+            return false;
+        }
+        other.writes_servers & !self.writes_servers == 0
+            && other.writes_channels & !self.writes_channels == 0
+            && other.writes_flags & !self.writes_flags == 0
+    }
+
+    /// Enumerates the individual write bits of this footprint as named [`EffectBit`]s,
+    /// in a deterministic order (servers, then channels, then flags).
+    #[must_use]
+    pub fn write_bits(&self) -> Vec<EffectBit> {
+        let mut out = Vec::new();
+        for i in 0..MAX_EFFECT_SERVERS {
+            if self.writes_servers & (1u8 << i) != 0 {
+                out.push(EffectBit::Server(i));
+            }
+        }
+        for from in 0..MAX_EFFECT_SERVERS {
+            for to in 0..MAX_EFFECT_SERVERS {
+                if self.writes_channels & (1u64 << (from * MAX_EFFECT_SERVERS + to)) != 0 {
+                    out.push(EffectBit::Channel(from, to));
+                }
+            }
+        }
+        for bit in 0..16 {
+            if self.writes_flags & (1u16 << bit) != 0 {
+                out.push(EffectBit::Flag(1u16 << bit));
+            }
+        }
+        out
+    }
+
     /// The servers whose permutation-invariant canonical sort key may differ between
     /// the pre- and post-state of this action: every written server plus both endpoints
     /// of every written channel (channel lengths and partition status are part of both
@@ -262,6 +359,37 @@ mod tests {
         assert_eq!(e.touched_servers(), 0b111);
         let crash = Effect::new().writes_server(3).writes_channels_of(3);
         assert_eq!(crash.touched_servers(), 0xff);
+    }
+
+    #[test]
+    fn union_and_coverage() {
+        let a = Effect::new().writes_server(0).writes_channel(0, 1);
+        let b = Effect::new().writes_server(1).writes_flag(flags::GHOST);
+        let u = a.union(&b);
+        assert!(u.covers_writes(&a) && u.covers_writes(&b));
+        assert!(!a.covers_writes(&b));
+        assert!(Effect::global().covers_writes(&u));
+        assert!(!u.covers_writes(&Effect::global()));
+    }
+
+    #[test]
+    fn write_bits_are_named_and_deterministic() {
+        let e = Effect::new()
+            .writes_server(2)
+            .writes_channel(1, 0)
+            .writes_flag(flags::VIOLATION);
+        let bits = e.write_bits();
+        assert_eq!(
+            bits,
+            vec![
+                EffectBit::Server(2),
+                EffectBit::Channel(1, 0),
+                EffectBit::Flag(flags::VIOLATION),
+            ]
+        );
+        assert_eq!(bits[0].to_string(), "server[2]");
+        assert_eq!(bits[1].to_string(), "channel[1->0]");
+        assert_eq!(bits[2].to_string(), "flag[violation]");
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   granularities of the same library — per-state and per-label projections plus a
 //!   stability predicate — consumed by the refinement checker
 //!   (`remix-checker::refine`) to prove that a coarse composition simulates a fine one.
+//! * **Field reflection** ([`reflect`]): enumeration of a state's semantic fields as
+//!   stable `(path, hash)` pairs mapped to effect domains, the substrate of the
+//!   `remix-analyze` effect audit (observed writes vs declared footprints).
 //! * **Symmetry reduction** ([`symmetry`]): canonical representatives under a
 //!   permutation group of process ids ([`Canonicalize`] / [`Perm`]), attached to a
 //!   specification via [`Spec::with_canonicalization`] and consumed by the checker
@@ -43,6 +46,7 @@ pub mod invariant;
 pub mod label;
 pub mod module;
 pub mod projection;
+pub mod reflect;
 pub mod spec;
 pub mod symmetry;
 pub mod trace;
@@ -54,12 +58,13 @@ pub use analysis::{
     InteractionAnalysis, ModuleFootprint, PreservationReport, PreservationViolation,
 };
 pub use compose::{compose, CompositionPlan, ModuleChoice};
-pub use effect::Effect;
+pub use effect::{Effect, EffectBit};
 pub use error::SpecError;
 pub use invariant::{Invariant, InvariantScope, InvariantSource};
 pub use label::{LabelId, LabelTable, INIT_LABEL};
 pub use module::{ModuleId, ModuleSpec};
 pub use projection::{LabelProjectionFn, StabilityFn, StateProjectionFn, TraceProjection};
+pub use reflect::{FieldInfo, StateFields};
 pub use spec::{CanonFn, IncrementalCanon, Spec, SpecState};
 pub use symmetry::{canon_stats, Canonicalize, IncrementalCanonicalize, Perm};
 pub use trace::{

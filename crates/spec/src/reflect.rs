@@ -1,0 +1,79 @@
+//! Semantic field reflection for effect auditing.
+//!
+//! The declared [`Effect`] footprint of an action is a *promise* about
+//! which parts of the state the action may write.  To check that promise dynamically,
+//! the analyzer needs to observe which parts of the state actually changed across a
+//! transition — at the granularity of the effect domains (servers, directed channels,
+//! global flags), not raw struct fields.
+//!
+//! A state type opts into auditing by implementing [`StateFields`]: it enumerates its
+//! *semantic fields* as stable `(path, domain)` pairs, where the path is a
+//! human-readable name like `server[1].currentEpoch` or `link[0][2]` and the domain is
+//! a write-bit-only [`Effect`] mask saying which declared footprint bits
+//! cover a write of that field.  Alongside the static enumeration, the state hashes
+//! each field independently so the audit can diff a parent and child state field by
+//! field without materialising per-field values.
+//!
+//! The contract: for a fixed configuration (e.g. a fixed server count), `fields()`
+//! returns the same list for every state of the run, and `field_hashes` pushes exactly
+//! one hash per field, index-aligned with that list.  A field whose hash differs
+//! between parent and child was *written* by the transition; the audit then checks the
+//! field's domain bits against the action's declared write set.
+//!
+//! Derived facts count: if an action changes `reachable(a, b)` by crashing server `a`,
+//! the `link[a][b]` field changes even though no channel queue was touched — exactly
+//! the class of under-declaration (NodeRestart, PR 7) this pass exists to catch.
+
+use crate::effect::Effect;
+
+/// One semantic field of an auditable state: a stable path plus the effect-domain
+/// write bits that cover a write of this field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Stable human-readable path, e.g. `server[1].currentEpoch` or `msgs[0][2]`.
+    pub path: String,
+    /// Write-bit-only [`Effect`] mask: the declared footprint bits that cover a write
+    /// of this field.  A transition changing this field without declaring at least
+    /// these write bits is unsound.
+    pub domain: Effect,
+}
+
+impl FieldInfo {
+    /// Creates a field descriptor.
+    pub fn new(path: impl Into<String>, domain: Effect) -> Self {
+        FieldInfo {
+            path: path.into(),
+            domain,
+        }
+    }
+}
+
+/// Reflection over the semantic fields of a state, for effect auditing.
+///
+/// See the module documentation for the index-alignment and stability contract.
+pub trait StateFields {
+    /// Enumerates the semantic fields of this state as stable `(path, domain)` pairs.
+    ///
+    /// For a fixed configuration the list must be identical (same paths, same order)
+    /// for every reachable state, so audits can compare hash vectors positionally.
+    fn fields(&self) -> Vec<FieldInfo>;
+
+    /// Appends one hash per field to `out`, index-aligned with [`fields`](Self::fields).
+    ///
+    /// Two states whose `i`-th hashes differ must differ in the `i`-th field; equal
+    /// field values must hash equal.  (Hash collisions can mask a write — acceptable
+    /// for an audit, which over-approximates soundness anyway.)
+    fn field_hashes(&self, out: &mut Vec<u64>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_info_carries_path_and_domain() {
+        let f = FieldInfo::new("server[0].state", Effect::new().writes_server(0));
+        assert_eq!(f.path, "server[0].state");
+        assert_eq!(f.domain.writes_servers, 1);
+    }
+}

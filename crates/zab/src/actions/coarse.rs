@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::{DISCOVERY, ELECTION};
 use crate::state::ZabState;
@@ -97,10 +97,9 @@ fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
                     continue;
                 }
                 // Fast leader election elects the member with the maximal vote.
-                let leader = *q
-                    .iter()
-                    .max_by_key(|&&i| candidate_vote(s, i))
-                    .expect("quorum is non-empty");
+                let Some(&leader) = q.iter().max_by_key(|&&i| candidate_vote(s, i)) else {
+                    continue;
+                };
                 let mut next = s.clone();
                 for &member in &q {
                     let last_zxid = next.servers[member].last_zxid();
@@ -157,10 +156,13 @@ fn election_and_discovery(cfg: &Cfg) -> ActionDef<ZabState> {
                     }
                 }
                 let members: Vec<String> = q.iter().map(|m| m.to_string()).collect();
-                out.push(ActionInstance::new(
-                    format!("ElectionAndDiscovery({leader}, {{{}}})", members.join(", ")),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(
+                        format!("ElectionAndDiscovery({leader}, {{{}}})", members.join(", ")),
+                        next,
+                    )
+                    .with_effect(Effect::global()),
+                );
             }
             out
         },
@@ -279,10 +281,10 @@ fn late_join(_cfg: &Cfg) -> ActionDef<ZabState> {
                 next.servers[l].learners.insert(i);
                 next.servers[l].epoch_acks.insert(i);
                 next.servers[l].learner_last_zxid.insert(i, last_zxid);
-                out.push(ActionInstance::new(
-                    format!("ElectionAndDiscoveryLateJoin({i}, {l})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("ElectionAndDiscoveryLateJoin({i}, {l})"), next)
+                        .with_effect(Effect::global()),
+                );
             }
             out
         },
@@ -358,10 +360,9 @@ fn election_and_discovery_leader_crash(cfg: &Cfg) -> ActionDef<ZabState> {
                 if !connected {
                     continue;
                 }
-                let leader = *q
-                    .iter()
-                    .max_by_key(|&&i| candidate_vote(s, i))
-                    .expect("quorum is non-empty");
+                let Some(&leader) = q.iter().max_by_key(|&&i| candidate_vote(s, i)) else {
+                    continue;
+                };
                 let followers: Vec<Sid> = q.iter().copied().filter(|&m| m != leader).collect();
                 // Every subset J of followers may have completed the handshake before
                 // the crash (including none: the leader died right after proposing).
@@ -390,14 +391,17 @@ fn election_and_discovery_leader_crash(cfg: &Cfg) -> ActionDef<ZabState> {
                     next.clear_channels(leader);
                     let joined_label: Vec<String> = joined.iter().map(|m| m.to_string()).collect();
                     let members: Vec<String> = q.iter().map(|m| m.to_string()).collect();
-                    out.push(ActionInstance::new(
-                        format!(
-                            "ElectionAndDiscoveryLeaderCrash({leader}, {{{}}}, {{{}}})",
-                            members.join(", "),
-                            joined_label.join(", ")
-                        ),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(
+                            format!(
+                                "ElectionAndDiscoveryLeaderCrash({leader}, {{{}}}, {{{}}})",
+                                members.join(", "),
+                                joined_label.join(", ")
+                            ),
+                            next,
+                        )
+                        .with_effect(Effect::global()),
+                    );
                 }
             }
             out

@@ -1,12 +1,29 @@
 //! Baseline Discovery module: epoch negotiation between the new leader and its learners.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::DISCOVERY;
 use crate::state::ZabState;
-use crate::types::{Message, ServerState, ZabPhase};
+use crate::types::{Message, ServerState, Sid, ZabPhase};
 
 use super::{pairs, Cfg};
+
+/// Footprint of `LeaderProcessFOLLOWERINFO(i, j)`: pops the follower's report,
+/// updates the leader's own bookkeeping, and may send LEADERINFO — either to `j`
+/// alone or, on reaching a quorum, to *every* registered learner (a state-dependent
+/// set, so the declaration covers the whole outgoing row).  Choosing the new epoch
+/// reads `max(acceptedEpoch, currentEpoch)` over all servers, hence the read of
+/// every server bit.
+fn eff_leader_process_follower_info(n: usize, i: Sid, j: Sid) -> Effect {
+    let mut eff = Effect::new().writes_server(i).writes_channel(j, i);
+    for l in 0..n {
+        if l != i {
+            eff = eff.writes_channel(i, l);
+        }
+        eff = eff.reads_server(l);
+    }
+    eff
+}
 
 /// `ConnectAndFollowerSendFOLLOWERINFO(i, j)`: a follower that decided on leader `j`
 /// connects and reports its accepted epoch and last zxid.
@@ -15,6 +32,9 @@ fn follower_info(_cfg: &Cfg) -> ActionDef<ZabState> {
         "ConnectAndFollowerSendFOLLOWERINFO",
         DISCOVERY,
         Granularity::Baseline,
+        // `connected` (the "FOLLOWERINFO already sent" flag the guard reads and the
+        // step sets) folds under `leaderAddr`: it is connection status toward the
+        // chosen leader and resets exactly when `leaderAddr` does.
         vec![
             "state",
             "zabState",
@@ -22,7 +42,7 @@ fn follower_info(_cfg: &Cfg) -> ActionDef<ZabState> {
             "acceptedEpoch",
             "history",
         ],
-        vec!["msgs"],
+        vec!["msgs", "leaderAddr"],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {
@@ -42,10 +62,13 @@ fn follower_info(_cfg: &Cfg) -> ActionDef<ZabState> {
                     last_zxid: next.servers[i].last_zxid(),
                 };
                 next.send(i, j, msg);
-                out.push(ActionInstance::new(
-                    format!("ConnectAndFollowerSendFOLLOWERINFO({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(
+                        format!("ConnectAndFollowerSendFOLLOWERINFO({i}, {j})"),
+                        next,
+                    )
+                    .with_effect(Effect::new().writes_server(i).writes_channel(i, j)),
+                );
             }
             out
         },
@@ -96,10 +119,10 @@ fn leader_process_follower_info(cfg: &Cfg) -> ActionDef<ZabState> {
                         }
                     }
                 }
-                out.push(ActionInstance::new(
-                    format!("LeaderProcessFOLLOWERINFO({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("LeaderProcessFOLLOWERINFO({i}, {j})"), next)
+                        .with_effect(eff_leader_process_follower_info(s.n(), i, j)),
+                );
             }
             out
         },
@@ -147,10 +170,10 @@ fn follower_process_leader_info(_cfg: &Cfg) -> ActionDef<ZabState> {
                     // Epoch regression: the follower abandons this leader.
                     next.servers[i].shutdown_to_looking(i, true);
                 }
-                out.push(ActionInstance::new(
-                    format!("FollowerProcessLEADERINFO({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FollowerProcessLEADERINFO({i}, {j})"), next)
+                        .with_effect(super::eff_recv_reply(i, j)),
+                );
             }
             out
         },
@@ -188,10 +211,10 @@ fn leader_process_ack_epoch(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.servers[i].phase = ZabPhase::Synchronization;
                     }
                 }
-                out.push(ActionInstance::new(
-                    format!("LeaderProcessACKEPOCH({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("LeaderProcessACKEPOCH({i}, {j})"), next)
+                        .with_effect(super::eff_recv(i, j)),
+                );
             }
             out
         },

@@ -6,13 +6,40 @@
 //! notification per ordered pair, mirroring FLE's "latest notification supersedes"
 //! behaviour and keeping the state space finite.
 
-use remix_spec::{ActionDef, ActionInstance, Granularity, ModuleSpec};
+use remix_spec::{ActionDef, ActionInstance, Effect, Granularity, ModuleSpec};
 
 use crate::modules::ELECTION;
 use crate::state::ZabState;
 use crate::types::{Message, ServerState, Sid, Vote, ZabPhase};
 
 use super::{servers, Cfg};
+
+/// Footprint of `FLEBroadcastNotification(i)`: writes `i`'s own state and every
+/// outgoing channel (stale-notification replacement touches `msgs[i][j]` even for
+/// unreachable peers; the sends read reachability, charged to the same bits).
+fn eff_broadcast(n: usize, i: Sid) -> Effect {
+    let mut eff = Effect::new().writes_server(i);
+    for j in 0..n {
+        if j != i {
+            eff = eff.writes_channel(i, j);
+        }
+    }
+    eff
+}
+
+/// Footprint of `FLENotificationTimeout(i)`: writes only `i`'s own state, but its
+/// guard reads every peer's state (is a reachable peer still LOOKING?) and every
+/// incoming channel (is the notification round quiet?); the reachability read is
+/// covered by the incoming channel bit of each pair.
+fn eff_timeout(n: usize, i: Sid) -> Effect {
+    let mut eff = Effect::new().writes_server(i);
+    for j in 0..n {
+        if j != i {
+            eff = eff.reads_server(j).reads_channel(j, i);
+        }
+    }
+    eff
+}
 
 /// Sends (or replaces) the notification from `i` to every reachable peer.
 fn broadcast_vote(state: &mut ZabState, i: Sid) {
@@ -43,10 +70,10 @@ fn fle_broadcast(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if sv.state == ServerState::Looking && !sv.vote_broadcast {
                     let mut next = s.clone();
                     broadcast_vote(&mut next, i);
-                    out.push(ActionInstance::new(
-                        format!("FLEBroadcastNotification({i})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("FLEBroadcastNotification({i})"), next)
+                            .with_effect(eff_broadcast(s.n(), i)),
+                    );
                 }
             }
             out
@@ -82,10 +109,10 @@ fn fle_receive(_cfg: &Cfg) -> ActionDef<ZabState> {
                         next.servers[i].vote_broadcast = false;
                     }
                 }
-                out.push(ActionInstance::new(
-                    format!("FLEReceiveNotification({i}, {j})"),
-                    next,
-                ));
+                out.push(
+                    ActionInstance::new(format!("FLEReceiveNotification({i}, {j})"), next)
+                        .with_effect(super::eff_recv(i, j)),
+                );
             }
             out
         },
@@ -131,7 +158,10 @@ fn fle_decide(_cfg: &Cfg) -> ActionDef<ZabState> {
                         sv.state = ServerState::Following;
                     }
                 }
-                out.push(ActionInstance::new(format!("FLEDecide({i})"), next));
+                out.push(
+                    ActionInstance::new(format!("FLEDecide({i})"), next)
+                        .with_effect(Effect::new().writes_server(i)),
+                );
             }
             out
         },
@@ -164,10 +194,10 @@ fn fle_timeout(_cfg: &Cfg) -> ActionDef<ZabState> {
                 if quiet && peer_looking {
                     let mut next = s.clone();
                     next.servers[i].vote_broadcast = false;
-                    out.push(ActionInstance::new(
-                        format!("FLENotificationTimeout({i})"),
-                        next,
-                    ));
+                    out.push(
+                        ActionInstance::new(format!("FLENotificationTimeout({i})"), next)
+                            .with_effect(eff_timeout(s.n(), i)),
+                    );
                 }
             }
             out

@@ -286,7 +286,15 @@ fn newleader_reply_ack(cfg: &Cfg) -> ActionDef<ZabState> {
                         format!("FollowerProcessNEWLEADER_ReplyAck({i}, {j})"),
                         next,
                     )
-                    .with_effect(eff_recv_reply(i, j)),
+                    // Unlike the other handlers this one only moves messages (the
+                    // guard reads `i`'s local state but nothing on the server
+                    // changes), so the server bit is read-only.
+                    .with_effect(
+                        Effect::new()
+                            .reads_server(i)
+                            .writes_channel(j, i)
+                            .writes_channel(i, j),
+                    ),
                 );
             }
             out

@@ -51,8 +51,13 @@ pub type Cfg = Arc<ClusterConfig>;
 //
 // Actions whose write set depends on the *state* (a leader broadcasting to whichever
 // followers have acknowledged) conservatively claim every channel touching the server
-// (`writes_channels_of`).  Election, Discovery and the coarse merged module stay
-// unannotated: `None` means dependent-on-everything, which is always sound.
+// (`writes_channels_of`).  The coarse merged module declares `Effect::global()`:
+// behaviourally identical to `None` (dependent on everything, always sound), but
+// explicit so the spec lint can verify that every action registered a footprint.
+//
+// The effect audit (`remix-analyze`) checks these declarations against observed
+// per-field state diffs over a bounded corpus; `crate::fields` maps each field to the
+// bits it charges.
 // ---------------------------------------------------------------------------------------
 
 /// Footprint of a message handler on server `i` that pops the head of channel `j → i`

@@ -350,8 +350,19 @@ fn leader_sync_follower(_cfg: &Cfg, granularity: Granularity) -> ActionDef<ZabSt
         "LeaderSyncFollower",
         SYNCHRONIZATION,
         granularity,
-        vec!["state", "zabState", "ackeRecv", "history", "lastCommitted"],
-        vec!["msgs"],
+        // `sync_sent` (the per-learner "NEWLEADER sent" bookkeeping the guard reads
+        // and the step inserts into) folds under `ackldRecv`: both sides of the
+        // NEWLEADER exchange live in the same variable, like `learner_last_zxid`
+        // folds under `ackeRecv`/`learners` in the Discovery module.
+        vec![
+            "state",
+            "zabState",
+            "ackeRecv",
+            "ackldRecv",
+            "history",
+            "lastCommitted",
+        ],
+        vec!["msgs", "ackldRecv"],
         |s: &ZabState| {
             let mut out = Vec::new();
             for (i, j) in pairs(s) {

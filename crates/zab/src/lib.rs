@@ -12,6 +12,8 @@
 //! * [`projection`] — the granularity projections relating those compositions, consumed
 //!   by the refinement checker (`remix-checker::refine`) to prove the coarsenings
 //!   interaction-preserving;
+//! * [`fields`] — [`StateFields`](remix_spec::StateFields) reflection over `ZabState`,
+//!   consumed by the effect audit (`remix-analyze`);
 //! * [`symmetry`] — canonical representatives of `ZabState` under server-id
 //!   permutation, consumed by the checker's symmetry reduction
 //!   (`remix-checker::SymmetryMode`);
@@ -20,8 +22,11 @@
 //! * [`protocol`] — the protocol-level specification of Zab (§2.1.1) together with the
 //!   improved protocol of §5.4.
 
+#![warn(missing_docs)]
+
 pub mod actions;
 pub mod config;
+pub mod fields;
 pub mod invariants;
 pub mod modules;
 pub mod presets;
@@ -33,6 +38,7 @@ pub mod types;
 pub mod versions;
 
 pub use config::ClusterConfig;
+pub use fields::underdeclare_node_restart;
 pub use presets::{build_from_plan, SpecPreset};
 pub use projection::{
     baseline_vs_fine_sync, coarse_vs_baseline, projection_between, ProjectionSpec,

@@ -71,10 +71,12 @@ fn oracle_elect(cfg: &Arc<ClusterConfig>) -> ActionDef<ZabState> {
                 if q.len() < s.quorum_size() {
                     continue;
                 }
-                let leader = *q
+                let Some(&leader) = q
                     .iter()
                     .max_by_key(|&&i| (s.servers[i].current_epoch, s.servers[i].last_zxid(), i))
-                    .expect("non-empty");
+                else {
+                    continue;
+                };
                 let mut next = s.clone();
                 for &m in &q {
                     let sv = &mut next.servers[m];

@@ -15,6 +15,8 @@
 //! are present, so conformance checking can be exercised against both buggy and fixed
 //! builds.
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod network;
 pub mod node;

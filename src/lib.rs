@@ -5,6 +5,9 @@
 //!
 //! * [`spec`] — the specification framework (values, actions, modules, composition,
 //!   dependency / interaction-variable analysis, interaction-preservation checking).
+//! * [`analyze`] — the spec soundness analyzer (effect audits against observed
+//!   field-level writes, commute/never-disable diamond oracles, and the workspace
+//!   source lint driven by `remix-lint`).
 //! * [`checker`] — the explicit-state model checker (BFS/DFS exploration, invariant
 //!   checking, counterexample traces, random simulation, coverage-guided schedule
 //!   exploration, counterexample shrinking, and cross-granularity refinement
@@ -17,6 +20,7 @@
 //! * [`remix`] — the Remix framework itself: composition of mixed-grained
 //!   specifications, invariant selection, verification runs and conformance checking.
 
+pub use remix_analyze as analyze;
 pub use remix_checker as checker;
 pub use remix_core as remix;
 pub use remix_spec as spec;
