@@ -1,0 +1,472 @@
+//! Concurrency tier, part 1 — the source lint and the lock-order findings.
+//!
+//! The parallel engine's soundness rests on conventions no type system checks:
+//! every blocking primitive goes through the instrumented `checker::sync` layer,
+//! every memory-ordering choice is justified in place, successor callbacks stay
+//! lock-free, and poisoning is handled by exactly one policy helper.  This module
+//! turns each convention into a scannable rule over `crates/*/src` (same
+//! no-parser, needle-based scanner style as [`crate::lint`]) and converts the sync
+//! layer's [`AuditReport`] into findings:
+//!
+//! * **`raw-sync-import`** — no `use std::sync::…` importing `Mutex`, `RwLock`,
+//!   `Condvar`, `Barrier`, `mpsc`, atomics or `Ordering` anywhere outside
+//!   `crates/checker/src/sync.rs`.  `Arc` and `PoisonError` ride along freely (the
+//!   former is not a lock, the latter appears in type positions of the policy
+//!   helpers).  A `// sync-exempt: <reason>` comment anywhere in the file waives
+//!   this rule and `poison-handled-centrally` for that file — the escape hatch for
+//!   crates below `remix-checker` in the dependency order.
+//! * **`ordering-justified`** — every `Ordering::{Relaxed, Acquire, Release,
+//!   AcqRel, SeqCst}` use carries a `// ordering: <why>` comment on the same line
+//!   or within the three preceding lines.  `std::cmp::Ordering` matches are
+//!   skipped, as is `#[cfg(test)]` content (test assertions read counters, they
+//!   do not synchronize).
+//! * **`no-lock-in-successor-callback`** — no lock acquisition inside the span of
+//!   a `for_each_successor(...)` call.  Successor closures run on the expansion
+//!   hot path with frontier read locks held; a blocking acquisition there drags
+//!   user-controlled code into the lock hierarchy.  Callbacks must buffer and let
+//!   the caller flush after the closure returns (see `bfs::expand_range`).
+//! * **`poison-handled-centrally`** — no `PoisonError` handling (`into_inner`)
+//!   outside `checker::sync`'s `lock_or_recover` family; scattered poison
+//!   recovery is how policy drifts.
+//!
+//! Part 2, [`lock_order_findings`], maps a sync-audit [`AuditReport`] — rank
+//! violations and acquisition-order cycles, each carrying witness stacks — onto
+//! soundness-class findings, so the artefact pipeline treats "the engine can
+//! deadlock" exactly like "the engine drops states".
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use remix_checker::AuditReport;
+
+use crate::finding::{AnalysisReport, Finding, FindingClass, Tier};
+
+// Needles are assembled at compile time so this file does not trip its own rules
+// (the scanner lints every crate, including this one).
+const SYNC_IMPORT: &str = concat!("use std::", "sync");
+const ORDERING_USE: &str = concat!("Ordering", "::");
+const CMP_PREFIX: &str = concat!("cmp", "::");
+const EXEMPT_MARK: &str = concat!("// sync-", "exempt:");
+const ORDERING_MARK: &str = concat!("// ordering", ":");
+const POISON: &str = concat!("Poison", "Error");
+const SUCCESSOR_CALL: &str = concat!("for_each_", "successor(");
+const CFG_TEST: &str = concat!("#[cfg(", "test)]");
+const SANCTIONED_FILE: &str = "crates/checker/src/sync.rs";
+
+/// Identifiers whose appearance in a `use std::sync` line makes it a raw-sync
+/// import (anything that blocks, fences or orders).
+const BANNED_IMPORTS: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "Once", "mpsc", "atomic", "Ordering",
+];
+
+/// Lock-acquisition needles that must not appear inside a successor callback.
+const LOCK_NEEDLES: &[&str] = &[
+    ".lock(",
+    ".read()",
+    ".write()",
+    "lock_shard(",
+    "lock_counting(",
+    "lock_or_recover(",
+    "read_or_recover(",
+    "write_or_recover(",
+];
+
+/// The orderings whose choice must be justified.
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Lints every `crates/*/src` tree under `root` for the concurrency conventions.
+pub fn lint_concurrency(root: &Path) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    if let Ok(rd) = fs::read_dir(&crates_dir) {
+        for crate_dir in rd.filter_map(Result::ok).map(|e| e.path()) {
+            collect_rs_files(&crate_dir.join("src"), &mut files);
+        }
+    }
+    files.sort();
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        lint_concurrency_file(&rel, &source, &mut report);
+        // The lint's "corpus" is the set of scanned source files.
+        report.corpus_states += 1;
+    }
+    report
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the concurrency rules on one source file (`rel` is the workspace-relative
+/// path, `/`-separated, used in finding locations and for the sanctioned-file
+/// check).
+pub fn lint_concurrency_file(rel: &str, source: &str, report: &mut AnalysisReport) {
+    let sanctioned = rel == SANCTIONED_FILE;
+    let exempt = source.contains(EXEMPT_MARK);
+    if !sanctioned && !exempt {
+        rule_raw_sync_import(rel, source, report);
+        rule_poison_centrally(rel, source, report);
+    }
+    rule_ordering_justified(rel, source, report);
+    rule_no_lock_in_successor_callback(rel, source, report);
+}
+
+fn push(report: &mut AnalysisReport, rule: &str, location: String, detail: String) {
+    report.findings.push(Finding {
+        tier: Tier::ConcurrencyLint,
+        class: FindingClass::Convention,
+        action: rule.to_owned(),
+        location,
+        field_path: String::new(),
+        effect_bits: String::new(),
+        detail,
+        estimated_lost_pruning: 0,
+    });
+}
+
+fn rule_raw_sync_import(rel: &str, source: &str, report: &mut AnalysisReport) {
+    for (lineno, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || !trimmed.contains(SYNC_IMPORT) {
+            continue;
+        }
+        if BANNED_IMPORTS.iter().any(|b| trimmed.contains(b)) {
+            push(
+                report,
+                "raw-sync-import",
+                format!("{rel}:{}", lineno + 1),
+                format!(
+                    "raw std sync primitive imported outside checker::sync; route \
+                     locks, condvars and atomics through the instrumented layer (or \
+                     mark the file `{EXEMPT_MARK} <reason>` when it sits below \
+                     remix-checker)"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_ordering_justified(rel: &str, source: &str, report: &mut AnalysisReport) {
+    // Justifications do not synchronize tests; cut the scan at `#[cfg(test)]`.
+    let scan_end = source.find(CFG_TEST).unwrap_or(source.len());
+    let scanned = &source[..scan_end];
+    let lines: Vec<&str> = scanned.lines().collect();
+    for (lineno, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(hit) = line[from..].find(ORDERING_USE) {
+            let at = from + hit;
+            from = at + ORDERING_USE.len();
+            // `std::cmp::Ordering::Less` and friends are comparisons, not fences.
+            if line[..at].ends_with(CMP_PREFIX) {
+                continue;
+            }
+            let rest = &line[at + ORDERING_USE.len()..];
+            if !MEMORY_ORDERINGS.iter().any(|m| rest.starts_with(m)) {
+                continue;
+            }
+            let justified = line.contains(ORDERING_MARK)
+                || lines[lineno.saturating_sub(3)..lineno]
+                    .iter()
+                    .any(|l| l.contains(ORDERING_MARK));
+            if !justified {
+                push(
+                    report,
+                    "ordering-justified",
+                    format!("{rel}:{}", lineno + 1),
+                    format!(
+                        "memory-ordering choice without a `{ORDERING_MARK} <why>` \
+                         justification on the same or one of the three preceding \
+                         lines; every Relaxed/Acquire/Release/AcqRel/SeqCst pick \
+                         must say what it pairs with or why it needs nothing"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn rule_no_lock_in_successor_callback(rel: &str, source: &str, report: &mut AnalysisReport) {
+    for start in occurrences(source, SUCCESSOR_CALL) {
+        let open = start + SUCCESSOR_CALL.len() - 1;
+        let Some(end) = balanced_span_end(source, open) else {
+            continue;
+        };
+        let span = &source[start..end];
+        for needle in LOCK_NEEDLES {
+            for hit in occurrences(span, needle) {
+                // Comment text inside the span ("stays lock-free", doc references)
+                // is not an acquisition.
+                let line_start = span[..hit].rfind('\n').map_or(0, |p| p + 1);
+                if span[line_start..hit].trim_start().starts_with("//") {
+                    continue;
+                }
+                push(
+                    report,
+                    "no-lock-in-successor-callback",
+                    format!("{rel}:{}", line_of(source, start + hit)),
+                    format!(
+                        "lock acquisition `{needle}..` inside a successor-enumeration \
+                         callback; buffer in the closure and flush after it returns \
+                         (the callback runs on the expansion hot path with frontier \
+                         locks held)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn rule_poison_centrally(rel: &str, source: &str, report: &mut AnalysisReport) {
+    for (lineno, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || !trimmed.contains(POISON) {
+            continue;
+        }
+        push(
+            report,
+            "poison-handled-centrally",
+            format!("{rel}:{}", lineno + 1),
+            "poison handling outside checker::sync; the one poisoning policy is \
+             sync::lock_or_recover and its RwLock siblings — acquire through the \
+             Ordered* types instead"
+                .to_owned(),
+        );
+    }
+}
+
+/// 1-indexed line of a byte offset.
+fn line_of(source: &str, offset: usize) -> usize {
+    source.as_bytes()[..offset]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+fn occurrences<'a>(source: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    source.match_indices(needle).map(|(i, _)| i)
+}
+
+/// Byte offset just past the `(`-balanced span starting at `open`, skipping
+/// double-quoted string content (same scanner as [`crate::lint`]).
+fn balanced_span_end(source: &str, open: usize) -> Option<usize> {
+    let bytes = source.as_bytes();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 1,
+                        b'"' => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Converts a sync-audit [`AuditReport`] into analysis findings: one
+/// soundness-class finding per rank violation and per acquisition-order cycle,
+/// each carrying its witness stacks in the detail text.
+pub fn lock_order_findings(report: &AuditReport) -> AnalysisReport {
+    let mut out = AnalysisReport {
+        audited_transitions: report.acquisitions,
+        ..AnalysisReport::default()
+    };
+    for v in &report.rank_violations {
+        out.findings.push(Finding {
+            tier: Tier::LockOrder,
+            class: FindingClass::Soundness,
+            action: "rank-inversion".to_owned(),
+            location: format!("{} -> {}", v.held_site, v.acquired_site),
+            field_path: String::new(),
+            effect_bits: String::new(),
+            detail: format!(
+                "lock `{}` (rank {}) acquired while holding `{}` (rank {}); the \
+                 hierarchy requires strictly descending ranks. held-stack: [{}]; \
+                 acquiring thread {} with stack [{}]",
+                v.acquired_site,
+                v.acquired_rank,
+                v.held_site,
+                v.held_rank,
+                v.held_stack.join(" > "),
+                v.witness.thread,
+                v.witness.stack.join(" > "),
+            ),
+            estimated_lost_pruning: 0,
+        });
+    }
+    for cycle in report.cycles() {
+        let witnesses: Vec<String> = cycle
+            .witnesses
+            .iter()
+            .map(|w| format!("{} holding [{}]", w.thread, w.stack.join(" > ")))
+            .collect();
+        out.findings.push(Finding {
+            tier: Tier::LockOrder,
+            class: FindingClass::Soundness,
+            action: "order-cycle".to_owned(),
+            location: cycle.sites.join(" -> "),
+            field_path: String::new(),
+            effect_bits: String::new(),
+            detail: format!(
+                "acquisition-order cycle through {} site(s): two schedules can \
+                 deadlock holding opposite ends. witnesses: {}",
+                cycle.sites.len(),
+                witnesses.join("; "),
+            ),
+            estimated_lost_pruning: 0,
+        });
+    }
+    out
+}
+
+/// The distinct lint rule ids this tier can emit (used by the artefact schema
+/// check to validate rows).
+pub fn concurrency_rules() -> BTreeSet<&'static str> {
+    [
+        "raw-sync-import",
+        "ordering-justified",
+        "no-lock-in-successor-callback",
+        "poison-handled-centrally",
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, source: &str) -> Vec<Finding> {
+        let mut r = AnalysisReport::default();
+        lint_concurrency_file(rel, source, &mut r);
+        r.findings
+    }
+
+    #[test]
+    fn raw_sync_import_is_flagged_outside_the_sanctioned_file() {
+        let src = format!("{SYNC_IMPORT}::Mutex;\n");
+        let findings = run("crates/x/src/a.rs", &src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].action, "raw-sync-import");
+        assert!(
+            run(SANCTIONED_FILE, &src).is_empty(),
+            "sync.rs is sanctioned"
+        );
+        let arc_only = format!("{SYNC_IMPORT}::Arc;\n");
+        assert!(
+            run("crates/x/src/a.rs", &arc_only).is_empty(),
+            "Arc rides free"
+        );
+    }
+
+    #[test]
+    fn sync_exempt_comment_waives_import_and_poison_rules() {
+        let src = format!(
+            "{EXEMPT_MARK} below remix-checker in the dependency order\n\
+             {SYNC_IMPORT}::{{Arc, {POISON}, RwLock}};\n\
+             fn f() {{ l.read().unwrap_or_else({POISON}::into_inner); }}\n"
+        );
+        assert!(run("crates/spec/src/label.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unjustified_ordering_is_flagged_and_cmp_ordering_is_not() {
+        let bad = format!("fn f() {{ x.load({ORDERING_USE}Relaxed); }}\n");
+        let findings = run("crates/x/src/a.rs", &bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].action, "ordering-justified");
+        let good = format!(
+            "fn f() {{\n    {ORDERING_MARK} Relaxed — statistics only.\n    \
+             x.load({ORDERING_USE}Relaxed);\n}}\n"
+        );
+        assert!(run("crates/x/src/a.rs", &good).is_empty());
+        let cmp = format!(
+            "fn f() {{ match a.cmp(b) {{ std::{CMP_PREFIX}{ORDERING_USE}Less => 1, _ => 0 }} }}\n"
+        );
+        assert!(run("crates/x/src/a.rs", &cmp).is_empty());
+        let test_only =
+            format!("{CFG_TEST}\nmod tests {{ fn f() {{ x.load({ORDERING_USE}Relaxed); }} }}\n");
+        assert!(run("crates/x/src/a.rs", &test_only).is_empty());
+    }
+
+    #[test]
+    fn lock_inside_successor_callback_is_flagged() {
+        let bad = format!(
+            "fn f() {{ spec.{SUCCESSOR_CALL}state, labels, |l, n, e| {{\n    \
+             let g = store.lock_shard(0);\n}}); }}\n"
+        );
+        let findings = run("crates/x/src/a.rs", &bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].action, "no-lock-in-successor-callback");
+        let buffered = format!(
+            "fn f() {{ spec.{SUCCESSOR_CALL}state, labels, |l, n, e| {{\n    \
+             // the store pass after the closure takes the .lock( instead\n    \
+             buf.push(n);\n}});\nlet g = store.lock_shard(0);\n}}\n"
+        );
+        assert!(run("crates/x/src/a.rs", &buffered).is_empty());
+    }
+
+    #[test]
+    fn scattered_poison_handling_is_flagged() {
+        let src = format!("fn f() {{ m.lock().unwrap_or_else({POISON}::into_inner); }}\n");
+        let findings = run("crates/x/src/a.rs", &src);
+        assert!(findings
+            .iter()
+            .any(|f| f.action == "poison-handled-centrally"));
+    }
+
+    #[test]
+    fn rank_inversion_report_maps_to_soundness_findings() {
+        let audit = remix_checker::sync::seeded_rank_inversion();
+        let report = lock_order_findings(&audit);
+        assert!(report.has_soundness());
+        let actions: Vec<_> = report.findings.iter().map(|f| f.action.as_str()).collect();
+        assert!(actions.contains(&"rank-inversion"));
+        assert!(actions.contains(&"order-cycle"));
+        let cycle = report
+            .findings
+            .iter()
+            .find(|f| f.action == "order-cycle")
+            .expect("cycle finding");
+        assert!(cycle.detail.contains("seeded.outer") || cycle.location.contains("seeded.outer"));
+    }
+}

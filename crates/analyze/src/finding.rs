@@ -29,6 +29,15 @@ pub enum Tier {
     CommuteOracle,
     /// Source-level workspace convention lint.
     SpecLint,
+    /// Source-level concurrency lint (raw sync imports, unjustified orderings,
+    /// locks inside successor callbacks, scattered poison handling).
+    ConcurrencyLint,
+    /// Lock-order audit findings (rank inversions, acquisition-order cycles) from
+    /// the instrumented sync layer's [`AuditReport`](remix_checker::AuditReport).
+    LockOrder,
+    /// Schedule-perturbation determinism oracle: seeded divergence between runs
+    /// that must agree.
+    ScheduleFuzz,
 }
 
 impl Tier {
@@ -38,6 +47,9 @@ impl Tier {
             Tier::EffectAudit => "effect_audit",
             Tier::CommuteOracle => "commute_oracle",
             Tier::SpecLint => "spec_lint",
+            Tier::ConcurrencyLint => "concurrency_lint",
+            Tier::LockOrder => "lock_order",
+            Tier::ScheduleFuzz => "schedule_fuzz",
         }
     }
 }

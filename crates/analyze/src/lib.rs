@@ -17,21 +17,37 @@
 //! 3. **Spec lint** ([`lint`]) — a self-contained source scan of `crates/*/src`
 //!    enforcing the workspace conventions that keep declarations honest.
 //!
+//! The concurrency-soundness pass adds a fourth tier aimed at the *engine* rather
+//! than the specs it checks:
+//!
+//! 4. **Concurrency analysis** ([`concurrency`] + [`schedule`]) — a source lint
+//!    keeping every synchronization primitive on the instrumented
+//!    `remix_checker::sync` layer (with justified memory orderings and lock-free
+//!    successor callbacks), a mapping from the sync layer's lock-order
+//!    [`AuditReport`](remix_checker::AuditReport)s onto soundness findings, and a
+//!    schedule-perturbation oracle that re-runs workloads under seeded yield
+//!    injection and reports any divergence from the deterministic baseline.
+//!
 //! `remix-core` wires tiers 1 and 2 into the `Verifier` as a pre-check gate
-//! (`Verifier::analyze_*`); the `remix-lint` binary in `remix-bench` drives tier 3;
-//! CI fails on any soundness- or convention-class finding via `BENCH_analysis.json`.
+//! (`Verifier::analyze_*`); the `remix-lint` binary in `remix-bench` drives tiers 3
+//! and 4's source lints; CI fails on any soundness- or convention-class finding via
+//! `BENCH_analysis.json` and `BENCH_concurrency.json`.
 
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod commute;
+pub mod concurrency;
 pub mod finding;
 pub mod lint;
+pub mod schedule;
 
 pub use audit::{effect_audit, effect_audit_corpus};
 pub use commute::{commute_oracle, commute_oracle_corpus};
+pub use concurrency::{lint_concurrency, lock_order_findings};
 pub use finding::{AnalysisReport, Finding, FindingClass, Tier};
 pub use lint::lint_workspace;
+pub use schedule::{schedule_oracle, RunSignature, ScheduleOracleOptions};
 
 use remix_checker::{corpus, CorpusOptions};
 use remix_spec::{Spec, SpecState, StateFields};

@@ -1,0 +1,60 @@
+//! The workspace must be clean under its own concurrency lint.
+//!
+//! This is the self-hosting gate of the concurrency-soundness pass: every
+//! synchronization primitive in the engine goes through `remix_checker::sync` (or
+//! carries an explicit `// sync-exempt:` waiver with its leaf-lock argument), every
+//! memory-ordering choice is justified, no successor callback takes a lock, and
+//! poison handling is centralized.  A finding here means a convention regressed —
+//! the same class of drift the lint exists to catch in review.
+
+use std::path::PathBuf;
+
+use remix_analyze::{lint_concurrency, lock_order_findings};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_clean_under_the_concurrency_lint() {
+    let report = lint_concurrency(&workspace_root());
+    assert!(
+        report.findings.is_empty(),
+        "concurrency lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.corpus_states > 0,
+        "the lint must actually have scanned source files"
+    );
+}
+
+#[test]
+fn seeded_rank_inversion_is_flagged_as_a_soundness_finding() {
+    let audit = remix_checker::sync::seeded_rank_inversion();
+    let report = lock_order_findings(&audit);
+    assert!(
+        report.has_soundness(),
+        "the seeded inversion must be flagged"
+    );
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.action == "rank-inversion")
+        .expect("a rank-inversion finding");
+    assert!(
+        finding.location.contains("seeded.inner"),
+        "the inner (lower-rank) site is the acquisition: {}",
+        finding.location
+    );
+    assert!(
+        finding.detail.contains("seeded.outer"),
+        "the held higher-rank site appears in the detail: {}",
+        finding.detail
+    );
+}

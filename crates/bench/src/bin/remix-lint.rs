@@ -5,20 +5,25 @@
 //! argument) for violations of the conventions that keep declared
 //! [`Effect`](remix_spec::Effect) footprints honest — unannotated action instances,
 //! fault actions without link bits, extracted guards not shared with their step
-//! functions, and panics inside action closures.  Prints every finding and exits
-//! non-zero when there is at least one, so CI can gate on a clean workspace.
+//! functions, and panics inside action closures — and, since the concurrency
+//! soundness pass, of the rules that keep the parallel engine auditable: no raw
+//! `std::sync` primitives outside the instrumented `checker::sync` layer, justified
+//! memory orderings, lock-free successor callbacks and centralized poison handling.
+//! Prints every finding and exits non-zero when there is at least one, so CI can
+//! gate on a clean workspace.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use remix_analyze::lint_workspace;
+use remix_analyze::{lint_concurrency, lint_workspace};
 
 fn main() -> ExitCode {
     let root = std::env::args()
         .nth(1)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
-    let report = lint_workspace(&root);
+    let mut report = lint_workspace(&root);
+    report.merge(lint_concurrency(&root));
     for finding in &report.findings {
         println!("{finding}");
     }
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "remix-lint: {} convention finding(s) in {}",
+            "remix-lint: {} finding(s) in {}",
             report.findings.len(),
             root.display()
         );

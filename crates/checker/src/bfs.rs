@@ -66,8 +66,6 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 use remix_spec::{
@@ -80,54 +78,14 @@ use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 use crate::por::{self, FootprintTable, SleepSet};
 use crate::spill::IndexQueue;
+use crate::stop::{
+    StopCell, STOP_FIRST_VIOLATION, STOP_STATE_LIMIT, STOP_TIME_BUDGET, STOP_VIOLATION_LIMIT,
+};
 use crate::store::{Insert, StateIndex, StateStore, StoreMode};
-
-/// Accumulated stop requests, resolved under a fixed precedence at level boundaries.
-struct StopCell {
-    bits: AtomicU8,
-}
-
-const STOP_FIRST_VIOLATION: u8 = 1 << 0;
-const STOP_VIOLATION_LIMIT: u8 = 1 << 1;
-const STOP_STATE_LIMIT: u8 = 1 << 2;
-const STOP_TIME_BUDGET: u8 = 1 << 3;
-
-impl StopCell {
-    fn new() -> Self {
-        StopCell {
-            bits: AtomicU8::new(0),
-        }
-    }
-
-    /// Records a stop request; requests accumulate rather than race.
-    fn request(&self, reason: u8) {
-        self.bits.fetch_or(reason, Ordering::AcqRel);
-    }
-
-    fn requested(&self) -> bool {
-        self.bits.load(Ordering::Acquire) != 0
-    }
-
-    /// Resolves the accumulated requests under the documented precedence: violation
-    /// stops (which carry a counterexample) outrank the state limit (a deterministic
-    /// function of the exploration), which outranks the wall-clock budget (the only
-    /// scheduling-dependent condition).  The result is therefore identical for every
-    /// worker count and interleaving that trips the same set of conditions.
-    fn stop_reason(&self) -> Option<StopReason> {
-        let bits = self.bits.load(Ordering::Acquire);
-        if bits & STOP_FIRST_VIOLATION != 0 {
-            Some(StopReason::FirstViolation)
-        } else if bits & STOP_VIOLATION_LIMIT != 0 {
-            Some(StopReason::ViolationLimit)
-        } else if bits & STOP_STATE_LIMIT != 0 {
-            Some(StopReason::StateLimit)
-        } else if bits & STOP_TIME_BUDGET != 0 {
-            Some(StopReason::TimeBudget)
-        } else {
-            None
-        }
-    }
-}
+use crate::sync::{
+    AtomicU32, AtomicU64, AtomicU8, AtomicUsize, FrontierRank, FrontierSleepsRank, GateRank,
+    MailboxRank, OrderedCondvar, OrderedMutex, OrderedRwLock, Ordering, PanicSlotRank, ResultsRank,
+};
 
 /// One worker's slice of the frontier, stealable by other workers.
 ///
@@ -158,11 +116,14 @@ impl StealRange {
 
     /// Re-arms this range for a new level (only the coordinator writes between levels).
     fn reset(&self, start: usize, end: usize) {
+        // ordering: Release — publishes the new bounds before workers wake (the gate
+        // handshake also orders this; Release keeps reset safe on its own).
         self.packed.store(pack(start, end), Ordering::Release);
     }
 
     /// Claims the next index of this range, if any remains.
     fn claim(&self) -> Option<usize> {
+        // ordering: Acquire — sees the coordinator's reset and other claims/steals.
         let mut word = self.packed.load(Ordering::Acquire);
         loop {
             let (next, end) = unpack(word);
@@ -172,6 +133,8 @@ impl StealRange {
             match self.packed.compare_exchange_weak(
                 word,
                 pack(next + 1, end),
+                // ordering: AcqRel on success (the claim both observes and extends
+                // the claim history), Acquire on failure to reload a current word.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -182,12 +145,14 @@ impl StealRange {
     }
 
     fn remaining(&self) -> usize {
+        // ordering: Acquire — an advisory victim-size read; pairs with the CAS.
         let (next, end) = unpack(self.packed.load(Ordering::Acquire));
         end.saturating_sub(next)
     }
 
     /// Tries to steal the back half of this range, returning the stolen bounds.
     fn steal_half(&self) -> Option<(usize, usize)> {
+        // ordering: Acquire — sees the victim's current bounds; pairs with the CAS.
         let mut word = self.packed.load(Ordering::Acquire);
         loop {
             let (next, end) = unpack(word);
@@ -198,6 +163,8 @@ impl StealRange {
             match self.packed.compare_exchange_weak(
                 word,
                 pack(next, mid),
+                // ordering: AcqRel/Acquire — same contract as claim's CAS: a range
+                // index is handed to exactly one of owner and thief.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -292,7 +259,7 @@ struct RunShared<'a, S> {
     /// The sleep set of each current-frontier state, index-aligned with the published
     /// frontier.  Rewritten by the coordinator between levels; empty for spilled
     /// levels (their sleeps degrade to ∅, which is always sound).
-    frontier_sleeps: RwLock<Vec<SleepSet>>,
+    frontier_sleeps: OrderedRwLock<FrontierSleepsRank, Vec<SleepSet>>,
     stop: &'a StopCell,
     violation_count: &'a AtomicUsize,
     violation_limit: usize,
@@ -300,7 +267,7 @@ struct RunShared<'a, S> {
     batch_size: usize,
     max_states: Option<usize>,
     deadline: Option<Instant>,
-    frontier: RwLock<Vec<(StateIndex, S)>>,
+    frontier: OrderedRwLock<FrontierRank, Vec<(StateIndex, S)>>,
     ranges: Vec<StealRange>,
     child_depth: AtomicU32,
     /// Owner-routed sharding (see [`CheckOptions::route_by_owner`]): when set, workers
@@ -314,15 +281,15 @@ struct RunShared<'a, S> {
     /// Number of pool workers (drain ownership is `shard % pool_workers == worker`).
     pool_workers: usize,
     /// One mailbox per store shard for owner-routed batches.
-    mailboxes: Vec<Mutex<Vec<RoutedBatch<S>>>>,
-    results: Vec<Mutex<Option<WorkerLevelResult<S>>>>,
+    mailboxes: Vec<OrderedMutex<MailboxRank, Vec<RoutedBatch<S>>>>,
+    results: Vec<OrderedMutex<ResultsRank, Option<WorkerLevelResult<S>>>>,
     /// The first panic payload caught on a pool worker, re-raised by the coordinator
     /// after the level completes (a dead worker must still decrement `gate.remaining`,
     /// or the coordinator would wait forever — see `pool_worker`).
-    worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    gate: Mutex<Gate>,
-    work_ready: Condvar,
-    work_done: Condvar,
+    worker_panic: OrderedMutex<PanicSlotRank, Option<Box<dyn std::any::Any + Send>>>,
+    gate: OrderedMutex<GateRank, Gate>,
+    work_ready: OrderedCondvar,
+    work_done: OrderedCondvar,
 }
 
 /// Runs breadth-first model checking of `spec` under `options`.
@@ -380,6 +347,8 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         };
         let violated = spec.violated_invariants(&state);
         if !violated.is_empty() {
+            // ordering: AcqRel — the running total decides whether to request a stop,
+            // so each increment must both publish and observe concurrent increments.
             let total =
                 violation_count.fetch_add(violated.len(), Ordering::AcqRel) + violated.len();
             for inv in violated {
@@ -406,7 +375,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         incr,
         por: options.por,
         footprints: FootprintTable::new(),
-        frontier_sleeps: RwLock::new(Vec::new()),
+        frontier_sleeps: OrderedRwLock::new(Vec::new()),
         stop: &stop,
         violation_count: &violation_count,
         violation_limit,
@@ -414,24 +383,24 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         batch_size: options.batch_size.max(1),
         max_states: options.max_states,
         deadline: options.time_budget.map(|b| start + b),
-        frontier: RwLock::new(Vec::new()),
+        frontier: OrderedRwLock::new(Vec::new()),
         ranges: (0..workers).map(|_| StealRange::new(0, 0)).collect(),
         child_depth: AtomicU32::new(1),
         route_by_owner: options.route_by_owner,
         phase: AtomicU8::new(PHASE_EXPAND),
         pool_workers: workers,
         mailboxes: (0..store.shard_count())
-            .map(|_| Mutex::new(Vec::new()))
+            .map(|_| OrderedMutex::new(Vec::new()))
             .collect(),
-        results: (0..workers).map(|_| Mutex::new(None)).collect(),
-        worker_panic: Mutex::new(None),
-        gate: Mutex::new(Gate {
+        results: (0..workers).map(|_| OrderedMutex::new(None)).collect(),
+        worker_panic: OrderedMutex::new(None),
+        gate: OrderedMutex::new(Gate {
             generation: 0,
             remaining: 0,
             shutdown: false,
         }),
-        work_ready: Condvar::new(),
-        work_done: Condvar::new(),
+        work_ready: OrderedCondvar::new(),
+        work_done: OrderedCondvar::new(),
     };
 
     resolve_violations(&shared, options, pending, &mut violations);
@@ -442,6 +411,8 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             stats,
             stop_reason: reason,
             violations,
+            // ordering: Acquire — pairs with the AcqRel counter updates; reads the
+            // final total after all inserts above.
             violation_count: violation_count.load(Ordering::Acquire),
         };
     }
@@ -474,7 +445,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             }
             stop_reason = run(true);
             // Unpark everyone one last time so the scope can join.
-            let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut gate = shared.gate.lock();
             gate.shutdown = true;
             drop(gate);
             shared.work_ready.notify_all();
@@ -494,6 +465,7 @@ pub fn check_bfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         stats,
         stop_reason,
         violations,
+        // ordering: Acquire — the final total, read after every worker joined.
         violation_count: violation_count.load(Ordering::Acquire),
     }
 }
@@ -635,6 +607,9 @@ fn level_loop<S: SpecState>(
             }
         }
 
+        // ordering: Release — pairs with the workers' Acquire loads; the gate
+        // handshake already orders the level publication, this keeps the field
+        // self-consistent even read in isolation.
         shared.child_depth.store(level_depth + 1, Ordering::Release);
         let mut next = NextFrontier::new(frontier_spill, level_depth + 1, shared.store);
         let mut pending: Vec<PendingViolation> = Vec::new();
@@ -729,10 +704,7 @@ fn publish_frontier_sleeps<S>(
             .collect(),
         LevelFrontier::Disk(_) => Vec::new(),
     };
-    *shared
-        .frontier_sleeps
-        .write()
-        .unwrap_or_else(PoisonError::into_inner) = aligned;
+    *shared.frontier_sleeps.write() = aligned;
 }
 
 /// Expands one chunk of the current level (inline or on the pool), merging the per-worker
@@ -765,10 +737,7 @@ fn expand_level_chunk<S: SpecState>(
     let use_pool = pool && chunk.len() >= 64;
     if use_pool {
         {
-            let mut shared_frontier = shared
-                .frontier
-                .write()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut shared_frontier = shared.frontier.write();
             *shared_frontier = chunk;
             let len = shared_frontier.len();
             let per_worker = len.div_ceil(workers);
@@ -776,6 +745,8 @@ fn expand_level_chunk<S: SpecState>(
                 range.reset((w * per_worker).min(len), ((w + 1) * per_worker).min(len));
             }
         }
+        // ordering: Release — the phase is read by workers after the gate wake;
+        // Release pairs with their Acquire load so a cycle never runs a stale phase.
         shared.phase.store(PHASE_EXPAND, Ordering::Release);
         merge(run_pool_cycle(shared, workers));
         if shared.route_by_owner {
@@ -784,6 +755,7 @@ fn expand_level_chunk<S: SpecState>(
                 // the unrouted engine drops unflushed worker buffers on a stop.
                 clear_mailboxes(shared);
             } else {
+                // ordering: Release — see the PHASE_EXPAND store above.
                 shared.phase.store(PHASE_DRAIN, Ordering::Release);
                 merge(run_pool_cycle(shared, workers));
             }
@@ -812,28 +784,20 @@ fn run_pool_cycle<S: SpecState>(
 ) -> Vec<WorkerLevelResult<S>> {
     // Wake the pool and wait for every worker to finish the cycle.
     {
-        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut gate = shared.gate.lock();
         gate.generation += 1;
         gate.remaining = workers;
         drop(gate);
         shared.work_ready.notify_all();
-        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut gate = shared.gate.lock();
         while gate.remaining > 0 {
-            gate = shared
-                .work_done
-                .wait(gate)
-                .unwrap_or_else(PoisonError::into_inner);
+            gate = shared.work_done.wait(gate);
         }
     }
-    if let Some(payload) = shared
-        .worker_panic
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take()
-    {
+    if let Some(payload) = shared.worker_panic.lock().take() {
         // Wake the parked workers so `thread::scope` can join, then re-raise
         // the worker's panic from the coordinator.
-        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut gate = shared.gate.lock();
         gate.shutdown = true;
         drop(gate);
         shared.work_ready.notify_all();
@@ -843,7 +807,6 @@ fn run_pool_cycle<S: SpecState>(
     for slot in &shared.results {
         let result = slot
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .expect("every pool worker publishes a cycle result");
         results.push(result);
@@ -853,10 +816,7 @@ fn run_pool_cycle<S: SpecState>(
 
 fn clear_mailboxes<S>(shared: &RunShared<'_, S>) {
     for mailbox in &shared.mailboxes {
-        mailbox
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+        mailbox.lock().clear();
     }
 }
 
@@ -866,12 +826,9 @@ fn pool_worker<S: SpecState>(shared: &RunShared<'_, S>, worker: usize) {
     let mut last_generation = 0u64;
     loop {
         {
-            let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut gate = shared.gate.lock();
             while gate.generation == last_generation && !gate.shutdown {
-                gate = shared
-                    .work_ready
-                    .wait(gate)
-                    .unwrap_or_else(PoisonError::into_inner);
+                gate = shared.work_ready.wait(gate);
             }
             if gate.shutdown {
                 return;
@@ -885,29 +842,22 @@ fn pool_worker<S: SpecState>(shared: &RunShared<'_, S>, worker: usize) {
         // per-level-spawn engine propagated worker panics through `join()`; this keeps
         // that contract under the persistent pool.)
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // ordering: Acquire — pairs with the coordinator's Release store; the
+            // phase decides which cycle body runs, so it must not be stale.
             if shared.phase.load(Ordering::Acquire) == PHASE_DRAIN {
                 drain_mailboxes(shared, worker, shared.pool_workers)
             } else {
-                let frontier = shared
-                    .frontier
-                    .read()
-                    .unwrap_or_else(PoisonError::into_inner);
+                let frontier = shared.frontier.read();
                 expand_range(shared, &frontier, worker)
             }
         }))
         .unwrap_or_else(|payload| {
-            shared
-                .worker_panic
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .get_or_insert(payload);
+            shared.worker_panic.lock().get_or_insert(payload);
             shared.stop.request(STOP_TIME_BUDGET);
             WorkerLevelResult::default()
         });
-        *shared.results[worker]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Some(result);
-        let mut gate = shared.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        *shared.results[worker].lock() = Some(result);
+        let mut gate = shared.gate.lock();
         gate.remaining -= 1;
         if gate.remaining == 0 {
             shared.work_done.notify_all();
@@ -948,16 +898,12 @@ fn expand_range<S: SpecState>(
     ];
     let mut stolen: Option<StealRange> = None;
     let mut processed: u64 = 0;
+    // ordering: Acquire — pairs with the coordinator's Release store between levels.
     let child_depth = shared.child_depth.load(Ordering::Acquire);
     // Index-aligned sleep sets of the published frontier (empty map when POR is off or
     // the level was spilled).  Workers hold the read lock for the whole cycle; the
     // coordinator only writes between cycles, while every worker is parked.
-    let frontier_sleeps = shared.por.then(|| {
-        shared
-            .frontier_sleeps
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-    });
+    let frontier_sleeps = shared.por.then(|| shared.frontier_sleeps.read());
 
     'claim: loop {
         if shared.stop.requested() {
@@ -1012,6 +958,11 @@ fn expand_range<S: SpecState>(
         // The parent's canonicalization memo, built lazily on the first successor that
         // can use the incremental path (the parent state is already canonical).
         let mut memo: Option<Box<dyn std::any::Any + Send + Sync>> = None;
+        // Effects observed during this expansion; recorded into the (locked) footprint
+        // table only after the callback returns — the successor callback itself stays
+        // lock-free (the concurrency lint's no-lock-in-callback rule, which keeps spec
+        // enumeration code unable to deadlock against engine locks).
+        let mut fresh_effects: Vec<(LabelId, Effect)> = Vec::new();
         shared
             .spec
             .for_each_successor(state, shared.labels, |label, next, effect| {
@@ -1025,7 +976,7 @@ fn expand_range<S: SpecState>(
                 let mut sleep = SleepSet::new();
                 if shared.por {
                     if let Some(e) = effect {
-                        shared.footprints.record(label, e);
+                        fresh_effects.push((label, e));
                     }
                     sleep = por::child_sleep(&sleep_in_effects, &retained, effect);
                     if let Some(e) = effect.filter(|e| !e.is_global()) {
@@ -1081,14 +1032,23 @@ fn expand_range<S: SpecState>(
                     perm,
                     sleep,
                 });
-                if buffers[shard].len() >= shared.batch_size {
-                    if shared.route_by_owner {
-                        deposit(shared, shard, worker, &mut seqs[shard], &mut buffers[shard]);
-                    } else {
-                        flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
-                    }
-                }
             });
+        for (label, effect) in fresh_effects.drain(..) {
+            shared.footprints.record(label, effect);
+        }
+        // Batch flushing happens here, between parents, instead of inside the
+        // callback: a buffer can overshoot `batch_size` by at most one parent's
+        // successor count, and the merged outcome is unchanged (flush order within
+        // a worker was already a function of claim order alone).
+        for shard in 0..shard_count {
+            if buffers[shard].len() >= shared.batch_size {
+                if shared.route_by_owner {
+                    deposit(shared, shard, worker, &mut seqs[shard], &mut buffers[shard]);
+                } else {
+                    flush_shard(shared, shard, &mut buffers[shard], child_depth, &mut result);
+                }
+            }
+        }
 
         processed += 1;
         if processed.is_multiple_of(64) {
@@ -1128,14 +1088,11 @@ fn deposit<S>(
     buffer: &mut Vec<BufferedSuccessor<S>>,
 ) {
     let items = std::mem::take(buffer);
-    shared.mailboxes[shard]
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .push(RoutedBatch {
-            producer: worker as u32,
-            seq: *seq,
-            items,
-        });
+    shared.mailboxes[shard].lock().push(RoutedBatch {
+        producer: worker as u32,
+        seq: *seq,
+        items,
+    });
     *seq += 1;
 }
 
@@ -1151,14 +1108,11 @@ fn drain_mailboxes<S: SpecState>(
     drainers: usize,
 ) -> WorkerLevelResult<S> {
     let mut result = WorkerLevelResult::default();
+    // ordering: Acquire — pairs with the coordinator's Release store between levels.
     let child_depth = shared.child_depth.load(Ordering::Acquire);
     let workers = drainers.max(1);
     for shard in (worker..shared.mailboxes.len()).step_by(workers) {
-        let mut batches = std::mem::take(
-            &mut *shared.mailboxes[shard]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
+        let mut batches = std::mem::take(&mut *shared.mailboxes[shard].lock());
         if batches.is_empty() {
             continue;
         }
@@ -1219,6 +1173,8 @@ fn flush_shard<S: SpecState>(
         if !violated.is_empty() {
             let total = shared
                 .violation_count
+                // ordering: AcqRel — the running total decides the stop request
+                // below, so each increment must observe and publish its peers.
                 .fetch_add(violated.len(), Ordering::AcqRel)
                 + violated.len();
             for inv in violated {

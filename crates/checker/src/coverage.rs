@@ -21,22 +21,24 @@
 //! the sharing actually cost (mirroring `CheckStats::shard_contention`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use remix_spec::{LabelId, LabelTable};
+
+use crate::sync::{AtomicU64, CoverageRank, OrderedMutex, Ordering};
 
 use crate::fingerprint::Fingerprint;
 
 /// One lock stripe of the coverage counters.
 struct CoverageShard {
-    /// Fingerprint-prefix → visit count.
-    prefixes: Mutex<HashMap<u64, u64>>,
+    /// Fingerprint-prefix → visit count.  Both maps of a stripe share one lock rank
+    /// (`coverage.stripe`) and are never held simultaneously: [`CoverageMap::record`]
+    /// drops the prefix guard before touching the action counter.
+    prefixes: OrderedMutex<CoverageRank, HashMap<u64, u64>>,
     /// Interned action-definition id → taken count.  Definition names are interned
     /// into the map's [`LabelTable`] (the same layer the state store uses for labels),
     /// so the per-step hot path allocates no strings: recording and looking up an
     /// action costs one read-locked table hit plus one striped counter bump.
-    actions: Mutex<HashMap<LabelId, u64>>,
+    actions: OrderedMutex<CoverageRank, HashMap<LabelId, u64>>,
     /// Lock acquisitions on this stripe that found it already held.
     contention: AtomicU64,
 }
@@ -87,8 +89,8 @@ impl CoverageMap {
         CoverageMap {
             shards: (0..n)
                 .map(|_| CoverageShard {
-                    prefixes: Mutex::new(HashMap::new()),
-                    actions: Mutex::new(HashMap::new()),
+                    prefixes: OrderedMutex::with_site("coverage.prefixes", HashMap::new()),
+                    actions: OrderedMutex::with_site("coverage.actions", HashMap::new()),
                     contention: AtomicU64::new(0),
                 })
                 .collect(),
@@ -122,21 +124,6 @@ impl CoverageMap {
         (id.0 as usize) & self.mask
     }
 
-    fn lock<'a, K, V>(
-        &'a self,
-        shard: &'a CoverageShard,
-        map: &'a Mutex<HashMap<K, V>>,
-    ) -> MutexGuard<'a, HashMap<K, V>> {
-        match map.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                shard.contention.fetch_add(1, Ordering::Relaxed);
-                map.lock().unwrap_or_else(PoisonError::into_inner)
-            }
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
-        }
-    }
-
     /// Records one visit of the state with fingerprint `fp` reached by `action`, and
     /// returns the prefix's hit count *before* this visit (so the caller can reason
     /// about how novel the step was).
@@ -152,7 +139,7 @@ impl CoverageMap {
         let prefix = self.prefix_of(fp);
         let shard = &self.shards[self.shard_index(prefix)];
         let before = {
-            let mut prefixes = self.lock(shard, &shard.prefixes);
+            let mut prefixes = shard.prefixes.lock_counting(&shard.contention);
             let slot = prefixes.entry(prefix).or_insert(0);
             let before = *slot;
             *slot += 1;
@@ -171,7 +158,7 @@ impl CoverageMap {
     pub fn record_action(&self, action: &str) {
         let id = self.labels.intern(action_definition(action));
         let action_shard = &self.shards[self.action_shard_index(id)];
-        let mut actions = self.lock(action_shard, &action_shard.actions);
+        let mut actions = action_shard.actions.lock_counting(&action_shard.contention);
         *actions.entry(id).or_insert(0) += 1;
     }
 
@@ -179,7 +166,7 @@ impl CoverageMap {
     pub fn prefix_hits(&self, fp: Fingerprint) -> u64 {
         let prefix = self.prefix_of(fp);
         let shard = &self.shards[self.shard_index(prefix)];
-        let prefixes = self.lock(shard, &shard.prefixes);
+        let prefixes = shard.prefixes.lock_counting(&shard.contention);
         prefixes.get(&prefix).copied().unwrap_or(0)
     }
 
@@ -192,7 +179,7 @@ impl CoverageMap {
     pub fn action_hits_total(&self, action: &str) -> u64 {
         let id = self.labels.intern(action_definition(action));
         let shard = &self.shards[self.action_shard_index(id)];
-        let actions = self.lock(shard, &shard.actions);
+        let actions = shard.actions.lock_counting(&shard.contention);
         actions.get(&id).copied().unwrap_or(0)
     }
 
@@ -201,7 +188,7 @@ impl CoverageMap {
         let mut snap = CoverageSnapshot::default();
         for shard in &self.shards {
             {
-                let prefixes = self.lock(shard, &shard.prefixes);
+                let prefixes = shard.prefixes.lock_counting(&shard.contention);
                 snap.distinct_prefixes += prefixes.len();
                 for hits in prefixes.values() {
                     snap.total_hits += hits;
@@ -211,9 +198,10 @@ impl CoverageMap {
             {
                 // A definition lives on exactly one stripe, so per-stripe map sizes sum
                 // to the distinct-definition count.
-                let actions = self.lock(shard, &shard.actions);
+                let actions = shard.actions.lock_counting(&shard.contention);
                 snap.distinct_actions += actions.len();
             }
+            // ordering: Relaxed — contention counts are observability only.
             snap.contention += shard.contention.load(Ordering::Relaxed);
         }
         snap

@@ -39,14 +39,26 @@
 use std::time::Instant;
 
 use remix_spec::{
-    canon_stats, CanonFn, Effect, IncrementalCanon, LabelId, LabelTable, Spec, SpecState, Trace,
+    canon_stats, CanonFn, Effect, IncrementalCanon, LabelId, LabelTable, Perm, Spec, SpecState,
+    Trace,
 };
 
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::{CheckMode, CheckOptions, SymmetryMode};
 use crate::outcome::{CheckOutcome, CheckStats, StopReason, Violation};
 use crate::por::{self, FootprintTable, SleepSet};
 use crate::store::{Insert, StateIndex, StateStore};
+
+/// One successor buffered by the (lock-free) enumeration callback, carrying
+/// everything the post-enumeration store pass needs.
+struct PendingSuccessor<S> {
+    label: LabelId,
+    effect: Option<Effect>,
+    state: S,
+    perm: Option<Perm>,
+    sleep: SleepSet,
+    fp: Fingerprint,
+}
 
 /// Runs depth-first model checking of `spec` under `options`.
 pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckOutcome<S> {
@@ -160,6 +172,10 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
         };
         let mut retained: Vec<(LabelId, Effect)> = Vec::new();
         let mut memo: Option<Box<dyn std::any::Any + Send + Sync>> = None;
+        let mut pending: Vec<PendingSuccessor<S>> = Vec::new();
+        // The successor callback must stay lock-free (the concurrency lint enforces
+        // this workspace-wide): it prunes, canonicalizes and fingerprints, buffering
+        // each survivor; the store pass below does every locked operation.
         spec.for_each_successor(&state, &labels, |label, next, effect| {
             if use_por && sleep_in.binary_search(&label).is_ok() {
                 // Covered through a sibling interleaving: skip before
@@ -170,9 +186,6 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             transitions += 1;
             let mut sleep = SleepSet::new();
             if use_por {
-                if let Some(e) = effect {
-                    footprints.record(label, e);
-                }
                 sleep = por::child_sleep(&sleep_in_effects, &retained, effect);
                 if let Some(e) = effect.filter(|e| !e.is_global()) {
                     retained.push((label, e));
@@ -214,15 +227,41 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
             if perm.as_ref().is_some_and(|p| !p.is_identity()) {
                 sleep.clear();
             }
-            let nfp = fingerprint(&next);
+            let fp = fingerprint(&next);
+            pending.push(PendingSuccessor {
+                label,
+                effect,
+                state: next,
+                perm,
+                sleep,
+                fp,
+            });
+        });
+        // Store pass: record footprints and dedup/insert the buffered successors.
+        // Footprint recording is first-writer-wins over values that are a function of
+        // the label alone, so deferring it past the enumeration changes nothing.
+        for rec in pending {
+            let PendingSuccessor {
+                label,
+                effect,
+                state: next,
+                perm,
+                sleep,
+                fp: nfp,
+            } = rec;
+            if use_por {
+                if let Some(e) = effect {
+                    footprints.record(label, e);
+                }
+            }
             let mut handle = store.lock_shard(store.shard_of(nfp));
             let insert = match perm.clone() {
                 Some(perm) => handle.insert_canonical(nfp, Some(index), label, next, perm),
                 None => handle.insert(nfp, Some(index), label, next),
             };
+            drop(handle);
             match insert {
                 Insert::Fresh(nindex, next) => {
-                    drop(handle);
                     best_depth.push(ndepth);
                     if use_por {
                         sleeps.push(sleep);
@@ -231,7 +270,6 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                     successors.push((nindex, next, ndepth, true));
                 }
                 Insert::Existing(nindex, next) => {
-                    drop(handle);
                     // The depth-bound soundness fix: a strictly shallower path makes
                     // previously out-of-budget successors reachable, so the state goes
                     // back on the stack at its improved depth.  Without a bound the
@@ -262,7 +300,7 @@ pub fn check_dfs<S: SpecState>(spec: &Spec<S>, options: &CheckOptions) -> CheckO
                     }
                 }
             }
-        });
+        }
         for (nindex, next, ndepth, is_fresh) in successors {
             // Invariants are checked once, at first discovery (re-pushed states were
             // already checked).

@@ -24,7 +24,6 @@
 //! handed directly to [`crate::shrink`] for minimization.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use remix_spec::{CanonFn, Spec, SpecState, Trace};
@@ -34,6 +33,7 @@ use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::SymmetryMode;
 use crate::outcome::Violation;
 use crate::rng::CheckerRng;
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 
 /// Default lock-stripe count of the shared coverage map (matches the BFS engine's
 /// default shard count; reused by `remix-core`'s guided conformance sampling).
@@ -411,6 +411,8 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
         while index < total {
             // Trace 0 is always sampled so a budget-bound run still reports something.
             if index > 0 {
+                // ordering: Acquire — pairs with the Release store below; a worker
+                // that observes the stop also observes the violation that caused it.
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
@@ -465,8 +467,12 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
                 }
                 if fresh {
                     let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    // ordering: AcqRel — concurrent minima must all join (Acquire)
+                    // and publish (Release) so the final load sees the true minimum.
                     first_violation_nanos.fetch_min(nanos, Ordering::AcqRel);
                     if options.stop_on_violation {
+                        // ordering: Release — publishes this worker's recorded
+                        // violation before other workers observe the stop flag.
                         stop.store(true, Ordering::Release);
                     }
                 }
@@ -512,6 +518,8 @@ pub fn explore<S: SpecState>(spec: &Spec<S>, options: &ExploreOptions) -> Explor
         violations.push(v.violation);
     }
 
+    // ordering: Acquire — pairs with the AcqRel fetch_min above (workers have joined
+    // by now, but the load should not rely on the join for its value).
     let nanos = first_violation_nanos.load(Ordering::Acquire);
     let elapsed = start.elapsed();
     ExploreOutcome {

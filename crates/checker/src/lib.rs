@@ -28,7 +28,9 @@ pub mod rng;
 pub mod shrink;
 pub mod simulate;
 pub mod spill;
+pub mod stop;
 pub mod store;
+pub mod sync;
 
 pub use bfs::check_bfs;
 pub use corpus::{corpus, CorpusOptions};
@@ -46,4 +48,6 @@ pub use rng::CheckerRng;
 pub use shrink::{replay_labels, shrink_trace, shrink_violation, ShrinkOutcome};
 pub use simulate::{simulate, simulate_one};
 pub use spill::{SpillConfig, SpillStats};
+pub use stop::StopCell;
 pub use store::{StateIndex, StateStore, StoreMode};
+pub use sync::{AuditReport, LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};

@@ -48,9 +48,9 @@
 //! sleep set to empty, which is always sound.  See `ARCHITECTURE.md` for the full
 //! argument.
 
-use std::sync::{PoisonError, RwLock};
-
 use remix_spec::{Effect, LabelId};
+
+use crate::sync::{OrderedRwLock, PorEffectsRank};
 
 /// A sorted, deduplicated set of sleeping labels.
 pub(crate) type SleepSet = Vec<LabelId>;
@@ -63,13 +63,13 @@ pub(crate) type SleepSet = Vec<LabelId>;
 /// first-writer-wins is deterministic.  Labels without a recorded footprint are treated
 /// as dependent on everything (they can never justify keeping another label asleep).
 pub(crate) struct FootprintTable {
-    effects: RwLock<Vec<Option<Effect>>>,
+    effects: OrderedRwLock<PorEffectsRank, Vec<Option<Effect>>>,
 }
 
 impl FootprintTable {
     pub(crate) fn new() -> Self {
         FootprintTable {
-            effects: RwLock::new(Vec::new()),
+            effects: OrderedRwLock::new(Vec::new()),
         }
     }
 
@@ -77,12 +77,12 @@ impl FootprintTable {
     pub(crate) fn record(&self, label: LabelId, effect: Effect) {
         let idx = label.0 as usize;
         {
-            let effects = self.effects.read().unwrap_or_else(PoisonError::into_inner);
+            let effects = self.effects.read();
             if effects.get(idx).is_some_and(Option::is_some) {
                 return;
             }
         }
-        let mut effects = self.effects.write().unwrap_or_else(PoisonError::into_inner);
+        let mut effects = self.effects.write();
         if effects.len() <= idx {
             effects.resize(idx + 1, None);
         }
@@ -92,18 +92,13 @@ impl FootprintTable {
     /// The recorded footprint of `label`, if any.
     #[cfg(test)]
     pub(crate) fn get(&self, label: LabelId) -> Option<Effect> {
-        self.effects
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(label.0 as usize)
-            .copied()
-            .flatten()
+        self.effects.read().get(label.0 as usize).copied().flatten()
     }
 
     /// Resolves a sleep set into `(label, effect)` pairs, dropping labels without a
     /// recorded footprint (they cannot stay asleep across any transition anyway).
     pub(crate) fn resolve(&self, sleep: &[LabelId]) -> Vec<(LabelId, Effect)> {
-        let effects = self.effects.read().unwrap_or_else(PoisonError::into_inner);
+        let effects = self.effects.read();
         sleep
             .iter()
             .filter_map(|&l| effects.get(l.0 as usize).copied().flatten().map(|e| (l, e)))

@@ -29,7 +29,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use remix_spec::{
@@ -40,6 +40,7 @@ use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::options::SymmetryMode;
 use crate::shrink::{shrink_trace, ShrinkOutcome};
 use crate::store::{Insert, StateIndex, StateStore, StoreMode};
+use crate::sync::{OrderedRwLock, RefineLsetsRank};
 
 /// What the refinement checker verifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -469,7 +470,7 @@ struct SideSummary<S: SpecState> {
     labels: LabelTable,
     /// Per-state lsets.  Written only by the sequential level merge; read concurrently
     /// by the expansion workers' dedup scout.
-    lsets: RwLock<HashMap<StateIndex, BTreeSet<u64>>>,
+    lsets: OrderedRwLock<RefineLsetsRank, HashMap<StateIndex, BTreeSet<u64>>>,
     /// The active canonicalization function when this side explored canonical
     /// representatives (symmetry reduction); `None` otherwise.
     canon: Option<CanonFn<S>>,
@@ -594,7 +595,7 @@ fn explore_side<S: SpecState>(
         edge_reps: HashMap::new(),
         seen: StateStore::with_spill(options.store_mode, options.shards, &options.spill),
         labels: LabelTable::new(),
-        lsets: RwLock::new(HashMap::new()),
+        lsets: OrderedRwLock::new(HashMap::new()),
         canon,
         complete: true,
         edges_checked: 0,
@@ -630,11 +631,7 @@ fn explore_side<S: SpecState>(
             lset.insert(key);
             summary.projs.entry(key).or_insert((index, 0));
         }
-        summary
-            .lsets
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(index, lset.clone());
+        summary.lsets.write().insert(index, lset.clone());
         frontier.push((index, state, Arc::new(lset)));
     }
 
@@ -742,10 +739,7 @@ fn explore_side<S: SpecState>(
                     Insert::Existing(index, state) => {
                         // Known state: merge the lset; a grown lset on an *unstable*
                         // state changes what its successors stabilize from, so re-expand.
-                        let mut lsets = summary
-                            .lsets
-                            .write()
-                            .unwrap_or_else(PoisonError::into_inner);
+                        let mut lsets = summary.lsets.write();
                         let existing = lsets.entry(index).or_default();
                         let before = existing.len();
                         existing.extend(child_lset.iter().copied());
@@ -760,11 +754,7 @@ fn explore_side<S: SpecState>(
                         if let Some(key) = rec.stable_key {
                             summary.projs.entry(key).or_insert((index, child_depth));
                         }
-                        summary
-                            .lsets
-                            .write()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .insert(index, child_lset.clone());
+                        summary.lsets.write().insert(index, child_lset.clone());
                         // While draining, stable successors close their stabilization
                         // and are not expanded further: only the unstable closure of
                         // the final frontier grows the capped exploration.
@@ -821,6 +811,11 @@ fn expand_chunk<S: SpecState>(
 ) -> Vec<SuccessorRecord<S>> {
     let mut out = Vec::new();
     for (parent_index, state, lset) in slice {
+        // The successor callback must stay lock-free (the concurrency lint enforces
+        // this workspace-wide): it only canonicalizes, fingerprints and projects.
+        // The store/lset scout that decides whether a record is worth carrying to
+        // the merge runs *after* the callback returns, over the buffered records.
+        let first = out.len();
         spec.for_each_successor(state, &summary.labels, |label, next, _effect| {
             // Under symmetry the successor is replaced by its orbit's canonical
             // representative before fingerprinting and projecting.
@@ -832,19 +827,6 @@ fn expand_chunk<S: SpecState>(
                 None => (next, None),
             };
             let fp = fingerprint(&next);
-            // Cheap scout: skip successors that are already known *and* whose lset
-            // already covers the parent context (the merge re-checks authoritatively).
-            let skip = summary.seen.find(fp).is_some_and(|index| {
-                summary
-                    .lsets
-                    .read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .get(&index)
-                    .is_some_and(|known| lset.iter().all(|l| known.contains(l)))
-            });
-            if skip {
-                return;
-            }
             let stable_key = if projection.is_stable(&next) {
                 Some(projection_key(&projection.project_state(&next)))
             } else {
@@ -860,6 +842,19 @@ fn expand_chunk<S: SpecState>(
                 parent_lset: Arc::clone(lset),
             });
         });
+        // Cheap scout: drop successors that are already known *and* whose lset
+        // already covers the parent context (the merge re-checks authoritatively).
+        // Stable (order-preserving) so merge order stays the enumeration order.
+        let tail = out.split_off(first);
+        out.extend(tail.into_iter().filter(|rec| {
+            !summary.seen.find(rec.fp).is_some_and(|index| {
+                summary
+                    .lsets
+                    .read()
+                    .get(&index)
+                    .is_some_and(|known| rec.parent_lset.iter().all(|l| known.contains(l)))
+            })
+        }));
     }
     out
 }

@@ -19,13 +19,12 @@
 //! Everything here is `std`-only: plain files via [`std::os::unix::fs::FileExt`]
 //! positioned reads (no memory mapping — the workspace denies `unsafe`).
 
+use crate::fingerprint::Fingerprint;
+use crate::sync::{AtomicU64, Ordering};
 use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crate::fingerprint::Fingerprint;
 
 /// Bytes of one spilled record: two 64-bit fingerprint halves plus the 32-bit local
 /// slot the entry maps to.
@@ -154,14 +153,16 @@ pub(crate) struct SpillCounters {
 
 impl SpillCounters {
     pub fn snapshot(&self, budget_bytes: u64) -> SpillStats {
+        // ordering: Relaxed (×6) — counters are statistics reported after the run;
+        // nothing branches on them while workers are live.
         SpillStats {
             budget_bytes,
-            runs_spilled: self.runs_spilled.load(Ordering::Relaxed),
-            entries_spilled: self.entries_spilled.load(Ordering::Relaxed),
-            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
-            disk_probes: self.disk_probes.load(Ordering::Relaxed),
-            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
-            frontier_spilled: self.frontier_spilled.load(Ordering::Relaxed),
+            runs_spilled: self.runs_spilled.load(Ordering::Relaxed), // ordering: see above.
+            entries_spilled: self.entries_spilled.load(Ordering::Relaxed), // ordering: see above.
+            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed), // ordering: see above.
+            disk_probes: self.disk_probes.load(Ordering::Relaxed),   // ordering: see above.
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed), // ordering: see above.
+            frontier_spilled: self.frontier_spilled.load(Ordering::Relaxed), // ordering: see above.
         }
     }
 }
@@ -177,6 +178,8 @@ pub(crate) fn create_spill_dir(base: Option<&Path>) -> io::Result<PathBuf> {
     let dir = base.join(format!(
         "remix-spill-{}-{}",
         std::process::id(),
+        // ordering: Relaxed — the RMW alone guarantees unique values; no other
+        // memory is published with the sequence number.
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     fs::create_dir_all(&dir)?;
@@ -282,10 +285,11 @@ impl SpillRun {
     /// determinism), so an I/O error here is fatal by design.
     pub fn probe(&self, fp: Fingerprint, counters: &SpillCounters) -> Option<u32> {
         if !self.bloom.maybe_contains(fp) {
+            // ordering: Relaxed (here and below) — probe counters are statistics only.
             counters.bloom_negatives.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        counters.disk_probes.fetch_add(1, Ordering::Relaxed);
+        counters.disk_probes.fetch_add(1, Ordering::Relaxed); // ordering: see above.
         let k = key(fp);
         // The last fence whose first key is <= k owns the only block that can hold k.
         let block = match self.fences.partition_point(|(first, _)| *first <= k) {

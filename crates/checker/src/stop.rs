@@ -1,0 +1,112 @@
+//! Deterministic stop-request accumulation for the parallel engine.
+//!
+//! Several stop conditions can trip within one BFS level (a violation on one
+//! worker, the state limit on another, the wall clock on a third).  Requests
+//! accumulate in one atomic bitmask and are resolved under a fixed precedence —
+//! violation stops over [`StopReason::StateLimit`] over [`StopReason::TimeBudget`]
+//! — so the reported reason is a function of *which conditions fired*, never of
+//! which worker fired first.  The cell lives in its own module (rather than inside
+//! `bfs`) so the precedence contract is directly testable under the sync layer's
+//! schedule perturbation; see `tests/stop_precedence.rs`.
+
+use crate::outcome::StopReason;
+use crate::sync::{perturb_point, AtomicU8, Ordering};
+
+/// Request bit: a first-violation stop ([`StopReason::FirstViolation`]).
+pub const STOP_FIRST_VIOLATION: u8 = 1 << 0;
+/// Request bit: the violation limit of a completion run ([`StopReason::ViolationLimit`]).
+pub const STOP_VIOLATION_LIMIT: u8 = 1 << 1;
+/// Request bit: the distinct-state limit ([`StopReason::StateLimit`]).
+pub const STOP_STATE_LIMIT: u8 = 1 << 2;
+/// Request bit: the wall-clock budget ([`StopReason::TimeBudget`]).
+pub const STOP_TIME_BUDGET: u8 = 1 << 3;
+
+/// Accumulated stop requests, resolved under a fixed precedence at level boundaries.
+#[derive(Debug, Default)]
+pub struct StopCell {
+    bits: AtomicU8,
+}
+
+impl StopCell {
+    /// An empty cell (no stop requested).
+    pub fn new() -> Self {
+        StopCell {
+            bits: AtomicU8::new(0),
+        }
+    }
+
+    /// Records a stop request; requests accumulate rather than race.
+    pub fn request(&self, reason: u8) {
+        // A perturbation point on each side of the publication: the determinism
+        // oracle shakes the request/observe interleaving specifically.
+        perturb_point();
+        // ordering: AcqRel — the RMW both publishes this worker's writes that led
+        // to the stop (Release) and joins the bits other workers accumulated
+        // (Acquire), so a later requested()/stop_reason() sees the union.
+        self.bits.fetch_or(reason, Ordering::AcqRel);
+        perturb_point();
+    }
+
+    /// `true` once any stop has been requested.
+    pub fn requested(&self) -> bool {
+        // ordering: Acquire — pairs with the AcqRel fetch_or in request; a worker
+        // observing a stop must also observe the state that justified it.
+        self.bits.load(Ordering::Acquire) != 0
+    }
+
+    /// Resolves the accumulated requests under the documented precedence: violation
+    /// stops (which carry a counterexample) outrank the state limit (a deterministic
+    /// function of the exploration), which outranks the wall-clock budget (the only
+    /// scheduling-dependent condition).  The result is therefore identical for every
+    /// worker count and interleaving that trips the same set of conditions.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        perturb_point();
+        // ordering: Acquire — pairs with request's AcqRel; resolution must see
+        // every accumulated bit (the coordinator resolves after workers joined,
+        // but the contract should not depend on the join).
+        let bits = self.bits.load(Ordering::Acquire);
+        if bits & STOP_FIRST_VIOLATION != 0 {
+            Some(StopReason::FirstViolation)
+        } else if bits & STOP_VIOLATION_LIMIT != 0 {
+            Some(StopReason::ViolationLimit)
+        } else if bits & STOP_STATE_LIMIT != 0 {
+            Some(StopReason::StateLimit)
+        } else if bits & STOP_TIME_BUDGET != 0 {
+            Some(StopReason::TimeBudget)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_is_order_independent() {
+        let all = [
+            (STOP_FIRST_VIOLATION, StopReason::FirstViolation),
+            (STOP_VIOLATION_LIMIT, StopReason::ViolationLimit),
+            (STOP_STATE_LIMIT, StopReason::StateLimit),
+            (STOP_TIME_BUDGET, StopReason::TimeBudget),
+        ];
+        // Every subset, requested in every rotation, resolves to the subset's
+        // highest-precedence member (precedence = position in `all`).
+        for mask in 1u8..16 {
+            let fired: Vec<_> = all
+                .iter()
+                .filter(|(bit, _)| mask & bit != 0)
+                .copied()
+                .collect();
+            for rotation in 0..fired.len() {
+                let cell = StopCell::new();
+                for i in 0..fired.len() {
+                    cell.request(fired[(rotation + i) % fired.len()].0);
+                }
+                assert_eq!(cell.stop_reason(), Some(fired[0].1), "mask {mask:#06b}");
+            }
+        }
+        assert_eq!(StopCell::new().stop_reason(), None);
+    }
+}

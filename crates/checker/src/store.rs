@@ -37,8 +37,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::sync::{AtomicU64, AtomicUsize, OrderedMutex, OrderedMutexGuard, Ordering, ShardRank};
 
 use remix_spec::{CanonFn, LabelId, LabelTable, Perm, Spec, SpecState, Trace, INIT_LABEL};
 
@@ -127,7 +127,7 @@ struct StoreShard<S> {
 }
 
 struct ShardCell<S> {
-    inner: Mutex<StoreShard<S>>,
+    inner: OrderedMutex<ShardRank, StoreShard<S>>,
     /// Lock acquisitions on this stripe that found it already held.
     contention: AtomicU64,
 }
@@ -183,7 +183,7 @@ pub enum Insert<S> {
 
 /// A locked stripe, ready for a batch of insertions under one lock acquisition.
 pub struct ShardHandle<'a, S> {
-    guard: MutexGuard<'a, StoreShard<S>>,
+    guard: OrderedMutexGuard<'a, ShardRank, StoreShard<S>>,
     shard: u32,
     shard_bits: u32,
     mode: StoreMode,
@@ -279,6 +279,8 @@ impl<S: SpecState> ShardHandle<'_, S> {
             }
             StoreMode::FingerprintOnly => state,
         };
+        // ordering: AcqRel — the global length feeds the max_states stop decision on
+        // other workers, so it must publish with the insert and join prior counts.
         self.len.fetch_add(1, Ordering::AcqRel);
         if let Some(spill) = self.spill {
             if inner.map.len() >= spill.flush_entries {
@@ -298,15 +300,17 @@ fn flush_delta_table<S>(inner: &mut StoreShard<S>, spill: &StoreSpill, shard: u3
         .dir
         .join(format!("shard{:04}-run{:04}.fps", shard, inner.runs.len()));
     let run = SpillRun::write(&path, entries).expect("writing a fingerprint spill run");
+    // ordering: Relaxed (×3) — spill counters are observability only, read for the
+    // stats snapshot after the run; no control decision consumes them.
     spill.counters.runs_spilled.fetch_add(1, Ordering::Relaxed);
     spill
         .counters
         .entries_spilled
-        .fetch_add(run.len() as u64, Ordering::Relaxed);
+        .fetch_add(run.len() as u64, Ordering::Relaxed); // ordering: see above.
     spill
         .counters
         .bytes_spilled
-        .fetch_add((run.len() * spill::RECORD_BYTES) as u64, Ordering::Relaxed);
+        .fetch_add((run.len() * spill::RECORD_BYTES) as u64, Ordering::Relaxed); // ordering: see above.
     inner.runs.push(run);
 }
 
@@ -359,7 +363,7 @@ impl<S: SpecState> StateStore<S> {
         StateStore {
             shards: (0..n)
                 .map(|_| ShardCell {
-                    inner: Mutex::new(StoreShard {
+                    inner: OrderedMutex::new(StoreShard {
                         map: HashMap::new(),
                         runs: Vec::new(),
                         meta: Vec::new(),
@@ -401,6 +405,7 @@ impl<S: SpecState> StateStore<S> {
             spill
                 .counters
                 .frontier_spilled
+                // ordering: Relaxed — observability counter, see flush_delta_table.
                 .fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -421,19 +426,12 @@ impl<S: SpecState> StateStore<S> {
     }
 
     /// Locks one stripe for a batch of insertions, counting the acquisition as
-    /// contended when it had to wait.
+    /// contended when it had to wait (the try-then-count-then-block pattern lives in
+    /// [`OrderedMutex::lock_counting`], poison policy in `sync::lock_or_recover`).
     pub fn lock_shard(&self, shard: usize) -> ShardHandle<'_, S> {
         let cell = &self.shards[shard];
-        let guard = match cell.inner.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                cell.contention.fetch_add(1, Ordering::Relaxed);
-                cell.inner.lock().unwrap_or_else(PoisonError::into_inner)
-            }
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
-        };
         ShardHandle {
-            guard,
+            guard: cell.inner.lock_counting(&cell.contention),
             shard: shard as u32,
             shard_bits: self.shard_bits,
             mode: self.mode,
@@ -444,6 +442,8 @@ impl<S: SpecState> StateStore<S> {
 
     /// Total number of entries across all stripes.
     pub fn len(&self) -> usize {
+        // ordering: Acquire — pairs with the AcqRel fetch_add in insert_impl; the
+        // reader uses this total for the max_states stop decision.
         self.len.load(Ordering::Acquire)
     }
 
@@ -456,6 +456,7 @@ impl<S: SpecState> StateStore<S> {
     pub fn contention_counters(&self) -> Vec<u64> {
         self.shards
             .iter()
+            // ordering: Relaxed — contention counts are observability only.
             .map(|s| s.contention.load(Ordering::Relaxed))
             .collect()
     }
@@ -464,10 +465,7 @@ impl<S: SpecState> StateStore<S> {
     /// spilled run).
     pub fn find(&self, fp: Fingerprint) -> Option<StateIndex> {
         let shard = self.shard_of(fp);
-        let guard = self.shards[shard]
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let guard = self.shards[shard].inner.lock();
         if let Some(&local) = guard.map.get(&fp) {
             return Some(pack(local, shard as u32, self.shard_bits));
         }
@@ -482,10 +480,7 @@ impl<S: SpecState> StateStore<S> {
     /// The `(fingerprint, parent, label)` metadata of an entry.
     pub fn meta(&self, index: StateIndex) -> (Fingerprint, Option<StateIndex>, LabelId) {
         let (local, shard) = unpack(index, self.shard_bits);
-        let guard = self.shards[shard as usize]
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let guard = self.shards[shard as usize].inner.lock();
         let meta = &guard.meta[local as usize];
         let parent = (meta.parent != NO_PARENT).then_some(StateIndex(meta.parent));
         (meta.fp, parent, meta.label)
@@ -508,10 +503,7 @@ impl<S: SpecState> StateStore<S> {
         perm: Option<Perm>,
     ) {
         let (local, shard) = unpack(index, self.shard_bits);
-        let mut guard = self.shards[shard as usize]
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.shards[shard as usize].inner.lock();
         let meta = &mut guard.meta[local as usize];
         meta.parent = parent.0;
         meta.label = label;
@@ -525,10 +517,7 @@ impl<S: SpecState> StateStore<S> {
     /// symmetry reduction.
     pub fn perm_of(&self, index: StateIndex) -> Option<Perm> {
         let (local, shard) = unpack(index, self.shard_bits);
-        let guard = self.shards[shard as usize]
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let guard = self.shards[shard as usize].inner.lock();
         guard.perms.get(local as usize).cloned()
     }
 
@@ -536,10 +525,7 @@ impl<S: SpecState> StateStore<S> {
     /// [`StoreMode::FingerprintOnly`] (the state was dropped after expansion).
     pub fn with_state<T>(&self, index: StateIndex, f: impl FnOnce(&S) -> T) -> Option<T> {
         let (local, shard) = unpack(index, self.shard_bits);
-        let guard = self.shards[shard as usize]
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let guard = self.shards[shard as usize].inner.lock();
         guard.states.get(local as usize).map(f)
     }
 
@@ -749,6 +735,7 @@ impl<S> fmt::Debug for StateStore<S> {
         f.debug_struct("StateStore")
             .field("mode", &self.mode)
             .field("shards", &self.shards.len())
+            // ordering: Relaxed — debug snapshot, no synchronization implied.
             .field("len", &self.len.load(Ordering::Relaxed))
             .finish()
     }

@@ -1,0 +1,78 @@
+//! Exhaustive stop-precedence check under schedule perturbation.
+//!
+//! The `StopCell` contract: when several stop conditions trip concurrently, the
+//! resolved [`StopReason`] depends only on *which* conditions fired — violation
+//! stops over the state limit over the wall-clock budget — never on the order the
+//! workers' requests happened to land.  The unit test in `checker::stop` exercises
+//! every subset in every rotation on one thread; this suite drives the same
+//! exhaustive subset matrix from one thread per condition, under the sync layer's
+//! seeded schedule perturbation, so the publication points inside
+//! `StopCell::request` (which carry explicit `perturb_point`s) are actually shaken
+//! into different interleavings — and the resolution must come out identical in
+//! every one.
+
+use std::thread;
+
+use remix_checker::stop::{
+    StopCell, STOP_FIRST_VIOLATION, STOP_STATE_LIMIT, STOP_TIME_BUDGET, STOP_VIOLATION_LIMIT,
+};
+use remix_checker::sync::perturb;
+use remix_checker::StopReason;
+
+/// All conditions in precedence order (highest first).
+const CONDITIONS: [(u8, StopReason); 4] = [
+    (STOP_FIRST_VIOLATION, StopReason::FirstViolation),
+    (STOP_VIOLATION_LIMIT, StopReason::ViolationLimit),
+    (STOP_STATE_LIMIT, StopReason::StateLimit),
+    (STOP_TIME_BUDGET, StopReason::TimeBudget),
+];
+
+/// Requests every condition of `mask` from its own thread and resolves the cell.
+fn race_subset(mask: u8) -> Option<StopReason> {
+    let cell = StopCell::new();
+    thread::scope(|scope| {
+        for (bit, _) in CONDITIONS.iter().filter(|(bit, _)| mask & bit != 0) {
+            let cell = &cell;
+            scope.spawn(move || cell.request(*bit));
+        }
+    });
+    cell.stop_reason()
+}
+
+#[test]
+fn every_subset_resolves_to_its_highest_precedence_member_under_every_schedule() {
+    for seed in [0u64, 1, 0xDEAD_BEEF, 0x5EED_CAFE, 42] {
+        // Install the seeded yield/sleep injector; each spawned thread derives its
+        // own perturbation stream from the seed and its thread salt, so the five
+        // seeds explore materially different request interleavings.
+        let _guard = perturb::install(seed);
+        for mask in 1u8..16 {
+            let expected = CONDITIONS
+                .iter()
+                .find(|(bit, _)| mask & bit != 0)
+                .map(|(_, reason)| *reason);
+            assert_eq!(
+                race_subset(mask),
+                expected,
+                "seed {seed:#x} mask {mask:#06b}: precedence must be schedule-independent"
+            );
+        }
+    }
+}
+
+#[test]
+fn violation_outranks_state_limit_outranks_time_budget_when_all_race() {
+    for seed in [7u64, 8, 9] {
+        let _guard = perturb::install(seed);
+        // The three conditions the engine can actually trip in one level, all racing.
+        assert_eq!(
+            race_subset(STOP_FIRST_VIOLATION | STOP_STATE_LIMIT | STOP_TIME_BUDGET),
+            Some(StopReason::FirstViolation)
+        );
+        assert_eq!(
+            race_subset(STOP_STATE_LIMIT | STOP_TIME_BUDGET),
+            Some(StopReason::StateLimit)
+        );
+        assert_eq!(race_subset(STOP_TIME_BUDGET), Some(StopReason::TimeBudget));
+    }
+}

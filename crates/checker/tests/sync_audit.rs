@@ -1,0 +1,137 @@
+//! Lock-order audit over the real engines: every production code path must be clean.
+//!
+//! The instrumented sync layer (`remix_checker::sync`) assigns each lock site a rank
+//! in the workspace lock hierarchy and, under audit, records per-thread held-lock
+//! sets, acquisition-order edges and rank violations.  These tests run the actual
+//! engines — parallel BFS across its worker/store/POR matrix, sequential DFS, guided
+//! exploration, trace refinement — inside an audit session and require the resulting
+//! lock-order graph to have **zero rank violations and zero cycles**.  Any regression
+//! that nests locks against the declared hierarchy (the precursor of a real deadlock)
+//! fails here with both witness stacks, long before a scheduler ever interleaves the
+//! two acquisitions unluckily.
+//!
+//! The sessions also double as determinism probes: every matrix cell must agree with
+//! the first cell on the explored state space.
+
+use std::time::Duration;
+
+use remix_checker::sync::audit;
+use remix_checker::{
+    check_bfs, check_dfs, check_refinement, explore, CheckOptions, ExploreOptions, RefineOptions,
+    RefineVerdict, StoreMode, SymmetryMode,
+};
+use remix_zab::{ClusterConfig, CodeVersion, SpecPreset};
+
+fn workload() -> remix_spec::Spec<remix_zab::ZabState> {
+    // Crash-free single-transaction mSpec-1: small enough to exhaust in every cell,
+    // yet it exercises the full production path (sharded store, batch buffers,
+    // work-stealing frontier, condvar sleeps, POR footprint table).
+    let config = ClusterConfig::small(CodeVersion::FinalFix)
+        .with_transactions(1)
+        .with_crashes(0);
+    SpecPreset::MSpec1.build(&config)
+}
+
+fn options(workers: usize) -> CheckOptions {
+    CheckOptions::default()
+        .with_workers(workers)
+        .with_time_budget(Duration::from_secs(300))
+        .with_max_states(500_000)
+}
+
+#[test]
+fn bfs_matrix_is_lock_order_clean_under_audit() {
+    let spec = workload();
+    let session = audit::session();
+    let mut baseline: Option<usize> = None;
+    for workers in [1, 2, 4] {
+        for store in [StoreMode::Full, StoreMode::FingerprintOnly] {
+            for por in [false, true] {
+                let outcome = check_bfs(
+                    &spec,
+                    &options(workers).with_store_mode(store).with_por(por),
+                );
+                assert!(outcome.passed(), "workload must pass in every cell");
+                let states = outcome.stats.distinct_states;
+                match baseline {
+                    None => baseline = Some(states),
+                    Some(expected) => assert_eq!(
+                        states, expected,
+                        "workers={workers} store={store:?} por={por} diverged"
+                    ),
+                }
+            }
+        }
+    }
+    let report = session.report();
+    assert!(
+        report.acquisitions > 0,
+        "the audit must have observed the run"
+    );
+    assert!(
+        report.is_clean(),
+        "BFS matrix must respect the lock hierarchy: {:?} {:?}",
+        report.rank_violations,
+        report.cycles()
+    );
+}
+
+#[test]
+fn dfs_and_guided_exploration_are_lock_order_clean_under_audit() {
+    let spec = workload();
+    let session = audit::session();
+    let dfs = check_dfs(&spec, &options(1).with_max_depth(24));
+    assert!(dfs.stats.distinct_states > 0);
+    let explored = explore(
+        &spec,
+        &ExploreOptions::default()
+            .with_traces(64)
+            .with_max_depth(24)
+            .with_seed(11)
+            .with_time_budget(Duration::from_secs(60))
+            .with_symmetry(SymmetryMode::Off)
+            .guided(8),
+    );
+    assert!(explored.stats.traces > 0);
+    let report = session.report();
+    assert!(report.acquisitions > 0);
+    assert!(
+        report.is_clean(),
+        "DFS + guided exploration must respect the lock hierarchy: {:?} {:?}",
+        report.rank_violations,
+        report.cycles()
+    );
+}
+
+#[test]
+fn refinement_check_is_lock_order_clean_under_audit() {
+    let config = ClusterConfig::small(CodeVersion::FinalFix)
+        .with_transactions(1)
+        .with_crashes(0);
+    let fine = SpecPreset::SysSpec.build(&config);
+    let coarse = SpecPreset::MSpec1.build(&config);
+    let projection = remix_zab::coarse_vs_baseline(&config);
+    let session = audit::session();
+    let outcome = check_refinement(
+        &fine,
+        &coarse,
+        &projection,
+        &RefineOptions::default()
+            .with_workers(2)
+            .with_max_states(200_000)
+            .with_time_budget(Duration::from_secs(120)),
+    );
+    assert_ne!(
+        outcome.verdict(),
+        RefineVerdict::Diverges,
+        "honest presets must not diverge: {outcome}"
+    );
+    let report = session.report();
+    assert!(report.acquisitions > 0);
+    assert!(
+        report.is_clean(),
+        "refinement must respect the lock hierarchy: {:?} {:?}",
+        report.rank_violations,
+        report.cycles()
+    );
+}

@@ -35,7 +35,8 @@ pub use conformance::{
 };
 pub use mapping::{default_mapping, ActionMapping};
 pub use report::{
-    AnalysisRow, BugReport, EfficiencyRow, ExploreRow, FixVerificationRow, RefineRow,
+    AnalysisRow, BugReport, ConcurrencyRow, EfficiencyRow, ExploreRow, FixVerificationRow,
+    RefineRow,
 };
 pub use verifier::{
     RefinementRun, ShrunkCounterexample, VerificationRun, Verifier, VerifierOptions, VerifyError,

@@ -318,9 +318,85 @@ impl AnalysisRow {
     }
 }
 
+/// One row of the concurrency-soundness artefact (`BENCH_concurrency.json`): one
+/// finding of the concurrency tiers (`concurrency_lint`, `lock_order`,
+/// `schedule_fuzz`), plus the workload it was found on and whether it comes from a
+/// deliberately seeded regression.  CI fails on any soundness-class row with
+/// `seeded: false` and *requires* the seeded rank-inversion and seeded
+/// determinism-divergence rows, so the pass keeps catching the incident classes it
+/// was built for.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyRow {
+    /// The audited workload (an engine preset name, or `"workspace"` for lint rows).
+    pub workload: String,
+    /// The analysis tier (`concurrency_lint`, `lock_order`, `schedule_fuzz`).
+    pub tier: String,
+    /// The severity class (`soundness`, `convention`).
+    pub class: String,
+    /// The lint rule id (`raw-sync-import`, …) or finding kind (`rank-inversion`,
+    /// `order-cycle`, `determinism-divergence`).
+    pub action: String,
+    /// The offending source location, lock-site pair, or oracle cell (which carries
+    /// the replayable `workers=… seed=…` coordinates for divergence rows).
+    pub location: String,
+    /// Human-readable explanation, including witness stacks / replay recipe.
+    pub detail: String,
+    /// Whether the finding comes from a deliberately seeded regression.
+    pub seeded: bool,
+}
+
+impl ConcurrencyRow {
+    /// Builds a row from an analyzer finding.
+    pub fn from_finding(workload: &str, finding: &remix_analyze::Finding, seeded: bool) -> Self {
+        ConcurrencyRow {
+            workload: workload.to_owned(),
+            tier: finding.tier.as_str().to_owned(),
+            class: finding.class.as_str().to_owned(),
+            action: finding.action.clone(),
+            location: finding.location.clone(),
+            detail: finding.detail.clone(),
+            seeded,
+        }
+    }
+
+    /// Serializes the row as one JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("workload", &self.workload)
+            .string("tier", &self.tier)
+            .string("class", &self.class)
+            .string("action", &self.action)
+            .string("location", &self.location)
+            .string("detail", &self.detail)
+            .bool("seeded", self.seeded)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn concurrency_rows_serialize_to_json() {
+        let finding = remix_analyze::Finding {
+            tier: remix_analyze::Tier::LockOrder,
+            class: remix_analyze::FindingClass::Soundness,
+            action: "rank-inversion".to_owned(),
+            location: "seeded.outer -> seeded.inner".to_owned(),
+            field_path: String::new(),
+            effect_bits: String::new(),
+            detail: "lock acquired against the declared hierarchy".to_owned(),
+            estimated_lost_pruning: 0,
+        };
+        let row = ConcurrencyRow::from_finding("seeded-inversion", &finding, true);
+        let json = row.to_json();
+        assert!(json.contains("\"workload\":\"seeded-inversion\""));
+        assert!(json.contains("\"tier\":\"lock_order\""));
+        assert!(json.contains("\"class\":\"soundness\""));
+        assert!(json.contains("\"action\":\"rank-inversion\""));
+        assert!(json.contains("\"seeded\":true"));
+    }
 
     #[test]
     fn analysis_rows_serialize_to_json() {

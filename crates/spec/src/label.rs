@@ -14,6 +14,9 @@
 //! the lifetime of the run.
 
 use std::collections::HashMap;
+// sync-exempt: the spec crate sits below remix-checker and cannot use its
+// instrumented checker::sync layer; this RwLock is leaf-level (never held while
+// acquiring another lock), so it cannot participate in a lock-order cycle.
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// A dense identifier of an interned action label (index into the [`LabelTable`]).

@@ -191,6 +191,8 @@ pub trait IncrementalCanonicalize: Canonicalize {
 /// Process-global counters for canonicalization edge cases, snapshotted by the checker
 /// into its per-run statistics (`CheckStats::canon_fallbacks` in `remix-checker`).
 pub mod canon_stats {
+    // sync-exempt: the spec crate sits below remix-checker and cannot use its
+    // instrumented checker::sync layer; one lock-free statistics counter.
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static TIE_CAP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
@@ -199,12 +201,15 @@ pub mod canon_stats {
     /// non-orbit-invariant ordering.  Any nonzero count means two members of one orbit
     /// may map to different representatives (dedup misses, never unsoundness).
     pub fn note_tie_cap_fallback() {
+        // ordering: Relaxed — statistics only; runs snapshot the monotonic count
+        // before and after and report the difference, no other memory rides on it.
         TIE_CAP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The process-global fallback count (monotonic; diff two reads to scope a run).
     #[must_use]
     pub fn tie_cap_fallbacks() -> u64 {
+        // ordering: Relaxed — see note_tie_cap_fallback.
         TIE_CAP_FALLBACKS.load(Ordering::Relaxed)
     }
 }
